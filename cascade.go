@@ -1,0 +1,581 @@
+// Package cascade is a library-grade reproduction of "Coordinated
+// Management of Cascaded Caches for Efficient Content Distribution" (Tang &
+// Chanson, ICDE 2003).
+//
+// Content-delivery caches are usually cascaded: a request missing a
+// lower-level cache is forwarded toward the origin server through further
+// caches. The paper's contribution is to manage placement and replacement
+// across the whole delivery path at once: requests piggyback each cache's
+// frequency, miss-penalty and eviction-cost information; the serving node
+// solves the placement problem exactly with an O(n²) dynamic program; the
+// response carries the decision back down.
+//
+// The package exposes four layers:
+//
+//   - The placement optimizer (OptimizePlacement): the paper's
+//     k-optimization dynamic program over (f_i, m_i, l_i) path profiles.
+//   - Caching schemes (NewCoordinated, NewLRU, NewModulo, NewLNCR, plus
+//     LFU/GDS extras): complete per-node cache management algorithms
+//     implementing the Scheme interface.
+//   - Architectures (GenerateTiers, GenerateTree): the paper's en-route
+//     (Tiers-style WAN/MAN topology, Table 1) and hierarchical (full O-ary
+//     tree, Figure 5) networks.
+//   - Workloads and simulation (NewGenerator, NewSimulator, RunSweep): the
+//     synthetic Zipf trace substrate, the trace-driven simulator, and the
+//     experiment harness regenerating every figure of the paper.
+//
+// Quickstart:
+//
+//	gen := cascade.NewGenerator(cascade.TraceConfig{Seed: 1})
+//	net := cascade.GenerateTiers(cascade.DefaultTiersConfig(), rand.New(rand.NewSource(1)))
+//	sim, _ := cascade.NewSimulator(cascade.SimConfig{
+//		Scheme:            cascade.NewCoordinated(),
+//		Network:           net,
+//		Catalog:           gen.Catalog(),
+//		RelativeCacheSize: 0.01,
+//	})
+//	summary, _ := sim.Run(gen, gen.Len()/2)
+//	fmt.Println(summary.AvgLatency)
+package cascade
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"cascade/internal/analysis"
+	"cascade/internal/coherency"
+	"cascade/internal/core"
+	"cascade/internal/dcache"
+	"cascade/internal/experiment"
+	"cascade/internal/httpgw"
+	"cascade/internal/metrics"
+	"cascade/internal/model"
+	"cascade/internal/runtime"
+	"cascade/internal/scheme"
+	"cascade/internal/sim"
+	"cascade/internal/topology"
+	"cascade/internal/trace"
+)
+
+// Identifier and record types shared across the library.
+type (
+	// ObjectID identifies a web object.
+	ObjectID = model.ObjectID
+	// NodeID identifies a cache/topology node.
+	NodeID = model.NodeID
+	// ClientID identifies a request-issuing client.
+	ClientID = model.ClientID
+	// ServerID identifies an origin server.
+	ServerID = model.ServerID
+	// Object is a catalog entry (identity, size, home server).
+	Object = model.Object
+	// Request is one trace record.
+	Request = model.Request
+)
+
+// NoNode is the sentinel "no node" value (e.g. hierarchy server side).
+const NoNode = model.NoNode
+
+// Placement optimizer (paper §2.1–2.2).
+type (
+	// PathNode is one candidate cache on a delivery path: its observed
+	// access frequency f, miss penalty m and eviction cost loss l.
+	PathNode = core.Node
+	// Placement is the optimizer's result: chosen indices and the
+	// achieved reduction of total access cost.
+	Placement = core.Placement
+)
+
+// OptimizePlacement solves the paper's n-optimization problem exactly: it
+// returns the subset of path caches whose joint caching of the object
+// maximizes the total access-cost reduction. Nodes are ordered from the
+// serving point toward the client.
+func OptimizePlacement(path []PathNode) Placement { return core.Optimize(path) }
+
+// PlacementGain evaluates the Δcost objective for an arbitrary placement.
+func PlacementGain(path []PathNode, indices []int) float64 { return core.Gain(path, indices) }
+
+// Caching schemes (paper §2.3 and §3.3).
+type (
+	// Scheme is a complete cache-management algorithm over a node set.
+	Scheme = scheme.Scheme
+	// SchemePath is a request's delivery path as seen by a scheme.
+	SchemePath = scheme.Path
+	// SchemeOutcome reports how a request was served.
+	SchemeOutcome = scheme.Outcome
+	// NodeBudget sizes one cache node (capacity, d-cache entries).
+	NodeBudget = scheme.NodeBudget
+	// Coordinated is the paper's proposed scheme.
+	Coordinated = scheme.Coordinated
+)
+
+// NewCoordinated returns the paper's coordinated placement+replacement
+// scheme.
+func NewCoordinated() *scheme.Coordinated { return scheme.NewCoordinated() }
+
+// NewLRU returns the cache-everywhere LRU baseline.
+func NewLRU() *scheme.LRU { return scheme.NewLRU() }
+
+// NewModulo returns the MODULO baseline with the given cache radius.
+func NewModulo(radius int) *scheme.Modulo { return scheme.NewModulo(radius) }
+
+// NewLNCR returns the LNC-R cost-based replacement baseline.
+func NewLNCR() *scheme.LNCR { return scheme.NewLNCR() }
+
+// NewLFUScheme returns the extra LFU baseline.
+func NewLFUScheme() *scheme.LFU { return scheme.NewLFU() }
+
+// NewGDSScheme returns the extra GreedyDual-Size baseline.
+func NewGDSScheme() *scheme.GDS { return scheme.NewGDS() }
+
+// NewLRU2H returns the extra admission-controlled LRU baseline (objects
+// are cached only on their second sighting).
+func NewLRU2H() *scheme.LRU2H { return scheme.NewLRU2H() }
+
+// NewPartial returns a mixed fleet: the given fraction of nodes (seeded
+// random choice) run coordinated caching, the rest legacy LRU.
+func NewPartial(participation float64, seed int64) *scheme.Partial {
+	return scheme.NewPartial(participation, seed)
+}
+
+// NewSchemeChecker wraps a scheme with per-request protocol invariant
+// checking (test harness; panics on violation).
+func NewSchemeChecker(inner Scheme) *scheme.Checker { return scheme.NewChecker(inner) }
+
+// NewScheme constructs a scheme from its report name ("LRU", "MODULO(4)",
+// "LNC-R", "COORD", "LFU", "GDS", "LRU-2H").
+func NewScheme(name string) (Scheme, error) { return scheme.New(name) }
+
+// DCacheFactory selects a d-cache implementation for the schemes that use
+// one (COORD, LNC-R): DCacheLFU is the heap-based default, DCacheLRUStacks
+// the paper's O(1) LRU-stack organization (§2.4).
+type DCacheFactory = dcache.Factory
+
+// D-cache implementations.
+var (
+	// DCacheLFU builds the heap-based LFU d-cache.
+	DCacheLFU DCacheFactory = dcache.NewFactory
+	// DCacheLRUStacks builds the O(1) LRU-stack d-cache.
+	DCacheLRUStacks DCacheFactory = dcache.NewLRUStacksFactory
+)
+
+// SchemeNames lists the canonical scheme names NewScheme accepts.
+func SchemeNames() []string { return scheme.Names() }
+
+// UniformBudgets builds the paper's equal-budget node configuration.
+func UniformBudgets(nodes []NodeID, capacity int64, dcacheEntries int) map[NodeID]NodeBudget {
+	return scheme.Uniform(nodes, capacity, dcacheEntries)
+}
+
+// Architectures (paper §3.2).
+type (
+	// Network is a cascaded caching architecture.
+	Network = topology.Network
+	// Route is a distribution-tree path with per-link delays.
+	Route = topology.Route
+	// TiersConfig parameterizes the en-route topology generator.
+	TiersConfig = topology.TiersConfig
+	// TreeConfig parameterizes the hierarchical architecture.
+	TreeConfig = topology.TreeConfig
+	// EnRouteNetwork is the generated en-route topology.
+	EnRouteNetwork = topology.EnRoute
+	// HierarchyNetwork is the full O-ary cache tree.
+	HierarchyNetwork = topology.Hierarchy
+	// TopologyDescription summarizes an en-route topology (Table 1).
+	TopologyDescription = topology.Description
+)
+
+// Node kinds of the en-route topology.
+const (
+	// WANNodeKind marks backbone nodes.
+	WANNodeKind = topology.WANNode
+	// MANNodeKind marks metropolitan nodes (client/server attachment).
+	MANNodeKind = topology.MANNode
+)
+
+// DefaultTiersConfig returns the paper's Table 1 topology parameters.
+func DefaultTiersConfig() TiersConfig { return topology.DefaultTiersConfig() }
+
+// DefaultTreeConfig returns the paper's hierarchy parameters (depth 4,
+// fanout 3, d = 8 ms, g = 5).
+func DefaultTreeConfig() TreeConfig { return topology.DefaultTreeConfig() }
+
+// GenerateTiers builds a random en-route topology in the style of the
+// Tiers generator.
+func GenerateTiers(cfg TiersConfig, r *rand.Rand) *topology.EnRoute {
+	return topology.GenerateTiers(cfg, r)
+}
+
+// GenerateTree builds the hierarchical caching architecture.
+func GenerateTree(cfg TreeConfig) *topology.Hierarchy { return topology.GenerateTree(cfg) }
+
+// Workloads (paper §3.1, substituted per DESIGN.md).
+type (
+	// TraceConfig parameterizes the synthetic Zipf workload generator.
+	TraceConfig = trace.Config
+	// Generator streams a deterministic synthetic request trace.
+	Generator = trace.Generator
+	// Catalog is a workload's object universe.
+	Catalog = trace.Catalog
+	// TraceWriter serializes workloads to the text trace format.
+	TraceWriter = trace.Writer
+	// TraceReader parses the text trace format.
+	TraceReader = trace.Reader
+)
+
+// NewGenerator builds a synthetic workload generator.
+func NewGenerator(cfg TraceConfig) *trace.Generator { return trace.NewGenerator(cfg) }
+
+// NewTraceWriter starts writing a workload (catalog first) to the cascade
+// text trace format.
+func NewTraceWriter(w io.Writer, cat *Catalog) (*trace.Writer, error) {
+	return trace.NewWriter(w, cat)
+}
+
+// NewTraceReader parses the catalog of a recorded trace and returns a
+// reader streaming its requests.
+func NewTraceReader(r io.Reader) (*trace.Reader, error) { return trace.NewReader(r) }
+
+// SquidStats summarizes a Squid access-log conversion.
+type SquidStats = trace.SquidStats
+
+// WorkloadStats summarizes a recorded trace (fitted Zipf exponent, size
+// profile, coverage).
+type WorkloadStats = trace.Stats
+
+// TraceStats scans a recorded trace and derives its workload statistics.
+func TraceStats(r io.Reader) (WorkloadStats, error) { return trace.ComputeStats(r) }
+
+// SubtraceStats summarizes a top-N subtrace extraction.
+type SubtraceStats = trace.SubtraceStats
+
+// ExtractTopObjects reproduces the paper's §3.1 subtracing: keep only the
+// requests for the N most popular objects of a recorded trace, densely
+// renumbered. The input must be re-openable (two passes).
+func ExtractTopObjects(open func() (io.ReadCloser, error), w io.Writer, topN int) (SubtraceStats, error) {
+	return trace.ExtractTopObjects(open, w, topN)
+}
+
+// MergeTraces k-way-merges several traces by timestamp into one, with
+// identifier namespaces kept disjoint — the paper's §3.1 multi-proxy
+// merge.
+func MergeTraces(opens []func() (io.ReadCloser, error), w io.Writer) (int, error) {
+	return trace.MergeTraces(opens, w)
+}
+
+// ConvertSquidLog turns a Squid native access.log into the cascade trace
+// format — the bridge from real proxy logs (the role the Boeing traces
+// played in the paper) to this repository's tooling.
+func ConvertSquidLog(r io.Reader, w io.Writer) (SquidStats, error) {
+	return trace.ConvertSquid(r, w)
+}
+
+// Workload abstracts a replayable request stream for the experiment
+// harness.
+type Workload = experiment.Workload
+
+// SyntheticWorkload wraps a generator as an experiment workload.
+func SyntheticWorkload(g *Generator) Workload { return experiment.SyntheticWorkload(g) }
+
+// FileWorkload validates a recorded trace file and returns a workload that
+// replays it for every experiment cell.
+func FileWorkload(path string) (Workload, error) { return experiment.FileWorkload(path) }
+
+// Simulation and metrics (paper §3–4).
+type (
+	// SimConfig assembles one simulation run.
+	SimConfig = sim.Config
+	// Simulator replays a request stream through a scheme on a network.
+	Simulator = sim.Simulator
+	// RequestSource streams requests (satisfied by *Generator).
+	RequestSource = sim.Source
+	// CostModel selects the measure schemes optimize (§2's generic
+	// cost).
+	CostModel = sim.CostModel
+	// NodeStats is the simulator's per-node accounting (SimConfig.TrackNodes).
+	NodeStats = sim.NodeStats
+	// Summary is a run's derived per-request averages.
+	Summary = metrics.Summary
+	// Sample is the accounting of one request.
+	Sample = metrics.Sample
+)
+
+// Cost models.
+const (
+	// CostLatency optimizes size-scaled link delay (the paper's choice).
+	CostLatency = sim.CostLatency
+	// CostBandwidth optimizes bytes moved across links (byte×hops).
+	CostBandwidth = sim.CostBandwidth
+	// CostHops optimizes pure link crossings.
+	CostHops = sim.CostHops
+)
+
+// NewSimulator validates the configuration and prepares the caches and
+// attachments.
+func NewSimulator(cfg SimConfig) (*sim.Simulator, error) { return sim.New(cfg) }
+
+// Analytical approximations (IRM-based, complementing the simulator).
+type (
+	// AnalysisObject is one object for closed-form analysis (rate, size).
+	AnalysisObject = analysis.Object
+	// AnalysisPrediction is a hit-ratio estimate for one cache.
+	AnalysisPrediction = analysis.Prediction
+)
+
+// StaticOptimalHitRatio predicts the best achievable single-cache hit
+// ratio under the independent reference model (fractional-knapsack bound).
+func StaticOptimalHitRatio(objs []AnalysisObject, capacity int64) AnalysisPrediction {
+	return analysis.StaticOptimal(objs, capacity)
+}
+
+// CheLRUHitRatio predicts a single LRU cache's steady-state hit ratios via
+// Che's approximation.
+func CheLRUHitRatio(objs []AnalysisObject, capacity int64) (AnalysisPrediction, error) {
+	return analysis.CheLRU(objs, capacity)
+}
+
+// CheLRUTreeHitRatios layers Che's approximation over a full O-ary tree of
+// LRU caches (level 0 = leaves).
+func CheLRUTreeHitRatios(objs []AnalysisObject, capacity int64, depth, fanout, leaves int) ([]AnalysisPrediction, error) {
+	return analysis.CheLRUTree(objs, capacity, depth, fanout, leaves)
+}
+
+// TreeLatencyPrediction folds per-level hit predictions and uplink delays
+// into an expected mean access latency.
+func TreeLatencyPrediction(preds []AnalysisPrediction, levelDelays []float64) (float64, error) {
+	return analysis.TreeLatency(preds, levelDelays)
+}
+
+// Cache coherency substrate (the §2 freshness assumption, made testable).
+type (
+	// CoherencyPolicy selects the consistency mechanism (CoherencyNone,
+	// CoherencyTTL, CoherencyPSI).
+	CoherencyPolicy = coherency.Policy
+	// CoherencyConfig parameterizes a coherency tracker.
+	CoherencyConfig = coherency.Config
+	// CoherencyTracker maintains object versions, invalidation logs and
+	// per-node copy freshness for a simulation run.
+	CoherencyTracker = coherency.Tracker
+)
+
+// Coherency policies.
+const (
+	// CoherencyNone is the paper's assumption: copies are always fresh.
+	CoherencyNone = coherency.None
+	// CoherencyTTL refetches copies older than a freshness lifetime.
+	CoherencyTTL = coherency.TTL
+	// CoherencyPSI piggybacks server invalidations on origin responses.
+	CoherencyPSI = coherency.PSI
+)
+
+// NewCoherencyTracker builds a tracker over a catalog's objects; pass it in
+// SimConfig.Coherency to add consistency accounting to a run.
+func NewCoherencyTracker(cfg CoherencyConfig, cat *Catalog) *CoherencyTracker {
+	return coherency.NewTracker(cfg, cat.Objects)
+}
+
+// FreshnessStudy quantifies the paper's freshness assumption: stale-hit and
+// revalidation ratios of coordinated caching under object updates, per
+// consistency policy.
+func FreshnessStudy(arch Architecture, cfg ExperimentConfig, intervals []float64, size float64) (ResultTable, error) {
+	return experiment.FreshnessStudy(arch, cfg, intervals, size)
+}
+
+// Live protocol runtime (the deployable counterpart of the simulator).
+type (
+	// Cluster is a running set of concurrent cache-node actors
+	// implementing the coordinated caching protocol with real message
+	// passing.
+	Cluster = runtime.Cluster
+	// ClusterConfig assembles a Cluster.
+	ClusterConfig = runtime.Config
+	// ClusterResult reports how the cluster served one request.
+	ClusterResult = runtime.Result
+)
+
+// NewCluster starts one actor per cache node of the network. The returned
+// cluster serves concurrent Gets; Close shuts it down after in-flight
+// requests drain.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.NewCluster(cfg) }
+
+// HTTP gateway incarnation of the protocol (piggybacking as headers).
+type (
+	// HTTPCacheNode is an http.Handler cache gateway; chain instances in
+	// front of an HTTPOrigin to build a cascaded HTTP cache.
+	HTTPCacheNode = httpgw.Node
+	// HTTPOrigin is the content source handler.
+	HTTPOrigin = httpgw.Origin
+)
+
+// Protocol header names used by the HTTP gateway.
+const (
+	// HTTPHeaderPath carries the piggybacked per-hop records upstream.
+	HTTPHeaderPath = httpgw.HeaderPath
+	// HTTPHeaderPlace carries the placement decision downstream.
+	HTTPHeaderPlace = httpgw.HeaderPlace
+	// HTTPHeaderPenalty carries the accumulated miss-penalty counter.
+	HTTPHeaderPenalty = httpgw.HeaderPenalty
+	// HTTPHeaderHit names the serving node ("origin" for the source).
+	HTTPHeaderHit = httpgw.HeaderHit
+)
+
+// NewHTTPCacheNode builds a gateway node: a cache of capacity bytes (plus a
+// dEntries-descriptor d-cache) forwarding misses to upstream across a link
+// of cost upCost.
+func NewHTTPCacheNode(id NodeID, upstream string, upCost float64, capacity int64, dEntries int, clock func() float64) *HTTPCacheNode {
+	return httpgw.NewNode(id, upstream, upCost, capacity, dEntries, clock)
+}
+
+// NewHTTPOrigin builds a synthetic origin handler; size maps objects to
+// payload lengths.
+func NewHTTPOrigin(size func(ObjectID) int) *HTTPOrigin { return &httpgw.Origin{Size: size} }
+
+// NewHTTPFileOrigin builds an origin handler serving files beneath dir, so
+// a gateway chain can front arbitrary content trees.
+func NewHTTPFileOrigin(dir string) *HTTPOrigin { return &httpgw.Origin{Dir: dir} }
+
+// WallClock returns a seconds-since-start clock for live components.
+func WallClock() func() float64 {
+	start := time.Now()
+	return func() float64 { return time.Since(start).Seconds() }
+}
+
+// Experiment harness (paper figures and studies).
+type (
+	// ExperimentConfig parameterizes a full evaluation.
+	ExperimentConfig = experiment.Config
+	// Architecture selects en-route or hierarchical caching.
+	Architecture = experiment.Arch
+	// Sweep is a (cache size × scheme) result grid.
+	Sweep = experiment.Sweep
+	// SweepCell is one simulation result within a sweep.
+	SweepCell = experiment.Cell
+	// Figure identifies one of the paper's evaluation figures.
+	Figure = experiment.Figure
+	// ResultTable is a formatted experiment result.
+	ResultTable = experiment.Table
+)
+
+// Architecture values.
+const (
+	ArchEnRoute   = experiment.EnRoute
+	ArchHierarchy = experiment.Hierarchy
+)
+
+// Figures lists every figure of the paper's evaluation section.
+func Figures() []Figure { return experiment.Figures }
+
+// FigureByID returns the figure definition for an ID like "fig6a".
+func FigureByID(id string) (Figure, bool) { return experiment.FigureByID(id) }
+
+// RunSweep simulates every (cache size, scheme) pair for one architecture.
+func RunSweep(arch Architecture, cfg ExperimentConfig, progress func(SweepCell)) (*Sweep, error) {
+	return experiment.RunSweep(arch, cfg, progress)
+}
+
+// RadiusStudy reproduces the MODULO cache-radius sensitivity analysis.
+func RadiusStudy(arch Architecture, cfg ExperimentConfig, radii []int) (ResultTable, error) {
+	return experiment.RadiusStudy(arch, cfg, radii)
+}
+
+// DCacheStudy reproduces the d-cache sizing analysis.
+func DCacheStudy(arch Architecture, cfg ExperimentConfig, factors []float64, size float64) (ResultTable, error) {
+	return experiment.DCacheStudy(arch, cfg, factors, size)
+}
+
+// OverheadStudy quantifies the coordinated protocol's piggyback overhead.
+func OverheadStudy(arch Architecture, cfg ExperimentConfig) (ResultTable, error) {
+	return experiment.OverheadStudy(arch, cfg)
+}
+
+// TreeShapeStudy sweeps the hierarchy's delay growth factor and reports
+// LRU vs COORD latency — the paper's "similar trends for a wide range of d
+// and g values" claim.
+func TreeShapeStudy(cfg ExperimentConfig, growths []float64, size float64) (ResultTable, error) {
+	return experiment.TreeShapeStudy(cfg, growths, size)
+}
+
+// ZipfStudy sweeps the workload's Zipf exponent and reports LRU vs COORD
+// latency — the robustness of the comparison across realistic skews.
+func ZipfStudy(cfg ExperimentConfig, thetas []float64, size float64) (ResultTable, error) {
+	return experiment.ZipfStudy(cfg, thetas, size)
+}
+
+// LevelStudy reports which hierarchy level serves requests, per scheme —
+// the §4.2 mechanics made visible.
+func LevelStudy(cfg ExperimentConfig, size float64) (ResultTable, error) {
+	return experiment.LevelStudy(cfg, size)
+}
+
+// LocalityStudy sweeps the workload's community-of-interest strength and
+// reports LRU vs MODULO vs COORD performance.
+func LocalityStudy(cfg ExperimentConfig, localities []float64, size float64) (ResultTable, error) {
+	return experiment.LocalityStudy(cfg, localities, size)
+}
+
+// AnalysisStudy sets the layered Che approximation beside measured
+// per-level LRU hit ratios on the hierarchy.
+func AnalysisStudy(cfg ExperimentConfig, size float64) (ResultTable, error) {
+	return experiment.AnalysisStudy(cfg, size)
+}
+
+// PartialDeploymentStudy sweeps the fraction of caches running the
+// coordinated protocol (incremental rollout).
+func PartialDeploymentStudy(arch Architecture, cfg ExperimentConfig, fractions []float64, size float64) (ResultTable, error) {
+	return experiment.PartialDeploymentStudy(arch, cfg, fractions, size)
+}
+
+// WindowKStudy sweeps the frequency estimator's sliding-window size K for
+// the coordinated scheme.
+func WindowKStudy(arch Architecture, cfg ExperimentConfig, ks []int, size float64) (ResultTable, error) {
+	return experiment.WindowKStudy(arch, cfg, ks, size)
+}
+
+// CostModelStudy runs coordinated caching under each interpretation of the
+// generic cost (latency, bandwidth, hops) and reports all three measures.
+func CostModelStudy(arch Architecture, cfg ExperimentConfig, size float64) (ResultTable, error) {
+	return experiment.CostModelStudy(arch, cfg, size)
+}
+
+// AdaptivityStudy injects a mid-trace flash crowd and reports per-window
+// latency per scheme — transient behaviour the steady-state figures hide.
+func AdaptivityStudy(arch Architecture, cfg ExperimentConfig, size float64, windows int) (ResultTable, error) {
+	return experiment.AdaptivityStudy(arch, cfg, size, windows)
+}
+
+// CapacityStudy redistributes a fixed total budget across hierarchy levels
+// (uniform / leaf-heavy / root-heavy / delay-proportional) and compares
+// LRU and COORD under each profile.
+func CapacityStudy(cfg ExperimentConfig, size float64) (ResultTable, error) {
+	return experiment.CapacityStudy(cfg, size)
+}
+
+// Replicate runs one figure's sweep under several seeds and reports
+// per-cell mean ± standard deviation — error bars for the paper's
+// single-run plots.
+func Replicate(arch Architecture, cfg ExperimentConfig, fig Figure, runs int) (ResultTable, error) {
+	return experiment.Replicate(arch, cfg, fig, runs)
+}
+
+// BaselineDrift describes one result cell that moved beyond tolerance
+// relative to a stored baseline CSV.
+type BaselineDrift = experiment.Drift
+
+// CompareBaselineCSV checks a result table against a previously exported
+// CSV and returns the cells whose relative change exceeds tolerance.
+func CompareBaselineCSV(t ResultTable, baseline io.Reader, tolerance float64) ([]BaselineDrift, error) {
+	return experiment.CompareCSV(t, baseline, tolerance)
+}
+
+// WriteHTMLReport renders result tables as one self-contained HTML
+// document with inline SVG charts.
+func WriteHTMLReport(w io.Writer, title string, tables []ResultTable) error {
+	return experiment.WriteHTMLReport(w, title, tables)
+}
+
+// Table1 generates and describes an en-route topology in the terms of the
+// paper's Table 1.
+func Table1(cfg ExperimentConfig) (TopologyDescription, ResultTable) {
+	return experiment.Table1(cfg)
+}

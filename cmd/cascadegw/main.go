@@ -1,0 +1,145 @@
+// Command cascadegw runs one node of a coordinated HTTP cache chain — the
+// paper's protocol as a deployable gateway process. Start an origin, then
+// chain gateways toward the clients:
+//
+//	cascadegw -origin -listen :8080 -object-size 4096
+//	cascadegw -listen :8081 -upstream http://localhost:8080 -cost 0.10 -capacity 256MB
+//	cascadegw -listen :8082 -upstream http://localhost:8081 -cost 0.02 -capacity 64MB
+//
+// Clients fetch GET /objects/<id> from the last gateway. All coordination
+// state (piggybacked frequencies, cost losses, the placement decision, the
+// miss-penalty counter) travels in X-Cascade-* headers; see package
+// internal/httpgw.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"cascade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cascadegw:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve on")
+		origin   = flag.Bool("origin", false, "run as the origin server instead of a cache gateway")
+		objSize  = flag.Int("object-size", 4096, "origin: payload bytes per synthetic object")
+		dir      = flag.String("dir", "", "origin: serve files from this directory instead of synthesizing")
+		upstream = flag.String("upstream", "", "gateway: upstream base URL (origin or next gateway)")
+		cost     = flag.Float64("cost", 0.1, "gateway: cost of the link toward upstream")
+		capacity = flag.String("capacity", "64MB", "gateway: cache capacity (e.g. 512KB, 64MB, 2GB)")
+		dEntries = flag.Int("dcache", 10000, "gateway: descriptor-cache entries")
+		nodeID   = flag.Int("id", 0, "gateway: node ID used in protocol headers")
+		state    = flag.String("state", "", "gateway: warm-start snapshot file (loaded at boot, saved on shutdown)")
+		ttl      = flag.Float64("ttl", 0, "gateway: revalidate cached copies older than this many seconds (0 = never)")
+	)
+	flag.Parse()
+
+	var handler http.Handler
+	if *origin {
+		if *dir != "" {
+			handler = cascade.NewHTTPFileOrigin(*dir)
+			fmt.Fprintf(os.Stderr, "cascadegw: origin on %s serving %s\n", *listen, *dir)
+		} else {
+			handler = cascade.NewHTTPOrigin(func(cascade.ObjectID) int { return *objSize })
+			fmt.Fprintf(os.Stderr, "cascadegw: origin on %s (%d-byte objects)\n", *listen, *objSize)
+		}
+	} else {
+		if *upstream == "" {
+			return fmt.Errorf("gateway mode needs -upstream (or pass -origin)")
+		}
+		capBytes, err := parseBytes(*capacity)
+		if err != nil {
+			return fmt.Errorf("-capacity: %w", err)
+		}
+		node := cascade.NewHTTPCacheNode(cascade.NodeID(*nodeID),
+			strings.TrimRight(*upstream, "/"), *cost, capBytes, *dEntries, cascade.WallClock())
+		node.TTL = *ttl
+		if *state != "" {
+			if f, err := os.Open(*state); err == nil {
+				n, lerr := node.LoadSnapshot(f, 0)
+				f.Close()
+				if lerr != nil {
+					fmt.Fprintf(os.Stderr, "cascadegw: snapshot load: %v\n", lerr)
+				} else {
+					fmt.Fprintf(os.Stderr, "cascadegw: warm-started %d objects from %s\n", n, *state)
+				}
+			}
+			defer saveState(node, *state)
+		}
+		handler = node
+		fmt.Fprintf(os.Stderr, "cascadegw: node %d on %s → %s (capacity %s, link cost %g)\n",
+			*nodeID, *listen, *upstream, *capacity, *cost)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// saveState persists a node's cache for warm restarts.
+func saveState(node *cascade.HTTPCacheNode, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cascadegw: snapshot save: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := node.SaveSnapshot(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cascadegw: snapshot save: %v\n", err)
+	}
+}
+
+// parseBytes parses human-friendly sizes: plain bytes, or KB/MB/GB (binary
+// multiples).
+func parseBytes(s string) (int64, error) {
+	in := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(in, "GB"):
+		mult, in = 1<<30, strings.TrimSuffix(in, "GB")
+	case strings.HasSuffix(in, "MB"):
+		mult, in = 1<<20, strings.TrimSuffix(in, "MB")
+	case strings.HasSuffix(in, "KB"):
+		mult, in = 1<<10, strings.TrimSuffix(in, "KB")
+	case strings.HasSuffix(in, "B"):
+		in = strings.TrimSuffix(in, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(in), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"1024":   1024,
+		"64KB":   64 << 10,
+		"64MB":   64 << 20,
+		"2GB":    2 << 30,
+		"100B":   100,
+		" 8 MB ": 8 << 20,
+		"0":      0,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Fatalf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5MB", "12TBx"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Fatalf("parseBytes(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Command cascadesim regenerates the tables and figures of Tang & Chanson
+// (ICDE 2003) by trace-driven simulation.
+//
+// Usage:
+//
+//	cascadesim [flags]
+//
+// Examples:
+//
+//	cascadesim -list                        # what can be regenerated
+//	cascadesim -exp all                     # every table, figure and study
+//	cascadesim -exp fig6a,fig7a             # selected figures
+//	cascadesim -exp radius -arch hierarchy  # MODULO radius study
+//	cascadesim -exp figs -csv out/ -svg figs/ -html report.html
+//	cascadesim -exp figs -baseline golden/  # regression drift detection
+//	cascadesim -exp fig6a -replicate 5      # mean ± stdev over seeds
+//
+// The workload is synthetic (see DESIGN.md for the substitution rationale)
+// unless -trace FILE replays a recorded trace in the cascade text format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cascade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cascadesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, or comma-separated figure IDs (fig6a..fig10b)")
+		arch    = flag.String("arch", "both", "architecture for studies: enroute, hierarchy or both")
+		sizes   = flag.String("sizes", "0.001,0.003,0.01,0.03,0.1", "relative cache sizes")
+		schemes = flag.String("schemes", "LRU,MODULO(4),LNC-R,COORD", "schemes to compare")
+
+		objects  = flag.Int("objects", 20000, "synthetic workload: object universe size")
+		requests = flag.Int("requests", 400000, "synthetic workload: number of requests")
+		clients  = flag.Int("clients", 2000, "synthetic workload: clients")
+		servers  = flag.Int("servers", 200, "synthetic workload: origin servers")
+		duration = flag.Float64("duration", 86400, "synthetic workload: span in seconds")
+		zipf     = flag.Float64("zipf", 0.8, "synthetic workload: Zipf exponent")
+		locality = flag.Float64("locality", 0, "synthetic workload: community-of-interest strength [0,1]")
+		seed     = flag.Int64("seed", 1, "master seed (workload, topology, attachment)")
+
+		traceFile = flag.String("trace", "", "replay a recorded trace file instead of the synthetic workload")
+		csvDir    = flag.String("csv", "", "directory for CSV export (created if missing)")
+		svgDir    = flag.String("svg", "", "directory for SVG figure export (created if missing)")
+		htmlOut   = flag.String("html", "", "write a self-contained HTML report of every emitted table")
+		chart     = flag.Bool("chart", false, "render ASCII charts next to the tables")
+		md        = flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
+		replicate = flag.Int("replicate", 0, "rerun each figure under N seeds and report mean ± stdev")
+		baseline  = flag.String("baseline", "", "directory of previously exported CSVs to compare against (5% tolerance)")
+		verbose   = flag.Bool("v", false, "print per-cell progress")
+		list      = flag.Bool("list", false, "list available experiments, figures and schemes, then exit")
+		jobs      = flag.Int("j", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:")
+		for _, f := range cascade.Figures() {
+			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
+		}
+		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis")
+		fmt.Printf("schemes: %s\n", strings.Join(cascade.SchemeNames(), ", "))
+		return nil
+	}
+
+	sizeList, err := parseFloats(*sizes)
+	if err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	cfg := cascade.ExperimentConfig{
+		Trace: cascade.TraceConfig{
+			Objects:  *objects,
+			Requests: *requests,
+			Clients:  *clients,
+			Servers:  *servers,
+			Duration: *duration,
+			Seed:     *seed,
+		},
+		CacheSizes:  sizeList,
+		Schemes:     splitList(*schemes),
+		TopoSeed:    *seed,
+		AttachSeed:  *seed,
+		Concurrency: *jobs,
+	}
+	cfg.Trace.ZipfTheta = *zipf
+	cfg.Trace.Locality = *locality
+	if *traceFile != "" {
+		w, err := cascade.FileWorkload(*traceFile)
+		if err != nil {
+			return err
+		}
+		cfg.Workload = w
+		fmt.Fprintf(os.Stderr, "replaying %s: %d objects, %d requests\n",
+			*traceFile, len(w.Catalog().Objects), w.Len())
+	}
+
+	var archs []cascade.Architecture
+	switch *arch {
+	case "enroute":
+		archs = []cascade.Architecture{cascade.ArchEnRoute}
+	case "hierarchy":
+		archs = []cascade.Architecture{cascade.ArchHierarchy}
+	case "both":
+		archs = []cascade.Architecture{cascade.ArchEnRoute, cascade.ArchHierarchy}
+	default:
+		return fmt.Errorf("-arch: unknown architecture %q", *arch)
+	}
+
+	wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness := false, false, false, false, false
+	wantTreeShape, wantZipf, wantCostModel, wantLocality, wantLevels := false, false, false, false, false
+	wantAdaptivity, wantCapacity, wantWindowK, wantPartial := false, false, false, false
+	wantAnalysis := false
+	var figIDs []string
+	for _, e := range splitList(*exps) {
+		switch e {
+		case "all":
+			wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness = true, true, true, true, true
+			wantTreeShape, wantZipf, wantCostModel, wantLocality, wantLevels = true, true, true, true, true
+			wantAdaptivity, wantCapacity, wantWindowK, wantPartial = true, true, true, true
+			wantAnalysis = true
+			figIDs = allFigureIDs()
+		case "figs", "figures":
+			figIDs = allFigureIDs()
+		case "table1":
+			wantTable1 = true
+		case "radius":
+			wantRadius = true
+		case "dcache":
+			wantDCache = true
+		case "overhead":
+			wantOverhead = true
+		case "freshness":
+			wantFreshness = true
+		case "treeshape":
+			wantTreeShape = true
+		case "zipf":
+			wantZipf = true
+		case "costmodel":
+			wantCostModel = true
+		case "locality":
+			wantLocality = true
+		case "levels":
+			wantLevels = true
+		case "adaptivity":
+			wantAdaptivity = true
+		case "capacity":
+			wantCapacity = true
+		case "windowk":
+			wantWindowK = true
+		case "partial":
+			wantPartial = true
+		case "analysis":
+			wantAnalysis = true
+		default:
+			if _, ok := cascade.FigureByID(e); !ok {
+				return fmt.Errorf("-exp: unknown experiment %q", e)
+			}
+			figIDs = append(figIDs, e)
+		}
+	}
+
+	driftTotal := 0
+	var reportTables []cascade.ResultTable
+	emit := func(name string, t cascade.ResultTable) error {
+		if *htmlOut != "" {
+			reportTables = append(reportTables, t)
+		}
+		if *md {
+			if err := t.Markdown(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := t.Format(os.Stdout); err != nil {
+			return err
+		}
+		if *baseline != "" {
+			f, err := os.Open(filepath.Join(*baseline, name+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "baseline %s: %v\n", name, err)
+			} else {
+				drifts, err := cascade.CompareBaselineCSV(t, f, 0.05)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("baseline %s: %w", name, err)
+				}
+				for _, d := range drifts {
+					fmt.Fprintf(os.Stderr, "DRIFT %s %s\n", name, d)
+				}
+				driftTotal += len(drifts)
+			}
+		}
+		if *chart {
+			fmt.Println()
+			if err := t.Chart(os.Stdout, 64, 16); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*svgDir, name+".svg"))
+			if err != nil {
+				return err
+			}
+			if err := t.SVG(f, 560, 360); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+		}
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return t.CSV(f)
+	}
+
+	if wantTable1 {
+		_, t := cascade.Table1(cfg)
+		if err := emit("table1", t); err != nil {
+			return err
+		}
+	}
+
+	// Run at most one sweep per architecture and project all requested
+	// figures from it.
+	needed := map[cascade.Architecture][]cascade.Figure{}
+	for _, id := range figIDs {
+		f, _ := cascade.FigureByID(id)
+		if archAllowed(f.Arch, archs) {
+			needed[f.Arch] = append(needed[f.Arch], f)
+		}
+	}
+	for _, a := range archs {
+		figs := needed[a]
+		if len(figs) == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s sweep: %d cache sizes x %d schemes...\n",
+			a, len(cfg.CacheSizes), len(cfg.Schemes))
+		progress := func(c cascade.SweepCell) {
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "  %-10s size=%.3f%%  latency=%.4fs  bhr=%.3f\n",
+					c.Scheme, c.CacheSize*100, c.Summary.AvgLatency, c.Summary.ByteHitRatio)
+			}
+		}
+		if *replicate > 1 {
+			for _, f := range figs {
+				t, err := cascade.Replicate(a, cfg, f, *replicate)
+				if err != nil {
+					return err
+				}
+				if err := emit(f.ID+"_replicated", t); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		sweep, err := cascade.RunSweep(a, cfg, progress)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			if err := emit(f.ID, sweep.Project(f)); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, a := range archs {
+		if wantRadius {
+			t, err := cascade.RadiusStudy(a, cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := emit("radius_"+string(a), t); err != nil {
+				return err
+			}
+		}
+		if wantDCache {
+			t, err := cascade.DCacheStudy(a, cfg, nil, 0.01)
+			if err != nil {
+				return err
+			}
+			if err := emit("dcache_"+string(a), t); err != nil {
+				return err
+			}
+		}
+		if wantOverhead {
+			t, err := cascade.OverheadStudy(a, cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("overhead_"+string(a), t); err != nil {
+				return err
+			}
+		}
+		if wantFreshness {
+			t, err := cascade.FreshnessStudy(a, cfg, nil, 0.01)
+			if err != nil {
+				return err
+			}
+			if err := emit("freshness_"+string(a), t); err != nil {
+				return err
+			}
+		}
+		if wantCostModel {
+			t, err := cascade.CostModelStudy(a, cfg, 0.01)
+			if err != nil {
+				return err
+			}
+			if err := emit("costmodel_"+string(a), t); err != nil {
+				return err
+			}
+		}
+	}
+
+	if wantTreeShape {
+		t, err := cascade.TreeShapeStudy(cfg, nil, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("treeshape", t); err != nil {
+			return err
+		}
+	}
+	if wantZipf {
+		t, err := cascade.ZipfStudy(cfg, nil, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("zipf", t); err != nil {
+			return err
+		}
+	}
+	if wantLocality {
+		t, err := cascade.LocalityStudy(cfg, nil, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("locality", t); err != nil {
+			return err
+		}
+	}
+	if wantLevels {
+		t, err := cascade.LevelStudy(cfg, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("levels", t); err != nil {
+			return err
+		}
+	}
+	if wantAdaptivity {
+		t, err := cascade.AdaptivityStudy(cascade.ArchEnRoute, cfg, 0.03, 12)
+		if err != nil {
+			return err
+		}
+		if err := emit("adaptivity", t); err != nil {
+			return err
+		}
+	}
+	if wantCapacity {
+		t, err := cascade.CapacityStudy(cfg, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("capacity", t); err != nil {
+			return err
+		}
+	}
+	if wantWindowK {
+		t, err := cascade.WindowKStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("windowk", t); err != nil {
+			return err
+		}
+	}
+	if wantPartial {
+		t, err := cascade.PartialDeploymentStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("partial", t); err != nil {
+			return err
+		}
+	}
+	if wantAnalysis {
+		t, err := cascade.AnalysisStudy(cfg, 0.01)
+		if err != nil {
+			return err
+		}
+		if err := emit("analysis", t); err != nil {
+			return err
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cascade.WriteHTMLReport(f, "Coordinated cascaded caching — results", reportTables); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d tables)\n", *htmlOut, len(reportTables))
+	}
+	if *baseline != "" && driftTotal > 0 {
+		return fmt.Errorf("%d cells drifted beyond tolerance", driftTotal)
+	}
+	return nil
+}
+
+func allFigureIDs() []string {
+	var ids []string
+	for _, f := range cascade.Figures() {
+		ids = append(ids, f.ID)
+	}
+	return ids
+}
+
+func archAllowed(a cascade.Architecture, allowed []cascade.Architecture) bool {
+	for _, x := range allowed {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

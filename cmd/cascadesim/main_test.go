@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cascade"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"a,b,c":    {"a", "b", "c"},
+		" a , ,b ": {"a", "b"},
+		"":         nil,
+		"LRU":      {"LRU"},
+		"x,,y,":    {"x", "y"},
+	}
+	for in, want := range cases {
+		if got := splitList(in); !reflect.DeepEqual(got, want) {
+			t.Fatalf("splitList(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.001, 0.1,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.001, 0.1, 1}) {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("0.1,zebra"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestArchAllowed(t *testing.T) {
+	both := []cascade.Architecture{cascade.ArchEnRoute, cascade.ArchHierarchy}
+	if !archAllowed(cascade.ArchEnRoute, both) || !archAllowed(cascade.ArchHierarchy, both) {
+		t.Fatal("allowed arch rejected")
+	}
+	if archAllowed(cascade.ArchEnRoute, []cascade.Architecture{cascade.ArchHierarchy}) {
+		t.Fatal("disallowed arch accepted")
+	}
+}
+
+func TestAllFigureIDsCoverRegistry(t *testing.T) {
+	ids := allFigureIDs()
+	if len(ids) != len(cascade.Figures()) {
+		t.Fatalf("ids = %d, registry = %d", len(ids), len(cascade.Figures()))
+	}
+	for _, id := range ids {
+		if _, ok := cascade.FigureByID(id); !ok {
+			t.Fatalf("unknown id %s", id)
+		}
+	}
+}
+
+// TestRunEndToEnd drives the real CLI entry point (flag parsing included)
+// at miniature scale: figures, studies, CSV export, markdown and baseline
+// comparison.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	os.Stdout = devnull
+
+	common := []string{
+		"-objects", "200", "-requests", "4000", "-clients", "20",
+		"-servers", "10", "-duration", "1200", "-sizes", "0.02",
+	}
+	invoke := func(extra ...string) error {
+		flag.CommandLine = flag.NewFlagSet("cascadesim", flag.PanicOnError)
+		os.Args = append(append([]string{"cascadesim"}, common...), extra...)
+		return run()
+	}
+
+	if err := invoke("-exp", "fig6a,table1", "-arch", "enroute", "-csv", dir, "-md", "-chart",
+		"-svg", dir, "-html", filepath.Join(dir, "report.html")); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig6a.csv", "fig6a.svg", "report.html"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s not exported: %v", f, err)
+		}
+	}
+	// Baseline comparison against the just-written CSVs: no drift.
+	if err := invoke("-exp", "fig6a", "-arch", "enroute", "-baseline", dir); err != nil {
+		t.Fatal(err)
+	}
+	// Different seed drifts → error.
+	if err := invoke("-exp", "fig6a", "-arch", "enroute", "-baseline", dir, "-seed", "9"); err == nil {
+		t.Fatal("drifted run did not fail")
+	}
+	// Studies on the hierarchy.
+	if err := invoke("-exp", "radius,levels,capacity", "-arch", "hierarchy"); err != nil {
+		t.Fatal(err)
+	}
+	// Replication path.
+	if err := invoke("-exp", "fig9a", "-arch", "hierarchy", "-replicate", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// Bad inputs.
+	if err := invoke("-exp", "nonsense"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := invoke("-arch", "moon"); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if err := invoke("-sizes", "zebra"); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if err := invoke("-trace", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	flag.CommandLine = flag.NewFlagSet("cascadesim", flag.PanicOnError)
+	os.Args = []string{"cascadesim", "-list"}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	out, _ := io.ReadAll(r)
+	for _, want := range []string{"fig6a", "COORD", "studies:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}

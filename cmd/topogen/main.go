@@ -1,0 +1,88 @@
+// Command topogen generates Tiers-style en-route topologies and reports
+// their characteristics in the format of the paper's Table 1. It can also
+// emit Graphviz dot for visual inspection.
+//
+// Usage:
+//
+//	topogen -seed 1
+//	topogen -wan 50 -mans 10 -per-man 5 -dot topo.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cascade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		wan      = flag.Int("wan", 50, "WAN (backbone) nodes")
+		mans     = flag.Int("mans", 10, "number of MANs")
+		perMAN   = flag.Int("per-man", 5, "nodes per MAN")
+		wanExtra = flag.Int("wan-extra", 25, "redundancy links in the WAN")
+		manExtra = flag.Int("man-extra", 5, "redundancy links per MAN")
+		wanDelay = flag.Float64("wan-delay", 0.146, "mean WAN link delay (s)")
+		manDelay = flag.Float64("man-delay", 0.018, "mean MAN link delay (s)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		dotFile  = flag.String("dot", "", "write Graphviz dot to this file")
+	)
+	flag.Parse()
+
+	cfg := cascade.TiersConfig{
+		WANNodes:      *wan,
+		MANs:          *mans,
+		NodesPerMAN:   *perMAN,
+		WANExtraLinks: *wanExtra,
+		MANExtraLinks: *manExtra,
+		WANDelayMean:  *wanDelay,
+		MANDelayMean:  *manDelay,
+	}
+	net := cascade.GenerateTiers(cfg, rand.New(rand.NewSource(*seed)))
+	d := net.Describe()
+
+	fmt.Println("Table 1: System Parameters for En-Route Architecture")
+	fmt.Printf("%-32s %v\n", "Total number of nodes", d.TotalNodes)
+	fmt.Printf("%-32s %v\n", "Number of WAN nodes", d.WANNodes)
+	fmt.Printf("%-32s %v\n", "Number of MAN nodes", d.MANNodes)
+	fmt.Printf("%-32s %v\n", "Number of network links", d.Links)
+	fmt.Printf("%-32s %.3f second\n", "Average delay of WAN links", d.AvgWANDelay)
+	fmt.Printf("%-32s %.3f second\n", "Average delay of MAN links", d.AvgMANDelay)
+	fmt.Printf("%-32s %.1f hops\n", "Average route length", d.AvgRouteHops)
+
+	if *dotFile == "" {
+		return nil
+	}
+	f, err := os.Create(*dotFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "graph tiers {")
+	fmt.Fprintln(f, "  node [shape=circle fontsize=8]")
+	for u := 0; u < net.G.NumNodes(); u++ {
+		shape := "doublecircle"
+		if net.Kinds[u] == cascade.WANNodeKind {
+			shape = "circle"
+		}
+		fmt.Fprintf(f, "  n%d [shape=%s]\n", u, shape)
+	}
+	for u := 0; u < net.G.NumNodes(); u++ {
+		for _, e := range net.G.Neighbors(cascade.NodeID(u)) {
+			if int(e.To) > u {
+				fmt.Fprintf(f, "  n%d -- n%d [label=\"%.0fms\" fontsize=7]\n", u, e.To, e.Delay*1000)
+			}
+		}
+	}
+	fmt.Fprintln(f, "}")
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTopogen(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "topo.dot")
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer devnull.Close()
+	os.Stdout = devnull
+
+	flag.CommandLine = flag.NewFlagSet("topogen", flag.PanicOnError)
+	os.Args = []string{"topogen", "-seed", "2", "-dot", dot}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph tiers {") {
+		t.Fatalf("dot output wrong:\n%s", data[:100])
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func invoke(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	flag.CommandLine = flag.NewFlagSet("tracegen", flag.PanicOnError)
+	os.Args = append([]string{"tracegen"}, args...)
+	return run()
+}
+
+func TestRunSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	err := invoke(t, "-o", out, "-objects", "50", "-requests", "200",
+		"-clients", "5", "-servers", "3", "-duration", "60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+}
+
+func TestRunSquidConversion(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "access.log")
+	content := "894974483.9 1 10.0.0.1 TCP_MISS/200 100 GET http://a/b - D/1 t\n" +
+		"894974484.9 1 10.0.0.2 TCP_HIT/200 222 GET http://c/d - D/1 t\n"
+	if err := os.WriteFile(log, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.trace")
+	if err := invoke(t, "-squid", log, "-o", out); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(out); err != nil || info.Size() == 0 {
+		t.Fatalf("converted trace not written: %v", err)
+	}
+	if err := invoke(t, "-squid", filepath.Join(dir, "missing.log"), "-o", out); err == nil {
+		t.Fatal("missing squid log accepted")
+	}
+}
+
+func TestRunTopExtraction(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.trace")
+	if err := invoke(t, "-o", full, "-objects", "100", "-requests", "2000",
+		"-clients", "5", "-servers", "3", "-duration", "100"); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "sub.trace")
+	if err := invoke(t, "-top-from", full, "-top", "20", "-o", sub); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(sub)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("subtrace not written: %v", err)
+	}
+	if err := invoke(t, "-top-from", filepath.Join(dir, "absent"), "-o", sub); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunMerge(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.trace"), filepath.Join(dir, "b.trace")
+	for i, p := range []string{a, b} {
+		if err := invoke(t, "-o", p, "-objects", "30", "-requests", "100",
+			"-clients", "3", "-servers", "2", "-duration", "50", "-seed", ""+string(rune('1'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "merged.trace")
+	if err := invoke(t, "-merge", a+","+b, "-o", out); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(out); err != nil || info.Size() == 0 {
+		t.Fatalf("merged trace not written: %v", err)
+	}
+	if err := invoke(t, "-merge", filepath.Join(dir, "missing"), "-o", out); err == nil {
+		t.Fatal("missing merge input accepted")
+	}
+}

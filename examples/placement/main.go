@@ -1,0 +1,66 @@
+// Placement demonstrates the library's analytical core directly: the
+// k-optimization dynamic program of paper §2.2, used here as a standalone
+// what-if tool for a content-distribution path — no simulator involved.
+//
+// Scenario: an origin in another region serves a 2 MB video manifest
+// through four caches (regional POP → metro POP → ISP cache → campus
+// cache). Each cache observes a different request rate for the object and
+// is differently full. Where should copies go?
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+
+	"cascade"
+)
+
+func main() {
+	// Path nodes ordered from the serving point (origin side) toward the
+	// client, exactly as the paper's A_1 … A_n.
+	names := []string{"regional-pop", "metro-pop", "isp-cache", "campus"}
+	path := []cascade.PathNode{
+		// The regional POP sees every request below it: 9/s. Fetching
+		// from the origin costs it 80 ms per request. It is packed
+		// with hot objects: evicting 2 MB costs 0.9 cost units.
+		{Freq: 9.0, MissPenalty: 0.080, CostLoss: 0.9},
+		// The metro POP sees 6/s, is 30 ms further from the origin.
+		{Freq: 6.0, MissPenalty: 0.110, CostLoss: 0.2},
+		// The ISP cache sees 2.5/s and is nearly full of equally hot
+		// content — eviction would be expensive.
+		{Freq: 2.5, MissPenalty: 0.150, CostLoss: 1.5},
+		// The campus cache sees only this department's 1.2/s but is
+		// far from the origin and half-empty.
+		{Freq: 1.2, MissPenalty: 0.210, CostLoss: 0.05},
+	}
+
+	best := cascade.OptimizePlacement(path)
+	fmt.Println("optimal placement:")
+	for _, i := range best.Indices {
+		n := path[i]
+		fmt.Printf("  cache %-12s  f=%.1f/s  m=%.0fms  l=%.2f  (local benefit f*m-l = %+.3f)\n",
+			names[i], n.Freq, n.MissPenalty*1000, n.CostLoss,
+			n.Freq*n.MissPenalty-n.CostLoss)
+	}
+	fmt.Printf("total access-cost reduction: %.3f cost units/s\n\n", best.Gain)
+
+	// What-if analysis with PlacementGain: compare against naive
+	// strategies.
+	all := []int{0, 1, 2, 3}
+	fmt.Printf("cache everywhere:      Δcost = %+.3f\n", cascade.PlacementGain(path, all))
+	fmt.Printf("cache at campus only:  Δcost = %+.3f\n", cascade.PlacementGain(path, []int{3}))
+	fmt.Printf("cache at ISP only:     Δcost = %+.3f\n", cascade.PlacementGain(path, []int{2}))
+	fmt.Printf("optimal (%v):      Δcost = %+.3f\n", best.Indices, best.Gain)
+
+	// Theorem 2 in action: the ISP cache (index 2) violates local
+	// benefit (f·m = 0.375 < l = 1.5), so no optimal solution ever
+	// includes it — its descriptor need not even be kept.
+	for i, n := range path {
+		tag := "kept as candidate"
+		if n.Freq*n.MissPenalty < n.CostLoss {
+			tag = "prunable by Theorem 2 (f*m < l)"
+		}
+		fmt.Printf("candidate %-12s: %s\n", names[i], tag)
+	}
+}

@@ -1,0 +1,80 @@
+// Tracereplay shows the workload round trip a downstream user of real
+// proxy logs would follow: generate (or convert) a trace into the cascade
+// text format, then replay the identical stream through the experiment
+// harness with FileWorkload.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cascade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Produce a trace file. A real deployment would convert proxy
+	// logs into this format instead (one catalog line per object, one
+	// line per request).
+	path := filepath.Join(os.TempDir(), "cascade-example-trace.txt")
+	gen := cascade.NewGenerator(cascade.TraceConfig{
+		Objects:  2000,
+		Servers:  50,
+		Clients:  200,
+		Requests: 40000,
+		Duration: 3600,
+		Seed:     99,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := cascade.NewTraceWriter(f, gen.Catalog())
+	if err != nil {
+		return err
+	}
+	for {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := w.WriteRequest(req); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	defer os.Remove(path)
+
+	// 2. Replay the file through a sweep. Every cell re-reads the file,
+	// so results are exactly reproducible from the artifact alone.
+	workload, err := cascade.FileWorkload(path)
+	if err != nil {
+		return err
+	}
+	cfg := cascade.ExperimentConfig{
+		Workload:   workload,
+		CacheSizes: []float64{0.01, 0.1},
+		Schemes:    []string{"LRU", "COORD"},
+	}
+	sweep, err := cascade.RunSweep(cascade.ArchEnRoute, cfg, nil)
+	if err != nil {
+		return err
+	}
+	fig, _ := cascade.FigureByID("fig6a")
+	return sweep.Project(fig).Format(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module cascade
+
+go 1.22

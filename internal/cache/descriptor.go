@@ -1,0 +1,92 @@
+// Package cache implements the per-node object stores used by all caching
+// schemes in the paper:
+//
+//   - HeapStore — a capacity-bounded store whose eviction order is driven by
+//     a pluggable key function over object descriptors. With the normalized
+//     cost loss key NCL(O) = f(O)·m(O)/s(O) it is the cost-aware main cache
+//     of the coordinated and LNC-R schemes (paper §2.1/§2.4); with the plain
+//     frequency key it is an LFU store (used by the d-cache and the LFU
+//     baseline).
+//   - LRU — the classic least-recently-used store used by the LRU and
+//     MODULO baselines.
+//   - GreedyDualSize — the GDS baseline from the related-work lineage.
+//
+// All stores are single-owner (one per cache node) and not safe for
+// concurrent use.
+package cache
+
+import (
+	"cascade/internal/freq"
+	"cascade/internal/model"
+)
+
+// Descriptor is the paper's per-object meta information: identity, size,
+// sliding-window access history and miss penalty with respect to the owning
+// node. A descriptor lives either in a node's main cache (object present) or
+// in its d-cache (object absent, descriptor retained for frequency and
+// penalty estimation) — never both.
+type Descriptor struct {
+	ID   model.ObjectID
+	Size int64
+
+	// Window records recent reference times and produces the frequency
+	// estimate f(O).
+	Window freq.Window
+
+	missPenalty float64
+
+	// heap bookkeeping, owned by the containing store.
+	key       float64
+	heapIndex int
+	epoch     uint64
+}
+
+// NewDescriptor returns a descriptor for the given object with the paper's
+// default sliding-window parameters and a zero miss penalty.
+func NewDescriptor(id model.ObjectID, size int64) *Descriptor {
+	return NewDescriptorK(id, size, freq.DefaultK)
+}
+
+// NewDescriptorK returns a descriptor whose sliding window records up to k
+// reference times (the paper's default is 3; see freq.NewWindow for
+// clamping).
+func NewDescriptorK(id model.ObjectID, size int64, k int) *Descriptor {
+	return &Descriptor{
+		ID:        id,
+		Size:      size,
+		Window:    freq.NewWindow(k, freq.DefaultRefreshInterval),
+		heapIndex: -1,
+	}
+}
+
+// MissPenalty returns m(O): the additional cost of accessing the object
+// when it is not cached at the owning node (distance to the nearest
+// upstream copy, maintained by the response-message counter of §2.3).
+func (d *Descriptor) MissPenalty() float64 { return d.missPenalty }
+
+// SetMissPenalty sets m(O) directly. Use only while the descriptor is not
+// held by a HeapStore — stores must re-key on penalty changes, which their
+// own SetMissPenalty method does.
+func (d *Descriptor) SetMissPenalty(v float64) { d.missPenalty = v }
+
+// Freq returns the access-frequency estimate f(O) at time now.
+func (d *Descriptor) Freq(now float64) float64 { return d.Window.Estimate(now) }
+
+// NCL returns the normalized cost loss f(O)·m(O)/s(O) at time now — the
+// cost loss incurred per unit of space freed by evicting the object.
+func (d *Descriptor) NCL(now float64) float64 {
+	if d.Size <= 0 {
+		return 0
+	}
+	return d.Window.Estimate(now) * d.missPenalty / float64(d.Size)
+}
+
+// CostLoss returns f(O)·m(O) at time now — the total cost loss of evicting
+// the object.
+func (d *Descriptor) CostLoss(now float64) float64 {
+	return d.Window.Estimate(now) * d.missPenalty
+}
+
+// InStore reports whether the descriptor currently belongs to some
+// HeapStore.
+func (d *Descriptor) InStore() bool { return d.heapIndex >= 0 }

@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"container/heap"
+
+	"cascade/internal/model"
+)
+
+// GreedyDualSize implements the GreedyDual-Size replacement policy (Cao &
+// Irani; popularity-aware variants in Jin & Bestavros [8]). Each cached
+// object carries a credit H = L + cost/size, where L is the store's
+// inflation value; the minimum-H object is evicted and L is raised to its
+// credit, aging the rest implicitly. It is provided as an extra single-
+// cache baseline beyond the paper's three comparators.
+type GreedyDualSize struct {
+	capacity int64
+	used     int64
+	inflate  float64
+	entries  map[model.ObjectID]*gdsEntry
+	h        gdsHeap
+}
+
+type gdsEntry struct {
+	id    model.ObjectID
+	size  int64
+	cost  float64
+	h     float64
+	index int
+}
+
+// NewGreedyDualSize returns an empty GDS store with the given byte
+// capacity.
+func NewGreedyDualSize(capacity int64) *GreedyDualSize {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &GreedyDualSize{
+		capacity: capacity,
+		entries:  make(map[model.ObjectID]*gdsEntry),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *GreedyDualSize) Capacity() int64 { return c.capacity }
+
+// Used returns the occupied bytes.
+func (c *GreedyDualSize) Used() int64 { return c.used }
+
+// Len returns the number of stored objects.
+func (c *GreedyDualSize) Len() int { return len(c.entries) }
+
+// Inflation returns the current inflation value L.
+func (c *GreedyDualSize) Inflation() float64 { return c.inflate }
+
+// Contains reports whether id is present.
+func (c *GreedyDualSize) Contains(id model.ObjectID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Touch restores the credit of a hit object to L + cost/size and reports
+// whether it was present.
+func (c *GreedyDualSize) Touch(id model.ObjectID) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	e.h = c.inflate + e.cost/float64(e.size)
+	heap.Fix(&c.h, e.index)
+	return true
+}
+
+// Insert adds the object with the given retrieval cost, evicting minimum-
+// credit entries as needed, and returns the evicted entries. ok is false —
+// and the store unchanged — when the object cannot fit at all or is already
+// present.
+func (c *GreedyDualSize) Insert(id model.ObjectID, size int64, cost float64) (evicted []LRUEntry, ok bool) {
+	if size > c.capacity {
+		return nil, false
+	}
+	if _, dup := c.entries[id]; dup {
+		return nil, false
+	}
+	for c.used+size > c.capacity {
+		v := heap.Pop(&c.h).(*gdsEntry)
+		c.inflate = v.h
+		delete(c.entries, v.id)
+		c.used -= v.size
+		evicted = append(evicted, LRUEntry{ID: v.id, Size: v.size})
+	}
+	e := &gdsEntry{id: id, size: size, cost: cost}
+	e.h = c.inflate + cost/float64(size)
+	c.entries[id] = e
+	c.used += size
+	heap.Push(&c.h, e)
+	return evicted, true
+}
+
+// Remove deletes id and reports whether it was present.
+func (c *GreedyDualSize) Remove(id model.ObjectID) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.h, e.index)
+	delete(c.entries, id)
+	c.used -= e.size
+	return true
+}
+
+// gdsHeap is a min-heap of entries by credit with deterministic ID
+// tie-breaking.
+type gdsHeap []*gdsEntry
+
+func (h gdsHeap) Len() int { return len(h) }
+
+func (h gdsHeap) Less(i, j int) bool {
+	if h[i].h != h[j].h {
+		return h[i].h < h[j].h
+	}
+	return h[i].id < h[j].id
+}
+
+func (h gdsHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *gdsHeap) Push(x any) {
+	e := x.(*gdsEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *gdsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"cascade/internal/freq"
+	"cascade/internal/model"
+)
+
+// KeyFunc computes the eviction key of a descriptor at a point in time; the
+// store evicts ascending by key. The function may consult (and thereby
+// refresh) the descriptor's frequency estimate.
+type KeyFunc func(d *Descriptor, now float64) float64
+
+// NCLKey is the normalized-cost-loss key of the paper: f(O)·m(O)/s(O).
+func NCLKey(d *Descriptor, now float64) float64 { return d.NCL(now) }
+
+// FreqKey is a plain frequency key, yielding LFU behaviour.
+func FreqKey(d *Descriptor, now float64) float64 { return d.Window.Estimate(now) }
+
+// HeapStore is a capacity-bounded object store whose eviction order follows
+// a key function, maintained in a binary min-heap as suggested in paper
+// §2.4 (O(log m) per adjustment).
+//
+// Keys derived from sliding-window frequency estimates are piecewise
+// constant: Estimate only recomputes when an object is referenced or its
+// cached value is older than the refresh interval. The store keeps heap
+// keys in step with those semantics two ways: touched entries are re-keyed
+// immediately, and a full re-key sweep runs once per aging interval
+// (paper §3.2's 10-minute refresh) so the keys of unreferenced objects
+// decay too. Victim selection additionally re-keys stale minima as they
+// surface from the heap.
+type HeapStore struct {
+	capacity  int64
+	used      int64
+	unit      bool // capacity counted in entries instead of bytes
+	keyFn     KeyFunc
+	entries   map[model.ObjectID]*Descriptor
+	h         descHeap
+	epoch     uint64
+	aging     float64 // full re-key sweep interval (seconds)
+	lastSweep float64
+}
+
+// NewCostAware returns a byte-capacity store with NCL eviction — the main
+// cache of the coordinated and LNC-R schemes.
+func NewCostAware(capacity int64) *HeapStore {
+	return newHeapStore(capacity, false, NCLKey)
+}
+
+// NewLFU returns a byte-capacity store with least-frequently-used eviction.
+func NewLFU(capacity int64) *HeapStore {
+	return newHeapStore(capacity, false, FreqKey)
+}
+
+// NewDescriptorLFU returns an entry-capacity LFU store, as used by the
+// d-cache to hold descriptors of objects absent from the main cache.
+func NewDescriptorLFU(capacity int64) *HeapStore {
+	return newHeapStore(capacity, true, FreqKey)
+}
+
+func newHeapStore(capacity int64, unit bool, keyFn KeyFunc) *HeapStore {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &HeapStore{
+		capacity: capacity,
+		unit:     unit,
+		keyFn:    keyFn,
+		entries:  make(map[model.ObjectID]*Descriptor),
+		aging:    freq.DefaultRefreshInterval,
+	}
+}
+
+// SetAgingInterval overrides the interval (seconds) between full re-key
+// sweeps. Values ≤ 0 disable sweeping.
+func (s *HeapStore) SetAgingInterval(seconds float64) { s.aging = seconds }
+
+// maybeSweep re-keys every entry and restores the heap whenever the aging
+// interval has elapsed. This is the paper's "updated … at reasonably large
+// intervals to reflect aging": objects that stopped being referenced see
+// their frequency estimates — and hence eviction keys — decay even though
+// no request touches them.
+func (s *HeapStore) maybeSweep(now float64) {
+	if s.aging <= 0 || now-s.lastSweep < s.aging {
+		return
+	}
+	s.lastSweep = now
+	for _, d := range s.entries {
+		d.key = s.keyFn(d, now)
+	}
+	heap.Init(&s.h)
+}
+
+// Capacity returns the configured capacity (bytes, or entries for
+// descriptor stores).
+func (s *HeapStore) Capacity() int64 { return s.capacity }
+
+// Used returns the occupied capacity.
+func (s *HeapStore) Used() int64 { return s.used }
+
+// Len returns the number of stored descriptors.
+func (s *HeapStore) Len() int { return len(s.entries) }
+
+// Contains reports whether the object is present.
+func (s *HeapStore) Contains(id model.ObjectID) bool {
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Get returns the descriptor for id, or nil.
+func (s *HeapStore) Get(id model.ObjectID) *Descriptor { return s.entries[id] }
+
+// Touch records an access to id at time now and repositions it in the
+// eviction order. It reports whether the object was present.
+func (s *HeapStore) Touch(id model.ObjectID, now float64) bool {
+	s.maybeSweep(now)
+	d, ok := s.entries[id]
+	if !ok {
+		return false
+	}
+	d.Window.Record(now)
+	s.rekey(d, now)
+	return true
+}
+
+// SetMissPenalty updates m(O) for a stored object and repositions it in the
+// eviction order. It reports whether the object was present.
+func (s *HeapStore) SetMissPenalty(id model.ObjectID, m, now float64) bool {
+	s.maybeSweep(now)
+	d, ok := s.entries[id]
+	if !ok {
+		return false
+	}
+	d.missPenalty = m
+	s.rekey(d, now)
+	return true
+}
+
+func (s *HeapStore) rekey(d *Descriptor, now float64) {
+	d.key = s.keyFn(d, now)
+	heap.Fix(&s.h, d.heapIndex)
+}
+
+func (s *HeapStore) entrySize(d *Descriptor) int64 {
+	if s.unit {
+		return 1
+	}
+	return d.Size
+}
+
+// selectVictims pops ascending-key victims until free ≥ need, re-keying
+// stale entries as they surface. Victims are returned removed from the
+// heap; the caller either commits (removes from entries) or rolls back
+// (pushes them back). Returns nil, false when need exceeds capacity.
+func (s *HeapStore) selectVictims(need int64, now float64) ([]*Descriptor, bool) {
+	if need > s.capacity {
+		return nil, false
+	}
+	free := s.capacity - s.used
+	if free >= need {
+		return nil, true
+	}
+	s.epoch++
+	var victims []*Descriptor
+	for free < need {
+		d := heap.Pop(&s.h).(*Descriptor)
+		if d.epoch != s.epoch {
+			// First time this entry surfaces in this selection:
+			// refresh its key; if it no longer holds the minimum,
+			// put it back and keep looking.
+			d.epoch = s.epoch
+			k := s.keyFn(d, now)
+			if k != d.key {
+				d.key = k
+				if s.h.Len() > 0 && k > s.h[0].key {
+					heap.Push(&s.h, d)
+					continue
+				}
+			}
+		}
+		victims = append(victims, d)
+		free += s.entrySize(d)
+	}
+	return victims, true
+}
+
+// CostLoss returns l: the total cost loss Σ f(O)·m(O) of the greedy victim
+// set that would be evicted to fit an object of the given size (paper
+// §2.1). The store is not modified. ok is false when the object cannot fit
+// even with an empty cache; a zero loss with ok=true means there is room
+// (or the victims are all cost-free).
+func (s *HeapStore) CostLoss(size int64, now float64) (loss float64, ok bool) {
+	s.maybeSweep(now)
+	victims, ok := s.selectVictims(size, now)
+	if !ok {
+		return math.Inf(1), false
+	}
+	for _, d := range victims {
+		loss += d.CostLoss(now)
+		heap.Push(&s.h, d) // roll back
+	}
+	return loss, true
+}
+
+// Insert adds d to the store, evicting the greedy victim set first if
+// needed. The evicted descriptors (detached from the store) are returned so
+// the caller can demote them to a d-cache. ok is false — and the store
+// unchanged — when the object cannot fit at all or is already present.
+func (s *HeapStore) Insert(d *Descriptor, now float64) (evicted []*Descriptor, ok bool) {
+	if _, dup := s.entries[d.ID]; dup {
+		return nil, false
+	}
+	s.maybeSweep(now)
+	size := s.entrySize(d)
+	victims, ok := s.selectVictims(size, now)
+	if !ok {
+		return nil, false
+	}
+	for _, v := range victims {
+		delete(s.entries, v.ID)
+		s.used -= s.entrySize(v)
+		v.heapIndex = -1
+	}
+	s.entries[d.ID] = d
+	s.used += size
+	d.key = s.keyFn(d, now)
+	heap.Push(&s.h, d)
+	return victims, true
+}
+
+// Remove detaches and returns the descriptor for id, or nil if absent.
+func (s *HeapStore) Remove(id model.ObjectID) *Descriptor {
+	d, ok := s.entries[id]
+	if !ok {
+		return nil
+	}
+	heap.Remove(&s.h, d.heapIndex)
+	d.heapIndex = -1
+	delete(s.entries, id)
+	s.used -= s.entrySize(d)
+	return d
+}
+
+// ForEach calls fn for every stored descriptor in unspecified order.
+func (s *HeapStore) ForEach(fn func(*Descriptor)) {
+	for _, d := range s.entries {
+		fn(d)
+	}
+}
+
+// checkInvariants panics if internal bookkeeping is inconsistent. It is
+// exercised by tests.
+func (s *HeapStore) checkInvariants() {
+	if len(s.entries) != s.h.Len() {
+		panic(fmt.Sprintf("cache: %d entries but heap len %d", len(s.entries), s.h.Len()))
+	}
+	var used int64
+	for _, d := range s.entries {
+		used += s.entrySize(d)
+		if d.heapIndex < 0 || d.heapIndex >= s.h.Len() || s.h[d.heapIndex] != d {
+			panic(fmt.Sprintf("cache: descriptor %d heap index %d inconsistent", d.ID, d.heapIndex))
+		}
+	}
+	if used != s.used {
+		panic(fmt.Sprintf("cache: used=%d but entries sum to %d", s.used, used))
+	}
+	if s.used > s.capacity {
+		panic(fmt.Sprintf("cache: used=%d exceeds capacity=%d", s.used, s.capacity))
+	}
+}
+
+// descHeap is a min-heap of descriptors ordered by cached key, with
+// deterministic ID tie-breaking so simulations replay identically.
+type descHeap []*Descriptor
+
+func (h descHeap) Len() int { return len(h) }
+
+func (h descHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].ID < h[j].ID
+}
+
+func (h descHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+
+func (h *descHeap) Push(x any) {
+	d := x.(*Descriptor)
+	d.heapIndex = len(*h)
+	*h = append(*h, d)
+}
+
+func (h *descHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	d.heapIndex = -1
+	*h = old[:n-1]
+	return d
+}

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"container/list"
+
+	"cascade/internal/model"
+)
+
+// LRUEntry describes an object held by an LRU store.
+type LRUEntry struct {
+	ID   model.ObjectID
+	Size int64
+}
+
+// LRU is a byte-capacity least-recently-used object store, as used by the
+// LRU and MODULO baseline schemes. It tracks identity and size only; the
+// baselines keep no per-object cost metadata.
+type LRU struct {
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[model.ObjectID]*list.Element
+}
+
+// NewLRU returns an empty LRU store with the given byte capacity.
+func NewLRU(capacity int64) *LRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[model.ObjectID]*list.Element),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the occupied bytes.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of stored objects.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Contains reports whether id is present, without affecting recency.
+func (c *LRU) Contains(id model.ObjectID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Touch marks id as most recently used and reports whether it was present.
+func (c *LRU) Touch(id model.ObjectID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	c.ll.MoveToFront(e)
+	return true
+}
+
+// Insert adds the object, evicting least-recently-used entries as needed,
+// and returns the evicted entries. ok is false — and the store unchanged —
+// when the object cannot fit at all or is already present.
+func (c *LRU) Insert(id model.ObjectID, size int64) (evicted []LRUEntry, ok bool) {
+	if size > c.capacity {
+		return nil, false
+	}
+	if _, dup := c.items[id]; dup {
+		return nil, false
+	}
+	for c.used+size > c.capacity {
+		back := c.ll.Back()
+		ent := back.Value.(LRUEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.ID)
+		c.used -= ent.Size
+		evicted = append(evicted, ent)
+	}
+	c.items[id] = c.ll.PushFront(LRUEntry{ID: id, Size: size})
+	c.used += size
+	return evicted, true
+}
+
+// Remove deletes id and reports whether it was present.
+func (c *LRU) Remove(id model.ObjectID) bool {
+	e, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	ent := e.Value.(LRUEntry)
+	c.ll.Remove(e)
+	delete(c.items, id)
+	c.used -= ent.Size
+	return true
+}
+
+// ForEach calls fn for every entry from most to least recently used.
+func (c *LRU) ForEach(fn func(LRUEntry)) {
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		fn(e.Value.(LRUEntry))
+	}
+}

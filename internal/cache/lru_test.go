@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(100)
+	if ev, ok := c.Insert(1, 60); !ok || len(ev) != 0 {
+		t.Fatalf("insert: ok=%v ev=%v", ok, ev)
+	}
+	if !c.Contains(1) || c.Used() != 60 || c.Len() != 1 {
+		t.Fatal("state wrong after insert")
+	}
+	if _, ok := c.Insert(1, 60); ok {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, ok := c.Insert(2, 101); ok {
+		t.Fatal("oversized insert accepted")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert(1, 40)
+	c.Insert(2, 40)
+	// Touch 1 so 2 becomes least recently used.
+	if !c.Touch(1) {
+		t.Fatal("touch missed present object")
+	}
+	ev, ok := c.Insert(3, 40)
+	if !ok || len(ev) != 1 || ev[0].ID != 2 || ev[0].Size != 40 {
+		t.Fatalf("evicted %v, want object 2 (40B)", ev)
+	}
+	if c.Touch(2) {
+		t.Fatal("touch claimed success on evicted object")
+	}
+}
+
+func TestLRUMultiEviction(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert(1, 30)
+	c.Insert(2, 30)
+	c.Insert(3, 30)
+	ev, ok := c.Insert(4, 90)
+	if !ok || len(ev) != 3 {
+		t.Fatalf("evicted %d entries, want 3", len(ev))
+	}
+	// Eviction order: least recently used first → 1, 2, 3.
+	for i, want := range []model.ObjectID{1, 2, 3} {
+		if ev[i].ID != want {
+			t.Fatalf("eviction order %v, want [1 2 3]", ev)
+		}
+	}
+	if c.Used() != 90 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d after multi-eviction", c.Used(), c.Len())
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert(1, 50)
+	if !c.Remove(1) || c.Contains(1) || c.Used() != 0 {
+		t.Fatal("remove failed")
+	}
+	if c.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestLRUForEachOrder(t *testing.T) {
+	c := NewLRU(1000)
+	c.Insert(1, 10)
+	c.Insert(2, 10)
+	c.Insert(3, 10)
+	c.Touch(1) // order now: 1, 3, 2
+	var got []model.ObjectID
+	c.ForEach(func(e LRUEntry) { got = append(got, e.ID) })
+	want := []model.ObjectID{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MRU order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRUCapacityInvariantRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	c := NewLRU(500)
+	var sum int64
+	sizes := map[model.ObjectID]int64{}
+	next := model.ObjectID(1)
+	for op := 0; op < 3000; op++ {
+		switch r.Intn(3) {
+		case 0, 1:
+			sz := int64(1 + r.Intn(200))
+			if ev, ok := c.Insert(next, sz); ok {
+				sizes[next] = sz
+				sum += sz
+				for _, e := range ev {
+					sum -= e.Size
+					delete(sizes, e.ID)
+				}
+			}
+			next++
+		case 2:
+			for id := range sizes {
+				c.Remove(id)
+				sum -= sizes[id]
+				delete(sizes, id)
+				break
+			}
+		}
+		if c.Used() != sum || c.Used() > c.Capacity() || c.Len() != len(sizes) {
+			t.Fatalf("op %d: used=%d tracked=%d cap=%d len=%d/%d",
+				op, c.Used(), sum, c.Capacity(), c.Len(), len(sizes))
+		}
+	}
+}
+
+func TestGDSBasics(t *testing.T) {
+	c := NewGreedyDualSize(100)
+	if ev, ok := c.Insert(1, 50, 10); !ok || len(ev) != 0 {
+		t.Fatalf("insert: ok=%v ev=%v", ok, ev)
+	}
+	if _, ok := c.Insert(1, 50, 10); ok {
+		t.Fatal("duplicate insert accepted")
+	}
+	if _, ok := c.Insert(2, 101, 1); ok {
+		t.Fatal("oversized insert accepted")
+	}
+	if !c.Contains(1) || c.Len() != 1 || c.Used() != 50 {
+		t.Fatal("state wrong")
+	}
+}
+
+func TestGDSEvictsLowestCredit(t *testing.T) {
+	c := NewGreedyDualSize(100)
+	c.Insert(1, 50, 100) // H = 2
+	c.Insert(2, 50, 10)  // H = 0.2 → victim
+	ev, ok := c.Insert(3, 50, 50)
+	if !ok || len(ev) != 1 || ev[0].ID != 2 {
+		t.Fatalf("evicted %v, want object 2", ev)
+	}
+	// Inflation rose to the evicted credit.
+	if c.Inflation() != 0.2 {
+		t.Fatalf("inflation = %v, want 0.2", c.Inflation())
+	}
+}
+
+func TestGDSTouchRestoresCredit(t *testing.T) {
+	c := NewGreedyDualSize(100)
+	c.Insert(1, 50, 10) // H = 0.2
+	c.Insert(2, 50, 30) // H = 0.6
+	if !c.Touch(1) {    // H restored to L + 10/50 = 0.2 — still lowest; touch 1 again after inflation
+		t.Fatal("touch missed present object")
+	}
+	ev, _ := c.Insert(3, 50, 100) // evicts 1 (H=0.2), L → 0.2
+	if len(ev) != 1 || ev[0].ID != 1 {
+		t.Fatalf("evicted %v, want object 1", ev)
+	}
+	// Now touching 2 sets H = 0.2 + 0.6 = 0.8.
+	c.Touch(2)
+	if c.Touch(99) {
+		t.Fatal("touch claimed success on absent object")
+	}
+	ev, _ = c.Insert(4, 50, 1000)
+	if len(ev) != 1 || ev[0].ID != 2 && ev[0].ID != 3 {
+		t.Fatalf("unexpected eviction %v", ev)
+	}
+}
+
+func TestGDSRemove(t *testing.T) {
+	c := NewGreedyDualSize(100)
+	c.Insert(1, 40, 5)
+	if !c.Remove(1) || c.Contains(1) || c.Used() != 0 {
+		t.Fatal("remove failed")
+	}
+	if c.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func BenchmarkLRUInsert(b *testing.B) {
+	c := NewLRU(1 << 20)
+	r := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Insert(model.ObjectID(i), int64(1000+r.Intn(9000)))
+	}
+}

@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+// refLRU is a deliberately naive LRU used as a behavioural oracle: a slice
+// ordered most-recent-first.
+type refLRU struct {
+	capacity int64
+	used     int64
+	order    []LRUEntry
+}
+
+func (r *refLRU) find(id model.ObjectID) int {
+	for i, e := range r.order {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refLRU) touch(id model.ObjectID) bool {
+	i := r.find(id)
+	if i < 0 {
+		return false
+	}
+	e := r.order[i]
+	r.order = append(r.order[:i], r.order[i+1:]...)
+	r.order = append([]LRUEntry{e}, r.order...)
+	return true
+}
+
+func (r *refLRU) insert(id model.ObjectID, size int64) ([]LRUEntry, bool) {
+	if size > r.capacity || r.find(id) >= 0 {
+		return nil, false
+	}
+	var evicted []LRUEntry
+	for r.used+size > r.capacity {
+		last := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		r.used -= last.Size
+		evicted = append(evicted, last)
+	}
+	r.order = append([]LRUEntry{{ID: id, Size: size}}, r.order...)
+	r.used += size
+	return evicted, true
+}
+
+func (r *refLRU) remove(id model.ObjectID) bool {
+	i := r.find(id)
+	if i < 0 {
+		return false
+	}
+	r.used -= r.order[i].Size
+	r.order = append(r.order[:i], r.order[i+1:]...)
+	return true
+}
+
+// TestLRUModelBased drives the production LRU and the oracle through an
+// identical random operation stream; every observable must agree.
+func TestLRUModelBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	real := NewLRU(1500)
+	ref := &refLRU{capacity: 1500}
+	for op := 0; op < 30000; op++ {
+		id := model.ObjectID(rng.Intn(40))
+		switch rng.Intn(4) {
+		case 0, 1:
+			size := int64(100 + int(id)*13%400)
+			gotEv, gotOK := real.Insert(id, size)
+			wantEv, wantOK := ref.insert(id, size)
+			if gotOK != wantOK || len(gotEv) != len(wantEv) {
+				t.Fatalf("op %d: insert(%d) mismatch: %v/%v vs %v/%v",
+					op, id, gotEv, gotOK, wantEv, wantOK)
+			}
+			for i := range gotEv {
+				if gotEv[i] != wantEv[i] {
+					t.Fatalf("op %d: eviction order differs: %v vs %v", op, gotEv, wantEv)
+				}
+			}
+		case 2:
+			if real.Touch(id) != ref.touch(id) {
+				t.Fatalf("op %d: touch(%d) mismatch", op, id)
+			}
+		case 3:
+			if real.Remove(id) != ref.remove(id) {
+				t.Fatalf("op %d: remove(%d) mismatch", op, id)
+			}
+		}
+		if real.Used() != ref.used || real.Len() != len(ref.order) {
+			t.Fatalf("op %d: state diverged: used %d/%d len %d/%d",
+				op, real.Used(), ref.used, real.Len(), len(ref.order))
+		}
+	}
+	// Final recency order must match exactly.
+	var got []LRUEntry
+	real.ForEach(func(e LRUEntry) { got = append(got, e) })
+	for i := range got {
+		if got[i] != ref.order[i] {
+			t.Fatalf("final order differs at %d: %v vs %v", i, got, ref.order)
+		}
+	}
+}
+
+// TestHeapStoreVictimOracle checks greedy victim selection against a naive
+// full-sort oracle over many randomized states (all entries fresh so both
+// views of the keys coincide).
+func TestHeapStoreVictimOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 60; trial++ {
+		s := NewCostAware(20000)
+		now := float64(trial * 7)
+		type entry struct {
+			id   model.ObjectID
+			size int64
+			ncl  float64
+		}
+		var entries []entry
+		for id := model.ObjectID(0); id < 60; id++ {
+			d := mkDesc(id, int64(100+rng.Intn(500)), rng.Float64()*5, now-1, now)
+			ev, ok := s.Insert(d, now)
+			if !ok {
+				continue
+			}
+			// Setup insertions can themselves evict: drop ghosts.
+			for _, v := range ev {
+				for i := range entries {
+					if entries[i].id == v.ID {
+						entries = append(entries[:i], entries[i+1:]...)
+						break
+					}
+				}
+			}
+			entries = append(entries, entry{id, d.Size, d.NCL(now)})
+		}
+		need := int64(300 + rng.Intn(3000))
+		// Oracle: ascending (NCL, id), take until freed ≥ need.
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].ncl != entries[j].ncl {
+				return entries[i].ncl < entries[j].ncl
+			}
+			return entries[i].id < entries[j].id
+		})
+		free := s.Capacity() - s.Used()
+		want := map[model.ObjectID]bool{}
+		for _, e := range entries {
+			if free >= need {
+				break
+			}
+			want[e.id] = true
+			free += e.size
+		}
+		ev, ok := s.Insert(mkDesc(999, need, 1, now), now)
+		if !ok {
+			t.Fatalf("trial %d: insert failed", trial)
+		}
+		if len(ev) != len(want) {
+			t.Fatalf("trial %d: evicted %d, oracle %d", trial, len(ev), len(want))
+		}
+		for _, d := range ev {
+			if !want[d.ID] {
+				t.Fatalf("trial %d: evicted %d not in oracle set", trial, d.ID)
+			}
+		}
+		s.checkInvariants()
+	}
+}
+
+// refGDS is a naive GreedyDual-Size oracle.
+type refGDS struct {
+	capacity int64
+	used     int64
+	inflate  float64
+	entries  map[model.ObjectID]*refGDSEntry
+}
+
+type refGDSEntry struct {
+	size int64
+	cost float64
+	h    float64
+}
+
+func (r *refGDS) minEntry() (model.ObjectID, *refGDSEntry) {
+	var bestID model.ObjectID
+	var best *refGDSEntry
+	for id, e := range r.entries {
+		if best == nil || e.h < best.h || (e.h == best.h && id < bestID) {
+			bestID, best = id, e
+		}
+	}
+	return bestID, best
+}
+
+func (r *refGDS) insert(id model.ObjectID, size int64, cost float64) bool {
+	if size > r.capacity {
+		return false
+	}
+	if _, dup := r.entries[id]; dup {
+		return false
+	}
+	for r.used+size > r.capacity {
+		vid, v := r.minEntry()
+		r.inflate = v.h
+		delete(r.entries, vid)
+		r.used -= v.size
+	}
+	r.entries[id] = &refGDSEntry{size: size, cost: cost, h: r.inflate + cost/float64(size)}
+	r.used += size
+	return true
+}
+
+func (r *refGDS) touch(id model.ObjectID) bool {
+	e, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	e.h = r.inflate + e.cost/float64(e.size)
+	return true
+}
+
+func TestGDSModelBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	real := NewGreedyDualSize(2000)
+	ref := &refGDS{capacity: 2000, entries: map[model.ObjectID]*refGDSEntry{}}
+	for op := 0; op < 20000; op++ {
+		id := model.ObjectID(rng.Intn(30))
+		switch rng.Intn(3) {
+		case 0, 1:
+			size := int64(100 + int(id)*31%500)
+			cost := float64(1 + int(id)%7)
+			_, gotOK := real.Insert(id, size, cost)
+			wantOK := ref.insert(id, size, cost)
+			if gotOK != wantOK {
+				t.Fatalf("op %d: insert(%d) ok %v vs %v", op, id, gotOK, wantOK)
+			}
+		case 2:
+			if real.Touch(id) != ref.touch(id) {
+				t.Fatalf("op %d: touch(%d) mismatch", op, id)
+			}
+		}
+		if real.Used() != ref.used || real.Len() != len(ref.entries) {
+			t.Fatalf("op %d: state diverged used=%d/%d len=%d/%d",
+				op, real.Used(), ref.used, real.Len(), len(ref.entries))
+		}
+		if real.Inflation() != ref.inflate {
+			t.Fatalf("op %d: inflation %v vs %v", op, real.Inflation(), ref.inflate)
+		}
+	}
+	for id := model.ObjectID(0); id < 30; id++ {
+		if _, ok := ref.entries[id]; ok != real.Contains(id) {
+			t.Fatalf("final contents differ at %d", id)
+		}
+	}
+}

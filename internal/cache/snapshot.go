@@ -1,0 +1,65 @@
+package cache
+
+import "cascade/internal/model"
+
+// DescriptorSnapshot is the serializable state of one descriptor, used by
+// gateways to persist warm cache state across restarts.
+type DescriptorSnapshot struct {
+	ID          model.ObjectID
+	Size        int64
+	MissPenalty float64
+	// AccessTimes are the recorded reference times, oldest first.
+	AccessTimes []float64
+	// WindowK is the sliding-window size the descriptor was using.
+	WindowK int
+}
+
+// Snapshot captures the descriptor's state.
+func (d *Descriptor) Snapshot() DescriptorSnapshot {
+	return DescriptorSnapshot{
+		ID:          d.ID,
+		Size:        d.Size,
+		MissPenalty: d.missPenalty,
+		AccessTimes: d.Window.Times(),
+		WindowK:     d.Window.K(),
+	}
+}
+
+// RestoreDescriptor rebuilds a descriptor from a snapshot. The frequency
+// estimate is recomputed from the recorded times (and re-ages on first
+// use).
+func RestoreDescriptor(s DescriptorSnapshot) *Descriptor {
+	d := NewDescriptorK(s.ID, s.Size, s.WindowK)
+	for _, t := range s.AccessTimes {
+		d.Window.Record(t)
+	}
+	d.missPenalty = s.MissPenalty
+	return d
+}
+
+// Snapshot captures every stored descriptor (order unspecified).
+func (s *HeapStore) Snapshot() []DescriptorSnapshot {
+	out := make([]DescriptorSnapshot, 0, len(s.entries))
+	for _, d := range s.entries {
+		out = append(out, d.Snapshot())
+	}
+	return out
+}
+
+// Restore inserts the snapshotted descriptors into the (empty or partially
+// filled) store at time now. Entries that would not fit in the remaining
+// free space are skipped — a warm restore fills the cache without churning
+// entries it just restored. It reports how many entries were restored.
+func (s *HeapStore) Restore(snaps []DescriptorSnapshot, now float64) int {
+	restored := 0
+	for _, snap := range snaps {
+		d := RestoreDescriptor(snap)
+		if s.Capacity()-s.Used() < s.entrySize(d) {
+			continue
+		}
+		if _, ok := s.Insert(d, now); ok {
+			restored++
+		}
+	}
+	return restored
+}

@@ -1,0 +1,223 @@
+// Package coherency supplies the cache-consistency substrate the paper
+// assumes away: §2 reads "we shall assume the objects stored in the caches
+// are up-to-date (e.g., by using a cache coherency protocol [9] if
+// necessary)", citing Krishnamurthy & Wills' piggyback server invalidation
+// (PSI). This package implements that assumed machinery so the assumption
+// is testable rather than taken on faith:
+//
+//   - a seeded Poisson object-update process (web objects are mostly
+//     static — access ≫ update frequency [13] — so rates are low);
+//   - per-(node, object) fetched-version tracking, driven by the
+//     simulator's placement outcomes;
+//   - three policies: None (the paper's assumption), TTL (serve within a
+//     freshness lifetime, refetch after expiry), and PSI (responses from
+//     an origin piggyback the server's invalidations since the node's last
+//     contact, proactively dropping stale copies).
+//
+// The simulator consults a Tracker around each request and reports stale
+// hits and consistency refetches next to the paper's base metrics, letting
+// experiments quantify how much staleness the coordinated scheme would
+// actually serve at realistic update rates.
+package coherency
+
+import (
+	"math/rand"
+
+	"cascade/internal/model"
+)
+
+// Policy selects the consistency mechanism.
+type Policy int
+
+// Available policies.
+const (
+	// None is the paper's assumption: cached copies are always fresh.
+	None Policy = iota
+	// TTL serves copies younger than a lifetime and refetches older
+	// ones from the origin (weak consistency, bounded staleness).
+	TTL
+	// PSI piggybacks a server's invalidations on every response it
+	// serves, dropping stale copies at the caches the response passes.
+	PSI
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case TTL:
+		return "TTL"
+	case PSI:
+		return "PSI"
+	default:
+		return "None"
+	}
+}
+
+// Config parameterizes a Tracker.
+type Config struct {
+	Policy Policy
+	// ObjectUpdateInterval is the mean seconds between updates of one
+	// object (Poisson). Zero disables updates entirely.
+	ObjectUpdateInterval float64
+	// Lifetime is the TTL policy's freshness lifetime in seconds
+	// (default 3600).
+	Lifetime float64
+	// Seed drives the update process.
+	Seed int64
+}
+
+// update is one entry of a server's invalidation log.
+type update struct {
+	time float64
+	obj  model.ObjectID
+}
+
+// copyState is the consistency metadata of one cached copy.
+type copyState struct {
+	version int64
+	fetched float64
+}
+
+// Tracker maintains object versions, the per-server invalidation logs and
+// the per-node fetched-version tables. It is single-owner, like the
+// simulator that drives it.
+type Tracker struct {
+	cfg     Config
+	objects []model.Object
+
+	r       *rand.Rand
+	now     float64
+	nextUpd float64
+	rate    float64 // total update rate (updates/second over all objects)
+
+	version []int64
+	logs    map[model.ServerID][]update // per-server invalidation log
+	copies  map[model.NodeID]map[model.ObjectID]copyState
+	contact map[model.NodeID]map[model.ServerID]float64 // last PSI sync time
+
+	// Updates counts object updates generated so far.
+	Updates int64
+}
+
+// NewTracker builds a tracker over a catalog's objects.
+func NewTracker(cfg Config, objects []model.Object) *Tracker {
+	if cfg.Lifetime <= 0 {
+		cfg.Lifetime = 3600
+	}
+	t := &Tracker{
+		cfg:     cfg,
+		objects: objects,
+		r:       rand.New(rand.NewSource(cfg.Seed + 99)),
+		version: make([]int64, len(objects)),
+		logs:    make(map[model.ServerID][]update),
+		copies:  make(map[model.NodeID]map[model.ObjectID]copyState),
+		contact: make(map[model.NodeID]map[model.ServerID]float64),
+	}
+	if cfg.ObjectUpdateInterval > 0 && len(objects) > 0 {
+		t.rate = float64(len(objects)) / cfg.ObjectUpdateInterval
+		t.nextUpd = t.r.ExpFloat64() / t.rate
+	}
+	return t
+}
+
+// Policy returns the configured policy.
+func (t *Tracker) Policy() Policy { return t.cfg.Policy }
+
+// Advance generates all object updates up to time now.
+func (t *Tracker) Advance(now float64) {
+	if t.rate == 0 {
+		t.now = now
+		return
+	}
+	for t.nextUpd <= now {
+		obj := t.objects[t.r.Intn(len(t.objects))]
+		t.version[obj.ID]++
+		t.Updates++
+		t.logs[obj.Server] = append(t.logs[obj.Server], update{time: t.nextUpd, obj: obj.ID})
+		t.nextUpd += t.r.ExpFloat64() / t.rate
+	}
+	t.now = now
+}
+
+// Version returns an object's current version.
+func (t *Tracker) Version(obj model.ObjectID) int64 { return t.version[obj] }
+
+// RecordFetch notes that node just received a fresh copy of obj.
+func (t *Tracker) RecordFetch(node model.NodeID, obj model.ObjectID, now float64) {
+	m := t.copies[node]
+	if m == nil {
+		m = make(map[model.ObjectID]copyState)
+		t.copies[node] = m
+	}
+	m[obj] = copyState{version: t.version[obj], fetched: now}
+}
+
+// HitOutcome classifies a cache hit under the active policy.
+type HitOutcome struct {
+	// Refetch is true when the policy forces revalidation from the
+	// origin (TTL expiry): the request pays the full path cost and the
+	// copy is refreshed.
+	Refetch bool
+	// Stale is true when the hit served (or would have served) an
+	// out-of-date copy.
+	Stale bool
+}
+
+// OnHit classifies a hit of obj at node at time now and updates the copy
+// metadata accordingly. Nodes holding copies predating the tracker are
+// adopted as fresh.
+func (t *Tracker) OnHit(node model.NodeID, obj model.ObjectID, now float64) HitOutcome {
+	m := t.copies[node]
+	if m == nil {
+		m = make(map[model.ObjectID]copyState)
+		t.copies[node] = m
+	}
+	st, ok := m[obj]
+	if !ok {
+		m[obj] = copyState{version: t.version[obj], fetched: now}
+		return HitOutcome{}
+	}
+	stale := st.version != t.version[obj]
+	if t.cfg.Policy == TTL && now-st.fetched > t.cfg.Lifetime {
+		m[obj] = copyState{version: t.version[obj], fetched: now}
+		return HitOutcome{Refetch: true, Stale: stale}
+	}
+	return HitOutcome{Stale: stale}
+}
+
+// SyncWithServer applies PSI: a response from server passed through node,
+// carrying the server's invalidations since the node's last contact. The
+// node drops its stale copies (marks them invalid so subsequent hits
+// refetch... in the simulator the scheme still holds the bytes; Invalidated
+// returns the IDs so the caller can evict them from the scheme's store if
+// it can).
+func (t *Tracker) SyncWithServer(node model.NodeID, server model.ServerID, now float64) []model.ObjectID {
+	if t.cfg.Policy != PSI {
+		return nil
+	}
+	cm := t.contact[node]
+	if cm == nil {
+		cm = make(map[model.ServerID]float64)
+		t.contact[node] = cm
+	}
+	last := cm[server]
+	cm[server] = now
+
+	log := t.logs[server]
+	var invalidated []model.ObjectID
+	copies := t.copies[node]
+	if copies == nil {
+		return nil
+	}
+	for i := len(log) - 1; i >= 0 && log[i].time > last; i-- {
+		st, ok := copies[log[i].obj]
+		if ok && st.version != t.version[log[i].obj] {
+			// Refresh the metadata to current: PSI invalidates the
+			// copy; the next request fetches it anew. We model
+			// invalidation as eviction at the caller.
+			delete(copies, log[i].obj)
+			invalidated = append(invalidated, log[i].obj)
+		}
+	}
+	return invalidated
+}

@@ -1,0 +1,157 @@
+package coherency
+
+import (
+	"testing"
+
+	"cascade/internal/model"
+)
+
+func catalog(n int, servers int) []model.Object {
+	out := make([]model.Object, n)
+	for i := range out {
+		out[i] = model.Object{ID: model.ObjectID(i), Size: 1000, Server: model.ServerID(i % servers)}
+	}
+	return out
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{None: "None", TTL: "TTL", PSI: "PSI"} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestNoUpdatesWhenDisabled(t *testing.T) {
+	tr := NewTracker(Config{Policy: None}, catalog(10, 2))
+	tr.Advance(1e9)
+	if tr.Updates != 0 {
+		t.Fatalf("updates generated with interval 0: %d", tr.Updates)
+	}
+}
+
+func TestUpdateProcessRate(t *testing.T) {
+	// 100 objects, one update per object per 1000s → 0.1 updates/s;
+	// advancing 10000s should yield ≈1000 updates.
+	tr := NewTracker(Config{Policy: None, ObjectUpdateInterval: 1000, Seed: 1}, catalog(100, 4))
+	tr.Advance(10000)
+	if tr.Updates < 700 || tr.Updates > 1300 {
+		t.Fatalf("updates = %d, want ≈1000", tr.Updates)
+	}
+	var bumped int
+	for i := 0; i < 100; i++ {
+		if tr.Version(model.ObjectID(i)) > 0 {
+			bumped++
+		}
+	}
+	if bumped < 50 {
+		t.Fatalf("only %d objects ever updated", bumped)
+	}
+}
+
+func TestAdvanceMonotoneAndDeterministic(t *testing.T) {
+	a := NewTracker(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50, 5))
+	b := NewTracker(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50, 5))
+	a.Advance(500)
+	a.Advance(1000)
+	b.Advance(1000)
+	if a.Updates != b.Updates {
+		t.Fatalf("split advance diverged: %d vs %d", a.Updates, b.Updates)
+	}
+	for i := 0; i < 50; i++ {
+		if a.Version(model.ObjectID(i)) != b.Version(model.ObjectID(i)) {
+			t.Fatalf("version of object %d diverged", i)
+		}
+	}
+}
+
+func TestOnHitFreshAndStale(t *testing.T) {
+	objs := catalog(2, 1)
+	tr := NewTracker(Config{Policy: None, ObjectUpdateInterval: 0}, objs)
+	tr.RecordFetch(5, 0, 10)
+	if h := tr.OnHit(5, 0, 20); h.Stale || h.Refetch {
+		t.Fatalf("fresh copy classified %+v", h)
+	}
+	// Manually bump the version (simulating an update).
+	tr.version[0]++
+	if h := tr.OnHit(5, 0, 30); !h.Stale || h.Refetch {
+		t.Fatalf("stale copy classified %+v", h)
+	}
+}
+
+func TestOnHitAdoptsUnknownCopies(t *testing.T) {
+	tr := NewTracker(Config{Policy: TTL, Lifetime: 100}, catalog(1, 1))
+	if h := tr.OnHit(3, 0, 50); h.Stale || h.Refetch {
+		t.Fatalf("adopted copy classified %+v", h)
+	}
+	// Now it is tracked: after the lifetime it must refetch.
+	if h := tr.OnHit(3, 0, 200); !h.Refetch {
+		t.Fatalf("expired copy classified %+v", h)
+	}
+	// The refetch refreshed it.
+	if h := tr.OnHit(3, 0, 250); h.Refetch {
+		t.Fatalf("refreshed copy classified %+v", h)
+	}
+}
+
+func TestTTLServesStaleWithinLifetime(t *testing.T) {
+	tr := NewTracker(Config{Policy: TTL, Lifetime: 1000}, catalog(1, 1))
+	tr.RecordFetch(1, 0, 0)
+	tr.version[0]++
+	h := tr.OnHit(1, 0, 500)
+	if !h.Stale || h.Refetch {
+		t.Fatalf("TTL within lifetime: %+v", h)
+	}
+	h = tr.OnHit(1, 0, 1500)
+	if !h.Refetch {
+		t.Fatalf("TTL past lifetime: %+v", h)
+	}
+}
+
+func TestPSISyncInvalidatesStaleCopies(t *testing.T) {
+	objs := catalog(4, 2) // objects 0,2 on server 0; 1,3 on server 1
+	tr := NewTracker(Config{Policy: PSI}, objs)
+	tr.RecordFetch(7, 0, 0)
+	tr.RecordFetch(7, 2, 0)
+	tr.RecordFetch(7, 1, 0)
+
+	// Update object 0 (server 0) and object 1 (server 1) "manually".
+	tr.version[0]++
+	tr.logs[0] = append(tr.logs[0], update{time: 5, obj: 0})
+	tr.version[1]++
+	tr.logs[1] = append(tr.logs[1], update{time: 6, obj: 1})
+
+	inv := tr.SyncWithServer(7, 0, 10)
+	if len(inv) != 1 || inv[0] != 0 {
+		t.Fatalf("sync with server 0 invalidated %v, want [0]", inv)
+	}
+	// Object 1 (other server) untouched; object 2 (same server, not
+	// updated) untouched.
+	if h := tr.OnHit(7, 2, 11); h.Stale {
+		t.Fatal("unmodified copy invalidated")
+	}
+	if h := tr.OnHit(7, 1, 11); !h.Stale {
+		t.Fatal("stale copy of other server lost its staleness")
+	}
+	// Re-sync finds nothing new.
+	if inv := tr.SyncWithServer(7, 0, 12); len(inv) != 0 {
+		t.Fatalf("second sync invalidated %v", inv)
+	}
+}
+
+func TestPSIDisabledForOtherPolicies(t *testing.T) {
+	tr := NewTracker(Config{Policy: TTL}, catalog(2, 1))
+	tr.RecordFetch(1, 0, 0)
+	tr.version[0]++
+	tr.logs[0] = append(tr.logs[0], update{time: 1, obj: 0})
+	if inv := tr.SyncWithServer(1, 0, 5); inv != nil {
+		t.Fatalf("TTL policy ran PSI sync: %v", inv)
+	}
+}
+
+func TestLifetimeDefault(t *testing.T) {
+	tr := NewTracker(Config{Policy: TTL}, catalog(1, 1))
+	if tr.cfg.Lifetime != 3600 {
+		t.Fatalf("default lifetime = %v", tr.cfg.Lifetime)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeEmptyPath(t *testing.T) {
+	p := Optimize(nil)
+	if len(p.Indices) != 0 || p.Gain != 0 {
+		t.Fatalf("empty path: got %+v, want empty placement with zero gain", p)
+	}
+}
+
+func TestOptimizeSingleNode(t *testing.T) {
+	tests := []struct {
+		name string
+		node Node
+		want []int
+		gain float64
+	}{
+		{"beneficial", Node{Freq: 2, MissPenalty: 3, CostLoss: 1}, []int{0}, 5},
+		{"break-even", Node{Freq: 1, MissPenalty: 1, CostLoss: 1}, nil, 0},
+		{"harmful", Node{Freq: 1, MissPenalty: 1, CostLoss: 5}, nil, 0},
+		{"zero-penalty", Node{Freq: 10, MissPenalty: 0, CostLoss: 0.1}, nil, 0},
+		{"free-space", Node{Freq: 1, MissPenalty: 2, CostLoss: 0}, []int{0}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Optimize([]Node{tc.node})
+			if !reflect.DeepEqual(p.Indices, tc.want) || math.Abs(p.Gain-tc.gain) > 1e-12 {
+				t.Fatalf("got %+v, want indices=%v gain=%v", p, tc.want, tc.gain)
+			}
+		})
+	}
+}
+
+func TestOptimizeKnownInstance(t *testing.T) {
+	// Three-node path: caching at node 0 alone saves f0*m0=6-4=2;
+	// caching at 0 and 2 saves (f0-f2)*m0 - l0 + f2*m2 - l2
+	// = (3-1)*2-4 + 1*5-0.5 = 0 + 4.5 = 4.5; caching at 2 alone saves
+	// 1*5-0.5 = 4.5; caching at 0,1,2:
+	// (3-2)*2-4 + (2-1)*3-0.2 + 1*5-0.5 = -2+2.8+4.5 = 5.3? no:
+	// (3-2)*2-4 = -2; (2-1)*3-0.2 = 2.8; (1-0)*5-0.5 = 4.5 → 5.3.
+	// caching at 1,2: (2-1)*3-0.2 + 4.5 = 7.3 — best.
+	path := []Node{
+		{Freq: 3, MissPenalty: 2, CostLoss: 4},
+		{Freq: 2, MissPenalty: 3, CostLoss: 0.2},
+		{Freq: 1, MissPenalty: 5, CostLoss: 0.5},
+	}
+	p := Optimize(path)
+	if want := []int{1, 2}; !reflect.DeepEqual(p.Indices, want) {
+		t.Fatalf("indices = %v, want %v (gain %v)", p.Indices, want, p.Gain)
+	}
+	if math.Abs(p.Gain-7.3) > 1e-12 {
+		t.Fatalf("gain = %v, want 7.3", p.Gain)
+	}
+}
+
+func TestOptimizeExcludesInfiniteCostLoss(t *testing.T) {
+	path := []Node{
+		{Freq: 5, MissPenalty: 10, CostLoss: math.Inf(1)},
+		{Freq: 4, MissPenalty: 12, CostLoss: 1},
+	}
+	p := Optimize(path)
+	if want := []int{1}; !reflect.DeepEqual(p.Indices, want) {
+		t.Fatalf("indices = %v, want %v", p.Indices, want)
+	}
+}
+
+func TestOptimizeAllZeroFreq(t *testing.T) {
+	path := []Node{
+		{Freq: 0, MissPenalty: 10, CostLoss: 0},
+		{Freq: 0, MissPenalty: 20, CostLoss: 1},
+	}
+	p := Optimize(path)
+	if len(p.Indices) != 0 || p.Gain != 0 {
+		t.Fatalf("got %+v, want nothing placed", p)
+	}
+}
+
+// randomPath builds a monotone-frequency instance like the ones the system
+// model produces.
+func randomPath(r *rand.Rand, n int) []Node {
+	path := make([]Node, n)
+	f := 10 * r.Float64()
+	for i := range path {
+		path[i] = Node{
+			Freq:        f,
+			MissPenalty: 5 * r.Float64(),
+			CostLoss:    3 * r.Float64(),
+		}
+		f *= r.Float64() // non-increasing
+	}
+	return path
+}
+
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(12)
+		path := randomPath(r, n)
+		got := Optimize(path)
+		want := BruteForce(path)
+		if math.Abs(got.Gain-want.Gain) > 1e-9 {
+			t.Fatalf("trial %d: DP gain %v != brute-force gain %v\npath=%+v",
+				trial, got.Gain, want.Gain, path)
+		}
+		if g := Gain(path, got.Indices); math.Abs(g-got.Gain) > 1e-9 {
+			t.Fatalf("trial %d: reported gain %v but Gain(indices)=%v", trial, got.Gain, g)
+		}
+	}
+}
+
+func TestOptimizeMatchesBruteForceNonMonotone(t *testing.T) {
+	// Theorem 1 does not require monotone frequencies; the DP must stay
+	// exact for arbitrary non-negative inputs.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(11)
+		path := make([]Node, n)
+		for i := range path {
+			path[i] = Node{
+				Freq:        10 * r.Float64(),
+				MissPenalty: 5 * r.Float64(),
+				CostLoss:    3 * r.Float64(),
+			}
+		}
+		got, want := Optimize(path), BruteForce(path)
+		if math.Abs(got.Gain-want.Gain) > 1e-9 {
+			t.Fatalf("trial %d: DP gain %v != brute-force %v\npath=%+v",
+				trial, got.Gain, want.Gain, path)
+		}
+	}
+}
+
+func TestOptimizeIndicesStrictlyIncreasing(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		path := randomPath(r, 1+r.Intn(20))
+		p := Optimize(path)
+		if !sort.IntsAreSorted(p.Indices) {
+			t.Fatalf("indices not sorted: %v", p.Indices)
+		}
+		for i := 1; i < len(p.Indices); i++ {
+			if p.Indices[i] == p.Indices[i-1] {
+				t.Fatalf("duplicate index in %v", p.Indices)
+			}
+		}
+		for _, v := range p.Indices {
+			if v < 0 || v >= len(path) {
+				t.Fatalf("index %d out of range (n=%d)", v, len(path))
+			}
+		}
+	}
+}
+
+// TestTheorem2 verifies the local-benefit property: every index chosen by
+// the optimal placement satisfies f_i·m_i ≥ l_i.
+func TestTheorem2(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 1000; trial++ {
+		path := randomPath(r, 1+r.Intn(15))
+		p := Optimize(path)
+		if !LocallyBeneficial(path, p.Indices) {
+			t.Fatalf("Theorem 2 violated: placement %v on %+v", p.Indices, path)
+		}
+	}
+}
+
+func TestOptimizeGainNonNegativeQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(fs, ms, ls []float64) bool {
+		n := len(fs)
+		if len(ms) < n {
+			n = len(ms)
+		}
+		if len(ls) < n {
+			n = len(ls)
+		}
+		if n > 14 {
+			n = 14
+		}
+		path := make([]Node, n)
+		for i := 0; i < n; i++ {
+			path[i] = Node{Freq: math.Abs(fs[i]), MissPenalty: math.Abs(ms[i]), CostLoss: math.Abs(ls[i])}
+		}
+		p := Optimize(path)
+		if p.Gain < 0 {
+			return false
+		}
+		// The DP must weakly dominate a handful of arbitrary subsets.
+		bf := BruteForce(path)
+		return p.Gain >= bf.Gain-1e-9 && p.Gain <= bf.Gain+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainEmptyPlacement(t *testing.T) {
+	if g := Gain(randomPath(rand.New(rand.NewSource(1)), 5), nil); g != 0 {
+		t.Fatalf("empty placement gain = %v, want 0", g)
+	}
+}
+
+func TestClampMonotone(t *testing.T) {
+	in := []Node{{Freq: 1}, {Freq: 5}, {Freq: 2}, {Freq: 3}}
+	out := ClampMonotone(in)
+	want := []float64{5, 5, 3, 3}
+	for i, n := range out {
+		if n.Freq != want[i] {
+			t.Fatalf("clamped[%d].Freq = %v, want %v (full: %+v)", i, n.Freq, want[i], out)
+		}
+	}
+	if in[0].Freq != 1 {
+		t.Fatal("ClampMonotone mutated its input")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Freq < out[i].Freq {
+			t.Fatalf("not monotone at %d: %+v", i, out)
+		}
+	}
+}
+
+func TestClampMonotoneProperties(t *testing.T) {
+	// Clamping never lowers any frequency, never touches penalties or
+	// losses, is idempotent, and leaves already-monotone profiles alone.
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(10)
+		path := make([]Node, n)
+		for i := range path {
+			path[i] = Node{Freq: 10 * r.Float64(), MissPenalty: r.Float64(), CostLoss: r.Float64()}
+		}
+		clamped := ClampMonotone(path)
+		for i := range clamped {
+			if clamped[i].Freq < path[i].Freq {
+				t.Fatalf("clamping lowered freq at %d: %v < %v", i, clamped[i].Freq, path[i].Freq)
+			}
+			if clamped[i].MissPenalty != path[i].MissPenalty || clamped[i].CostLoss != path[i].CostLoss {
+				t.Fatalf("clamping modified m/l at %d", i)
+			}
+			if i > 0 && clamped[i-1].Freq < clamped[i].Freq {
+				t.Fatalf("not monotone at %d: %+v", i, clamped)
+			}
+		}
+		if !reflect.DeepEqual(ClampMonotone(clamped), clamped) {
+			t.Fatal("ClampMonotone not idempotent")
+		}
+		mono := randomPath(r, n)
+		if !reflect.DeepEqual(ClampMonotone(mono), mono) {
+			t.Fatalf("clamping changed a monotone profile: %+v", mono)
+		}
+	}
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	for _, n := range []int{4, 12, 32, 128} {
+		path := randomPath(rand.New(rand.NewSource(5)), n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Optimize(path)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 10:
+		return "n=00" + string(rune('0'+n))
+	case n < 100:
+		return "n=0" + itoa(n)
+	default:
+		return "n=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

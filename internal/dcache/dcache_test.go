@@ -1,0 +1,116 @@
+package dcache
+
+import (
+	"testing"
+
+	"cascade/internal/cache"
+	"cascade/internal/model"
+)
+
+func desc(id model.ObjectID, times ...float64) *cache.Descriptor {
+	d := cache.NewDescriptor(id, 1000)
+	for _, t := range times {
+		d.Window.Record(t)
+	}
+	return d
+}
+
+func TestPutGetTake(t *testing.T) {
+	dc := New(2)
+	if dc.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", dc.Capacity())
+	}
+	d1 := desc(1, 10)
+	if !dc.Put(d1, 10) || dc.Len() != 1 {
+		t.Fatal("put failed")
+	}
+	if dc.Get(1) != d1 || !dc.Contains(1) {
+		t.Fatal("get failed")
+	}
+	if dc.Put(d1, 10) {
+		t.Fatal("duplicate put accepted")
+	}
+	got := dc.Take(1)
+	if got != d1 || dc.Len() != 0 || dc.Contains(1) {
+		t.Fatal("take failed")
+	}
+	if dc.Take(1) != nil {
+		t.Fatal("double take returned a descriptor")
+	}
+}
+
+func TestLFUEviction(t *testing.T) {
+	dc := New(2)
+	// Descriptor 1 referenced thrice recently, descriptor 2 once long ago.
+	dc.Put(desc(1, 700, 705, 710), 710)
+	dc.Put(desc(2, 10), 710)
+	if !dc.Put(desc(3, 709, 710), 710) {
+		t.Fatal("put of third descriptor failed")
+	}
+	if dc.Contains(2) {
+		t.Fatal("least frequent descriptor 2 survived")
+	}
+	if !dc.Contains(1) || !dc.Contains(3) || dc.Len() != 2 {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestRecordAccessPromotes(t *testing.T) {
+	dc := New(2)
+	dc.Put(desc(1, 0), 0)
+	dc.Put(desc(2, 0), 0)
+	// Give 1 many fresh accesses so 2 is the LFU victim.
+	for _, now := range []float64{650, 651, 652} {
+		if !dc.RecordAccess(1, now) {
+			t.Fatal("record access missed present descriptor")
+		}
+	}
+	if dc.RecordAccess(99, 700) {
+		t.Fatal("record access claimed success on absent descriptor")
+	}
+	dc.Put(desc(3, 652), 652)
+	if dc.Contains(2) || !dc.Contains(1) {
+		t.Fatal("LFU after RecordAccess evicted the wrong descriptor")
+	}
+}
+
+func TestSetMissPenalty(t *testing.T) {
+	dc := New(1)
+	dc.Put(desc(1, 5), 5)
+	if !dc.SetMissPenalty(1, 3.5, 5) {
+		t.Fatal("set miss penalty missed present descriptor")
+	}
+	if got := dc.Get(1).MissPenalty(); got != 3.5 {
+		t.Fatalf("miss penalty = %v, want 3.5", got)
+	}
+	if dc.SetMissPenalty(2, 1, 5) {
+		t.Fatal("set miss penalty claimed success on absent descriptor")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	dc := New(0)
+	if dc.Put(desc(1, 0), 0) {
+		t.Fatal("zero-capacity d-cache accepted a descriptor")
+	}
+	if dc.Len() != 0 || dc.Contains(1) {
+		t.Fatal("zero-capacity d-cache not empty")
+	}
+	neg := New(-3)
+	if neg.Capacity() != 0 {
+		t.Fatalf("negative capacity = %d, want clamped to 0", neg.Capacity())
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	dc := New(5)
+	for id := model.ObjectID(1); id <= 50; id++ {
+		dc.Put(desc(id, float64(id)), float64(id))
+		if dc.Len() > 5 {
+			t.Fatalf("len %d exceeds capacity after inserting %d", dc.Len(), id)
+		}
+	}
+	if dc.Len() != 5 {
+		t.Fatalf("len = %d, want 5", dc.Len())
+	}
+}

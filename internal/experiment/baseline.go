@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Drift describes one cell that moved beyond tolerance relative to a
+// stored baseline.
+type Drift struct {
+	Row, Column string
+	Baseline    float64
+	Current     float64
+}
+
+// String renders the drift for reports.
+func (d Drift) String() string {
+	return fmt.Sprintf("%s/%s: baseline %g, current %g (%+.1f%%)",
+		d.Row, d.Column, d.Baseline, d.Current, 100*(d.Current-d.Baseline)/d.Baseline)
+}
+
+// CompareCSV checks the table against a previously exported CSV (the
+// format Table.CSV writes) and returns every cell whose relative change
+// exceeds tolerance. Structural mismatches (different rows or columns) are
+// errors: a baseline from another configuration is not comparable. Use it
+// to catch regressions across code changes:
+//
+//	cascadesim -exp fig6a -csv golden/   # once, to record
+//	cascadesim -exp fig6a -baseline golden/  # afterwards, to compare
+func CompareCSV(t Table, baseline io.Reader, tolerance float64) ([]Drift, error) {
+	if tolerance <= 0 {
+		tolerance = 0.05
+	}
+	sc := bufio.NewScanner(baseline)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("experiment: empty baseline: %w", sc.Err())
+	}
+	header := splitCSV(sc.Text())
+	if len(header) != len(t.Columns)+1 {
+		return nil, fmt.Errorf("experiment: baseline has %d columns, table has %d",
+			len(header)-1, len(t.Columns))
+	}
+	for i, c := range t.Columns {
+		if header[i+1] != c {
+			return nil, fmt.Errorf("experiment: baseline column %q, table column %q", header[i+1], c)
+		}
+	}
+	var drifts []Drift
+	rowIdx := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rowIdx >= len(t.Rows) {
+			return nil, fmt.Errorf("experiment: baseline has more rows than the table")
+		}
+		fields := splitCSV(line)
+		row := t.Rows[rowIdx]
+		if len(fields) != len(row.Values)+1 {
+			return nil, fmt.Errorf("experiment: baseline row %q has %d values, table has %d",
+				fields[0], len(fields)-1, len(row.Values))
+		}
+		if fields[0] != row.Label {
+			return nil, fmt.Errorf("experiment: baseline row %q, table row %q", fields[0], row.Label)
+		}
+		for i, raw := range fields[1:] {
+			base, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: baseline value %q: %w", raw, err)
+			}
+			cur := row.Values[i]
+			denom := math.Max(math.Abs(base), 1e-12)
+			if math.Abs(cur-base)/denom > tolerance {
+				drifts = append(drifts, Drift{
+					Row: row.Label, Column: t.Columns[i],
+					Baseline: base, Current: cur,
+				})
+			}
+		}
+		rowIdx++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rowIdx != len(t.Rows) {
+		return nil, fmt.Errorf("experiment: baseline has %d rows, table has %d", rowIdx, len(t.Rows))
+	}
+	return drifts, nil
+}
+
+// splitCSV handles the limited quoting Table.CSV emits.
+func splitCSV(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"' && inQuote && i+1 < len(line) && line[i+1] == '"':
+			cur.WriteByte('"')
+			i++
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}

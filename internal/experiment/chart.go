@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// chartMarkers are assigned to series in column order.
+var chartMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders the table as an ASCII scatter plot: one marker per series
+// (column), x positions spread over the rows, y scaled linearly between
+// the data's min and max. It is a terminal-friendly complement to Format
+// for eyeballing the figure shapes the paper plots.
+func (t Table) Chart(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", t.Title)
+		return err
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xpos := func(row int) int {
+		if len(t.Rows) == 1 {
+			return width / 2
+		}
+		return row * (width - 1) / (len(t.Rows) - 1)
+	}
+	ypos := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		y := int(math.Round(frac * float64(height-1)))
+		return height - 1 - y // row 0 is the top
+	}
+	for ri, r := range t.Rows {
+		for ci, v := range r.Values {
+			if ci >= len(chartMarkers) {
+				break
+			}
+			x, y := xpos(ri), ypos(v)
+			cell := &grid[y][x]
+			if *cell == ' ' {
+				*cell = chartMarkers[ci]
+			} else if *cell != chartMarkers[ci] {
+				*cell = '?' // collision between series
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	axis := fmt.Sprintf("%10s |", formatValue(hi))
+	blank := strings.Repeat(" ", 10) + " |"
+	for i, line := range grid {
+		prefix := blank
+		switch i {
+		case 0:
+			prefix = axis
+		case height - 1:
+			prefix = fmt.Sprintf("%10s |", formatValue(lo))
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", prefix, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X labels: first and last row labels.
+	first, last := t.Rows[0].Label, t.Rows[len(t.Rows)-1].Label
+	gap := width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s  (%s)\n", strings.Repeat(" ", 10),
+		first, strings.Repeat(" ", gap), last, t.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for ci, name := range t.Columns {
+		if ci >= len(chartMarkers) {
+			break
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", chartMarkers[ci], name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "  "))
+	return err
+}

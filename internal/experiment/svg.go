@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the series colors (colorblind-safe Okabe–Ito).
+var svgPalette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+// SVG renders the table as a line chart in the style of the paper's
+// figures: rows are x positions (category scale), columns are series.
+// The output is a standalone SVG document.
+func (t Table) SVG(w io.Writer, width, height int) error {
+	if width < 200 {
+		width = 560
+	}
+	if height < 150 {
+		height = 360
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 28
+		marginB = 72
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(t.Title))
+
+	if len(t.Rows) == 0 || len(t.Columns) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">(no data)</text></svg>`+"\n", marginL, height/2)
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		for _, v := range r.Values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if lo > 0 && lo < hi/5 {
+		lo = 0 // anchor at zero unless the data is tightly clustered high
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	x := func(row int) float64 {
+		if len(t.Rows) == 1 {
+			return float64(marginL) + plotW/2
+		}
+		return float64(marginL) + plotW*float64(row)/float64(len(t.Rows)-1)
+	}
+	y := func(v float64) float64 {
+		return float64(marginT) + plotH*(1-(v-lo)/(hi-lo))
+	}
+
+	// Axes and y gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+int(plotH))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+int(plotH), marginL+int(plotW), marginT+int(plotH))
+	for i := 0; i <= 4; i++ {
+		v := lo + (hi-lo)*float64(i)/4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, marginL+int(plotW), yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yy+4, formatValue(v))
+	}
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x(ri), marginT+int(plotH)+16, xmlEscape(r.Label))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, marginT+int(plotH)+34, xmlEscape(t.XLabel))
+
+	// Series.
+	for ci := range t.Columns {
+		color := svgPalette[ci%len(svgPalette)]
+		var pts []string
+		for ri, r := range t.Rows {
+			if ci >= len(r.Values) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(ri), y(r.Values[ci])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for ri, r := range t.Rows {
+			if ci >= len(r.Values) {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				x(ri), y(r.Values[ci]), color)
+		}
+	}
+
+	// Legend row under the x label.
+	lx := float64(marginL)
+	ly := marginT + int(plotH) + 52
+	for ci, name := range t.Columns {
+		color := svgPalette[ci%len(svgPalette)]
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d">%s</text>`+"\n", lx+14, ly, xmlEscape(name))
+		lx += 14 + float64(8*len(name)) + 18
+	}
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

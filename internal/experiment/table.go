@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Row is one line of a result table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is a formatted experiment result: rows are parameter values (cache
+// size, radius, …), columns are series (schemes).
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Columns []string
+	Rows    []Row
+}
+
+// Format writes an aligned plain-text rendering.
+func (t Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "(y: %s)\n", t.YLabel); err != nil {
+			return err
+		}
+	}
+	width := len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = fmt.Sprintf("%12s", c)
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %s\n", width, t.XLabel, strings.Join(cols, " ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		vals := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			vals[i] = fmt.Sprintf("%12s", formatValue(v))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %s\n", width, r.Label, strings.Join(vals, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", csvEscape(t.XLabel), strings.Join(mapSlice(t.Columns, csvEscape), ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		vals := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			vals[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s\n", csvEscape(r.Label), strings.Join(vals, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table via Format.
+func (t Table) String() string {
+	var b strings.Builder
+	_ = t.Format(&b)
+	return b.String()
+}
+
+// formatValue picks a human-friendly precision by magnitude.
+func formatValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case v == math.Trunc(v) && av < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 100000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func mapSlice(in []string, f func(string) string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table, handy for
+// pasting results into documentation.
+func (t Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "**%s**", t.Title); err != nil {
+		return err
+	}
+	if t.YLabel != "" {
+		if _, err := fmt.Fprintf(w, " _(y: %s)_", t.YLabel); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n\n| %s |", t.XLabel); err != nil {
+		return err
+	}
+	for _, c := range t.Columns {
+		if _, err := fmt.Fprintf(w, " %s |", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "\n|---|"); err != nil {
+		return err
+	}
+	for range t.Columns {
+		if _, err := fmt.Fprint(w, "---|"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |", r.Label); err != nil {
+			return err
+		}
+		for _, v := range r.Values {
+			if _, err := fmt.Fprintf(w, " %s |", formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

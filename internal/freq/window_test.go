@@ -1,0 +1,202 @@
+package freq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroReferences(t *testing.T) {
+	w := NewWindow(3, 600)
+	if got := w.Estimate(100); got != 0 {
+		t.Fatalf("estimate with no references = %v, want 0", got)
+	}
+	if w.Count() != 0 || w.LastAccess() != -1 {
+		t.Fatalf("count=%d last=%v, want 0/-1", w.Count(), w.LastAccess())
+	}
+}
+
+func TestSingleReference(t *testing.T) {
+	w := NewWindow(3, 600)
+	w.Record(10)
+	// 𝒦=1, t_𝒦=10 → f = 1/(t-10).
+	if got, want := w.Estimate(10+2), 0.5; math.Abs(got-want) > 1e-12 {
+		// estimate was cached at record time; force refresh far ahead
+		_ = got
+	}
+	got := w.Estimate(10 + 700) // past refresh interval → recomputed
+	want := 1.0 / 700.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("aged estimate = %v, want %v", got, want)
+	}
+}
+
+func TestFullWindowUsesOldestOfK(t *testing.T) {
+	w := NewWindow(3, 600)
+	for _, ts := range []float64{0, 10, 20, 30, 40} {
+		w.Record(ts)
+	}
+	// Window holds {20,30,40}; at t=40, f = 3/(40-20).
+	got := w.Peek()
+	want := 3.0 / 20.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d, want 3", w.Count())
+	}
+	if w.LastAccess() != 40 {
+		t.Fatalf("last access = %v, want 40", w.LastAccess())
+	}
+}
+
+func TestPartialWindow(t *testing.T) {
+	w := NewWindow(3, 600)
+	w.Record(5)
+	w.Record(15)
+	// 𝒦=2, t_𝒦=5 → at record time f = 2/(15-5).
+	if got, want := w.Peek(), 0.2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("estimate = %v, want %v", got, want)
+	}
+}
+
+func TestCachedEstimateNotRefreshedWithinInterval(t *testing.T) {
+	w := NewWindow(3, 600)
+	w.Record(0)
+	cached := w.Estimate(1) // within interval → cached value from Record(0)
+	if got := w.Estimate(599); got != cached {
+		t.Fatalf("estimate changed within refresh interval: %v != %v", got, cached)
+	}
+	if got := w.Estimate(601); got == cached {
+		t.Fatalf("estimate not refreshed after interval: still %v", got)
+	}
+}
+
+func TestAgingDecreasesEstimate(t *testing.T) {
+	w := NewWindow(3, 100)
+	w.Record(0)
+	w.Record(1)
+	w.Record(2)
+	prev := w.Estimate(2)
+	for _, now := range []float64{200, 400, 900, 5000} {
+		cur := w.Estimate(now)
+		if cur >= prev {
+			t.Fatalf("estimate did not decay at t=%v: %v >= %v", now, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSameTimestampReferences(t *testing.T) {
+	w := NewWindow(3, 600)
+	w.Record(7)
+	w.Record(7)
+	w.Record(7)
+	got := w.Peek()
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Fatalf("degenerate timestamps produced estimate %v", got)
+	}
+}
+
+func TestDefaultsSelected(t *testing.T) {
+	w := NewWindow(0, 0)
+	if w.K() != DefaultK || w.refresh != DefaultRefreshInterval {
+		t.Fatalf("defaults not applied: k=%d refresh=%v", w.K(), w.refresh)
+	}
+	w2 := NewWindow(99, -5)
+	if w2.K() != maxK || w2.refresh != DefaultRefreshInterval {
+		t.Fatalf("out-of-range args not clamped: k=%d refresh=%v", w2.K(), w2.refresh)
+	}
+}
+
+func TestLargerK(t *testing.T) {
+	w := NewWindow(5, 600)
+	for _, ts := range []float64{0, 10, 20, 30, 40, 50, 60} {
+		w.Record(ts)
+	}
+	// Window holds the last 5 references {20..60}: f = 5/(60-20).
+	if got, want := w.Peek(), 5.0/40.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("K=5 estimate = %v, want %v", got, want)
+	}
+	if w.Count() != 5 || w.LastAccess() != 60 {
+		t.Fatalf("count=%d last=%v", w.Count(), w.LastAccess())
+	}
+}
+
+func TestSmallerK(t *testing.T) {
+	w := NewWindow(1, 600)
+	w.Record(0)
+	w.Record(100)
+	// K=1: only the newest reference counts → f = 1/(now-100) after aging.
+	got := w.Estimate(100 + 1000)
+	want := 1.0 / 1000.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("K=1 estimate = %v, want %v", got, want)
+	}
+}
+
+func TestEstimatePositiveQuick(t *testing.T) {
+	prop := func(gaps []uint16) bool {
+		w := NewWindow(3, 600)
+		now := 0.0
+		for _, g := range gaps {
+			now += float64(g%1000) / 10
+			w.Record(now)
+		}
+		if len(gaps) == 0 {
+			return w.Estimate(now) == 0
+		}
+		e := w.Estimate(now + 1)
+		return e > 0 && !math.IsInf(e, 0) && !math.IsNaN(e)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreFrequentObjectsEstimateHigher(t *testing.T) {
+	// Statistical sanity: an object referenced 10× as often should carry a
+	// clearly larger estimate.
+	r := rand.New(rand.NewSource(21))
+	hot, cold := NewWindow(3, 600), NewWindow(3, 600)
+	now := 0.0
+	for i := 0; i < 10000; i++ {
+		now += r.ExpFloat64()
+		hot.Record(now)
+		if i%10 == 0 {
+			cold.Record(now)
+		}
+	}
+	h, c := hot.Estimate(now), cold.Estimate(now)
+	if h <= c {
+		t.Fatalf("hot estimate %v not above cold %v", h, c)
+	}
+}
+
+func BenchmarkRecordEstimate(b *testing.B) {
+	w := NewWindow(3, 600)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(float64(i))
+		_ = w.Estimate(float64(i) + 0.5)
+	}
+}
+
+func TestTimesOrder(t *testing.T) {
+	w := NewWindow(3, 600)
+	if got := w.Times(); len(got) != 0 {
+		t.Fatalf("empty window times = %v", got)
+	}
+	w.Record(1)
+	w.Record(2)
+	if got := w.Times(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("partial times = %v", got)
+	}
+	w.Record(3)
+	w.Record(4) // wraps: {2,3,4}
+	got := w.Times()
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("wrapped times = %v", got)
+	}
+}

@@ -1,0 +1,548 @@
+// Package httpgw embodies the coordinated caching protocol in HTTP — the
+// medium the paper targets. Each cache node is an http.Handler that chains
+// to an upstream (another node or the origin); all coordination state
+// travels in headers, exactly as §2.3's piggybacking prescribes:
+//
+//	X-Cascade-Path:    hop entries appended on the way up, each carrying
+//	                   the node's frequency estimate, eviction cost loss
+//	                   and the cost of the link just crossed;
+//	X-Cascade-Place:   the serving side's placement decision (hop list);
+//	X-Cascade-Penalty: the response's accumulated miss-penalty counter,
+//	                   updated and reset at caching points on the way down.
+//
+// The package demonstrates that the scheme deploys over a real transport
+// with self-describing messages — no out-of-band control channel — and is
+// exercised end-to-end over httptest servers in its tests. Object payloads
+// are opaque bytes; a production gateway would proxy arbitrary content.
+package httpgw
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cascade/internal/cache"
+	"cascade/internal/core"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+// Protocol header names.
+const (
+	HeaderPath    = "X-Cascade-Path"
+	HeaderPlace   = "X-Cascade-Place"
+	HeaderPenalty = "X-Cascade-Penalty"
+	HeaderHit     = "X-Cascade-Hit"
+)
+
+// etagOf derives a strong validator from a payload (FNV-1a over the
+// bytes), used for If-None-Match revalidation.
+func etagOf(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body) //nolint:errcheck
+	return fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+}
+
+// Node is one HTTP cache gateway. It serves GET /objects/<id>; misses are
+// forwarded to Upstream with piggyback headers extended.
+type Node struct {
+	// ID names this node in protocol headers.
+	ID model.NodeID
+	// Upstream is the next hop's base URL (another Node or an Origin).
+	Upstream string
+	// UpCost is the cost of the link from this node toward Upstream.
+	UpCost float64
+	// Client issues upstream requests (http.DefaultClient when nil).
+	Client *http.Client
+	// Clock supplies seconds for frequency estimation.
+	Clock func() float64
+	// TTL, when positive, bounds how long a cached copy is served
+	// without revalidation: an older copy triggers a conditional GET
+	// upstream (If-None-Match); a 304 refreshes it for another TTL at
+	// one round trip but no payload, anything else replaces it.
+	TTL float64
+
+	mu      sync.Mutex
+	store   *cache.HeapStore
+	dstore  dcache.DCache
+	body    map[model.ObjectID][]byte
+	etag    map[model.ObjectID]string
+	fetched map[model.ObjectID]float64 // time each copy was (re)validated
+
+	hits, misses, inserts, revalidations int64
+}
+
+// NewNode builds a gateway node with the given stores.
+func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, dEntries int, clock func() float64) *Node {
+	return &Node{
+		ID:       id,
+		Upstream: upstream,
+		UpCost:   upCost,
+		Clock:    clock,
+		store:    cache.NewCostAware(capacity),
+		dstore:   dcache.New(dEntries),
+		body:     make(map[model.ObjectID][]byte),
+		etag:     make(map[model.ObjectID]string),
+		fetched:  make(map[model.ObjectID]float64),
+	}
+}
+
+// pathEntry is one hop's piggybacked record: "node;freq;loss;linkcost".
+// Absent freq/loss (the §2.4 "no descriptor" tag) is encoded as "-".
+type pathEntry struct {
+	node    model.NodeID
+	hasDesc bool
+	freq    float64
+	loss    float64
+	link    float64
+}
+
+func parsePath(h string) ([]pathEntry, error) {
+	if strings.TrimSpace(h) == "" {
+		return nil, nil
+	}
+	var out []pathEntry
+	for _, part := range strings.Split(h, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("httpgw: bad path entry %q", part)
+		}
+		var e pathEntry
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("httpgw: bad node id %q", fields[0])
+		}
+		e.node = model.NodeID(id)
+		if fields[1] != "-" {
+			e.hasDesc = true
+			if e.freq, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("httpgw: bad freq %q", fields[1])
+			}
+			if e.loss, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("httpgw: bad loss %q", fields[2])
+			}
+		}
+		if e.link, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			return nil, fmt.Errorf("httpgw: bad link cost %q", fields[3])
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func formatEntry(e pathEntry) string {
+	if !e.hasDesc {
+		return fmt.Sprintf("%d;-;-;%g", e.node, e.link)
+	}
+	return fmt.Sprintf("%d;%g;%g;%g", e.node, e.freq, e.loss, e.link)
+}
+
+// Decide runs the §2.2 DP over piggybacked path entries (ordered from the
+// client's first cache upward, as accumulated in the header) and returns
+// the chosen node IDs. Exported for the origin server and for tests.
+func Decide(entries []pathEntry) map[model.NodeID]bool {
+	// DP candidates ordered from the serving side toward the client:
+	// reverse of header order. Miss penalties accumulate link costs from
+	// the serving side down.
+	var cand []core.Node
+	var ids []model.NodeID
+	m := 0.0
+	for i := len(entries) - 1; i >= 0; i-- {
+		m += entries[i].link
+		if !entries[i].hasDesc {
+			continue
+		}
+		cand = append(cand, core.Node{
+			Freq:        entries[i].freq,
+			MissPenalty: m,
+			CostLoss:    entries[i].loss,
+		})
+		ids = append(ids, entries[i].node)
+	}
+	placement := core.Optimize(core.ClampMonotone(cand))
+	chosen := make(map[model.NodeID]bool, len(placement.Indices))
+	for _, v := range placement.Indices {
+		chosen[ids[v]] = true
+	}
+	return chosen
+}
+
+func formatPlacement(chosen map[model.NodeID]bool) string {
+	var parts []string
+	for id := range chosen {
+		parts = append(parts, strconv.Itoa(int(id)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func parsePlacement(h string) map[model.NodeID]bool {
+	out := map[model.NodeID]bool{}
+	for _, p := range strings.Split(h, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(p); err == nil {
+			out[model.NodeID(id)] = true
+		}
+	}
+	return out
+}
+
+// objectID derives the object identity from a request path. Numeric
+// /objects/<id> paths map directly (the synthetic-workload convention);
+// any other path is identified by a stable 63-bit FNV-1a hash, which lets
+// the gateway front arbitrary content trees (identity only needs to be
+// consistent across the chain — every node hashes identically).
+func objectID(r *http.Request) (model.ObjectID, error) {
+	const prefix = "/objects/"
+	if strings.HasPrefix(r.URL.Path, prefix) {
+		if id, err := strconv.Atoi(r.URL.Path[len(prefix):]); err == nil {
+			if id < 0 {
+				return 0, fmt.Errorf("httpgw: negative object id")
+			}
+			return model.ObjectID(id), nil
+		}
+	}
+	if r.URL.Path == "" || r.URL.Path == "/" {
+		return 0, fmt.Errorf("httpgw: no object in path %q", r.URL.Path)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(r.URL.Path)) //nolint:errcheck
+	return model.ObjectID(h.Sum64() >> 1), nil
+}
+
+// ServeHTTP implements the node's request/response protocol.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obj, err := objectID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	now := n.Clock()
+
+	if r.URL.Path == "/cascade/stats" {
+		n.serveStats(w)
+		return
+	}
+
+	// ---- Local hit? ----
+	n.mu.Lock()
+	if n.store.Contains(obj) {
+		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
+		if !stale {
+			n.hits++
+			n.store.Touch(obj, now)
+			body := n.body[obj]
+			tag := n.etag[obj]
+			entries, perr := parsePath(r.Header.Get(HeaderPath))
+			n.mu.Unlock()
+			if perr != nil {
+				http.Error(w, perr.Error(), http.StatusBadRequest)
+				return
+			}
+			chosen := Decide(entries)
+			w.Header().Set(HeaderPlace, formatPlacement(chosen))
+			w.Header().Set(HeaderPenalty, "0")
+			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+			if tag != "" {
+				w.Header().Set("ETag", tag)
+			}
+			w.Write(body) //nolint:errcheck
+			return
+		}
+		// Expired: revalidate upstream with the stored validator. A 304
+		// refreshes the copy; a 200 replaces it below.
+		tag := n.etag[obj]
+		body := n.body[obj]
+		n.mu.Unlock()
+		if n.revalidate(w, r, obj, tag, body, now) {
+			return
+		}
+		n.mu.Lock()
+	}
+
+	// ---- Miss: extend the piggyback header and forward upstream. ----
+	n.misses++
+	entry := pathEntry{node: n.ID, link: n.UpCost}
+	if d := n.dstore.Get(obj); d != nil {
+		n.dstore.RecordAccess(obj, now)
+		if loss, ok := n.store.CostLoss(sizeGuess(d), now); ok {
+			entry.hasDesc = true
+			entry.freq = d.Freq(now)
+			entry.loss = loss
+		}
+	}
+	n.mu.Unlock()
+
+	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	pathHeader := r.Header.Get(HeaderPath)
+	if pathHeader == "" {
+		pathHeader = formatEntry(entry)
+	} else {
+		pathHeader = pathHeader + "," + formatEntry(entry)
+	}
+	up.Header.Set(HeaderPath, pathHeader)
+
+	client := n.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(up)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	// ---- Response pass: maintain penalty counter, cache if chosen. ----
+	mp, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
+	mp += n.UpCost
+	chosen := parsePlacement(resp.Header.Get(HeaderPlace))
+
+	now = n.Clock()
+	n.mu.Lock()
+	if chosen[n.ID] {
+		desc := n.dstore.Take(obj)
+		if desc == nil {
+			desc = cache.NewDescriptor(obj, int64(len(body)))
+			desc.Window.Record(now)
+		}
+		desc.SetMissPenalty(mp)
+		if evicted, ok := n.store.Insert(desc, now); ok {
+			n.inserts++
+			n.body[obj] = append([]byte(nil), body...)
+			n.etag[obj] = resp.Header.Get("ETag")
+			n.fetched[obj] = now
+			for _, v := range evicted {
+				delete(n.body, v.ID)
+				delete(n.etag, v.ID)
+				delete(n.fetched, v.ID)
+				n.dstore.Put(v, now)
+			}
+			mp = 0
+		} else {
+			n.dstore.Put(desc, now)
+		}
+	} else if n.dstore.Contains(obj) {
+		n.dstore.SetMissPenalty(obj, mp, now)
+	} else {
+		desc := cache.NewDescriptor(obj, int64(len(body)))
+		desc.Window.Record(now)
+		desc.SetMissPenalty(mp)
+		n.dstore.Put(desc, now)
+	}
+	n.mu.Unlock()
+
+	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
+	w.Header().Set(HeaderPenalty, strconv.FormatFloat(mp, 'g', -1, 64))
+	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	w.Write(body) //nolint:errcheck
+}
+
+// revalidate issues a conditional GET upstream for an expired copy. It
+// reports whether it fully served the response (true on 304 or transport
+// error); a false return means the caller should fall through to the
+// regular miss path (the upstream returned fresh content or the copy is
+// simply gone).
+func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.ObjectID, tag string, body []byte, now float64) bool {
+	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return true
+	}
+	if tag != "" {
+		up.Header.Set("If-None-Match", tag)
+	}
+	client := n.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(up)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		// Fresh content came back (or an error): drop the stale copy
+		// and let the regular miss path refetch and re-decide.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		n.mu.Lock()
+		if d := n.store.Remove(obj); d != nil {
+			n.dstore.Put(d, now)
+		}
+		delete(n.body, obj)
+		delete(n.etag, obj)
+		delete(n.fetched, obj)
+		n.mu.Unlock()
+		return false
+	}
+	n.mu.Lock()
+	n.revalidations++
+	n.hits++
+	n.fetched[obj] = now
+	n.store.Touch(obj, now)
+	n.mu.Unlock()
+	w.Header().Set(HeaderPenalty, "0")
+	w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	w.Write(body) //nolint:errcheck
+	return true
+}
+
+// serveStats reports the node's counters and occupancy as JSON, for
+// operational monitoring of a deployed gateway.
+func (n *Node) serveStats(w http.ResponseWriter) {
+	n.mu.Lock()
+	hits, misses, inserts, revs := n.hits, n.misses, n.inserts, n.revalidations
+	used, capacity, objects := n.store.Used(), n.store.Capacity(), n.store.Len()
+	descs := n.dstore.Len()
+	n.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w,
+		"{\"node\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d}\n",
+		n.ID, hits, misses, inserts, revs, objects, used, capacity, descs)
+}
+
+// sizeGuess returns the object size known from its descriptor.
+func sizeGuess(d *cache.Descriptor) int64 { return d.Size }
+
+// Contains reports whether the node currently caches the object.
+func (n *Node) Contains(obj model.ObjectID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Contains(obj)
+}
+
+// Origin is the content source: it serves every object and runs the
+// placement decision for requests that missed everywhere. With Dir set it
+// serves files from that directory tree (reverse-proxy-style content);
+// otherwise it synthesizes deterministic pseudo-random bytes of Size(obj)
+// length.
+type Origin struct {
+	// Size returns a synthetic object's payload length.
+	Size func(model.ObjectID) int
+	// Dir, when non-empty, serves request paths as files beneath it.
+	Dir string
+}
+
+// ServeHTTP implements the origin's side of the protocol.
+func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obj, err := objectID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	entries, err := parsePath(r.Header.Get(HeaderPath))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	chosen := Decide(entries)
+	w.Header().Set(HeaderPlace, formatPlacement(chosen))
+	w.Header().Set(HeaderPenalty, "0")
+	w.Header().Set(HeaderHit, "origin")
+
+	serve := func(body []byte) {
+		tag := etagOf(body)
+		w.Header().Set("ETag", tag)
+		if r.Header.Get("If-None-Match") == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Write(body) //nolint:errcheck
+	}
+
+	if o.Dir != "" {
+		// path.Clean plus the Join keeps the lookup inside Dir
+		// (".." cannot escape a cleaned rooted path).
+		clean := path.Clean("/" + r.URL.Path)
+		body, err := os.ReadFile(filepath.Join(o.Dir, filepath.FromSlash(clean)))
+		if err != nil {
+			http.Error(w, "object not found", http.StatusNotFound)
+			return
+		}
+		serve(body)
+		return
+	}
+
+	size := 1024
+	if o.Size != nil {
+		size = o.Size(obj)
+	}
+	body := make([]byte, size)
+	seed := uint64(obj)*2654435761 + 12345
+	for i := range body {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		body[i] = byte(seed >> 56)
+	}
+	serve(body)
+}
+
+// nodeSnapshot is the gob-serialized persistent state of a gateway node.
+type nodeSnapshot struct {
+	Descriptors []cache.DescriptorSnapshot
+	Bodies      map[model.ObjectID][]byte
+}
+
+// SaveSnapshot writes the node's cached objects (descriptors and payloads)
+// so a restarted gateway can warm-start with LoadSnapshot.
+func (n *Node) SaveSnapshot(w io.Writer) error {
+	n.mu.Lock()
+	snap := nodeSnapshot{
+		Descriptors: n.store.Snapshot(),
+		Bodies:      make(map[model.ObjectID][]byte, len(n.body)),
+	}
+	for id, b := range n.body {
+		snap.Bodies[id] = append([]byte(nil), b...)
+	}
+	n.mu.Unlock()
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadSnapshot restores previously saved cache state into the (typically
+// fresh) node at time now. Entries that no longer fit are skipped; entries
+// whose payload is missing are dropped.
+func (n *Node) LoadSnapshot(r io.Reader, now float64) (restored int, err error) {
+	var snap nodeSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ds := range snap.Descriptors {
+		body, ok := snap.Bodies[ds.ID]
+		if !ok || n.store.Capacity()-n.store.Used() < ds.Size {
+			continue
+		}
+		if _, ok := n.store.Insert(cache.RestoreDescriptor(ds), now); ok {
+			n.body[ds.ID] = body
+			restored++
+		}
+	}
+	return restored, nil
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import "math"
+
+// Histogram accumulates latencies in logarithmic buckets so that runs can
+// report tail percentiles (the paper plots means only; tails are an
+// extension this library adds). Buckets span 10µs to 10⁴ seconds with 20
+// buckets per decade (≈12% relative resolution); values outside the range
+// clamp into the edge buckets. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]int64
+	count   int64
+	zero    int64 // exact-zero values (e.g. hits at the first cache)
+}
+
+const (
+	histMin          = 1e-5 // seconds
+	histDecades      = 9
+	histPerDecade    = 20
+	histBuckets      = histDecades * histPerDecade
+	histBucketFactor = histPerDecade / 1.0 // buckets per log10 unit
+)
+
+// bucketOf maps a positive value to its bucket index.
+func bucketOf(v float64) int {
+	idx := int(math.Floor(math.Log10(v/histMin) * histBucketFactor))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the geometric midpoint of a bucket.
+func bucketValue(idx int) float64 {
+	lo := histMin * math.Pow(10, float64(idx)/histPerDecade)
+	hi := histMin * math.Pow(10, float64(idx+1)/histPerDecade)
+	return math.Sqrt(lo * hi)
+}
+
+// Record adds one value. Negative values are clamped to zero.
+func (h *Histogram) Record(v float64) {
+	h.count++
+	if v <= 0 {
+		h.zero++
+		return
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an approximation of the q-quantile (0 < q ≤ 1), or 0
+// when empty. Exact zeros sort before every bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target <= h.zero {
+		return 0
+	}
+	cum := h.zero
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(histBuckets - 1)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.count += other.count
+	h.zero += other.zero
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}

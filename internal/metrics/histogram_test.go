@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramZeros(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Record(0)
+	}
+	h.Record(1.0)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("median of mostly-zeros = %v, want 0", q)
+	}
+	if q := h.Quantile(1.0); q <= 0 {
+		t.Fatalf("max quantile = %v, want positive", q)
+	}
+}
+
+func TestHistogramResolution(t *testing.T) {
+	// A single recorded value must be recovered within bucket resolution
+	// (≈±6%).
+	for _, v := range []float64{1e-4, 0.01, 0.5, 3, 100} {
+		var h Histogram
+		h.Record(v)
+		got := h.Quantile(0.5)
+		if math.Abs(got-v)/v > 0.07 {
+			t.Fatalf("value %v recovered as %v (err %.1f%%)", v, got, 100*math.Abs(got-v)/v)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	var h Histogram
+	h.Record(1e-9) // below range → lowest bucket
+	h.Record(1e9)  // above range → highest bucket
+	h.Record(-5)   // negative → zero
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(1.0); q < 1e3 {
+		t.Fatalf("max quantile %v did not land in the top bucket", q)
+	}
+}
+
+func TestHistogramQuantilesAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var h Histogram
+	values := make([]float64, 20000)
+	for i := range values {
+		// Log-uniform over [1ms, 100s].
+		values[i] = math.Exp(math.Log(0.001) + r.Float64()*math.Log(100000))
+		h.Record(values[i])
+	}
+	sort.Float64s(values)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := values[int(q*float64(len(values)))-1]
+		got := h.Quantile(q)
+		if math.Abs(math.Log(got/exact)) > 0.15 { // within ~15% in log space
+			t.Fatalf("q=%v: histogram %v vs exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(r.ExpFloat64())
+	}
+	prev := 0.0
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone at q=%v: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping wrong")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := r.Float64() * 10
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged histogram differs from whole")
+	}
+}
+
+func TestSummaryPercentiles(t *testing.T) {
+	var c Collector
+	for i := 0; i < 99; i++ {
+		c.Add(Sample{Latency: 0.1, Size: 1000})
+	}
+	c.Add(Sample{Latency: 10, Size: 1000})
+	s := c.Summary()
+	if s.P50Latency > 0.15 || s.P50Latency < 0.08 {
+		t.Fatalf("P50 = %v, want ≈0.1", s.P50Latency)
+	}
+	if s.P99Latency < 0.08 {
+		t.Fatalf("P99 = %v", s.P99Latency)
+	}
+	if q100 := c.Latencies.Quantile(1); q100 < 8 {
+		t.Fatalf("max = %v, want ≈10", q100)
+	}
+}
+
+func TestTimelineWindows(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Add(1, Sample{Latency: 1, Size: 100})
+	tl.Add(5, Sample{Latency: 3, Size: 100})
+	tl.Add(12, Sample{Latency: 5, Size: 100})
+	tl.Add(35, Sample{Latency: 7, Size: 100})
+	ws := tl.Windows()
+	if len(ws) != 4 { // [0,10) [10,20) [20,30)-empty [30,40)
+		t.Fatalf("windows = %d: %+v", len(ws), ws)
+	}
+	if ws[0].Summary.Requests != 2 || ws[0].Summary.AvgLatency != 2 {
+		t.Fatalf("window 0: %+v", ws[0].Summary)
+	}
+	if ws[1].Summary.Requests != 1 || ws[1].Summary.AvgLatency != 5 {
+		t.Fatalf("window 1: %+v", ws[1].Summary)
+	}
+	if ws[2].Summary.Requests != 0 {
+		t.Fatalf("gap window not empty: %+v", ws[2].Summary)
+	}
+	if ws[3].Start != 30 || ws[3].Summary.AvgLatency != 7 {
+		t.Fatalf("window 3: %+v", ws[3])
+	}
+	// Second call is stable.
+	if len(tl.Windows()) != 4 {
+		t.Fatal("Windows not idempotent")
+	}
+}
+
+func TestTimelineDefaultWindow(t *testing.T) {
+	tl := NewTimeline(0)
+	if tl.window != 600 {
+		t.Fatalf("default window = %v", tl.window)
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics accumulates the per-request statistics the paper reports:
+// average access latency, response ratio, byte hit ratio, network traffic in
+// byte×hops, hops traveled, and aggregate cache read/write load (Figures
+// 6–10), plus the piggyback overhead of coordinated caching (§2.3).
+package metrics
+
+// Sample is the accounting for one completed request.
+type Sample struct {
+	Latency        float64 // seconds
+	Size           int64   // bytes
+	CacheHit       bool    // served by some cache (not the origin)
+	Hops           int     // links traversed up to the serving node
+	ReadBytes      int64   // bytes read from caches (hit size)
+	WriteBytes     int64   // bytes written into caches (inserted copies)
+	Inserts        int     // number of copies inserted
+	PiggybackBytes int64   // protocol meta-information carried
+
+	// Consistency accounting (zero unless a coherency tracker is
+	// configured).
+	StaleHit bool // the hit served an out-of-date copy
+	Refetch  bool // the policy forced a revalidation from the origin
+}
+
+// Collector accumulates samples. The zero value is ready to use.
+type Collector struct {
+	Requests       int64
+	BytesRequested int64
+	SumLatency     float64
+	SumRespRatio   float64
+	CacheHits      int64
+	CacheHitBytes  int64
+	SumByteHops    float64
+	SumHops        int64
+	ReadBytes      int64
+	WriteBytes     int64
+	Inserts        int64
+	PiggybackBytes int64
+	StaleHits      int64
+	Refetches      int64
+
+	// Latencies buckets every recorded latency for tail percentiles.
+	Latencies Histogram
+}
+
+// Add records one request.
+func (c *Collector) Add(s Sample) {
+	c.Requests++
+	c.BytesRequested += s.Size
+	c.SumLatency += s.Latency
+	c.Latencies.Record(s.Latency)
+	if s.Size > 0 {
+		// Response ratio normalized per kilobyte so the magnitudes
+		// are readable (latency per KB of payload).
+		c.SumRespRatio += s.Latency / (float64(s.Size) / 1024)
+	}
+	if s.CacheHit {
+		c.CacheHits++
+		c.CacheHitBytes += s.Size
+	}
+	c.SumByteHops += float64(s.Size) * float64(s.Hops)
+	c.SumHops += int64(s.Hops)
+	c.ReadBytes += s.ReadBytes
+	c.WriteBytes += s.WriteBytes
+	c.Inserts += int64(s.Inserts)
+	c.PiggybackBytes += s.PiggybackBytes
+	if s.StaleHit {
+		c.StaleHits++
+	}
+	if s.Refetch {
+		c.Refetches++
+	}
+}
+
+// Summary is the derived per-request averages a run reports.
+type Summary struct {
+	Requests     int64
+	AvgSize      float64 // bytes requested per request
+	AvgLatency   float64 // seconds per request
+	AvgRespRatio float64 // seconds per KB of payload
+	HitRatio     float64 // fraction of requests served by caches
+	ByteHitRatio float64 // fraction of bytes served by caches
+	AvgByteHops  float64 // bytes×hops per request (network traffic)
+	AvgHops      float64 // links traversed per request
+	AvgReadLoad  float64 // cache bytes read per request
+	AvgWriteLoad float64 // cache bytes written per request
+	AvgLoad      float64 // read + write
+	AvgInserts   float64 // copies inserted per request
+	AvgPiggyback float64 // protocol overhead bytes per request
+
+	StaleHitRatio float64 // fraction of requests served a stale copy
+	RefetchRatio  float64 // fraction of requests forced to revalidate
+
+	// Latency tail percentiles (seconds), log-bucket approximations.
+	P50Latency float64
+	P95Latency float64
+	P99Latency float64
+}
+
+// Summary derives the averages; it is safe on an empty collector.
+func (c *Collector) Summary() Summary {
+	if c.Requests == 0 {
+		return Summary{}
+	}
+	n := float64(c.Requests)
+	return Summary{
+		Requests:      c.Requests,
+		AvgSize:       float64(c.BytesRequested) / n,
+		AvgLatency:    c.SumLatency / n,
+		AvgRespRatio:  c.SumRespRatio / n,
+		HitRatio:      float64(c.CacheHits) / n,
+		ByteHitRatio:  float64(c.CacheHitBytes) / float64(c.BytesRequested),
+		AvgByteHops:   c.SumByteHops / n,
+		AvgHops:       float64(c.SumHops) / n,
+		AvgReadLoad:   float64(c.ReadBytes) / n,
+		AvgWriteLoad:  float64(c.WriteBytes) / n,
+		AvgLoad:       float64(c.ReadBytes+c.WriteBytes) / n,
+		AvgInserts:    float64(c.Inserts) / n,
+		AvgPiggyback:  float64(c.PiggybackBytes) / n,
+		StaleHitRatio: float64(c.StaleHits) / n,
+		RefetchRatio:  float64(c.Refetches) / n,
+		P50Latency:    c.Latencies.Quantile(0.50),
+		P95Latency:    c.Latencies.Quantile(0.95),
+		P99Latency:    c.Latencies.Quantile(0.99),
+	}
+}
+
+// Merge folds other into c (for sharded or multi-run aggregation).
+func (c *Collector) Merge(other *Collector) {
+	c.Requests += other.Requests
+	c.BytesRequested += other.BytesRequested
+	c.SumLatency += other.SumLatency
+	c.SumRespRatio += other.SumRespRatio
+	c.CacheHits += other.CacheHits
+	c.CacheHitBytes += other.CacheHitBytes
+	c.SumByteHops += other.SumByteHops
+	c.SumHops += other.SumHops
+	c.ReadBytes += other.ReadBytes
+	c.WriteBytes += other.WriteBytes
+	c.Inserts += other.Inserts
+	c.PiggybackBytes += other.PiggybackBytes
+	c.StaleHits += other.StaleHits
+	c.Refetches += other.Refetches
+	c.Latencies.Merge(&other.Latencies)
+}

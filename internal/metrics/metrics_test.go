@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEmptyCollector(t *testing.T) {
+	var c Collector
+	if s := c.Summary(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var c Collector
+	c.Add(Sample{
+		Latency:        2.0,
+		Size:           2048,
+		CacheHit:       true,
+		Hops:           3,
+		ReadBytes:      2048,
+		WriteBytes:     4096,
+		Inserts:        2,
+		PiggybackBytes: 80,
+	})
+	s := c.Summary()
+	if s.Requests != 1 || s.AvgLatency != 2.0 || s.HitRatio != 1 || s.ByteHitRatio != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.AvgRespRatio != 1.0 { // 2s / 2KB
+		t.Fatalf("resp ratio = %v, want 1", s.AvgRespRatio)
+	}
+	if s.AvgByteHops != 2048*3 || s.AvgHops != 3 {
+		t.Fatalf("traffic %v hops %v", s.AvgByteHops, s.AvgHops)
+	}
+	if s.AvgReadLoad != 2048 || s.AvgWriteLoad != 4096 || s.AvgLoad != 6144 {
+		t.Fatalf("load %+v", s)
+	}
+	if s.AvgInserts != 2 || s.AvgPiggyback != 80 {
+		t.Fatalf("inserts/piggyback %+v", s)
+	}
+}
+
+func TestAveragesAndHitRatios(t *testing.T) {
+	var c Collector
+	c.Add(Sample{Latency: 1, Size: 1024, CacheHit: true, Hops: 1, ReadBytes: 1024})
+	c.Add(Sample{Latency: 3, Size: 3072, CacheHit: false, Hops: 5, WriteBytes: 3072, Inserts: 1})
+	s := c.Summary()
+	if s.AvgLatency != 2 {
+		t.Fatalf("avg latency %v", s.AvgLatency)
+	}
+	if s.HitRatio != 0.5 {
+		t.Fatalf("hit ratio %v", s.HitRatio)
+	}
+	if want := 1024.0 / 4096.0; s.ByteHitRatio != want {
+		t.Fatalf("byte hit ratio %v, want %v", s.ByteHitRatio, want)
+	}
+	if want := (1.0 + 1.0) / 2; math.Abs(s.AvgRespRatio-want) > 1e-12 {
+		t.Fatalf("resp ratio %v, want %v", s.AvgRespRatio, want)
+	}
+	if want := (1024.0*1 + 3072.0*5) / 2; s.AvgByteHops != want {
+		t.Fatalf("byte hops %v, want %v", s.AvgByteHops, want)
+	}
+}
+
+func TestZeroSizeSampleSafe(t *testing.T) {
+	var c Collector
+	c.Add(Sample{Latency: 1, Size: 0})
+	s := c.Summary()
+	if math.IsNaN(s.AvgRespRatio) || math.IsInf(s.AvgRespRatio, 0) {
+		t.Fatalf("resp ratio with zero size = %v", s.AvgRespRatio)
+	}
+}
+
+func TestMergeEqualsSequential(t *testing.T) {
+	mk := func(n int, seed int64) []Sample {
+		out := make([]Sample, n)
+		for i := range out {
+			out[i] = Sample{
+				Latency:    float64(i%7) * 0.1,
+				Size:       int64(100 + (seed+int64(i))%900),
+				CacheHit:   i%3 == 0,
+				Hops:       i % 5,
+				ReadBytes:  int64(i * 10),
+				WriteBytes: int64(i * 20),
+				Inserts:    i % 2,
+			}
+		}
+		return out
+	}
+	a, b := mk(50, 1), mk(70, 2)
+	var whole Collector
+	for _, s := range append(append([]Sample{}, a...), b...) {
+		whole.Add(s)
+	}
+	var ca, cb Collector
+	for _, s := range a {
+		ca.Add(s)
+	}
+	for _, s := range b {
+		cb.Add(s)
+	}
+	ca.Merge(&cb)
+	// Integer fields must match exactly; float sums only up to
+	// associativity error.
+	if ca.Requests != whole.Requests || ca.BytesRequested != whole.BytesRequested ||
+		ca.CacheHits != whole.CacheHits || ca.CacheHitBytes != whole.CacheHitBytes ||
+		ca.SumHops != whole.SumHops || ca.ReadBytes != whole.ReadBytes ||
+		ca.WriteBytes != whole.WriteBytes || ca.Inserts != whole.Inserts {
+		t.Fatalf("merged collector differs:\n%+v\n%+v", ca, whole)
+	}
+	for _, d := range []float64{
+		ca.SumLatency - whole.SumLatency,
+		ca.SumRespRatio - whole.SumRespRatio,
+		ca.SumByteHops - whole.SumByteHops,
+	} {
+		if math.Abs(d) > 1e-9*math.Max(1, math.Abs(whole.SumRespRatio)) {
+			t.Fatalf("merged float sums differ:\n%+v\n%+v", ca, whole)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+// Timeline buckets samples into fixed wall-clock windows, producing a
+// time series of summaries. The paper reports steady-state averages only;
+// the timeline exposes transient behaviour (warm-up, popularity shifts,
+// flash crowds).
+type Timeline struct {
+	window  float64
+	current Collector
+	start   float64
+	open    bool
+	windows []Window
+}
+
+// Window is one completed aggregation interval.
+type Window struct {
+	Start   float64 // window start time (seconds)
+	Summary Summary
+}
+
+// NewTimeline buckets samples into windows of the given length (seconds).
+func NewTimeline(window float64) *Timeline {
+	if window <= 0 {
+		window = 600
+	}
+	return &Timeline{window: window}
+}
+
+// Add records a sample occurring at time now. Samples must arrive in
+// non-decreasing time order.
+func (t *Timeline) Add(now float64, s Sample) {
+	if !t.open {
+		t.start = now - mod(now, t.window)
+		t.open = true
+	}
+	for now >= t.start+t.window {
+		t.flush()
+		t.start += t.window
+	}
+	t.current.Add(s)
+}
+
+func mod(x, m float64) float64 {
+	n := x / m
+	return x - float64(int64(n))*m
+}
+
+func (t *Timeline) flush() {
+	t.windows = append(t.windows, Window{Start: t.start, Summary: t.current.Summary()})
+	t.current = Collector{}
+}
+
+// Windows completes the open window and returns the series.
+func (t *Timeline) Windows() []Window {
+	if t.open && t.current.Requests > 0 {
+		t.flush()
+		t.current = Collector{}
+	}
+	return t.windows
+}

@@ -1,0 +1,43 @@
+// Package model defines the small set of identifier and value types shared
+// by every subsystem of the cascaded-cache simulator: objects, nodes,
+// clients, servers and requests.
+//
+// Times are float64 seconds from the start of the trace. Sizes are bytes.
+package model
+
+// ObjectID identifies a web object. Objects are immutable for the lifetime
+// of a simulation (the paper assumes cache contents are kept up to date by
+// an orthogonal coherency protocol).
+type ObjectID int64
+
+// NodeID identifies a node of the network topology (a router/cache location
+// in the en-route architecture, or a tree node in the hierarchical one).
+type NodeID int32
+
+// ClientID identifies a request-issuing client. Clients are attached to
+// topology nodes by the simulator.
+type ClientID int32
+
+// ServerID identifies an origin server. Each object belongs to exactly one
+// server; object sets of different servers are disjoint.
+type ServerID int32
+
+// NoNode is a sentinel for "no node".
+const NoNode NodeID = -1
+
+// Object is a catalog entry: an object's identity, size and home server.
+type Object struct {
+	ID     ObjectID
+	Size   int64
+	Server ServerID
+}
+
+// Request is one trace record: at Time, Client asked for Object (hosted by
+// Server, Size bytes).
+type Request struct {
+	Time   float64
+	Client ClientID
+	Object ObjectID
+	Server ServerID
+	Size   int64
+}

@@ -1,0 +1,206 @@
+package runtime
+
+import (
+	"sync"
+
+	"cascade/internal/cache"
+	"cascade/internal/core"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+// fetchMsg is the upstream request message of §2.3. As it passes each
+// cache it accumulates one piggyback entry per node (or the "no
+// descriptor" tag, represented by the entry's absence).
+type fetchMsg struct {
+	obj  model.ObjectID
+	size int64
+	now  float64
+
+	route  []model.NodeID // caches from the client's first cache upward
+	upCost []float64      // per-object link costs, aligned with route
+	hop    int            // index of the node now processing the message
+
+	accCost float64 // cost accumulated so far (links below this node)
+	pb      []pbEntry
+
+	reply chan Result
+}
+
+// pbEntry is the piggybacked meta information of one candidate cache.
+type pbEntry struct {
+	hop  int
+	freq float64
+	loss float64
+}
+
+// deliverMsg is the downstream response message: the decision set, the
+// miss-penalty counter and the delivery bookkeeping.
+type deliverMsg struct {
+	obj  model.ObjectID
+	size int64
+	now  float64
+
+	route  []model.NodeID
+	upCost []float64
+	hop    int // node about to process the message
+
+	chosen map[int]bool // hop indices instructed to cache
+	mp     float64      // accumulated miss-penalty counter
+
+	result Result
+	reply  chan Result
+}
+
+// node is one cache actor. All fields below inbox are owned exclusively by
+// the actor goroutine.
+type node struct {
+	id      model.NodeID
+	cluster *Cluster
+	inbox   chan any
+
+	store  *cache.HeapStore
+	dstore dcache.DCache
+}
+
+func (n *node) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for msg := range n.inbox {
+		switch m := msg.(type) {
+		case *fetchMsg:
+			n.handleFetch(m)
+		case *deliverMsg:
+			n.handleDeliver(m)
+		}
+	}
+}
+
+// handleFetch implements the upstream pass at this node.
+func (n *node) handleFetch(m *fetchMsg) {
+	if n.store.Contains(m.obj) {
+		// Serving node A_0: record the hit and decide placement for
+		// the caches below.
+		n.store.Touch(m.obj, m.now)
+		n.decideAndDeliver(m, m.hop, model.NodeID(n.id), m.accCost, m.hop)
+		return
+	}
+
+	// Observed passing through: refresh the descriptor's history and
+	// piggyback this node's candidacy. A node without a descriptor
+	// attaches no entry (the §2.4 tag) and is excluded from the DP.
+	if n.dstore.RecordAccess(m.obj, m.now) {
+		if loss, ok := n.store.CostLoss(m.size, m.now); ok {
+			m.pb = append(m.pb, pbEntry{
+				hop:  m.hop,
+				freq: n.dstore.Get(m.obj).Freq(m.now),
+				loss: loss,
+			})
+		}
+	}
+
+	if m.hop == len(m.route)-1 {
+		// Top cache missed: the origin serves. The origin's decision
+		// logic runs here (it is a deterministic function of the
+		// piggybacked data; a real origin would execute it upon
+		// receiving the tagged request).
+		originCost := m.accCost + m.upCost[m.hop]
+		originHops := len(m.route) - 1
+		if m.upCost[m.hop] > 0 {
+			originHops++ // hierarchy: root–server is a real link
+		}
+		n.decideAndDeliver(m, len(m.route), model.NoNode, originCost, originHops)
+		return
+	}
+
+	m.accCost += m.upCost[m.hop]
+	m.hop++
+	n.cluster.send(m.route[m.hop], m) //nolint:errcheck // route nodes exist by construction
+}
+
+// decideAndDeliver runs the §2.2 dynamic program over the piggybacked
+// candidates and starts the downstream pass. servingHop is the path index
+// of the serving node (len(route) for the origin).
+func (n *node) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
+	// Candidates ordered from the serving node toward the client (the
+	// paper's A_1 … A_n): descending hop index.
+	cand := make([]core.Node, 0, len(m.pb))
+	idx := make([]int, 0, len(m.pb))
+	mAcc := 0.0
+	pb := m.pb
+	for i := servingHop - 1; i >= 0; i-- {
+		mAcc += m.upCost[i]
+		// pb entries are appended in ascending hop order; find the
+		// one for this hop from the tail.
+		for len(pb) > 0 && pb[len(pb)-1].hop > i {
+			pb = pb[:len(pb)-1]
+		}
+		if len(pb) == 0 || pb[len(pb)-1].hop != i {
+			continue
+		}
+		e := pb[len(pb)-1]
+		pb = pb[:len(pb)-1]
+		cand = append(cand, core.Node{Freq: e.freq, MissPenalty: mAcc, CostLoss: e.loss})
+		idx = append(idx, i)
+	}
+	placement := core.Optimize(core.ClampMonotone(cand))
+	chosen := make(map[int]bool, len(placement.Indices))
+	for _, v := range placement.Indices {
+		chosen[idx[v]] = true
+	}
+
+	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
+	if servingHop == 0 {
+		// Hit at the client's first cache: nothing travels downstream.
+		n.cluster.finish(m.reply, result)
+		return
+	}
+	d := &deliverMsg{
+		obj:    m.obj,
+		size:   m.size,
+		now:    m.now,
+		route:  m.route,
+		upCost: m.upCost,
+		hop:    servingHop - 1,
+		chosen: chosen,
+		mp:     0,
+		result: result,
+		reply:  m.reply,
+	}
+	n.cluster.send(m.route[d.hop], d) //nolint:errcheck
+}
+
+// handleDeliver implements the downstream pass at this node.
+func (n *node) handleDeliver(d *deliverMsg) {
+	d.mp += d.upCost[d.hop]
+	if d.chosen[d.hop] {
+		desc := n.dstore.Take(d.obj)
+		if desc == nil {
+			desc = cache.NewDescriptor(d.obj, d.size)
+			desc.Window.Record(d.now)
+		}
+		desc.SetMissPenalty(d.mp)
+		if evicted, ok := n.store.Insert(desc, d.now); ok {
+			d.result.Placed = append(d.result.Placed, n.id)
+			for _, v := range evicted {
+				n.dstore.Put(v, d.now)
+			}
+			d.mp = 0
+		} else {
+			n.dstore.Put(desc, d.now)
+		}
+	} else if n.dstore.Contains(d.obj) {
+		n.dstore.SetMissPenalty(d.obj, d.mp, d.now)
+	} else {
+		desc := cache.NewDescriptor(d.obj, d.size)
+		desc.Window.Record(d.now)
+		desc.SetMissPenalty(d.mp)
+		n.dstore.Put(desc, d.now)
+	}
+
+	if d.hop == 0 {
+		n.cluster.finish(d.reply, d.result)
+		return
+	}
+	d.hop--
+	n.cluster.send(d.route[d.hop], d) //nolint:errcheck
+}

@@ -1,0 +1,233 @@
+// Package runtime implements the coordinated caching protocol of paper
+// §2.3 as a concurrent message-passing system: every cache node is an
+// independent actor (goroutine) owning its stores exclusively, and all
+// coordination happens through the two messages the paper describes — a
+// request traveling up the distribution tree collecting piggybacked
+// (f, m, l) descriptors, and a response traveling down carrying the
+// placement decision and the accumulated miss-penalty counter.
+//
+// The trace-driven simulator (package sim) answers "does the algorithm
+// win?"; this package answers "does the protocol deploy?". Both share the
+// same cache substrate (packages cache, dcache, core), and the test suite
+// cross-validates them: replaying a request sequence through a Cluster one
+// request at a time produces exactly the hits and placements of the
+// simulation scheme.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+	"cascade/internal/topology"
+)
+
+// Result reports how the cluster served one request.
+type Result struct {
+	// ServedBy is the node that supplied the object, or model.NoNode for
+	// the origin server.
+	ServedBy model.NodeID
+	// Cost is the total access cost (sum of traversed link costs, scaled
+	// to the object's size).
+	Cost float64
+	// Hops is the number of links the request traversed upward.
+	Hops int
+	// Placed lists the nodes that inserted a new copy while the response
+	// traveled down.
+	Placed []model.NodeID
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// Network supplies distribution-tree routes between attachment
+	// points.
+	Network topology.Network
+	// CacheBytes is each node's main-cache capacity.
+	CacheBytes int64
+	// DCacheEntries bounds each node's descriptor cache.
+	DCacheEntries int
+	// AvgObjectSize scales link costs per object (cost model §3.2); when
+	// zero, link costs are used unscaled.
+	AvgObjectSize float64
+	// Clock supplies the current time in seconds for frequency
+	// estimation. Defaults to wall-clock seconds since cluster start.
+	// Deterministic tests inject a logical clock.
+	Clock func() float64
+	// InboxDepth is each node's message-queue capacity (default 128).
+	InboxDepth int
+	// DCacheFactory selects the d-cache implementation (heap LFU by
+	// default).
+	DCacheFactory dcache.Factory
+}
+
+// Stats are cluster-wide counters, readable at any time.
+type Stats struct {
+	Requests  int64 // Gets issued
+	CacheHits int64 // requests served by some cache
+	Messages  int64 // protocol messages exchanged between actors
+	Inserts   int64 // object copies written by downstream passes
+}
+
+// Cluster is a running set of cache-node actors implementing coordinated
+// caching over a cascaded architecture.
+type Cluster struct {
+	cfg      Config
+	nodes    map[model.NodeID]*node
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup // open requests (reply not yet delivered)
+	reqSeq   uint64
+	mu       sync.Mutex // guards reqSeq and closed
+	closed   bool
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+	messages  atomic.Int64
+	inserts   atomic.Int64
+}
+
+// NewCluster starts one actor per cache node of the network.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("runtime: network is required")
+	}
+	if cfg.CacheBytes < 0 || cfg.DCacheEntries < 0 {
+		return nil, fmt.Errorf("runtime: negative capacities")
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 128
+	}
+	if cfg.Clock == nil {
+		start := time.Now()
+		cfg.Clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	if cfg.DCacheFactory == nil {
+		cfg.DCacheFactory = dcache.NewFactory
+	}
+	c := &Cluster{cfg: cfg, nodes: make(map[model.NodeID]*node, cfg.Network.NumCaches())}
+	for i := 0; i < cfg.Network.NumCaches(); i++ {
+		id := model.NodeID(i)
+		n := &node{
+			id:      id,
+			cluster: c,
+			inbox:   make(chan any, cfg.InboxDepth),
+			store:   cache.NewCostAware(cfg.CacheBytes),
+			dstore:  cfg.DCacheFactory(cfg.DCacheEntries),
+		}
+		c.nodes[id] = n
+		c.wg.Add(1)
+		go n.run(&c.wg)
+	}
+	return c, nil
+}
+
+// Close rejects new requests, waits for every in-flight request's reply to
+// be delivered (replies are buffered, so abandoned — e.g. context-canceled
+// — Gets do not block shutdown), then stops all node actors. The cluster
+// must not be used afterwards.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.inflight.Wait()
+	for _, n := range c.nodes {
+		close(n.inbox)
+	}
+	c.wg.Wait()
+}
+
+// Node returns the actor for a node ID (for inspection in tests).
+func (c *Cluster) node(id model.NodeID) *node { return c.nodes[id] }
+
+// Get requests an object on behalf of a client attached at clientNode from
+// the origin server attached at serverNode, blocking until the response
+// arrives or ctx is done. Concurrent Gets are safe; per-node state is
+// touched only by the owning actor.
+func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, obj model.ObjectID, size int64) (Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, fmt.Errorf("runtime: cluster closed")
+	}
+	c.reqSeq++
+	c.inflight.Add(1)
+	c.mu.Unlock()
+	c.requests.Add(1)
+
+	route := c.cfg.Network.Route(clientNode, serverNode)
+	scale := 1.0
+	if c.cfg.AvgObjectSize > 0 {
+		scale = float64(size) / c.cfg.AvgObjectSize
+	}
+	upCost := make([]float64, len(route.UpCost))
+	for i, v := range route.UpCost {
+		upCost[i] = v * scale
+	}
+
+	reply := make(chan Result, 1)
+	f := &fetchMsg{
+		obj:    obj,
+		size:   size,
+		now:    c.cfg.Clock(),
+		route:  route.Caches,
+		upCost: upCost,
+		hop:    0,
+		reply:  reply,
+	}
+	if err := c.send(route.Caches[0], f); err != nil {
+		c.inflight.Done()
+		return Result{}, err
+	}
+	select {
+	case r := <-reply:
+		return r, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// send enqueues a message into a node's inbox. When the inbox is full the
+// handoff moves to a goroutine so that two nodes saturating each other's
+// queues in opposite directions cannot deadlock the actors themselves.
+func (c *Cluster) send(to model.NodeID, msg any) error {
+	n, ok := c.nodes[to]
+	if !ok {
+		return fmt.Errorf("runtime: unknown node %d", to)
+	}
+	c.messages.Add(1)
+	select {
+	case n.inbox <- msg:
+	default:
+		go func() { n.inbox <- msg }()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cluster-wide counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Requests:  c.requests.Load(),
+		CacheHits: c.cacheHits.Load(),
+		Messages:  c.messages.Load(),
+		Inserts:   c.inserts.Load(),
+	}
+}
+
+// finish delivers a request's reply (buffered, never blocks) and retires it
+// from the in-flight set.
+func (c *Cluster) finish(reply chan Result, r Result) {
+	if r.ServedBy != model.NoNode {
+		c.cacheHits.Add(1)
+	}
+	c.inserts.Add(int64(len(r.Placed)))
+	reply <- r
+	c.inflight.Done()
+}

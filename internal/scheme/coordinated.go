@@ -1,0 +1,210 @@
+package scheme
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/core"
+	"cascade/internal/dcache"
+	"cascade/internal/freq"
+	"cascade/internal/model"
+)
+
+// Coordinated is the paper's proposed scheme (§2.3): object placement and
+// replacement decided jointly for all caches on a request's delivery path.
+//
+// Protocol per request:
+//
+//  1. Upstream pass (request message): each cache A_i without the object
+//     piggybacks its access-frequency estimate f_i, the accumulated link
+//     costs (from which the deciding node derives the miss penalties m_i),
+//     and its greedy eviction cost loss l_i for the object's size. Nodes
+//     whose d-cache lacks the object's descriptor attach the "no
+//     descriptor" tag instead and are excluded from the candidate set.
+//  2. The serving node A_0 (first cache holding the object, or the origin)
+//     solves the n-optimization problem with the dynamic program of §2.2
+//     and attaches the optimal caching locations to the response.
+//  3. Downstream pass (response message): a cost counter accumulates link
+//     delays; each cache updates the object's stored miss penalty from the
+//     counter, caches the object if instructed (resetting the counter and
+//     demoting evicted objects' descriptors to the d-cache), and otherwise
+//     ensures a descriptor of the passing object exists in its d-cache.
+type Coordinated struct {
+	caches  map[model.NodeID]*cache.HeapStore
+	dcaches map[model.NodeID]dcache.DCache
+
+	// clampMonotone restores f_1 ≥ … ≥ f_n on the piggybacked frequency
+	// profile before optimizing (sliding-window noise can transiently
+	// violate the containment property the model guarantees).
+	clampMonotone bool
+
+	// theorem2Prune drops candidates whose replacement is not locally
+	// beneficial (f·m < l) before running the DP. Theorem 2 guarantees
+	// the optimal solution never contains such nodes, so pruning cannot
+	// change the decision — it only shrinks the DP input (the paper uses
+	// the property to bound d-cache requirements).
+	theorem2Prune bool
+
+	// windowK is the sliding-window size for descriptors this scheme
+	// creates (paper default 3).
+	windowK int
+
+	dfac dcache.Factory
+
+	// scratch buffers reused across Process calls.
+	cand  []core.Node
+	index []int
+}
+
+// NewCoordinated returns an unconfigured coordinated scheme with monotone
+// frequency clamping enabled.
+func NewCoordinated() *Coordinated {
+	return &Coordinated{clampMonotone: true, dfac: dcache.NewFactory, windowK: freq.DefaultK}
+}
+
+// SetClampMonotone toggles the monotone frequency clamp (default on).
+func (s *Coordinated) SetClampMonotone(v bool) { s.clampMonotone = v }
+
+// SetTheorem2Prune toggles pre-DP pruning of locally non-beneficial
+// candidates (default off; by Theorem 2 the placement is identical either
+// way).
+func (s *Coordinated) SetTheorem2Prune(v bool) { s.theorem2Prune = v }
+
+// SetWindowK overrides the sliding-window size of descriptors the scheme
+// creates (paper default 3). Call before processing requests.
+func (s *Coordinated) SetWindowK(k int) { s.windowK = k }
+
+// SetDCacheFactory selects the d-cache implementation (heap LFU by
+// default; dcache.NewLRUStacksFactory for the paper's O(1) variant). Call
+// before Configure.
+func (s *Coordinated) SetDCacheFactory(f dcache.Factory) { s.dfac = f }
+
+// Name implements Scheme.
+func (s *Coordinated) Name() string { return "COORD" }
+
+// Configure implements Scheme.
+func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
+	s.caches = make(map[model.NodeID]*cache.HeapStore, len(budgets))
+	s.dcaches = make(map[model.NodeID]dcache.DCache, len(budgets))
+	for n, b := range budgets {
+		s.caches[n] = cache.NewCostAware(b.CacheBytes)
+		s.dcaches[n] = s.dfac(b.DCacheEntries)
+	}
+}
+
+// Process implements Scheme.
+func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	// ---- Upstream pass -------------------------------------------------
+	hit := path.OriginIndex()
+	for i := range path.Nodes {
+		n := path.Nodes[i]
+		if main := s.caches[n]; main.Contains(obj) {
+			main.Touch(obj, now)
+			hit = i
+			break
+		}
+		// The request is observed passing through: refresh the
+		// d-cache descriptor's access history (if the node has one).
+		s.dcaches[n].RecordAccess(obj, now)
+	}
+
+	// ---- Placement decision at the serving node ------------------------
+	// Candidates are the caches strictly below the hit whose d-cache
+	// holds the object's descriptor (§2.4) and which could fit the
+	// object at all. The DP orders them from the serving node toward the
+	// client (paper index 1 … n), i.e. descending path index.
+	s.cand = s.cand[:0]
+	s.index = s.index[:0]
+	var piggyback int64
+	m := 0.0 // accumulated miss penalty from the serving node downward
+	for i := hit - 1; i >= 0; i-- {
+		m += path.UpCost[i]
+		n := path.Nodes[i]
+		desc := s.dcaches[n].Get(obj)
+		if desc == nil {
+			continue // "no descriptor" tag: excluded from candidates
+		}
+		piggyback += descriptorWireBytes
+		loss, ok := s.caches[n].CostLoss(size, now)
+		if !ok {
+			continue // object cannot fit in this cache
+		}
+		f := desc.Freq(now)
+		if s.theorem2Prune && f*m < loss {
+			continue // Theorem 2: never part of an optimal placement
+		}
+		s.cand = append(s.cand, core.Node{
+			Freq:        f,
+			MissPenalty: m,
+			CostLoss:    loss,
+		})
+		s.index = append(s.index, i)
+	}
+	problem := s.cand
+	if s.clampMonotone {
+		problem = core.ClampMonotone(problem)
+	}
+	placement := core.Optimize(problem)
+
+	chosen := make(map[int]bool, len(placement.Indices))
+	for _, v := range placement.Indices {
+		chosen[s.index[v]] = true
+		piggyback += 4 // placement instruction on the response
+	}
+
+	// ---- Downstream pass ------------------------------------------------
+	var placed []int
+	mp := 0.0 // the response message's miss-penalty counter
+	for i := hit - 1; i >= 0; i-- {
+		mp += path.UpCost[i]
+		n := path.Nodes[i]
+		if chosen[i] {
+			desc := s.dcaches[n].Take(obj)
+			if desc == nil {
+				// Possible only when the d-cache dropped the
+				// descriptor between passes; rebuild it.
+				desc = cache.NewDescriptorK(obj, size, s.windowK)
+				desc.Window.Record(now)
+			}
+			desc.SetMissPenalty(mp)
+			evicted, ok := s.caches[n].Insert(desc, now)
+			if !ok {
+				s.dcaches[n].Put(desc, now)
+				continue
+			}
+			placed = append(placed, i)
+			for _, v := range evicted {
+				s.dcaches[n].Put(v, now)
+			}
+			mp = 0 // a fresh copy now sits here
+			continue
+		}
+		// Not instructed to cache: maintain the node's meta
+		// information about the passing object.
+		dc := s.dcaches[n]
+		if dc.Contains(obj) {
+			dc.SetMissPenalty(obj, mp, now)
+		} else {
+			desc := cache.NewDescriptorK(obj, size, s.windowK)
+			desc.Window.Record(now)
+			desc.SetMissPenalty(mp)
+			dc.Put(desc, now)
+		}
+	}
+	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback}
+}
+
+// Cache exposes a node's main store for tests.
+func (s *Coordinated) Cache(n model.NodeID) *cache.HeapStore { return s.caches[n] }
+
+// DCache exposes a node's descriptor cache for tests.
+func (s *Coordinated) DCache(n model.NodeID) dcache.DCache { return s.dcaches[n] }
+
+// Evict implements Evicter: the invalidated copy's descriptor is demoted
+// to the d-cache, exactly as a capacity eviction would.
+func (s *Coordinated) Evict(node model.NodeID, obj model.ObjectID) bool {
+	d := s.caches[node].Remove(obj)
+	if d == nil {
+		return false
+	}
+	s.dcaches[node].Put(d, d.Window.LastAccess())
+	return true
+}

@@ -1,0 +1,121 @@
+package scheme
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+// LFU is an extra baseline beyond the paper's comparators: caching
+// everywhere with least-frequently-used replacement driven by the same
+// sliding-window estimator the cost-aware schemes use. It isolates the
+// value of frequency information alone (no cost, no placement decisions).
+type LFU struct {
+	caches  map[model.NodeID]*cache.HeapStore
+	dcaches map[model.NodeID]dcache.DCache
+}
+
+// NewLFU returns an unconfigured LFU scheme.
+func NewLFU() *LFU { return &LFU{} }
+
+// Name implements Scheme.
+func (s *LFU) Name() string { return "LFU" }
+
+// Configure implements Scheme.
+func (s *LFU) Configure(budgets map[model.NodeID]NodeBudget) {
+	s.caches = make(map[model.NodeID]*cache.HeapStore, len(budgets))
+	s.dcaches = make(map[model.NodeID]dcache.DCache, len(budgets))
+	for n, b := range budgets {
+		s.caches[n] = cache.NewLFU(b.CacheBytes)
+		s.dcaches[n] = dcache.New(b.DCacheEntries)
+	}
+}
+
+// Process implements Scheme.
+func (s *LFU) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	hit := path.OriginIndex()
+	for i := range path.Nodes {
+		n := path.Nodes[i]
+		if main := s.caches[n]; main.Contains(obj) {
+			main.Touch(obj, now)
+			hit = i
+			break
+		}
+		s.dcaches[n].RecordAccess(obj, now)
+	}
+	var placed []int
+	for i := hit - 1; i >= 0; i-- {
+		n := path.Nodes[i]
+		desc := s.dcaches[n].Take(obj)
+		if desc == nil {
+			desc = cache.NewDescriptor(obj, size)
+			desc.Window.Record(now)
+		}
+		evicted, ok := s.caches[n].Insert(desc, now)
+		if !ok {
+			s.dcaches[n].Put(desc, now)
+			continue
+		}
+		placed = append(placed, i)
+		for _, v := range evicted {
+			s.dcaches[n].Put(v, now)
+		}
+	}
+	return Outcome{HitIndex: hit, Placed: placed}
+}
+
+// GDS is an extra baseline: caching everywhere with GreedyDual-Size
+// replacement, the retrieval cost of an object taken as the delay of the
+// immediate upstream link (the cost LNC-R uses too).
+type GDS struct {
+	caches map[model.NodeID]*cache.GreedyDualSize
+}
+
+// NewGDS returns an unconfigured GreedyDual-Size scheme.
+func NewGDS() *GDS { return &GDS{} }
+
+// Name implements Scheme.
+func (s *GDS) Name() string { return "GDS" }
+
+// Configure implements Scheme.
+func (s *GDS) Configure(budgets map[model.NodeID]NodeBudget) {
+	s.caches = make(map[model.NodeID]*cache.GreedyDualSize, len(budgets))
+	for n, b := range budgets {
+		s.caches[n] = cache.NewGreedyDualSize(b.CacheBytes)
+	}
+}
+
+// Process implements Scheme.
+func (s *GDS) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	hit := path.OriginIndex()
+	for i := range path.Nodes {
+		c := s.caches[path.Nodes[i]]
+		if c.Contains(obj) {
+			c.Touch(obj)
+			hit = i
+			break
+		}
+	}
+	var placed []int
+	for i := hit - 1; i >= 0; i-- {
+		if _, ok := s.caches[path.Nodes[i]].Insert(obj, size, path.UpCost[i]); ok {
+			placed = append(placed, i)
+		}
+	}
+	return Outcome{HitIndex: hit, Placed: placed}
+}
+
+// Evict implements Evicter.
+func (s *LFU) Evict(node model.NodeID, obj model.ObjectID) bool {
+	d := s.caches[node].Remove(obj)
+	if d == nil {
+		return false
+	}
+	s.dcaches[node].Put(d, d.Window.LastAccess())
+	return true
+}
+
+// Evict implements Evicter.
+func (s *GDS) Evict(node model.NodeID, obj model.ObjectID) bool {
+	return s.caches[node].Remove(obj)
+}

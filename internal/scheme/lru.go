@@ -1,0 +1,56 @@
+package scheme
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/model"
+)
+
+// LRU is the baseline "cache everywhere" scheme: the requested object is
+// inserted at every cache between the serving node and the client, and
+// each cache independently evicts its least recently used objects.
+type LRU struct {
+	caches map[model.NodeID]*cache.LRU
+}
+
+// NewLRU returns an unconfigured LRU scheme.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Scheme.
+func (s *LRU) Name() string { return "LRU" }
+
+// Configure implements Scheme.
+func (s *LRU) Configure(budgets map[model.NodeID]NodeBudget) {
+	s.caches = make(map[model.NodeID]*cache.LRU, len(budgets))
+	for n, b := range budgets {
+		s.caches[n] = cache.NewLRU(b.CacheBytes)
+	}
+}
+
+// Process implements Scheme: lookup upward from the client cache, then
+// insert at every cache below the serving node.
+func (s *LRU) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	hit := path.OriginIndex()
+	for i := range path.Nodes {
+		c := s.caches[path.Nodes[i]]
+		if c.Contains(obj) {
+			c.Touch(obj)
+			hit = i
+			break
+		}
+	}
+	var placed []int
+	for i := hit - 1; i >= 0; i-- {
+		if _, ok := s.caches[path.Nodes[i]].Insert(obj, size); ok {
+			placed = append(placed, i)
+		}
+	}
+	return Outcome{HitIndex: hit, Placed: placed}
+}
+
+// Cache exposes a node's store for tests.
+func (s *LRU) Cache(n model.NodeID) *cache.LRU { return s.caches[n] }
+
+// Evict implements Evicter.
+func (s *LRU) Evict(node model.NodeID, obj model.ObjectID) bool {
+	return s.caches[node].Remove(obj)
+}

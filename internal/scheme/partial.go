@@ -1,0 +1,199 @@
+package scheme
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cascade/internal/cache"
+	"cascade/internal/core"
+	"cascade/internal/dcache"
+	"cascade/internal/freq"
+	"cascade/internal/model"
+)
+
+// Partial models incremental deployment of coordinated caching: a seeded
+// random fraction of the nodes participate in the §2.3 protocol (piggyback,
+// DP placement, NCL replacement, d-caches) while the rest run legacy
+// cache-everything LRU. Lookups traverse both kinds; the DP decides
+// placement among participating candidates only, and every legacy node
+// below the serving point inserts unconditionally, exactly as a real
+// mixed fleet would behave.
+//
+// Participation 1 is not identical to the pure Coordinated scheme: legacy
+// nodes do not exist then, but the placement decision still ignores the
+// copies legacy nodes would have absorbed, so the two converge. At
+// participation 0 it degenerates to LRU exactly.
+type Partial struct {
+	participation float64
+	seed          int64
+
+	coordNode map[model.NodeID]bool
+	caches    map[model.NodeID]*cache.HeapStore // participating nodes
+	dcaches   map[model.NodeID]dcache.DCache
+	legacy    map[model.NodeID]*cache.LRU // non-participating nodes
+}
+
+// NewPartial returns a mixed-deployment scheme where approximately the
+// given fraction of nodes (chosen pseudo-randomly by seed) run coordinated
+// caching.
+func NewPartial(participation float64, seed int64) *Partial {
+	if participation < 0 {
+		participation = 0
+	}
+	if participation > 1 {
+		participation = 1
+	}
+	return &Partial{participation: participation, seed: seed}
+}
+
+// Name implements Scheme.
+func (s *Partial) Name() string {
+	return fmt.Sprintf("COORD@%d%%", int(s.participation*100+0.5))
+}
+
+// Participation returns the configured coordinated fraction.
+func (s *Partial) Participation() float64 { return s.participation }
+
+// Configure implements Scheme.
+func (s *Partial) Configure(budgets map[model.NodeID]NodeBudget) {
+	s.coordNode = make(map[model.NodeID]bool, len(budgets))
+	s.caches = make(map[model.NodeID]*cache.HeapStore)
+	s.dcaches = make(map[model.NodeID]dcache.DCache)
+	s.legacy = make(map[model.NodeID]*cache.LRU)
+	r := rand.New(rand.NewSource(s.seed))
+	// Iterate nodes in a deterministic order for reproducible draws.
+	ids := make([]model.NodeID, 0, len(budgets))
+	for n := range budgets {
+		ids = append(ids, n)
+	}
+	sortNodeIDs(ids)
+	for _, n := range ids {
+		b := budgets[n]
+		if r.Float64() < s.participation {
+			s.coordNode[n] = true
+			s.caches[n] = cache.NewCostAware(b.CacheBytes)
+			s.dcaches[n] = dcache.New(b.DCacheEntries)
+		} else {
+			s.legacy[n] = cache.NewLRU(b.CacheBytes)
+		}
+	}
+}
+
+func sortNodeIDs(ids []model.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// IsCoordinated reports whether a node participates in the protocol.
+func (s *Partial) IsCoordinated(n model.NodeID) bool { return s.coordNode[n] }
+
+// Process implements Scheme.
+func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	// Upstream: look for a hit in either kind of cache; participating
+	// nodes record accesses in their d-caches.
+	hit := path.OriginIndex()
+	for i := range path.Nodes {
+		n := path.Nodes[i]
+		if s.coordNode[n] {
+			if main := s.caches[n]; main.Contains(obj) {
+				main.Touch(obj, now)
+				hit = i
+				break
+			}
+			s.dcaches[n].RecordAccess(obj, now)
+			continue
+		}
+		if c := s.legacy[n]; c.Contains(obj) {
+			c.Touch(obj)
+			hit = i
+			break
+		}
+	}
+
+	// Decision: DP over participating candidates below the hit.
+	var cand []core.Node
+	var idx []int
+	m := 0.0
+	for i := hit - 1; i >= 0; i-- {
+		m += path.UpCost[i]
+		n := path.Nodes[i]
+		if !s.coordNode[n] {
+			continue
+		}
+		desc := s.dcaches[n].Get(obj)
+		if desc == nil {
+			continue
+		}
+		loss, ok := s.caches[n].CostLoss(size, now)
+		if !ok {
+			continue
+		}
+		cand = append(cand, core.Node{Freq: desc.Freq(now), MissPenalty: m, CostLoss: loss})
+		idx = append(idx, i)
+	}
+	placement := core.Optimize(core.ClampMonotone(cand))
+	chosen := make(map[int]bool, len(placement.Indices))
+	for _, v := range placement.Indices {
+		chosen[idx[v]] = true
+	}
+
+	// Downstream: participating nodes follow the decision and maintain
+	// descriptors; legacy nodes insert everything.
+	var placed []int
+	mp := 0.0
+	for i := hit - 1; i >= 0; i-- {
+		mp += path.UpCost[i]
+		n := path.Nodes[i]
+		if !s.coordNode[n] {
+			if _, ok := s.legacy[n].Insert(obj, size); ok {
+				placed = append(placed, i)
+				mp = 0
+			}
+			continue
+		}
+		if chosen[i] {
+			desc := s.dcaches[n].Take(obj)
+			if desc == nil {
+				desc = cache.NewDescriptorK(obj, size, freq.DefaultK)
+				desc.Window.Record(now)
+			}
+			desc.SetMissPenalty(mp)
+			if evicted, ok := s.caches[n].Insert(desc, now); ok {
+				placed = append(placed, i)
+				for _, v := range evicted {
+					s.dcaches[n].Put(v, now)
+				}
+				mp = 0
+			} else {
+				s.dcaches[n].Put(desc, now)
+			}
+			continue
+		}
+		dc := s.dcaches[n]
+		if dc.Contains(obj) {
+			dc.SetMissPenalty(obj, mp, now)
+		} else {
+			desc := cache.NewDescriptorK(obj, size, freq.DefaultK)
+			desc.Window.Record(now)
+			desc.SetMissPenalty(mp)
+			dc.Put(desc, now)
+		}
+	}
+	return Outcome{HitIndex: hit, Placed: placed}
+}
+
+// Evict implements Evicter.
+func (s *Partial) Evict(node model.NodeID, obj model.ObjectID) bool {
+	if s.coordNode[node] {
+		d := s.caches[node].Remove(obj)
+		if d == nil {
+			return false
+		}
+		s.dcaches[node].Put(d, d.Window.LastAccess())
+		return true
+	}
+	return s.legacy[node].Remove(obj)
+}

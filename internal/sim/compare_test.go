@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cascade/internal/scheme"
+	"cascade/internal/topology"
+	"cascade/internal/trace"
+)
+
+// TestPaperShapeEnRoute verifies the headline result of §4.1 at test scale:
+// the coordinated scheme beats LRU, MODULO(4) and LNC-R on average access
+// latency under the en-route architecture.
+func TestPaperShapeEnRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape comparison is slow")
+	}
+	g := trace.NewGenerator(trace.Config{
+		Objects:  3000,
+		Servers:  60,
+		Clients:  300,
+		Requests: 120000,
+		Duration: 14400,
+		Seed:     17,
+	})
+	run := func(s scheme.Scheme, rel float64) float64 {
+		net := topology.GenerateTiers(topology.TiersConfig{}, rand.New(rand.NewSource(5)))
+		simr, err := New(Config{
+			Scheme: s, Network: net, Catalog: g.Catalog(),
+			RelativeCacheSize: rel, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Reset()
+		sum, _ := simr.Run(g, g.Len()/2)
+		return sum.AvgLatency
+	}
+	for _, rel := range []float64{0.01, 0.03} {
+		lru := run(scheme.NewLRU(), rel)
+		mod := run(scheme.NewModulo(4), rel)
+		lnc := run(scheme.NewLNCR(), rel)
+		crd := run(scheme.NewCoordinated(), rel)
+		t.Logf("rel=%.3f  LRU=%.4f  MODULO=%.4f  LNC-R=%.4f  COORD=%.4f", rel, lru, mod, lnc, crd)
+		if crd >= lru || crd >= mod || crd >= lnc {
+			t.Errorf("rel=%.3f: coordinated not best: LRU=%.4f MODULO=%.4f LNC-R=%.4f COORD=%.4f",
+				rel, lru, mod, lnc, crd)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "cascade/internal/topology"
+
+// CostModel interprets the generic cost c(u, v, O) of the analytical model
+// (§2): "it can be interpreted as different performance measures such as
+// network latency, bandwidth consumption and processing cost at the cache,
+// or a combination of these measures". The simulator hands the chosen
+// model's per-link costs to the scheme, so placement and replacement
+// optimize the selected measure; all metrics are still reported, letting
+// experiments show what optimizing one measure does to the others.
+type CostModel int
+
+// Available cost models.
+const (
+	// CostLatency is the paper's evaluation choice: link delay scaled by
+	// object size relative to the average object.
+	CostLatency CostModel = iota
+	// CostBandwidth charges each link crossing by the bytes moved
+	// (byte×hops — the paper's network traffic metric as the objective).
+	CostBandwidth
+	// CostHops charges one unit per link crossing regardless of size or
+	// delay (pure distance).
+	CostHops
+)
+
+// String names the model.
+func (m CostModel) String() string {
+	switch m {
+	case CostBandwidth:
+		return "bandwidth"
+	case CostHops:
+		return "hops"
+	default:
+		return "latency"
+	}
+}
+
+// linkCosts fills buf with per-link costs for one request under the model.
+func (m CostModel) linkCosts(route topology.Route, size int64, avgSize float64, buf []float64) {
+	switch m {
+	case CostBandwidth:
+		for i, c := range route.UpCost {
+			if c == 0 && i == len(route.UpCost)-1 && !route.OriginLink {
+				buf[i] = 0 // co-located origin: no link crossed
+				continue
+			}
+			buf[i] = float64(size)
+		}
+	case CostHops:
+		for i, c := range route.UpCost {
+			if c == 0 && i == len(route.UpCost)-1 && !route.OriginLink {
+				buf[i] = 0
+				continue
+			}
+			buf[i] = 1
+		}
+	default:
+		scale := 1.0
+		if avgSize > 0 {
+			scale = float64(size) / avgSize
+		}
+		for i, c := range route.UpCost {
+			buf[i] = c * scale
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package sim drives a caching scheme over a request workload on a
+// cascaded caching architecture, reproducing the paper's trace-driven
+// simulation methodology (§3): caches start empty, the first half of the
+// trace warms the system, and statistics are collected over the second
+// half only.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cascade/internal/coherency"
+	"cascade/internal/metrics"
+	"cascade/internal/model"
+	"cascade/internal/scheme"
+	"cascade/internal/topology"
+	"cascade/internal/trace"
+)
+
+// Source streams requests in timestamp order. trace.Generator satisfies it
+// directly; file-backed traces wrap trace.Reader with ReaderSource.
+type Source interface {
+	Next() (model.Request, bool)
+}
+
+// ReaderSource adapts a trace.Reader into a Source; a malformed line stops
+// the stream and is reported by Err.
+type ReaderSource struct {
+	R   *trace.Reader
+	err error
+}
+
+// Next implements Source.
+func (s *ReaderSource) Next() (model.Request, bool) {
+	req, ok, err := s.R.Next()
+	if err != nil {
+		s.err = err
+		return model.Request{}, false
+	}
+	return req, ok
+}
+
+// Err returns the error that terminated the stream, if any.
+func (s *ReaderSource) Err() error { return s.err }
+
+// Config assembles one simulation run.
+type Config struct {
+	Scheme  scheme.Scheme
+	Network topology.Network
+	Catalog *trace.Catalog
+
+	// RelativeCacheSize is each node's main-cache capacity as a fraction
+	// of the total bytes of all objects (the paper's x-axis, 0.001–0.1).
+	RelativeCacheSize float64
+
+	// DCacheFactor sizes each d-cache at factor × (the average number of
+	// objects the main cache can hold). The paper's default is 3.
+	DCacheFactor float64
+
+	// Seed drives the random assignment of clients and servers to
+	// attachment points.
+	Seed int64
+
+	// Coherency optionally tracks object updates and copy freshness
+	// (paper §2 assumes fresh copies; this substrate makes the
+	// assumption measurable). Nil disables consistency accounting.
+	Coherency *coherency.Tracker
+
+	// CostModel selects the measure the schemes optimize (§2's generic
+	// cost): latency (default, the paper's choice), bandwidth or hops.
+	// Latency metrics are always reported from real link delays.
+	CostModel CostModel
+
+	// TrackNodes enables per-node accounting (hits, bytes served,
+	// insertions), readable via NodeStats after a run.
+	TrackNodes bool
+
+	// CapacityWeights optionally skews per-node capacity while keeping
+	// the total budget fixed: node n receives weight(n)/Σweights of
+	// N × RelativeCacheSize × TotalBytes. Nil gives the paper's uniform
+	// sizing. D-cache entries scale with each node's capacity.
+	CapacityWeights func(model.NodeID) float64
+}
+
+// NodeStats is the per-node accounting captured when TrackNodes is set.
+type NodeStats struct {
+	Hits       int64 // requests this cache served
+	HitBytes   int64 // bytes this cache served
+	Inserts    int64 // copies written into this cache
+	WriteBytes int64 // bytes written into this cache
+}
+
+// Simulator replays requests through a configured scheme and network.
+type Simulator struct {
+	cfg        Config
+	avgSize    float64
+	clientNode []model.NodeID
+	serverNode []model.NodeID
+	costBuf    []float64
+	latBuf     []float64
+	nodeStats  map[model.NodeID]*NodeStats
+}
+
+// New validates the configuration, sizes and resets the scheme's caches,
+// and assigns clients and servers to attachment points.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Scheme == nil || cfg.Network == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("sim: scheme, network and catalog are required")
+	}
+	if cfg.RelativeCacheSize < 0 || cfg.RelativeCacheSize > 1 {
+		return nil, fmt.Errorf("sim: relative cache size %v outside [0, 1]", cfg.RelativeCacheSize)
+	}
+	if cfg.DCacheFactor == 0 {
+		cfg.DCacheFactor = 3
+	}
+	if cfg.DCacheFactor < 0 {
+		cfg.DCacheFactor = 0
+	}
+
+	s := &Simulator{cfg: cfg, avgSize: cfg.Catalog.AvgSize()}
+	capacity := int64(cfg.RelativeCacheSize * float64(cfg.Catalog.TotalBytes))
+	dEntries := 0
+	if s.avgSize > 0 {
+		dEntries = int(cfg.DCacheFactor * float64(capacity) / s.avgSize)
+	}
+
+	n := cfg.Network.NumCaches()
+	nodes := make([]model.NodeID, n)
+	for i := range nodes {
+		nodes[i] = model.NodeID(i)
+	}
+	budgets := scheme.Uniform(nodes, capacity, dEntries)
+	if cfg.CapacityWeights != nil {
+		// Redistribute the same total budget by the given weights.
+		total := float64(capacity) * float64(n)
+		var sum float64
+		weights := make(map[model.NodeID]float64, n)
+		for _, nd := range nodes {
+			w := cfg.CapacityWeights(nd)
+			if w < 0 {
+				w = 0
+			}
+			weights[nd] = w
+			sum += w
+		}
+		if sum > 0 {
+			for _, nd := range nodes {
+				cap := int64(total * weights[nd] / sum)
+				d := 0
+				if s.avgSize > 0 {
+					d = int(cfg.DCacheFactor * float64(cap) / s.avgSize)
+				}
+				budgets[nd] = scheme.NodeBudget{CacheBytes: cap, DCacheEntries: d}
+			}
+		}
+	}
+	cfg.Scheme.Configure(budgets)
+
+	// Random but seed-deterministic attachment, as in §3.2 ("randomly
+	// allocated to the MAN nodes" / "randomly allocated to the leaf
+	// nodes").
+	r := rand.New(rand.NewSource(cfg.Seed))
+	clientPoints := cfg.Network.ClientAttachPoints()
+	serverPoints := cfg.Network.ServerAttachPoints()
+	s.clientNode = make([]model.NodeID, cfg.Catalog.NumClients)
+	for i := range s.clientNode {
+		s.clientNode[i] = clientPoints[r.Intn(len(clientPoints))]
+	}
+	s.serverNode = make([]model.NodeID, cfg.Catalog.NumServers)
+	for i := range s.serverNode {
+		s.serverNode[i] = serverPoints[r.Intn(len(serverPoints))]
+	}
+	if cfg.TrackNodes {
+		s.nodeStats = make(map[model.NodeID]*NodeStats, n)
+	}
+	return s, nil
+}
+
+// NodeStats returns a copy of the per-node accounting (empty unless
+// Config.TrackNodes was set).
+func (s *Simulator) NodeStats() map[model.NodeID]NodeStats {
+	out := make(map[model.NodeID]NodeStats, len(s.nodeStats))
+	for n, st := range s.nodeStats {
+		out[n] = *st
+	}
+	return out
+}
+
+func (s *Simulator) nodeStat(n model.NodeID) *NodeStats {
+	st, ok := s.nodeStats[n]
+	if !ok {
+		st = &NodeStats{}
+		s.nodeStats[n] = st
+	}
+	return st
+}
+
+// ClientNode returns the attachment point of a client.
+func (s *Simulator) ClientNode(c model.ClientID) model.NodeID { return s.clientNode[c] }
+
+// ServerNode returns the attachment point of a server.
+func (s *Simulator) ServerNode(v model.ServerID) model.NodeID { return s.serverNode[v] }
+
+// Process replays a single request and returns its accounting.
+func (s *Simulator) Process(req model.Request) metrics.Sample {
+	route := s.cfg.Network.Route(s.clientNode[req.Client], s.serverNode[req.Server])
+
+	// Decision costs under the configured model; the default is the
+	// paper's §3.2 choice, link delay scaled by object size.
+	if cap(s.costBuf) < len(route.UpCost) {
+		s.costBuf = make([]float64, len(route.UpCost))
+	}
+	costs := s.costBuf[:len(route.UpCost)]
+	s.cfg.CostModel.linkCosts(route, req.Size, s.avgSize, costs)
+	path := scheme.Path{Nodes: route.Caches, UpCost: costs}
+
+	coh := s.cfg.Coherency
+	if coh != nil {
+		coh.Advance(req.Time)
+	}
+
+	out := s.cfg.Scheme.Process(req.Time, req.Object, req.Size, path)
+
+	// Latency accounting always uses real (size-scaled) link delays, even
+	// when the schemes optimize another cost measure.
+	latCosts := costs
+	if s.cfg.CostModel != CostLatency {
+		if cap(s.latBuf) < len(route.UpCost) {
+			s.latBuf = make([]float64, len(route.UpCost))
+		}
+		latCosts = s.latBuf[:len(route.UpCost)]
+		CostLatency.linkCosts(route, req.Size, s.avgSize, latCosts)
+	}
+	latency := 0.0
+	for i := 0; i < out.HitIndex; i++ {
+		latency += latCosts[i]
+	}
+
+	sample := metrics.Sample{
+		Latency:        latency,
+		Size:           req.Size,
+		Inserts:        len(out.Placed),
+		WriteBytes:     int64(len(out.Placed)) * req.Size,
+		PiggybackBytes: out.PiggybackBytes,
+	}
+	if out.HitIndex < path.OriginIndex() {
+		sample.CacheHit = true
+		sample.ReadBytes = req.Size
+		sample.Hops = out.HitIndex
+	} else {
+		sample.Hops = route.Hops()
+	}
+
+	if coh != nil {
+		s.applyCoherency(req, route, path, out, &sample)
+	}
+	if s.nodeStats != nil {
+		if sample.CacheHit {
+			st := s.nodeStat(path.Nodes[out.HitIndex])
+			st.Hits++
+			st.HitBytes += req.Size
+		}
+		for _, idx := range out.Placed {
+			st := s.nodeStat(path.Nodes[idx])
+			st.Inserts++
+			st.WriteBytes += req.Size
+		}
+	}
+	return sample
+}
+
+// applyCoherency folds the consistency substrate into one request: freshness
+// classification of hits, fetched-version bookkeeping for placements, and
+// piggyback server invalidation on origin-served responses.
+func (s *Simulator) applyCoherency(req model.Request, route topology.Route, path scheme.Path, out scheme.Outcome, sample *metrics.Sample) {
+	coh := s.cfg.Coherency
+	if sample.CacheHit {
+		h := coh.OnHit(path.Nodes[out.HitIndex], req.Object, req.Time)
+		sample.StaleHit = h.Stale
+		if h.Refetch {
+			// TTL expiry: the request revalidates from the origin,
+			// paying the full path delay.
+			sample.Refetch = true
+			lat := 0.0
+			scale := 1.0
+			if s.avgSize > 0 {
+				scale = float64(req.Size) / s.avgSize
+			}
+			for _, c := range route.UpCost {
+				lat += c * scale
+			}
+			sample.Latency = lat
+			sample.Hops = route.Hops()
+		}
+	}
+	for _, idx := range out.Placed {
+		coh.RecordFetch(path.Nodes[idx], req.Object, req.Time)
+	}
+	if out.HitIndex == path.OriginIndex() {
+		// The response came from the origin: every cache it passes
+		// syncs with that server (PSI), dropping copies the
+		// piggybacked invalidations cover.
+		ev, _ := s.cfg.Scheme.(scheme.Evicter)
+		for _, n := range path.Nodes {
+			for _, obj := range coh.SyncWithServer(n, req.Server, req.Time) {
+				if ev != nil {
+					ev.Evict(n, obj)
+				}
+			}
+		}
+	}
+}
+
+// RunTimeline replays the entire stream and buckets statistics into
+// fixed-length time windows, exposing transient behaviour (no warmup is
+// discarded; the warm-up itself is part of the timeline).
+func (s *Simulator) RunTimeline(src Source, window float64) []metrics.Window {
+	tl := metrics.NewTimeline(window)
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		tl.Add(req.Time, s.Process(req))
+	}
+	return tl.Windows()
+}
+
+// Run replays the stream, discarding the first warmup requests (the
+// paper's start-up period) and collecting statistics for the rest. It
+// returns the summary and the number of requests replayed.
+func (s *Simulator) Run(src Source, warmup int) (metrics.Summary, int) {
+	var col metrics.Collector
+	replayed := 0
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		sample := s.Process(req)
+		replayed++
+		if replayed > warmup {
+			col.Add(sample)
+		}
+	}
+	return col.Summary(), replayed
+}

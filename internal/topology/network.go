@@ -1,0 +1,60 @@
+package topology
+
+import "cascade/internal/model"
+
+// Route is the distribution-tree path of one (client, server) pair: the
+// caches a request visits in order, starting at the client's first cache
+// and ending at the last cache before the origin server.
+type Route struct {
+	// Caches[0] is the request's originating cache (the paper's A_n);
+	// Caches[len-1] is the highest-level cache (A_1, nearest the origin).
+	Caches []model.NodeID
+	// UpCost[i] is the delay (average-size object) of the link from
+	// Caches[i] toward the origin — to Caches[i+1] for i < len-1, and to
+	// the origin server itself for the last cache. len(UpCost) ==
+	// len(Caches).
+	UpCost []float64
+	// OriginLink reports whether the final UpCost entry is a real network
+	// link (hierarchy: root → server) rather than co-location (en-route:
+	// the origin shares the last cache's node, cost 0).
+	OriginLink bool
+}
+
+// Hops returns the number of network links a request crossing the entire
+// route traverses — i.e. the hop count of an origin-served request.
+func (r Route) Hops() int {
+	n := len(r.Caches) - 1
+	if r.OriginLink {
+		n++
+	}
+	return n
+}
+
+// CostTo returns the total delay from the first cache up to but not
+// including index level — i.e. the access latency of a hit at
+// Caches[level]. level == len(Caches) means the origin served the request.
+func (r Route) CostTo(level int) float64 {
+	var c float64
+	for i := 0; i < level; i++ {
+		c += r.UpCost[i]
+	}
+	return c
+}
+
+// Network is a cascaded caching architecture: a set of cache nodes plus the
+// distribution-tree routes between client and server attachment points.
+type Network interface {
+	// NumCaches returns the number of cache nodes; node IDs are dense in
+	// [0, NumCaches).
+	NumCaches() int
+	// ClientAttachPoints lists the nodes clients may be assigned to.
+	ClientAttachPoints() []model.NodeID
+	// ServerAttachPoints lists the nodes origin servers may be assigned
+	// to. Architectures whose servers sit above every cache (the
+	// hierarchy) return {model.NoNode}.
+	ServerAttachPoints() []model.NodeID
+	// Route returns the distribution-tree path from the client's node to
+	// the server's node. The returned value is shared and must not be
+	// modified.
+	Route(client, server model.NodeID) Route
+}

@@ -1,0 +1,362 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"cascade/internal/model"
+)
+
+// NodeKind classifies the nodes of an en-route topology.
+type NodeKind uint8
+
+// Node kinds of the two-level Tiers-style topology.
+const (
+	WANNode NodeKind = iota
+	MANNode
+)
+
+// TiersConfig parameterizes the Tiers-style random topology of paper §3.2.
+// The defaults reproduce Table 1: 100 nodes (50 WAN + 50 MAN), ≈173 links,
+// and a WAN:MAN mean-delay ratio of about 8:1.
+type TiersConfig struct {
+	WANNodes    int // backbone nodes (default 50)
+	MANs        int // number of metropolitan networks (default 10)
+	NodesPerMAN int // nodes in each MAN (default 5)
+	// WANExtraLinks and MANExtraLinks are redundancy links added beyond
+	// the spanning trees (defaults 25 and 5 per MAN). Zero selects the
+	// default; pass a negative value for none.
+	WANExtraLinks int
+	MANExtraLinks int
+	WANDelayMean  float64 // mean WAN link delay, seconds (default 0.146)
+	MANDelayMean  float64 // mean MAN link delay, seconds (default 0.018)
+	// DelaySpread s draws each delay uniformly from mean·[1−s, 1+s]
+	// (default 0.5). Zero selects the default; pass a negative value for
+	// constant delays.
+	DelaySpread float64
+	// WANLocality is the attachment window of the WAN spanning tree: node
+	// i links to a uniform node in the last WANLocality predecessors,
+	// which stretches the backbone diameter toward the ~12-hop mean paths
+	// of the paper's sample topology (default 2; zero selects the
+	// default, large values give a uniform random recursive tree).
+	WANLocality int
+}
+
+// DefaultTiersConfig returns the Table 1 configuration.
+func DefaultTiersConfig() TiersConfig {
+	return TiersConfig{
+		WANNodes:      50,
+		MANs:          10,
+		NodesPerMAN:   5,
+		WANExtraLinks: 25,
+		MANExtraLinks: 5,
+		WANDelayMean:  0.146,
+		MANDelayMean:  0.018,
+		DelaySpread:   0.5,
+		WANLocality:   2,
+	}
+}
+
+func (c *TiersConfig) setDefaults() {
+	d := DefaultTiersConfig()
+	if c.WANNodes <= 0 {
+		c.WANNodes = d.WANNodes
+	}
+	if c.MANs <= 0 {
+		c.MANs = d.MANs
+	}
+	if c.NodesPerMAN <= 0 {
+		c.NodesPerMAN = d.NodesPerMAN
+	}
+	switch {
+	case c.WANExtraLinks == 0:
+		c.WANExtraLinks = d.WANExtraLinks
+	case c.WANExtraLinks < 0:
+		c.WANExtraLinks = 0
+	}
+	switch {
+	case c.MANExtraLinks == 0:
+		c.MANExtraLinks = d.MANExtraLinks
+	case c.MANExtraLinks < 0:
+		c.MANExtraLinks = 0
+	}
+	if c.WANDelayMean <= 0 {
+		c.WANDelayMean = d.WANDelayMean
+	}
+	if c.MANDelayMean <= 0 {
+		c.MANDelayMean = d.MANDelayMean
+	}
+	switch {
+	case c.DelaySpread == 0:
+		c.DelaySpread = d.DelaySpread
+	case c.DelaySpread < 0 || c.DelaySpread >= 1:
+		c.DelaySpread = 0
+	}
+	if c.WANLocality <= 0 {
+		c.WANLocality = d.WANLocality
+	}
+}
+
+// EnRoute is an en-route caching architecture: one transparent cache at
+// every WAN and MAN node, with shortest-path routing toward each origin
+// server. Clients and origin servers attach to MAN nodes only (the WAN is
+// pure backbone).
+type EnRoute struct {
+	G     *Graph
+	Kinds []NodeKind
+
+	manNodes []model.NodeID
+
+	mu     sync.RWMutex                    // guards the memoization maps
+	trees  map[model.NodeID][]model.NodeID // server node → parent array
+	routes map[[2]model.NodeID]Route
+}
+
+// GenerateTiers builds a random EnRoute topology. The generator follows the
+// two-level structure of Tiers: a connected random WAN (spanning tree plus
+// redundancy links), and per MAN a connected random subnetwork whose
+// gateway attaches to a uniformly chosen WAN node. Link delays are drawn
+// uniformly around the configured means. All randomness comes from r.
+func GenerateTiers(cfg TiersConfig, r *rand.Rand) *EnRoute {
+	cfg.setDefaults()
+	total := cfg.WANNodes + cfg.MANs*cfg.NodesPerMAN
+	g := NewGraph(total)
+	kinds := make([]NodeKind, total)
+
+	delay := func(mean float64) float64 {
+		return mean * (1 - cfg.DelaySpread + 2*cfg.DelaySpread*r.Float64())
+	}
+
+	// WAN: random spanning tree with local attachment (node i links to
+	// one of its WANLocality most recent predecessors, stretching the
+	// backbone diameter), plus redundancy links.
+	for i := 1; i < cfg.WANNodes; i++ {
+		lo := i - cfg.WANLocality
+		if lo < 0 {
+			lo = 0
+		}
+		g.AddEdge(model.NodeID(i), model.NodeID(lo+r.Intn(i-lo)), delay(cfg.WANDelayMean))
+	}
+	// WAN redundancy links stay local (within twice the attachment
+	// window) so they add path diversity without collapsing the backbone
+	// diameter.
+	addLocalExtras(g, r, cfg.WANNodes, cfg.WANExtraLinks, 2*cfg.WANLocality, func() float64 { return delay(cfg.WANDelayMean) })
+
+	// MANs: each a random spanning tree, gateway linked to a random WAN
+	// node. Gateway links use MAN-class delays (the last hop into the
+	// backbone is metropolitan infrastructure).
+	var manNodes []model.NodeID
+	for man := 0; man < cfg.MANs; man++ {
+		base := cfg.WANNodes + man*cfg.NodesPerMAN
+		for i := 0; i < cfg.NodesPerMAN; i++ {
+			id := model.NodeID(base + i)
+			kinds[id] = MANNode
+			manNodes = append(manNodes, id)
+			if i > 0 {
+				g.AddEdge(id, model.NodeID(base+r.Intn(i)), delay(cfg.MANDelayMean))
+			}
+		}
+		gateway := model.NodeID(base)
+		g.AddEdge(gateway, model.NodeID(r.Intn(cfg.WANNodes)), delay(cfg.MANDelayMean))
+		addExtras(g, r, base, cfg.NodesPerMAN, cfg.MANExtraLinks, func() float64 { return delay(cfg.MANDelayMean) })
+	}
+
+	return &EnRoute{
+		G:        g,
+		Kinds:    kinds,
+		manNodes: manNodes,
+		trees:    make(map[model.NodeID][]model.NodeID),
+		routes:   make(map[[2]model.NodeID]Route),
+	}
+}
+
+// addLocalExtras adds up to want redundancy links between WAN nodes whose
+// indices differ by at most window.
+func addLocalExtras(g *Graph, r *rand.Rand, n, want, window int, delay func() float64) {
+	if n < 2 {
+		return
+	}
+	attempts := 0
+	for added := 0; added < want && attempts < 50*want+100; attempts++ {
+		u := r.Intn(n)
+		lo, hi := u-window, u+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		v := lo + r.Intn(hi-lo+1)
+		if u == v || g.HasEdge(model.NodeID(u), model.NodeID(v)) {
+			continue
+		}
+		g.AddEdge(model.NodeID(u), model.NodeID(v), delay())
+		added++
+	}
+}
+
+// addExtras adds up to want redundancy links among nodes [base, base+n),
+// skipping pairs already linked. It gives up silently once the subnetwork
+// is dense enough that random probing stops finding free pairs.
+func addExtras(g *Graph, r *rand.Rand, base, n, want int, delay func() float64) {
+	if n < 2 {
+		return
+	}
+	attempts := 0
+	for added := 0; added < want && attempts < 50*want+100; attempts++ {
+		u := model.NodeID(base + r.Intn(n))
+		v := model.NodeID(base + r.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v, delay())
+		added++
+	}
+}
+
+// NumCaches returns the total node count (every node hosts an en-route
+// cache).
+func (e *EnRoute) NumCaches() int { return e.G.NumNodes() }
+
+// ClientAttachPoints returns the MAN nodes.
+func (e *EnRoute) ClientAttachPoints() []model.NodeID { return e.manNodes }
+
+// ServerAttachPoints returns the MAN nodes (origin servers are co-located
+// with MAN nodes).
+func (e *EnRoute) ServerAttachPoints() []model.NodeID { return e.manNodes }
+
+// Route returns the shortest-path route from the client's node to the
+// server's node. The route includes the cache at the server's own node
+// (whose up-cost to the co-located origin is zero). Routes are memoized;
+// the method is safe for concurrent use (the runtime cluster resolves
+// routes from many goroutines).
+func (e *EnRoute) Route(client, server model.NodeID) Route {
+	key := [2]model.NodeID{client, server}
+	e.mu.RLock()
+	rt, ok := e.routes[key]
+	e.mu.RUnlock()
+	if ok {
+		return rt
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rt, ok := e.routes[key]; ok {
+		return rt
+	}
+	parent, ok := e.trees[server]
+	if !ok {
+		parent, _ = e.G.ShortestPathTree(server)
+		e.trees[server] = parent
+	}
+	var caches []model.NodeID
+	var upCost []float64
+	for u := client; u != server; u = parent[u] {
+		p := parent[u]
+		if p == model.NoNode {
+			panic(fmt.Sprintf("topology: node %d cannot reach server node %d", client, server))
+		}
+		caches = append(caches, u)
+		upCost = append(upCost, e.G.EdgeDelay(u, p))
+	}
+	caches = append(caches, server)
+	upCost = append(upCost, 0) // origin co-located with the server's node
+	rt = Route{Caches: caches, UpCost: upCost}
+	e.routes[key] = rt
+	return rt
+}
+
+// Description summarizes a generated en-route topology in the terms of
+// Table 1 of the paper.
+type Description struct {
+	TotalNodes   int
+	WANNodes     int
+	MANNodes     int
+	Links        int
+	AvgWANDelay  float64 // mean delay of WAN–WAN links
+	AvgMANDelay  float64 // mean delay of links with a MAN endpoint
+	AvgRouteHops float64 // mean cache-path length over all MAN pairs
+}
+
+// Describe measures the generated topology.
+func (e *EnRoute) Describe() Description {
+	d := Description{TotalNodes: e.G.NumNodes()}
+	for _, k := range e.Kinds {
+		if k == WANNode {
+			d.WANNodes++
+		} else {
+			d.MANNodes++
+		}
+	}
+	d.Links = e.G.NumEdges()
+	var wanSum, manSum float64
+	var wanN, manN int
+	for u := 0; u < e.G.NumNodes(); u++ {
+		for _, edge := range e.G.Neighbors(model.NodeID(u)) {
+			if edge.To < model.NodeID(u) {
+				continue // count each undirected link once
+			}
+			if e.Kinds[u] == WANNode && e.Kinds[edge.To] == WANNode {
+				wanSum += edge.Delay
+				wanN++
+			} else {
+				manSum += edge.Delay
+				manN++
+			}
+		}
+	}
+	if wanN > 0 {
+		d.AvgWANDelay = wanSum / float64(wanN)
+	}
+	if manN > 0 {
+		d.AvgMANDelay = manSum / float64(manN)
+	}
+	var hops, pairs int
+	for _, c := range e.manNodes {
+		for _, s := range e.manNodes {
+			if c == s {
+				continue
+			}
+			hops += e.Route(c, s).Hops()
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		d.AvgRouteHops = float64(hops) / float64(pairs)
+	}
+	return d
+}
+
+// WriteDot emits the topology as a Graphviz graph: WAN nodes as circles,
+// MAN nodes as double circles, link labels in milliseconds.
+func (e *EnRoute) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "graph tiers {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=circle fontsize=8]"); err != nil {
+		return err
+	}
+	for u := 0; u < e.G.NumNodes(); u++ {
+		shape := "circle"
+		if e.Kinds[u] == MANNode {
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s]\n", u, shape); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < e.G.NumNodes(); u++ {
+		for _, edge := range e.G.Neighbors(model.NodeID(u)) {
+			if int(edge.To) <= u {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=\"%.0fms\" fontsize=7]\n",
+				u, edge.To, edge.Delay*1000); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

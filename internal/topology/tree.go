@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cascade/internal/model"
+)
+
+// TreeConfig parameterizes the hierarchical caching architecture of paper
+// §3.2 (Figure 5): a full O-ary tree of caches with clients at the leaves
+// and every origin server connected above the root. The delay of the link
+// from a level-i node to its parent is Growth^i · BaseDelay, and the link
+// from the root to any origin server costs Growth^(Depth-1) · BaseDelay.
+type TreeConfig struct {
+	Depth     int     // number of levels (default 4: levels 0..3)
+	Fanout    int     // O, children per internal node (default 3)
+	BaseDelay float64 // d, seconds (default 0.008)
+	Growth    float64 // g (default 5)
+}
+
+// DefaultTreeConfig returns the paper's default hierarchy parameters.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{Depth: 4, Fanout: 3, BaseDelay: 0.008, Growth: 5}
+}
+
+func (c *TreeConfig) setDefaults() {
+	d := DefaultTreeConfig()
+	if c.Depth <= 0 {
+		c.Depth = d.Depth
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = d.Fanout
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = d.BaseDelay
+	}
+	if c.Growth <= 0 {
+		c.Growth = d.Growth
+	}
+}
+
+// Hierarchy is the hierarchical caching architecture: a full O-ary tree of
+// caches. Node 0 is the root (level Depth-1); nodes are numbered level by
+// level, so the leaves occupy the last Fanout^(Depth-1) IDs.
+type Hierarchy struct {
+	cfg    TreeConfig
+	parent []model.NodeID
+	level  []int
+	leaves []model.NodeID
+
+	mu     sync.RWMutex // guards the route memo
+	routes map[model.NodeID]Route
+}
+
+// GenerateTree builds the full O-ary cache tree described by cfg.
+func GenerateTree(cfg TreeConfig) *Hierarchy {
+	cfg.setDefaults()
+	// Total nodes = (O^Depth − 1)/(O − 1) for O > 1, or Depth for O == 1.
+	total := cfg.Depth
+	if cfg.Fanout > 1 {
+		total = (pow(cfg.Fanout, cfg.Depth) - 1) / (cfg.Fanout - 1)
+	}
+	h := &Hierarchy{
+		cfg:    cfg,
+		parent: make([]model.NodeID, total),
+		level:  make([]int, total),
+		routes: make(map[model.NodeID]Route),
+	}
+	h.parent[0] = model.NoNode
+	h.level[0] = cfg.Depth - 1
+	// Breadth-first numbering: children of node i are contiguous.
+	next := 1
+	for i := 0; i < total; i++ {
+		if h.level[i] == 0 {
+			h.leaves = append(h.leaves, model.NodeID(i))
+			continue
+		}
+		for c := 0; c < cfg.Fanout; c++ {
+			if next >= total {
+				panic(fmt.Sprintf("topology: tree numbering overflow at node %d", i))
+			}
+			h.parent[next] = model.NodeID(i)
+			h.level[next] = h.level[i] - 1
+			next++
+		}
+	}
+	return h
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+// Config returns the (defaulted) configuration the hierarchy was built with.
+func (h *Hierarchy) Config() TreeConfig { return h.cfg }
+
+// NumCaches returns the tree's node count.
+func (h *Hierarchy) NumCaches() int { return len(h.parent) }
+
+// Level returns the level of node id (leaves are level 0).
+func (h *Hierarchy) Level(id model.NodeID) int { return h.level[id] }
+
+// Parent returns the parent of node id (NoNode for the root).
+func (h *Hierarchy) Parent(id model.NodeID) model.NodeID { return h.parent[id] }
+
+// ClientAttachPoints returns the leaf nodes.
+func (h *Hierarchy) ClientAttachPoints() []model.NodeID { return h.leaves }
+
+// ServerAttachPoints returns {NoNode}: every origin server connects above
+// the root, so the distribution trees of all servers coincide inside the
+// hierarchy (differing only in the root–server link, §4.2).
+func (h *Hierarchy) ServerAttachPoints() []model.NodeID { return []model.NodeID{model.NoNode} }
+
+// LinkDelay returns the delay of the uplink of a node at the given level:
+// Growth^level · BaseDelay. The root–server link is level Depth-1.
+func (h *Hierarchy) LinkDelay(level int) float64 {
+	return math.Pow(h.cfg.Growth, float64(level)) * h.cfg.BaseDelay
+}
+
+// Route returns the path from a leaf up to the root; the server argument is
+// ignored because all origin servers sit above the root. The final up-cost
+// is the root–server link. Routes are memoized per leaf; the method is safe
+// for concurrent use.
+func (h *Hierarchy) Route(client, _ model.NodeID) Route {
+	h.mu.RLock()
+	rt, ok := h.routes[client]
+	h.mu.RUnlock()
+	if ok {
+		return rt
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if rt, ok := h.routes[client]; ok {
+		return rt
+	}
+	var caches []model.NodeID
+	var upCost []float64
+	for u := client; u != model.NoNode; u = h.parent[u] {
+		caches = append(caches, u)
+		upCost = append(upCost, h.LinkDelay(h.level[u]))
+	}
+	rt = Route{Caches: caches, UpCost: upCost, OriginLink: true}
+	h.routes[client] = rt
+	return rt
+}
+
+// TreeDescription summarizes a hierarchy in Table-1 style.
+type TreeDescription struct {
+	Depth      int
+	Fanout     int
+	TotalNodes int
+	Leaves     int
+	// LevelDelays[i] is the uplink delay of level i (the last entry is
+	// the root–origin link).
+	LevelDelays []float64
+	// PathCost is the full leaf-to-origin cost for an average object.
+	PathCost float64
+}
+
+// Describe reports the tree's shape and delay profile.
+func (h *Hierarchy) Describe() TreeDescription {
+	d := TreeDescription{
+		Depth:      h.cfg.Depth,
+		Fanout:     h.cfg.Fanout,
+		TotalNodes: len(h.parent),
+		Leaves:     len(h.leaves),
+	}
+	for l := 0; l < h.cfg.Depth; l++ {
+		delay := h.LinkDelay(l)
+		d.LevelDelays = append(d.LevelDelays, delay)
+		d.PathCost += delay
+	}
+	return d
+}

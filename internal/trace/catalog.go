@@ -1,0 +1,110 @@
+// Package trace provides the request workloads that drive the simulator.
+//
+// The paper replays Boeing proxy traces (≈22M requests/day, subtraced to
+// the 100,000 most popular objects). Those traces are no longer publicly
+// retrievable, so this package supplies the closest synthetic equivalent:
+// a deterministic generator producing Zipf-like object popularity (web
+// accesses follow Zipf with parameter θ, Breslau et al. [4] — the property
+// the paper itself argues makes subtraces representative), heavy-tailed
+// log-normal object sizes, Poisson request arrivals, and uniformly
+// assigned clients and origin servers. A plain-text trace format with
+// reader and writer lets real logs be converted and replayed instead.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cascade/internal/model"
+)
+
+// Catalog is the object universe of a workload: every object's size and
+// home server, plus aggregates the simulator needs (total bytes defines
+// "relative cache size"; average size scales per-request link costs).
+type Catalog struct {
+	Objects    []model.Object // indexed by ObjectID
+	TotalBytes int64
+	NumServers int
+	NumClients int
+}
+
+// AvgSize returns the mean object size in bytes.
+func (c *Catalog) AvgSize() float64 {
+	if len(c.Objects) == 0 {
+		return 0
+	}
+	return float64(c.TotalBytes) / float64(len(c.Objects))
+}
+
+// Object returns the catalog entry for id.
+func (c *Catalog) Object(id model.ObjectID) model.Object { return c.Objects[id] }
+
+// Validate checks internal consistency (IDs dense, sizes positive, servers
+// in range, total bytes correct).
+func (c *Catalog) Validate() error {
+	var total int64
+	for i, o := range c.Objects {
+		if o.ID != model.ObjectID(i) {
+			return fmt.Errorf("trace: object %d has ID %d", i, o.ID)
+		}
+		if o.Size <= 0 {
+			return fmt.Errorf("trace: object %d has size %d", i, o.Size)
+		}
+		if int(o.Server) < 0 || int(o.Server) >= c.NumServers {
+			return fmt.Errorf("trace: object %d has server %d of %d", i, o.Server, c.NumServers)
+		}
+		total += o.Size
+	}
+	if total != c.TotalBytes {
+		return fmt.Errorf("trace: total bytes %d, recomputed %d", c.TotalBytes, total)
+	}
+	return nil
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^θ.
+// Unlike math/rand.Zipf it supports θ ≤ 1, the regime measured for web
+// workloads (θ ≈ 0.6–0.9 in Breslau et al.). Sampling is O(log n) by
+// binary search over the cumulative weight table.
+type Zipf struct {
+	cum []float64 // cum[i] = Σ_{j≤i} 1/(j+1)^θ
+	r   *rand.Rand
+}
+
+// NewZipf returns a sampler over n ranks with exponent theta, drawing
+// randomness from r.
+func NewZipf(r *rand.Rand, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("trace: Zipf needs n > 0")
+	}
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = sum
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Sample draws one rank (0 = most popular).
+func (z *Zipf) Sample() int {
+	target := z.r.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the unnormalized popularity weight of a rank.
+func (z *Zipf) Weight(rank int) float64 {
+	if rank == 0 {
+		return z.cum[0]
+	}
+	return z.cum[rank] - z.cum[rank-1]
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cascade/internal/model"
+)
+
+// The trace text format is line-oriented:
+//
+//	# cascade-trace v1 servers=<n> clients=<n>
+//	O <objectID> <size> <serverID>            (catalog, one line per object)
+//	R <time> <clientID> <objectID>            (requests, ascending time)
+//
+// Catalog lines must precede request lines. Object IDs must be dense
+// starting at 0. The format carries size and server in the catalog only;
+// request lines stay compact since the Boeing-scale traces run to tens of
+// millions of lines.
+
+const formatHeader = "# cascade-trace v1"
+
+// Writer streams a workload to the text format.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header and catalog eagerly and returns a Writer
+// ready to append requests.
+func NewWriter(w io.Writer, cat *Catalog) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%s servers=%d clients=%d\n", formatHeader, cat.NumServers, cat.NumClients); err != nil {
+		return nil, err
+	}
+	for _, o := range cat.Objects {
+		if _, err := fmt.Fprintf(bw, "O %d %d %d\n", o.ID, o.Size, o.Server); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRequest appends one request line.
+func (w *Writer) WriteRequest(req model.Request) error {
+	if w.err != nil {
+		return w.err
+	}
+	_, w.err = fmt.Fprintf(w.w, "R %.6f %d %d\n", req.Time, req.Client, req.Object)
+	return w.err
+}
+
+// Flush completes the trace.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader streams a workload from the text format. The catalog is parsed
+// eagerly by NewReader; requests stream from Next.
+type Reader struct {
+	s    *bufio.Scanner
+	cat  *Catalog
+	line int
+	last float64
+
+	// pending buffers the first request line, consumed while scanning
+	// for the end of the catalog.
+	pending    model.Request
+	hasPending bool
+}
+
+// NewReader parses the header and catalog and returns a reader positioned
+// at the first request.
+func NewReader(r io.Reader) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<20)
+	rd := &Reader{s: s, cat: &Catalog{}}
+	if !s.Scan() {
+		return nil, fmt.Errorf("trace: empty input: %w", s.Err())
+	}
+	rd.line++
+	header := s.Text()
+	if !strings.HasPrefix(header, formatHeader) {
+		return nil, fmt.Errorf("trace: line 1: bad header %q", header)
+	}
+	for _, field := range strings.Fields(header[len(formatHeader):]) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("trace: line 1: bad header field %q", field)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line 1: field %q: %w", field, err)
+		}
+		switch k {
+		case "servers":
+			rd.cat.NumServers = n
+		case "clients":
+			rd.cat.NumClients = n
+		default:
+			return nil, fmt.Errorf("trace: line 1: unknown header field %q", k)
+		}
+	}
+	// Catalog lines.
+	for s.Scan() {
+		rd.line++
+		text := s.Text()
+		if !strings.HasPrefix(text, "O ") {
+			// First request line: stash it by rewinding logically.
+			req, err := rd.parseRequest(text)
+			if err != nil {
+				return nil, err
+			}
+			rd.pending, rd.hasPending = req, true
+			break
+		}
+		var id model.ObjectID
+		var size int64
+		var server model.ServerID
+		if _, err := fmt.Sscanf(text, "O %d %d %d", &id, &size, &server); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", rd.line, err)
+		}
+		if int(id) != len(rd.cat.Objects) {
+			return nil, fmt.Errorf("trace: line %d: object IDs must be dense, got %d want %d",
+				rd.line, id, len(rd.cat.Objects))
+		}
+		rd.cat.Objects = append(rd.cat.Objects, model.Object{ID: id, Size: size, Server: server})
+		rd.cat.TotalBytes += size
+	}
+	if err := rd.cat.Validate(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Catalog returns the parsed object universe.
+func (r *Reader) Catalog() *Catalog { return r.cat }
+
+// Next returns the next request; ok is false at clean EOF. Any format or
+// ordering error is returned with its line number.
+func (r *Reader) Next() (req model.Request, ok bool, err error) {
+	if r.hasPending {
+		r.hasPending = false
+		return r.pending, true, nil
+	}
+	if !r.s.Scan() {
+		return model.Request{}, false, r.s.Err()
+	}
+	r.line++
+	req, err = r.parseRequest(r.s.Text())
+	if err != nil {
+		return model.Request{}, false, err
+	}
+	return req, true, nil
+}
+
+func (r *Reader) parseRequest(text string) (model.Request, error) {
+	var t float64
+	var client model.ClientID
+	var id model.ObjectID
+	if _, err := fmt.Sscanf(text, "R %f %d %d", &t, &client, &id); err != nil {
+		return model.Request{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+	}
+	if id < 0 || int(id) >= len(r.cat.Objects) {
+		return model.Request{}, fmt.Errorf("trace: line %d: unknown object %d", r.line, id)
+	}
+	if t < r.last {
+		return model.Request{}, fmt.Errorf("trace: line %d: time %v before previous %v", r.line, t, r.last)
+	}
+	r.last = t
+	obj := r.cat.Objects[id]
+	return model.Request{Time: t, Client: client, Object: id, Server: obj.Server, Size: obj.Size}, nil
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace parser: it must never
+// panic, and any input it accepts must round-trip consistently.
+func FuzzReader(f *testing.F) {
+	f.Add(formatHeader + " servers=1 clients=1\nO 0 100 0\nR 1.0 0 0\n")
+	f.Add(formatHeader + " servers=2 clients=3\nO 0 10 0\nO 1 20 1\nR 0.5 2 1\nR 0.7 0 0\n")
+	f.Add("")
+	f.Add("O 0 100 0\n")
+	f.Add(formatHeader + "\nR 1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := NewReader(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Drain; errors are fine, panics are not.
+		n := 0
+		for {
+			req, ok, err := r.Next()
+			if err != nil || !ok {
+				break
+			}
+			if req.Size <= 0 {
+				t.Fatalf("accepted request with size %d", req.Size)
+			}
+			if int(req.Object) >= len(r.Catalog().Objects) {
+				t.Fatalf("accepted unknown object %d", req.Object)
+			}
+			n++
+			if n > 100000 {
+				break
+			}
+		}
+	})
+}
+
+// FuzzConvertSquid feeds arbitrary log bytes to the converter: never panic,
+// and successful conversions must parse back.
+func FuzzConvertSquid(f *testing.F) {
+	f.Add("894974483.9 1 c TCP_MISS/200 100 GET http://a/b - D/1 t\n")
+	f.Add("junk\n\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		var out bytes.Buffer
+		if _, err := ConvertSquid(strings.NewReader(in), &out); err != nil {
+			return
+		}
+		if _, err := NewReader(&out); err != nil {
+			t.Fatalf("converter output does not parse: %v", err)
+		}
+	})
+}

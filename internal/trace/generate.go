@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"cascade/internal/model"
+)
+
+// Config parameterizes the synthetic workload generator. Zero values select
+// the documented defaults, which approximate the statistical shape of the
+// paper's Boeing subtraces at laptop scale.
+type Config struct {
+	Objects  int     // object universe size (default 20000)
+	Servers  int     // origin servers (default 200)
+	Clients  int     // request-issuing clients (default 2000)
+	Requests int     // total requests (default 400000)
+	Duration float64 // trace span in seconds (default 86400, one day)
+
+	ZipfTheta float64 // popularity exponent θ (default 0.8)
+
+	// Locality models community-of-interest structure, a property of
+	// real proxy traces that a flat Zipf stream lacks: clients are
+	// partitioned into LocalityGroups communities, and with probability
+	// Locality a request is drawn from the community's own popularity
+	// ranking (a deterministic permutation of the global one) instead of
+	// the global ranking. Zero (the default) gives fully shared
+	// interest.
+	Locality       float64
+	LocalityGroups int // communities (default 10 when Locality > 0)
+
+	// DiurnalAmplitude, in [0,1), modulates the request rate over a
+	// 24-hour cycle: the instantaneous arrival rate is the base rate
+	// times 1 + A·sin(2πt/86400). Zero (the default) keeps the Poisson
+	// process homogeneous. Real proxy loads are strongly diurnal.
+	DiurnalAmplitude float64
+
+	// FlashTime, when positive, injects a popularity regime change at
+	// that many seconds into the trace: the global popularity ranking is
+	// re-permuted, so the previously cold tail becomes the new hot set.
+	// It models flash crowds / breaking-news shifts and exercises how
+	// fast caching schemes adapt. Zero disables.
+	FlashTime float64
+
+	// Object sizes are log-normal: exp(N(ln(SizeMedian), SizeSigma)),
+	// clipped to [MinSize, MaxSize]. The defaults give a ≈10 KB mean with
+	// a heavy tail, matching measured web-object size distributions.
+	SizeMedian float64 // bytes (default 4096)
+	SizeSigma  float64 // (default 1.3)
+	MinSize    int64   // bytes (default 128)
+	MaxSize    int64   // bytes (default 8 MiB)
+
+	Seed int64 // generator seed; identical seeds yield identical traces
+}
+
+func (c *Config) setDefaults() {
+	if c.Objects <= 0 {
+		c.Objects = 20000
+	}
+	if c.Servers <= 0 {
+		c.Servers = 200
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2000
+	}
+	if c.Requests <= 0 {
+		c.Requests = 400000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 86400
+	}
+	if c.ZipfTheta <= 0 {
+		c.ZipfTheta = 0.8
+	}
+	if c.SizeMedian <= 0 {
+		c.SizeMedian = 4096
+	}
+	if c.SizeSigma <= 0 {
+		c.SizeSigma = 1.3
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 128
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 8 << 20
+	}
+	if c.Locality < 0 {
+		c.Locality = 0
+	}
+	if c.Locality > 1 {
+		c.Locality = 1
+	}
+	if c.Locality > 0 && c.LocalityGroups <= 0 {
+		c.LocalityGroups = 10
+	}
+	if c.DiurnalAmplitude < 0 {
+		c.DiurnalAmplitude = 0
+	}
+	if c.DiurnalAmplitude >= 1 {
+		c.DiurnalAmplitude = 0.99
+	}
+}
+
+// Generator produces a deterministic synthetic request stream. Construct
+// with NewGenerator; the catalog is built eagerly, requests stream from
+// Next so multi-million-request workloads need no request buffer.
+type Generator struct {
+	cfg       Config
+	cat       *Catalog
+	rank      []model.ObjectID   // global popularity rank → object ID
+	flashRank []model.ObjectID   // post-FlashTime global ranking
+	groupRank [][]model.ObjectID // per-community rank → object ID
+
+	r       *rand.Rand
+	zipf    *Zipf
+	emitted int
+	now     float64
+	gap     float64 // mean inter-arrival time
+}
+
+// NewGenerator builds the object catalog (sizes, server homes, shuffled
+// popularity ranks) and returns a generator positioned at the first
+// request.
+func NewGenerator(cfg Config) *Generator {
+	cfg.setDefaults()
+	catRand := rand.New(rand.NewSource(cfg.Seed))
+
+	objects := make([]model.Object, cfg.Objects)
+	var total int64
+	for i := range objects {
+		size := int64(math.Exp(math.Log(cfg.SizeMedian) + cfg.SizeSigma*catRand.NormFloat64()))
+		if size < cfg.MinSize {
+			size = cfg.MinSize
+		}
+		if size > cfg.MaxSize {
+			size = cfg.MaxSize
+		}
+		objects[i] = model.Object{
+			ID:     model.ObjectID(i),
+			Size:   size,
+			Server: model.ServerID(catRand.Intn(cfg.Servers)),
+		}
+		total += size
+	}
+	// Decouple popularity rank from object ID (and hence from server
+	// assignment) with a shuffle.
+	rankToID := make([]model.ObjectID, cfg.Objects)
+	for i := range rankToID {
+		rankToID[i] = model.ObjectID(i)
+	}
+	catRand.Shuffle(len(rankToID), func(i, j int) {
+		rankToID[i], rankToID[j] = rankToID[j], rankToID[i]
+	})
+	var flashRank []model.ObjectID
+	if cfg.FlashTime > 0 {
+		flashRank = append([]model.ObjectID(nil), rankToID...)
+		catRand.Shuffle(len(flashRank), func(i, j int) {
+			flashRank[i], flashRank[j] = flashRank[j], flashRank[i]
+		})
+	}
+	var groupRank [][]model.ObjectID
+	for g := 0; g < cfg.LocalityGroups; g++ {
+		perm := append([]model.ObjectID(nil), rankToID...)
+		catRand.Shuffle(len(perm), func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		groupRank = append(groupRank, perm)
+	}
+
+	g := &Generator{
+		cfg:       cfg,
+		flashRank: flashRank,
+		groupRank: groupRank,
+		cat: &Catalog{
+			Objects:    objects,
+			TotalBytes: total,
+			NumServers: cfg.Servers,
+			NumClients: cfg.Clients,
+		},
+		rank: rankToID,
+		gap:  cfg.Duration / float64(cfg.Requests),
+	}
+	g.Reset()
+	return g
+}
+
+// Catalog returns the workload's object universe.
+func (g *Generator) Catalog() *Catalog { return g.cat }
+
+// Config returns the (defaulted) generator configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Len returns the total number of requests the stream will produce.
+func (g *Generator) Len() int { return g.cfg.Requests }
+
+// Reset rewinds the request stream; the regenerated stream is identical.
+func (g *Generator) Reset() {
+	g.r = rand.New(rand.NewSource(g.cfg.Seed + 1))
+	g.zipf = NewZipf(g.r, g.cfg.Objects, g.cfg.ZipfTheta)
+	g.emitted = 0
+	g.now = 0
+}
+
+// Next returns the next request in timestamp order; ok is false when the
+// stream is exhausted. Inter-arrival times are exponential (Poisson
+// arrivals) with mean Duration/Requests.
+func (g *Generator) Next() (req model.Request, ok bool) {
+	if g.emitted >= g.cfg.Requests {
+		return model.Request{}, false
+	}
+	g.emitted++
+	gap := g.gap
+	if a := g.cfg.DiurnalAmplitude; a > 0 {
+		// Thinned inhomogeneous Poisson: scale the mean gap by the
+		// inverse instantaneous intensity at the current time.
+		intensity := 1 + a*math.Sin(2*math.Pi*g.now/86400)
+		gap = g.gap / intensity
+	}
+	g.now += g.r.ExpFloat64() * gap
+	client := model.ClientID(g.r.Intn(g.cfg.Clients))
+	ranking := g.rank
+	if g.flashRank != nil && g.now >= g.cfg.FlashTime {
+		ranking = g.flashRank
+	}
+	if g.cfg.Locality > 0 && g.r.Float64() < g.cfg.Locality {
+		ranking = g.groupRank[int(client)%g.cfg.LocalityGroups]
+	}
+	id := ranking[g.zipf.Sample()]
+	obj := g.cat.Objects[id]
+	return model.Request{
+		Time:   g.now,
+		Client: client,
+		Object: id,
+		Server: obj.Server,
+		Size:   obj.Size,
+	}, true
+}
+
+// All materializes the full request stream. Prefer streaming with Next for
+// large workloads; All exists for tests and tools.
+func (g *Generator) All() []model.Request {
+	g.Reset()
+	out := make([]model.Request, 0, g.cfg.Requests)
+	for {
+		req, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, req)
+	}
+}

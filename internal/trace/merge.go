@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+
+	"cascade/internal/model"
+)
+
+// MergeTraces reproduces the other half of the paper's §3.1 methodology:
+// "complete daily traces were first obtained by merging the traces
+// collected at individual proxies based on the request timestamps". It
+// k-way-merges several traces by timestamp into one, remapping object,
+// client and server identifiers into disjoint dense ranges (each input's
+// namespace is independent, exactly like separate proxies' logs).
+//
+// Inputs must individually be valid traces; their requests must be
+// time-ordered (the format guarantees it). The catalogs are concatenated:
+// objects keep their sizes, servers and clients are offset per input.
+func MergeTraces(opens []func() (io.ReadCloser, error), w io.Writer) (merged int, err error) {
+	if len(opens) == 0 {
+		return 0, fmt.Errorf("trace: nothing to merge")
+	}
+
+	type input struct {
+		rc           io.ReadCloser
+		r            *Reader
+		objOffset    model.ObjectID
+		clientOffset model.ClientID
+		serverOffset model.ServerID
+	}
+	inputs := make([]*input, 0, len(opens))
+	defer func() {
+		for _, in := range inputs {
+			in.rc.Close()
+		}
+	}()
+
+	cat := &Catalog{}
+	for i, open := range opens {
+		rc, err := open()
+		if err != nil {
+			return 0, fmt.Errorf("trace: input %d: %w", i, err)
+		}
+		r, err := NewReader(rc)
+		if err != nil {
+			rc.Close()
+			return 0, fmt.Errorf("trace: input %d: %w", i, err)
+		}
+		in := &input{
+			rc:           rc,
+			r:            r,
+			objOffset:    model.ObjectID(len(cat.Objects)),
+			clientOffset: model.ClientID(cat.NumClients),
+			serverOffset: model.ServerID(cat.NumServers),
+		}
+		for _, o := range r.Catalog().Objects {
+			cat.Objects = append(cat.Objects, model.Object{
+				ID:     in.objOffset + o.ID,
+				Size:   o.Size,
+				Server: in.serverOffset + o.Server,
+			})
+			cat.TotalBytes += o.Size
+		}
+		cat.NumClients += r.Catalog().NumClients
+		cat.NumServers += r.Catalog().NumServers
+		inputs = append(inputs, in)
+	}
+
+	tw, err := NewWriter(w, cat)
+	if err != nil {
+		return 0, err
+	}
+
+	// K-way merge over the heads of each input.
+	h := &mergeHeap{}
+	advance := func(in *input) error {
+		req, ok, err := in.r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		heap.Push(h, mergeItem{
+			req: model.Request{
+				Time:   req.Time,
+				Client: in.clientOffset + req.Client,
+				Object: in.objOffset + req.Object,
+				Server: in.serverOffset + req.Server,
+				Size:   req.Size,
+			},
+			in: in,
+		})
+		return nil
+	}
+	for _, in := range inputs {
+		if err := advance(in); err != nil {
+			return 0, err
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if err := tw.WriteRequest(it.req); err != nil {
+			return merged, err
+		}
+		merged++
+		if err := advance(it.in.(*input)); err != nil {
+			return merged, err
+		}
+	}
+	return merged, tw.Flush()
+}
+
+type mergeItem struct {
+	req model.Request
+	in  any
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].req.Time != h[j].req.Time {
+		return h[i].req.Time < h[j].req.Time
+	}
+	// Deterministic tie-break: lower remapped object ID first.
+	return h[i].req.Object < h[j].req.Object
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

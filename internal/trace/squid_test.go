@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSquid = `894974483.921 235 10.0.0.1 TCP_MISS/200 4322 GET http://www.a.com/index.html - DIRECT/1.2.3.4 text/html
+894974484.130 110 10.0.0.2 TCP_HIT/200 1500 GET http://www.b.com:8080/img.png - NONE/- image/png
+894974484.250 90 10.0.0.1 TCP_MISS/200 4500 GET http://www.a.com/index.html - DIRECT/1.2.3.4 text/html
+894974485.000 50 10.0.0.3 TCP_MISS/404 0 GET http://www.a.com/missing - DIRECT/1.2.3.4 text/html
+894974485.100 10 10.0.0.1 TCP_MISS/200 900 POST http://www.a.com/form - DIRECT/1.2.3.4 text/html
+malformed line
+894974486.000 12 10.0.0.2 TCP_MISS/200 2222 GET http://www.a.com/other - DIRECT/1.2.3.4 text/css
+`
+
+func TestConvertSquid(t *testing.T) {
+	var out bytes.Buffer
+	stats, err := ConvertSquid(strings.NewReader(sampleSquid), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lines != 7 || stats.Requests != 4 || stats.Skipped != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Objects != 3 || stats.Clients != 2 || stats.Servers != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	r, err := NewReader(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := r.Catalog()
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Object 0 = www.a.com/index.html; size is the max of 4322/4500.
+	if cat.Objects[0].Size != 4500 {
+		t.Fatalf("object 0 size = %d, want max 4500", cat.Objects[0].Size)
+	}
+	// Requests in time order, shifted to start at 0.
+	var times []float64
+	for {
+		req, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		times = append(times, req.Time)
+	}
+	if len(times) != 4 || times[0] != 0 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("times not sorted: %v", times)
+		}
+	}
+}
+
+func TestConvertSquidEmptyLog(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := ConvertSquid(strings.NewReader("junk\n"), &out); err == nil {
+		t.Fatal("empty conversion succeeded")
+	}
+}
+
+func TestURLHost(t *testing.T) {
+	cases := map[string]string{
+		"http://www.a.com/x":      "www.a.com",
+		"http://www.a.com:8080/x": "www.a.com",
+		"https://b.org":           "b.org",
+		"www.c.net/path?q=1":      "www.c.net",
+		"host.example:443":        "host.example",
+		"/relative/path":          "",
+		"":                        "",
+		"http:///nohost":          "",
+	}
+	for in, want := range cases {
+		if got := urlHost(in); got != want {
+			t.Fatalf("urlHost(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Stats summarizes a trace: the workload properties the caching schemes
+// are sensitive to. It is what an operator inspects before trusting a
+// converted log to drive experiments.
+type Stats struct {
+	Objects  int
+	Clients  int
+	Servers  int
+	Requests int
+
+	Duration   float64 // span between first and last request, seconds
+	TotalBytes int64   // sum of object sizes (catalog)
+	MeanSize   float64 // mean object size, bytes
+	MedianSize int64
+
+	// ZipfTheta is the fitted popularity exponent: the negated slope of
+	// a log-log regression of request count on popularity rank over the
+	// most popular objects (up to 100 ranks).
+	ZipfTheta float64
+	// Top10Coverage is the fraction of requests going to the most
+	// popular 10% of requested objects.
+	Top10Coverage float64
+	// DistinctRequested counts objects referenced at least once.
+	DistinctRequested int
+}
+
+// ComputeStats scans a trace and derives its Stats.
+func ComputeStats(r io.Reader) (Stats, error) {
+	var s Stats
+	tr, err := NewReader(r)
+	if err != nil {
+		return s, err
+	}
+	cat := tr.Catalog()
+	s.Objects = len(cat.Objects)
+	s.Clients = cat.NumClients
+	s.Servers = cat.NumServers
+	s.TotalBytes = cat.TotalBytes
+	s.MeanSize = cat.AvgSize()
+
+	sizes := make([]int64, len(cat.Objects))
+	for i, o := range cat.Objects {
+		sizes[i] = o.Size
+	}
+	sort.Slice(sizes, func(a, b int) bool { return sizes[a] < sizes[b] })
+	if len(sizes) > 0 {
+		s.MedianSize = sizes[len(sizes)/2]
+	}
+
+	counts := make([]int, len(cat.Objects))
+	first, last := math.Inf(1), math.Inf(-1)
+	for {
+		req, ok, err := tr.Next()
+		if err != nil {
+			return s, err
+		}
+		if !ok {
+			break
+		}
+		counts[req.Object]++
+		s.Requests++
+		if req.Time < first {
+			first = req.Time
+		}
+		if req.Time > last {
+			last = req.Time
+		}
+	}
+	if s.Requests > 0 {
+		s.Duration = last - first
+	}
+
+	requested := make([]int, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			requested = append(requested, c)
+		}
+	}
+	s.DistinctRequested = len(requested)
+	if len(requested) == 0 {
+		return s, nil
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(requested)))
+
+	top := (len(requested) + 9) / 10
+	topSum := 0
+	for i := 0; i < top; i++ {
+		topSum += requested[i]
+	}
+	s.Top10Coverage = float64(topSum) / float64(s.Requests)
+
+	// Log-log regression over the head ranks.
+	n := len(requested)
+	if n > 100 {
+		n = 100
+	}
+	if n >= 2 {
+		var sx, sy, sxx, sxy float64
+		for i := 0; i < n; i++ {
+			x := math.Log(float64(i + 1))
+			y := math.Log(float64(requested[i]))
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+		}
+		den := float64(n)*sxx - sx*sx
+		if den != 0 {
+			s.ZipfTheta = -(float64(n)*sxy - sx*sy) / den
+		}
+	}
+	return s, nil
+}
+
+// Format renders the stats for terminal output.
+func (s Stats) Format(w io.Writer) error {
+	rows := []struct {
+		k string
+		v string
+	}{
+		{"objects (catalog)", fmt.Sprintf("%d", s.Objects)},
+		{"objects requested", fmt.Sprintf("%d", s.DistinctRequested)},
+		{"clients", fmt.Sprintf("%d", s.Clients)},
+		{"servers", fmt.Sprintf("%d", s.Servers)},
+		{"requests", fmt.Sprintf("%d", s.Requests)},
+		{"span", fmt.Sprintf("%.1f s", s.Duration)},
+		{"total object bytes", fmt.Sprintf("%.1f MB", float64(s.TotalBytes)/(1<<20))},
+		{"mean / median size", fmt.Sprintf("%.0f / %d B", s.MeanSize, s.MedianSize)},
+		{"fitted Zipf theta", fmt.Sprintf("%.2f", s.ZipfTheta)},
+		{"top-10% object coverage", fmt.Sprintf("%.1f%%", 100*s.Top10Coverage)},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-24s %s\n", r.k, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cascade/internal/model"
+)
+
+// SubtraceStats summarizes an ExtractTopObjects run.
+type SubtraceStats struct {
+	InputObjects    int
+	InputRequests   int
+	KeptObjects     int
+	KeptRequests    int
+	RequestCoverage float64 // kept / input requests
+}
+
+// ExtractTopObjects reproduces the paper's §3.1 subtracing methodology:
+// "the subtrace consists of requests for the most popular N objects" (the
+// paper used N = 100,000, covering >50% of the Boeing daily requests, to
+// fit simulations in memory). It reads a trace, ranks objects by request
+// count (ties broken by object ID for determinism), keeps only requests
+// for the top N, renumbers objects and clients densely, and writes the
+// subtrace. As the paper notes, extraction preserves the relative access
+// frequencies of the surviving objects.
+//
+// The input is read twice (counting pass, then copy pass), so it must be
+// re-openable; pass a factory returning fresh readers.
+func ExtractTopObjects(open func() (io.ReadCloser, error), w io.Writer, topN int) (SubtraceStats, error) {
+	var stats SubtraceStats
+	if topN <= 0 {
+		return stats, fmt.Errorf("trace: topN must be positive, got %d", topN)
+	}
+
+	// Pass 1: count requests per object.
+	in, err := open()
+	if err != nil {
+		return stats, err
+	}
+	r, err := NewReader(in)
+	if err != nil {
+		in.Close()
+		return stats, err
+	}
+	counts := make([]int, len(r.Catalog().Objects))
+	for {
+		req, ok, err := r.Next()
+		if err != nil {
+			in.Close()
+			return stats, err
+		}
+		if !ok {
+			break
+		}
+		counts[req.Object]++
+		stats.InputRequests++
+	}
+	in.Close()
+	stats.InputObjects = len(counts)
+
+	// Rank objects by popularity.
+	order := make([]model.ObjectID, len(counts))
+	for i := range order {
+		order[i] = model.ObjectID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if counts[order[a]] != counts[order[b]] {
+			return counts[order[a]] > counts[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if topN > len(order) {
+		topN = len(order)
+	}
+	keepRank := make(map[model.ObjectID]model.ObjectID, topN)
+	for rank := 0; rank < topN; rank++ {
+		if counts[order[rank]] == 0 {
+			break // never-requested objects cannot be "popular"
+		}
+		keepRank[order[rank]] = model.ObjectID(len(keepRank))
+	}
+
+	// Pass 2: copy surviving requests with dense renumbering.
+	in, err = open()
+	if err != nil {
+		return stats, err
+	}
+	defer in.Close()
+	r, err = NewReader(in)
+	if err != nil {
+		return stats, err
+	}
+	oldCat := r.Catalog()
+	newCat := &Catalog{NumServers: oldCat.NumServers}
+	newObjs := make([]model.Object, len(keepRank))
+	for oldID, newID := range keepRank {
+		o := oldCat.Objects[oldID]
+		newObjs[newID] = model.Object{ID: newID, Size: o.Size, Server: o.Server}
+	}
+	for _, o := range newObjs {
+		newCat.TotalBytes += o.Size
+	}
+	newCat.Objects = newObjs
+
+	// Clients renumber densely in order of first appearance; buffer the
+	// surviving requests (IDs only) to learn the client count before the
+	// header is written.
+	type slimReq struct {
+		time   float64
+		client model.ClientID
+		obj    model.ObjectID
+	}
+	var kept []slimReq
+	clientMap := make(map[model.ClientID]model.ClientID)
+	for {
+		req, ok, err := r.Next()
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			break
+		}
+		newID, keep := keepRank[req.Object]
+		if !keep {
+			continue
+		}
+		cid, seen := clientMap[req.Client]
+		if !seen {
+			cid = model.ClientID(len(clientMap))
+			clientMap[req.Client] = cid
+		}
+		kept = append(kept, slimReq{time: req.Time, client: cid, obj: newID})
+	}
+	newCat.NumClients = len(clientMap)
+	if newCat.NumClients == 0 {
+		newCat.NumClients = 1 // a catalog needs at least one client slot
+	}
+
+	tw, err := NewWriter(w, newCat)
+	if err != nil {
+		return stats, err
+	}
+	for _, rq := range kept {
+		obj := newCat.Objects[rq.obj]
+		err := tw.WriteRequest(model.Request{
+			Time:   rq.time,
+			Client: rq.client,
+			Object: rq.obj,
+			Server: obj.Server,
+			Size:   obj.Size,
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return stats, err
+	}
+
+	stats.KeptObjects = len(keepRank)
+	stats.KeptRequests = len(kept)
+	if stats.InputRequests > 0 {
+		stats.RequestCoverage = float64(stats.KeptRequests) / float64(stats.InputRequests)
+	}
+	return stats, nil
+}

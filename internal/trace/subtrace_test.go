@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+// memTrace materializes a generator into a reopenable byte buffer.
+func memTrace(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	g := NewGenerator(cfg)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, g.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if err := w.WriteRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func reopener(data []byte) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+}
+
+func TestExtractTopObjects(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 30000
+	data := memTrace(t, cfg)
+
+	var out bytes.Buffer
+	stats, err := ExtractTopObjects(reopener(data), &out, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputObjects != 500 || stats.InputRequests != 30000 {
+		t.Fatalf("input stats: %+v", stats)
+	}
+	if stats.KeptObjects != 50 {
+		t.Fatalf("kept %d objects", stats.KeptObjects)
+	}
+	// With Zipf θ=0.8 over 500 objects, the top 10% cover well over a
+	// third of requests (the paper's top-100k covered >50%).
+	if stats.RequestCoverage < 0.35 {
+		t.Fatalf("coverage = %v", stats.RequestCoverage)
+	}
+
+	// The subtrace parses cleanly, is dense, and time-ordered.
+	r, err := NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Catalog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Catalog().Objects) != 50 {
+		t.Fatalf("subtrace catalog has %d objects", len(r.Catalog().Objects))
+	}
+	n := 0
+	counts := map[model.ObjectID]int{}
+	for {
+		req, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		counts[req.Object]++
+		n++
+	}
+	if n != stats.KeptRequests {
+		t.Fatalf("subtrace has %d requests, stats say %d", n, stats.KeptRequests)
+	}
+	// Renumbering is popularity-ranked: object 0 is the most requested.
+	for id, c := range counts {
+		if c > counts[0] {
+			t.Fatalf("object %d (%d reqs) beats rank-0 (%d reqs)", id, c, counts[0])
+		}
+	}
+}
+
+func TestExtractTopObjectsPreservesRelativeFrequencies(t *testing.T) {
+	// The paper's key argument: extraction must not change the relative
+	// frequencies of surviving objects.
+	cfg := smallConfig()
+	cfg.Requests = 30000
+	data := memTrace(t, cfg)
+
+	// Count originals.
+	r, _ := NewReader(bytes.NewReader(data))
+	orig := map[model.ObjectID]int{}
+	for {
+		req, ok, _ := r.Next()
+		if !ok {
+			break
+		}
+		orig[req.Object]++
+	}
+
+	var out bytes.Buffer
+	if _, err := ExtractTopObjects(reopener(data), &out, 30); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewReader(bytes.NewReader(out.Bytes()))
+	sub := map[model.ObjectID]int{}
+	for {
+		req, ok, _ := r2.Next()
+		if !ok {
+			break
+		}
+		sub[req.Object]++
+	}
+	// Rank-k in the subtrace has exactly the count of the k-th most
+	// popular original object (sizes of count multisets match).
+	var origCounts []int
+	for _, c := range orig {
+		origCounts = append(origCounts, c)
+	}
+	// top-30 original counts, descending.
+	for rank := 0; rank < 30; rank++ {
+		max := -1
+		for _, c := range origCounts {
+			if c > max {
+				max = c
+			}
+		}
+		found := false
+		for id, c := range sub {
+			if c == max {
+				delete(sub, id)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d count %d missing from subtrace", rank, max)
+		}
+		for i, c := range origCounts {
+			if c == max {
+				origCounts = append(origCounts[:i], origCounts[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func TestExtractTopObjectsErrors(t *testing.T) {
+	data := memTrace(t, Config{Objects: 10, Servers: 2, Clients: 2, Requests: 50, Duration: 10, Seed: 1})
+	var out bytes.Buffer
+	if _, err := ExtractTopObjects(reopener(data), &out, 0); err == nil {
+		t.Fatal("topN=0 accepted")
+	}
+	// topN beyond universe: keeps every requested object.
+	stats, err := ExtractTopObjects(reopener(data), &out, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RequestCoverage != 1 {
+		t.Fatalf("coverage = %v, want 1", stats.RequestCoverage)
+	}
+	if _, err := ExtractTopObjects(func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader([]byte("garbage"))), nil
+	}, &out, 5); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 40000
+	cfg.ZipfTheta = 0.8
+	data := memTrace(t, cfg)
+	s, err := ComputeStats(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objects != 500 || s.Requests != 40000 || s.Clients != 50 || s.Servers != 20 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.ZipfTheta < 0.6 || s.ZipfTheta > 1.0 {
+		t.Fatalf("fitted theta = %v, want ≈0.8", s.ZipfTheta)
+	}
+	if s.Top10Coverage < 0.25 || s.Top10Coverage >= 1 {
+		t.Fatalf("top-10%% coverage = %v", s.Top10Coverage)
+	}
+	if s.Duration < 3000 || s.MeanSize <= 0 || s.MedianSize <= 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Zipf")) {
+		t.Fatalf("format output:\n%s", buf.String())
+	}
+	if _, err := ComputeStats(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	cfgA := Config{Objects: 40, Servers: 3, Clients: 5, Requests: 300, Duration: 100, Seed: 1}
+	cfgB := Config{Objects: 25, Servers: 2, Clients: 4, Requests: 200, Duration: 100, Seed: 2}
+	a, b := memTrace(t, cfgA), memTrace(t, cfgB)
+
+	var out bytes.Buffer
+	merged, err := MergeTraces([]func() (io.ReadCloser, error){reopener(a), reopener(b)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 500 {
+		t.Fatalf("merged %d requests", merged)
+	}
+	r, err := NewReader(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := r.Catalog()
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Objects) != 65 || cat.NumServers != 5 || cat.NumClients != 9 {
+		t.Fatalf("merged catalog: %d objects, %d servers, %d clients",
+			len(cat.Objects), cat.NumServers, cat.NumClients)
+	}
+	// Timestamps globally non-decreasing; IDs from both ranges present.
+	prev := -1.0
+	sawA, sawB := false, false
+	n := 0
+	for {
+		req, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if req.Time < prev {
+			t.Fatalf("merged trace not time-ordered at request %d", n)
+		}
+		prev = req.Time
+		if req.Object < 40 {
+			sawA = true
+		} else {
+			sawB = true
+		}
+		n++
+	}
+	if n != 500 || !sawA || !sawB {
+		t.Fatalf("merged stream: n=%d sawA=%v sawB=%v", n, sawA, sawB)
+	}
+}
+
+func TestMergeTracesErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := MergeTraces(nil, &out); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	bad := func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader([]byte("junk"))), nil
+	}
+	if _, err := MergeTraces([]func() (io.ReadCloser, error){bad}, &out); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestMergeSingleTraceIdentity(t *testing.T) {
+	cfg := Config{Objects: 20, Servers: 2, Clients: 3, Requests: 100, Duration: 50, Seed: 4}
+	data := memTrace(t, cfg)
+	var out bytes.Buffer
+	merged, err := MergeTraces([]func() (io.ReadCloser, error){reopener(data)}, &out)
+	if err != nil || merged != 100 {
+		t.Fatalf("merged=%d err=%v", merged, err)
+	}
+	// Identity merge: the request streams match field by field.
+	r1, _ := NewReader(bytes.NewReader(data))
+	r2, _ := NewReader(bytes.NewReader(out.Bytes()))
+	for {
+		a, okA, _ := r1.Next()
+		b, okB, _ := r2.Next()
+		if okA != okB {
+			t.Fatal("stream lengths differ")
+		}
+		if !okA {
+			break
+		}
+		if a.Object != b.Object || a.Client != b.Client || a.Size != b.Size {
+			t.Fatalf("identity merge changed a request: %+v vs %+v", a, b)
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+func smallConfig() Config {
+	return Config{
+		Objects:  500,
+		Servers:  20,
+		Clients:  50,
+		Requests: 20000,
+		Duration: 3600,
+		Seed:     7,
+	}
+}
+
+func TestZipfRankZeroMostPopular(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1000, 0.8)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Sample()]++
+	}
+	// Aggregate into rank buckets: per-rank mean popularity must decrease
+	// bucket over bucket (individual adjacent ranks are too noisy).
+	bounds := []int{10, 100, 500, 1000}
+	means := make([]float64, len(bounds))
+	lo := 0
+	for b, hi := range bounds {
+		sum := 0
+		for r := lo; r < hi; r++ {
+			sum += counts[r]
+		}
+		means[b] = float64(sum) / float64(hi-lo)
+		lo = hi
+	}
+	for b := 1; b < len(means); b++ {
+		if means[b-1] <= means[b] {
+			t.Fatalf("per-rank mean popularity not decreasing: %v", means)
+		}
+	}
+}
+
+func TestZipfThetaShape(t *testing.T) {
+	// For θ=1 the top rank's weight relative to rank 9 must be ≈10.
+	z := NewZipf(rand.New(rand.NewSource(1)), 100, 1.0)
+	ratio := z.Weight(0) / z.Weight(9)
+	if math.Abs(ratio-10) > 1e-9 {
+		t.Fatalf("weight ratio = %v, want 10", ratio)
+	}
+	// θ=0 is uniform.
+	u := NewZipf(rand.New(rand.NewSource(1)), 100, 0)
+	if math.Abs(u.Weight(0)-u.Weight(99)) > 1e-12 {
+		t.Fatal("θ=0 weights not uniform")
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(2)), 7, 0.7)
+	for i := 0; i < 10000; i++ {
+		s := z.Sample()
+		if s < 0 || s >= 7 {
+			t.Fatalf("sample %d out of range", s)
+		}
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 1)
+}
+
+func TestGeneratorCatalog(t *testing.T) {
+	g := NewGenerator(smallConfig())
+	cat := g.Catalog()
+	if len(cat.Objects) != 500 || cat.NumServers != 20 || cat.NumClients != 50 {
+		t.Fatalf("catalog shape wrong: %d objects, %d servers, %d clients",
+			len(cat.Objects), cat.NumServers, cat.NumClients)
+	}
+	if err := cat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := g.Config()
+	for _, o := range cat.Objects {
+		if o.Size < cfg.MinSize || o.Size > cfg.MaxSize {
+			t.Fatalf("object size %d outside [%d, %d]", o.Size, cfg.MinSize, cfg.MaxSize)
+		}
+	}
+	if cat.AvgSize() <= 0 {
+		t.Fatal("average size not positive")
+	}
+}
+
+func TestGeneratorStreamProperties(t *testing.T) {
+	g := NewGenerator(smallConfig())
+	prev := -1.0
+	n := 0
+	seenObjects := map[model.ObjectID]bool{}
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if req.Time < prev {
+			t.Fatalf("timestamps not monotone at request %d", n)
+		}
+		prev = req.Time
+		obj := g.Catalog().Object(req.Object)
+		if req.Size != obj.Size || req.Server != obj.Server {
+			t.Fatalf("request fields inconsistent with catalog: %+v vs %+v", req, obj)
+		}
+		if int(req.Client) < 0 || int(req.Client) >= 50 {
+			t.Fatalf("client %d out of range", req.Client)
+		}
+		seenObjects[req.Object] = true
+	}
+	if n != 20000 || g.Len() != 20000 {
+		t.Fatalf("stream length %d, want 20000", n)
+	}
+	if len(seenObjects) < 250 {
+		t.Fatalf("only %d distinct objects referenced", len(seenObjects))
+	}
+	// Mean inter-arrival ≈ Duration/Requests → final time ≈ Duration.
+	if prev < 3600*0.9 || prev > 3600*1.1 {
+		t.Fatalf("trace span %v, want ≈3600", prev)
+	}
+}
+
+func TestGeneratorDeterministicAndReset(t *testing.T) {
+	cfg := smallConfig()
+	a := NewGenerator(cfg).All()
+	b := NewGenerator(cfg).All()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	g := NewGenerator(cfg)
+	first, _ := g.Next()
+	g.Reset()
+	again, _ := g.Next()
+	if first != again {
+		t.Fatalf("reset did not rewind: %+v vs %+v", first, again)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c := NewGenerator(cfg2).All()
+	same := 0
+	for i := range c {
+		if c[i].Object == a[i].Object {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatal("different seeds produced identical object streams")
+	}
+}
+
+func TestGeneratorZipfPopularity(t *testing.T) {
+	// The generated request stream must itself be Zipf-like: log-log
+	// regression of frequency on rank should give slope ≈ -θ.
+	cfg := smallConfig()
+	cfg.Requests = 100000
+	cfg.ZipfTheta = 0.8
+	g := NewGenerator(cfg)
+	counts := map[model.ObjectID]int{}
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[req.Object]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Fit slope over ranks 1..100 (head of the distribution).
+	var sx, sy, sxx, sxy float64
+	n := 100
+	for i := 0; i < n; i++ {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(freqs[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (float64(n)*sxy - sx*sy) / (float64(n)*sxx - sx*sx)
+	if slope > -0.6 || slope < -1.0 {
+		t.Fatalf("log-log slope = %v, want ≈ -0.8", slope)
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(Config{})
+	cfg := g.Config()
+	if cfg.Objects != 20000 || cfg.Requests != 400000 || cfg.ZipfTheta != 0.8 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 500
+	g := NewGenerator(cfg)
+	want := g.All()
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, g.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range want {
+		if err := w.WriteRequest(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Catalog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Catalog().TotalBytes != g.Catalog().TotalBytes {
+		t.Fatal("catalog total bytes changed in round trip")
+	}
+	for i, wantReq := range want {
+		got, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("request %d: ok=%v err=%v", i, ok, err)
+		}
+		if got.Client != wantReq.Client || got.Object != wantReq.Object ||
+			got.Server != wantReq.Server || got.Size != wantReq.Size {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got, wantReq)
+		}
+		if math.Abs(got.Time-wantReq.Time) > 1e-5 {
+			t.Fatalf("request %d time %v vs %v", i, got.Time, wantReq.Time)
+		}
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("expected clean EOF, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "not a trace\n",
+		"bad field":       formatHeader + " servers\n",
+		"unknown field":   formatHeader + " moons=3\n",
+		"sparse ids":      formatHeader + " servers=1 clients=1\nO 1 100 0\n",
+		"bad object line": formatHeader + " servers=1 clients=1\nO x 100 0\n",
+		"bad req line":    formatHeader + " servers=1 clients=1\nO 0 100 0\nR zzz\n",
+		"unknown object":  formatHeader + " servers=1 clients=1\nO 0 100 0\nR 1.0 0 5\n",
+		"bad server":      formatHeader + " servers=1 clients=1\nO 0 100 7\n",
+		"neg size":        formatHeader + " servers=1 clients=1\nO 0 -100 0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			r, err := NewReader(strings.NewReader(in))
+			if err != nil {
+				return // rejected at header/catalog parse: fine
+			}
+			if _, ok, err := r.Next(); err == nil && ok {
+				t.Fatalf("malformed input accepted: %q", in)
+			} else if err == nil {
+				t.Fatalf("malformed input gave clean EOF: %q", in)
+			}
+		})
+	}
+}
+
+func TestReaderRejectsTimeRegression(t *testing.T) {
+	in := formatHeader + " servers=1 clients=1\nO 0 100 0\nR 5.0 0 0\nR 4.0 0 0\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := r.Next(); !ok || err != nil {
+		t.Fatal("first request should parse")
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("time regression accepted")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(Config{Objects: 100000, Requests: 1 << 30})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func TestLocalityGroupsDivergentInterests(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 60000
+	cfg.Locality = 1.0 // every request from the community ranking
+	cfg.LocalityGroups = 2
+	g := NewGenerator(cfg)
+	// Top objects per community must differ: collect per-community
+	// favourites.
+	counts := [2]map[model.ObjectID]int{{}, {}}
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[int(req.Client)%2][req.Object]++
+	}
+	top := func(m map[model.ObjectID]int) model.ObjectID {
+		var best model.ObjectID
+		bestN := -1
+		for id, n := range m {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		return best
+	}
+	if top(counts[0]) == top(counts[1]) {
+		t.Fatal("communities share the same favourite despite full locality")
+	}
+}
+
+func TestLocalityZeroMatchesGlobal(t *testing.T) {
+	a := smallConfig()
+	b := smallConfig()
+	b.Locality = 0
+	ga, gb := NewGenerator(a).All(), NewGenerator(b).All()
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("locality 0 changed the stream at %d", i)
+		}
+	}
+}
+
+func TestLocalityClamped(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Locality = 5
+	g := NewGenerator(cfg)
+	if got := g.Config().Locality; got != 1 {
+		t.Fatalf("locality = %v, want clamped to 1", got)
+	}
+	if g.Config().LocalityGroups != 10 {
+		t.Fatalf("groups = %d, want default 10", g.Config().LocalityGroups)
+	}
+	cfg2 := smallConfig()
+	cfg2.Locality = -1
+	if got := NewGenerator(cfg2).Config().Locality; got != 0 {
+		t.Fatalf("negative locality = %v, want 0", got)
+	}
+}
+
+func TestLocalityStillDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Locality = 0.7
+	a := NewGenerator(cfg).All()
+	b := NewGenerator(cfg).All()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("locality stream not deterministic at %d", i)
+		}
+	}
+}
+
+func TestFlashCrowdShiftsPopularity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 40000
+	cfg.FlashTime = 1800 // halfway through the 3600s trace
+	g := NewGenerator(cfg)
+	before := map[model.ObjectID]int{}
+	after := map[model.ObjectID]int{}
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		if req.Time < 1800 {
+			before[req.Object]++
+		} else {
+			after[req.Object]++
+		}
+	}
+	top := func(m map[model.ObjectID]int) model.ObjectID {
+		var best model.ObjectID
+		bestN := -1
+		for id, n := range m {
+			if n > bestN {
+				best, bestN = id, n
+			}
+		}
+		return best
+	}
+	if top(before) == top(after) {
+		t.Fatal("flash crowd did not change the most popular object")
+	}
+	// Determinism preserved.
+	h1 := NewGenerator(cfg).All()
+	h2 := NewGenerator(cfg).All()
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("flash-crowd stream not deterministic at %d", i)
+		}
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Requests = 80000
+	cfg.Duration = 86400
+	cfg.DiurnalAmplitude = 0.8
+	g := NewGenerator(cfg)
+	// Count requests in the peak quarter (centered at 6h, where sin=1)
+	// vs the trough quarter (centered at 18h, sin=-1).
+	peak, trough := 0, 0
+	for {
+		req, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case req.Time >= 3*3600 && req.Time < 9*3600:
+			peak++
+		case req.Time >= 15*3600 && req.Time < 21*3600:
+			trough++
+		}
+	}
+	if trough == 0 || float64(peak)/float64(trough) < 2 {
+		t.Fatalf("diurnal modulation weak: peak=%d trough=%d", peak, trough)
+	}
+	// Amplitude clamping.
+	cfg.DiurnalAmplitude = 2
+	if got := NewGenerator(cfg).Config().DiurnalAmplitude; got != 0.99 {
+		t.Fatalf("amplitude = %v, want clamped", got)
+	}
+}
