@@ -1,0 +1,23 @@
+# Tier-1 verification gate: everything a change must pass before merging.
+# `make check` = vet + build + race-enabled tests for the whole module.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

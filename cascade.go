@@ -48,6 +48,7 @@ import (
 	"cascade/internal/core"
 	"cascade/internal/dcache"
 	"cascade/internal/experiment"
+	"cascade/internal/fault"
 	"cascade/internal/httpgw"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
@@ -392,12 +393,32 @@ type (
 	ClusterConfig = runtime.Config
 	// ClusterResult reports how the cluster served one request.
 	ClusterResult = runtime.Result
+	// ClusterStats are cluster-wide counters, including failure-handling
+	// accounting (overflows, routed-around hops, origin fallbacks).
+	ClusterStats = runtime.Stats
 )
 
 // NewCluster starts one actor per cache node of the network. The returned
 // cluster serves concurrent Gets; Close shuts it down after in-flight
-// requests drain.
+// requests drain. Cluster.Fail crashes a node (losing its state),
+// Cluster.Recover restarts it empty; requests route around dead hops.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.NewCluster(cfg) }
+
+// Fault injection (deterministic chaos hooks shared by the runtime and the
+// HTTP gateway).
+type (
+	// FaultInjector decides per message whether to drop, delay, crash the
+	// receiver, or report saturation — deterministically from a seed.
+	FaultInjector = fault.Injector
+	// FaultStats counts the injector's interventions.
+	FaultStats = fault.Stats
+	// FaultRoundTripper wires an injector into an http.Client transport.
+	FaultRoundTripper = fault.RoundTripper
+)
+
+// NewFaultInjector builds a rule-free injector; add rules with the
+// WithDrop/WithDelay/WithDropEvery/WithCrashOn builders.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
 
 // HTTP gateway incarnation of the protocol (piggybacking as headers).
 type (
@@ -418,7 +439,14 @@ const (
 	HTTPHeaderPenalty = httpgw.HeaderPenalty
 	// HTTPHeaderHit names the serving node ("origin" for the source).
 	HTTPHeaderHit = httpgw.HeaderHit
+	// HTTPHeaderDegraded marks responses served outside the protocol
+	// while the upstream chain was unreachable.
+	HTTPHeaderDegraded = httpgw.HeaderDegraded
 )
+
+// DefaultUpstreamTimeout bounds gateway upstream fetches when no explicit
+// Client is configured.
+const DefaultUpstreamTimeout = httpgw.DefaultUpstreamTimeout
 
 // NewHTTPCacheNode builds a gateway node: a cache of capacity bytes (plus a
 // dEntries-descriptor d-cache) forwarding misses to upstream across a link
@@ -462,6 +490,24 @@ const (
 	ArchEnRoute   = experiment.EnRoute
 	ArchHierarchy = experiment.Hierarchy
 )
+
+// Chaos harness (failure-aware replay through the live runtime).
+type (
+	// ChaosConfig parameterizes a fault-injection replay.
+	ChaosConfig = experiment.ChaosConfig
+	// ChaosResult pairs the no-fault and faulted replays.
+	ChaosResult = experiment.ChaosResult
+	// ChaosRun is one replay's accounting.
+	ChaosRun = experiment.ChaosRun
+)
+
+// ChaosStudy replays the workload through the actor runtime twice — clean,
+// and with a deterministic subset of nodes crashed mid-trace and later
+// recovered — and tabulates byte hit ratio, degraded serves and
+// routed-around hops per phase.
+func ChaosStudy(cfg ChaosConfig) (ChaosResult, ResultTable, error) {
+	return experiment.ChaosStudy(cfg)
+}
 
 // Figures lists every figure of the paper's evaluation section.
 func Figures() []Figure { return experiment.Figures }

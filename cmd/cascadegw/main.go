@@ -46,6 +46,12 @@ func run() error {
 		nodeID   = flag.Int("id", 0, "gateway: node ID used in protocol headers")
 		state    = flag.String("state", "", "gateway: warm-start snapshot file (loaded at boot, saved on shutdown)")
 		ttl      = flag.Float64("ttl", 0, "gateway: revalidate cached copies older than this many seconds (0 = never)")
+
+		originURL = flag.String("origin-url", "", "gateway: origin base URL for degraded-mode fallback when the upstream chain is unreachable")
+		upTimeout = flag.Duration("up-timeout", 0, "gateway: upstream request timeout (0 = built-in default)")
+		retries   = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
+		brkThresh = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
+		brkCool   = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
 	)
 	flag.Parse()
 
@@ -69,6 +75,13 @@ func run() error {
 		node := cascade.NewHTTPCacheNode(cascade.NodeID(*nodeID),
 			strings.TrimRight(*upstream, "/"), *cost, capBytes, *dEntries, cascade.WallClock())
 		node.TTL = *ttl
+		node.OriginURL = strings.TrimRight(*originURL, "/")
+		node.MaxRetries = *retries
+		node.BreakerThreshold = *brkThresh
+		node.BreakerCooldown = *brkCool
+		if *upTimeout != 0 {
+			node.Client = &http.Client{Timeout: *upTimeout}
+		}
 		if *state != "" {
 			if f, err := os.Open(*state); err == nil {
 				n, lerr := node.LoadSnapshot(f, 0)

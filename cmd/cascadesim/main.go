@@ -39,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, or comma-separated figure IDs (fig6a..fig10b)")
+		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, or comma-separated figure IDs (fig6a..fig10b)")
 		arch    = flag.String("arch", "both", "architecture for studies: enroute, hierarchy or both")
 		sizes   = flag.String("sizes", "0.001,0.003,0.01,0.03,0.1", "relative cache sizes")
 		schemes = flag.String("schemes", "LRU,MODULO(4),LNC-R,COORD", "schemes to compare")
@@ -61,6 +61,9 @@ func run() error {
 		md        = flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned text")
 		replicate = flag.Int("replicate", 0, "rerun each figure under N seeds and report mean ± stdev")
 		baseline  = flag.String("baseline", "", "directory of previously exported CSVs to compare against (5% tolerance)")
+		chaosFrac = flag.Float64("chaos-frac", 0.2, "chaos study: fraction of nodes crashed mid-trace")
+		chaosFail = flag.Float64("chaos-fail", 0.25, "chaos study: trace fraction at which nodes crash")
+		chaosHeal = flag.Float64("chaos-heal", 0.6, "chaos study: trace fraction at which nodes recover")
 		verbose   = flag.Bool("v", false, "print per-cell progress")
 		list      = flag.Bool("list", false, "list available experiments, figures and schemes, then exit")
 		jobs      = flag.Int("j", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
@@ -72,7 +75,7 @@ func run() error {
 		for _, f := range cascade.Figures() {
 			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
 		}
-		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis")
+		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos")
 		fmt.Printf("schemes: %s\n", strings.Join(cascade.SchemeNames(), ", "))
 		return nil
 	}
@@ -123,7 +126,7 @@ func run() error {
 	wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness := false, false, false, false, false
 	wantTreeShape, wantZipf, wantCostModel, wantLocality, wantLevels := false, false, false, false, false
 	wantAdaptivity, wantCapacity, wantWindowK, wantPartial := false, false, false, false
-	wantAnalysis := false
+	wantAnalysis, wantChaos := false, false
 	var figIDs []string
 	for _, e := range splitList(*exps) {
 		switch e {
@@ -165,6 +168,10 @@ func run() error {
 			wantPartial = true
 		case "analysis":
 			wantAnalysis = true
+		case "chaos":
+			// Failure-aware replay through the live runtime; not part of
+			// "all", which regenerates the paper's artifacts only.
+			wantChaos = true
 		default:
 			if _, ok := cascade.FigureByID(e); !ok {
 				return fmt.Errorf("-exp: unknown experiment %q", e)
@@ -416,6 +423,29 @@ func run() error {
 		}
 		if err := emit("analysis", t); err != nil {
 			return err
+		}
+	}
+	if wantChaos {
+		for _, a := range archs {
+			fmt.Fprintf(os.Stderr, "running %s chaos replay (%.0f%% of nodes crash at %.0f%% of trace)...\n",
+				a, *chaosFrac*100, *chaosFail*100)
+			res, t, err := cascade.ChaosStudy(cascade.ChaosConfig{
+				Arch:         a,
+				Base:         cfg,
+				FailFraction: *chaosFrac,
+				FailAt:       *chaosFail,
+				HealAt:       *chaosHeal,
+				Seed:         *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "chaos %s: crashed nodes %v, routed around %d hops, %d degraded serves, recovery gap %.1f%%\n",
+				a, res.Failed, res.Faulted.Stats.RoutedAround,
+				res.Faulted.Stats.OriginFallbacks, res.RecoveryGap()*100)
+			if err := emit("chaos_"+string(a), t); err != nil {
+				return err
+			}
 		}
 	}
 	if *htmlOut != "" {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path"
@@ -28,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"cascade/internal/cache"
 	"cascade/internal/core"
@@ -41,6 +43,10 @@ const (
 	HeaderPlace   = "X-Cascade-Place"
 	HeaderPenalty = "X-Cascade-Penalty"
 	HeaderHit     = "X-Cascade-Hit"
+	// HeaderDegraded marks a response served outside the coordinated
+	// protocol — fetched straight from the origin (or served stale) while
+	// the upstream chain is unreachable. No placement decision rode along.
+	HeaderDegraded = "X-Cascade-Degraded"
 )
 
 // etagOf derives a strong validator from a payload (FNV-1a over the
@@ -60,7 +66,10 @@ type Node struct {
 	Upstream string
 	// UpCost is the cost of the link from this node toward Upstream.
 	UpCost float64
-	// Client issues upstream requests (http.DefaultClient when nil).
+	// Client issues upstream requests. When nil a shared default with
+	// DefaultUpstreamTimeout is used — never http.DefaultClient, whose
+	// missing timeout would let one hung upstream pin gateway goroutines
+	// forever. Set an explicit Client to choose a different budget.
 	Client *http.Client
 	// Clock supplies seconds for frequency estimation.
 	Clock func() float64
@@ -70,6 +79,28 @@ type Node struct {
 	// one round trip but no payload, anything else replaces it.
 	TTL float64
 
+	// OriginURL, when set, enables degraded mode: if the upstream chain
+	// is unreachable (retries exhausted or circuit breaker open), the
+	// node fetches straight from this URL and serves the bytes without
+	// caching or coordination, marked with HeaderDegraded.
+	OriginURL string
+	// MaxRetries bounds upstream retry attempts after the initial try.
+	// 0 means the default (2); negative disables retries.
+	MaxRetries int
+	// RetryBase is the first retry's backoff; it doubles per attempt
+	// with jitter. 0 means the default (25ms).
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive upstream-failure count that
+	// opens the circuit breaker. 0 means the default (5); negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long (in Clock seconds) the breaker stays
+	// open before a half-open probe. 0 means the default (30).
+	BreakerCooldown float64
+	// Sleep pauses between retries (time.Sleep when nil); injectable
+	// for tests.
+	Sleep func(time.Duration)
+
 	mu      sync.Mutex
 	store   *cache.HeapStore
 	dstore  dcache.DCache
@@ -78,6 +109,15 @@ type Node struct {
 	fetched map[model.ObjectID]float64 // time each copy was (re)validated
 
 	hits, misses, inserts, revalidations int64
+
+	rng             *rand.Rand // backoff jitter; lazily seeded from ID
+	breaker         BreakerState
+	breakerFails    int
+	breakerOpenedAt float64
+	probing         bool
+	retries         int64
+	breakerOpens    int64
+	degraded        int64
 }
 
 // NewNode builds a gateway node with the given stores.
@@ -295,12 +335,13 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	up.Header.Set(HeaderPath, pathHeader)
 
-	client := n.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(up)
+	resp, err := n.fetchUpstream(up)
 	if err != nil {
+		// Upstream chain unreachable: fall back to the origin when one
+		// is configured, else fail conventionally.
+		if n.serveDegraded(w, r) {
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -375,13 +416,23 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	if tag != "" {
 		up.Header.Set("If-None-Match", tag)
 	}
-	client := n.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(up)
+	resp, err := n.fetchUpstream(up)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		// Stale-if-error: an unreachable upstream is no reason to fail a
+		// request we can answer from the expired copy. Serve it marked
+		// degraded; freshness resumes once the upstream heals.
+		n.mu.Lock()
+		n.degraded++
+		n.hits++
+		n.store.Touch(obj, now)
+		n.mu.Unlock()
+		w.Header().Set(HeaderDegraded, "1")
+		w.Header().Set(HeaderPenalty, "0")
+		w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+		if tag != "" {
+			w.Header().Set("ETag", tag)
+		}
+		w.Write(body) //nolint:errcheck
 		return true
 	}
 	defer resp.Body.Close()
@@ -421,11 +472,13 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 	hits, misses, inserts, revs := n.hits, n.misses, n.inserts, n.revalidations
 	used, capacity, objects := n.store.Used(), n.store.Capacity(), n.store.Len()
 	descs := n.dstore.Len()
+	retries, opens, degraded, state := n.retries, n.breakerOpens, n.degraded, n.breaker
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
-		"{\"node\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d}\n",
-		n.ID, hits, misses, inserts, revs, objects, used, capacity, descs)
+		"{\"node\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
+		n.ID, hits, misses, inserts, revs, objects, used, capacity, descs,
+		retries, state.String(), opens, degraded)
 }
 
 // sizeGuess returns the object size known from its descriptor.

@@ -1,0 +1,253 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cascade/internal/model"
+)
+
+// TestNilClientDefaultTimeout: a nil Client must resolve to the shared
+// default with a real timeout — never http.DefaultClient, which has none.
+func TestNilClientDefaultTimeout(t *testing.T) {
+	n := NewNode(0, "http://unused", 1, 1000, 10, func() float64 { return 0 })
+	c := n.client()
+	if c == http.DefaultClient {
+		t.Fatal("nil Client resolved to http.DefaultClient")
+	}
+	if c.Timeout != DefaultUpstreamTimeout {
+		t.Fatalf("default client timeout %v, want %v", c.Timeout, DefaultUpstreamTimeout)
+	}
+	explicit := &http.Client{Timeout: time.Second}
+	n.Client = explicit
+	if n.client() != explicit {
+		t.Fatal("explicit Client not honored")
+	}
+}
+
+// TestHangingUpstreamOriginFallback: an upstream that never answers must
+// not wedge the gateway — the client timeout fires and the node serves the
+// bytes straight from the origin, marked degraded.
+func TestHangingUpstreamOriginFallback(t *testing.T) {
+	origin := httptest.NewServer(&Origin{Size: func(model.ObjectID) int { return 500 }})
+	defer origin.Close()
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold the connection until the caller gives up
+	}))
+	defer hang.Close()
+
+	n := NewNode(0, hang.URL, 1, 10000, 100, func() float64 { return 0 })
+	n.Client = &http.Client{Timeout: 50 * time.Millisecond}
+	n.OriginURL = origin.URL
+	n.MaxRetries = -1
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, body := get(t, srv.URL, 7)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request took %v — timeout did not bound the hang", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK || len(body) != 500 {
+		t.Fatalf("status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get(HeaderDegraded) != "1" || resp.Header.Get(HeaderHit) != "origin" {
+		t.Fatalf("headers: %v", resp.Header)
+	}
+	if n.Contains(7) {
+		t.Fatal("degraded response was cached")
+	}
+}
+
+// TestUpstreamRetrySucceeds: transient 503s are retried with backoff and
+// the request ultimately succeeds through the protocol path.
+func TestUpstreamRetrySucceeds(t *testing.T) {
+	origin := &Origin{Size: func(model.ObjectID) int { return 500 }}
+	var mu sync.Mutex
+	attempts := 0
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		origin.ServeHTTP(w, r)
+	}))
+	defer up.Close()
+
+	var pauses []time.Duration
+	n := NewNode(0, up.URL, 1, 10000, 100, func() float64 { return 0 })
+	n.Sleep = func(d time.Duration) { pauses = append(pauses, d) }
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL, 11)
+	if resp.StatusCode != http.StatusOK || len(body) != 500 {
+		t.Fatalf("status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get(HeaderDegraded) != "" {
+		t.Fatal("successful retry marked degraded")
+	}
+	if len(pauses) != 2 {
+		t.Fatalf("pauses %v, want 2 backoffs", pauses)
+	}
+	if pauses[1] <= pauses[0]/2 {
+		t.Fatalf("backoff not growing: %v", pauses)
+	}
+	if n.Breaker() != BreakerClosed {
+		t.Fatalf("breaker %v after success", n.Breaker())
+	}
+}
+
+// TestBreakerOpensServesDegradedAndRecovers walks the full breaker cycle:
+// consecutive failures open it, open fails fast into degraded mode, the
+// cooldown admits a half-open probe, and a healthy probe closes it.
+func TestBreakerOpensServesDegradedAndRecovers(t *testing.T) {
+	var mu sync.Mutex
+	now, failing, upCount := 0.0, true, 0
+	clock := func() float64 { mu.Lock(); defer mu.Unlock(); return now }
+
+	origin := &Origin{Size: func(model.ObjectID) int { return 500 }}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		upCount++
+		bad := failing
+		mu.Unlock()
+		if bad {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		origin.ServeHTTP(w, r)
+	}))
+	defer up.Close()
+
+	n := NewNode(0, up.URL, 1, 10000, 100, clock)
+	n.OriginURL = originSrv.URL
+	n.MaxRetries = -1
+	n.BreakerThreshold = 2
+	n.BreakerCooldown = 10
+	n.Sleep = func(time.Duration) {}
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	// Two failing exchanges trip the breaker; both still serve degraded.
+	for i := 0; i < 2; i++ {
+		resp, _ := get(t, srv.URL, 100+i)
+		if resp.StatusCode != http.StatusOK || resp.Header.Get(HeaderDegraded) != "1" {
+			t.Fatalf("failing request %d: status %d, %v", i, resp.StatusCode, resp.Header)
+		}
+	}
+	if n.Breaker() != BreakerOpen {
+		t.Fatalf("breaker %v after threshold failures", n.Breaker())
+	}
+	mu.Lock()
+	count := upCount
+	mu.Unlock()
+
+	// Open: fail fast — the upstream must not even see the request.
+	resp, _ := get(t, srv.URL, 102)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(HeaderDegraded) != "1" {
+		t.Fatalf("open-breaker request: %d %v", resp.StatusCode, resp.Header)
+	}
+	mu.Lock()
+	if upCount != count {
+		mu.Unlock()
+		t.Fatalf("open breaker let a request through (%d → %d)", count, upCount)
+	}
+	// Cooldown elapses and the upstream heals.
+	now = 11
+	failing = false
+	mu.Unlock()
+
+	resp, body := get(t, srv.URL, 103)
+	if resp.StatusCode != http.StatusOK || len(body) != 500 {
+		t.Fatalf("probe request: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get(HeaderDegraded) != "" {
+		t.Fatal("healthy probe still degraded")
+	}
+	if n.Breaker() != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe", n.Breaker())
+	}
+
+	// The resilience counters surface in /stats.
+	r2, err := http.Get(srv.URL + "/cascade/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(r2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if stats["breaker_state"] != "closed" {
+		t.Fatalf("breaker_state = %v", stats["breaker_state"])
+	}
+	if stats["breaker_opens"].(float64) < 1 || stats["degraded"].(float64) < 3 {
+		t.Fatalf("stats: %v", stats)
+	}
+}
+
+// TestStaleIfError: a TTL-expired copy whose revalidation cannot reach the
+// upstream is served stale (degraded) instead of failing.
+func TestStaleIfError(t *testing.T) {
+	var mu sync.Mutex
+	now, failing := 0.0, false
+	clock := func() float64 { mu.Lock(); defer mu.Unlock(); return now }
+
+	origin := &Origin{Size: func(model.ObjectID) int { return 400 }}
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		bad := failing
+		mu.Unlock()
+		if bad {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		origin.ServeHTTP(w, r)
+	}))
+	defer up.Close()
+
+	n := NewNode(0, up.URL, 1, 10000, 100, clock)
+	n.TTL = 5
+	n.MaxRetries = -1
+	n.Sleep = func(time.Duration) {}
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	// Two sightings cache the object at this node.
+	get(t, srv.URL, 1)
+	mu.Lock()
+	now = 1
+	mu.Unlock()
+	get(t, srv.URL, 1)
+	if !n.Contains(1) {
+		t.Fatal("object not cached after second sighting")
+	}
+
+	// Expire the copy and kill the upstream: the stale copy still serves.
+	mu.Lock()
+	now = 20
+	failing = true
+	mu.Unlock()
+	resp, body := get(t, srv.URL, 1)
+	if resp.StatusCode != http.StatusOK || len(body) != 400 {
+		t.Fatalf("stale serve: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get(HeaderDegraded) != "1" {
+		t.Fatal("stale-if-error response not marked degraded")
+	}
+	if resp.Header.Get(HeaderHit) != strconv.Itoa(int(n.ID)) {
+		t.Fatalf("hit header %q", resp.Header.Get(HeaderHit))
+	}
+}

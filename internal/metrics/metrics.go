@@ -19,6 +19,10 @@ type Sample struct {
 	// configured).
 	StaleHit bool // the hit served an out-of-date copy
 	Refetch  bool // the policy forced a revalidation from the origin
+
+	// Failure accounting (zero unless nodes fail during the run).
+	Degraded    bool // served outside the protocol (origin-direct fallback)
+	SkippedHops int  // dead caches routed around on this request's path
 }
 
 // Collector accumulates samples. The zero value is ready to use.
@@ -37,6 +41,8 @@ type Collector struct {
 	PiggybackBytes int64
 	StaleHits      int64
 	Refetches      int64
+	DegradedCount  int64
+	SkippedHops    int64
 
 	// Latencies buckets every recorded latency for tail percentiles.
 	Latencies Histogram
@@ -69,6 +75,10 @@ func (c *Collector) Add(s Sample) {
 	if s.Refetch {
 		c.Refetches++
 	}
+	if s.Degraded {
+		c.DegradedCount++
+	}
+	c.SkippedHops += int64(s.SkippedHops)
 }
 
 // Summary is the derived per-request averages a run reports.
@@ -90,6 +100,9 @@ type Summary struct {
 	StaleHitRatio float64 // fraction of requests served a stale copy
 	RefetchRatio  float64 // fraction of requests forced to revalidate
 
+	DegradedRatio  float64 // fraction of requests served degraded
+	AvgSkippedHops float64 // dead caches routed around per request
+
 	// Latency tail percentiles (seconds), log-bucket approximations.
 	P50Latency float64
 	P95Latency float64
@@ -103,24 +116,26 @@ func (c *Collector) Summary() Summary {
 	}
 	n := float64(c.Requests)
 	return Summary{
-		Requests:      c.Requests,
-		AvgSize:       float64(c.BytesRequested) / n,
-		AvgLatency:    c.SumLatency / n,
-		AvgRespRatio:  c.SumRespRatio / n,
-		HitRatio:      float64(c.CacheHits) / n,
-		ByteHitRatio:  float64(c.CacheHitBytes) / float64(c.BytesRequested),
-		AvgByteHops:   c.SumByteHops / n,
-		AvgHops:       float64(c.SumHops) / n,
-		AvgReadLoad:   float64(c.ReadBytes) / n,
-		AvgWriteLoad:  float64(c.WriteBytes) / n,
-		AvgLoad:       float64(c.ReadBytes+c.WriteBytes) / n,
-		AvgInserts:    float64(c.Inserts) / n,
-		AvgPiggyback:  float64(c.PiggybackBytes) / n,
-		StaleHitRatio: float64(c.StaleHits) / n,
-		RefetchRatio:  float64(c.Refetches) / n,
-		P50Latency:    c.Latencies.Quantile(0.50),
-		P95Latency:    c.Latencies.Quantile(0.95),
-		P99Latency:    c.Latencies.Quantile(0.99),
+		Requests:       c.Requests,
+		AvgSize:        float64(c.BytesRequested) / n,
+		AvgLatency:     c.SumLatency / n,
+		AvgRespRatio:   c.SumRespRatio / n,
+		HitRatio:       float64(c.CacheHits) / n,
+		ByteHitRatio:   float64(c.CacheHitBytes) / float64(c.BytesRequested),
+		AvgByteHops:    c.SumByteHops / n,
+		AvgHops:        float64(c.SumHops) / n,
+		AvgReadLoad:    float64(c.ReadBytes) / n,
+		AvgWriteLoad:   float64(c.WriteBytes) / n,
+		AvgLoad:        float64(c.ReadBytes+c.WriteBytes) / n,
+		AvgInserts:     float64(c.Inserts) / n,
+		AvgPiggyback:   float64(c.PiggybackBytes) / n,
+		StaleHitRatio:  float64(c.StaleHits) / n,
+		RefetchRatio:   float64(c.Refetches) / n,
+		DegradedRatio:  float64(c.DegradedCount) / n,
+		AvgSkippedHops: float64(c.SkippedHops) / n,
+		P50Latency:     c.Latencies.Quantile(0.50),
+		P95Latency:     c.Latencies.Quantile(0.95),
+		P99Latency:     c.Latencies.Quantile(0.99),
 	}
 }
 
@@ -140,5 +155,7 @@ func (c *Collector) Merge(other *Collector) {
 	c.PiggybackBytes += other.PiggybackBytes
 	c.StaleHits += other.StaleHits
 	c.Refetches += other.Refetches
+	c.DegradedCount += other.DegradedCount
+	c.SkippedHops += other.SkippedHops
 	c.Latencies.Merge(&other.Latencies)
 }

@@ -2,9 +2,9 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cascade/internal/cache"
-	"cascade/internal/core"
 	"cascade/internal/dcache"
 	"cascade/internal/model"
 )
@@ -52,26 +52,85 @@ type deliverMsg struct {
 	reply  chan Result
 }
 
-// node is one cache actor. All fields below inbox are owned exclusively by
-// the actor goroutine.
+// node is one cache actor. All fields below quit are owned exclusively by
+// the actor goroutine; the inbox/overflow pair is the only write surface
+// for peers.
 type node struct {
 	id      model.NodeID
 	cluster *Cluster
 	inbox   chan any
+	notify  chan struct{} // capacity 1: overflow became non-empty
+	quit    chan struct{} // closed on crash (Fail) or cluster shutdown
+	down    atomic.Bool
+
+	ovmu     sync.Mutex
+	overflow []any // bounded spill past the inbox (Config.OverflowDepth)
 
 	store  *cache.HeapStore
 	dstore dcache.DCache
 }
 
+// stop marks the node down and releases its actor. Idempotent; reports
+// whether this call performed the stop.
+func (n *node) stop() bool {
+	if !n.down.CompareAndSwap(false, true) {
+		return false
+	}
+	close(n.quit)
+	return true
+}
+
 func (n *node) run(wg *sync.WaitGroup) {
 	defer wg.Done()
-	for msg := range n.inbox {
-		switch m := msg.(type) {
-		case *fetchMsg:
-			n.handleFetch(m)
-		case *deliverMsg:
-			n.handleDeliver(m)
+	for {
+		// A closed quit wins even when the inbox stays full.
+		select {
+		case <-n.quit:
+			return
+		default:
 		}
+		select {
+		case <-n.quit:
+			return
+		case msg := <-n.inbox:
+			n.dispatch(msg)
+		case <-n.notify:
+		}
+		n.drainOverflow()
+	}
+}
+
+// drainOverflow processes spilled messages. Overflow drains after each
+// inbox message, so cross-request ordering can invert under saturation —
+// harmless, as each request has at most one message in flight and the
+// protocol is per-request self-contained.
+func (n *node) drainOverflow() {
+	for {
+		n.ovmu.Lock()
+		if len(n.overflow) == 0 {
+			n.overflow = nil
+			n.ovmu.Unlock()
+			return
+		}
+		msg := n.overflow[0]
+		n.overflow[0] = nil
+		n.overflow = n.overflow[1:]
+		n.ovmu.Unlock()
+		n.dispatch(msg)
+	}
+}
+
+func (n *node) dispatch(msg any) {
+	if n.down.Load() {
+		// Crashed with this message still queued: a real restart loses
+		// its queue too. The sender-side request deadline is the remedy.
+		return
+	}
+	switch m := msg.(type) {
+	case *fetchMsg:
+		n.handleFetch(m)
+	case *deliverMsg:
+		n.handleDeliver(m)
 	}
 }
 
@@ -81,7 +140,7 @@ func (n *node) handleFetch(m *fetchMsg) {
 		// Serving node A_0: record the hit and decide placement for
 		// the caches below.
 		n.store.Touch(m.obj, m.now)
-		n.decideAndDeliver(m, m.hop, model.NodeID(n.id), m.accCost, m.hop)
+		n.cluster.decideAndDeliver(m, m.hop, model.NodeID(n.id), m.accCost, m.hop)
 		return
 	}
 
@@ -108,65 +167,13 @@ func (n *node) handleFetch(m *fetchMsg) {
 		if m.upCost[m.hop] > 0 {
 			originHops++ // hierarchy: root–server is a real link
 		}
-		n.decideAndDeliver(m, len(m.route), model.NoNode, originCost, originHops)
+		n.cluster.decideAndDeliver(m, len(m.route), model.NoNode, originCost, originHops)
 		return
 	}
 
 	m.accCost += m.upCost[m.hop]
 	m.hop++
-	n.cluster.send(m.route[m.hop], m) //nolint:errcheck // route nodes exist by construction
-}
-
-// decideAndDeliver runs the §2.2 dynamic program over the piggybacked
-// candidates and starts the downstream pass. servingHop is the path index
-// of the serving node (len(route) for the origin).
-func (n *node) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
-	// Candidates ordered from the serving node toward the client (the
-	// paper's A_1 … A_n): descending hop index.
-	cand := make([]core.Node, 0, len(m.pb))
-	idx := make([]int, 0, len(m.pb))
-	mAcc := 0.0
-	pb := m.pb
-	for i := servingHop - 1; i >= 0; i-- {
-		mAcc += m.upCost[i]
-		// pb entries are appended in ascending hop order; find the
-		// one for this hop from the tail.
-		for len(pb) > 0 && pb[len(pb)-1].hop > i {
-			pb = pb[:len(pb)-1]
-		}
-		if len(pb) == 0 || pb[len(pb)-1].hop != i {
-			continue
-		}
-		e := pb[len(pb)-1]
-		pb = pb[:len(pb)-1]
-		cand = append(cand, core.Node{Freq: e.freq, MissPenalty: mAcc, CostLoss: e.loss})
-		idx = append(idx, i)
-	}
-	placement := core.Optimize(core.ClampMonotone(cand))
-	chosen := make(map[int]bool, len(placement.Indices))
-	for _, v := range placement.Indices {
-		chosen[idx[v]] = true
-	}
-
-	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
-	if servingHop == 0 {
-		// Hit at the client's first cache: nothing travels downstream.
-		n.cluster.finish(m.reply, result)
-		return
-	}
-	d := &deliverMsg{
-		obj:    m.obj,
-		size:   m.size,
-		now:    m.now,
-		route:  m.route,
-		upCost: m.upCost,
-		hop:    servingHop - 1,
-		chosen: chosen,
-		mp:     0,
-		result: result,
-		reply:  m.reply,
-	}
-	n.cluster.send(m.route[d.hop], d) //nolint:errcheck
+	n.cluster.sendFetchUp(m)
 }
 
 // handleDeliver implements the downstream pass at this node.
@@ -202,5 +209,5 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		return
 	}
 	d.hop--
-	n.cluster.send(d.route[d.hop], d) //nolint:errcheck
+	n.cluster.sendDeliverDown(d)
 }

@@ -12,6 +12,17 @@
 // cross-validates them: replaying a request sequence through a Cluster one
 // request at a time produces exactly the hits and placements of the
 // simulation scheme.
+//
+// The package is failure-aware. Individual nodes can crash (Fail) and
+// restart empty (Recover); both passes of the protocol route around dead
+// or saturated hops by folding the skipped link cost into the next miss
+// penalty — the §2.4 special tag already lets the DP tolerate an absent
+// hop record, so a dead cache simply becomes a more expensive link. A
+// per-request deadline (Config.RequestTimeout) guarantees every Get
+// terminates even when a crash or an injected fault (Config.Fault) loses
+// the message chain: the caller degrades to an origin-direct result at
+// full path cost. docs/PROTOCOL.md "Failure semantics" specifies the
+// behaviour.
 package runtime
 
 import (
@@ -22,7 +33,9 @@ import (
 	"time"
 
 	"cascade/internal/cache"
+	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/fault"
 	"cascade/internal/model"
 	"cascade/internal/topology"
 )
@@ -33,13 +46,19 @@ type Result struct {
 	// the origin server.
 	ServedBy model.NodeID
 	// Cost is the total access cost (sum of traversed link costs, scaled
-	// to the object's size).
+	// to the object's size). Links of dead hops that were routed around
+	// are included — skipping a node does not skip its wire.
 	Cost float64
-	// Hops is the number of links the request traversed upward.
+	// Hops is the number of live links the request traversed upward
+	// (diagnostic; dead hops folded into Cost are not re-counted here).
 	Hops int
 	// Placed lists the nodes that inserted a new copy while the response
 	// traveled down.
 	Placed []model.NodeID
+	// Degraded marks a request that could not traverse the cascade — all
+	// caches down, or the request deadline expired — and was satisfied as
+	// an origin-direct fetch at full path cost.
+	Degraded bool
 }
 
 // Config assembles a Cluster.
@@ -60,34 +79,60 @@ type Config struct {
 	Clock func() float64
 	// InboxDepth is each node's message-queue capacity (default 128).
 	InboxDepth int
+	// OverflowDepth bounds each node's overflow queue, absorbing bursts
+	// past InboxDepth without spawning goroutines (default 8×InboxDepth).
+	// A node whose overflow is also full counts as saturated and is
+	// routed around.
+	OverflowDepth int
+	// RequestTimeout is the per-request deadline: a Get whose reply has
+	// not arrived degrades to an origin-direct result. Default 10s; a
+	// negative value disables the deadline (a lost message then blocks
+	// the Get until its context cancels).
+	RequestTimeout time.Duration
 	// DCacheFactory selects the d-cache implementation (heap LFU by
 	// default).
 	DCacheFactory dcache.Factory
+	// Fault, when set, is consulted on every message send — the chaos
+	// hook (message drop/delay, crash-on-nth, saturation). Keys are node
+	// IDs.
+	Fault *fault.Injector
 }
 
 // Stats are cluster-wide counters, readable at any time.
 type Stats struct {
 	Requests  int64 // Gets issued
 	CacheHits int64 // requests served by some cache
-	Messages  int64 // protocol messages exchanged between actors
+	Messages  int64 // protocol messages enqueued between actors
 	Inserts   int64 // object copies written by downstream passes
+
+	Overflows       int64 // messages absorbed by a node's overflow queue
+	RoutedAround    int64 // hops skipped because the node was down or saturated
+	FaultDrops      int64 // messages lost by the fault injector
+	Failures        int64 // node crashes (Fail or injected)
+	Recoveries      int64 // node restarts
+	OriginFallbacks int64 // degraded Gets served origin-direct
 }
 
 // Cluster is a running set of cache-node actors implementing coordinated
 // caching over a cascaded architecture.
 type Cluster struct {
 	cfg      Config
-	nodes    map[model.NodeID]*node
+	slots    []atomic.Pointer[node]
 	wg       sync.WaitGroup
-	inflight sync.WaitGroup // open requests (reply not yet delivered)
-	reqSeq   uint64
-	mu       sync.Mutex // guards reqSeq and closed
+	inflight sync.WaitGroup // Gets in progress
+	mu       sync.Mutex     // guards closed and node lifecycle vs Close
 	closed   bool
 
-	requests  atomic.Int64
-	cacheHits atomic.Int64
-	messages  atomic.Int64
-	inserts   atomic.Int64
+	requests        atomic.Int64
+	cacheHits       atomic.Int64
+	messages        atomic.Int64
+	inserts         atomic.Int64
+	overflows       atomic.Int64
+	routedAround    atomic.Int64
+	faultDrops      atomic.Int64
+	failures        atomic.Int64
+	recoveries      atomic.Int64
+	originFallbacks atomic.Int64
 }
 
 // NewCluster starts one actor per cache node of the network.
@@ -101,6 +146,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 128
 	}
+	if cfg.OverflowDepth <= 0 {
+		cfg.OverflowDepth = 8 * cfg.InboxDepth
+	}
+	switch {
+	case cfg.RequestTimeout == 0:
+		cfg.RequestTimeout = 10 * time.Second
+	case cfg.RequestTimeout < 0:
+		cfg.RequestTimeout = 0
+	}
 	if cfg.Clock == nil {
 		start := time.Now()
 		cfg.Clock = func() float64 { return time.Since(start).Seconds() }
@@ -108,27 +162,33 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.DCacheFactory == nil {
 		cfg.DCacheFactory = dcache.NewFactory
 	}
-	c := &Cluster{cfg: cfg, nodes: make(map[model.NodeID]*node, cfg.Network.NumCaches())}
-	for i := 0; i < cfg.Network.NumCaches(); i++ {
-		id := model.NodeID(i)
-		n := &node{
-			id:      id,
-			cluster: c,
-			inbox:   make(chan any, cfg.InboxDepth),
-			store:   cache.NewCostAware(cfg.CacheBytes),
-			dstore:  cfg.DCacheFactory(cfg.DCacheEntries),
-		}
-		c.nodes[id] = n
+	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
+	for i := range c.slots {
+		n := c.newNode(model.NodeID(i))
+		c.slots[i].Store(n)
 		c.wg.Add(1)
 		go n.run(&c.wg)
 	}
 	return c, nil
 }
 
-// Close rejects new requests, waits for every in-flight request's reply to
-// be delivered (replies are buffered, so abandoned — e.g. context-canceled
-// — Gets do not block shutdown), then stops all node actors. The cluster
-// must not be used afterwards.
+// newNode builds a fresh (empty) actor for a slot.
+func (c *Cluster) newNode(id model.NodeID) *node {
+	return &node{
+		id:      id,
+		cluster: c,
+		inbox:   make(chan any, c.cfg.InboxDepth),
+		notify:  make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		store:   cache.NewCostAware(c.cfg.CacheBytes),
+		dstore:  c.cfg.DCacheFactory(c.cfg.DCacheEntries),
+	}
+}
+
+// Close rejects new requests, waits for every in-flight Get to return
+// (each is bounded by RequestTimeout, so lost messages cannot wedge
+// shutdown), then stops all node actors. The cluster must not be used
+// afterwards.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -138,35 +198,119 @@ func (c *Cluster) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	c.inflight.Wait()
-	for _, n := range c.nodes {
-		close(n.inbox)
+	for i := range c.slots {
+		if n := c.slots[i].Load(); n != nil {
+			n.stop()
+		}
 	}
 	c.wg.Wait()
 }
 
-// Node returns the actor for a node ID (for inspection in tests).
-func (c *Cluster) node(id model.NodeID) *node { return c.nodes[id] }
+// node returns the actor for a node ID (for inspection in tests).
+func (c *Cluster) node(id model.NodeID) *node {
+	if int(id) < 0 || int(id) >= len(c.slots) {
+		return nil
+	}
+	return c.slots[id].Load()
+}
+
+// aliveNode reports whether a node is up (routing predicate).
+func (c *Cluster) aliveNode(id model.NodeID) bool {
+	n := c.node(id)
+	return n != nil && !n.down.Load()
+}
+
+// Fail crashes a node: its actor stops, queued messages are lost, and its
+// cache state is gone (Recover restarts it empty, as a real process
+// restart would). Requests route around it. Reports whether the node was
+// alive.
+func (c *Cluster) Fail(id model.NodeID) bool {
+	n := c.node(id)
+	if n == nil || !n.stop() {
+		return false
+	}
+	c.failures.Add(1)
+	return true
+}
+
+// Recover restarts a failed node with empty stores. Reports whether a
+// restart happened (false if the node is alive, unknown, or the cluster is
+// closed).
+func (c *Cluster) Recover(id model.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || int(id) < 0 || int(id) >= len(c.slots) {
+		return false
+	}
+	old := c.slots[id].Load()
+	if old == nil || !old.down.Load() {
+		return false
+	}
+	n := c.newNode(id)
+	c.slots[id].Store(n)
+	c.wg.Add(1)
+	go n.run(&c.wg)
+	c.recoveries.Add(1)
+	return true
+}
+
+// Failed lists the currently-down nodes.
+func (c *Cluster) Failed() []model.NodeID {
+	var out []model.NodeID
+	for i := range c.slots {
+		if !c.aliveNode(model.NodeID(i)) {
+			out = append(out, model.NodeID(i))
+		}
+	}
+	return out
+}
 
 // Get requests an object on behalf of a client attached at clientNode from
 // the origin server attached at serverNode, blocking until the response
-// arrives or ctx is done. Concurrent Gets are safe; per-node state is
-// touched only by the owning actor.
+// arrives, the per-request deadline degrades it to an origin-direct fetch,
+// or ctx is done. Concurrent Gets are safe; per-node state is touched only
+// by the owning actor.
 func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, obj model.ObjectID, size int64) (Result, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return Result{}, fmt.Errorf("runtime: cluster closed")
 	}
-	c.reqSeq++
 	c.inflight.Add(1)
 	c.mu.Unlock()
+	defer c.inflight.Done()
+
+	full := c.cfg.Network.Route(clientNode, serverNode)
+	if len(full.Caches) == 0 {
+		return Result{}, fmt.Errorf("runtime: no route between client node %d and server node %d", clientNode, serverNode)
+	}
 	c.requests.Add(1)
 
-	route := c.cfg.Network.Route(clientNode, serverNode)
 	scale := 1.0
 	if c.cfg.AvgObjectSize > 0 {
 		scale = float64(size) / c.cfg.AvgObjectSize
 	}
+	originDirect := func() Result {
+		total := 0.0
+		for _, v := range full.UpCost {
+			total += v
+		}
+		c.originFallbacks.Add(1)
+		return Result{ServedBy: model.NoNode, Cost: total * scale, Hops: full.Hops(), Degraded: true}
+	}
+
+	// Route around nodes already known to be down; hops that fail
+	// mid-flight are skipped as they are discovered (sendFetchUp,
+	// sendDeliverDown).
+	route, cut := full.Compact(c.aliveNode)
+	if cut.Skipped > 0 {
+		c.routedAround.Add(int64(cut.Skipped))
+	}
+	if len(route.Caches) == 0 {
+		// Every cache on the path is down: degrade immediately.
+		return originDirect(), nil
+	}
+
 	upCost := make([]float64, len(route.UpCost))
 	for i, v := range route.UpCost {
 		upCost[i] = v * scale
@@ -174,60 +318,218 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 
 	reply := make(chan Result, 1)
 	f := &fetchMsg{
-		obj:    obj,
-		size:   size,
-		now:    c.cfg.Clock(),
-		route:  route.Caches,
-		upCost: upCost,
-		hop:    0,
-		reply:  reply,
+		obj:     obj,
+		size:    size,
+		now:     c.cfg.Clock(),
+		route:   route.Caches,
+		upCost:  upCost,
+		hop:     0,
+		accCost: cut.Lead * scale,
+		reply:   reply,
 	}
-	if err := c.send(route.Caches[0], f); err != nil {
-		c.inflight.Done()
-		return Result{}, err
+	c.sendFetchUp(f)
+
+	var deadline <-chan time.Time
+	if c.cfg.RequestTimeout > 0 {
+		timer := time.NewTimer(c.cfg.RequestTimeout)
+		defer timer.Stop()
+		deadline = timer.C
 	}
 	select {
 	case r := <-reply:
 		return r, nil
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
+	case <-deadline:
+		// The cascade lost this request's message chain (a crash took
+		// the queue with it, or the injector dropped a message): the
+		// client fetches straight from the origin instead.
+		return originDirect(), nil
 	}
 }
 
-// send enqueues a message into a node's inbox. When the inbox is full the
-// handoff moves to a goroutine so that two nodes saturating each other's
-// queues in opposite directions cannot deadlock the actors themselves.
-func (c *Cluster) send(to model.NodeID, msg any) error {
-	n, ok := c.nodes[to]
-	if !ok {
-		return fmt.Errorf("runtime: unknown node %d", to)
+// sendTo enqueues a message for a node, consulting the fault injector
+// first. It reports false when the node is unreachable — down, saturated
+// (inbox and overflow full), or crashed by injection — so the caller can
+// route around it. A true return means the message was accepted (or
+// silently lost to an injected drop, which only the request deadline can
+// detect, exactly like a real lossy link).
+func (c *Cluster) sendTo(to model.NodeID, msg any) bool {
+	n := c.node(to)
+	if n == nil || n.down.Load() {
+		return false
 	}
-	c.messages.Add(1)
+	if inj := c.cfg.Fault; inj != nil {
+		switch d := inj.Next(int64(to)); d.Action {
+		case fault.ActDrop:
+			c.faultDrops.Add(1)
+			return true
+		case fault.ActCrash:
+			c.Fail(to)
+			return false
+		case fault.ActSaturate:
+			return false
+		case fault.ActDelay:
+			time.AfterFunc(d.Delay, func() { c.enqueueTo(to, msg) })
+			return true
+		}
+	}
+	return c.enqueue(n, msg)
+}
+
+// enqueueTo re-resolves the slot (the node may have crashed or been
+// replaced while the message was delayed) and enqueues best-effort.
+func (c *Cluster) enqueueTo(to model.NodeID, msg any) {
+	if n := c.node(to); n != nil && !n.down.Load() {
+		c.enqueue(n, msg)
+	}
+}
+
+// enqueue places a message in a node's inbox, spilling to the bounded
+// overflow queue when the inbox is full. It never blocks: two nodes
+// saturating each other's queues in opposite directions degrade into
+// visible send failures instead of deadlocking the actors.
+func (c *Cluster) enqueue(n *node, msg any) bool {
 	select {
 	case n.inbox <- msg:
+		c.messages.Add(1)
+		return true
 	default:
-		go func() { n.inbox <- msg }()
 	}
-	return nil
+	n.ovmu.Lock()
+	if n.down.Load() || len(n.overflow) >= c.cfg.OverflowDepth {
+		n.ovmu.Unlock()
+		return false
+	}
+	n.overflow = append(n.overflow, msg)
+	n.ovmu.Unlock()
+	c.messages.Add(1)
+	c.overflows.Add(1)
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// sendFetchUp delivers a request message to the cache at m.hop, skipping
+// hops that are down or saturated: each skipped hop's uplink cost folds
+// into accCost, so the eventual serving node's DP sees the true distance
+// across the gap (the §2.4 tag already tolerates the missing hop record).
+// If no remaining cache is reachable, the origin serves — its decision
+// logic is a deterministic function of the piggybacked data, so it runs
+// right here at the sender.
+func (c *Cluster) sendFetchUp(m *fetchMsg) {
+	for m.hop < len(m.route) {
+		if c.sendTo(m.route[m.hop], m) {
+			return
+		}
+		c.routedAround.Add(1)
+		m.accCost += m.upCost[m.hop]
+		m.hop++
+	}
+	hops := len(m.route) - 1
+	if m.upCost[len(m.route)-1] > 0 {
+		hops++ // hierarchy: root–server is a real link
+	}
+	c.decideAndDeliver(m, len(m.route), model.NoNode, m.accCost, hops)
+}
+
+// sendDeliverDown delivers a response message to the cache at d.hop,
+// skipping unreachable hops: a dead cache takes no copy and learns no
+// penalty, but its link cost still accumulates into the counter so the
+// next live cache below sees its true distance to the nearest copy. When
+// every remaining hop is unreachable the reply is finished directly.
+func (c *Cluster) sendDeliverDown(d *deliverMsg) {
+	for d.hop >= 0 {
+		if c.sendTo(d.route[d.hop], d) {
+			return
+		}
+		c.routedAround.Add(1)
+		d.mp += d.upCost[d.hop]
+		d.hop--
+	}
+	c.finish(d.reply, d.result)
+}
+
+// decideAndDeliver runs the §2.2 dynamic program over the piggybacked
+// candidates and starts the downstream pass. servingHop is the path index
+// of the serving node (len(route) for the origin). It is a deterministic
+// function of the message, so any party may run it — the serving actor in
+// the common case, the last live sender when the top of the cascade is
+// unreachable.
+func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
+	// Candidates ordered from the serving node toward the client (the
+	// paper's A_1 … A_n): descending hop index.
+	cand := make([]core.Node, 0, len(m.pb))
+	idx := make([]int, 0, len(m.pb))
+	mAcc := 0.0
+	pb := m.pb
+	for i := servingHop - 1; i >= 0; i-- {
+		mAcc += m.upCost[i]
+		// pb entries are appended in ascending hop order; find the
+		// one for this hop from the tail.
+		for len(pb) > 0 && pb[len(pb)-1].hop > i {
+			pb = pb[:len(pb)-1]
+		}
+		if len(pb) == 0 || pb[len(pb)-1].hop != i {
+			continue
+		}
+		e := pb[len(pb)-1]
+		pb = pb[:len(pb)-1]
+		cand = append(cand, core.Node{Freq: e.freq, MissPenalty: mAcc, CostLoss: e.loss})
+		idx = append(idx, i)
+	}
+	placement := core.Optimize(core.ClampMonotone(cand))
+	chosen := make(map[int]bool, len(placement.Indices))
+	for _, v := range placement.Indices {
+		chosen[idx[v]] = true
+	}
+
+	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
+	if servingHop == 0 {
+		// Hit at the client's first cache: nothing travels downstream.
+		c.finish(m.reply, result)
+		return
+	}
+	d := &deliverMsg{
+		obj:    m.obj,
+		size:   m.size,
+		now:    m.now,
+		route:  m.route,
+		upCost: m.upCost,
+		hop:    servingHop - 1,
+		chosen: chosen,
+		mp:     0,
+		result: result,
+		reply:  m.reply,
+	}
+	c.sendDeliverDown(d)
 }
 
 // Stats returns a snapshot of the cluster-wide counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Requests:  c.requests.Load(),
-		CacheHits: c.cacheHits.Load(),
-		Messages:  c.messages.Load(),
-		Inserts:   c.inserts.Load(),
+		Requests:        c.requests.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		Messages:        c.messages.Load(),
+		Inserts:         c.inserts.Load(),
+		Overflows:       c.overflows.Load(),
+		RoutedAround:    c.routedAround.Load(),
+		FaultDrops:      c.faultDrops.Load(),
+		Failures:        c.failures.Load(),
+		Recoveries:      c.recoveries.Load(),
+		OriginFallbacks: c.originFallbacks.Load(),
 	}
 }
 
-// finish delivers a request's reply (buffered, never blocks) and retires it
-// from the in-flight set.
+// finish delivers a request's reply. The channel is buffered, so a Get
+// that already degraded (deadline) or abandoned (context) never blocks the
+// cascade; its late reply is simply parked for the garbage collector.
 func (c *Cluster) finish(reply chan Result, r Result) {
 	if r.ServedBy != model.NoNode {
 		c.cacheHits.Add(1)
 	}
 	c.inserts.Add(int64(len(r.Placed)))
 	reply <- r
-	c.inflight.Done()
 }

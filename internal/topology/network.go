@@ -41,6 +41,65 @@ func (r Route) CostTo(level int) float64 {
 	return c
 }
 
+// Cut reports what Compact removed from a route.
+type Cut struct {
+	// Lead is the link cost accumulated below the first surviving cache:
+	// a request entering the original route still crosses those links
+	// before reaching a live hop. When no cache survives, Lead is the
+	// full client→origin cost.
+	Lead float64
+	// Skipped is the number of caches removed.
+	Skipped int
+}
+
+// Compact returns the route restricted to the caches alive accepts — the
+// degraded path a request follows when nodes are down. Each removed hop's
+// uplink cost folds into the uplink of the surviving cache below it (the
+// protocol's skip-dead-hop cost folding: the DP simply sees a larger miss
+// penalty across the gap, per the §2.4 missing-record tolerance). Costs
+// below the first surviving cache accumulate in Cut.Lead. When nothing is
+// removed, the receiver's slices are returned unchanged (no allocation).
+func (r Route) Compact(alive func(model.NodeID) bool) (Route, Cut) {
+	all := true
+	for _, id := range r.Caches {
+		if !alive(id) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return r, Cut{}
+	}
+	out := Route{
+		Caches:     make([]model.NodeID, 0, len(r.Caches)),
+		UpCost:     make([]float64, 0, len(r.Caches)),
+		OriginLink: r.OriginLink,
+	}
+	var cut Cut
+	pending := 0.0 // cost of links skipped since the last surviving cache
+	for i, id := range r.Caches {
+		if !alive(id) {
+			cut.Skipped++
+			pending += r.UpCost[i]
+			continue
+		}
+		if len(out.Caches) == 0 {
+			cut.Lead = pending
+		} else {
+			out.UpCost[len(out.UpCost)-1] += pending
+		}
+		pending = 0
+		out.Caches = append(out.Caches, id)
+		out.UpCost = append(out.UpCost, r.UpCost[i])
+	}
+	if len(out.Caches) == 0 {
+		cut.Lead = pending
+	} else {
+		out.UpCost[len(out.UpCost)-1] += pending
+	}
+	return out, cut
+}
+
 // Network is a cascaded caching architecture: a set of cache nodes plus the
 // distribution-tree routes between client and server attachment points.
 type Network interface {

@@ -362,3 +362,64 @@ func TestTreeDescribe(t *testing.T) {
 		t.Fatalf("path cost = %v", d.PathCost)
 	}
 }
+
+func TestRouteCompact(t *testing.T) {
+	r := Route{
+		Caches:     []model.NodeID{0, 1, 2},
+		UpCost:     []float64{1, 2, 4},
+		OriginLink: true,
+	}
+	aliveExcept := func(dead ...model.NodeID) func(model.NodeID) bool {
+		return func(id model.NodeID) bool {
+			for _, d := range dead {
+				if id == d {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Nothing dead: identical slices back, no allocation.
+	c, cut := r.Compact(aliveExcept())
+	if &c.Caches[0] != &r.Caches[0] || cut.Skipped != 0 || cut.Lead != 0 {
+		t.Fatalf("identity compact copied: %+v %+v", c, cut)
+	}
+
+	// Middle hop dead: its uplink folds into the hop below.
+	c, cut = r.Compact(aliveExcept(1))
+	if len(c.Caches) != 2 || c.Caches[0] != 0 || c.Caches[1] != 2 {
+		t.Fatalf("caches = %v", c.Caches)
+	}
+	if c.UpCost[0] != 3 || c.UpCost[1] != 4 || cut.Lead != 0 || cut.Skipped != 1 {
+		t.Fatalf("costs = %v cut = %+v", c.UpCost, cut)
+	}
+
+	// Top hop dead: its uplink (to the origin) folds downward.
+	c, cut = r.Compact(aliveExcept(2))
+	if len(c.Caches) != 2 || c.UpCost[1] != 6 || cut.Lead != 0 {
+		t.Fatalf("top-dead: %v %+v", c.UpCost, cut)
+	}
+
+	// Bottom hop dead: its uplink becomes lead cost.
+	c, cut = r.Compact(aliveExcept(0))
+	if len(c.Caches) != 2 || c.Caches[0] != 1 || cut.Lead != 1 || c.UpCost[0] != 2 {
+		t.Fatalf("bottom-dead: %+v %+v", c, cut)
+	}
+
+	// Everything dead: empty route, full cost as lead.
+	c, cut = r.Compact(aliveExcept(0, 1, 2))
+	if len(c.Caches) != 0 || cut.Lead != 7 || cut.Skipped != 3 {
+		t.Fatalf("all-dead: %+v %+v", c, cut)
+	}
+
+	// Total route cost is invariant under compaction.
+	c, cut = r.Compact(aliveExcept(0, 2))
+	total := cut.Lead
+	for _, v := range c.UpCost {
+		total += v
+	}
+	if total != 7 {
+		t.Fatalf("cost not preserved: %v", total)
+	}
+}
