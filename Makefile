@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+# Benchmark regression gate. `make bench` reruns the figure and throughput
+# benches and refreshes the committed BENCH_2.json baseline; `make
+# bench-check` reruns only the gated throughput benches and fails when they
+# regress beyond the threshold (see cmd/benchcheck). BENCH_TIME trades
+# precision for time.
+BENCH_TIME ?= 1s
+BENCH_OUT  ?= bench_latest.txt
+
+.PHONY: check vet build test race bench bench-check
 
 check: vet build race
 
@@ -20,4 +28,9 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -run=^$$ . ./internal/core ./internal/cache | tee $(BENCH_OUT)
+	$(GO) run ./cmd/benchcheck -update -in $(BENCH_OUT)
+
+bench-check:
+	$(GO) test -bench='BenchmarkSimulatorThroughput|BenchmarkClusterThroughput' -benchmem -benchtime=$(BENCH_TIME) -run=^$$ . | tee $(BENCH_OUT)
+	$(GO) run ./cmd/benchcheck -in $(BENCH_OUT)

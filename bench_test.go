@@ -11,6 +11,7 @@ package cascade_test
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -74,6 +75,7 @@ func benchFigure(b *testing.B, figID string, net func() cascade.Network) {
 		for _, name := range []string{"LRU", "MODULO(4)", "LNC-R", "COORD"} {
 			name, size := name, size
 			b.Run(sizeSchemeLabel(size, name), func(b *testing.B) {
+				b.ReportAllocs()
 				var sum cascade.Summary
 				for i := 0; i < b.N; i++ {
 					s, err := cascade.NewScheme(name)
@@ -183,7 +185,7 @@ func BenchmarkAblationModuloRadius(b *testing.B) {
 	}{{"enroute", benchEnRoute}, {"hierarchy", benchTree}} {
 		for _, radius := range []int{1, 2, 4, 6} {
 			arch, radius := arch, radius
-			b.Run(arch.name+"/radius="+itoa(radius), func(b *testing.B) {
+			b.Run(arch.name+"/radius="+strconv.Itoa(radius), func(b *testing.B) {
 				var sum cascade.Summary
 				for i := 0; i < b.N; i++ {
 					sum = runCell(b, cascade.NewModulo(radius), arch.net, 0.01)
@@ -200,7 +202,7 @@ func BenchmarkAblationDCacheFactor(b *testing.B) {
 	setup()
 	for _, factor := range []float64{0.5, 1, 3, 10} {
 		factor := factor
-		b.Run("factor="+ftoa(factor), func(b *testing.B) {
+		b.Run("factor="+strconv.FormatFloat(factor, 'g', -1, 64), func(b *testing.B) {
 			var sum cascade.Summary
 			for i := 0; i < b.N; i++ {
 				sim, err := cascade.NewSimulator(cascade.SimConfig{
@@ -326,34 +328,6 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sim.Process(req)
 		n++
 	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}
-
-func ftoa(f float64) string {
-	switch f {
-	case 0.5:
-		return "0.5"
-	case 1:
-		return "1"
-	case 3:
-		return "3"
-	case 10:
-		return "10"
-	}
-	return "x"
 }
 
 // BenchmarkClusterThroughput measures the live message-passing runtime:

@@ -1,0 +1,221 @@
+// Command benchcheck maintains the repository's committed benchmark
+// baseline (BENCH_2.json) and gates performance regressions.
+//
+// The input is the text output of `go test -bench -benchmem` — the same
+// format benchstat consumes; the raw lines are preserved verbatim in the
+// JSON so `benchstat old.txt new.txt` style comparisons remain possible
+// from the baseline file alone.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run '^$' ./... | benchcheck -update
+//	go test -bench=. -benchmem -run '^$' ./... | benchcheck
+//
+// Without -update, the gated benchmarks (by default the two replay
+// throughput benchmarks) are compared against the baseline: the check
+// fails when ns/op regresses beyond -threshold, or when allocs/op grows
+// by more than one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Metrics summarizes one benchmark's measurements. Multiple runs of the
+// same benchmark are averaged.
+type Metrics struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  float64  `json:"bytes_per_op"`
+	AllocsPerOp float64  `json:"allocs_per_op"`
+	Runs        int      `json:"runs"`
+	Raw         []string `json:"raw"`
+}
+
+// Baseline is the schema of BENCH_2.json.
+type Baseline struct {
+	Note       string             `json:"note,omitempty"`
+	GoVersion  string             `json:"go_version,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// PrePR records the measurements taken before the zero-allocation
+	// hot-path rework, kept as evidence of the improvement.
+	PrePR map[string]Metrics `json:"pre_pr,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "benchmark output file (default: stdin)")
+		jsonPath  = flag.String("json", "BENCH_2.json", "baseline JSON file")
+		update    = flag.Bool("update", false, "rewrite the baseline's benchmarks from the input instead of comparing")
+		threshold = flag.Float64("threshold", 1.25, "allowed current/baseline ns/op ratio before the check fails")
+		gate      = flag.String("gate", "BenchmarkSimulatorThroughput,BenchmarkClusterThroughput", "comma-separated benchmarks the check gates on")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	current, err := ParseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	if *update {
+		base := Baseline{Benchmarks: current}
+		if old, err := readBaseline(*jsonPath); err == nil {
+			base.Note = old.Note
+			base.PrePR = old.PrePR
+		}
+		base.GoVersion = runtime.Version()
+		if err := writeBaseline(*jsonPath, base); err != nil {
+			return err
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(current), *jsonPath)
+		return nil
+	}
+
+	base, err := readBaseline(*jsonPath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w (run `make bench` to create it)", err)
+	}
+	failures := 0
+	for _, name := range strings.Split(*gate, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("SKIP %s: not in baseline\n", name)
+			continue
+		}
+		c, ok := current[name]
+		if !ok {
+			fmt.Printf("FAIL %s: missing from current run\n", name)
+			failures++
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = c.NsPerOp / b.NsPerOp
+		}
+		status := "ok  "
+		if ratio > *threshold {
+			status = "FAIL"
+			failures++
+		} else if c.AllocsPerOp > b.AllocsPerOp+1 {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx), %.0f allocs/op vs %.0f\n",
+			status, name, c.NsPerOp, b.NsPerOp, ratio, *threshold, c.AllocsPerOp, b.AllocsPerOp)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed", failures)
+	}
+	return nil
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseBench extracts per-benchmark metrics from `go test -bench` text
+// output. The trailing -N GOMAXPROCS suffix is stripped from names so
+// results compare across machines; repeated runs are averaged.
+func ParseBench(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		m := out[name]
+		var ns, bytes, allocs float64
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns = v
+			case "B/op":
+				bytes = v
+			case "allocs/op":
+				allocs = v
+			}
+		}
+		// Running mean over repeated runs.
+		n := float64(m.Runs)
+		m.NsPerOp = (m.NsPerOp*n + ns) / (n + 1)
+		m.BytesPerOp = (m.BytesPerOp*n + bytes) / (n + 1)
+		m.AllocsPerOp = (m.AllocsPerOp*n + allocs) / (n + 1)
+		m.Runs++
+		m.Raw = append(m.Raw, line)
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the -N GOMAXPROCS suffix from a benchmark name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,8 +53,27 @@ func run() error {
 		retries   = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
 		brkThresh = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
 		brkCool   = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux so the profiling endpoints never ride on the
+		// public cache listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "cascadegw: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			psrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "cascadegw: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	var handler http.Handler
 	if *origin {

@@ -24,11 +24,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"cascade"
 )
+
+// namedTable pairs a result table with its export name.
+type namedTable struct {
+	name  string
+	table cascade.ResultTable
+}
+
+// simJob is one independently runnable unit of the requested experiments.
+// Jobs produce their tables without touching shared state, so the -parallel
+// mode can run them concurrently and still emit in definition order.
+type simJob struct {
+	label string
+	run   func() ([]namedTable, error)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -67,8 +84,37 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print per-cell progress")
 		list      = flag.Bool("list", false, "list available experiments, figures and schemes, then exit")
 		jobs      = flag.Int("j", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+		parallel  = flag.Bool("parallel", false, "run independent studies concurrently (output order is unchanged)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cascadesim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cascadesim: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("figures:")
@@ -244,11 +290,30 @@ func run() error {
 		return t.CSV(f)
 	}
 
-	if wantTable1 {
-		_, t := cascade.Table1(cfg)
-		if err := emit("table1", t); err != nil {
-			return err
+	// Each requested experiment becomes a job producing named tables. Jobs
+	// are independent (each builds its own workload and simulators from
+	// cfg), so -parallel may run them concurrently; tables are emitted in
+	// job-definition order either way, keeping stdout byte-identical
+	// between the two modes.
+	var work []simJob
+	addJob := func(label string, run func() ([]namedTable, error)) {
+		work = append(work, simJob{label: label, run: run})
+	}
+	one := func(name string, f func() (cascade.ResultTable, error)) func() ([]namedTable, error) {
+		return func() ([]namedTable, error) {
+			t, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []namedTable{{name, t}}, nil
 		}
+	}
+
+	if wantTable1 {
+		addJob("table1", one("table1", func() (cascade.ResultTable, error) {
+			_, t := cascade.Table1(cfg)
+			return t, nil
+		}))
 	}
 
 	// Run at most one sweep per architecture and project all requested
@@ -261,192 +326,148 @@ func run() error {
 		}
 	}
 	for _, a := range archs {
+		a := a
 		figs := needed[a]
 		if len(figs) == 0 {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "running %s sweep: %d cache sizes x %d schemes...\n",
-			a, len(cfg.CacheSizes), len(cfg.Schemes))
-		progress := func(c cascade.SweepCell) {
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "  %-10s size=%.3f%%  latency=%.4fs  bhr=%.3f\n",
-					c.Scheme, c.CacheSize*100, c.Summary.AvgLatency, c.Summary.ByteHitRatio)
-			}
-		}
 		if *replicate > 1 {
-			for _, f := range figs {
-				t, err := cascade.Replicate(a, cfg, f, *replicate)
-				if err != nil {
-					return err
+			n := *replicate
+			addJob("replicate "+string(a), func() ([]namedTable, error) {
+				var out []namedTable
+				for _, f := range figs {
+					t, err := cascade.Replicate(a, cfg, f, n)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, namedTable{f.ID + "_replicated", t})
 				}
-				if err := emit(f.ID+"_replicated", t); err != nil {
-					return err
-				}
-			}
+				return out, nil
+			})
 			continue
 		}
-		sweep, err := cascade.RunSweep(a, cfg, progress)
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			if err := emit(f.ID, sweep.Project(f)); err != nil {
-				return err
+		addJob("sweep "+string(a), func() ([]namedTable, error) {
+			fmt.Fprintf(os.Stderr, "running %s sweep: %d cache sizes x %d schemes...\n",
+				a, len(cfg.CacheSizes), len(cfg.Schemes))
+			progress := func(c cascade.SweepCell) {
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "  %-10s size=%.3f%%  latency=%.4fs  bhr=%.3f\n",
+						c.Scheme, c.CacheSize*100, c.Summary.AvgLatency, c.Summary.ByteHitRatio)
+				}
 			}
-		}
+			sweep, err := cascade.RunSweep(a, cfg, progress)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]namedTable, 0, len(figs))
+			for _, f := range figs {
+				out = append(out, namedTable{f.ID, sweep.Project(f)})
+			}
+			return out, nil
+		})
 	}
 
 	for _, a := range archs {
+		a := a
 		if wantRadius {
-			t, err := cascade.RadiusStudy(a, cfg, nil)
-			if err != nil {
-				return err
-			}
-			if err := emit("radius_"+string(a), t); err != nil {
-				return err
-			}
+			addJob("radius "+string(a), one("radius_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.RadiusStudy(a, cfg, nil)
+			}))
 		}
 		if wantDCache {
-			t, err := cascade.DCacheStudy(a, cfg, nil, 0.01)
-			if err != nil {
-				return err
-			}
-			if err := emit("dcache_"+string(a), t); err != nil {
-				return err
-			}
+			addJob("dcache "+string(a), one("dcache_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.DCacheStudy(a, cfg, nil, 0.01)
+			}))
 		}
 		if wantOverhead {
-			t, err := cascade.OverheadStudy(a, cfg)
-			if err != nil {
-				return err
-			}
-			if err := emit("overhead_"+string(a), t); err != nil {
-				return err
-			}
+			addJob("overhead "+string(a), one("overhead_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.OverheadStudy(a, cfg)
+			}))
 		}
 		if wantFreshness {
-			t, err := cascade.FreshnessStudy(a, cfg, nil, 0.01)
-			if err != nil {
-				return err
-			}
-			if err := emit("freshness_"+string(a), t); err != nil {
-				return err
-			}
+			addJob("freshness "+string(a), one("freshness_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.FreshnessStudy(a, cfg, nil, 0.01)
+			}))
 		}
 		if wantCostModel {
-			t, err := cascade.CostModelStudy(a, cfg, 0.01)
-			if err != nil {
-				return err
-			}
-			if err := emit("costmodel_"+string(a), t); err != nil {
-				return err
-			}
+			addJob("costmodel "+string(a), one("costmodel_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.CostModelStudy(a, cfg, 0.01)
+			}))
 		}
 	}
 
 	if wantTreeShape {
-		t, err := cascade.TreeShapeStudy(cfg, nil, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("treeshape", t); err != nil {
-			return err
-		}
+		addJob("treeshape", one("treeshape", func() (cascade.ResultTable, error) {
+			return cascade.TreeShapeStudy(cfg, nil, 0.01)
+		}))
 	}
 	if wantZipf {
-		t, err := cascade.ZipfStudy(cfg, nil, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("zipf", t); err != nil {
-			return err
-		}
+		addJob("zipf", one("zipf", func() (cascade.ResultTable, error) {
+			return cascade.ZipfStudy(cfg, nil, 0.01)
+		}))
 	}
 	if wantLocality {
-		t, err := cascade.LocalityStudy(cfg, nil, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("locality", t); err != nil {
-			return err
-		}
+		addJob("locality", one("locality", func() (cascade.ResultTable, error) {
+			return cascade.LocalityStudy(cfg, nil, 0.01)
+		}))
 	}
 	if wantLevels {
-		t, err := cascade.LevelStudy(cfg, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("levels", t); err != nil {
-			return err
-		}
+		addJob("levels", one("levels", func() (cascade.ResultTable, error) {
+			return cascade.LevelStudy(cfg, 0.01)
+		}))
 	}
 	if wantAdaptivity {
-		t, err := cascade.AdaptivityStudy(cascade.ArchEnRoute, cfg, 0.03, 12)
-		if err != nil {
-			return err
-		}
-		if err := emit("adaptivity", t); err != nil {
-			return err
-		}
+		addJob("adaptivity", one("adaptivity", func() (cascade.ResultTable, error) {
+			return cascade.AdaptivityStudy(cascade.ArchEnRoute, cfg, 0.03, 12)
+		}))
 	}
 	if wantCapacity {
-		t, err := cascade.CapacityStudy(cfg, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("capacity", t); err != nil {
-			return err
-		}
+		addJob("capacity", one("capacity", func() (cascade.ResultTable, error) {
+			return cascade.CapacityStudy(cfg, 0.01)
+		}))
 	}
 	if wantWindowK {
-		t, err := cascade.WindowKStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("windowk", t); err != nil {
-			return err
-		}
+		addJob("windowk", one("windowk", func() (cascade.ResultTable, error) {
+			return cascade.WindowKStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
+		}))
 	}
 	if wantPartial {
-		t, err := cascade.PartialDeploymentStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("partial", t); err != nil {
-			return err
-		}
+		addJob("partial", one("partial", func() (cascade.ResultTable, error) {
+			return cascade.PartialDeploymentStudy(cascade.ArchEnRoute, cfg, nil, 0.01)
+		}))
 	}
 	if wantAnalysis {
-		t, err := cascade.AnalysisStudy(cfg, 0.01)
-		if err != nil {
-			return err
-		}
-		if err := emit("analysis", t); err != nil {
-			return err
-		}
+		addJob("analysis", one("analysis", func() (cascade.ResultTable, error) {
+			return cascade.AnalysisStudy(cfg, 0.01)
+		}))
 	}
 	if wantChaos {
 		for _, a := range archs {
-			fmt.Fprintf(os.Stderr, "running %s chaos replay (%.0f%% of nodes crash at %.0f%% of trace)...\n",
-				a, *chaosFrac*100, *chaosFail*100)
-			res, t, err := cascade.ChaosStudy(cascade.ChaosConfig{
-				Arch:         a,
-				Base:         cfg,
-				FailFraction: *chaosFrac,
-				FailAt:       *chaosFail,
-				HealAt:       *chaosHeal,
-				Seed:         *seed,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "chaos %s: crashed nodes %v, routed around %d hops, %d degraded serves, recovery gap %.1f%%\n",
-				a, res.Failed, res.Faulted.Stats.RoutedAround,
-				res.Faulted.Stats.OriginFallbacks, res.RecoveryGap()*100)
-			if err := emit("chaos_"+string(a), t); err != nil {
-				return err
-			}
+			a := a
+			addJob("chaos "+string(a), one("chaos_"+string(a), func() (cascade.ResultTable, error) {
+				fmt.Fprintf(os.Stderr, "running %s chaos replay (%.0f%% of nodes crash at %.0f%% of trace)...\n",
+					a, *chaosFrac*100, *chaosFail*100)
+				res, t, err := cascade.ChaosStudy(cascade.ChaosConfig{
+					Arch:         a,
+					Base:         cfg,
+					FailFraction: *chaosFrac,
+					FailAt:       *chaosFail,
+					HealAt:       *chaosHeal,
+					Seed:         *seed,
+				})
+				if err != nil {
+					return cascade.ResultTable{}, err
+				}
+				fmt.Fprintf(os.Stderr, "chaos %s: crashed nodes %v, routed around %d hops, %d degraded serves, recovery gap %.1f%%\n",
+					a, res.Failed, res.Faulted.Stats.RoutedAround,
+					res.Faulted.Stats.OriginFallbacks, res.RecoveryGap()*100)
+				return t, nil
+			}))
 		}
+	}
+
+	if err := runJobs(work, *parallel, emit); err != nil {
+		return err
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)
@@ -461,6 +482,47 @@ func run() error {
 	}
 	if *baseline != "" && driftTotal > 0 {
 		return fmt.Errorf("%d cells drifted beyond tolerance", driftTotal)
+	}
+	return nil
+}
+
+// runJobs executes the experiment jobs — sequentially, or concurrently when
+// parallel is set — and hands every produced table to emit in job-definition
+// order, so both modes write identical bytes to stdout. The first job error
+// (in definition order) is returned; later tables are not emitted.
+func runJobs(jobs []simJob, parallel bool, emit func(string, cascade.ResultTable) error) error {
+	results := make([][]namedTable, len(jobs))
+	errs := make([]error, len(jobs))
+	if parallel {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i := range jobs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = jobs[i].run()
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			results[i], errs[i] = jobs[i].run()
+			if errs[i] != nil {
+				break
+			}
+		}
+	}
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", j.label, errs[i])
+		}
+		for _, nt := range results[i] {
+			if err := emit(nt.name, nt.table); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -126,6 +126,45 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential asserts the -parallel study runner is
+// invisible in the output: the same experiment set must print byte-identical
+// results with and without it.
+func TestParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+
+	capture := func(name string, extra ...string) []byte {
+		out, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = out
+		flag.CommandLine = flag.NewFlagSet("cascadesim", flag.PanicOnError)
+		os.Args = append([]string{"cascadesim",
+			"-objects", "200", "-requests", "4000", "-clients", "20",
+			"-servers", "10", "-duration", "1200", "-sizes", "0.02",
+			"-exp", "radius,zipf,levels", "-arch", "hierarchy"}, extra...)
+		runErr := run()
+		out.Close()
+		os.Stdout = oldStdout
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	seq := capture("seq.out")
+	par := capture("par.out", "-parallel")
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
 func TestRunList(t *testing.T) {
 	oldArgs, oldStdout := os.Args, os.Stdout
 	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()

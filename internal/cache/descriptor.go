@@ -36,9 +36,11 @@ type Descriptor struct {
 	missPenalty float64
 
 	// heap bookkeeping, owned by the containing store.
-	key       float64
-	heapIndex int
-	epoch     uint64
+	key        float64
+	heapIndex  int
+	epoch      uint64
+	pendingKey float64 // deferred re-key value, meaningful while dirty
+	dirty      bool    // a heap repair for this entry is pending
 }
 
 // NewDescriptor returns a descriptor for the given object with the paper's
@@ -52,6 +54,18 @@ func NewDescriptor(id model.ObjectID, size int64) *Descriptor {
 // clamping).
 func NewDescriptorK(id model.ObjectID, size int64, k int) *Descriptor {
 	return &Descriptor{
+		ID:        id,
+		Size:      size,
+		Window:    freq.NewWindow(k, freq.DefaultRefreshInterval),
+		heapIndex: -1,
+	}
+}
+
+// Reset reinitializes a recycled descriptor with a new identity, clearing
+// the access history, miss penalty and store bookkeeping. Call only on
+// descriptors detached from every store.
+func (d *Descriptor) Reset(id model.ObjectID, size int64, k int) {
+	*d = Descriptor{
 		ID:        id,
 		Size:      size,
 		Window:    freq.NewWindow(k, freq.DefaultRefreshInterval),

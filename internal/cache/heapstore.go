@@ -28,10 +28,18 @@ func FreqKey(d *Descriptor, now float64) float64 { return d.Window.Estimate(now)
 // constant: Estimate only recomputes when an object is referenced or its
 // cached value is older than the refresh interval. The store keeps heap
 // keys in step with those semantics two ways: touched entries are re-keyed
-// immediately, and a full re-key sweep runs once per aging interval
+// on update, and a full re-key sweep runs once per aging interval
 // (paper §3.2's 10-minute refresh) so the keys of unreferenced objects
 // decay too. Victim selection additionally re-keys stale minima as they
 // surface from the heap.
+//
+// Re-keying is lazy: Touch and SetMissPenalty compute the entry's new key
+// immediately (so it reflects the update-time estimate) but defer the
+// O(log m) heap repair until the next victim selection, coalescing repeated
+// updates of hot entries between evictions into one sift. Because the heap
+// ordering is a strict total order (key, then ID), the victim sequence
+// after a flush is identical to eager repair — replay determinism is
+// unaffected.
 type HeapStore struct {
 	capacity  int64
 	used      int64
@@ -42,6 +50,9 @@ type HeapStore struct {
 	epoch     uint64
 	aging     float64 // full re-key sweep interval (seconds)
 	lastSweep float64
+
+	dirty     []*Descriptor // entries with a deferred heap repair
+	victimBuf []*Descriptor // scratch for selectVictims, reused per call
 }
 
 // NewCostAware returns a byte-capacity store with NCL eviction — the main
@@ -88,10 +99,35 @@ func (s *HeapStore) maybeSweep(now float64) {
 		return
 	}
 	s.lastSweep = now
+	// The sweep recomputes every key and rebuilds the heap wholesale, so
+	// any deferred repairs are subsumed.
+	for _, d := range s.dirty {
+		d.dirty = false
+	}
+	s.dirty = s.dirty[:0]
 	for _, d := range s.entries {
 		d.key = s.keyFn(d, now)
 	}
 	heap.Init(&s.h)
+}
+
+// flushDirty applies deferred re-keys, restoring the heap invariant before
+// an order-sensitive operation (victim selection, removal). Each entry is
+// fixed individually: the heap is valid apart from the one entry whose key
+// changes, so heap.Fix fully restores it per step.
+func (s *HeapStore) flushDirty() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	for i, d := range s.dirty {
+		if d.dirty && d.heapIndex >= 0 {
+			d.key = d.pendingKey
+			heap.Fix(&s.h, d.heapIndex)
+		}
+		d.dirty = false
+		s.dirty[i] = nil
+	}
+	s.dirty = s.dirty[:0]
 }
 
 // Capacity returns the configured capacity (bytes, or entries for
@@ -139,9 +175,21 @@ func (s *HeapStore) SetMissPenalty(id model.ObjectID, m, now float64) bool {
 	return true
 }
 
+// rekey records the entry's key at update time and schedules the heap
+// repair for the next flushDirty. No-op when the key is unchanged (the
+// common case while the sliding-window estimate's cache is warm).
 func (s *HeapStore) rekey(d *Descriptor, now float64) {
-	d.key = s.keyFn(d, now)
-	heap.Fix(&s.h, d.heapIndex)
+	k := s.keyFn(d, now)
+	if d.dirty {
+		d.pendingKey = k
+		return
+	}
+	if k == d.key {
+		return
+	}
+	d.pendingKey = k
+	d.dirty = true
+	s.dirty = append(s.dirty, d)
 }
 
 func (s *HeapStore) entrySize(d *Descriptor) int64 {
@@ -155,6 +203,9 @@ func (s *HeapStore) entrySize(d *Descriptor) int64 {
 // stale entries as they surface. Victims are returned removed from the
 // heap; the caller either commits (removes from entries) or rolls back
 // (pushes them back). Returns nil, false when need exceeds capacity.
+//
+// The returned slice is the store's reusable scratch buffer: it is valid
+// only until the next selection (CostLoss or Insert) on this store.
 func (s *HeapStore) selectVictims(need int64, now float64) ([]*Descriptor, bool) {
 	if need > s.capacity {
 		return nil, false
@@ -163,8 +214,9 @@ func (s *HeapStore) selectVictims(need int64, now float64) ([]*Descriptor, bool)
 	if free >= need {
 		return nil, true
 	}
+	s.flushDirty()
 	s.epoch++
-	var victims []*Descriptor
+	victims := s.victimBuf[:0]
 	for free < need {
 		d := heap.Pop(&s.h).(*Descriptor)
 		if d.epoch != s.epoch {
@@ -184,6 +236,7 @@ func (s *HeapStore) selectVictims(need int64, now float64) ([]*Descriptor, bool)
 		victims = append(victims, d)
 		free += s.entrySize(d)
 	}
+	s.victimBuf = victims
 	return victims, true
 }
 
@@ -207,8 +260,10 @@ func (s *HeapStore) CostLoss(size int64, now float64) (loss float64, ok bool) {
 
 // Insert adds d to the store, evicting the greedy victim set first if
 // needed. The evicted descriptors (detached from the store) are returned so
-// the caller can demote them to a d-cache. ok is false — and the store
-// unchanged — when the object cannot fit at all or is already present.
+// the caller can demote them to a d-cache; the slice is the store's
+// reusable scratch and is valid only until the next CostLoss or Insert on
+// this store. ok is false — and the store unchanged — when the object
+// cannot fit at all or is already present.
 func (s *HeapStore) Insert(d *Descriptor, now float64) (evicted []*Descriptor, ok bool) {
 	if _, dup := s.entries[d.ID]; dup {
 		return nil, false
@@ -237,6 +292,9 @@ func (s *HeapStore) Remove(id model.ObjectID) *Descriptor {
 	if !ok {
 		return nil
 	}
+	// Apply deferred re-keys first so a detached descriptor carries no
+	// stale dirty state into another store (main cache ↔ d-cache moves).
+	s.flushDirty()
 	heap.Remove(&s.h, d.heapIndex)
 	d.heapIndex = -1
 	delete(s.entries, id)

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPath builds a monotone path profile of the given length, shaped like
+// the candidate sets the coordinated scheme produces: frequencies descend
+// toward the client, penalties are per-link delays, losses are moderate.
+func benchPath(n int) []Node {
+	path := make([]Node, n)
+	for i := range path {
+		path[i] = Node{
+			Freq:        float64(n-i) * 0.5,
+			MissPenalty: 0.01 * float64(i+1),
+			CostLoss:    0.002 * float64(i%3+1),
+		}
+	}
+	return path
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			path := benchPath(n)
+			var o Optimizer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Optimize(path)
+			}
+		})
+	}
+}
+
+func BenchmarkOptimizeAlloc(b *testing.B) {
+	// The package-level wrapper, for comparison with the reusable
+	// Optimizer above.
+	path := benchPath(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(path)
+	}
+}

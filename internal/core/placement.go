@@ -51,16 +51,31 @@ type Placement struct {
 	Gain float64
 }
 
+// Optimizer solves n-optimization problems without allocating per call: the
+// DP tables, the backtrack buffer and the monotone-clamp scratch are owned
+// by the Optimizer and reused. The zero value is ready to use. An Optimizer
+// is not safe for concurrent use; give each goroutine its own (the replay
+// simulator embeds one per scheme instance).
+type Optimizer struct {
+	opt   []float64
+	best  []int
+	idx   []int
+	clamp []Node
+}
+
 // Optimize solves the n-optimization problem for the given path exactly,
 // using the OPT_k/L_k dynamic program of paper §2.2 in O(n²) time and O(n)
 // space. It returns the subset of nodes at which caching the object
 // maximizes the total cost reduction, together with that reduction.
 //
+// The returned Placement.Indices aliases the Optimizer's scratch buffer and
+// is only valid until the next Optimize call; copy it to retain it.
+//
 // The DP is exact for arbitrary non-negative inputs; the monotone frequency
 // profile assumed by the paper's system model is not required for
 // optimality of the returned subset with respect to the Δcost objective
 // (Theorem 1's exchange argument is purely additive).
-func Optimize(path []Node) Placement {
+func (o *Optimizer) Optimize(path []Node) Placement {
 	n := len(path)
 	if n == 0 {
 		return Placement{}
@@ -69,21 +84,21 @@ func Optimize(path []Node) Placement {
 	// opt[k] = OPT_k, best[k] = L_k with the paper's convention that
 	// L_k = -1 when the optimal solution to the k-problem is empty.
 	// Inputs are 1-indexed in the paper; path[i-1] holds (f_i, m_i, l_i).
-	opt := make([]float64, n+1)
-	best := make([]int, n+1)
-	best[0] = -1
-
-	f := func(i int) float64 { // f_i with f_{n+1} = 0
-		if i >= n+1 {
-			return 0
-		}
-		return path[i-1].Freq
+	if cap(o.opt) < n+1 {
+		o.opt = make([]float64, n+1)
+		o.best = make([]int, n+1)
 	}
+	opt := o.opt[:n+1]
+	best := o.best[:n+1]
+	best[0] = -1
 
 	for k := 1; k <= n; k++ {
 		opt[k] = 0
 		best[k] = -1
-		fk1 := f(k + 1)
+		fk1 := 0.0 // f_{k+1} with f_{n+1} = 0
+		if k < n {
+			fk1 = path[k].Freq
+		}
 		for i := 1; i <= k; i++ {
 			ni := path[i-1]
 			v := opt[i-1] + (ni.Freq-fk1)*ni.MissPenalty - ni.CostLoss
@@ -95,16 +110,42 @@ func Optimize(path []Node) Placement {
 	}
 
 	// Backtrack: v_r = L_n, v_{i} = L_{v_{i+1}-1}.
-	var rev []int
+	rev := o.idx[:0]
 	for k := best[n]; k > 0; {
 		rev = append(rev, k-1) // convert to 0-based position
 		k = best[k-1]
 	}
+	o.idx = rev
 	// rev holds positions from last chosen to first; reverse in place.
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
+	if len(rev) == 0 {
+		return Placement{Gain: opt[n]}
+	}
 	return Placement{Indices: rev, Gain: opt[n]}
+}
+
+// ClampMonotone is the pooled variant of the package-level ClampMonotone:
+// the non-increasing copy is written into the Optimizer's scratch buffer,
+// which the next ClampMonotone call overwrites. The input is not modified.
+func (o *Optimizer) ClampMonotone(path []Node) []Node {
+	if cap(o.clamp) < len(path) {
+		o.clamp = make([]Node, len(path))
+	}
+	out := o.clamp[:len(path)]
+	copy(out, path)
+	clampMonotone(out)
+	return out
+}
+
+// Optimize solves the n-optimization problem exactly; see
+// Optimizer.Optimize. This convenience wrapper allocates fresh DP tables
+// per call and returns an independently owned Placement; hot paths should
+// hold an Optimizer instead.
+func Optimize(path []Node) Placement {
+	var o Optimizer
+	return o.Optimize(path)
 }
 
 // Gain evaluates the Δcost objective for an arbitrary placement (0-based,
@@ -155,12 +196,18 @@ func BruteForce(path []Node) Placement {
 // modified.
 func ClampMonotone(path []Node) []Node {
 	out := append([]Node(nil), path...)
+	clampMonotone(out)
+	return out
+}
+
+// clampMonotone raises frequencies in place to restore the non-increasing
+// profile.
+func clampMonotone(out []Node) {
 	for i := len(out) - 2; i >= 0; i-- {
 		if out[i].Freq < out[i+1].Freq {
 			out[i].Freq = out[i+1].Freq
 		}
 	}
-	return out
 }
 
 // LocallyBeneficial reports whether caching at every chosen index is

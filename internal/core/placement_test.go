@@ -258,40 +258,3 @@ func TestClampMonotoneProperties(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkOptimize(b *testing.B) {
-	for _, n := range []int{4, 12, 32, 128} {
-		path := randomPath(rand.New(rand.NewSource(5)), n)
-		b.Run(sizeName(n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				Optimize(path)
-			}
-		})
-	}
-}
-
-func sizeName(n int) string {
-	switch {
-	case n < 10:
-		return "n=00" + string(rune('0'+n))
-	case n < 100:
-		return "n=0" + itoa(n)
-	default:
-		return "n=" + itoa(n)
-	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
-}

@@ -60,7 +60,8 @@ type DCache interface {
 
 // LFU is the heap-based d-cache implementation.
 type LFU struct {
-	store *cache.HeapStore
+	store   *cache.HeapStore
+	recycle func(*cache.Descriptor)
 }
 
 // New returns a heap-based LFU d-cache holding at most capacity
@@ -93,14 +94,31 @@ func (d *LFU) SetMissPenalty(id model.ObjectID, m, now float64) bool {
 	return d.store.SetMissPenalty(id, m, now)
 }
 
+// SetRecycler implements Recycler.
+func (d *LFU) SetRecycler(fn func(*cache.Descriptor)) { d.recycle = fn }
+
 // Put implements DCache.
 func (d *LFU) Put(desc *cache.Descriptor, now float64) (ok bool) {
-	_, ok = d.store.Insert(desc, now)
+	evicted, ok := d.store.Insert(desc, now)
+	if d.recycle != nil {
+		for _, v := range evicted {
+			d.recycle(v)
+		}
+	}
 	return ok
 }
 
 // Take implements DCache.
 func (d *LFU) Take(id model.ObjectID) *cache.Descriptor { return d.store.Remove(id) }
+
+// Recycler is implemented by d-caches that can hand evicted descriptors to
+// a reuse pool instead of dropping them to the garbage collector. Both
+// built-in implementations satisfy it.
+type Recycler interface {
+	// SetRecycler registers fn to receive every descriptor the d-cache
+	// evicts. Pass nil to disable recycling.
+	SetRecycler(fn func(*cache.Descriptor))
+}
 
 // Factory builds a d-cache of a given capacity; schemes accept one to
 // select the implementation (New by default, NewLRUStacks for the O(1)

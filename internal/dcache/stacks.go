@@ -19,6 +19,7 @@ type LRUStacks struct {
 	capacity int
 	entries  map[model.ObjectID]*stackEntry
 	stacks   [freq.DefaultK]*list.List // index = reference count − 1; front = most recent window
+	recycle  func(*cache.Descriptor)
 }
 
 type stackEntry struct {
@@ -143,8 +144,14 @@ func (s *LRUStacks) evictOne(now float64) {
 	if victim != nil {
 		s.stacks[victim.stack].Remove(victim.elem)
 		delete(s.entries, victim.desc.ID)
+		if s.recycle != nil {
+			s.recycle(victim.desc)
+		}
 	}
 }
+
+// SetRecycler implements Recycler.
+func (s *LRUStacks) SetRecycler(fn func(*cache.Descriptor)) { s.recycle = fn }
 
 // Take implements DCache.
 func (s *LRUStacks) Take(id model.ObjectID) *cache.Descriptor {

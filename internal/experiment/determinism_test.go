@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"cascade/internal/trace"
+)
+
+// TestRunSweepConcurrencyDeterminism verifies the concurrency knob never
+// leaks into results: the same sweep run sequentially and with 8 workers
+// must produce identical cells — every metric bit-for-bit equal, not just
+// approximately. This guards the hot path's scratch-buffer reuse and lazy
+// heap repair, whose correctness argument depends on replay determinism.
+func TestRunSweepConcurrencyDeterminism(t *testing.T) {
+	base := Config{
+		Trace: trace.Config{
+			Objects:  500,
+			Requests: 8000,
+			Clients:  40,
+			Servers:  10,
+			Duration: 3600,
+			Seed:     5,
+		},
+		CacheSizes: []float64{0.01, 0.05},
+		Schemes:    []string{"LRU", "LNC-R", "COORD"},
+		TopoSeed:   5,
+		AttachSeed: 5,
+	}
+	for _, arch := range []Arch{EnRoute, Hierarchy} {
+		seq := base
+		seq.Concurrency = 1
+		con := base
+		con.Concurrency = 8
+
+		s1, err := RunSweep(arch, seq, nil)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", arch, err)
+		}
+		s8, err := RunSweep(arch, con, nil)
+		if err != nil {
+			t.Fatalf("%s concurrent: %v", arch, err)
+		}
+		if len(s1.Cells) != len(s8.Cells) {
+			t.Fatalf("%s: %d cells sequential vs %d concurrent", arch, len(s1.Cells), len(s8.Cells))
+		}
+		for i := range s1.Cells {
+			if !reflect.DeepEqual(s1.Cells[i], s8.Cells[i]) {
+				t.Errorf("%s cell %d differs:\nseq: %+v\ncon: %+v", arch, i, s1.Cells[i], s8.Cells[i])
+			}
+		}
+	}
+}

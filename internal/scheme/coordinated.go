@@ -49,9 +49,17 @@ type Coordinated struct {
 
 	dfac dcache.Factory
 
+	// opt owns the DP tables and monotone-clamp scratch, so the per-call
+	// optimization allocates nothing.
+	opt core.Optimizer
+
 	// scratch buffers reused across Process calls.
-	cand  []core.Node
-	index []int
+	cand   []core.Node
+	index  []int
+	placed []int
+
+	// pool recycles descriptors evicted by the d-caches.
+	pool descPool
 }
 
 // NewCoordinated returns an unconfigured coordinated scheme with monotone
@@ -87,6 +95,7 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewCostAware(b.CacheBytes)
 		s.dcaches[n] = s.dfac(b.DCacheEntries)
+		s.pool.attach(s.dcaches[n])
 	}
 }
 
@@ -140,28 +149,29 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	}
 	problem := s.cand
 	if s.clampMonotone {
-		problem = core.ClampMonotone(problem)
+		problem = s.opt.ClampMonotone(problem)
 	}
-	placement := core.Optimize(problem)
-
-	chosen := make(map[int]bool, len(placement.Indices))
-	for _, v := range placement.Indices {
-		chosen[s.index[v]] = true
-		piggyback += 4 // placement instruction on the response
-	}
+	placement := s.opt.Optimize(problem)
+	piggyback += int64(len(placement.Indices)) * 4 // placement instructions on the response
 
 	// ---- Downstream pass ------------------------------------------------
-	var placed []int
+	// placement.Indices are ascending positions into s.cand, and s.cand was
+	// filled from path index hit-1 downward — so the chosen path indices
+	// appear in placement order as i descends. A cursor replaces the
+	// chosen-set map.
+	placed := s.placed[:0]
+	next := 0
 	mp := 0.0 // the response message's miss-penalty counter
 	for i := hit - 1; i >= 0; i-- {
 		mp += path.UpCost[i]
 		n := path.Nodes[i]
-		if chosen[i] {
+		if next < len(placement.Indices) && s.index[placement.Indices[next]] == i {
+			next++
 			desc := s.dcaches[n].Take(obj)
 			if desc == nil {
 				// Possible only when the d-cache dropped the
 				// descriptor between passes; rebuild it.
-				desc = cache.NewDescriptorK(obj, size, s.windowK)
+				desc = s.pool.get(obj, size, s.windowK)
 				desc.Window.Record(now)
 			}
 			desc.SetMissPenalty(mp)
@@ -183,12 +193,13 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 		if dc.Contains(obj) {
 			dc.SetMissPenalty(obj, mp, now)
 		} else {
-			desc := cache.NewDescriptorK(obj, size, s.windowK)
+			desc := s.pool.get(obj, size, s.windowK)
 			desc.Window.Record(now)
 			desc.SetMissPenalty(mp)
 			dc.Put(desc, now)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback}
 }
 

@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/freq"
 	"cascade/internal/model"
 )
 
@@ -13,6 +14,8 @@ import (
 type LFU struct {
 	caches  map[model.NodeID]*cache.HeapStore
 	dcaches map[model.NodeID]dcache.DCache
+	placed  []int    // scratch reused across Process calls
+	pool    descPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLFU returns an unconfigured LFU scheme.
@@ -28,6 +31,7 @@ func (s *LFU) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewLFU(b.CacheBytes)
 		s.dcaches[n] = dcache.New(b.DCacheEntries)
+		s.pool.attach(s.dcaches[n])
 	}
 }
 
@@ -43,12 +47,12 @@ func (s *LFU) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 		}
 		s.dcaches[n].RecordAccess(obj, now)
 	}
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		n := path.Nodes[i]
 		desc := s.dcaches[n].Take(obj)
 		if desc == nil {
-			desc = cache.NewDescriptor(obj, size)
+			desc = s.pool.get(obj, size, freq.DefaultK)
 			desc.Window.Record(now)
 		}
 		evicted, ok := s.caches[n].Insert(desc, now)
@@ -61,6 +65,7 @@ func (s *LFU) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 			s.dcaches[n].Put(v, now)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 
@@ -69,6 +74,7 @@ func (s *LFU) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 // immediate upstream link (the cost LNC-R uses too).
 type GDS struct {
 	caches map[model.NodeID]*cache.GreedyDualSize
+	placed []int // scratch reused across Process calls
 }
 
 // NewGDS returns an unconfigured GreedyDual-Size scheme.
@@ -96,12 +102,13 @@ func (s *GDS) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 			break
 		}
 	}
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		if _, ok := s.caches[path.Nodes[i]].Insert(obj, size, path.UpCost[i]); ok {
 			placed = append(placed, i)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/freq"
 	"cascade/internal/model"
 )
 
@@ -18,6 +19,8 @@ type LNCR struct {
 	caches  map[model.NodeID]*cache.HeapStore
 	dcaches map[model.NodeID]dcache.DCache
 	dfac    dcache.Factory
+	placed  []int    // scratch reused across Process calls
+	pool    descPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLNCR returns an unconfigured LNC-R scheme.
@@ -38,6 +41,7 @@ func (s *LNCR) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewCostAware(b.CacheBytes)
 		s.dcaches[n] = s.dfac(b.DCacheEntries)
+		s.pool.attach(s.dcaches[n])
 	}
 }
 
@@ -58,12 +62,12 @@ func (s *LNCR) Process(now float64, obj model.ObjectID, size int64, path Path) O
 
 	// Downstream: insert everywhere below the hit with the descriptor's
 	// miss penalty fixed to the immediate upstream link delay.
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		n := path.Nodes[i]
 		desc := s.dcaches[n].Take(obj)
 		if desc == nil {
-			desc = cache.NewDescriptor(obj, size)
+			desc = s.pool.get(obj, size, freq.DefaultK)
 			desc.Window.Record(now)
 		}
 		desc.SetMissPenalty(path.UpCost[i])
@@ -79,6 +83,7 @@ func (s *LNCR) Process(now float64, obj model.ObjectID, size int64, path Path) O
 			s.dcaches[n].Put(v, now)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

@@ -10,6 +10,7 @@ import (
 // each cache independently evicts its least recently used objects.
 type LRU struct {
 	caches map[model.NodeID]*cache.LRU
+	placed []int // scratch reused across Process calls
 }
 
 // NewLRU returns an unconfigured LRU scheme.
@@ -38,12 +39,13 @@ func (s *LRU) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 			break
 		}
 	}
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		if _, ok := s.caches[path.Nodes[i]].Insert(obj, size); ok {
 			placed = append(placed, i)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

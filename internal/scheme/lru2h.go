@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/freq"
 	"cascade/internal/model"
 )
 
@@ -16,6 +17,8 @@ import (
 type LRU2H struct {
 	caches  map[model.NodeID]*cache.LRU
 	dcaches map[model.NodeID]dcache.DCache
+	placed  []int    // scratch reused across Process calls
+	pool    descPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLRU2H returns an unconfigured second-hit LRU scheme.
@@ -31,6 +34,7 @@ func (s *LRU2H) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewLRU(b.CacheBytes)
 		s.dcaches[n] = dcache.New(b.DCacheEntries)
+		s.pool.attach(s.dcaches[n])
 	}
 }
 
@@ -46,13 +50,13 @@ func (s *LRU2H) Process(now float64, obj model.ObjectID, size int64, path Path) 
 		}
 		s.dcaches[n].RecordAccess(obj, now)
 	}
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		n := path.Nodes[i]
 		dc := s.dcaches[n]
 		if !dc.Contains(obj) {
 			// First sighting: remember, do not admit.
-			d := cache.NewDescriptor(obj, size)
+			d := s.pool.get(obj, size, freq.DefaultK)
 			d.Window.Record(now)
 			dc.Put(d, now)
 			continue
@@ -62,6 +66,7 @@ func (s *LRU2H) Process(now float64, obj model.ObjectID, size int64, path Path) 
 			placed = append(placed, i)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

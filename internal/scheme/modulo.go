@@ -14,6 +14,7 @@ import (
 type Modulo struct {
 	radius int
 	caches map[model.NodeID]*cache.LRU
+	placed []int // scratch reused across Process calls
 }
 
 // NewModulo returns a MODULO scheme with the given cache radius (≥ 1).
@@ -51,7 +52,7 @@ func (s *Modulo) Process(now float64, obj model.ObjectID, size int64, path Path)
 			break
 		}
 	}
-	var placed []int
+	placed := s.placed[:0]
 	for i := hit - 1; i >= 0; i-- {
 		if i%s.radius != 0 {
 			continue
@@ -60,6 +61,7 @@ func (s *Modulo) Process(now float64, obj model.ObjectID, size int64, path Path)
 			placed = append(placed, i)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

@@ -31,6 +31,16 @@ type Partial struct {
 	caches    map[model.NodeID]*cache.HeapStore // participating nodes
 	dcaches   map[model.NodeID]dcache.DCache
 	legacy    map[model.NodeID]*cache.LRU // non-participating nodes
+
+	// opt owns the DP tables so the per-call optimization allocates
+	// nothing; the slices below are scratch reused across Process calls.
+	opt    core.Optimizer
+	cand   []core.Node
+	index  []int
+	placed []int
+
+	// pool recycles descriptors evicted by the d-caches.
+	pool descPool
 }
 
 // NewPartial returns a mixed-deployment scheme where approximately the
@@ -73,6 +83,7 @@ func (s *Partial) Configure(budgets map[model.NodeID]NodeBudget) {
 			s.coordNode[n] = true
 			s.caches[n] = cache.NewCostAware(b.CacheBytes)
 			s.dcaches[n] = dcache.New(b.DCacheEntries)
+			s.pool.attach(s.dcaches[n])
 		} else {
 			s.legacy[n] = cache.NewLRU(b.CacheBytes)
 		}
@@ -114,8 +125,8 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 	}
 
 	// Decision: DP over participating candidates below the hit.
-	var cand []core.Node
-	var idx []int
+	s.cand = s.cand[:0]
+	s.index = s.index[:0]
 	m := 0.0
 	for i := hit - 1; i >= 0; i-- {
 		m += path.UpCost[i]
@@ -131,18 +142,17 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 		if !ok {
 			continue
 		}
-		cand = append(cand, core.Node{Freq: desc.Freq(now), MissPenalty: m, CostLoss: loss})
-		idx = append(idx, i)
+		s.cand = append(s.cand, core.Node{Freq: desc.Freq(now), MissPenalty: m, CostLoss: loss})
+		s.index = append(s.index, i)
 	}
-	placement := core.Optimize(core.ClampMonotone(cand))
-	chosen := make(map[int]bool, len(placement.Indices))
-	for _, v := range placement.Indices {
-		chosen[idx[v]] = true
-	}
+	placement := s.opt.Optimize(s.opt.ClampMonotone(s.cand))
 
 	// Downstream: participating nodes follow the decision and maintain
-	// descriptors; legacy nodes insert everything.
-	var placed []int
+	// descriptors; legacy nodes insert everything. placement.Indices are
+	// ascending positions into s.cand, which was filled from path index
+	// hit-1 downward, so a cursor replaces the chosen-set map.
+	placed := s.placed[:0]
+	next := 0
 	mp := 0.0
 	for i := hit - 1; i >= 0; i-- {
 		mp += path.UpCost[i]
@@ -154,10 +164,11 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 			}
 			continue
 		}
-		if chosen[i] {
+		if next < len(placement.Indices) && s.index[placement.Indices[next]] == i {
+			next++
 			desc := s.dcaches[n].Take(obj)
 			if desc == nil {
-				desc = cache.NewDescriptorK(obj, size, freq.DefaultK)
+				desc = s.pool.get(obj, size, freq.DefaultK)
 				desc.Window.Record(now)
 			}
 			desc.SetMissPenalty(mp)
@@ -176,12 +187,13 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 		if dc.Contains(obj) {
 			dc.SetMissPenalty(obj, mp, now)
 		} else {
-			desc := cache.NewDescriptorK(obj, size, freq.DefaultK)
+			desc := s.pool.get(obj, size, freq.DefaultK)
 			desc.Window.Record(now)
 			desc.SetMissPenalty(mp)
 			dc.Put(desc, now)
 		}
 	}
+	s.placed = placed
 	return Outcome{HitIndex: hit, Placed: placed}
 }
 

@@ -1,0 +1,39 @@
+package scheme
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+// descPool recycles descriptors the d-caches evict, eliminating the
+// per-request descriptor allocation on the replay hot path: in steady
+// state every full d-cache eviction frees exactly the descriptor the next
+// miss needs. Recycling is invisible to replay results — Reset clears all
+// history and nothing orders on descriptor identity.
+type descPool struct {
+	free []*cache.Descriptor
+}
+
+// recycle accepts an evicted descriptor for reuse.
+func (p *descPool) recycle(d *cache.Descriptor) { p.free = append(p.free, d) }
+
+// get returns a descriptor for the given object, reusing a recycled one
+// when available.
+func (p *descPool) get(id model.ObjectID, size int64, k int) *cache.Descriptor {
+	if n := len(p.free) - 1; n >= 0 {
+		d := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		d.Reset(id, size, k)
+		return d
+	}
+	return cache.NewDescriptorK(id, size, k)
+}
+
+// attach registers the pool as the d-cache's eviction recycler.
+func (p *descPool) attach(dc dcache.DCache) {
+	if r, ok := dc.(dcache.Recycler); ok {
+		r.SetRecycler(p.recycle)
+	}
+}

@@ -55,7 +55,9 @@ type Outcome struct {
 	// Path.OriginIndex() when the origin served the request.
 	HitIndex int
 	// Placed lists the indices (into Path.Nodes) where a new copy of the
-	// object was inserted on the response pass.
+	// object was inserted on the response pass. The slice aliases the
+	// scheme's reusable scratch buffer: it is valid only until the next
+	// Process call on the same scheme — copy it to retain it.
 	Placed []int
 	// PiggybackBytes estimates the meta-information the scheme attached
 	// to the request and response messages (coordinated caching only);

@@ -99,6 +99,14 @@ type Simulator struct {
 	costBuf    []float64
 	latBuf     []float64
 	nodeStats  map[model.NodeID]*NodeStats
+
+	// routeCache memoizes Network.Route per (client node, server node)
+	// pair — routes are static for a run, and the pair space (≤ n·(n+1))
+	// is far smaller than the client×server space. A cached entry is
+	// recognizable by its non-nil Caches slice (routes always contain at
+	// least the client's own cache).
+	routeCache []topology.Route
+	numNodes   int
 }
 
 // New validates the configuration, sizes and resets the scheme's caches,
@@ -173,7 +181,24 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.TrackNodes {
 		s.nodeStats = make(map[model.NodeID]*NodeStats, n)
 	}
+	// Server attachment may be NoNode (= −1, hierarchy), hence the +1
+	// offset in the cache index.
+	s.numNodes = n
+	s.routeCache = make([]topology.Route, n*(n+1))
 	return s, nil
+}
+
+// route resolves the delivery path for a request, memoizing per node pair.
+func (s *Simulator) route(client model.ClientID, server model.ServerID) topology.Route {
+	cn := s.clientNode[client]
+	sn := s.serverNode[server]
+	idx := int(cn)*(s.numNodes+1) + int(sn) + 1
+	if rt := s.routeCache[idx]; rt.Caches != nil {
+		return rt
+	}
+	rt := s.cfg.Network.Route(cn, sn)
+	s.routeCache[idx] = rt
+	return rt
 }
 
 // NodeStats returns a copy of the per-node accounting (empty unless
@@ -203,7 +228,7 @@ func (s *Simulator) ServerNode(v model.ServerID) model.NodeID { return s.serverN
 
 // Process replays a single request and returns its accounting.
 func (s *Simulator) Process(req model.Request) metrics.Sample {
-	route := s.cfg.Network.Route(s.clientNode[req.Client], s.serverNode[req.Server])
+	route := s.route(req.Client, req.Server)
 
 	// Decision costs under the configured model; the default is the
 	// paper's §3.2 choice, link delay scaled by object size.

@@ -3,7 +3,6 @@ package topology
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"cascade/internal/model"
 )
@@ -50,8 +49,9 @@ type Hierarchy struct {
 	level  []int
 	leaves []model.NodeID
 
-	mu     sync.RWMutex // guards the route memo
-	routes map[model.NodeID]Route
+	// routes[i] is the precomputed node-i-to-origin route. Built once at
+	// generation, immutable afterwards, so lookups need no locking.
+	routes []Route
 }
 
 // GenerateTree builds the full O-ary cache tree described by cfg.
@@ -66,7 +66,6 @@ func GenerateTree(cfg TreeConfig) *Hierarchy {
 		cfg:    cfg,
 		parent: make([]model.NodeID, total),
 		level:  make([]int, total),
-		routes: make(map[model.NodeID]Route),
 	}
 	h.parent[0] = model.NoNode
 	h.level[0] = cfg.Depth - 1
@@ -85,6 +84,18 @@ func GenerateTree(cfg TreeConfig) *Hierarchy {
 			h.level[next] = h.level[i] - 1
 			next++
 		}
+	}
+	// Precompute every node's route to the origin so Route is a lock-free
+	// slice lookup on the replay hot path.
+	h.routes = make([]Route, total)
+	for i := 0; i < total; i++ {
+		var caches []model.NodeID
+		var upCost []float64
+		for u := model.NodeID(i); u != model.NoNode; u = h.parent[u] {
+			caches = append(caches, u)
+			upCost = append(upCost, h.LinkDelay(h.level[u]))
+		}
+		h.routes[i] = Route{Caches: caches, UpCost: upCost, OriginLink: true}
 	}
 	return h
 }
@@ -123,31 +134,12 @@ func (h *Hierarchy) LinkDelay(level int) float64 {
 	return math.Pow(h.cfg.Growth, float64(level)) * h.cfg.BaseDelay
 }
 
-// Route returns the path from a leaf up to the root; the server argument is
+// Route returns the path from a node up to the root; the server argument is
 // ignored because all origin servers sit above the root. The final up-cost
-// is the root–server link. Routes are memoized per leaf; the method is safe
-// for concurrent use.
+// is the root–server link. Routes are precomputed at generation, so the
+// lookup is lock-free and safe for concurrent use.
 func (h *Hierarchy) Route(client, _ model.NodeID) Route {
-	h.mu.RLock()
-	rt, ok := h.routes[client]
-	h.mu.RUnlock()
-	if ok {
-		return rt
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if rt, ok := h.routes[client]; ok {
-		return rt
-	}
-	var caches []model.NodeID
-	var upCost []float64
-	for u := client; u != model.NoNode; u = h.parent[u] {
-		caches = append(caches, u)
-		upCost = append(upCost, h.LinkDelay(h.level[u]))
-	}
-	rt = Route{Caches: caches, UpCost: upCost, OriginLink: true}
-	h.routes[client] = rt
-	return rt
+	return h.routes[client]
 }
 
 // TreeDescription summarizes a hierarchy in Table-1 style.
