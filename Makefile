@@ -1,5 +1,6 @@
 # Tier-1 verification gate: everything a change must pass before merging.
-# `make check` = vet + build + race-enabled tests for the whole module.
+# `make check` = vet + build + race-enabled tests + observability smoke +
+# benchmark regression gate for the whole module.
 
 GO ?= go
 
@@ -11,9 +12,15 @@ GO ?= go
 BENCH_TIME ?= 1s
 BENCH_OUT  ?= bench_latest.txt
 
-.PHONY: check vet build test race bench bench-check
+.PHONY: check vet build test race observe bench bench-check
 
-check: vet build race
+check: vet build race observe bench-check
+
+# Observability smoke: boot a real origin → gateway chain, scrape the
+# Prometheus endpoints, round-trip the X-Cascade-Trace debug header
+# (driver: cmd/observesmoke; docs/OBSERVABILITY.md documents the series).
+observe:
+	$(GO) run ./cmd/observesmoke -go $(GO)
 
 vet:
 	$(GO) vet ./...

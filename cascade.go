@@ -52,6 +52,7 @@ import (
 	"cascade/internal/httpgw"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
+	"cascade/internal/reqtrace"
 	"cascade/internal/runtime"
 	"cascade/internal/scheme"
 	"cascade/internal/sim"
@@ -404,6 +405,45 @@ type (
 // Cluster.Recover restarts it empty; requests route around dead hops.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.NewCluster(cfg) }
 
+// Observability: metrics export and request tracing (docs/OBSERVABILITY.md).
+type (
+	// MetricsRegistry renders registered instruments in the Prometheus
+	// text exposition format. Cluster.Metrics and HTTPCacheNode expose
+	// their instruments through one; NewMetricsRegistry builds an empty
+	// registry for application-level series.
+	MetricsRegistry = metrics.Registry
+	// MetricsLabel is one name="value" pair attached to a series.
+	MetricsLabel = metrics.Label
+	// ClusterMetrics pairs cluster-wide counters with per-node detail
+	// (Cluster.MetricsSnapshot).
+	ClusterMetrics = runtime.ClusterMetrics
+	// ClusterNodeMetrics is one runtime node's operational accounting.
+	ClusterNodeMetrics = runtime.NodeMetrics
+
+	// RequestTrace is the hop-by-hop record of one sampled request: the
+	// upward pass with piggybacked (f, m, l) descriptors, the DP decision,
+	// and the downward pass with placements and miss-penalty resets.
+	RequestTrace = reqtrace.Trace
+	// TraceEvent is one protocol step of a traced request.
+	TraceEvent = reqtrace.Event
+	// TraceSampler selects requests for tracing (Coordinated.SetTracer).
+	TraceSampler = reqtrace.Sampler
+)
+
+// NewMetricsRegistry returns an empty Prometheus-text-format registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewTraceSampler traces every stride-th request, capturing at most max
+// traces; attach it with Coordinated.SetTracer.
+func NewTraceSampler(stride int64, max int) *TraceSampler { return reqtrace.NewSampler(stride, max) }
+
+// SampleRequestTraces replays the configured workload through coordinated
+// caching at one relative cache size and returns up to n request traces
+// sampled evenly across the run (cascadesim -trace-requests).
+func SampleRequestTraces(arch Architecture, cfg ExperimentConfig, size float64, n int) ([]*RequestTrace, error) {
+	return experiment.SampleTraces(arch, cfg, size, n)
+}
+
 // Fault injection (deterministic chaos hooks shared by the runtime and the
 // HTTP gateway).
 type (
@@ -442,6 +482,9 @@ const (
 	// HTTPHeaderDegraded marks responses served outside the protocol
 	// while the upstream chain was unreachable.
 	HTTPHeaderDegraded = httpgw.HeaderDegraded
+	// HTTPHeaderTrace is the opt-in debug header: send any value to
+	// receive a JSON event log of both protocol passes in the response.
+	HTTPHeaderTrace = httpgw.HeaderTrace
 )
 
 // DefaultUpstreamTimeout bounds gateway upstream fetches when no explicit

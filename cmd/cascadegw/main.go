@@ -48,12 +48,13 @@ func run() error {
 		state    = flag.String("state", "", "gateway: warm-start snapshot file (loaded at boot, saved on shutdown)")
 		ttl      = flag.Float64("ttl", 0, "gateway: revalidate cached copies older than this many seconds (0 = never)")
 
-		originURL = flag.String("origin-url", "", "gateway: origin base URL for degraded-mode fallback when the upstream chain is unreachable")
-		upTimeout = flag.Duration("up-timeout", 0, "gateway: upstream request timeout (0 = built-in default)")
-		retries   = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
-		brkThresh = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
-		brkCool   = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		originURL   = flag.String("origin-url", "", "gateway: origin base URL for degraded-mode fallback when the upstream chain is unreachable")
+		upTimeout   = flag.Duration("up-timeout", 0, "gateway: upstream request timeout (0 = built-in default)")
+		retries     = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
+		brkCool     = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		metricsAddr = flag.String("metrics", "", "gateway: serve Prometheus /metrics on this address (e.g. localhost:9090; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,9 @@ func run() error {
 
 	var handler http.Handler
 	if *origin {
+		if *metricsAddr != "" {
+			fmt.Fprintln(os.Stderr, "cascadegw: -metrics is gateway-only; ignored in origin mode")
+		}
 		if *dir != "" {
 			handler = cascade.NewHTTPFileOrigin(*dir)
 			fmt.Fprintf(os.Stderr, "cascadegw: origin on %s serving %s\n", *listen, *dir)
@@ -113,6 +117,21 @@ func run() error {
 				}
 			}
 			defer saveState(node, *state)
+		}
+		if *metricsAddr != "" {
+			// Same separate-listener model as -pprof: operational scrapes
+			// never contend with the public cache listener. The node also
+			// serves the identical payload at /cascade/metrics on the main
+			// listener for single-port deployments.
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", node.MetricsHandler())
+			go func() {
+				fmt.Fprintf(os.Stderr, "cascadegw: metrics on http://%s/metrics\n", *metricsAddr)
+				msrv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+				if err := msrv.ListenAndServe(); err != nil {
+					fmt.Fprintf(os.Stderr, "cascadegw: metrics: %v\n", err)
+				}
+			}()
 		}
 		handler = node
 		fmt.Fprintf(os.Stderr, "cascadegw: node %d on %s → %s (capacity %s, link cost %g)\n",

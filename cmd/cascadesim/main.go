@@ -14,12 +14,14 @@
 //	cascadesim -exp figs -csv out/ -svg figs/ -html report.html
 //	cascadesim -exp figs -baseline golden/  # regression drift detection
 //	cascadesim -exp fig6a -replicate 5      # mean ± stdev over seeds
+//	cascadesim -trace-requests 5            # dump 5 hop-by-hop protocol traces as JSON
 //
 // The workload is synthetic (see DESIGN.md for the substitution rationale)
 // unless -trace FILE replays a recorded trace in the cascade text format.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -71,6 +73,7 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "master seed (workload, topology, attachment)")
 
 		traceFile = flag.String("trace", "", "replay a recorded trace file instead of the synthetic workload")
+		traceReqs = flag.Int("trace-requests", 0, "dump N sampled per-request protocol traces as JSON (COORD scheme, first -arch and -sizes values) and exit")
 		csvDir    = flag.String("csv", "", "directory for CSV export (created if missing)")
 		svgDir    = flag.String("svg", "", "directory for SVG figure export (created if missing)")
 		htmlOut   = flag.String("html", "", "write a self-contained HTML report of every emitted table")
@@ -167,6 +170,22 @@ func run() error {
 		archs = []cascade.Architecture{cascade.ArchEnRoute, cascade.ArchHierarchy}
 	default:
 		return fmt.Errorf("-arch: unknown architecture %q", *arch)
+	}
+
+	if *traceReqs > 0 {
+		// Trace-dump mode: replay the workload once through the coordinated
+		// scheme, sample N requests and emit their hop-by-hop protocol
+		// traces (both passes; see docs/OBSERVABILITY.md) as a JSON array.
+		a, size := archs[0], sizeList[0]
+		traces, err := cascade.SampleRequestTraces(a, cfg, size, *traceReqs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sampled %d request traces (%s, COORD, cache size %.3g)\n",
+			len(traces), a, size)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(traces)
 	}
 
 	wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness := false, false, false, false, false

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cascade/internal/reqtrace"
+	"cascade/internal/scheme"
+	"cascade/internal/sim"
+)
+
+// SampleTraces replays the configured workload through the coordinated
+// scheme at one relative cache size and returns up to n request traces
+// sampled evenly across the run. Each trace records both protocol passes —
+// the upward pass with the piggybacked (f, m, l) descriptors and the
+// downward pass with the DP placement decision and miss-penalty counter
+// resets (see docs/OBSERVABILITY.md for the event schema). Exposed on the
+// command line as `cascadesim -trace-requests`.
+func SampleTraces(arch Arch, cfg Config, size float64, n int) ([]*reqtrace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiment: trace sample count must be positive, got %d", n)
+	}
+	cfg.setDefaults()
+	w := cfg.workload()
+	net := cfg.Network(arch)
+
+	sch := scheme.NewCoordinated()
+	stride := int64(1)
+	if total := w.Len(); total > n {
+		stride = int64(total / n)
+	}
+	sampler := reqtrace.NewSampler(stride, n)
+	sch.SetTracer(sampler)
+
+	simr, err := sim.New(sim.Config{
+		Scheme:            sch,
+		Network:           net,
+		Catalog:           w.Catalog(),
+		RelativeCacheSize: size,
+		DCacheFactor:      cfg.DCacheFactor,
+		Seed:              cfg.AttachSeed + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src, err := w.Open()
+	if err != nil {
+		return nil, err
+	}
+	simr.Run(src, w.Len()/2)
+	return sampler.Traces(), nil
+}

@@ -34,7 +34,9 @@ import (
 	"cascade/internal/cache"
 	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/metrics"
 	"cascade/internal/model"
+	"cascade/internal/reqtrace"
 )
 
 // Protocol header names.
@@ -109,6 +111,8 @@ type Node struct {
 	fetched map[model.ObjectID]float64 // time each copy was (re)validated
 
 	hits, misses, inserts, revalidations int64
+
+	reg *metrics.Registry // lazily built Prometheus export (MetricsRegistry)
 
 	rng             *rand.Rand // backoff jitter; lazily seeded from ID
 	breaker         BreakerState
@@ -272,6 +276,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.serveStats(w)
 		return
 	}
+	if r.URL.Path == "/cascade/metrics" {
+		n.MetricsHandler().ServeHTTP(w, r)
+		return
+	}
 
 	// ---- Local hit? ----
 	n.mu.Lock()
@@ -292,6 +300,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(HeaderPlace, formatPlacement(chosen))
 			w.Header().Set(HeaderPenalty, "0")
 			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+			if traceWanted(r) {
+				hitEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActHit})
+				w.Header().Set(HeaderTrace, "["+hitEvt+","+traceDecision(int(n.ID), chosen)+"]")
+			}
 			if tag != "" {
 				w.Header().Set("ETag", tag)
 			}
@@ -334,6 +346,9 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		pathHeader = pathHeader + "," + formatEntry(entry)
 	}
 	up.Header.Set(HeaderPath, pathHeader)
+	if traceWanted(r) {
+		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
+	}
 
 	resp, err := n.fetchUpstream(up)
 	if err != nil {
@@ -363,6 +378,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	chosen := parsePlacement(resp.Header.Get(HeaderPlace))
 
 	now = n.Clock()
+	mpSeen := mp
+	placedHere, placeFailed, evictedCount := false, false, 0
 	n.mu.Lock()
 	if chosen[n.ID] {
 		desc := n.dstore.Take(obj)
@@ -383,8 +400,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				n.dstore.Put(v, now)
 			}
 			mp = 0
+			placedHere, evictedCount = true, len(evicted)
 		} else {
 			n.dstore.Put(desc, now)
+			placeFailed = true
 		}
 	} else if n.dstore.Contains(obj) {
 		n.dstore.SetMissPenalty(obj, mp, now)
@@ -399,6 +418,24 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
 	w.Header().Set(HeaderPenalty, strconv.FormatFloat(mp, 'g', -1, 64))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	if traceWanted(r) {
+		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
+		if entry.hasDesc {
+			upEvt.Action = reqtrace.ActPiggyback
+			upEvt.Freq = entry.freq
+			upEvt.CostLoss = entry.loss
+		}
+		downEvt := reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: mpSeen}
+		switch {
+		case placedHere:
+			downEvt.Action = reqtrace.ActPlace
+			downEvt.Reset = true
+			downEvt.Evicted = evictedCount
+		case placeFailed:
+			downEvt.Action = reqtrace.ActPlaceFailed
+		}
+		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt)))
+	}
 	w.Write(body) //nolint:errcheck
 }
 
@@ -519,6 +556,10 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderPlace, formatPlacement(chosen))
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, "origin")
+	if traceWanted(r) {
+		serveEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: -1, Action: reqtrace.ActServeOrigin})
+		w.Header().Set(HeaderTrace, "["+serveEvt+","+traceDecision(-1, chosen)+"]")
+	}
 
 	serve := func(body []byte) {
 		tag := etagOf(body)

@@ -1,0 +1,59 @@
+package httpgw
+
+import (
+	"net/http"
+	"strconv"
+
+	"cascade/internal/metrics"
+)
+
+// MetricsRegistry returns the node's Prometheus registry, building it on
+// first use. Every series carries a node label; breaker and retry series
+// additionally carry the upstream, so a scrape of a whole chain
+// distinguishes which link is failing. Counters are read at scrape time
+// from the node's existing mutex-guarded accounting — the request path
+// pays nothing for the export.
+func (n *Node) MetricsRegistry() *metrics.Registry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.reg != nil {
+		return n.reg
+	}
+	r := metrics.NewRegistry()
+	nl := metrics.L("node", strconv.Itoa(int(n.ID)))
+	ul := metrics.L("upstream", n.Upstream)
+
+	lockedCount := func(f func() int64) func() float64 {
+		return func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(f())
+		}
+	}
+	r.CounterFunc("cascade_gw_hits_total", "Requests served from this node's cache.", lockedCount(func() int64 { return n.hits }), nl)
+	r.CounterFunc("cascade_gw_misses_total", "Requests forwarded upstream.", lockedCount(func() int64 { return n.misses }), nl)
+	r.CounterFunc("cascade_gw_inserts_total", "Copies cached by placement decisions.", lockedCount(func() int64 { return n.inserts }), nl)
+	r.CounterFunc("cascade_gw_revalidations_total", "Expired copies refreshed by a 304.", lockedCount(func() int64 { return n.revalidations }), nl)
+	r.CounterFunc("cascade_gw_retries_total", "Upstream retry attempts.", lockedCount(func() int64 { return n.retries }), nl, ul)
+	r.CounterFunc("cascade_gw_breaker_opens_total", "Times the upstream circuit breaker opened.", lockedCount(func() int64 { return n.breakerOpens }), nl, ul)
+	r.CounterFunc("cascade_gw_degraded_total", "Responses served outside the protocol (origin-direct or stale-if-error).", lockedCount(func() int64 { return n.degraded }), nl)
+
+	r.GaugeFunc("cascade_gw_breaker_state", "Upstream circuit breaker position (0=closed, 1=open, 2=half-open).", lockedCount(func() int64 { return int64(n.breaker) }), nl, ul)
+	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.store.Used() }), nl)
+	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.store.Capacity() }), nl)
+	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.store.Len()) }), nl)
+	r.GaugeFunc("cascade_gw_dcache_descriptors", "Descriptors held by the d-cache.", lockedCount(func() int64 { return int64(n.dstore.Len()) }), nl)
+
+	n.reg = r
+	return r
+}
+
+// MetricsHandler serves the node's registry in the Prometheus text
+// exposition format — mount it on an operations listener, or let the node
+// itself serve it at /cascade/metrics.
+func (n *Node) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.MetricsRegistry().WritePrometheus(w) //nolint:errcheck
+	})
+}

@@ -1,0 +1,191 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cascade/internal/reqtrace"
+)
+
+// getTraced issues a GET with the trace opt-in header set.
+func getTraced(t *testing.T, base string, obj int) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/objects/"+strconv.Itoa(obj), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderTrace, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp
+}
+
+// TestTraceHeaderBothPasses drives a 3-node chain with the debug header
+// and checks the spliced event array: up events client→origin, the
+// origin's decision, then down events origin→client — both protocol
+// passes of §2.3 visible in one response header.
+func TestTraceHeaderBothPasses(t *testing.T) {
+	base, nodes, setNow := chain(t, 3, 10000)
+
+	// A cold object misses every cache, so the trace walks the full chain
+	// up to the origin and back down.
+	setNow(0)
+	resp := getTraced(t, base, 7)
+	h := resp.Header.Get(HeaderTrace)
+	if h == "" {
+		t.Fatal("no trace header on opted-in request")
+	}
+	var events []reqtrace.Event
+	if err := json.Unmarshal([]byte(h), &events); err != nil {
+		t.Fatalf("trace header is not a JSON event array: %v\n%s", err, h)
+	}
+
+	// Phases must appear in wire order: all up, then decide, then down —
+	// unless a cache hit ended the chain early.
+	phaseOrder := map[string]int{reqtrace.PhaseUp: 0, reqtrace.PhaseDecide: 1, reqtrace.PhaseDown: 2}
+	last := 0
+	counts := map[string]int{}
+	for _, e := range events {
+		p, ok := phaseOrder[e.Phase]
+		if !ok {
+			t.Fatalf("unknown phase %q in %+v", e.Phase, e)
+		}
+		if p < last {
+			t.Fatalf("phase %q after phase order %d:\n%s", e.Phase, last, h)
+		}
+		last = p
+		counts[e.Phase]++
+	}
+	if counts[reqtrace.PhaseUp] == 0 || counts[reqtrace.PhaseDecide] != 1 || counts[reqtrace.PhaseDown] == 0 {
+		t.Fatalf("trace missing a pass (up=%d decide=%d down=%d):\n%s",
+			counts[reqtrace.PhaseUp], counts[reqtrace.PhaseDecide], counts[reqtrace.PhaseDown], h)
+	}
+	// A request served by an upstream hop must show the hops below it in
+	// both directions; with 3 nodes at least one down event is a
+	// place/update on a live node.
+	if counts[reqtrace.PhaseDown] != counts[reqtrace.PhaseUp]-1 {
+		t.Fatalf("down events %d want %d (one per traversed cache):\n%s",
+			counts[reqtrace.PhaseDown], counts[reqtrace.PhaseUp]-1, h)
+	}
+
+	// Without the opt-in header no trace is emitted.
+	plain, _ := get(t, base, 7)
+	if got := plain.Header.Get(HeaderTrace); got != "" {
+		t.Fatalf("trace header leaked without opt-in: %s", got)
+	}
+	_ = nodes
+}
+
+// TestTraceHeaderLocalHit pins the short trace of a first-cache hit: the
+// hit event and the local decision, no downstream pass.
+func TestTraceHeaderLocalHit(t *testing.T) {
+	base, nodes, setNow := chain(t, 2, 10000)
+	for i := 0; i < 5; i++ {
+		setNow(float64(10 * i))
+		get(t, base, 3)
+	}
+	if !nodes[0].Contains(3) {
+		t.Skip("object not cached at the edge under this workload")
+	}
+	setNow(60)
+	resp := getTraced(t, base, 3)
+	var events []reqtrace.Event
+	if err := json.Unmarshal([]byte(resp.Header.Get(HeaderTrace)), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Action != reqtrace.ActHit || events[1].Phase != reqtrace.PhaseDecide {
+		t.Fatalf("local-hit trace = %+v", events)
+	}
+	if events[0].Node != 0 {
+		t.Fatalf("hit attributed to node %d, want 0", events[0].Node)
+	}
+}
+
+// TestGatewayMetricsEndpoint scrapes /cascade/metrics and checks the
+// Prometheus text output carries the per-node and per-upstream series.
+func TestGatewayMetricsEndpoint(t *testing.T) {
+	base, nodes, setNow := chain(t, 2, 10000)
+	for i := 0; i < 3; i++ {
+		setNow(float64(10 * i))
+		get(t, base, 5)
+	}
+	resp, err := http.Get(base + "/cascade/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE cascade_gw_hits_total counter",
+		`cascade_gw_hits_total{node="0"}`,
+		`cascade_gw_misses_total{node="0"}`,
+		"# TYPE cascade_gw_breaker_state gauge",
+		`cascade_gw_breaker_state{node="0",upstream="`,
+		`cascade_gw_cache_used_bytes{node="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The scrape is a read-only view of the same counters /cascade/stats
+	// reports: hits+misses must equal requests issued to the edge node.
+	var st struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	}
+	sresp, err := http.Get(base + "/cascade/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	want := `cascade_gw_hits_total{node="0"} ` + strconv.FormatInt(st.Hits, 10)
+	if !strings.Contains(out, want) {
+		t.Fatalf("scrape disagrees with stats (%s):\n%s", want, out)
+	}
+	_ = nodes
+}
+
+// TestBreakerStateMetric walks the breaker through open and checks the
+// gauge tracks it.
+func TestBreakerStateMetric(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer dead.Close()
+	n := NewNode(0, dead.URL, 1, 1000, 10, func() float64 { return 0 })
+	n.MaxRetries = -1
+	n.BreakerThreshold = 1
+	n.Sleep = func(time.Duration) {}
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	get := func() { resp, _ := http.Get(srv.URL + "/objects/1"); io.Copy(io.Discard, resp.Body); resp.Body.Close() } //nolint:errcheck
+	get()
+
+	rec := httptest.NewRecorder()
+	n.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cascade/metrics", nil))
+	out := rec.Body.String()
+	if !strings.Contains(out, "cascade_gw_breaker_state{") || !strings.Contains(out, "} 1") {
+		t.Fatalf("breaker gauge did not report open:\n%s", out)
+	}
+	if !strings.Contains(out, "cascade_gw_breaker_opens_total{") {
+		t.Fatalf("missing breaker opens counter:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+
+	"cascade/internal/model"
+	"cascade/internal/reqtrace"
+)
+
+// HeaderTrace is the opt-in debug header: a client sending any value in it
+// receives, alongside the normal protocol headers, a JSON array of
+// reqtrace.Event objects describing both protocol passes across the whole
+// chain — each hop's upward record (piggyback payload or §2.4 tag), the
+// serving side's placement decision, and each hop's downward action with
+// the miss-penalty counter.
+//
+// The array is assembled without any node parsing JSON: every node wraps
+// the upstream response's array with its own pair of events,
+//
+//	[ up@this, …upstream events…, down@this ]
+//
+// so up events read client→origin, then the decision, then down events
+// origin→client — the wire order of the two passes. Gateway traces have no
+// global hop numbering (each node knows only itself), so Hop is -1 and
+// Chosen carries node IDs rather than hop indices.
+const HeaderTrace = "X-Cascade-Trace"
+
+// traceWanted reports whether the client opted into trace capture.
+func traceWanted(r *http.Request) bool { return r.Header.Get(HeaderTrace) != "" }
+
+// traceEvent renders one event as compact single-line JSON (header-safe).
+func traceEvent(e reqtrace.Event) string {
+	e.Hop = -1
+	b, err := json.Marshal(e)
+	if err != nil {
+		return `{"action":"marshal_error"}`
+	}
+	return string(b)
+}
+
+// traceDecision renders the decide-phase event for a placement decision.
+func traceDecision(node int, chosen map[model.NodeID]bool) string {
+	ids := make([]int, 0, len(chosen))
+	for id := range chosen {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	return traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDecide, Node: node, Action: reqtrace.ActDecision, Chosen: ids})
+}
+
+// spliceTrace wraps the upstream trace array with this node's up and down
+// events. A malformed or absent inner array degrades to just this node's
+// pair — a broken hop never poisons the whole trace.
+func spliceTrace(inner, upEvt, downEvt string) string {
+	inner = strings.TrimSpace(inner)
+	if strings.HasPrefix(inner, "[") && strings.HasSuffix(inner, "]") {
+		if content := strings.TrimSpace(inner[1 : len(inner)-1]); content != "" {
+			return "[" + upEvt + "," + content + "," + downEvt + "]"
+		}
+	}
+	return "[" + upEvt + "," + downEvt + "]"
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicHistogram is the concurrency-safe sibling of Histogram: the same
+// logarithmic buckets, every cell an atomic counter, so concurrent actors
+// (runtime nodes, gateway handlers) can record without locks or
+// allocation. Reads (Quantile, Snapshot) are wait-free but not atomic
+// across buckets — a scrape racing a record may be off by the in-flight
+// sample, which is the usual monitoring contract.
+type AtomicHistogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	zero    atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running value sum
+}
+
+// Record adds one value. Negative values are clamped to zero.
+func (h *AtomicHistogram) Record(v float64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.buckets[bucketOf(v)].Add(1)
+		h.addSum(v)
+		return
+	}
+	h.zero.Add(1)
+}
+
+func (h *AtomicHistogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *AtomicHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of recorded values.
+func (h *AtomicHistogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot copies the current state into a plain Histogram, on which the
+// full quantile API is available without further synchronization.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	out.zero = h.zero.Load()
+	out.count = h.count.Load()
+	var seen int64 = out.zero
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		out.buckets[i] = n
+		seen += n
+	}
+	// A record in flight may have bumped count before its bucket: clamp
+	// so Quantile's cumulative walk stays consistent.
+	if out.count > seen {
+		out.count = seen
+	}
+	return out
+}
+
+// Quantile returns an approximation of the q-quantile over the values
+// recorded so far (0 when empty).
+func (h *AtomicHistogram) Quantile(q float64) float64 {
+	snap := h.Snapshot()
+	return snap.Quantile(q)
+}

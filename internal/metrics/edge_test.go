@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZeroByteTraceNoNaN is the ByteHitRatio regression guard: a trace
+// whose requests are all zero-byte must not emit NaN into reports.
+func TestZeroByteTraceNoNaN(t *testing.T) {
+	var c Collector
+	c.Add(Sample{Latency: 0.5, Size: 0, CacheHit: true})
+	c.Add(Sample{Latency: 0.2, Size: 0})
+	s := c.Summary()
+	if math.IsNaN(s.ByteHitRatio) || s.ByteHitRatio != 0 {
+		t.Fatalf("byte hit ratio on zero-byte trace = %v, want 0", s.ByteHitRatio)
+	}
+	if math.IsNaN(s.AvgRespRatio) || s.AvgRespRatio != 0 {
+		t.Fatalf("resp ratio on zero-byte trace = %v, want 0", s.AvgRespRatio)
+	}
+}
+
+// TestRespRatioDenominator pins the fix for the denominator mismatch:
+// zero-size samples contribute no response ratio and must not dilute the
+// average of the samples that do.
+func TestRespRatioDenominator(t *testing.T) {
+	var c Collector
+	c.Add(Sample{Latency: 2, Size: 2048}) // 1 s/KB
+	c.Add(Sample{Latency: 4, Size: 2048}) // 2 s/KB
+	c.Add(Sample{Latency: 9, Size: 0})    // undefined: excluded
+	s := c.Summary()
+	if want := 1.5; math.Abs(s.AvgRespRatio-want) > 1e-12 {
+		t.Fatalf("resp ratio = %v, want %v (zero-size sample must not dilute)", s.AvgRespRatio, want)
+	}
+}
+
+// TestMergeThenSummaryEquivalence checks that merging shards and then
+// summarizing equals summarizing the whole stream, including the
+// ratio-style fields that depend on auxiliary counts.
+func TestMergeThenSummaryEquivalence(t *testing.T) {
+	mk := func(i int) Sample {
+		s := Sample{Latency: 0.01 * float64(1+i%13), Size: int64((i % 4) * 512)}
+		s.CacheHit = i%3 == 0
+		if s.CacheHit {
+			s.ReadBytes = s.Size
+		}
+		return s
+	}
+	var whole, a, b Collector
+	for i := 0; i < 400; i++ {
+		s := mk(i)
+		whole.Add(s)
+		if i%2 == 0 {
+			a.Add(s)
+		} else {
+			b.Add(s)
+		}
+	}
+	a.Merge(&b)
+	sa, sw := a.Summary(), whole.Summary()
+	close := func(x, y float64) bool { return math.Abs(x-y) <= 1e-9*math.Max(1, math.Abs(y)) }
+	if !close(sa.AvgRespRatio, sw.AvgRespRatio) || !close(sa.ByteHitRatio, sw.ByteHitRatio) ||
+		!close(sa.AvgLatency, sw.AvgLatency) || sa.Requests != sw.Requests {
+		t.Fatalf("merged summary differs:\n%+v\n%+v", sa, sw)
+	}
+	if sa.P95Latency != sw.P95Latency {
+		t.Fatalf("merged P95 %v vs %v", sa.P95Latency, sw.P95Latency)
+	}
+}
+
+// TestQuantileBoundaries exercises q∈{0,1} with and without zero-valued
+// samples. q→0 with no zeros must land on the smallest recorded value's
+// bucket, never on an empty first bucket.
+func TestQuantileBoundaries(t *testing.T) {
+	var h Histogram
+	h.Record(0.5)
+	h.Record(2.0)
+	q0 := h.Quantile(0)
+	if math.Abs(q0-0.5)/0.5 > 0.07 {
+		t.Fatalf("q=0 with no zero samples = %v, want ≈0.5 (min recorded)", q0)
+	}
+	q1 := h.Quantile(1)
+	if math.Abs(q1-2.0)/2.0 > 0.07 {
+		t.Fatalf("q=1 = %v, want ≈2.0", q1)
+	}
+
+	var hz Histogram
+	hz.Record(0)
+	hz.Record(1)
+	if got := hz.Quantile(0); got != 0 {
+		t.Fatalf("q=0 with zero samples = %v, want 0", got)
+	}
+	if got := hz.Quantile(0.5); got != 0 {
+		t.Fatalf("q=0.5 (half zeros) = %v, want 0", got)
+	}
+	if got := hz.Quantile(1); got <= 0 {
+		t.Fatalf("q=1 = %v, want positive", got)
+	}
+}

@@ -66,11 +66,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 		q = 1
 	}
 	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		// q→0 must still land on a recorded value: without the clamp a
+		// zero target would satisfy the cumulative test at the first
+		// bucket even when that bucket is empty.
+		target = 1
+	}
 	if target <= h.zero {
 		return 0
 	}
 	cum := h.zero
 	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
 		cum += n
 		if cum >= target {
 			return bucketValue(i)

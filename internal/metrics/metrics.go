@@ -31,6 +31,11 @@ type Collector struct {
 	BytesRequested int64
 	SumLatency     float64
 	SumRespRatio   float64
+	// RespRatioCount counts the samples that contributed to SumRespRatio
+	// (only Size > 0 requests have a defined latency-per-KB); dividing by
+	// Requests instead would bias the average low on traces with
+	// zero-size entries.
+	RespRatioCount int64
 	CacheHits      int64
 	CacheHitBytes  int64
 	SumByteHops    float64
@@ -58,6 +63,7 @@ func (c *Collector) Add(s Sample) {
 		// Response ratio normalized per kilobyte so the magnitudes
 		// are readable (latency per KB of payload).
 		c.SumRespRatio += s.Latency / (float64(s.Size) / 1024)
+		c.RespRatioCount++
 	}
 	if s.CacheHit {
 		c.CacheHits++
@@ -115,13 +121,21 @@ func (c *Collector) Summary() Summary {
 		return Summary{}
 	}
 	n := float64(c.Requests)
+	avgRespRatio := 0.0
+	if c.RespRatioCount > 0 {
+		avgRespRatio = c.SumRespRatio / float64(c.RespRatioCount)
+	}
+	byteHitRatio := 0.0
+	if c.BytesRequested > 0 {
+		byteHitRatio = float64(c.CacheHitBytes) / float64(c.BytesRequested)
+	}
 	return Summary{
 		Requests:       c.Requests,
 		AvgSize:        float64(c.BytesRequested) / n,
 		AvgLatency:     c.SumLatency / n,
-		AvgRespRatio:   c.SumRespRatio / n,
+		AvgRespRatio:   avgRespRatio,
 		HitRatio:       float64(c.CacheHits) / n,
-		ByteHitRatio:   float64(c.CacheHitBytes) / float64(c.BytesRequested),
+		ByteHitRatio:   byteHitRatio,
 		AvgByteHops:    c.SumByteHops / n,
 		AvgHops:        float64(c.SumHops) / n,
 		AvgReadLoad:    float64(c.ReadBytes) / n,
@@ -145,6 +159,7 @@ func (c *Collector) Merge(other *Collector) {
 	c.BytesRequested += other.BytesRequested
 	c.SumLatency += other.SumLatency
 	c.SumRespRatio += other.SumRespRatio
+	c.RespRatioCount += other.RespRatioCount
 	c.CacheHits += other.CacheHits
 	c.CacheHitBytes += other.CacheHitBytes
 	c.SumByteHops += other.SumByteHops

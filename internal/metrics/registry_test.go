@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cascade_requests_total", "Requests served.", L("node", "3"))
+	c.Add(7)
+	g := r.Gauge("cascade_inbox_depth", "Queued messages.", L("node", "3"))
+	g.Set(2)
+	r.GaugeFunc("cascade_up", "Node liveness.", func() float64 { return 1 }, L("node", "3"))
+	s := r.Summary("cascade_pass_latency_seconds", "Per-pass latency.", L("pass", "up"))
+	s.Record(0.01)
+	s.Record(0.01)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cascade_requests_total counter",
+		`cascade_requests_total{node="3"} 7`,
+		"# TYPE cascade_inbox_depth gauge",
+		`cascade_inbox_depth{node="3"} 2`,
+		`cascade_up{node="3"} 1`,
+		"# TYPE cascade_pass_latency_seconds summary",
+		`cascade_pass_latency_seconds{pass="up",quantile="0.5"}`,
+		`cascade_pass_latency_seconds_count{pass="up"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must carry exactly one TYPE line each.
+	if strings.Count(out, "# TYPE cascade_requests_total") != 1 {
+		t.Fatalf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("n", "1"))
+	b := r.Counter("x_total", "", L("n", "1"))
+	if a != b {
+		t.Fatal("duplicate registration returned a different instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+	other := r.Counter("x_total", "", L("n", "2"))
+	if other == a {
+		t.Fatal("distinct label sets must get distinct instruments")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "", L("path", `a"b\c`+"\n"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Fatalf("label not escaped: %s", b.String())
+	}
+}
+
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	var h AtomicHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(0.001 * float64(1+i%100))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	q := h.Quantile(0.5)
+	if q <= 0 || q > 0.2 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestAtomicHistogramMatchesPlain(t *testing.T) {
+	var a AtomicHistogram
+	var p Histogram
+	for i := 1; i <= 500; i++ {
+		v := float64(i) * 0.003
+		a.Record(v)
+		p.Record(v)
+	}
+	snap := a.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.95, 1} {
+		if snap.Quantile(q) != p.Quantile(q) {
+			t.Fatalf("q=%v: atomic %v vs plain %v", q, snap.Quantile(q), p.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package reqtrace captures hop-by-hop execution traces of the coordinated
+// caching protocol for individual requests. A trace records both protocol
+// passes of paper §2.3 — the request traveling up the cascade collecting
+// piggybacked (f, m, l) descriptors, and the response traveling down
+// carrying the DP placement decision and the miss-penalty counter with its
+// resets at caching points.
+//
+// Tracing is opt-in and sampled: the instrumented scheme consults a
+// Sampler before each request and pays a single nil/stride check when the
+// request is not selected, keeping the simulator's hot path
+// allocation-free. Selected requests buffer their events in memory;
+// Traces() hands the batch to a JSON encoder (cascadesim -trace-requests)
+// or a debugging test. docs/OBSERVABILITY.md documents the event schema.
+package reqtrace
+
+import "cascade/internal/model"
+
+// Phases of the protocol a trace event belongs to.
+const (
+	PhaseUp     = "up"     // request traveling client → origin
+	PhaseDecide = "decide" // DP placement decision at the serving node
+	PhaseDown   = "down"   // response traveling origin → client
+)
+
+// Actions recorded by trace events.
+const (
+	ActMiss         = "miss"          // up: cache probed, object absent
+	ActHit          = "hit"           // up: cache holds the object (serving node)
+	ActServeOrigin  = "serve_origin"  // up: no cache hit, origin serves
+	ActPiggyback    = "piggyback"     // up: node attaches its (f, m, l) descriptor
+	ActNoDescriptor = "no_descriptor" // up: §2.4 tag — node has no descriptor, excluded
+	ActExcluded     = "excluded"      // up: descriptor present but object cannot fit
+	ActDecision     = "decision"      // decide: DP output, chosen hop indices
+	ActPlace        = "place"         // down: node caches a copy, counter resets
+	ActPlaceFailed  = "place_failed"  // down: instructed to cache but insert failed
+	ActUpdate       = "update"        // down: node records the passing penalty counter
+)
+
+// Event is one protocol step of a traced request.
+type Event struct {
+	Phase string `json:"phase"`
+	// Hop is the path index (0 = the client's first cache); -1 marks the
+	// origin. Node is the cache's node ID, -1 for the origin.
+	Hop    int    `json:"hop"`
+	Node   int    `json:"node"`
+	Action string `json:"action"`
+
+	// Piggyback payload (ActPiggyback): the paper's (f, m, l) triple.
+	Freq        float64 `json:"freq,omitempty"`
+	CostLoss    float64 `json:"cost_loss,omitempty"`
+	MissPenalty float64 `json:"miss_penalty,omitempty"`
+
+	// Reset marks a downstream caching point where the miss-penalty
+	// counter restarted from zero (MissPenalty holds the value the node
+	// observed before the reset).
+	Reset bool `json:"reset,omitempty"`
+
+	// Chosen lists the DP-selected hop indices (ActDecision).
+	Chosen []int `json:"chosen,omitempty"`
+
+	// Evicted counts victims displaced by a placement (ActPlace).
+	Evicted int `json:"evicted,omitempty"`
+}
+
+// Trace is the full record of one sampled request.
+type Trace struct {
+	Seq    int64          `json:"seq"` // request ordinal in the run (0-based)
+	Time   float64        `json:"time"`
+	Object model.ObjectID `json:"object"`
+	Size   int64          `json:"size"`
+
+	// HitIndex is the serving path index (== path length for the origin);
+	// Placed lists the hop indices that took a copy.
+	HitIndex int     `json:"hit_index"`
+	Placed   []int   `json:"placed"`
+	Events   []Event `json:"events"`
+}
+
+// Add appends an event.
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Sampler selects every stride-th request for tracing, up to a cap. The
+// zero value samples nothing; methods on a nil Sampler are safe, so
+// instrumented code needs only `if tr := s.Begin(...); tr != nil` guards.
+type Sampler struct {
+	stride int64
+	max    int
+	seen   int64
+	traces []*Trace
+}
+
+// NewSampler traces every stride-th request (stride ≥ 1; 1 = every
+// request) until max traces are captured.
+func NewSampler(stride int64, max int) *Sampler {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Sampler{stride: stride, max: max}
+}
+
+// Begin registers a request and returns its trace when selected, nil
+// otherwise. Not safe for concurrent use — the simulator processes
+// requests sequentially; concurrent runtimes must shard samplers.
+func (s *Sampler) Begin(now float64, obj model.ObjectID, size int64) *Trace {
+	if s == nil || len(s.traces) >= s.max {
+		return nil
+	}
+	seq := s.seen
+	s.seen++
+	if seq%s.stride != 0 {
+		return nil
+	}
+	tr := &Trace{Seq: seq, Time: now, Object: obj, Size: size}
+	s.traces = append(s.traces, tr)
+	return tr
+}
+
+// Traces returns the captured traces in request order.
+func (s *Sampler) Traces() []*Trace {
+	if s == nil {
+		return nil
+	}
+	return s.traces
+}

@@ -22,6 +22,7 @@ type fetchMsg struct {
 	hop    int            // index of the node now processing the message
 
 	accCost float64 // cost accumulated so far (links below this node)
+	sentAt  float64 // Config.Clock() at the last enqueue (pass-latency metric)
 	pb      []pbEntry
 
 	reply chan Result
@@ -47,6 +48,7 @@ type deliverMsg struct {
 
 	chosen map[int]bool // hop indices instructed to cache
 	mp     float64      // accumulated miss-penalty counter
+	sentAt float64      // Config.Clock() at the last enqueue (pass-latency metric)
 
 	result Result
 	reply  chan Result
@@ -128,11 +130,16 @@ func (n *node) dispatch(msg any) {
 	}
 	switch m := msg.(type) {
 	case *fetchMsg:
+		n.inst().upPass.Record(n.cluster.cfg.Clock() - m.sentAt)
 		n.handleFetch(m)
 	case *deliverMsg:
+		n.inst().downPass.Record(n.cluster.cfg.Clock() - m.sentAt)
 		n.handleDeliver(m)
 	}
 }
+
+// inst returns this node's slot-owned instruments.
+func (n *node) inst() *nodeInstruments { return &n.cluster.nodeInst[n.id] }
 
 // handleFetch implements the upstream pass at this node.
 func (n *node) handleFetch(m *fetchMsg) {
@@ -188,6 +195,9 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		desc.SetMissPenalty(d.mp)
 		if evicted, ok := n.store.Insert(desc, d.now); ok {
 			d.result.Placed = append(d.result.Placed, n.id)
+			inst := n.inst()
+			inst.inserts.Inc()
+			inst.evictions.Add(int64(len(evicted)))
 			for _, v := range evicted {
 				n.dstore.Put(v, d.now)
 			}

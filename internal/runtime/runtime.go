@@ -28,6 +28,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"cascade/internal/core"
 	"cascade/internal/dcache"
 	"cascade/internal/fault"
+	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/topology"
 )
@@ -123,16 +125,33 @@ type Cluster struct {
 	mu       sync.Mutex     // guards closed and node lifecycle vs Close
 	closed   bool
 
-	requests        atomic.Int64
-	cacheHits       atomic.Int64
-	messages        atomic.Int64
-	inserts         atomic.Int64
-	overflows       atomic.Int64
-	routedAround    atomic.Int64
-	faultDrops      atomic.Int64
-	failures        atomic.Int64
-	recoveries      atomic.Int64
-	originFallbacks atomic.Int64
+	// reg exports every instrument below in the Prometheus text format
+	// (Metrics); nodeInst holds the per-node instruments, indexed by slot,
+	// so counters survive a node's crash and recovery.
+	reg      *metrics.Registry
+	nodeInst []nodeInstruments
+
+	requests        *metrics.Counter
+	cacheHits       *metrics.Counter
+	messages        *metrics.Counter
+	inserts         *metrics.Counter
+	overflows       *metrics.Counter
+	routedAround    *metrics.Counter
+	faultDrops      *metrics.Counter
+	failures        *metrics.Counter
+	recoveries      *metrics.Counter
+	originFallbacks *metrics.Counter
+}
+
+// nodeInstruments are one node's operational counters. They belong to the
+// cluster slot, not the actor, so Fail/Recover cycles keep history.
+type nodeInstruments struct {
+	overflows    *metrics.Counter
+	routedAround *metrics.Counter
+	inserts      *metrics.Counter
+	evictions    *metrics.Counter
+	upPass       *metrics.AtomicHistogram // fetch-message queue+dispatch latency
+	downPass     *metrics.AtomicHistogram // deliver-message queue+dispatch latency
 }
 
 // NewCluster starts one actor per cache node of the network.
@@ -163,6 +182,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.DCacheFactory = dcache.NewFactory
 	}
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
+	c.initMetrics()
 	for i := range c.slots {
 		n := c.newNode(model.NodeID(i))
 		c.slots[i].Store(n)
@@ -171,6 +191,62 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// initMetrics registers every cluster and per-node instrument. Called once
+// before any actor starts, so the hot path only ever touches live atomic
+// cells.
+func (c *Cluster) initMetrics() {
+	c.reg = metrics.NewRegistry()
+	c.requests = c.reg.Counter("cascade_cluster_requests_total", "Gets issued against the cluster.")
+	c.cacheHits = c.reg.Counter("cascade_cluster_cache_hits_total", "Requests served by some cache (not the origin).")
+	c.messages = c.reg.Counter("cascade_cluster_messages_total", "Protocol messages enqueued between actors.")
+	c.inserts = c.reg.Counter("cascade_cluster_inserts_total", "Object copies written by downstream passes.")
+	c.overflows = c.reg.Counter("cascade_cluster_overflows_total", "Messages absorbed by overflow queues.")
+	c.routedAround = c.reg.Counter("cascade_cluster_routed_around_total", "Hops skipped because the node was down or saturated.")
+	c.faultDrops = c.reg.Counter("cascade_cluster_fault_drops_total", "Messages lost by the fault injector.")
+	c.failures = c.reg.Counter("cascade_cluster_failures_total", "Node crashes (Fail or injected).")
+	c.recoveries = c.reg.Counter("cascade_cluster_recoveries_total", "Node restarts.")
+	c.originFallbacks = c.reg.Counter("cascade_cluster_origin_fallbacks_total", "Degraded Gets served origin-direct.")
+
+	c.nodeInst = make([]nodeInstruments, len(c.slots))
+	for i := range c.nodeInst {
+		i := i
+		nl := metrics.L("node", strconv.Itoa(i))
+		c.nodeInst[i] = nodeInstruments{
+			overflows:    c.reg.Counter("cascade_node_overflows_total", "Messages absorbed by this node's overflow queue.", nl),
+			routedAround: c.reg.Counter("cascade_node_routed_around_total", "Times this node was skipped because it was down or saturated.", nl),
+			inserts:      c.reg.Counter("cascade_node_inserts_total", "Object copies this node inserted.", nl),
+			evictions:    c.reg.Counter("cascade_node_evictions_total", "Objects this node evicted to make room.", nl),
+			upPass:       c.reg.Summary("cascade_node_pass_latency_seconds", "Enqueue-to-dispatch latency of protocol messages at this node.", nl, metrics.L("pass", "up")),
+			downPass:     c.reg.Summary("cascade_node_pass_latency_seconds", "Enqueue-to-dispatch latency of protocol messages at this node.", nl, metrics.L("pass", "down")),
+		}
+		c.reg.GaugeFunc("cascade_node_inbox_depth", "Messages queued in this node's inbox.", func() float64 {
+			if n := c.node(model.NodeID(i)); n != nil {
+				return float64(len(n.inbox))
+			}
+			return 0
+		}, nl)
+		c.reg.GaugeFunc("cascade_node_overflow_depth", "Messages spilled to this node's overflow queue.", func() float64 {
+			if n := c.node(model.NodeID(i)); n != nil {
+				n.ovmu.Lock()
+				d := len(n.overflow)
+				n.ovmu.Unlock()
+				return float64(d)
+			}
+			return 0
+		}, nl)
+		c.reg.GaugeFunc("cascade_node_up", "1 while the node's actor is alive.", func() float64 {
+			if c.aliveNode(model.NodeID(i)) {
+				return 1
+			}
+			return 0
+		}, nl)
+	}
+}
+
+// Metrics returns the cluster's metrics registry, ready to be served with
+// WritePrometheus (see docs/OBSERVABILITY.md for the series).
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
 // newNode builds a fresh (empty) actor for a slot.
 func (c *Cluster) newNode(id model.NodeID) *node {
@@ -305,6 +381,11 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 	route, cut := full.Compact(c.aliveNode)
 	if cut.Skipped > 0 {
 		c.routedAround.Add(int64(cut.Skipped))
+		for _, id := range full.Caches {
+			if !c.aliveNode(id) {
+				c.nodeInst[id].routedAround.Inc()
+			}
+		}
 	}
 	if len(route.Caches) == 0 {
 		// Every cache on the path is down: degrade immediately.
@@ -405,6 +486,7 @@ func (c *Cluster) enqueue(n *node, msg any) bool {
 	n.ovmu.Unlock()
 	c.messages.Add(1)
 	c.overflows.Add(1)
+	c.nodeInst[n.id].overflows.Inc()
 	select {
 	case n.notify <- struct{}{}:
 	default:
@@ -421,10 +503,12 @@ func (c *Cluster) enqueue(n *node, msg any) bool {
 // right here at the sender.
 func (c *Cluster) sendFetchUp(m *fetchMsg) {
 	for m.hop < len(m.route) {
+		m.sentAt = c.cfg.Clock()
 		if c.sendTo(m.route[m.hop], m) {
 			return
 		}
 		c.routedAround.Add(1)
+		c.nodeInst[m.route[m.hop]].routedAround.Inc()
 		m.accCost += m.upCost[m.hop]
 		m.hop++
 	}
@@ -442,10 +526,12 @@ func (c *Cluster) sendFetchUp(m *fetchMsg) {
 // every remaining hop is unreachable the reply is finished directly.
 func (c *Cluster) sendDeliverDown(d *deliverMsg) {
 	for d.hop >= 0 {
+		d.sentAt = c.cfg.Clock()
 		if c.sendTo(d.route[d.hop], d) {
 			return
 		}
 		c.routedAround.Add(1)
+		c.nodeInst[d.route[d.hop]].routedAround.Inc()
 		d.mp += d.upCost[d.hop]
 		d.hop--
 	}
@@ -510,17 +596,76 @@ func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.N
 // Stats returns a snapshot of the cluster-wide counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Requests:        c.requests.Load(),
-		CacheHits:       c.cacheHits.Load(),
-		Messages:        c.messages.Load(),
-		Inserts:         c.inserts.Load(),
-		Overflows:       c.overflows.Load(),
-		RoutedAround:    c.routedAround.Load(),
-		FaultDrops:      c.faultDrops.Load(),
-		Failures:        c.failures.Load(),
-		Recoveries:      c.recoveries.Load(),
-		OriginFallbacks: c.originFallbacks.Load(),
+		Requests:        c.requests.Value(),
+		CacheHits:       c.cacheHits.Value(),
+		Messages:        c.messages.Value(),
+		Inserts:         c.inserts.Value(),
+		Overflows:       c.overflows.Value(),
+		RoutedAround:    c.routedAround.Value(),
+		FaultDrops:      c.faultDrops.Value(),
+		Failures:        c.failures.Value(),
+		Recoveries:      c.recoveries.Value(),
+		OriginFallbacks: c.originFallbacks.Value(),
 	}
+}
+
+// NodeMetrics is one node's operational accounting, readable at any time.
+type NodeMetrics struct {
+	Node model.NodeID
+	Up   bool
+
+	InboxDepth    int // messages queued in the inbox right now
+	OverflowDepth int // messages spilled to the overflow queue right now
+
+	Overflows    int64 // messages this node absorbed past its inbox
+	RoutedAround int64 // times requests skipped this node (down/saturated)
+	Inserts      int64 // copies this node inserted
+	Evictions    int64 // victims this node evicted to make room
+
+	// Enqueue-to-dispatch latency of the two protocol passes at this
+	// node (seconds, under Config.Clock).
+	UpPassCount   int64
+	UpPassP50     float64
+	UpPassP99     float64
+	DownPassCount int64
+	DownPassP50   float64
+	DownPassP99   float64
+}
+
+// ClusterMetrics pairs the cluster-wide counters with per-node detail.
+type ClusterMetrics struct {
+	Stats Stats
+	Nodes []NodeMetrics
+}
+
+// MetricsSnapshot captures the cluster-wide counters and every node's
+// operational metrics. It is safe to call concurrently with Gets, Fail and
+// Recover; queue depths are instantaneous reads.
+func (c *Cluster) MetricsSnapshot() ClusterMetrics {
+	out := ClusterMetrics{Stats: c.Stats(), Nodes: make([]NodeMetrics, len(c.slots))}
+	for i := range c.slots {
+		inst := &c.nodeInst[i]
+		nm := NodeMetrics{
+			Node:         model.NodeID(i),
+			Overflows:    inst.overflows.Value(),
+			RoutedAround: inst.routedAround.Value(),
+			Inserts:      inst.inserts.Value(),
+			Evictions:    inst.evictions.Value(),
+		}
+		up := inst.upPass.Snapshot()
+		nm.UpPassCount, nm.UpPassP50, nm.UpPassP99 = up.Count(), up.Quantile(0.5), up.Quantile(0.99)
+		down := inst.downPass.Snapshot()
+		nm.DownPassCount, nm.DownPassP50, nm.DownPassP99 = down.Count(), down.Quantile(0.5), down.Quantile(0.99)
+		if n := c.slots[i].Load(); n != nil && !n.down.Load() {
+			nm.Up = true
+			nm.InboxDepth = len(n.inbox)
+			n.ovmu.Lock()
+			nm.OverflowDepth = len(n.overflow)
+			n.ovmu.Unlock()
+		}
+		out.Nodes[i] = nm
+	}
+	return out
 }
 
 // finish delivers a request's reply. The channel is buffered, so a Get

@@ -6,6 +6,7 @@ import (
 	"cascade/internal/dcache"
 	"cascade/internal/freq"
 	"cascade/internal/model"
+	"cascade/internal/reqtrace"
 )
 
 // Coordinated is the paper's proposed scheme (§2.3): object placement and
@@ -60,6 +61,11 @@ type Coordinated struct {
 
 	// pool recycles descriptors evicted by the d-caches.
 	pool descPool
+
+	// tracer, when set, samples requests for hop-by-hop protocol traces.
+	// Unsampled requests pay one nil/stride check, so the hot path stays
+	// allocation-free.
+	tracer *reqtrace.Sampler
 }
 
 // NewCoordinated returns an unconfigured coordinated scheme with monotone
@@ -85,6 +91,10 @@ func (s *Coordinated) SetWindowK(k int) { s.windowK = k }
 // before Configure.
 func (s *Coordinated) SetDCacheFactory(f dcache.Factory) { s.dfac = f }
 
+// SetTracer attaches a request-trace sampler (nil disables tracing, the
+// default). Call before processing requests.
+func (s *Coordinated) SetTracer(t *reqtrace.Sampler) { s.tracer = t }
+
 // Name implements Scheme.
 func (s *Coordinated) Name() string { return "COORD" }
 
@@ -101,6 +111,8 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 
 // Process implements Scheme.
 func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
+	tr := s.tracer.Begin(now, obj, size)
+
 	// ---- Upstream pass -------------------------------------------------
 	hit := path.OriginIndex()
 	for i := range path.Nodes {
@@ -113,6 +125,16 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 		// The request is observed passing through: refresh the
 		// d-cache descriptor's access history (if the node has one).
 		s.dcaches[n].RecordAccess(obj, now)
+		if tr != nil {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActMiss})
+		}
+	}
+	if tr != nil {
+		if hit < path.OriginIndex() {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hit, Node: int(path.Nodes[hit]), Action: reqtrace.ActHit})
+		} else {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hit, Node: -1, Action: reqtrace.ActServeOrigin})
+		}
 	}
 
 	// ---- Placement decision at the serving node ------------------------
@@ -123,22 +145,38 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	s.cand = s.cand[:0]
 	s.index = s.index[:0]
 	var piggyback int64
+	pbMark := 0
+	if tr != nil {
+		pbMark = len(tr.Events)
+	}
 	m := 0.0 // accumulated miss penalty from the serving node downward
 	for i := hit - 1; i >= 0; i-- {
 		m += path.UpCost[i]
 		n := path.Nodes[i]
 		desc := s.dcaches[n].Get(obj)
 		if desc == nil {
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActNoDescriptor})
+			}
 			continue // "no descriptor" tag: excluded from candidates
 		}
 		piggyback += descriptorWireBytes
 		loss, ok := s.caches[n].CostLoss(size, now)
 		if !ok {
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActExcluded, MissPenalty: m})
+			}
 			continue // object cannot fit in this cache
 		}
 		f := desc.Freq(now)
 		if s.theorem2Prune && f*m < loss {
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActExcluded, Freq: f, CostLoss: loss, MissPenalty: m})
+			}
 			continue // Theorem 2: never part of an optimal placement
+		}
+		if tr != nil {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActPiggyback, Freq: f, CostLoss: loss, MissPenalty: m})
 		}
 		s.cand = append(s.cand, core.Node{
 			Freq:        f,
@@ -147,12 +185,34 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 		})
 		s.index = append(s.index, i)
 	}
+	if tr != nil {
+		// The candidate scan runs serving-node→client for the DP's penalty
+		// accumulation, but the descriptors physically attach client→origin
+		// during the upward pass: reverse so the trace reads in wire order.
+		evs := tr.Events[pbMark:]
+		for l, r := 0, len(evs)-1; l < r; l, r = l+1, r-1 {
+			evs[l], evs[r] = evs[r], evs[l]
+		}
+	}
 	problem := s.cand
 	if s.clampMonotone {
 		problem = s.opt.ClampMonotone(problem)
 	}
 	placement := s.opt.Optimize(problem)
 	piggyback += int64(len(placement.Indices)) * 4 // placement instructions on the response
+	if tr != nil {
+		chosen := make([]int, len(placement.Indices))
+		// placement.Indices ascend over s.cand, which was filled with
+		// descending path indices — reverse into ascending hop order.
+		for k, v := range placement.Indices {
+			chosen[len(chosen)-1-k] = s.index[v]
+		}
+		servNode := -1
+		if hit < path.OriginIndex() {
+			servNode = int(path.Nodes[hit])
+		}
+		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDecide, Hop: hit, Node: servNode, Action: reqtrace.ActDecision, Chosen: chosen})
+	}
 
 	// ---- Downstream pass ------------------------------------------------
 	// placement.Indices are ascending positions into s.cand, and s.cand was
@@ -178,11 +238,17 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			evicted, ok := s.caches[n].Insert(desc, now)
 			if !ok {
 				s.dcaches[n].Put(desc, now)
+				if tr != nil {
+					tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActPlaceFailed, MissPenalty: mp})
+				}
 				continue
 			}
 			placed = append(placed, i)
 			for _, v := range evicted {
 				s.dcaches[n].Put(v, now)
+			}
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActPlace, MissPenalty: mp, Reset: true, Evicted: len(evicted)})
 			}
 			mp = 0 // a fresh copy now sits here
 			continue
@@ -198,8 +264,15 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			desc.SetMissPenalty(mp)
 			dc.Put(desc, now)
 		}
+		if tr != nil {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActUpdate, MissPenalty: mp})
+		}
 	}
 	s.placed = placed
+	if tr != nil {
+		tr.HitIndex = hit
+		tr.Placed = append([]int(nil), placed...)
+	}
 	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback}
 }
 

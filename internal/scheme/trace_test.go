@@ -1,0 +1,140 @@
+package scheme
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cascade/internal/model"
+	"cascade/internal/reqtrace"
+)
+
+// TestCoordinatedTraceBothPasses drives the coordinated scheme with a
+// tracer attached and checks that a sampled request records the full
+// protocol round trip: the upward pass with its piggybacked (f, m, l)
+// descriptors and the downward pass with the DP decision, placements and
+// miss-penalty counter resets.
+func TestCoordinatedTraceBothPasses(t *testing.T) {
+	s := NewCoordinated()
+	s.Configure(Uniform([]model.NodeID{0, 1, 2, 3}, 1000, 10))
+	sampler := reqtrace.NewSampler(1, 100)
+	s.SetTracer(sampler)
+	p := testPath()
+
+	// First sighting creates descriptors; repeat sightings build frequency
+	// until the DP places a copy.
+	var placedSeq int64 = -1
+	for i := 0; i < 6; i++ {
+		out := s.Process(float64(10*i), 42, 100, p)
+		if len(out.Placed) > 0 && placedSeq < 0 {
+			placedSeq = int64(i)
+		}
+	}
+	if placedSeq < 0 {
+		t.Fatal("no request placed a copy; test premise broken")
+	}
+
+	traces := sampler.Traces()
+	if len(traces) != 6 {
+		t.Fatalf("sampled %d traces, want 6", len(traces))
+	}
+
+	// The first request finds no descriptors anywhere: every hop carries
+	// the §2.4 "no descriptor" tag and the origin serves.
+	first := traces[0]
+	counts := map[string]int{}
+	for _, e := range first.Events {
+		counts[e.Phase+"/"+e.Action]++
+	}
+	if counts[reqtrace.PhaseUp+"/"+reqtrace.ActServeOrigin] != 1 {
+		t.Fatalf("first request not origin-served: %v", counts)
+	}
+	if counts[reqtrace.PhaseUp+"/"+reqtrace.ActNoDescriptor] != len(p.Nodes) {
+		t.Fatalf("first request descriptor tags: %v", counts)
+	}
+
+	// The placing request must show both passes: piggybacked candidates on
+	// the way up, a decision, and a place event with a counter reset on
+	// the way down.
+	tr := traces[placedSeq]
+	var sawPiggyback, sawDecision, sawPlace, sawDown bool
+	var lastUp = -1
+	for i, e := range tr.Events {
+		switch {
+		case e.Phase == reqtrace.PhaseUp && e.Action == reqtrace.ActPiggyback:
+			sawPiggyback = true
+			if e.Freq <= 0 || e.MissPenalty <= 0 {
+				t.Fatalf("piggyback event missing (f, m): %+v", e)
+			}
+			lastUp = i
+		case e.Phase == reqtrace.PhaseDecide:
+			sawDecision = true
+			if len(e.Chosen) == 0 {
+				t.Fatalf("decision chose nothing on the placing request: %+v", e)
+			}
+			if i < lastUp {
+				t.Fatal("decision recorded before the upward pass finished")
+			}
+		case e.Phase == reqtrace.PhaseDown:
+			sawDown = true
+			if !sawDecision {
+				t.Fatal("downward event before the decision")
+			}
+			if e.Action == reqtrace.ActPlace {
+				sawPlace = true
+				if !e.Reset {
+					t.Fatalf("placement did not reset the penalty counter: %+v", e)
+				}
+			}
+		}
+	}
+	if !sawPiggyback || !sawDecision || !sawPlace || !sawDown {
+		t.Fatalf("trace missing protocol steps (pb=%v dec=%v place=%v down=%v):\n%+v",
+			sawPiggyback, sawDecision, sawPlace, sawDown, tr.Events)
+	}
+	if tr.HitIndex != p.OriginIndex() && tr.HitIndex >= len(p.Nodes) {
+		t.Fatalf("hit index %d out of range", tr.HitIndex)
+	}
+	if len(tr.Placed) == 0 {
+		t.Fatalf("trace lost the placement set: %+v", tr)
+	}
+
+	// Traces are the JSON surface of cascadesim -trace-requests: they must
+	// round-trip.
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back reqtrace.Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != tr.Seq || len(back.Events) != len(tr.Events) {
+		t.Fatalf("JSON round trip lost events: %d vs %d", len(back.Events), len(tr.Events))
+	}
+}
+
+// TestCoordinatedTracerDisabled pins the opt-in contract: without a
+// tracer (or with an exhausted sampler) Process records nothing and the
+// decision stream is byte-identical to an untraced scheme.
+func TestCoordinatedTracerDisabled(t *testing.T) {
+	a := NewCoordinated()
+	a.Configure(Uniform([]model.NodeID{0, 1, 2, 3}, 1000, 10))
+	b := NewCoordinated()
+	b.Configure(Uniform([]model.NodeID{0, 1, 2, 3}, 1000, 10))
+	b.SetTracer(reqtrace.NewSampler(1, 3))
+	p := testPath()
+	for i := 0; i < 10; i++ {
+		oa := a.Process(float64(i), model.ObjectID(i%4), 100, p)
+		ob := b.Process(float64(i), model.ObjectID(i%4), 100, p)
+		if oa.HitIndex != ob.HitIndex || !equalInts(oa.Placed, ob.Placed) {
+			t.Fatalf("request %d: tracing changed the decision: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if got := len(b.tracer.Traces()); got != 3 {
+		t.Fatalf("sampler cap ignored: %d traces", got)
+	}
+	var nilSampler *reqtrace.Sampler
+	if tr := nilSampler.Begin(0, 1, 1); tr != nil {
+		t.Fatal("nil sampler sampled a request")
+	}
+}
