@@ -12,9 +12,22 @@ GO ?= go
 BENCH_TIME ?= 1s
 BENCH_OUT  ?= bench_latest.txt
 
-.PHONY: check vet build test race observe bench bench-check
+.PHONY: check vet lint build test race observe conformance bench bench-check
 
-check: vet build race observe bench-check
+check: vet lint build race observe conformance bench-check
+
+# Import guard: the protocol incarnations (scheme, sim, runtime, httpgw)
+# must reach the placement optimizer only through internal/engine, never by
+# importing internal/core directly (driver: cmd/importguard).
+lint:
+	$(GO) run ./cmd/importguard
+
+# Cross-incarnation conformance: the same trace replayed through the
+# simulator scheme, the actor cluster and a live HTTP gateway chain must
+# agree on every request's serving node and placement set, under the race
+# detector (suite: internal/conformance).
+conformance:
+	$(GO) test -race -count=1 ./internal/conformance/
 
 # Observability smoke: boot a real origin → gateway chain, scrape the
 # Prometheus endpoints, round-trip the X-Cascade-Trace debug header

@@ -14,6 +14,9 @@
 //
 //   - The placement optimizer (OptimizePlacement): the paper's
 //     k-optimization dynamic program over (f_i, m_i, l_i) path profiles.
+//   - The protocol engine (EngineState, EngineCandidate, DecidePlacement):
+//     the transport-agnostic per-node protocol steps every incarnation —
+//     replay scheme, actor cluster, HTTP gateway — delegates to.
 //   - Caching schemes (NewCoordinated, NewLRU, NewModulo, NewLNCR, plus
 //     LFU/GDS extras): complete per-node cache management algorithms
 //     implementing the Scheme interface.
@@ -47,6 +50,7 @@ import (
 	"cascade/internal/coherency"
 	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/experiment"
 	"cascade/internal/fault"
 	"cascade/internal/httpgw"
@@ -97,6 +101,43 @@ func OptimizePlacement(path []PathNode) Placement { return core.Optimize(path) }
 
 // PlacementGain evaluates the Δcost objective for an arbitrary placement.
 func PlacementGain(path []PathNode, indices []int) float64 { return core.Gain(path, indices) }
+
+// Protocol engine (paper §2.2–2.4): the per-node protocol steps shared by
+// all three incarnations. Building a new transport means carrying
+// EngineCandidate records up, calling DecidePlacement at the serving node,
+// and walking EngineState.DownStep back down — see docs/PROTOCOL.md.
+type (
+	// EngineState is one node's protocol state: main cache plus d-cache,
+	// with the per-node steps (Lookup, UpMiss, DownStep) as methods.
+	EngineState = engine.NodeState
+	// EngineCandidate is one hop's piggybacked record on the upstream
+	// pass: the (f, l, link) triple, or a §2.4 tag.
+	EngineCandidate = engine.Candidate
+	// EngineTag classifies a hop record (candidate, no-descriptor tag,
+	// cannot-fit).
+	EngineTag = engine.Tag
+	// EngineDecideOptions toggles the monotone frequency clamp and the
+	// Theorem-2 prune of the placement decision.
+	EngineDecideOptions = engine.DecideOptions
+	// EngineServePoint locates the serving node for a placement decision.
+	EngineServePoint = engine.ServePoint
+	// EngineDownResult reports one hop's downstream-pass outcome.
+	EngineDownResult = engine.DownResult
+)
+
+// Engine hop-record tags.
+const (
+	EngineTagCandidate    = engine.TagCandidate
+	EngineTagNoDescriptor = engine.TagNoDescriptor
+	EngineTagCannotFit    = engine.TagCannotFit
+)
+
+// DecidePlacement runs the serving node's placement decision (the §2.2 DP
+// over piggybacked candidates, in wire order) and returns the chosen hop
+// indices, ascending.
+func DecidePlacement(cands []EngineCandidate, opts EngineDecideOptions, at EngineServePoint) []int {
+	return engine.Decide(cands, opts, at, nil)
+}
 
 // Caching schemes (paper §2.3 and §3.3).
 type (

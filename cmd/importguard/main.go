@@ -1,0 +1,76 @@
+// Command importguard enforces the engine boundary of the multi-incarnation
+// refactor: the protocol incarnations (the replay schemes, the actor
+// cluster and the HTTP gateway) must reach the placement optimizer only
+// through internal/engine — never by importing internal/core directly. A
+// direct import means transport code is re-deriving protocol steps instead
+// of delegating to the shared engine, exactly the drift the engine
+// extraction removed.
+//
+// Run via `make lint` (part of `make check`). Exit status 1 and one line
+// per offending file on violation.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// guarded are the incarnation packages; forbidden is the import only
+// internal/engine (and the public facade) may use.
+var (
+	guarded = []string{
+		"internal/scheme",
+		"internal/sim",
+		"internal/runtime",
+		"internal/httpgw",
+	}
+	forbidden = "cascade/internal/core"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations := 0
+	for _, pkg := range guarded {
+		dir := filepath.Join(root, filepath.FromSlash(pkg))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "importguard: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			// Test files may reach into core to cross-check the DP against
+			// brute force; only shipped code is guarded.
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "importguard: %v\n", err)
+				os.Exit(2)
+			}
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == forbidden {
+					fmt.Fprintf(os.Stderr, "importguard: %s imports %s directly; go through cascade/internal/engine\n", path, forbidden)
+					violations++
+				}
+			}
+		}
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}

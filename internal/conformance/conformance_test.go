@@ -1,0 +1,316 @@
+// Package conformance cross-validates the three incarnations of the
+// coordinated caching protocol — the trace-replay simulator scheme
+// (internal/scheme driven by internal/sim), the message-passing actor
+// cluster (internal/runtime) and the HTTP gateway chain (internal/httpgw) —
+// against each other. All three are thin transport adapters over
+// internal/engine; replaying the same request sequence through each must
+// yield the same serving node and the same placement set for every single
+// request.
+//
+// The workload uses uniform object sizes so the three cost conventions
+// coincide exactly: the simulator scales link delays by size/avgSize
+// (scale 1), the cluster by size/AvgObjectSize (scale 1), and the gateway
+// uses per-node static link costs.
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cascade/internal/httpgw"
+	"cascade/internal/model"
+	"cascade/internal/runtime"
+	"cascade/internal/scheme"
+	"cascade/internal/sim"
+	"cascade/internal/topology"
+	"cascade/internal/trace"
+)
+
+// chainNet is a single linear cascade: every client attaches at cache 0,
+// the origin sits past the last cache. It is the topology an HTTP gateway
+// chain physically realizes, so all three incarnations can share it.
+type chainNet struct {
+	route topology.Route
+}
+
+func newChainNet(upCost []float64, originLink bool) *chainNet {
+	caches := make([]model.NodeID, len(upCost))
+	for i := range caches {
+		caches[i] = model.NodeID(i)
+	}
+	return &chainNet{route: topology.Route{Caches: caches, UpCost: upCost, OriginLink: originLink}}
+}
+
+func (n *chainNet) NumCaches() int                         { return len(n.route.Caches) }
+func (n *chainNet) ClientAttachPoints() []model.NodeID     { return n.route.Caches[:1] }
+func (n *chainNet) ServerAttachPoints() []model.NodeID     { return []model.NodeID{model.NoNode} }
+func (n *chainNet) Route(_, _ model.NodeID) topology.Route { return n.route }
+
+// recorder wraps the coordinated scheme so the simulator incarnation
+// exposes each request's raw Outcome (sim.Process reports aggregated
+// samples only).
+type recorder struct {
+	inner *scheme.Coordinated
+	last  scheme.Outcome
+}
+
+func (r *recorder) Name() string                                   { return r.inner.Name() }
+func (r *recorder) Configure(b map[model.NodeID]scheme.NodeBudget) { r.inner.Configure(b) }
+
+func (r *recorder) Process(now float64, obj model.ObjectID, size int64, path scheme.Path) scheme.Outcome {
+	out := r.inner.Process(now, obj, size, path)
+	// Placed aliases the scheme's scratch; copy so the caller may compare
+	// after the fact.
+	out.Placed = append([]int(nil), out.Placed...)
+	r.last = out
+	return out
+}
+
+// logicalClock injects deterministic, race-safe time into the cluster and
+// every gateway node.
+type logicalClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+func (c *logicalClock) Set(t float64) { c.mu.Lock(); c.now = t; c.mu.Unlock() }
+func (c *logicalClock) Now() float64  { c.mu.Lock(); defer c.mu.Unlock(); return c.now }
+
+// gatewayChain builds origin ← node(L-1) ← … ← node0 over httptest servers
+// and returns node0's base URL.
+func gatewayChain(t *testing.T, upCost []float64, capacity int64, dEntries int, objSize int, clock func() float64) string {
+	t.Helper()
+	origin := httptest.NewServer(&httpgw.Origin{Size: func(model.ObjectID) int { return objSize }})
+	t.Cleanup(origin.Close)
+	upstream := origin.URL
+	for i := len(upCost) - 1; i >= 0; i-- {
+		n := httpgw.NewNode(model.NodeID(i), upstream, upCost[i], capacity, dEntries, clock)
+		srv := httptest.NewServer(n)
+		t.Cleanup(srv.Close)
+		upstream = srv.URL
+	}
+	return upstream
+}
+
+// gatewayGet issues one request to the chain and returns the serving node
+// (model.NoNode for the origin) and the sorted placement set.
+func gatewayGet(t *testing.T, client *http.Client, base string, obj model.ObjectID) (model.NodeID, []model.NodeID) {
+	t.Helper()
+	resp, err := client.Get(base + "/objects/" + strconv.Itoa(int(obj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("object %d: status %d", obj, resp.StatusCode)
+	}
+	served := model.NoNode
+	if h := resp.Header.Get(httpgw.HeaderHit); h != "origin" {
+		id, err := strconv.Atoi(h)
+		if err != nil {
+			t.Fatalf("object %d: bad %s header %q", obj, httpgw.HeaderHit, h)
+		}
+		served = model.NodeID(id)
+	}
+	var placed []model.NodeID
+	for _, p := range strings.Split(resp.Header.Get(httpgw.HeaderPlace), ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			t.Fatalf("object %d: bad %s header %q", obj, httpgw.HeaderPlace, resp.Header.Get(httpgw.HeaderPlace))
+		}
+		placed = append(placed, model.NodeID(id))
+	}
+	return served, placed
+}
+
+func sortNodes(ns []model.NodeID) []model.NodeID {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+func nodesEqual(a, b []model.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestThreeIncarnationsAgree replays one trace through all three
+// incarnations in lockstep and requires, per request, identical serving
+// nodes and identical placement sets. Run under -race (make conformance):
+// the cluster's actors and the gateway's HTTP handlers execute on their own
+// goroutines even for a serial request stream.
+func TestThreeIncarnationsAgree(t *testing.T) {
+	cases := []struct {
+		name       string
+		upCost     []float64
+		originLink bool
+		rel        float64
+	}{
+		// Hierarchical cascade: the root–origin link is real.
+		{name: "hierarchy", upCost: []float64{1, 2, 4, 8}, originLink: true, rel: 0.02},
+		// En-route cascade: the origin co-locates with the top cache.
+		{name: "enroute", upCost: []float64{1, 3, 0}, originLink: false, rel: 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const objSize = 1000 // uniform: all cost scalings collapse to 1
+			gen := trace.NewGenerator(trace.Config{
+				Objects:  300,
+				Servers:  8,
+				Clients:  30,
+				Requests: 4000,
+				Duration: 7200,
+				MinSize:  objSize,
+				MaxSize:  objSize,
+				Seed:     41,
+			})
+			cat := gen.Catalog()
+			avg := cat.AvgSize()
+			if avg != objSize {
+				t.Fatalf("catalog not uniform: avg size %v", avg)
+			}
+			net := newChainNet(tc.upCost, tc.originLink)
+			route := net.Route(0, model.NoNode)
+
+			// Replicate sim.New's budget math so the cluster and the
+			// gateway get byte-identical capacities.
+			capacity := int64(tc.rel * float64(cat.TotalBytes))
+			dEntries := int(3 * float64(capacity) / avg)
+
+			// Incarnation 1: the replay simulator.
+			rec := &recorder{inner: scheme.NewCoordinated()}
+			simr, err := sim.New(sim.Config{
+				Scheme: rec, Network: net, Catalog: cat,
+				RelativeCacheSize: tc.rel, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incarnation 2: the actor cluster.
+			clk := &logicalClock{}
+			cluster, err := runtime.NewCluster(runtime.Config{
+				Network:       net,
+				CacheBytes:    capacity,
+				DCacheEntries: dEntries,
+				AvgObjectSize: avg,
+				Clock:         clk.Now,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+
+			// Incarnation 3: the HTTP gateway chain.
+			base := gatewayChain(t, tc.upCost, capacity, dEntries, objSize, clk.Now)
+			client := &http.Client{}
+
+			ctx := context.Background()
+			hits := 0
+			for i := 0; ; i++ {
+				req, ok := gen.Next()
+				if !ok {
+					break
+				}
+				clk.Set(req.Time)
+
+				simr.Process(req)
+				simOut := rec.last
+				simServed := model.NoNode
+				if simOut.HitIndex < len(route.Caches) {
+					simServed = route.Caches[simOut.HitIndex]
+					hits++
+				}
+				simPlaced := make([]model.NodeID, 0, len(simOut.Placed))
+				for _, idx := range simOut.Placed {
+					simPlaced = append(simPlaced, route.Caches[idx])
+				}
+				sortNodes(simPlaced)
+
+				clRes, err := cluster.Get(ctx, 0, model.NoNode, req.Object, req.Size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clPlaced := sortNodes(append([]model.NodeID(nil), clRes.Placed...))
+
+				gwServed, gwPlaced := gatewayGet(t, client, base, req.Object)
+				sortNodes(gwPlaced)
+
+				if clRes.ServedBy != simServed || gwServed != simServed {
+					t.Fatalf("request %d (obj %d): served by sim=%d cluster=%d gateway=%d",
+						i, req.Object, simServed, clRes.ServedBy, gwServed)
+				}
+				if !nodesEqual(clPlaced, simPlaced) || !nodesEqual(gwPlaced, simPlaced) {
+					t.Fatalf("request %d (obj %d): placed sim=%v cluster=%v gateway=%v",
+						i, req.Object, simPlaced, clPlaced, gwPlaced)
+				}
+			}
+			if hits == 0 {
+				t.Fatal("conformance trace produced no cache hits; workload too cold to be meaningful")
+			}
+			t.Logf("%s: %d requests agreed across all three incarnations (%d cache hits)",
+				tc.name, gen.Len(), hits)
+		})
+	}
+}
+
+// TestPlacementHeaderSortedOnWire verifies the determinism fix end-to-end:
+// on live traffic through a real chain, every X-Cascade-Place header lists
+// node IDs in strictly ascending order (the encoding once depended on map
+// iteration order, which made byte-level replay comparison impossible).
+func TestPlacementHeaderSortedOnWire(t *testing.T) {
+	const objSize = 500
+	clk := &logicalClock{}
+	base := gatewayChain(t, []float64{1, 2, 4, 8}, 8*objSize, 64, objSize, clk.Now)
+	client := &http.Client{}
+
+	nonEmpty := 0
+	for i := 0; i < 400; i++ {
+		clk.Set(float64(i))
+		resp, err := client.Get(fmt.Sprintf("%s/objects/%d", base, i%40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		h := resp.Header.Get(httpgw.HeaderPlace)
+		if h == "" {
+			continue
+		}
+		nonEmpty++
+		prev := -1
+		for _, p := range strings.Split(h, ",") {
+			id, err := strconv.Atoi(p)
+			if err != nil {
+				t.Fatalf("request %d: malformed placement header %q", i, h)
+			}
+			if id <= prev {
+				t.Fatalf("request %d: placement header %q not strictly ascending", i, h)
+			}
+			prev = id
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no request produced a placement decision; workload too cold to be meaningful")
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"cascade/internal/core"
+	"cascade/internal/model"
+	"cascade/internal/reqtrace"
+)
+
+// DecideOptions selects the optional transformations applied to the
+// candidate vector before the dynamic program runs.
+type DecideOptions struct {
+	// ClampMonotone restores f_1 ≥ … ≥ f_n on the piggybacked frequency
+	// profile before optimizing (sliding-window noise can transiently
+	// violate the containment property the model guarantees).
+	ClampMonotone bool
+	// Theorem2Prune drops candidates whose replacement is not locally
+	// beneficial (f·m < l) before running the DP. Theorem 2 guarantees
+	// the optimal solution never contains such nodes, so pruning cannot
+	// change the decision — it only shrinks the DP input.
+	Theorem2Prune bool
+}
+
+// ServePoint identifies where the decision runs: the serving hop and node
+// (Node is model.NoNode when the origin serves). It only feeds diagnostics
+// and the ActDecision trace event.
+type ServePoint struct {
+	Hop  int
+	Node model.NodeID
+}
+
+// Decider solves the serving node's placement decision without allocating
+// per call: the DP problem vector, hop map and chosen buffer are owned by
+// the Decider and reused, and the embedded core.Optimizer owns the DP
+// tables. The zero value is ready to use. A Decider is not safe for
+// concurrent use; concurrent transports call the package-level Decide.
+type Decider struct {
+	opt    core.Optimizer
+	prob   []core.Node
+	hops   []int
+	chosen []int
+}
+
+// Decide runs the serving node's placement decision (paper §2.2–2.3) over
+// the upstream pass's hop records. cands must be in ascending hop order —
+// the wire order, requesting cache first — and cover every hop strictly
+// below the serving point, including tagged (excluded) hops: their Link
+// costs still contribute to deeper candidates' miss penalties.
+//
+// It reconstructs each candidate's miss penalty by summing Link costs from
+// the serving side downward, applies the configured prune/clamp, solves the
+// DP, and returns the chosen hops in ascending order (toward the client
+// last). The returned slice aliases the Decider's scratch buffer and is
+// valid until the next Decide call.
+//
+// When tr is non-nil the decision is traced: one event per hop record in
+// wire order (piggyback, no-descriptor tag, or exclusion), then the
+// ActDecision event with an independently owned copy of the chosen hops.
+func (d *Decider) Decide(cands []Candidate, opts DecideOptions, at ServePoint, tr *reqtrace.Trace) []int {
+	d.prob = d.prob[:0]
+	d.hops = d.hops[:0]
+	pbMark := 0
+	if tr != nil {
+		pbMark = len(tr.Events)
+	}
+	// Walk serving-node→client (descending hop) so the miss penalty m
+	// accumulates link by link, matching the DP's input order (paper index
+	// 1 … n counts away from the serving node).
+	m := 0.0
+	for i := len(cands) - 1; i >= 0; i-- {
+		c := cands[i]
+		m += c.Link
+		switch c.Tag {
+		case TagNoDescriptor:
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: c.Hop, Node: int(c.Node), Action: reqtrace.ActNoDescriptor})
+			}
+			continue // §2.4 tag: excluded from candidates
+		case TagCannotFit:
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: c.Hop, Node: int(c.Node), Action: reqtrace.ActExcluded, MissPenalty: m})
+			}
+			continue // object cannot fit in this cache
+		}
+		if opts.Theorem2Prune && c.Freq*m < c.CostLoss {
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: c.Hop, Node: int(c.Node), Action: reqtrace.ActExcluded, Freq: c.Freq, CostLoss: c.CostLoss, MissPenalty: m})
+			}
+			continue // Theorem 2: never part of an optimal placement
+		}
+		if tr != nil {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: c.Hop, Node: int(c.Node), Action: reqtrace.ActPiggyback, Freq: c.Freq, CostLoss: c.CostLoss, MissPenalty: m})
+		}
+		d.prob = append(d.prob, core.Node{Freq: c.Freq, MissPenalty: m, CostLoss: c.CostLoss})
+		d.hops = append(d.hops, c.Hop)
+	}
+	if tr != nil {
+		// The scan ran serving-node→client for the penalty accumulation,
+		// but the records physically attach client→origin during the
+		// upward pass: reverse so the trace reads in wire order.
+		evs := tr.Events[pbMark:]
+		for l, r := 0, len(evs)-1; l < r; l, r = l+1, r-1 {
+			evs[l], evs[r] = evs[r], evs[l]
+		}
+	}
+
+	problem := d.prob
+	if opts.ClampMonotone {
+		problem = d.opt.ClampMonotone(problem)
+	}
+	pl := d.opt.Optimize(problem)
+
+	// pl.Indices ascend over the DP input, which was filled with
+	// descending hops — reverse into ascending hop order.
+	d.chosen = d.chosen[:0]
+	for i := len(pl.Indices) - 1; i >= 0; i-- {
+		d.chosen = append(d.chosen, d.hops[pl.Indices[i]])
+	}
+	if tr != nil {
+		tr.Add(reqtrace.Event{
+			Phase:  reqtrace.PhaseDecide,
+			Hop:    at.Hop,
+			Node:   int(at.Node),
+			Action: reqtrace.ActDecision,
+			Chosen: append([]int(nil), d.chosen...),
+		})
+	}
+	return d.chosen
+}
+
+// Decide is the allocating one-shot variant of Decider.Decide for
+// concurrent transports (the runtime cluster and the HTTP gateway spawn
+// decisions from many goroutines): fresh scratch per call, independently
+// owned result.
+func Decide(cands []Candidate, opts DecideOptions, at ServePoint, tr *reqtrace.Trace) []int {
+	var d Decider
+	return d.Decide(cands, opts, at, tr)
+}

@@ -1,0 +1,242 @@
+// Package engine is the transport-agnostic core of the coordinated caching
+// protocol (paper §2.2–2.4). It implements the per-node protocol steps once,
+// so the three incarnations in this repository — the replay scheme
+// (internal/scheme.Coordinated), the message-passing cluster
+// (internal/runtime) and the HTTP gateway (internal/httpgw) — are thin
+// adapters that only marshal the engine's wire structs into their own
+// transport (Path slices, actor messages, X-Cascade-* headers).
+//
+// The protocol per request:
+//
+//   - Upstream pass: NodeState.Lookup probes each cache for the object; the
+//     first hit is the serving node. NodeState.UpMiss performs the miss-side
+//     bookkeeping (d-cache access history) and emits the hop's Candidate —
+//     the piggybacked (f, l) record, or the §2.4 "no descriptor" tag.
+//   - Decision: Decider.Decide reconstructs each candidate's miss penalty
+//     m from the accumulated link costs, optionally prunes locally
+//     non-beneficial candidates (Theorem 2) and restores the monotone
+//     frequency profile, then solves the §2.2 dynamic program
+//     (internal/core) and returns the chosen hops.
+//   - Downstream pass: NodeState.DownStep applies the decision at each hop —
+//     insert-with-eviction into the main store and miss-penalty counter
+//     reset at caching points, d-cache penalty updates elsewhere.
+//
+// internal/core must not be imported by the incarnations directly
+// (cmd/importguard enforces this); every placement decision flows through
+// this package so the three transports cannot re-diverge.
+//
+// Hot-path contract: none of the per-request methods allocate when tracing
+// is off and the caller supplies reusable scratch (the replay simulator
+// runs at 0 allocs/op). Methods are not safe for concurrent use on the
+// same NodeState/Decider; concurrent transports shard state per node and
+// use the allocating Decide wrapper.
+package engine
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/freq"
+	"cascade/internal/model"
+	"cascade/internal/reqtrace"
+)
+
+// Tag classifies a hop's upstream record.
+type Tag uint8
+
+const (
+	// TagCandidate marks a full piggyback record: the node holds the
+	// object's descriptor and could fit the object, so it carries a valid
+	// (Freq, CostLoss) pair and participates in the placement decision.
+	TagCandidate Tag = iota
+	// TagNoDescriptor is the §2.4 special tag: the node has no meta
+	// information about the object and is excluded from the decision. Its
+	// link cost still contributes to downstream candidates' miss
+	// penalties.
+	TagNoDescriptor
+	// TagCannotFit marks a node whose d-cache holds the descriptor but
+	// whose store cannot make room for the object at any cost (the object
+	// is larger than the cache). Excluded from the decision like
+	// TagNoDescriptor; transports may collapse the two on the wire.
+	TagCannotFit
+)
+
+// Candidate is one hop's serializable upstream record: everything the
+// request message piggybacks at a cache it passes. Transports encode it as
+// they see fit — the scheme keeps a slice, the runtime ships it inside
+// fetchMsg, the gateway renders it as an X-Cascade-Path header entry.
+type Candidate struct {
+	// Hop is the transport's hop index for this record, ascending from
+	// the requesting cache (0) toward the serving node. Transports that
+	// do not number hops on the wire (the HTTP gateway) assign positions
+	// at parse time.
+	Hop int
+	// Node identifies the cache for diagnostics and traces (model.NoNode
+	// when unknown).
+	Node model.NodeID
+	// Tag classifies the record; Freq and CostLoss are meaningful only
+	// for TagCandidate.
+	Tag Tag
+	// Freq is f_i, the node's sliding-window access-frequency estimate.
+	Freq float64
+	// CostLoss is l_i, the greedy eviction cost loss of fitting the
+	// object at the node.
+	CostLoss float64
+	// Link is the cost of the link from this hop toward the serving
+	// side; miss penalties are reconstructed by summing Link over the
+	// hops between a candidate and the serving node.
+	Link float64
+}
+
+// NodeState owns one cache node's protocol state: the main object store and
+// the §2.4 descriptor cache. Each transport embeds one per node; all
+// protocol steps below operate exclusively on it, so the node's behaviour
+// is identical whichever transport drives it.
+type NodeState struct {
+	// Node identifies the cache in traces and diagnostics.
+	Node model.NodeID
+	// Store is the node's main cache (cost-aware replacement, §2.3).
+	Store *cache.HeapStore
+	// DCache holds descriptors of objects not in the main cache (§2.4).
+	DCache dcache.DCache
+	// WindowK is the sliding-window size of descriptors created at this
+	// node (0 means the paper default).
+	WindowK int
+	// Pool optionally recycles descriptors so steady-state replay
+	// allocates none; nil allocates fresh descriptors.
+	Pool *DescPool
+}
+
+// Lookup probes the node during the upstream pass. A hit refreshes the
+// copy's access history and makes this node the serving node; the caller
+// stops the pass.
+func (st *NodeState) Lookup(obj model.ObjectID, now float64) bool {
+	if !st.Store.Contains(obj) {
+		return false
+	}
+	st.Store.Touch(obj, now)
+	return true
+}
+
+// UpMiss performs the miss-side bookkeeping of the upstream pass at this
+// node and returns its hop record: the request is observed passing through
+// (refreshing the d-cache access history), and the node's candidacy is
+// evaluated — descriptor present and object fits → full (f, l) record,
+// otherwise the §2.4 tag. size may be 0 when the transport does not know
+// the object's size on the way up (the HTTP gateway); the descriptor's
+// recorded size is used instead.
+func (st *NodeState) UpMiss(obj model.ObjectID, size int64, hop int, link float64, now float64, tr *reqtrace.Trace) Candidate {
+	st.DCache.RecordAccess(obj, now)
+	if tr != nil {
+		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hop, Node: int(st.Node), Action: reqtrace.ActMiss})
+	}
+	c := Candidate{Hop: hop, Node: st.Node, Tag: TagNoDescriptor, Link: link}
+	d := st.DCache.Get(obj)
+	if d == nil {
+		return c
+	}
+	if size <= 0 {
+		size = d.Size
+	}
+	loss, ok := st.Store.CostLoss(size, now)
+	if !ok {
+		c.Tag = TagCannotFit
+		return c
+	}
+	c.Tag = TagCandidate
+	c.Freq = d.Freq(now)
+	c.CostLoss = loss
+	return c
+}
+
+// TraceServe records the upstream pass's terminal event: a cache hit at
+// (hop, node), or — when node is model.NoNode — service by the origin.
+// Safe to call with a nil trace.
+func TraceServe(tr *reqtrace.Trace, hop int, node model.NodeID) {
+	if tr == nil {
+		return
+	}
+	if node == model.NoNode {
+		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hop, Node: -1, Action: reqtrace.ActServeOrigin})
+		return
+	}
+	tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hop, Node: int(node), Action: reqtrace.ActHit})
+}
+
+// DownResult reports one downstream step's effect.
+type DownResult struct {
+	// MP is the outgoing miss-penalty counter: zero after a successful
+	// placement (a fresh copy now sits at this node), the incoming value
+	// otherwise.
+	MP float64
+	// Placed reports a successful insertion.
+	Placed bool
+	// PlaceFailed reports an instructed placement whose insert failed
+	// (the store could not make room at apply time).
+	PlaceFailed bool
+	// Evicted lists the victims the insertion displaced; their
+	// descriptors have already been demoted to the d-cache. The slice
+	// aliases the store's scratch buffer — valid until the next insert.
+	Evicted []*cache.Descriptor
+}
+
+// DownStep applies the response pass at this node. mp is the miss-penalty
+// counter including the link the response just crossed (the caller
+// accumulates link costs). If place is set the node caches the object:
+// the descriptor is promoted from the d-cache (or rebuilt), its miss
+// penalty set, and victims' descriptors demoted; the counter resets to
+// zero on success. Otherwise the node records the passing counter in the
+// object's d-cache descriptor, creating one if needed.
+func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp float64, hop int, now float64, tr *reqtrace.Trace) DownResult {
+	if place {
+		desc := st.DCache.Take(obj)
+		if desc == nil {
+			// Possible only when the d-cache dropped the descriptor
+			// between passes; rebuild it.
+			desc = st.newDescriptor(obj, size)
+			desc.Window.Record(now)
+		}
+		desc.SetMissPenalty(mp)
+		evicted, ok := st.Store.Insert(desc, now)
+		if !ok {
+			st.DCache.Put(desc, now)
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActPlaceFailed, MissPenalty: mp})
+			}
+			return DownResult{MP: mp, PlaceFailed: true}
+		}
+		for _, v := range evicted {
+			st.DCache.Put(v, now)
+		}
+		if tr != nil {
+			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActPlace, MissPenalty: mp, Reset: true, Evicted: len(evicted)})
+		}
+		return DownResult{MP: 0, Placed: true, Evicted: evicted}
+	}
+	// Not instructed to cache: maintain the node's meta information about
+	// the passing object.
+	if st.DCache.Contains(obj) {
+		st.DCache.SetMissPenalty(obj, mp, now)
+	} else {
+		desc := st.newDescriptor(obj, size)
+		desc.Window.Record(now)
+		desc.SetMissPenalty(mp)
+		st.DCache.Put(desc, now)
+	}
+	if tr != nil {
+		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActUpdate, MissPenalty: mp})
+	}
+	return DownResult{MP: mp}
+}
+
+// newDescriptor builds (or recycles) a descriptor with this node's window
+// parameters.
+func (st *NodeState) newDescriptor(obj model.ObjectID, size int64) *cache.Descriptor {
+	k := st.WindowK
+	if k <= 0 {
+		k = freq.DefaultK
+	}
+	if st.Pool != nil {
+		return st.Pool.Get(obj, size, k)
+	}
+	return cache.NewDescriptorK(obj, size, k)
+}

@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+// DescPool recycles descriptors the d-caches evict, eliminating the
+// per-request descriptor allocation on the replay hot path: in steady
+// state every full d-cache eviction frees exactly the descriptor the next
+// miss needs. Recycling is invisible to protocol results — Reset clears
+// all history and nothing orders on descriptor identity. A pool is not
+// safe for concurrent use; share one only among NodeStates driven by the
+// same goroutine (the replay simulator), and leave Pool nil in concurrent
+// transports.
+type DescPool struct {
+	free []*cache.Descriptor
+}
+
+// Recycle accepts an evicted descriptor for reuse.
+func (p *DescPool) Recycle(d *cache.Descriptor) { p.free = append(p.free, d) }
+
+// Get returns a descriptor for the given object, reusing a recycled one
+// when available.
+func (p *DescPool) Get(id model.ObjectID, size int64, k int) *cache.Descriptor {
+	if n := len(p.free) - 1; n >= 0 {
+		d := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		d.Reset(id, size, k)
+		return d
+	}
+	return cache.NewDescriptorK(id, size, k)
+}
+
+// Attach registers the pool as the d-cache's eviction recycler.
+func (p *DescPool) Attach(dc dcache.DCache) {
+	if r, ok := dc.(dcache.Recycler); ok {
+		r.SetRecycler(p.Recycle)
+	}
+}

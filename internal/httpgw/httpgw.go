@@ -26,14 +26,15 @@ import (
 	"os"
 	"path"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"cascade/internal/cache"
-	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
@@ -103,9 +104,10 @@ type Node struct {
 	// for tests.
 	Sleep func(time.Duration)
 
+	// mu guards st and the payload maps below; concurrent requests
+	// serialize their protocol steps on it.
 	mu      sync.Mutex
-	store   *cache.HeapStore
-	dstore  dcache.DCache
+	st      engine.NodeState
 	body    map[model.ObjectID][]byte
 	etag    map[model.ObjectID]string
 	fetched map[model.ObjectID]float64 // time each copy was (re)validated
@@ -131,50 +133,56 @@ func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, d
 		Upstream: upstream,
 		UpCost:   upCost,
 		Clock:    clock,
-		store:    cache.NewCostAware(capacity),
-		dstore:   dcache.New(dEntries),
-		body:     make(map[model.ObjectID][]byte),
-		etag:     make(map[model.ObjectID]string),
-		fetched:  make(map[model.ObjectID]float64),
+		st: engine.NodeState{
+			Node:   id,
+			Store:  cache.NewCostAware(capacity),
+			DCache: dcache.New(dEntries),
+		},
+		body:    make(map[model.ObjectID][]byte),
+		etag:    make(map[model.ObjectID]string),
+		fetched: make(map[model.ObjectID]float64),
 	}
 }
 
-// pathEntry is one hop's piggybacked record: "node;freq;loss;linkcost".
-// Absent freq/loss (the §2.4 "no descriptor" tag) is encoded as "-".
-type pathEntry struct {
-	node    model.NodeID
-	hasDesc bool
-	freq    float64
-	loss    float64
-	link    float64
-}
+// The X-Cascade-Path header carries one engine.Candidate per hop as
+// "node;freq;loss;linkcost", appended in wire order (the client's first
+// cache first). An excluded hop — the §2.4 "no descriptor" tag, which on
+// this transport also covers engine.TagCannotFit — encodes freq/loss as
+// "-"; parsePath maps both back to engine.TagNoDescriptor, a lossless
+// collapse for the decision (both tags are excluded identically and only
+// contribute their link cost).
 
-func parsePath(h string) ([]pathEntry, error) {
+// fmtFloat renders a float64 so it survives format→parse→format exactly
+// ('g' with precision -1 is the shortest representation that round-trips).
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func parsePath(h string) ([]engine.Candidate, error) {
 	if strings.TrimSpace(h) == "" {
 		return nil, nil
 	}
-	var out []pathEntry
-	for _, part := range strings.Split(h, ",") {
+	var out []engine.Candidate
+	for i, part := range strings.Split(h, ",") {
 		fields := strings.Split(strings.TrimSpace(part), ";")
 		if len(fields) != 4 {
 			return nil, fmt.Errorf("httpgw: bad path entry %q", part)
 		}
-		var e pathEntry
+		// The header has no hop numbering; position assigns it.
+		e := engine.Candidate{Hop: i, Tag: engine.TagNoDescriptor}
 		id, err := strconv.Atoi(fields[0])
 		if err != nil {
 			return nil, fmt.Errorf("httpgw: bad node id %q", fields[0])
 		}
-		e.node = model.NodeID(id)
+		e.Node = model.NodeID(id)
 		if fields[1] != "-" {
-			e.hasDesc = true
-			if e.freq, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			e.Tag = engine.TagCandidate
+			if e.Freq, err = strconv.ParseFloat(fields[1], 64); err != nil {
 				return nil, fmt.Errorf("httpgw: bad freq %q", fields[1])
 			}
-			if e.loss, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			if e.CostLoss, err = strconv.ParseFloat(fields[2], 64); err != nil {
 				return nil, fmt.Errorf("httpgw: bad loss %q", fields[2])
 			}
 		}
-		if e.link, err = strconv.ParseFloat(fields[3], 64); err != nil {
+		if e.Link, err = strconv.ParseFloat(fields[3], 64); err != nil {
 			return nil, fmt.Errorf("httpgw: bad link cost %q", fields[3])
 		}
 		out = append(out, e)
@@ -182,47 +190,32 @@ func parsePath(h string) ([]pathEntry, error) {
 	return out, nil
 }
 
-func formatEntry(e pathEntry) string {
-	if !e.hasDesc {
-		return fmt.Sprintf("%d;-;-;%g", e.node, e.link)
+func formatEntry(e engine.Candidate) string {
+	if e.Tag != engine.TagCandidate {
+		return strconv.Itoa(int(e.Node)) + ";-;-;" + fmtFloat(e.Link)
 	}
-	return fmt.Sprintf("%d;%g;%g;%g", e.node, e.freq, e.loss, e.link)
+	return strconv.Itoa(int(e.Node)) + ";" + fmtFloat(e.Freq) + ";" + fmtFloat(e.CostLoss) + ";" + fmtFloat(e.Link)
 }
 
-// Decide runs the §2.2 DP over piggybacked path entries (ordered from the
-// client's first cache upward, as accumulated in the header) and returns
-// the chosen node IDs. Exported for the origin server and for tests.
-func Decide(entries []pathEntry) map[model.NodeID]bool {
-	// DP candidates ordered from the serving side toward the client:
-	// reverse of header order. Miss penalties accumulate link costs from
-	// the serving side down.
-	var cand []core.Node
-	var ids []model.NodeID
-	m := 0.0
-	for i := len(entries) - 1; i >= 0; i-- {
-		m += entries[i].link
-		if !entries[i].hasDesc {
-			continue
-		}
-		cand = append(cand, core.Node{
-			Freq:        entries[i].freq,
-			MissPenalty: m,
-			CostLoss:    entries[i].loss,
-		})
-		ids = append(ids, entries[i].node)
+// Decide runs the placement decision (engine.Decide, the §2.2 DP) over
+// piggybacked path entries (ordered from the client's first cache upward,
+// as accumulated in the header) and returns the chosen node IDs in
+// ascending order. Exported for the origin server and for tests.
+func Decide(entries []engine.Candidate) []model.NodeID {
+	hops := engine.Decide(entries, engine.DecideOptions{ClampMonotone: true},
+		engine.ServePoint{Hop: len(entries), Node: model.NoNode}, nil)
+	ids := make([]model.NodeID, len(hops))
+	for i, h := range hops {
+		ids[i] = entries[h].Node
 	}
-	placement := core.Optimize(core.ClampMonotone(cand))
-	chosen := make(map[model.NodeID]bool, len(placement.Indices))
-	for _, v := range placement.Indices {
-		chosen[ids[v]] = true
-	}
-	return chosen
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
-func formatPlacement(chosen map[model.NodeID]bool) string {
-	var parts []string
-	for id := range chosen {
-		parts = append(parts, strconv.Itoa(int(id)))
+func formatPlacement(chosen []model.NodeID) string {
+	parts := make([]string, len(chosen))
+	for i, id := range chosen {
+		parts[i] = strconv.Itoa(int(id))
 	}
 	return strings.Join(parts, ",")
 }
@@ -283,11 +276,11 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	// ---- Local hit? ----
 	n.mu.Lock()
-	if n.store.Contains(obj) {
+	if n.st.Store.Contains(obj) {
 		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
 		if !stale {
 			n.hits++
-			n.store.Touch(obj, now)
+			n.st.Store.Touch(obj, now)
 			body := n.body[obj]
 			tag := n.etag[obj]
 			entries, perr := parsePath(r.Header.Get(HeaderPath))
@@ -322,16 +315,11 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// ---- Miss: extend the piggyback header and forward upstream. ----
+	// The object's size is unknown on the way up; UpMiss falls back to
+	// the descriptor's recorded size for the cost-loss estimate. The hop
+	// index is assigned positionally by each parse, so -1 here.
 	n.misses++
-	entry := pathEntry{node: n.ID, link: n.UpCost}
-	if d := n.dstore.Get(obj); d != nil {
-		n.dstore.RecordAccess(obj, now)
-		if loss, ok := n.store.CostLoss(sizeGuess(d), now); ok {
-			entry.hasDesc = true
-			entry.freq = d.Freq(now)
-			entry.loss = loss
-		}
-	}
+	entry := n.st.UpMiss(obj, 0, -1, n.UpCost, now, nil)
 	n.mu.Unlock()
 
 	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
@@ -379,59 +367,41 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	now = n.Clock()
 	mpSeen := mp
-	placedHere, placeFailed, evictedCount := false, false, 0
 	n.mu.Lock()
-	if chosen[n.ID] {
-		desc := n.dstore.Take(obj)
-		if desc == nil {
-			desc = cache.NewDescriptor(obj, int64(len(body)))
-			desc.Window.Record(now)
+	res := n.st.DownStep(obj, int64(len(body)), chosen[n.ID], mp, -1, now, nil)
+	if res.Placed {
+		n.inserts++
+		n.body[obj] = append([]byte(nil), body...)
+		n.etag[obj] = resp.Header.Get("ETag")
+		n.fetched[obj] = now
+		// DownStep already demoted the victims' descriptors; drop their
+		// payload bookkeeping here.
+		for _, v := range res.Evicted {
+			delete(n.body, v.ID)
+			delete(n.etag, v.ID)
+			delete(n.fetched, v.ID)
 		}
-		desc.SetMissPenalty(mp)
-		if evicted, ok := n.store.Insert(desc, now); ok {
-			n.inserts++
-			n.body[obj] = append([]byte(nil), body...)
-			n.etag[obj] = resp.Header.Get("ETag")
-			n.fetched[obj] = now
-			for _, v := range evicted {
-				delete(n.body, v.ID)
-				delete(n.etag, v.ID)
-				delete(n.fetched, v.ID)
-				n.dstore.Put(v, now)
-			}
-			mp = 0
-			placedHere, evictedCount = true, len(evicted)
-		} else {
-			n.dstore.Put(desc, now)
-			placeFailed = true
-		}
-	} else if n.dstore.Contains(obj) {
-		n.dstore.SetMissPenalty(obj, mp, now)
-	} else {
-		desc := cache.NewDescriptor(obj, int64(len(body)))
-		desc.Window.Record(now)
-		desc.SetMissPenalty(mp)
-		n.dstore.Put(desc, now)
 	}
 	n.mu.Unlock()
+	mp = res.MP
 
 	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
 	w.Header().Set(HeaderPenalty, strconv.FormatFloat(mp, 'g', -1, 64))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if traceWanted(r) {
 		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
-		if entry.hasDesc {
+		if entry.Tag == engine.TagCandidate {
 			upEvt.Action = reqtrace.ActPiggyback
-			upEvt.Freq = entry.freq
-			upEvt.CostLoss = entry.loss
+			upEvt.Freq = entry.Freq
+			upEvt.CostLoss = entry.CostLoss
 		}
 		downEvt := reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: mpSeen}
 		switch {
-		case placedHere:
+		case res.Placed:
 			downEvt.Action = reqtrace.ActPlace
 			downEvt.Reset = true
-			downEvt.Evicted = evictedCount
-		case placeFailed:
+			downEvt.Evicted = len(res.Evicted)
+		case res.PlaceFailed:
 			downEvt.Action = reqtrace.ActPlaceFailed
 		}
 		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt)))
@@ -461,7 +431,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		n.mu.Lock()
 		n.degraded++
 		n.hits++
-		n.store.Touch(obj, now)
+		n.st.Store.Touch(obj, now)
 		n.mu.Unlock()
 		w.Header().Set(HeaderDegraded, "1")
 		w.Header().Set(HeaderPenalty, "0")
@@ -478,8 +448,8 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		// and let the regular miss path refetch and re-decide.
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		n.mu.Lock()
-		if d := n.store.Remove(obj); d != nil {
-			n.dstore.Put(d, now)
+		if d := n.st.Store.Remove(obj); d != nil {
+			n.st.DCache.Put(d, now)
 		}
 		delete(n.body, obj)
 		delete(n.etag, obj)
@@ -491,7 +461,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	n.revalidations++
 	n.hits++
 	n.fetched[obj] = now
-	n.store.Touch(obj, now)
+	n.st.Store.Touch(obj, now)
 	n.mu.Unlock()
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
@@ -507,8 +477,8 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 func (n *Node) serveStats(w http.ResponseWriter) {
 	n.mu.Lock()
 	hits, misses, inserts, revs := n.hits, n.misses, n.inserts, n.revalidations
-	used, capacity, objects := n.store.Used(), n.store.Capacity(), n.store.Len()
-	descs := n.dstore.Len()
+	used, capacity, objects := n.st.Store.Used(), n.st.Store.Capacity(), n.st.Store.Len()
+	descs := n.st.DCache.Len()
 	retries, opens, degraded, state := n.retries, n.breakerOpens, n.degraded, n.breaker
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
@@ -518,14 +488,11 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 		retries, state.String(), opens, degraded)
 }
 
-// sizeGuess returns the object size known from its descriptor.
-func sizeGuess(d *cache.Descriptor) int64 { return d.Size }
-
 // Contains reports whether the node currently caches the object.
 func (n *Node) Contains(obj model.ObjectID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.store.Contains(obj)
+	return n.st.Store.Contains(obj)
 }
 
 // Origin is the content source: it serves every object and runs the
@@ -608,7 +575,7 @@ type nodeSnapshot struct {
 func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.Lock()
 	snap := nodeSnapshot{
-		Descriptors: n.store.Snapshot(),
+		Descriptors: n.st.Store.Snapshot(),
 		Bodies:      make(map[model.ObjectID][]byte, len(n.body)),
 	}
 	for id, b := range n.body {
@@ -630,10 +597,10 @@ func (n *Node) LoadSnapshot(r io.Reader, now float64) (restored int, err error) 
 	defer n.mu.Unlock()
 	for _, ds := range snap.Descriptors {
 		body, ok := snap.Bodies[ds.ID]
-		if !ok || n.store.Capacity()-n.store.Used() < ds.Size {
+		if !ok || n.st.Store.Capacity()-n.st.Store.Used() < ds.Size {
 			continue
 		}
-		if _, ok := n.store.Insert(cache.RestoreDescriptor(ds), now); ok {
+		if _, ok := n.st.Store.Insert(cache.RestoreDescriptor(ds), now); ok {
 			n.body[ds.ID] = body
 			restored++
 		}

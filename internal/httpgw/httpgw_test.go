@@ -4,14 +4,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"testing/quick"
 
+	"cascade/internal/engine"
 	"cascade/internal/model"
 	"cascade/internal/scheme"
 	"cascade/internal/trace"
@@ -117,7 +121,7 @@ func TestHTTPPenaltyCounter(t *testing.T) {
 		t.Fatalf("penalty header = %q, want 0", got)
 	}
 	// Node 1's d-cache descriptor carries its distance to the origin.
-	d := nodes[1].dstore.Get(7)
+	d := nodes[1].st.DCache.Get(7)
 	if d == nil || d.MissPenalty() != 2 {
 		t.Fatalf("node 1 descriptor penalty = %+v, want 2", d)
 	}
@@ -179,9 +183,9 @@ func TestHTTPConcurrentClients(t *testing.T) {
 }
 
 func TestPathHeaderRoundTrip(t *testing.T) {
-	in := []pathEntry{
-		{node: 3, hasDesc: true, freq: 0.25, loss: 1.5, link: 0.1},
-		{node: 7, hasDesc: false, link: 0.2},
+	in := []engine.Candidate{
+		{Hop: 0, Node: 3, Tag: engine.TagCandidate, Freq: 0.25, CostLoss: 1.5, Link: 0.1},
+		{Hop: 1, Node: 7, Tag: engine.TagNoDescriptor, Link: 0.2},
 	}
 	header := formatEntry(in[0]) + "," + formatEntry(in[1])
 	out, err := parsePath(header)
@@ -190,6 +194,16 @@ func TestPathHeaderRoundTrip(t *testing.T) {
 	}
 	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
 		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+	// The cannot-fit tag collapses onto the "no descriptor" encoding —
+	// the documented lossy-but-harmless divergence of this transport.
+	cf := engine.Candidate{Hop: 0, Node: 3, Tag: engine.TagCannotFit, Link: 0.5}
+	out, err = parsePath(formatEntry(cf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Tag != engine.TagNoDescriptor || out[0].Link != 0.5 {
+		t.Fatalf("cannot-fit entry parsed as %+v", out)
 	}
 	if es, err := parsePath(""); err != nil || es != nil {
 		t.Fatal("empty header should parse to nil")
@@ -201,21 +215,78 @@ func TestPathHeaderRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPathHeaderFloatExact quick-checks that every finite float64 survives
+// the header's format→parse cycle bit-exactly (strconv.FormatFloat with
+// precision -1 guarantees the shortest round-tripping representation; the
+// old %g formatting truncated long mantissas).
+func TestPathHeaderFloatExact(t *testing.T) {
+	roundTrip := func(freq, loss, link float64) bool {
+		in := engine.Candidate{Hop: 0, Node: 1, Tag: engine.TagCandidate,
+			Freq: math.Abs(freq), CostLoss: math.Abs(loss), Link: math.Abs(link)}
+		out, err := parsePath(formatEntry(in))
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// A value %g loses at default precision must survive too.
+	if !roundTrip(0.1234567890123456789, 1.0/3.0, math.Pi) {
+		t.Fatal("long-mantissa floats did not round-trip")
+	}
+}
+
 func TestDecideMatchesDP(t *testing.T) {
 	// Empty caches, equal frequencies: the client-most candidate wins
 	// (max penalty, zero loss), as in the scheme tests.
-	entries := []pathEntry{
-		{node: 0, hasDesc: true, freq: 1, loss: 0, link: 1}, // client side
-		{node: 1, hasDesc: true, freq: 1, loss: 0, link: 1},
-		{node: 2, hasDesc: false, link: 1}, // tagged: excluded
+	entries := []engine.Candidate{
+		{Hop: 0, Node: 0, Tag: engine.TagCandidate, Freq: 1, CostLoss: 0, Link: 1}, // client side
+		{Hop: 1, Node: 1, Tag: engine.TagCandidate, Freq: 1, CostLoss: 0, Link: 1},
+		{Hop: 2, Node: 2, Tag: engine.TagNoDescriptor, Link: 1}, // tagged: excluded
 	}
 	chosen := Decide(entries)
-	if !chosen[0] || chosen[1] || chosen[2] {
+	if len(chosen) != 1 || chosen[0] != 0 {
 		t.Fatalf("chosen = %v, want node 0 only", chosen)
 	}
 	if got := parsePlacement(formatPlacement(chosen)); !got[0] || len(got) != 1 {
 		t.Fatalf("placement header round trip: %v", got)
 	}
+}
+
+// TestPlacementHeaderDeterministic pins the X-Cascade-Place encoding:
+// node IDs ascending, no dependence on map iteration order.
+func TestPlacementHeaderDeterministic(t *testing.T) {
+	entries := []engine.Candidate{
+		{Hop: 0, Node: 9, Tag: engine.TagCandidate, Freq: 1, CostLoss: 0, Link: 1},
+		{Hop: 1, Node: 4, Tag: engine.TagCandidate, Freq: 2, CostLoss: 0, Link: 1},
+		{Hop: 2, Node: 6, Tag: engine.TagCandidate, Freq: 3, CostLoss: 0, Link: 1},
+	}
+	want := formatPlacement(Decide(entries))
+	for i := 0; i < 50; i++ {
+		if got := formatPlacement(Decide(entries)); got != want {
+			t.Fatalf("placement header unstable: %q vs %q", got, want)
+		}
+	}
+	for i, id := range parseSortedIDs(t, want) {
+		if i > 0 && id <= parseSortedIDs(t, want)[i-1] {
+			t.Fatalf("placement header not ascending: %q", want)
+		}
+	}
+}
+
+func parseSortedIDs(t *testing.T, h string) []int {
+	t.Helper()
+	var out []int
+	for _, p := range strings.Split(h, ",") {
+		if p == "" {
+			continue
+		}
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			t.Fatalf("bad placement header %q", h)
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // TestHTTPMatchesSimulationScheme replays a serial workload through the

@@ -39,10 +39,10 @@ func (n *Node) MetricsRegistry() *metrics.Registry {
 	r.CounterFunc("cascade_gw_degraded_total", "Responses served outside the protocol (origin-direct or stale-if-error).", lockedCount(func() int64 { return n.degraded }), nl)
 
 	r.GaugeFunc("cascade_gw_breaker_state", "Upstream circuit breaker position (0=closed, 1=open, 2=half-open).", lockedCount(func() int64 { return int64(n.breaker) }), nl, ul)
-	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.store.Used() }), nl)
-	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.store.Capacity() }), nl)
-	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.store.Len()) }), nl)
-	r.GaugeFunc("cascade_gw_dcache_descriptors", "Descriptors held by the d-cache.", lockedCount(func() int64 { return int64(n.dstore.Len()) }), nl)
+	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Store.Used() }), nl)
+	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Store.Capacity() }), nl)
+	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.st.Store.Len()) }), nl)
+	r.GaugeFunc("cascade_gw_dcache_descriptors", "Descriptors held by the d-cache.", lockedCount(func() int64 { return int64(n.st.DCache.Len()) }), nl)
 
 	n.reg = r
 	return r

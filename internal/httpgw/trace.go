@@ -41,10 +41,11 @@ func traceEvent(e reqtrace.Event) string {
 	return string(b)
 }
 
-// traceDecision renders the decide-phase event for a placement decision.
-func traceDecision(node int, chosen map[model.NodeID]bool) string {
+// traceDecision renders the decide-phase event for a placement decision
+// (Decide already returns node IDs in ascending order).
+func traceDecision(node int, chosen []model.NodeID) string {
 	ids := make([]int, 0, len(chosen))
-	for id := range chosen {
+	for _, id := range chosen {
 		ids = append(ids, int(id))
 	}
 	sort.Ints(ids)

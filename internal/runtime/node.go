@@ -4,14 +4,14 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"cascade/internal/cache"
-	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/model"
 )
 
 // fetchMsg is the upstream request message of §2.3. As it passes each
-// cache it accumulates one piggyback entry per node (or the "no
-// descriptor" tag, represented by the entry's absence).
+// cache it accumulates one engine.Candidate per node holding the object's
+// descriptor (the §2.4 "no descriptor" tag is represented by the entry's
+// absence; the decision step resynthesizes tagged records for the gaps).
 type fetchMsg struct {
 	obj  model.ObjectID
 	size int64
@@ -23,16 +23,9 @@ type fetchMsg struct {
 
 	accCost float64 // cost accumulated so far (links below this node)
 	sentAt  float64 // Config.Clock() at the last enqueue (pass-latency metric)
-	pb      []pbEntry
+	pb      []engine.Candidate
 
 	reply chan Result
-}
-
-// pbEntry is the piggybacked meta information of one candidate cache.
-type pbEntry struct {
-	hop  int
-	freq float64
-	loss float64
 }
 
 // deliverMsg is the downstream response message: the decision set, the
@@ -46,9 +39,9 @@ type deliverMsg struct {
 	upCost []float64
 	hop    int // node about to process the message
 
-	chosen map[int]bool // hop indices instructed to cache
-	mp     float64      // accumulated miss-penalty counter
-	sentAt float64      // Config.Clock() at the last enqueue (pass-latency metric)
+	chosen []int   // hop indices instructed to cache, ascending (tail = next)
+	mp     float64 // accumulated miss-penalty counter
+	sentAt float64 // Config.Clock() at the last enqueue (pass-latency metric)
 
 	result Result
 	reply  chan Result
@@ -68,8 +61,9 @@ type node struct {
 	ovmu     sync.Mutex
 	overflow []any // bounded spill past the inbox (Config.OverflowDepth)
 
-	store  *cache.HeapStore
-	dstore dcache.DCache
+	// st holds the node's protocol state (main store + d-cache); every
+	// protocol step delegates to internal/engine.
+	st engine.NodeState
 }
 
 // stop marks the node down and releases its actor. Idempotent; reports
@@ -143,25 +137,18 @@ func (n *node) inst() *nodeInstruments { return &n.cluster.nodeInst[n.id] }
 
 // handleFetch implements the upstream pass at this node.
 func (n *node) handleFetch(m *fetchMsg) {
-	if n.store.Contains(m.obj) {
+	if n.st.Lookup(m.obj, m.now) {
 		// Serving node A_0: record the hit and decide placement for
 		// the caches below.
-		n.store.Touch(m.obj, m.now)
-		n.cluster.decideAndDeliver(m, m.hop, model.NodeID(n.id), m.accCost, m.hop)
+		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop)
 		return
 	}
 
 	// Observed passing through: refresh the descriptor's history and
-	// piggyback this node's candidacy. A node without a descriptor
-	// attaches no entry (the §2.4 tag) and is excluded from the DP.
-	if n.dstore.RecordAccess(m.obj, m.now) {
-		if loss, ok := n.store.CostLoss(m.size, m.now); ok {
-			m.pb = append(m.pb, pbEntry{
-				hop:  m.hop,
-				freq: n.dstore.Get(m.obj).Freq(m.now),
-				loss: loss,
-			})
-		}
+	// piggyback this node's candidacy. A node without a usable record
+	// ships no entry (the §2.4 tag) and is excluded from the DP.
+	if c := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now, nil); c.Tag == engine.TagCandidate {
+		m.pb = append(m.pb, c)
 	}
 
 	if m.hop == len(m.route)-1 {
@@ -186,32 +173,25 @@ func (n *node) handleFetch(m *fetchMsg) {
 // handleDeliver implements the downstream pass at this node.
 func (n *node) handleDeliver(d *deliverMsg) {
 	d.mp += d.upCost[d.hop]
-	if d.chosen[d.hop] {
-		desc := n.dstore.Take(d.obj)
-		if desc == nil {
-			desc = cache.NewDescriptor(d.obj, d.size)
-			desc.Window.Record(d.now)
-		}
-		desc.SetMissPenalty(d.mp)
-		if evicted, ok := n.store.Insert(desc, d.now); ok {
-			d.result.Placed = append(d.result.Placed, n.id)
-			inst := n.inst()
-			inst.inserts.Inc()
-			inst.evictions.Add(int64(len(evicted)))
-			for _, v := range evicted {
-				n.dstore.Put(v, d.now)
-			}
-			d.mp = 0
-		} else {
-			n.dstore.Put(desc, d.now)
-		}
-	} else if n.dstore.Contains(d.obj) {
-		n.dstore.SetMissPenalty(d.obj, d.mp, d.now)
-	} else {
-		desc := cache.NewDescriptor(d.obj, d.size)
-		desc.Window.Record(d.now)
-		desc.SetMissPenalty(d.mp)
-		n.dstore.Put(desc, d.now)
+	// Chosen hops above this one that were routed around (dead or
+	// saturated while the response descended) can no longer take a copy:
+	// drop them so the tail cursor stays aligned.
+	for k := len(d.chosen) - 1; k >= 0 && d.chosen[k] > d.hop; k-- {
+		d.chosen = d.chosen[:k]
+	}
+	place := false
+	if k := len(d.chosen) - 1; k >= 0 && d.chosen[k] == d.hop {
+		place = true
+		d.chosen = d.chosen[:k]
+	}
+
+	res := n.st.DownStep(d.obj, d.size, place, d.mp, d.hop, d.now, nil)
+	d.mp = res.MP
+	if res.Placed {
+		d.result.Placed = append(d.result.Placed, n.id)
+		inst := n.inst()
+		inst.inserts.Inc()
+		inst.evictions.Add(int64(len(res.Evicted)))
 	}
 
 	if d.hop == 0 {

@@ -34,8 +34,8 @@ import (
 	"time"
 
 	"cascade/internal/cache"
-	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/fault"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
@@ -125,6 +125,12 @@ type Cluster struct {
 	mu       sync.Mutex     // guards closed and node lifecycle vs Close
 	closed   bool
 
+	// decScratch recycles per-decision buffers (candidate vector, DP
+	// tables): the placement decision runs on whichever goroutine serves
+	// the request — usually the serving actor — so the scratch is pooled
+	// rather than owned by any one node.
+	decScratch sync.Pool
+
 	// reg exports every instrument below in the Prometheus text format
 	// (Metrics); nodeInst holds the per-node instruments, indexed by slot,
 	// so counters survive a node's crash and recovery.
@@ -182,6 +188,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.DCacheFactory = dcache.NewFactory
 	}
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
+	c.decScratch.New = func() any { return new(decideScratch) }
 	c.initMetrics()
 	for i := range c.slots {
 		n := c.newNode(model.NodeID(i))
@@ -256,8 +263,11 @@ func (c *Cluster) newNode(id model.NodeID) *node {
 		inbox:   make(chan any, c.cfg.InboxDepth),
 		notify:  make(chan struct{}, 1),
 		quit:    make(chan struct{}),
-		store:   cache.NewCostAware(c.cfg.CacheBytes),
-		dstore:  c.cfg.DCacheFactory(c.cfg.DCacheEntries),
+		st: engine.NodeState{
+			Node:   id,
+			Store:  cache.NewCostAware(c.cfg.CacheBytes),
+			DCache: c.cfg.DCacheFactory(c.cfg.DCacheEntries),
+		},
 	}
 }
 
@@ -538,46 +548,54 @@ func (c *Cluster) sendDeliverDown(d *deliverMsg) {
 	c.finish(d.reply, d.result)
 }
 
-// decideAndDeliver runs the §2.2 dynamic program over the piggybacked
+// decideScratch bundles the buffers one placement decision needs — the
+// rebuilt candidate vector and an engine.Decider with its DP tables —
+// recycled through Cluster.decScratch.
+type decideScratch struct {
+	cands []engine.Candidate
+	dec   engine.Decider
+}
+
+// decideAndDeliver runs the serving node's placement decision
+// (engine.Decide, the §2.2 dynamic program) over the piggybacked
 // candidates and starts the downstream pass. servingHop is the path index
 // of the serving node (len(route) for the origin). It is a deterministic
 // function of the message, so any party may run it — the serving actor in
 // the common case, the last live sender when the top of the cascade is
 // unreachable.
 func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
-	// Candidates ordered from the serving node toward the client (the
-	// paper's A_1 … A_n): descending hop index.
-	cand := make([]core.Node, 0, len(m.pb))
-	idx := make([]int, 0, len(m.pb))
-	mAcc := 0.0
-	pb := m.pb
-	for i := servingHop - 1; i >= 0; i-- {
-		mAcc += m.upCost[i]
-		// pb entries are appended in ascending hop order; find the
-		// one for this hop from the tail.
-		for len(pb) > 0 && pb[len(pb)-1].hop > i {
-			pb = pb[:len(pb)-1]
-		}
-		if len(pb) == 0 || pb[len(pb)-1].hop != i {
-			continue
-		}
-		e := pb[len(pb)-1]
-		pb = pb[:len(pb)-1]
-		cand = append(cand, core.Node{Freq: e.freq, MissPenalty: mAcc, CostLoss: e.loss})
-		idx = append(idx, i)
-	}
-	placement := core.Optimize(core.ClampMonotone(cand))
-	chosen := make(map[int]bool, len(placement.Indices))
-	for _, v := range placement.Indices {
-		chosen[idx[v]] = true
-	}
-
 	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
 	if servingHop == 0 {
 		// Hit at the client's first cache: nothing travels downstream.
 		c.finish(m.reply, result)
 		return
 	}
+
+	// Rebuild the full candidate vector in wire order (client first):
+	// piggybacked records fill their hops; hops that shipped no record —
+	// no descriptor, cannot fit, or routed around mid-flight — get the
+	// §2.4 tag, whose link cost still feeds deeper candidates' miss
+	// penalties.
+	s := c.decScratch.Get().(*decideScratch)
+	if cap(s.cands) < servingHop {
+		s.cands = make([]engine.Candidate, servingHop)
+	}
+	cands := s.cands[:servingHop]
+	for i := range cands {
+		cands[i] = engine.Candidate{Hop: i, Node: m.route[i], Tag: engine.TagNoDescriptor, Link: m.upCost[i]}
+	}
+	for _, e := range m.pb {
+		if e.Hop < servingHop {
+			cands[e.Hop] = e
+		}
+	}
+	// The decider's result aliases its scratch, and the chosen vector
+	// outlives this call (it travels down the actor chain), so copy it out
+	// before recycling the scratch.
+	chosen := append([]int(nil), s.dec.Decide(cands, engine.DecideOptions{ClampMonotone: true},
+		engine.ServePoint{Hop: servingHop, Node: servedBy}, nil)...)
+	c.decScratch.Put(s)
+
 	d := &deliverMsg{
 		obj:    m.obj,
 		size:   m.size,

@@ -2,8 +2,8 @@ package scheme
 
 import (
 	"cascade/internal/cache"
-	"cascade/internal/core"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
@@ -12,25 +12,24 @@ import (
 // Coordinated is the paper's proposed scheme (§2.3): object placement and
 // replacement decided jointly for all caches on a request's delivery path.
 //
-// Protocol per request:
+// The protocol itself lives in internal/engine; this type is the replay
+// simulator's adapter over it — it owns one engine.NodeState per cache and
+// walks the delivery path sequentially:
 //
-//  1. Upstream pass (request message): each cache A_i without the object
-//     piggybacks its access-frequency estimate f_i, the accumulated link
-//     costs (from which the deciding node derives the miss penalties m_i),
-//     and its greedy eviction cost loss l_i for the object's size. Nodes
-//     whose d-cache lacks the object's descriptor attach the "no
-//     descriptor" tag instead and are excluded from the candidate set.
+//  1. Upstream pass (request message): engine.NodeState.Lookup probes each
+//     cache; on a miss, engine.NodeState.UpMiss appends the hop's
+//     piggybacked candidate record (f_i, l_i, link cost) — or the §2.4 "no
+//     descriptor" tag — to the request's candidate vector.
 //  2. The serving node A_0 (first cache holding the object, or the origin)
 //     solves the n-optimization problem with the dynamic program of §2.2
-//     and attaches the optimal caching locations to the response.
-//  3. Downstream pass (response message): a cost counter accumulates link
-//     delays; each cache updates the object's stored miss penalty from the
-//     counter, caches the object if instructed (resetting the counter and
-//     demoting evicted objects' descriptors to the d-cache), and otherwise
-//     ensures a descriptor of the passing object exists in its d-cache.
+//     via engine.Decider.Decide.
+//  3. Downstream pass (response message): engine.NodeState.DownStep applies
+//     the decision at each hop — caching the object where instructed
+//     (resetting the miss-penalty counter and demoting evicted objects'
+//     descriptors to the d-cache), updating the d-cache's stored miss
+//     penalty elsewhere.
 type Coordinated struct {
-	caches  map[model.NodeID]*cache.HeapStore
-	dcaches map[model.NodeID]dcache.DCache
+	nodes map[model.NodeID]*engine.NodeState
 
 	// clampMonotone restores f_1 ≥ … ≥ f_n on the piggybacked frequency
 	// profile before optimizing (sliding-window noise can transiently
@@ -50,17 +49,16 @@ type Coordinated struct {
 
 	dfac dcache.Factory
 
-	// opt owns the DP tables and monotone-clamp scratch, so the per-call
-	// optimization allocates nothing.
-	opt core.Optimizer
+	// dec owns the DP tables, candidate scratch and monotone-clamp
+	// buffers, so the per-call optimization allocates nothing.
+	dec engine.Decider
 
 	// scratch buffers reused across Process calls.
-	cand   []core.Node
-	index  []int
+	cand   []engine.Candidate
 	placed []int
 
 	// pool recycles descriptors evicted by the d-caches.
-	pool descPool
+	pool engine.DescPool
 
 	// tracer, when set, samples requests for hop-by-hop protocol traces.
 	// Unsampled requests pay one nil/stride check, so the hot path stays
@@ -84,7 +82,12 @@ func (s *Coordinated) SetTheorem2Prune(v bool) { s.theorem2Prune = v }
 
 // SetWindowK overrides the sliding-window size of descriptors the scheme
 // creates (paper default 3). Call before processing requests.
-func (s *Coordinated) SetWindowK(k int) { s.windowK = k }
+func (s *Coordinated) SetWindowK(k int) {
+	s.windowK = k
+	for _, st := range s.nodes {
+		st.WindowK = k
+	}
+}
 
 // SetDCacheFactory selects the d-cache implementation (heap LFU by
 // default; dcache.NewLRUStacksFactory for the paper's O(1) variant). Call
@@ -100,12 +103,17 @@ func (s *Coordinated) Name() string { return "COORD" }
 
 // Configure implements Scheme.
 func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
-	s.caches = make(map[model.NodeID]*cache.HeapStore, len(budgets))
-	s.dcaches = make(map[model.NodeID]dcache.DCache, len(budgets))
+	s.nodes = make(map[model.NodeID]*engine.NodeState, len(budgets))
 	for n, b := range budgets {
-		s.caches[n] = cache.NewCostAware(b.CacheBytes)
-		s.dcaches[n] = s.dfac(b.DCacheEntries)
-		s.pool.attach(s.dcaches[n])
+		st := &engine.NodeState{
+			Node:    n,
+			Store:   cache.NewCostAware(b.CacheBytes),
+			DCache:  s.dfac(b.DCacheEntries),
+			WindowK: s.windowK,
+			Pool:    &s.pool,
+		}
+		s.pool.Attach(st.DCache)
+		s.nodes[n] = st
 	}
 }
 
@@ -114,158 +122,57 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	tr := s.tracer.Begin(now, obj, size)
 
 	// ---- Upstream pass -------------------------------------------------
+	// Probe each cache on the way up; collect every miss hop's candidate
+	// record (including §2.4 tags — their link costs still feed deeper
+	// candidates' miss penalties) in wire order, client first.
 	hit := path.OriginIndex()
+	s.cand = s.cand[:0]
 	for i := range path.Nodes {
-		n := path.Nodes[i]
-		if main := s.caches[n]; main.Contains(obj) {
-			main.Touch(obj, now)
+		st := s.nodes[path.Nodes[i]]
+		if st.Lookup(obj, now) {
 			hit = i
 			break
 		}
-		// The request is observed passing through: refresh the
-		// d-cache descriptor's access history (if the node has one).
-		s.dcaches[n].RecordAccess(obj, now)
-		if tr != nil {
-			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActMiss})
-		}
+		s.cand = append(s.cand, st.UpMiss(obj, size, i, path.UpCost[i], now, tr))
 	}
-	if tr != nil {
-		if hit < path.OriginIndex() {
-			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hit, Node: int(path.Nodes[hit]), Action: reqtrace.ActHit})
-		} else {
-			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hit, Node: -1, Action: reqtrace.ActServeOrigin})
-		}
+	servNode := model.NoNode
+	if hit < path.OriginIndex() {
+		servNode = path.Nodes[hit]
 	}
+	engine.TraceServe(tr, hit, servNode)
 
 	// ---- Placement decision at the serving node ------------------------
-	// Candidates are the caches strictly below the hit whose d-cache
-	// holds the object's descriptor (§2.4) and which could fit the
-	// object at all. The DP orders them from the serving node toward the
-	// client (paper index 1 … n), i.e. descending path index.
-	s.cand = s.cand[:0]
-	s.index = s.index[:0]
+	// Message accounting: every hop whose d-cache held the descriptor
+	// piggybacked it upward (candidates and cannot-fit alike); the "no
+	// descriptor" tag costs nothing.
 	var piggyback int64
-	pbMark := 0
-	if tr != nil {
-		pbMark = len(tr.Events)
-	}
-	m := 0.0 // accumulated miss penalty from the serving node downward
-	for i := hit - 1; i >= 0; i-- {
-		m += path.UpCost[i]
-		n := path.Nodes[i]
-		desc := s.dcaches[n].Get(obj)
-		if desc == nil {
-			if tr != nil {
-				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActNoDescriptor})
-			}
-			continue // "no descriptor" tag: excluded from candidates
-		}
-		piggyback += descriptorWireBytes
-		loss, ok := s.caches[n].CostLoss(size, now)
-		if !ok {
-			if tr != nil {
-				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActExcluded, MissPenalty: m})
-			}
-			continue // object cannot fit in this cache
-		}
-		f := desc.Freq(now)
-		if s.theorem2Prune && f*m < loss {
-			if tr != nil {
-				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActExcluded, Freq: f, CostLoss: loss, MissPenalty: m})
-			}
-			continue // Theorem 2: never part of an optimal placement
-		}
-		if tr != nil {
-			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: i, Node: int(n), Action: reqtrace.ActPiggyback, Freq: f, CostLoss: loss, MissPenalty: m})
-		}
-		s.cand = append(s.cand, core.Node{
-			Freq:        f,
-			MissPenalty: m,
-			CostLoss:    loss,
-		})
-		s.index = append(s.index, i)
-	}
-	if tr != nil {
-		// The candidate scan runs serving-node→client for the DP's penalty
-		// accumulation, but the descriptors physically attach client→origin
-		// during the upward pass: reverse so the trace reads in wire order.
-		evs := tr.Events[pbMark:]
-		for l, r := 0, len(evs)-1; l < r; l, r = l+1, r-1 {
-			evs[l], evs[r] = evs[r], evs[l]
+	for i := range s.cand {
+		if s.cand[i].Tag != engine.TagNoDescriptor {
+			piggyback += descriptorWireBytes
 		}
 	}
-	problem := s.cand
-	if s.clampMonotone {
-		problem = s.opt.ClampMonotone(problem)
-	}
-	placement := s.opt.Optimize(problem)
-	piggyback += int64(len(placement.Indices)) * 4 // placement instructions on the response
-	if tr != nil {
-		chosen := make([]int, len(placement.Indices))
-		// placement.Indices ascend over s.cand, which was filled with
-		// descending path indices — reverse into ascending hop order.
-		for k, v := range placement.Indices {
-			chosen[len(chosen)-1-k] = s.index[v]
-		}
-		servNode := -1
-		if hit < path.OriginIndex() {
-			servNode = int(path.Nodes[hit])
-		}
-		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDecide, Hop: hit, Node: servNode, Action: reqtrace.ActDecision, Chosen: chosen})
-	}
+	chosen := s.dec.Decide(s.cand,
+		engine.DecideOptions{ClampMonotone: s.clampMonotone, Theorem2Prune: s.theorem2Prune},
+		engine.ServePoint{Hop: hit, Node: servNode}, tr)
+	piggyback += int64(len(chosen)) * 4 // placement instructions on the response
 
 	// ---- Downstream pass ------------------------------------------------
-	// placement.Indices are ascending positions into s.cand, and s.cand was
-	// filled from path index hit-1 downward — so the chosen path indices
-	// appear in placement order as i descends. A cursor replaces the
-	// chosen-set map.
+	// chosen holds ascending hop indices and the response walks hops
+	// descending — a tail cursor replaces a chosen-set map.
 	placed := s.placed[:0]
-	next := 0
+	last := len(chosen) - 1
 	mp := 0.0 // the response message's miss-penalty counter
 	for i := hit - 1; i >= 0; i-- {
 		mp += path.UpCost[i]
-		n := path.Nodes[i]
-		if next < len(placement.Indices) && s.index[placement.Indices[next]] == i {
-			next++
-			desc := s.dcaches[n].Take(obj)
-			if desc == nil {
-				// Possible only when the d-cache dropped the
-				// descriptor between passes; rebuild it.
-				desc = s.pool.get(obj, size, s.windowK)
-				desc.Window.Record(now)
-			}
-			desc.SetMissPenalty(mp)
-			evicted, ok := s.caches[n].Insert(desc, now)
-			if !ok {
-				s.dcaches[n].Put(desc, now)
-				if tr != nil {
-					tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActPlaceFailed, MissPenalty: mp})
-				}
-				continue
-			}
+		st := s.nodes[path.Nodes[i]]
+		place := last >= 0 && chosen[last] == i
+		if place {
+			last--
+		}
+		res := st.DownStep(obj, size, place, mp, i, now, tr)
+		mp = res.MP
+		if res.Placed {
 			placed = append(placed, i)
-			for _, v := range evicted {
-				s.dcaches[n].Put(v, now)
-			}
-			if tr != nil {
-				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActPlace, MissPenalty: mp, Reset: true, Evicted: len(evicted)})
-			}
-			mp = 0 // a fresh copy now sits here
-			continue
-		}
-		// Not instructed to cache: maintain the node's meta
-		// information about the passing object.
-		dc := s.dcaches[n]
-		if dc.Contains(obj) {
-			dc.SetMissPenalty(obj, mp, now)
-		} else {
-			desc := s.pool.get(obj, size, s.windowK)
-			desc.Window.Record(now)
-			desc.SetMissPenalty(mp)
-			dc.Put(desc, now)
-		}
-		if tr != nil {
-			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: i, Node: int(n), Action: reqtrace.ActUpdate, MissPenalty: mp})
 		}
 	}
 	s.placed = placed
@@ -277,18 +184,29 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 }
 
 // Cache exposes a node's main store for tests.
-func (s *Coordinated) Cache(n model.NodeID) *cache.HeapStore { return s.caches[n] }
+func (s *Coordinated) Cache(n model.NodeID) *cache.HeapStore {
+	if st := s.nodes[n]; st != nil {
+		return st.Store
+	}
+	return nil
+}
 
 // DCache exposes a node's descriptor cache for tests.
-func (s *Coordinated) DCache(n model.NodeID) dcache.DCache { return s.dcaches[n] }
+func (s *Coordinated) DCache(n model.NodeID) dcache.DCache {
+	if st := s.nodes[n]; st != nil {
+		return st.DCache
+	}
+	return nil
+}
 
 // Evict implements Evicter: the invalidated copy's descriptor is demoted
 // to the d-cache, exactly as a capacity eviction would.
 func (s *Coordinated) Evict(node model.NodeID, obj model.ObjectID) bool {
-	d := s.caches[node].Remove(obj)
+	st := s.nodes[node]
+	d := st.Store.Remove(obj)
 	if d == nil {
 		return false
 	}
-	s.dcaches[node].Put(d, d.Window.LastAccess())
+	st.DCache.Put(d, d.Window.LastAccess())
 	return true
 }

@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 )
@@ -14,8 +15,8 @@ import (
 type LFU struct {
 	caches  map[model.NodeID]*cache.HeapStore
 	dcaches map[model.NodeID]dcache.DCache
-	placed  []int    // scratch reused across Process calls
-	pool    descPool // recycles descriptors evicted by the d-caches
+	placed  []int           // scratch reused across Process calls
+	pool    engine.DescPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLFU returns an unconfigured LFU scheme.
@@ -31,7 +32,7 @@ func (s *LFU) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewLFU(b.CacheBytes)
 		s.dcaches[n] = dcache.New(b.DCacheEntries)
-		s.pool.attach(s.dcaches[n])
+		s.pool.Attach(s.dcaches[n])
 	}
 }
 
@@ -52,7 +53,7 @@ func (s *LFU) Process(now float64, obj model.ObjectID, size int64, path Path) Ou
 		n := path.Nodes[i]
 		desc := s.dcaches[n].Take(obj)
 		if desc == nil {
-			desc = s.pool.get(obj, size, freq.DefaultK)
+			desc = s.pool.Get(obj, size, freq.DefaultK)
 			desc.Window.Record(now)
 		}
 		evicted, ok := s.caches[n].Insert(desc, now)

@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 )
@@ -19,8 +20,8 @@ type LNCR struct {
 	caches  map[model.NodeID]*cache.HeapStore
 	dcaches map[model.NodeID]dcache.DCache
 	dfac    dcache.Factory
-	placed  []int    // scratch reused across Process calls
-	pool    descPool // recycles descriptors evicted by the d-caches
+	placed  []int           // scratch reused across Process calls
+	pool    engine.DescPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLNCR returns an unconfigured LNC-R scheme.
@@ -41,7 +42,7 @@ func (s *LNCR) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewCostAware(b.CacheBytes)
 		s.dcaches[n] = s.dfac(b.DCacheEntries)
-		s.pool.attach(s.dcaches[n])
+		s.pool.Attach(s.dcaches[n])
 	}
 }
 
@@ -67,7 +68,7 @@ func (s *LNCR) Process(now float64, obj model.ObjectID, size int64, path Path) O
 		n := path.Nodes[i]
 		desc := s.dcaches[n].Take(obj)
 		if desc == nil {
-			desc = s.pool.get(obj, size, freq.DefaultK)
+			desc = s.pool.Get(obj, size, freq.DefaultK)
 			desc.Window.Record(now)
 		}
 		desc.SetMissPenalty(path.UpCost[i])

@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/engine"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 )
@@ -17,8 +18,8 @@ import (
 type LRU2H struct {
 	caches  map[model.NodeID]*cache.LRU
 	dcaches map[model.NodeID]dcache.DCache
-	placed  []int    // scratch reused across Process calls
-	pool    descPool // recycles descriptors evicted by the d-caches
+	placed  []int           // scratch reused across Process calls
+	pool    engine.DescPool // recycles descriptors evicted by the d-caches
 }
 
 // NewLRU2H returns an unconfigured second-hit LRU scheme.
@@ -34,7 +35,7 @@ func (s *LRU2H) Configure(budgets map[model.NodeID]NodeBudget) {
 	for n, b := range budgets {
 		s.caches[n] = cache.NewLRU(b.CacheBytes)
 		s.dcaches[n] = dcache.New(b.DCacheEntries)
-		s.pool.attach(s.dcaches[n])
+		s.pool.Attach(s.dcaches[n])
 	}
 }
 
@@ -56,7 +57,7 @@ func (s *LRU2H) Process(now float64, obj model.ObjectID, size int64, path Path) 
 		dc := s.dcaches[n]
 		if !dc.Contains(obj) {
 			// First sighting: remember, do not admit.
-			d := s.pool.get(obj, size, freq.DefaultK)
+			d := s.pool.Get(obj, size, freq.DefaultK)
 			d.Window.Record(now)
 			dc.Put(d, now)
 			continue

@@ -5,9 +5,8 @@ import (
 	"math/rand"
 
 	"cascade/internal/cache"
-	"cascade/internal/core"
 	"cascade/internal/dcache"
-	"cascade/internal/freq"
+	"cascade/internal/engine"
 	"cascade/internal/model"
 )
 
@@ -19,6 +18,11 @@ import (
 // below the serving point inserts unconditionally, exactly as a real
 // mixed fleet would behave.
 //
+// Participating nodes run the same engine.NodeState steps as the pure
+// Coordinated scheme; legacy hops contribute a §2.4 "no descriptor" tag to
+// the candidate vector (their link costs still feed deeper candidates'
+// miss penalties) and apply their cache-everything policy on the way down.
+//
 // Participation 1 is not identical to the pure Coordinated scheme: legacy
 // nodes do not exist then, but the placement decision still ignores the
 // copies legacy nodes would have absorbed, so the two converge. At
@@ -27,20 +31,17 @@ type Partial struct {
 	participation float64
 	seed          int64
 
-	coordNode map[model.NodeID]bool
-	caches    map[model.NodeID]*cache.HeapStore // participating nodes
-	dcaches   map[model.NodeID]dcache.DCache
-	legacy    map[model.NodeID]*cache.LRU // non-participating nodes
+	coord  map[model.NodeID]*engine.NodeState // participating nodes
+	legacy map[model.NodeID]*cache.LRU        // non-participating nodes
 
-	// opt owns the DP tables so the per-call optimization allocates
-	// nothing; the slices below are scratch reused across Process calls.
-	opt    core.Optimizer
-	cand   []core.Node
-	index  []int
+	// dec owns the DP tables and scratch so the per-call optimization
+	// allocates nothing; the slices below are reused across Process calls.
+	dec    engine.Decider
+	cand   []engine.Candidate
 	placed []int
 
 	// pool recycles descriptors evicted by the d-caches.
-	pool descPool
+	pool engine.DescPool
 }
 
 // NewPartial returns a mixed-deployment scheme where approximately the
@@ -66,9 +67,7 @@ func (s *Partial) Participation() float64 { return s.participation }
 
 // Configure implements Scheme.
 func (s *Partial) Configure(budgets map[model.NodeID]NodeBudget) {
-	s.coordNode = make(map[model.NodeID]bool, len(budgets))
-	s.caches = make(map[model.NodeID]*cache.HeapStore)
-	s.dcaches = make(map[model.NodeID]dcache.DCache)
+	s.coord = make(map[model.NodeID]*engine.NodeState)
 	s.legacy = make(map[model.NodeID]*cache.LRU)
 	r := rand.New(rand.NewSource(s.seed))
 	// Iterate nodes in a deterministic order for reproducible draws.
@@ -80,10 +79,14 @@ func (s *Partial) Configure(budgets map[model.NodeID]NodeBudget) {
 	for _, n := range ids {
 		b := budgets[n]
 		if r.Float64() < s.participation {
-			s.coordNode[n] = true
-			s.caches[n] = cache.NewCostAware(b.CacheBytes)
-			s.dcaches[n] = dcache.New(b.DCacheEntries)
-			s.pool.attach(s.dcaches[n])
+			st := &engine.NodeState{
+				Node:   n,
+				Store:  cache.NewCostAware(b.CacheBytes),
+				DCache: dcache.New(b.DCacheEntries),
+				Pool:   &s.pool,
+			}
+			s.pool.Attach(st.DCache)
+			s.coord[n] = st
 		} else {
 			s.legacy[n] = cache.NewLRU(b.CacheBytes)
 		}
@@ -99,22 +102,26 @@ func sortNodeIDs(ids []model.NodeID) {
 }
 
 // IsCoordinated reports whether a node participates in the protocol.
-func (s *Partial) IsCoordinated(n model.NodeID) bool { return s.coordNode[n] }
+func (s *Partial) IsCoordinated(n model.NodeID) bool {
+	_, ok := s.coord[n]
+	return ok
+}
 
 // Process implements Scheme.
 func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
 	// Upstream: look for a hit in either kind of cache; participating
-	// nodes record accesses in their d-caches.
+	// nodes emit their candidate records, legacy nodes a "no descriptor"
+	// tag (excluded from the DP, link cost still accumulated).
 	hit := path.OriginIndex()
+	s.cand = s.cand[:0]
 	for i := range path.Nodes {
 		n := path.Nodes[i]
-		if s.coordNode[n] {
-			if main := s.caches[n]; main.Contains(obj) {
-				main.Touch(obj, now)
+		if st := s.coord[n]; st != nil {
+			if st.Lookup(obj, now) {
 				hit = i
 				break
 			}
-			s.dcaches[n].RecordAccess(obj, now)
+			s.cand = append(s.cand, st.UpMiss(obj, size, i, path.UpCost[i], now, nil))
 			continue
 		}
 		if c := s.legacy[n]; c.Contains(obj) {
@@ -122,75 +129,45 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 			hit = i
 			break
 		}
+		s.cand = append(s.cand, engine.Candidate{
+			Hop: i, Node: n, Tag: engine.TagNoDescriptor, Link: path.UpCost[i],
+		})
+	}
+	servNode := model.NoNode
+	if hit < path.OriginIndex() {
+		servNode = path.Nodes[hit]
 	}
 
 	// Decision: DP over participating candidates below the hit.
-	s.cand = s.cand[:0]
-	s.index = s.index[:0]
-	m := 0.0
-	for i := hit - 1; i >= 0; i-- {
-		m += path.UpCost[i]
-		n := path.Nodes[i]
-		if !s.coordNode[n] {
-			continue
-		}
-		desc := s.dcaches[n].Get(obj)
-		if desc == nil {
-			continue
-		}
-		loss, ok := s.caches[n].CostLoss(size, now)
-		if !ok {
-			continue
-		}
-		s.cand = append(s.cand, core.Node{Freq: desc.Freq(now), MissPenalty: m, CostLoss: loss})
-		s.index = append(s.index, i)
-	}
-	placement := s.opt.Optimize(s.opt.ClampMonotone(s.cand))
+	chosen := s.dec.Decide(s.cand, engine.DecideOptions{ClampMonotone: true},
+		engine.ServePoint{Hop: hit, Node: servNode}, nil)
 
 	// Downstream: participating nodes follow the decision and maintain
-	// descriptors; legacy nodes insert everything. placement.Indices are
-	// ascending positions into s.cand, which was filled from path index
-	// hit-1 downward, so a cursor replaces the chosen-set map.
+	// descriptors; legacy nodes insert everything. chosen holds ascending
+	// hop indices and the response walks hops descending — a tail cursor
+	// replaces a chosen-set map.
 	placed := s.placed[:0]
-	next := 0
+	last := len(chosen) - 1
 	mp := 0.0
 	for i := hit - 1; i >= 0; i-- {
 		mp += path.UpCost[i]
 		n := path.Nodes[i]
-		if !s.coordNode[n] {
+		st := s.coord[n]
+		if st == nil {
 			if _, ok := s.legacy[n].Insert(obj, size); ok {
 				placed = append(placed, i)
 				mp = 0
 			}
 			continue
 		}
-		if next < len(placement.Indices) && s.index[placement.Indices[next]] == i {
-			next++
-			desc := s.dcaches[n].Take(obj)
-			if desc == nil {
-				desc = s.pool.get(obj, size, freq.DefaultK)
-				desc.Window.Record(now)
-			}
-			desc.SetMissPenalty(mp)
-			if evicted, ok := s.caches[n].Insert(desc, now); ok {
-				placed = append(placed, i)
-				for _, v := range evicted {
-					s.dcaches[n].Put(v, now)
-				}
-				mp = 0
-			} else {
-				s.dcaches[n].Put(desc, now)
-			}
-			continue
+		place := last >= 0 && chosen[last] == i
+		if place {
+			last--
 		}
-		dc := s.dcaches[n]
-		if dc.Contains(obj) {
-			dc.SetMissPenalty(obj, mp, now)
-		} else {
-			desc := s.pool.get(obj, size, freq.DefaultK)
-			desc.Window.Record(now)
-			desc.SetMissPenalty(mp)
-			dc.Put(desc, now)
+		res := st.DownStep(obj, size, place, mp, i, now, nil)
+		mp = res.MP
+		if res.Placed {
+			placed = append(placed, i)
 		}
 	}
 	s.placed = placed
@@ -199,12 +176,12 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 
 // Evict implements Evicter.
 func (s *Partial) Evict(node model.NodeID, obj model.ObjectID) bool {
-	if s.coordNode[node] {
-		d := s.caches[node].Remove(obj)
+	if st := s.coord[node]; st != nil {
+		d := st.Store.Remove(obj)
 		if d == nil {
 			return false
 		}
-		s.dcaches[node].Put(d, d.Window.LastAccess())
+		st.DCache.Put(d, d.Window.LastAccess())
 		return true
 	}
 	return s.legacy[node].Remove(obj)
