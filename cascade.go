@@ -47,12 +47,14 @@ import (
 	"time"
 
 	"cascade/internal/analysis"
+	"cascade/internal/audit"
 	"cascade/internal/coherency"
 	"cascade/internal/core"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/experiment"
 	"cascade/internal/fault"
+	"cascade/internal/flightrec"
 	"cascade/internal/httpgw"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
@@ -485,6 +487,69 @@ func SampleRequestTraces(arch Architecture, cfg ExperimentConfig, size float64, 
 	return experiment.SampleTraces(arch, cfg, size, n)
 }
 
+// Protocol flight recorder, online invariant auditing and predicted-vs-
+// realized cost accounting (docs/OBSERVABILITY.md).
+type (
+	// FlightRecorder is a per-node fixed-capacity ring buffer of compact
+	// protocol events; attach via Coordinated.SetFlightCapacity,
+	// ClusterConfig.FlightCapacity or the gateway's built-in recorder.
+	FlightRecorder = flightrec.Recorder
+	// FlightEvent is one recorded protocol step.
+	FlightEvent = flightrec.Event
+	// FlightEventKind classifies a flight event.
+	FlightEventKind = flightrec.Kind
+	// FlightSnapshot is a dump-friendly view of one node's recorder.
+	FlightSnapshot = flightrec.Snapshot
+
+	// Auditor evaluates the paper's analytical guarantees online (Theorem 2
+	// local benefit, §2.2 DP optimality spot checks, NCL eviction order,
+	// miss-penalty consistency); violations surface as
+	// cascade_audit_violations_total{invariant=...}.
+	Auditor = audit.Auditor
+	// AuditInvariant identifies one monitored guarantee.
+	AuditInvariant = audit.Invariant
+	// AuditViolation carries one failure's full context to the sink.
+	AuditViolation = audit.Violation
+	// CostLedger accounts the DP's predicted cost reduction against the
+	// savings realized by hits at placed copies, per node.
+	CostLedger = audit.Ledger
+	// LedgerAccount is one node's accumulated ledger state.
+	LedgerAccount = audit.NodeAccount
+	// AuditReport summarizes an audited run's per-invariant counts.
+	AuditReport = experiment.AuditReport
+)
+
+// NewFlightRecorder returns a recorder retaining the last capacity events.
+func NewFlightRecorder(capacity int) *FlightRecorder { return flightrec.New(capacity) }
+
+// NewAuditor returns an online invariant auditor whose counters register in
+// reg (nil for a detached auditor); attach via Coordinated.SetAuditor or
+// ClusterConfig.EnableAudit.
+func NewAuditor(reg *MetricsRegistry, labels ...MetricsLabel) *Auditor {
+	return audit.New(reg, labels...)
+}
+
+// NewCostLedger returns an empty predicted-vs-realized cost ledger; attach
+// via Coordinated.SetLedger.
+func NewCostLedger() *CostLedger { return audit.NewLedger() }
+
+// AuditInvariants lists every monitored invariant in metric-label order.
+func AuditInvariants() []AuditInvariant { return audit.Invariants() }
+
+// LedgerStudy replays the workload through audited coordinated caching and
+// tabulates each node's predicted-vs-realized placement accounting
+// (cascadesim -exp ledger).
+func LedgerStudy(arch Architecture, cfg ExperimentConfig, size float64) (ResultTable, AuditReport, error) {
+	return experiment.LedgerStudy(arch, cfg, size)
+}
+
+// DumpFlightRecorders replays the workload through coordinated caching with
+// per-node flight recorders attached and returns every node's snapshot
+// (cascadesim -flight-dump).
+func DumpFlightRecorders(arch Architecture, cfg ExperimentConfig, size float64, capacity int) ([]FlightSnapshot, AuditReport, error) {
+	return experiment.FlightDump(arch, cfg, size, capacity)
+}
+
 // Fault injection (deterministic chaos hooks shared by the runtime and the
 // HTTP gateway).
 type (
@@ -526,6 +591,10 @@ const (
 	// HTTPHeaderTrace is the opt-in debug header: send any value to
 	// receive a JSON event log of both protocol passes in the response.
 	HTTPHeaderTrace = httpgw.HeaderTrace
+	// HTTPHeaderPredict carries the decision's predicted Δcost term per
+	// chosen node downstream, so each placing node can book its own cost
+	// ledger claim at apply time.
+	HTTPHeaderPredict = httpgw.HeaderPredict
 )
 
 // DefaultUpstreamTimeout bounds gateway upstream fetches when no explicit
@@ -540,7 +609,9 @@ func NewHTTPCacheNode(id NodeID, upstream string, upCost float64, capacity int64
 }
 
 // NewHTTPOrigin builds a synthetic origin handler; size maps objects to
-// payload lengths.
+// payload lengths. The origin decides placements for whole-chain misses;
+// EnableObservability audits those decisions and serves the metrics and
+// flight-recorder routes on its listener.
 func NewHTTPOrigin(size func(ObjectID) int) *HTTPOrigin { return &httpgw.Origin{Size: size} }
 
 // NewHTTPFileOrigin builds an origin handler serving files beneath dir, so

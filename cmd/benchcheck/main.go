@@ -14,7 +14,10 @@
 // Without -update, the gated benchmarks (by default the two replay
 // throughput benchmarks) are compared against the baseline: the check
 // fails when ns/op regresses beyond -threshold, or when allocs/op grows
-// by more than one.
+// by more than one. Independently of the baseline, -allocs-ceiling pins
+// hard absolute allocation budgets: the replay hot path is contractually
+// zero allocs/op with observability disabled, and that property must not
+// erode one alloc at a time via baseline drift.
 package main
 
 import (
@@ -63,8 +66,14 @@ func run() error {
 		update    = flag.Bool("update", false, "rewrite the baseline's benchmarks from the input instead of comparing")
 		threshold = flag.Float64("threshold", 1.25, "allowed current/baseline ns/op ratio before the check fails")
 		gate      = flag.String("gate", "BenchmarkSimulatorThroughput,BenchmarkClusterThroughput", "comma-separated benchmarks the check gates on")
+		ceilings  = flag.String("allocs-ceiling", "BenchmarkSimulatorThroughput=0", "comma-separated name=max hard caps on allocs/op, enforced regardless of the baseline")
 	)
 	flag.Parse()
+
+	caps, err := parseCeilings(*ceilings)
+	if err != nil {
+		return err
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -133,10 +142,51 @@ func run() error {
 		fmt.Printf("%s %s: %.0f ns/op vs baseline %.0f (%.2fx, limit %.2fx), %.0f allocs/op vs %.0f\n",
 			status, name, c.NsPerOp, b.NsPerOp, ratio, *threshold, c.AllocsPerOp, b.AllocsPerOp)
 	}
+	for _, c := range caps {
+		m, ok := current[c.name]
+		if !ok {
+			fmt.Printf("FAIL %s: allocs ceiling %d set but benchmark missing from current run\n", c.name, c.max)
+			failures++
+			continue
+		}
+		status := "ok  "
+		if m.AllocsPerOp > float64(c.max) {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %s: %.0f allocs/op vs hard ceiling %d\n", status, c.name, m.AllocsPerOp, c.max)
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed", failures)
 	}
 	return nil
+}
+
+// ceiling is one -allocs-ceiling entry: a hard absolute allocs/op cap.
+type ceiling struct {
+	name string
+	max  int64
+}
+
+// parseCeilings parses "Name=max,Name=max" (empty string: no ceilings).
+func parseCeilings(s string) ([]ceiling, error) {
+	var out []ceiling
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -allocs-ceiling entry %q (want name=max)", part)
+		}
+		max, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("bad -allocs-ceiling value %q", val)
+		}
+		out = append(out, ceiling{name: strings.TrimSpace(name), max: max})
+	}
+	return out, nil
 }
 
 func readBaseline(path string) (Baseline, error) {

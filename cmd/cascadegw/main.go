@@ -53,6 +53,7 @@ func run() error {
 		retries     = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
 		brkThresh   = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
 		brkCool     = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
+		flightCap   = flag.Int("flight", 0, "protocol flight-recorder capacity in events (0 = default 256, negative = disabled); dump via GET /cascade/debug/flight")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		metricsAddr = flag.String("metrics", "", "gateway: serve Prometheus /metrics on this address (e.g. localhost:9090; empty = disabled)")
 	)
@@ -79,15 +80,26 @@ func run() error {
 	var handler http.Handler
 	if *origin {
 		if *metricsAddr != "" {
-			fmt.Fprintln(os.Stderr, "cascadegw: -metrics is gateway-only; ignored in origin mode")
+			fmt.Fprintln(os.Stderr, "cascadegw: -metrics is gateway-only; ignored in origin mode (scrape /cascade/metrics on the main listener)")
 		}
+		var o *cascade.HTTPOrigin
 		if *dir != "" {
-			handler = cascade.NewHTTPFileOrigin(*dir)
+			o = cascade.NewHTTPFileOrigin(*dir)
 			fmt.Fprintf(os.Stderr, "cascadegw: origin on %s serving %s\n", *listen, *dir)
 		} else {
-			handler = cascade.NewHTTPOrigin(func(cascade.ObjectID) int { return *objSize })
+			o = cascade.NewHTTPOrigin(func(cascade.ObjectID) int { return *objSize })
 			fmt.Fprintf(os.Stderr, "cascadegw: origin on %s (%d-byte objects)\n", *listen, *objSize)
 		}
+		// The origin decides every placement that missed the whole chain,
+		// so it audits its decisions like a cache node: cascade_audit_*
+		// series at /cascade/metrics, decision flight ring at
+		// /cascade/debug/flight.
+		fc := 256
+		if *flightCap != 0 {
+			fc = *flightCap
+		}
+		o.EnableObservability(fc, cascade.WallClock())
+		handler = o
 	} else {
 		if *upstream == "" {
 			return fmt.Errorf("gateway mode needs -upstream (or pass -origin)")
@@ -103,6 +115,9 @@ func run() error {
 		node.MaxRetries = *retries
 		node.BreakerThreshold = *brkThresh
 		node.BreakerCooldown = *brkCool
+		if *flightCap != 0 {
+			node.SetFlightCapacity(*flightCap)
+		}
 		if *upTimeout != 0 {
 			node.Client = &http.Client{Timeout: *upTimeout}
 		}

@@ -58,7 +58,7 @@ func main() {
 
 func run() error {
 	var (
-		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, or comma-separated figure IDs (fig6a..fig10b)")
+		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, ledger, or comma-separated figure IDs (fig6a..fig10b)")
 		arch    = flag.String("arch", "both", "architecture for studies: enroute, hierarchy or both")
 		sizes   = flag.String("sizes", "0.001,0.003,0.01,0.03,0.1", "relative cache sizes")
 		schemes = flag.String("schemes", "LRU,MODULO(4),LNC-R,COORD", "schemes to compare")
@@ -74,6 +74,7 @@ func run() error {
 
 		traceFile = flag.String("trace", "", "replay a recorded trace file instead of the synthetic workload")
 		traceReqs = flag.Int("trace-requests", 0, "dump N sampled per-request protocol traces as JSON (COORD scheme, first -arch and -sizes values) and exit")
+		flightCap = flag.Int("flight-dump", 0, "replay with per-node flight recorders of capacity N, dump every node's ring as JSON (COORD scheme, first -arch and -sizes values) and exit")
 		csvDir    = flag.String("csv", "", "directory for CSV export (created if missing)")
 		svgDir    = flag.String("svg", "", "directory for SVG figure export (created if missing)")
 		htmlOut   = flag.String("html", "", "write a self-contained HTML report of every emitted table")
@@ -124,7 +125,7 @@ func run() error {
 		for _, f := range cascade.Figures() {
 			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
 		}
-		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos")
+		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos ledger")
 		fmt.Printf("schemes: %s\n", strings.Join(cascade.SchemeNames(), ", "))
 		return nil
 	}
@@ -172,6 +173,26 @@ func run() error {
 		return fmt.Errorf("-arch: unknown architecture %q", *arch)
 	}
 
+	if *flightCap > 0 {
+		// Flight-dump mode: replay the workload once through the coordinated
+		// scheme with a flight recorder (and the invariant auditor) on every
+		// node, then emit each node's retained protocol events as JSON.
+		a, size := archs[0], sizeList[0]
+		snaps, report, err := cascade.DumpFlightRecorders(a, cfg, size, *flightCap)
+		if err != nil {
+			return err
+		}
+		events := 0
+		for _, s := range snaps {
+			events += len(s.Events)
+		}
+		fmt.Fprintf(os.Stderr, "flight dump: %d nodes, %d retained events, %d audit violations (%s, COORD, cache size %.3g)\n",
+			len(snaps), events, report.Total(), a, size)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snaps)
+	}
+
 	if *traceReqs > 0 {
 		// Trace-dump mode: replay the workload once through the coordinated
 		// scheme, sample N requests and emit their hop-by-hop protocol
@@ -191,7 +212,7 @@ func run() error {
 	wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness := false, false, false, false, false
 	wantTreeShape, wantZipf, wantCostModel, wantLocality, wantLevels := false, false, false, false, false
 	wantAdaptivity, wantCapacity, wantWindowK, wantPartial := false, false, false, false
-	wantAnalysis, wantChaos := false, false
+	wantAnalysis, wantChaos, wantLedger := false, false, false
 	var figIDs []string
 	for _, e := range splitList(*exps) {
 		switch e {
@@ -237,6 +258,11 @@ func run() error {
 			// Failure-aware replay through the live runtime; not part of
 			// "all", which regenerates the paper's artifacts only.
 			wantChaos = true
+		case "ledger":
+			// Predicted-vs-realized accounting replay; like chaos, an
+			// operational diagnostic rather than a paper artifact, so not
+			// part of "all".
+			wantLedger = true
 		default:
 			if _, ok := cascade.FigureByID(e); !ok {
 				return fmt.Errorf("-exp: unknown experiment %q", e)
@@ -459,6 +485,25 @@ func run() error {
 		addJob("analysis", one("analysis", func() (cascade.ResultTable, error) {
 			return cascade.AnalysisStudy(cfg, 0.01)
 		}))
+	}
+	if wantLedger {
+		for _, a := range archs {
+			a := a
+			addJob("ledger "+string(a), one("ledger_"+string(a), func() (cascade.ResultTable, error) {
+				t, report, err := cascade.LedgerStudy(a, cfg, sizeList[0])
+				if err != nil {
+					return cascade.ResultTable{}, err
+				}
+				for _, iv := range cascade.AuditInvariants() {
+					fmt.Fprintf(os.Stderr, "audit %s %s: %d checks, %d violations\n",
+						a, iv, report.Checks[iv.String()], report.Violations[iv.String()])
+				}
+				if n := report.Total(); n > 0 {
+					return cascade.ResultTable{}, fmt.Errorf("ledger %s: %d audit violations", a, n)
+				}
+				return t, nil
+			}))
+		}
 	}
 	if wantChaos {
 		for _, a := range archs {

@@ -1,10 +1,17 @@
-// Command importguard enforces the engine boundary of the multi-incarnation
-// refactor: the protocol incarnations (the replay schemes, the actor
-// cluster and the HTTP gateway) must reach the placement optimizer only
-// through internal/engine — never by importing internal/core directly. A
-// direct import means transport code is re-deriving protocol steps instead
-// of delegating to the shared engine, exactly the drift the engine
-// extraction removed.
+// Command importguard enforces the repo's import boundaries:
+//
+//   - Engine boundary: the protocol incarnations (the replay schemes, the
+//     actor cluster and the HTTP gateway) must reach the placement
+//     optimizer only through internal/engine — never by importing
+//     internal/core directly. A direct import means transport code is
+//     re-deriving protocol steps instead of delegating to the shared
+//     engine, exactly the drift the engine extraction removed.
+//   - Observability independence: internal/flightrec and internal/audit
+//     may import only the standard library plus internal/model and
+//     internal/metrics. The auditor is an independent oracle for the
+//     protocol implementation — importing internal/core (or the engine,
+//     or a transport) would let the oracle share a bug with the code under
+//     test, and would also create an import cycle with the engine's hooks.
 //
 // Run via `make lint` (part of `make check`). Exit status 1 and one line
 // per offending file on violation.
@@ -20,17 +27,54 @@ import (
 	"strings"
 )
 
-// guarded are the incarnation packages; forbidden is the import only
-// internal/engine (and the public facade) may use.
-var (
-	guarded = []string{
-		"internal/scheme",
-		"internal/sim",
-		"internal/runtime",
-		"internal/httpgw",
+// rule constrains one package directory's imports: an import violates the
+// rule when deny lists it, or when allowPrefix is set and the import starts
+// with allowPrefix but is not in allow.
+type rule struct {
+	pkg    string   // directory, slash-separated, relative to the repo root
+	deny   []string // imports this package must not use
+	reason string   // appended to the violation line
+
+	allowPrefix string   // when set, imports under this prefix…
+	allow       []string // …must be one of these
+}
+
+var rules = []rule{
+	{pkg: "internal/scheme", deny: []string{"cascade/internal/core"}, reason: "go through cascade/internal/engine"},
+	{pkg: "internal/sim", deny: []string{"cascade/internal/core"}, reason: "go through cascade/internal/engine"},
+	{pkg: "internal/runtime", deny: []string{"cascade/internal/core"}, reason: "go through cascade/internal/engine"},
+	{pkg: "internal/httpgw", deny: []string{"cascade/internal/core"}, reason: "go through cascade/internal/engine"},
+
+	{
+		pkg:         "internal/flightrec",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
+		reason:      "the flight recorder must stay dependency-free (stdlib + model + metrics only)",
+	},
+	{
+		pkg:         "internal/audit",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
+		reason:      "the auditor is an independent oracle (stdlib + model + metrics only)",
+	},
+}
+
+func (r rule) violates(importPath string) bool {
+	for _, d := range r.deny {
+		if importPath == d {
+			return true
+		}
 	}
-	forbidden = "cascade/internal/core"
-)
+	if r.allowPrefix != "" && strings.HasPrefix(importPath, r.allowPrefix) {
+		for _, a := range r.allow {
+			if importPath == a {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
 
 func main() {
 	root := "."
@@ -38,8 +82,8 @@ func main() {
 		root = os.Args[1]
 	}
 	violations := 0
-	for _, pkg := range guarded {
-		dir := filepath.Join(root, filepath.FromSlash(pkg))
+	for _, r := range rules {
+		dir := filepath.Join(root, filepath.FromSlash(r.pkg))
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "importguard: %v\n", err)
@@ -63,8 +107,8 @@ func main() {
 				if err != nil {
 					continue
 				}
-				if ip == forbidden {
-					fmt.Fprintf(os.Stderr, "importguard: %s imports %s directly; go through cascade/internal/engine\n", path, forbidden)
+				if r.violates(ip) {
+					fmt.Fprintf(os.Stderr, "importguard: %s imports %s; %s\n", path, ip, r.reason)
 					violations++
 				}
 			}

@@ -1,10 +1,15 @@
 // Command observesmoke is the `make observe` driver: it builds cascadegw,
 // boots an origin → gateway chain on ephemeral ports with the -metrics
 // listener enabled, issues a few requests, and asserts that the Prometheus
-// scrape carries the key gateway series and that the X-Cascade-Trace debug
-// header round-trips a JSON event log of both protocol passes. Exit status
-// 0 means the observability surface of the deployed binary works end to
-// end.
+// scrape carries the key gateway series — including every
+// cascade_audit_*_total invariant series at zero violations on this clean
+// run, and the cascade_ledger_* accounting series — that the
+// /cascade/debug/flight endpoint dumps the protocol flight recorder,
+// that the origin's decision-side auditor reports checks with
+// zero violations on its own /cascade/metrics, and that the
+// X-Cascade-Trace debug header round-trips a JSON event log of both
+// protocol passes. Exit status 0 means the observability surface of the
+// deployed binary works end to end.
 package main
 
 import (
@@ -17,9 +22,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"cascade/internal/audit"
+	"cascade/internal/flightrec"
 	"cascade/internal/reqtrace"
 )
 
@@ -106,19 +114,118 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, series := range []string{
+		series := []string{
 			`cascade_gw_hits_total{node="0"}`,
 			`cascade_gw_misses_total{node="0"}`,
 			`cascade_gw_breaker_state{node="0",upstream="`,
 			`cascade_gw_cache_used_bytes{node="0"}`,
 			`cascade_gw_dcache_descriptors{node="0"}`,
-		} {
-			if !strings.Contains(body, series) {
-				return fmt.Errorf("%s: missing series %s\n%s", url, series, body)
+			`cascade_ledger_predicted_gain{node="0"}`,
+			`cascade_ledger_realized_savings{node="0"}`,
+			`cascade_ledger_placements_total{node="0"}`,
+			`cascade_ledger_place_failures_total{node="0"}`,
+			`cascade_ledger_hits_total{node="0"}`,
+		}
+		// Every monitored invariant exports a check and a violation counter.
+		for _, iv := range audit.Invariants() {
+			series = append(series,
+				fmt.Sprintf(`cascade_audit_checks_total{node="0",invariant="%s"}`, iv),
+				fmt.Sprintf(`cascade_audit_violations_total{node="0",invariant="%s"}`, iv))
+		}
+		for _, s := range series {
+			if !strings.Contains(body, s) {
+				return fmt.Errorf("%s: missing series %s\n%s", url, s, body)
 			}
+		}
+		// A clean replay must report zero violations on every invariant.
+		if err := assertZeroViolations(body); err != nil {
+			return fmt.Errorf("%s: %w", url, err)
 		}
 		fmt.Printf("observesmoke: %s serves all key series\n", url)
 	}
+
+	// The cost ledger must show real accounting, not just series presence:
+	// the placement decided once the gateway's descriptor exists books a
+	// positive predicted gain at the placing node, and the later repeats
+	// realize savings against it.
+	gwBody, err := fetch("http://" + gwAddr + "/cascade/metrics")
+	if err != nil {
+		return err
+	}
+	for series, floor := range map[string]float64{
+		`cascade_ledger_placements_total{node="0"}`: 1,
+		`cascade_ledger_hits_total{node="0"}`:       1,
+	} {
+		v, err := seriesValue(gwBody, series)
+		if err != nil {
+			return err
+		}
+		if v < floor {
+			return fmt.Errorf("%s = %g, want >= %g", series, v, floor)
+		}
+	}
+	for _, series := range []string{
+		`cascade_ledger_predicted_gain{node="0"}`,
+		`cascade_ledger_realized_savings{node="0"}`,
+	} {
+		v, err := seriesValue(gwBody, series)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return fmt.Errorf("%s = %g, want > 0", series, v)
+		}
+	}
+	fmt.Println("observesmoke: cost ledger books predictions and realized savings")
+
+	// The origin decides every whole-chain miss, so it audits its own
+	// decisions: its main listener serves cascade_audit_* under
+	// node="origin", with Theorem 2's local-benefit invariant actually
+	// exercised by the placements just decided, and zero violations.
+	originBody, err := fetch("http://" + originAddr + "/cascade/metrics")
+	if err != nil {
+		return err
+	}
+	for _, iv := range audit.Invariants() {
+		s := fmt.Sprintf(`cascade_audit_checks_total{node="origin",invariant="%s"}`, iv)
+		if !strings.Contains(originBody, s) {
+			return fmt.Errorf("origin metrics: missing series %s\n%s", s, originBody)
+		}
+	}
+	if err := assertZeroViolations(originBody); err != nil {
+		return fmt.Errorf("origin metrics: %w", err)
+	}
+	if v, err := seriesValue(originBody, `cascade_audit_checks_total{node="origin",invariant="local_benefit"}`); err != nil {
+		return err
+	} else if v < 1 {
+		return fmt.Errorf("origin audited no local-benefit checks despite deciding placements")
+	}
+	originFlight, err := fetch("http://" + originAddr + "/cascade/debug/flight")
+	if err != nil {
+		return err
+	}
+	var originSnap flightrec.Snapshot
+	if err := json.Unmarshal([]byte(originFlight), &originSnap); err != nil {
+		return fmt.Errorf("origin /cascade/debug/flight is not a JSON snapshot: %w\n%s", err, originFlight)
+	}
+	if len(originSnap.Events) == 0 {
+		return fmt.Errorf("origin flight recorder empty despite decided placements")
+	}
+	fmt.Printf("observesmoke: origin audits its decisions (%d flight events, zero violations)\n", len(originSnap.Events))
+
+	// The flight-recorder debug endpoint must dump the traffic just driven.
+	flightBody, err := fetch("http://" + gwAddr + "/cascade/debug/flight")
+	if err != nil {
+		return err
+	}
+	var snap flightrec.Snapshot
+	if err := json.Unmarshal([]byte(flightBody), &snap); err != nil {
+		return fmt.Errorf("/cascade/debug/flight is not a JSON snapshot: %w\n%s", err, flightBody)
+	}
+	if snap.Capacity <= 0 || len(snap.Events) == 0 {
+		return fmt.Errorf("/cascade/debug/flight dump is empty (capacity %d, %d events)", snap.Capacity, len(snap.Events))
+	}
+	fmt.Printf("observesmoke: flight recorder retains %d events (capacity %d)\n", len(snap.Events), snap.Capacity)
 
 	// The trace header must round-trip a JSON event log showing the
 	// upward pass and the placement decision.
@@ -150,6 +257,34 @@ func run() error {
 	}
 	fmt.Printf("observesmoke: trace header carries %d events across %d phases\n", len(events), len(phases))
 	return nil
+}
+
+// assertZeroViolations scans a Prometheus scrape and fails if any
+// cascade_audit_violations_total sample is non-zero — clean traffic must
+// audit clean.
+func assertZeroViolations(body string) error {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "cascade_audit_violations_total{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[1] != "0" {
+			return fmt.Errorf("audit violation on clean run: %s", line)
+		}
+	}
+	return nil
+}
+
+// seriesValue returns the sample value of the exactly-named series in a
+// Prometheus scrape.
+func seriesValue(body, series string) (float64, error) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, series)), 64)
+	}
+	return 0, fmt.Errorf("series %s not found in scrape", series)
 }
 
 // fetch GETs a URL and returns the body as a string.

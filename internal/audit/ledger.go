@@ -1,0 +1,182 @@
+package audit
+
+import (
+	"sort"
+	"sync"
+
+	"cascade/internal/metrics"
+	"cascade/internal/model"
+)
+
+// Ledger is the predicted-vs-realized cost accounting of the placement
+// protocol. At decision time the DP claims each accepted placement will
+// reduce the total access cost by its Δcost term
+// (f_i − f_{i+1})·m_i − l_i (§2.1); the ledger records that claim against
+// what actually happens: every later hit at the placed copy avoids the
+// copy's miss penalty, and those avoided penalties accumulate as realized
+// savings.
+//
+// Dimensional note: the predicted side is a cost *rate* (frequencies are
+// requests/second, so the term is cost per second), while the realized side
+// is an accumulated cost over the observation window. The two are not
+// directly comparable as absolute numbers; the ledger reports both so drift
+// *trends* between the analytical model and observed behaviour are visible
+// (a placement whose predictions grow while its realizations stay flat is
+// mispredicted). docs/OBSERVABILITY.md discusses reading them together.
+//
+// A nil *Ledger disables all accounting (methods are nil-safe). A Ledger is
+// safe for concurrent use.
+type Ledger struct {
+	mu    sync.Mutex
+	nodes map[model.NodeID]*NodeAccount
+}
+
+// NodeAccount is one node's accumulated ledger state.
+type NodeAccount struct {
+	Node model.NodeID `json:"node"`
+	// PredictedGain sums the DP's Δcost terms for placements accepted at
+	// this node (a cost rate, see the Ledger dimensional note).
+	PredictedGain float64 `json:"predicted_gain"`
+	// RealizedSavings sums the avoided miss penalties of hits served by
+	// copies at this node (an accumulated cost).
+	RealizedSavings float64 `json:"realized_savings"`
+	// Predictions counts placement instructions accepted for this node.
+	Predictions int64 `json:"predictions"`
+	// Placements counts instructed placements that succeeded at apply
+	// time; PlaceFailures counts those the store rejected.
+	Placements    int64 `json:"placements"`
+	PlaceFailures int64 `json:"place_failures"`
+	// Hits counts the cache hits behind RealizedSavings.
+	Hits int64 `json:"hits"`
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{nodes: make(map[model.NodeID]*NodeAccount)}
+}
+
+func (l *Ledger) account(node model.NodeID) *NodeAccount {
+	acc, ok := l.nodes[node]
+	if !ok {
+		acc = &NodeAccount{Node: node}
+		l.nodes[node] = acc
+	}
+	return acc
+}
+
+// RecordPrediction books the DP's predicted Δcost term for one accepted
+// placement at node. Nil-safe.
+func (l *Ledger) RecordPrediction(node model.NodeID, term float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	acc := l.account(node)
+	acc.PredictedGain += term
+	acc.Predictions++
+	l.mu.Unlock()
+}
+
+// RecordPlacement books the apply-time outcome of one instructed placement.
+// Nil-safe.
+func (l *Ledger) RecordPlacement(node model.NodeID, ok bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	acc := l.account(node)
+	if ok {
+		acc.Placements++
+	} else {
+		acc.PlaceFailures++
+	}
+	l.mu.Unlock()
+}
+
+// RecordHit books one hit served by a cached copy at node, avoiding the
+// copy's current miss penalty. Nil-safe.
+func (l *Ledger) RecordHit(node model.NodeID, avoidedPenalty float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	acc := l.account(node)
+	acc.RealizedSavings += avoidedPenalty
+	acc.Hits++
+	l.mu.Unlock()
+}
+
+// Node returns a copy of one node's account (zero value if unseen).
+// Nil-safe.
+func (l *Ledger) Node(node model.NodeID) NodeAccount {
+	if l == nil {
+		return NodeAccount{Node: node}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if acc, ok := l.nodes[node]; ok {
+		return *acc
+	}
+	return NodeAccount{Node: node}
+}
+
+// Snapshot returns a copy of every node's account, sorted by node ID.
+// Nil-safe (nil slice).
+func (l *Ledger) Snapshot() []NodeAccount {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]NodeAccount, 0, len(l.nodes))
+	for _, acc := range l.nodes {
+		out = append(out, *acc)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Totals sums every node's account (Node is model.NoNode). Nil-safe.
+func (l *Ledger) Totals() NodeAccount {
+	t := NodeAccount{Node: model.NoNode}
+	if l == nil {
+		return t
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, acc := range l.nodes {
+		t.PredictedGain += acc.PredictedGain
+		t.RealizedSavings += acc.RealizedSavings
+		t.Predictions += acc.Predictions
+		t.Placements += acc.Placements
+		t.PlaceFailures += acc.PlaceFailures
+		t.Hits += acc.Hits
+	}
+	return t
+}
+
+// RegisterNode exports one node's ledger state as scrape-time gauges in
+// reg, labelled with the caller's labels: cascade_ledger_predicted_gain,
+// cascade_ledger_realized_savings, cascade_ledger_placements_total,
+// cascade_ledger_place_failures_total and cascade_ledger_hits_total.
+// Nil-safe on the ledger.
+func (l *Ledger) RegisterNode(reg *metrics.Registry, node model.NodeID, labels ...metrics.Label) {
+	if l == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc("cascade_ledger_predicted_gain",
+		"DP-predicted cost-reduction rate booked for accepted placements at the node.",
+		func() float64 { return l.Node(node).PredictedGain }, labels...)
+	reg.GaugeFunc("cascade_ledger_realized_savings",
+		"Accumulated cost avoided by hits at copies placed at the node.",
+		func() float64 { return l.Node(node).RealizedSavings }, labels...)
+	reg.CounterFunc("cascade_ledger_placements_total",
+		"Instructed placements that succeeded at apply time at the node.",
+		func() float64 { return float64(l.Node(node).Placements) }, labels...)
+	reg.CounterFunc("cascade_ledger_place_failures_total",
+		"Instructed placements the node's store rejected at apply time.",
+		func() float64 { return float64(l.Node(node).PlaceFailures) }, labels...)
+	reg.CounterFunc("cascade_ledger_hits_total",
+		"Hits accounted into the node's realized savings.",
+		func() float64 { return float64(l.Node(node).Hits) }, labels...)
+}

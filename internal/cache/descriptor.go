@@ -104,3 +104,14 @@ func (d *Descriptor) CostLoss(now float64) float64 {
 // InStore reports whether the descriptor currently belongs to some
 // HeapStore.
 func (d *Descriptor) InStore() bool { return d.heapIndex >= 0 }
+
+// EvictionKey returns the store-maintained eviction key the descriptor last
+// sorted under, including any re-key deferred by the lazy repair machinery.
+// For a victim just returned by HeapStore.Insert this is the final key it
+// was selected at — the value the eviction-order audit compares.
+func (d *Descriptor) EvictionKey() float64 {
+	if d.dirty {
+		return d.pendingKey
+	}
+	return d.key
+}

@@ -302,6 +302,29 @@ func (s *HeapStore) Remove(id model.ObjectID) *Descriptor {
 	return d
 }
 
+// MinKeyExcluding returns the smallest effective eviction key among stored
+// entries other than id, and whether any such entry exists. Deferred
+// re-keys are honoured (an entry's pending key counts), so the result is
+// the key the entry would sort under after the next flush. It exists for
+// the eviction-order audit: immediately after an insertion that evicted
+// victims, every retained entry's key must be ≥ every victim's final key.
+func (s *HeapStore) MinKeyExcluding(id model.ObjectID) (float64, bool) {
+	best, found := 0.0, false
+	for _, d := range s.entries {
+		if d.ID == id {
+			continue
+		}
+		k := d.key
+		if d.dirty {
+			k = d.pendingKey
+		}
+		if !found || k < best {
+			best, found = k, true
+		}
+	}
+	return best, found
+}
+
 // ForEach calls fn for every stored descriptor in unspecified order.
 func (s *HeapStore) ForEach(fn func(*Descriptor)) {
 	for _, d := range s.entries {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"testing"
 
+	"cascade/internal/audit"
 	"cascade/internal/httpgw"
 	"cascade/internal/model"
 	"cascade/internal/runtime"
@@ -85,19 +87,25 @@ func (c *logicalClock) Set(t float64) { c.mu.Lock(); c.now = t; c.mu.Unlock() }
 func (c *logicalClock) Now() float64  { c.mu.Lock(); defer c.mu.Unlock(); return c.now }
 
 // gatewayChain builds origin ← node(L-1) ← … ← node0 over httptest servers
-// and returns node0's base URL.
-func gatewayChain(t *testing.T, upCost []float64, capacity int64, dEntries int, objSize int, clock func() float64) string {
+// and returns node0's base URL, the nodes bottom-up (each carries its own
+// auditor, ledger and flight recorder — NewNode wires them by default) and
+// the origin, whose decision-side observability is enabled too.
+func gatewayChain(t *testing.T, upCost []float64, capacity int64, dEntries int, objSize int, clock func() float64) (string, []*httpgw.Node, *httpgw.Origin) {
 	t.Helper()
-	origin := httptest.NewServer(&httpgw.Origin{Size: func(model.ObjectID) int { return objSize }})
+	o := &httpgw.Origin{Size: func(model.ObjectID) int { return objSize }}
+	o.EnableObservability(64, clock)
+	origin := httptest.NewServer(o)
 	t.Cleanup(origin.Close)
 	upstream := origin.URL
+	nodes := make([]*httpgw.Node, len(upCost))
 	for i := len(upCost) - 1; i >= 0; i-- {
 		n := httpgw.NewNode(model.NodeID(i), upstream, upCost[i], capacity, dEntries, clock)
 		srv := httptest.NewServer(n)
 		t.Cleanup(srv.Close)
 		upstream = srv.URL
+		nodes[i] = n
 	}
-	return upstream
+	return upstream, nodes, o
 }
 
 // gatewayGet issues one request to the chain and returns the serving node
@@ -197,8 +205,17 @@ func TestThreeIncarnationsAgree(t *testing.T) {
 			capacity := int64(tc.rel * float64(cat.TotalBytes))
 			dEntries := int(3 * float64(capacity) / avg)
 
+			// All three incarnations run with the online invariant
+			// auditor and flight recorders attached: conformance both
+			// cross-validates the transports against each other and
+			// proves the audited replay is violation-free everywhere.
+			const flightCap = 64
+
 			// Incarnation 1: the replay simulator.
 			rec := &recorder{inner: scheme.NewCoordinated()}
+			rec.inner.SetAuditor(audit.New(nil))
+			rec.inner.SetLedger(audit.NewLedger())
+			rec.inner.SetFlightCapacity(flightCap)
 			simr, err := sim.New(sim.Config{
 				Scheme: rec, Network: net, Catalog: cat,
 				RelativeCacheSize: tc.rel, Seed: 7,
@@ -210,19 +227,21 @@ func TestThreeIncarnationsAgree(t *testing.T) {
 			// Incarnation 2: the actor cluster.
 			clk := &logicalClock{}
 			cluster, err := runtime.NewCluster(runtime.Config{
-				Network:       net,
-				CacheBytes:    capacity,
-				DCacheEntries: dEntries,
-				AvgObjectSize: avg,
-				Clock:         clk.Now,
+				Network:        net,
+				CacheBytes:     capacity,
+				DCacheEntries:  dEntries,
+				AvgObjectSize:  avg,
+				Clock:          clk.Now,
+				EnableAudit:    true,
+				FlightCapacity: flightCap,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer cluster.Close()
 
-			// Incarnation 3: the HTTP gateway chain.
-			base := gatewayChain(t, tc.upCost, capacity, dEntries, objSize, clk.Now)
+			// Incarnation 3: the HTTP gateway chain (audited by default).
+			base, gwNodes, gwOrigin := gatewayChain(t, tc.upCost, capacity, dEntries, objSize, clk.Now)
 			client := &http.Client{}
 
 			ctx := context.Background()
@@ -268,8 +287,73 @@ func TestThreeIncarnationsAgree(t *testing.T) {
 			if hits == 0 {
 				t.Fatal("conformance trace produced no cache hits; workload too cold to be meaningful")
 			}
-			t.Logf("%s: %d requests agreed across all three incarnations (%d cache hits)",
-				tc.name, gen.Len(), hits)
+
+			// Every incarnation must have audited the whole run clean —
+			// including the gateway origin, which decides every placement
+			// that missed the whole chain.
+			auditors := map[string]*audit.Auditor{
+				"sim":            rec.inner.Auditor(),
+				"cluster":        cluster.Auditor(),
+				"gateway-origin": gwOrigin.Auditor(),
+			}
+			for i, n := range gwNodes {
+				auditors[fmt.Sprintf("gateway%d", i)] = n.Auditor()
+			}
+			checks := int64(0)
+			for name, a := range auditors {
+				if v := a.TotalViolations(); v != 0 {
+					t.Errorf("%s: %d invariant violations on a conforming run", name, v)
+				}
+				for _, iv := range audit.Invariants() {
+					checks += a.Checks(iv)
+				}
+			}
+			if checks == 0 {
+				t.Fatal("auditors attached but no checks ran")
+			}
+			// And the flight recorders must have captured the traffic.
+			if len(rec.inner.FlightRecorder(0).Events()) == 0 {
+				t.Error("simulator flight recorder empty")
+			}
+			if len(cluster.DumpFlight(0).Events) == 0 {
+				t.Error("cluster flight recorder empty")
+			}
+			if len(gwNodes[0].DumpFlight().Events) == 0 {
+				t.Error("gateway flight recorder empty")
+			}
+
+			// The cost ledgers must agree across incarnations too. The
+			// simulator and the cluster book predictions at the decision
+			// site into one shared ledger; the gateway ships each term over
+			// X-Cascade-Predict and books it at the placing node — per
+			// node, all three must end with the same accounts.
+			closeTo := func(a, b float64) bool {
+				return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))+1e-12
+			}
+			simTot := rec.inner.Ledger().Totals()
+			if simTot.Predictions == 0 || simTot.Hits == 0 {
+				t.Fatalf("ledger parity vacuous: sim totals %+v", simTot)
+			}
+			for i := range gwNodes {
+				id := model.NodeID(i)
+				simAcc := rec.inner.Ledger().Node(id)
+				for name, acc := range map[string]audit.NodeAccount{
+					"cluster": cluster.Ledger().Node(id),
+					"gateway": gwNodes[i].Ledger().Node(id),
+				} {
+					if acc.Predictions != simAcc.Predictions || acc.Placements != simAcc.Placements ||
+						acc.PlaceFailures != simAcc.PlaceFailures || acc.Hits != simAcc.Hits {
+						t.Errorf("node %d: %s ledger counts %+v diverge from sim %+v", i, name, acc, simAcc)
+					}
+					if !closeTo(acc.PredictedGain, simAcc.PredictedGain) ||
+						!closeTo(acc.RealizedSavings, simAcc.RealizedSavings) {
+						t.Errorf("node %d: %s ledger sums (%g, %g) diverge from sim (%g, %g)", i, name,
+							acc.PredictedGain, acc.RealizedSavings, simAcc.PredictedGain, simAcc.RealizedSavings)
+					}
+				}
+			}
+			t.Logf("%s: %d requests agreed across all three incarnations (%d cache hits, %d invariant checks, 0 violations, ledgers agree on %d predictions)",
+				tc.name, gen.Len(), hits, checks, simTot.Predictions)
 		})
 	}
 }
@@ -281,7 +365,7 @@ func TestThreeIncarnationsAgree(t *testing.T) {
 func TestPlacementHeaderSortedOnWire(t *testing.T) {
 	const objSize = 500
 	clk := &logicalClock{}
-	base := gatewayChain(t, []float64{1, 2, 4, 8}, 8*objSize, 64, objSize, clk.Now)
+	base, _, _ := gatewayChain(t, []float64{1, 2, 4, 8}, 8*objSize, 64, objSize, clk.Now)
 	client := &http.Client{}
 
 	nonEmpty := 0

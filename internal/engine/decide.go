@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"cascade/internal/audit"
 	"cascade/internal/core"
+	"cascade/internal/flightrec"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
 )
@@ -18,6 +20,21 @@ type DecideOptions struct {
 	// the optimal solution never contains such nodes, so pruning cannot
 	// change the decision — it only shrinks the DP input.
 	Theorem2Prune bool
+
+	// Audit optionally verifies the decision online: Theorem 2 local
+	// benefit on every chosen candidate, plus sampled DP-vs-exhaustive
+	// optimality spot checks. Nil disables.
+	Audit *audit.Auditor
+	// Ledger optionally books the DP's predicted Δcost term per chosen
+	// candidate. Nil disables.
+	Ledger *audit.Ledger
+	// Flight optionally records the decision event at the serving node.
+	// Nil disables.
+	Flight *flightrec.Recorder
+	// Obj and Now give the audit/ledger/flight hooks request context;
+	// unused when all three are nil.
+	Obj model.ObjectID
+	Now float64
 }
 
 // ServePoint identifies where the decision runs: the serving hop and node
@@ -37,6 +54,7 @@ type Decider struct {
 	opt    core.Optimizer
 	prob   []core.Node
 	hops   []int
+	nodes  []model.NodeID
 	chosen []int
 }
 
@@ -58,6 +76,7 @@ type Decider struct {
 func (d *Decider) Decide(cands []Candidate, opts DecideOptions, at ServePoint, tr *reqtrace.Trace) []int {
 	d.prob = d.prob[:0]
 	d.hops = d.hops[:0]
+	d.nodes = d.nodes[:0]
 	pbMark := 0
 	if tr != nil {
 		pbMark = len(tr.Events)
@@ -92,6 +111,7 @@ func (d *Decider) Decide(cands []Candidate, opts DecideOptions, at ServePoint, t
 		}
 		d.prob = append(d.prob, core.Node{Freq: c.Freq, MissPenalty: m, CostLoss: c.CostLoss})
 		d.hops = append(d.hops, c.Hop)
+		d.nodes = append(d.nodes, c.Node)
 	}
 	if tr != nil {
 		// The scan ran serving-node→client for the penalty accumulation,
@@ -108,6 +128,32 @@ func (d *Decider) Decide(cands []Candidate, opts DecideOptions, at ServePoint, t
 		problem = d.opt.ClampMonotone(problem)
 	}
 	pl := d.opt.Optimize(problem)
+
+	if opts.Audit != nil || opts.Ledger != nil {
+		// Verify and account the decision against the values the DP
+		// actually consumed (post clamping). pl.Indices ascend over the
+		// DP input, which is the paper's order — index 0 nearest the
+		// serving node — so the next chosen index holds f_{v_{i+1}}.
+		for j, idx := range pl.Indices {
+			nd := problem[idx]
+			opts.Audit.CheckLocalBenefit(d.nodes[idx], opts.Obj, d.hops[idx], nd.Freq, nd.MissPenalty, nd.CostLoss, opts.Now)
+			fNext := 0.0
+			if j+1 < len(pl.Indices) {
+				fNext = problem[pl.Indices[j+1]].Freq
+			}
+			opts.Ledger.RecordPrediction(d.nodes[idx], (nd.Freq-fNext)*nd.MissPenalty-nd.CostLoss)
+		}
+		if opts.Audit.ShouldSpotCheck(len(problem)) {
+			var pts [16]audit.PathPoint
+			for i, nd := range problem {
+				pts[i] = audit.PathPoint{Freq: nd.Freq, MissPenalty: nd.MissPenalty, CostLoss: nd.CostLoss}
+			}
+			opts.Audit.SpotCheckDP(at.Node, opts.Obj, pts[:len(problem)], pl.Gain, opts.Now)
+		}
+	}
+	if opts.Flight != nil {
+		opts.Flight.Record(flightrec.Event{Time: opts.Now, Node: at.Node, Kind: flightrec.KindDecision, Obj: opts.Obj, Hop: at.Hop, A: pl.Gain, N: len(pl.Indices)})
+	}
 
 	// pl.Indices ascend over the DP input, which was filled with
 	// descending hops — reverse into ascending hop order.

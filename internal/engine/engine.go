@@ -33,8 +33,10 @@
 package engine
 
 import (
+	"cascade/internal/audit"
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
+	"cascade/internal/flightrec"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
@@ -104,16 +106,38 @@ type NodeState struct {
 	// Pool optionally recycles descriptors so steady-state replay
 	// allocates none; nil allocates fresh descriptors.
 	Pool *DescPool
+	// Flight optionally records compact protocol events at this node
+	// (nil disables; the hot path pays one nil check per step).
+	Flight *flightrec.Recorder
+	// Audit optionally verifies protocol invariants online at this node
+	// (nil disables). Transports share one Auditor across their nodes.
+	Audit *audit.Auditor
+	// Ledger optionally accounts realized savings (hits at placed
+	// copies) and apply-time placement outcomes (nil disables).
+	Ledger *audit.Ledger
 }
 
 // Lookup probes the node during the upstream pass. A hit refreshes the
 // copy's access history and makes this node the serving node; the caller
 // stops the pass.
 func (st *NodeState) Lookup(obj model.ObjectID, now float64) bool {
-	if !st.Store.Contains(obj) {
+	d := st.Store.Get(obj)
+	if d == nil {
+		if st.Flight != nil {
+			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindLookupMiss, Obj: obj, Hop: -1})
+		}
 		return false
 	}
+	// The hit avoids the copy's current miss penalty — read it before
+	// Touch refreshes the access history.
+	avoided := d.MissPenalty()
 	st.Store.Touch(obj, now)
+	if st.Ledger != nil {
+		st.Ledger.RecordHit(st.Node, avoided)
+	}
+	if st.Flight != nil {
+		st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindLookupHit, Obj: obj, Hop: -1, A: avoided})
+	}
 	return true
 }
 
@@ -130,21 +154,28 @@ func (st *NodeState) UpMiss(obj model.ObjectID, size int64, hop int, link float6
 		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseUp, Hop: hop, Node: int(st.Node), Action: reqtrace.ActMiss})
 	}
 	c := Candidate{Hop: hop, Node: st.Node, Tag: TagNoDescriptor, Link: link}
-	d := st.DCache.Get(obj)
-	if d == nil {
-		return c
+	if d := st.DCache.Get(obj); d != nil {
+		if size <= 0 {
+			size = d.Size
+		}
+		if loss, ok := st.Store.CostLoss(size, now); !ok {
+			c.Tag = TagCannotFit
+		} else {
+			c.Tag = TagCandidate
+			c.Freq = d.Freq(now)
+			c.CostLoss = loss
+		}
 	}
-	if size <= 0 {
-		size = d.Size
+	if st.Flight != nil {
+		kind := flightrec.KindCandidate
+		switch c.Tag {
+		case TagNoDescriptor:
+			kind = flightrec.KindNoDescriptor
+		case TagCannotFit:
+			kind = flightrec.KindCannotFit
+		}
+		st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: kind, Obj: obj, Hop: hop, A: c.Freq, B: c.CostLoss})
 	}
-	loss, ok := st.Store.CostLoss(size, now)
-	if !ok {
-		c.Tag = TagCannotFit
-		return c
-	}
-	c.Tag = TagCandidate
-	c.Freq = d.Freq(now)
-	c.CostLoss = loss
 	return c
 }
 
@@ -199,10 +230,41 @@ func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp flo
 		evicted, ok := st.Store.Insert(desc, now)
 		if !ok {
 			st.DCache.Put(desc, now)
+			if st.Ledger != nil {
+				st.Ledger.RecordPlacement(st.Node, false)
+			}
+			if st.Flight != nil {
+				st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPlaceFailed, Obj: obj, Hop: hop, A: mp})
+			}
 			if tr != nil {
 				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActPlaceFailed, MissPenalty: mp})
 			}
 			return DownResult{MP: mp, PlaceFailed: true}
+		}
+		if st.Audit != nil && len(evicted) > 0 {
+			// §2.3 eviction-order invariant: the committed victim set is
+			// a prefix of the NCL order. Victim keys are final here (the
+			// store refreshed them at selection); check before the
+			// d-cache demotion below, which reuses the key field.
+			maxK := evicted[0].EvictionKey()
+			for _, v := range evicted[1:] {
+				if k := v.EvictionKey(); k > maxK {
+					maxK = k
+				}
+			}
+			if minK, retained := st.Store.MinKeyExcluding(obj); retained {
+				st.Audit.CheckEvictionOrder(st.Node, obj, maxK, minK, now)
+			}
+		}
+		if st.Ledger != nil {
+			st.Ledger.RecordPlacement(st.Node, true)
+		}
+		if st.Flight != nil {
+			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindInsert, Obj: obj, Hop: hop, A: mp, N: len(evicted)})
+			for _, v := range evicted {
+				st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindEvict, Obj: v.ID, Hop: hop, A: v.EvictionKey()})
+			}
+			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPenaltyReset, Obj: obj, Hop: hop, A: mp})
 		}
 		for _, v := range evicted {
 			st.DCache.Put(v, now)
@@ -221,6 +283,9 @@ func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp flo
 		desc.Window.Record(now)
 		desc.SetMissPenalty(mp)
 		st.DCache.Put(desc, now)
+	}
+	if st.Flight != nil {
+		st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPenaltyUpdate, Obj: obj, Hop: hop, A: mp})
 	}
 	if tr != nil {
 		tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActUpdate, MissPenalty: mp})

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"cascade/internal/audit"
+	"cascade/internal/flightrec"
+	"cascade/internal/scheme"
+	"cascade/internal/sim"
+)
+
+// AuditReport summarizes an online-audited run: per-invariant check and
+// violation counts, keyed by the invariant's metric label.
+type AuditReport struct {
+	Checks     map[string]int64 `json:"checks"`
+	Violations map[string]int64 `json:"violations"`
+}
+
+// Total returns the summed violation count.
+func (r AuditReport) Total() int64 {
+	var t int64
+	for _, v := range r.Violations {
+		t += v
+	}
+	return t
+}
+
+// reportOf snapshots an auditor's counters.
+func reportOf(a *audit.Auditor) AuditReport {
+	r := AuditReport{Checks: map[string]int64{}, Violations: map[string]int64{}}
+	for _, iv := range audit.Invariants() {
+		r.Checks[iv.String()] = a.Checks(iv)
+		r.Violations[iv.String()] = a.Violations(iv)
+	}
+	return r
+}
+
+// observedReplay runs the coordinated scheme over the configured workload at
+// one relative cache size with the full observability stack attached: an
+// online invariant auditor, a predicted-vs-realized cost ledger and (when
+// flightCap > 0) a per-node protocol flight recorder.
+func observedReplay(arch Arch, cfg Config, size float64, flightCap int) (*scheme.Coordinated, error) {
+	cfg.setDefaults()
+	w := cfg.workload()
+	net := cfg.Network(arch)
+
+	sch := scheme.NewCoordinated()
+	sch.SetAuditor(audit.New(nil))
+	sch.SetLedger(audit.NewLedger())
+	if flightCap > 0 {
+		sch.SetFlightCapacity(flightCap)
+	}
+
+	simr, err := sim.New(sim.Config{
+		Scheme:            sch,
+		Network:           net,
+		Catalog:           w.Catalog(),
+		RelativeCacheSize: size,
+		DCacheFactor:      cfg.DCacheFactor,
+		Seed:              cfg.AttachSeed + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src, err := w.Open()
+	if err != nil {
+		return nil, err
+	}
+	simr.Run(src, w.Len()/2)
+	return sch, nil
+}
+
+// LedgerStudy replays the configured workload through the coordinated
+// scheme at one relative cache size with the cost ledger and invariant
+// auditor attached, and tabulates each node's predicted-vs-realized
+// accounting. The predicted column is the DP's claimed cost-reduction rate
+// (§2.1's Δcost, cost per second); the realized column is the cost actually
+// avoided by hits at placed copies over the run — see docs/OBSERVABILITY.md
+// for how to read the two together. Exposed as `cascadesim -exp ledger`.
+func LedgerStudy(arch Arch, cfg Config, size float64) (Table, AuditReport, error) {
+	if size <= 0 {
+		size = 0.01
+	}
+	sch, err := observedReplay(arch, cfg, size, 0)
+	if err != nil {
+		return Table{}, AuditReport{}, err
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Predicted-vs-realized placement accounting (%s, cache size %.2f%%)",
+			arch, size*100),
+		XLabel:  "node",
+		YLabel:  "per node",
+		Columns: []string{"predicted gain (cost/s)", "realized savings (cost)", "predictions", "placements", "place failures", "hits"},
+	}
+	for _, acc := range sch.Ledger().Snapshot() {
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("%d", acc.Node),
+			Values: []float64{
+				acc.PredictedGain,
+				acc.RealizedSavings,
+				float64(acc.Predictions),
+				float64(acc.Placements),
+				float64(acc.PlaceFailures),
+				float64(acc.Hits),
+			},
+		})
+	}
+	return t, reportOf(sch.Auditor()), nil
+}
+
+// FlightDump replays the configured workload through the coordinated scheme
+// at one relative cache size with per-node flight recorders of the given
+// capacity (plus the invariant auditor, so any violation lands in the ring
+// with full context) and returns every node's snapshot, sorted by node ID.
+// Exposed as `cascadesim -flight-dump`.
+func FlightDump(arch Arch, cfg Config, size float64, capacity int) ([]flightrec.Snapshot, AuditReport, error) {
+	if capacity <= 0 {
+		return nil, AuditReport{}, fmt.Errorf("experiment: flight capacity must be positive, got %d", capacity)
+	}
+	if size <= 0 {
+		size = 0.01
+	}
+	sch, err := observedReplay(arch, cfg, size, capacity)
+	if err != nil {
+		return nil, AuditReport{}, err
+	}
+
+	nodes := sch.FlightNodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := make([]flightrec.Snapshot, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, sch.FlightRecorder(n).TakeSnapshot(n))
+	}
+	return out, reportOf(sch.Auditor()), nil
+}

@@ -1,0 +1,122 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+func TestRecorderRetainsInOrder(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindLookupMiss, Obj: model.ObjectID(100 + i)})
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Seq != uint64(i) || e.Obj != model.ObjectID(100+i) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Obj: model.ObjectID(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	// The ring keeps the newest events, oldest first, with the global
+	// sequence numbering intact — a reader can tell exactly what was lost.
+	for i, e := range evs {
+		if e.Seq != uint64(6+i) || e.Obj != model.ObjectID(6+i) {
+			t.Fatalf("event %d = %+v, want seq %d", i, e, 6+i)
+		}
+	}
+}
+
+func TestRecorderCapacityClamp(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Obj: 1})
+	r.Record(Event{Obj: 2})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Obj != 2 || r.Dropped() != 1 {
+		t.Fatalf("clamped ring: events=%v dropped=%d", evs, r.Dropped())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := New(2)
+	r.Record(Event{})
+	r.Record(Event{})
+	r.Record(Event{})
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatalf("reset left state: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	// Sequence numbers survive the reset so dumps cannot be confused.
+	r.Record(Event{})
+	if evs := r.Events(); evs[0].Seq != 3 {
+		t.Fatalf("post-reset seq = %d, want 3", evs[0].Seq)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindInsert})
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder reported state")
+	}
+	s := r.TakeSnapshot(3)
+	if s.Node != 3 || s.Capacity != 0 || len(s.Events) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New(4)
+	r.Record(Event{Time: 1.5, Node: 2, Kind: KindCandidate, Obj: 7, Hop: 1, A: 0.25, B: 3})
+	r.Record(Event{Time: 2.5, Node: 2, Kind: KindAuditViolation, Obj: 7, Hop: -1, N: 2})
+	snap := r.TakeSnapshot(2)
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kinds serialize as their schema names, so dumps are self-describing.
+	for _, want := range []string{`"kind":"candidate"`, `"kind":"audit_violation"`, `"capacity":4`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("dump missing %s:\n%s", want, data)
+		}
+	}
+
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != 2 || back.Events[0] != snap.Events[0] || back.Events[1] != snap.Events[1] {
+		t.Fatalf("round trip changed events:\n%+v\n%+v", snap.Events, back.Events)
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no schema name", k)
+		}
+	}
+	if numKinds.String() != "unknown" {
+		t.Fatalf("out-of-range kind = %q", numKinds.String())
+	}
+}

@@ -7,6 +7,8 @@
 //	                   the node's frequency estimate, eviction cost loss
 //	                   and the cost of the link just crossed;
 //	X-Cascade-Place:   the serving side's placement decision (hop list);
+//	X-Cascade-Predict: the DP's predicted Δcost term per chosen node, so
+//	                   each placing node books its own cost-ledger claim;
 //	X-Cascade-Penalty: the response's accumulated miss-penalty counter,
 //	                   updated and reset at caching points on the way down.
 //
@@ -18,6 +20,7 @@ package httpgw
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -32,9 +35,11 @@ import (
 	"sync"
 	"time"
 
+	"cascade/internal/audit"
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
+	"cascade/internal/flightrec"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
@@ -46,6 +51,13 @@ const (
 	HeaderPlace   = "X-Cascade-Place"
 	HeaderPenalty = "X-Cascade-Penalty"
 	HeaderHit     = "X-Cascade-Hit"
+	// HeaderPredict pairs each node of the placement decision with the
+	// DP's predicted Δcost term for that placement (§2.1), "node=term"
+	// entries in ascending node order. It rides next to HeaderPlace so
+	// each placing node can book its own prediction into its own cost
+	// ledger — the decision site (serving node or origin) cannot reach the
+	// other processes' ledgers.
+	HeaderPredict = "X-Cascade-Predict"
 	// HeaderDegraded marks a response served outside the coordinated
 	// protocol — fetched straight from the origin (or served stale) while
 	// the upstream chain is unreachable. No placement decision rode along.
@@ -103,6 +115,12 @@ type Node struct {
 	// Sleep pauses between retries (time.Sleep when nil); injectable
 	// for tests.
 	Sleep func(time.Duration)
+	// TraceBudget bounds the X-Cascade-Trace header this node emits when
+	// splicing its events onto a chain's trace: an over-budget trace drops
+	// origin-side middle events first, replaced by a truncation marker, so
+	// deep chains cannot grow the header past transport limits. 0 means
+	// the default (4096 bytes); negative removes the bound.
+	TraceBudget int
 
 	// mu guards st and the payload maps below; concurrent requests
 	// serialize their protocol steps on it.
@@ -114,7 +132,15 @@ type Node struct {
 
 	hits, misses, inserts, revalidations int64
 
-	reg *metrics.Registry // lazily built Prometheus export (MetricsRegistry)
+	reg *metrics.Registry // Prometheus export, built by NewNode (MetricsRegistry)
+
+	// Observability, built by NewNode: the online invariant auditor, the
+	// predicted-vs-realized cost ledger and the protocol flight recorder.
+	// flight is replaced only by SetFlightCapacity (before serving), so the
+	// request path reads it without holding mu.
+	auditor *audit.Auditor
+	ledger  *audit.Ledger
+	flight  *flightrec.Recorder
 
 	rng             *rand.Rand // backoff jitter; lazily seeded from ID
 	breaker         BreakerState
@@ -126,9 +152,18 @@ type Node struct {
 	degraded        int64
 }
 
-// NewNode builds a gateway node with the given stores.
+// DefaultFlightCapacity is the protocol flight recorder depth a gateway
+// node starts with (SetFlightCapacity overrides it).
+const DefaultFlightCapacity = 256
+
+// NewNode builds a gateway node with the given stores. Observability is on
+// from construction: the node carries an online invariant auditor, a
+// predicted-vs-realized cost ledger and a protocol flight recorder, all
+// exported through the node's metrics registry — a deployed gateway wants
+// the cascade_audit_* and cascade_ledger_* series present from the first
+// scrape, and the hooks cost only nil checks and a fixed ring.
 func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, dEntries int, clock func() float64) *Node {
-	return &Node{
+	n := &Node{
 		ID:       id,
 		Upstream: upstream,
 		UpCost:   upCost,
@@ -142,6 +177,17 @@ func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, d
 		etag:    make(map[model.ObjectID]string),
 		fetched: make(map[model.ObjectID]float64),
 	}
+	reg := n.MetricsRegistry()
+	nl := metrics.L("node", strconv.Itoa(int(id)))
+	n.auditor = audit.New(reg, nl)
+	n.ledger = audit.NewLedger()
+	n.ledger.RegisterNode(reg, id, nl)
+	n.flight = flightrec.New(DefaultFlightCapacity)
+	n.st.Audit = n.auditor
+	n.st.Ledger = n.ledger
+	n.st.Flight = n.flight
+	n.installAuditSink()
+	return n
 }
 
 // The X-Cascade-Path header carries one engine.Candidate per hop as
@@ -200,16 +246,83 @@ func formatEntry(e engine.Candidate) string {
 // Decide runs the placement decision (engine.Decide, the §2.2 DP) over
 // piggybacked path entries (ordered from the client's first cache upward,
 // as accumulated in the header) and returns the chosen node IDs in
-// ascending order. Exported for the origin server and for tests.
+// ascending order. This is the bare, unobserved variant kept for tests;
+// the serving paths use decideObserved.
 func Decide(entries []engine.Candidate) []model.NodeID {
-	hops := engine.Decide(entries, engine.DecideOptions{ClampMonotone: true},
-		engine.ServePoint{Hop: len(entries), Node: model.NoNode}, nil)
+	ids, _ := decideObserved(entries, 0, 0, nil, nil, model.NoNode)
+	return ids
+}
+
+// decideObserved is the decision step shared by the cache nodes and the
+// origin: the §2.2 DP with the decision site's auditor and flight recorder
+// threaded through (Theorem 2 and optimality checks, the decision flight
+// event). It returns the chosen node IDs in ascending order plus the
+// formatted HeaderPredict value pairing each chosen node with its predicted
+// Δcost term — the decision site cannot reach the other processes' ledgers,
+// so the claims ship downstream and every placing node books its own. The
+// terms come out of the engine via a throwaway ledger, so their computation
+// stays in one place (post-clamp values, identical to what the simulator
+// and the cluster book at decision time).
+func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
+	aud *audit.Auditor, flight *flightrec.Recorder, serv model.NodeID) ([]model.NodeID, string) {
+	scratch := audit.NewLedger()
+	opts := engine.DecideOptions{
+		ClampMonotone: true,
+		Audit:         aud,
+		Ledger:        scratch,
+		Flight:        flight,
+		Obj:           obj,
+		Now:           now,
+	}
+	hops := engine.Decide(entries, opts, engine.ServePoint{Hop: len(entries), Node: serv}, nil)
 	ids := make([]model.NodeID, len(hops))
 	for i, h := range hops {
 		ids[i] = entries[h].Node
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return ids, formatPredict(scratch.Snapshot())
+}
+
+// decide runs decideObserved with this node as the decision site.
+func (n *Node) decide(entries []engine.Candidate, obj model.ObjectID, now float64) ([]model.NodeID, string) {
+	return decideObserved(entries, obj, now, n.auditor, n.flight, n.ID)
+}
+
+// formatPredict encodes ledger accounts as the HeaderPredict value:
+// "node=term" comma-separated, ascending node order (Snapshot sorts), terms
+// in the shortest bit-exact float encoding.
+func formatPredict(accounts []audit.NodeAccount) string {
+	parts := make([]string, 0, len(accounts))
+	for _, acc := range accounts {
+		parts = append(parts, strconv.Itoa(int(acc.Node))+"="+fmtFloat(acc.PredictedGain))
+	}
+	return strings.Join(parts, ",")
+}
+
+// parsePredict decodes a HeaderPredict value into node → predicted term.
+// Malformed entries are skipped — a missing prediction only loses ledger
+// bookkeeping, never the placement itself.
+func parsePredict(h string) map[model.NodeID]float64 {
+	out := map[model.NodeID]float64{}
+	for _, p := range strings.Split(h, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			continue
+		}
+		id, err := strconv.Atoi(p[:eq])
+		if err != nil {
+			continue
+		}
+		term, err := strconv.ParseFloat(p[eq+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[model.NodeID(id)] = term
+	}
+	return out
 }
 
 func formatPlacement(chosen []model.NodeID) string {
@@ -273,6 +386,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.MetricsHandler().ServeHTTP(w, r)
 		return
 	}
+	if r.URL.Path == "/cascade/debug/flight" {
+		n.serveFlight(w)
+		return
+	}
 
 	// ---- Local hit? ----
 	n.mu.Lock()
@@ -280,7 +397,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
 		if !stale {
 			n.hits++
-			n.st.Store.Touch(obj, now)
+			// Lookup (rather than a bare Touch) routes the hit through the
+			// engine's hooks: ledger realized savings plus the lookup_hit
+			// flight event.
+			n.st.Lookup(obj, now)
 			body := n.body[obj]
 			tag := n.etag[obj]
 			entries, perr := parsePath(r.Header.Get(HeaderPath))
@@ -289,8 +409,11 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, perr.Error(), http.StatusBadRequest)
 				return
 			}
-			chosen := Decide(entries)
+			chosen, predict := n.decide(entries, obj, now)
 			w.Header().Set(HeaderPlace, formatPlacement(chosen))
+			if predict != "" {
+				w.Header().Set(HeaderPredict, predict)
+			}
 			w.Header().Set(HeaderPenalty, "0")
 			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
 			if traceWanted(r) {
@@ -319,6 +442,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// the descriptor's recorded size for the cost-loss estimate. The hop
 	// index is assigned positionally by each parse, so -1 here.
 	n.misses++
+	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindLookupMiss, Obj: obj, Hop: -1})
 	entry := n.st.UpMiss(obj, 0, -1, n.UpCost, now, nil)
 	n.mu.Unlock()
 
@@ -361,14 +485,29 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// ---- Response pass: maintain penalty counter, cache if chosen. ----
-	mp, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
-	mp += n.UpCost
+	// prev is the counter as it left the upstream node — the miss-penalty
+	// audit's reference value; crossing the link adds its cost.
+	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
+	mp := prev + n.UpCost
 	chosen := parsePlacement(resp.Header.Get(HeaderPlace))
+	if chosen[n.ID] {
+		// The decision site shipped this node's predicted Δcost term next
+		// to the placement instruction; book the claim here, where the
+		// realized savings will accumulate, so the node's ledger is
+		// self-contained. Booked per instruction, before the apply — a
+		// store that cannot make room shows up as a place failure against
+		// a recorded prediction, exactly the drift the ledger exists to
+		// expose.
+		if term, ok := parsePredict(resp.Header.Get(HeaderPredict))[n.ID]; ok {
+			n.ledger.RecordPrediction(n.ID, term)
+		}
+	}
 
 	now = n.Clock()
 	mpSeen := mp
 	n.mu.Lock()
 	res := n.st.DownStep(obj, int64(len(body)), chosen[n.ID], mp, -1, now, nil)
+	n.st.Audit.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
 		n.inserts++
 		n.body[obj] = append([]byte(nil), body...)
@@ -386,6 +525,9 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mp = res.MP
 
 	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
+	if h := resp.Header.Get(HeaderPredict); h != "" {
+		w.Header().Set(HeaderPredict, h)
+	}
 	w.Header().Set(HeaderPenalty, strconv.FormatFloat(mp, 'g', -1, 64))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if traceWanted(r) {
@@ -404,7 +546,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case res.PlaceFailed:
 			downEvt.Action = reqtrace.ActPlaceFailed
 		}
-		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt)))
+		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt), n.traceBudget()))
 	}
 	w.Write(body) //nolint:errcheck
 }
@@ -500,15 +642,82 @@ func (n *Node) Contains(obj model.ObjectID) bool {
 // serves files from that directory tree (reverse-proxy-style content);
 // otherwise it synthesizes deterministic pseudo-random bytes of Size(obj)
 // length.
+//
+// The origin decides most placements of a cold cascade, so it carries the
+// same decision-time observability as a cache node when EnableObservability
+// is called: an online invariant auditor, a flight recorder of its
+// decisions, and Prometheus export.
 type Origin struct {
 	// Size returns a synthetic object's payload length.
 	Size func(model.ObjectID) int
 	// Dir, when non-empty, serves request paths as files beneath it.
 	Dir string
+
+	// Observability over the origin's placement decisions, wired by
+	// EnableObservability (all nil — disabled — by default). auditor and
+	// flight are internally synchronized; concurrent requests need no
+	// extra locking.
+	clock   func() float64
+	auditor *audit.Auditor
+	flight  *flightrec.Recorder
+	reg     *metrics.Registry
+}
+
+// EnableObservability equips the origin with the decision-side
+// observability stack of a cache node: an online invariant auditor over its
+// placement decisions (Theorem 2 local benefit plus sampled DP optimality),
+// a protocol flight recorder retaining the last flightCapacity decision
+// events (0 or negative disables the recorder; violations still count), and
+// Prometheus export of the cascade_audit_* series under node="origin" —
+// served by the origin itself at /cascade/metrics, next to flight dumps at
+// /cascade/debug/flight. clock supplies decision timestamps (nil pins them
+// to 0). Call before serving.
+func (o *Origin) EnableObservability(flightCapacity int, clock func() float64) {
+	o.reg = metrics.NewRegistry()
+	o.auditor = audit.New(o.reg, metrics.L("node", "origin"))
+	if flightCapacity > 0 {
+		o.flight = flightrec.New(flightCapacity)
+	}
+	rec := o.flight // Record is nil-safe; capture by value like the nodes do
+	o.auditor.SetOnViolation(func(v audit.Violation) {
+		rec.Record(flightrec.Event{
+			Time: v.Now,
+			Node: v.Node,
+			Kind: flightrec.KindAuditViolation,
+			Obj:  v.Obj,
+			Hop:  v.Hop,
+			A:    v.Got,
+			B:    v.Want,
+			N:    int(v.Invariant),
+		})
+	})
+	o.clock = clock
+}
+
+// Auditor returns the origin's online invariant auditor (nil until
+// EnableObservability).
+func (o *Origin) Auditor() *audit.Auditor { return o.auditor }
+
+// DumpFlight captures the origin's flight-recorder contents (Node is
+// model.NoNode — the origin is not a cache).
+func (o *Origin) DumpFlight() flightrec.Snapshot {
+	return o.flight.TakeSnapshot(model.NoNode)
 }
 
 // ServeHTTP implements the origin's side of the protocol.
 func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if o.reg != nil {
+		switch r.URL.Path {
+		case "/cascade/metrics":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			o.reg.WritePrometheus(w) //nolint:errcheck
+			return
+		case "/cascade/debug/flight":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(o.DumpFlight()) //nolint:errcheck
+			return
+		}
+	}
 	obj, err := objectID(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -519,8 +728,15 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	chosen := Decide(entries)
+	now := 0.0
+	if o.clock != nil {
+		now = o.clock()
+	}
+	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
 	w.Header().Set(HeaderPlace, formatPlacement(chosen))
+	if predict != "" {
+		w.Header().Set(HeaderPredict, predict)
+	}
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, "origin")
 	if traceWanted(r) {

@@ -7,8 +7,9 @@ import (
 	"cascade/internal/metrics"
 )
 
-// MetricsRegistry returns the node's Prometheus registry, building it on
-// first use. Every series carries a node label; breaker and retry series
+// MetricsRegistry returns the node's Prometheus registry (built once;
+// NewNode calls it during construction so the audit and ledger series can
+// register eagerly). Every series carries a node label; breaker and retry series
 // additionally carry the upstream, so a scrape of a whole chain
 // distinguishes which link is failing. Counters are read at scrape time
 // from the node's existing mutex-guarded accounting — the request path

@@ -1,0 +1,70 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"cascade/internal/audit"
+	"cascade/internal/flightrec"
+)
+
+// SetFlightCapacity replaces the node's protocol flight recorder with one
+// retaining the last n events; n <= 0 disables recording (audit violations
+// then drop their flight events but still count in the metrics). Call
+// before the node serves requests — the request path reads the recorder
+// pointer without holding the node lock.
+func (n *Node) SetFlightCapacity(capacity int) {
+	n.mu.Lock()
+	if capacity <= 0 {
+		n.flight = nil
+	} else {
+		n.flight = flightrec.New(capacity)
+	}
+	n.st.Flight = n.flight
+	n.mu.Unlock()
+	n.installAuditSink()
+}
+
+// installAuditSink points the auditor's violation sink at the current
+// flight recorder, so every invariant failure leaves a full-context
+// audit_violation event next to the protocol steps that produced it.
+// Record is nil-safe, so a disabled recorder simply drops the events. The
+// sink captures the recorder by value: it may fire inside protocol steps
+// that hold n.mu and must not lock it.
+func (n *Node) installAuditSink() {
+	rec := n.flight
+	n.auditor.SetOnViolation(func(v audit.Violation) {
+		rec.Record(flightrec.Event{
+			Time: v.Now,
+			Node: v.Node,
+			Kind: flightrec.KindAuditViolation,
+			Obj:  v.Obj,
+			Hop:  v.Hop,
+			A:    v.Got,
+			B:    v.Want,
+			N:    int(v.Invariant),
+		})
+	})
+}
+
+// Auditor returns the node's online invariant auditor.
+func (n *Node) Auditor() *audit.Auditor { return n.auditor }
+
+// Ledger returns the node's predicted-vs-realized cost ledger.
+func (n *Node) Ledger() *audit.Ledger { return n.ledger }
+
+// FlightRecorder returns the node's protocol flight recorder (nil when
+// disabled via SetFlightCapacity).
+func (n *Node) FlightRecorder() *flightrec.Recorder { return n.flight }
+
+// DumpFlight captures the node's flight-recorder contents.
+func (n *Node) DumpFlight() flightrec.Snapshot {
+	return n.flight.TakeSnapshot(n.ID)
+}
+
+// serveFlight answers /cascade/debug/flight: the node's flight snapshot as
+// JSON, for post-hoc debugging of a deployed gateway.
+func (n *Node) serveFlight(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.DumpFlight()) //nolint:errcheck
+}

@@ -7,9 +7,13 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"cascade/internal/audit"
+	"cascade/internal/flightrec"
+	"cascade/internal/model"
 	"cascade/internal/reqtrace"
 )
 
@@ -160,6 +164,145 @@ func TestGatewayMetricsEndpoint(t *testing.T) {
 		t.Fatalf("scrape disagrees with stats (%s):\n%s", want, out)
 	}
 	_ = nodes
+}
+
+// TestPredictHeaderRoundTrip pins the X-Cascade-Predict encoding: every
+// predicted Δcost term round-trips bit-exactly through the header, and
+// malformed entries are skipped rather than poisoning a ledger.
+func TestPredictHeaderRoundTrip(t *testing.T) {
+	scratch := audit.NewLedger()
+	terms := map[model.NodeID]float64{2: 1.0 / 3.0, 5: 0.1 + 0.2, 9: 4096}
+	for id, term := range terms {
+		scratch.RecordPrediction(id, term)
+	}
+	h := formatPredict(scratch.Snapshot())
+	got := parsePredict(h)
+	if len(got) != len(terms) {
+		t.Fatalf("parsed %d terms from %q, want %d", len(got), h, len(terms))
+	}
+	for id, term := range terms {
+		if got[id] != term {
+			t.Fatalf("node %d: %v != %v after header round-trip %q", id, got[id], term, h)
+		}
+	}
+
+	got = parsePredict("junk, 3=0.5 ,=7,8=,4=nope,6=2.25")
+	if len(got) != 2 || got[3] != 0.5 || got[6] != 2.25 {
+		t.Fatalf("malformed-entry parse = %v, want {3:0.5 6:2.25}", got)
+	}
+	if got := parsePredict(""); len(got) != 0 {
+		t.Fatalf("empty header parsed to %v", got)
+	}
+}
+
+// TestPredictBookedAtPlacingNode checks the gateway's apply-time ledger
+// booking: every response that carries X-Cascade-Place also carries the
+// decision's X-Cascade-Predict terms, and each node's own ledger ends up
+// with exactly the terms the wire attributed to it.
+func TestPredictBookedAtPlacingNode(t *testing.T) {
+	base, nodes, setNow := chain(t, 2, 100000)
+	wantSum := map[model.NodeID]float64{}
+	wantCount := map[model.NodeID]int64{}
+	placed := false
+	for i := 0; i < 6; i++ {
+		setNow(float64(10 * i))
+		resp, _ := get(t, base, 7)
+		place := resp.Header.Get(HeaderPlace)
+		predict := resp.Header.Get(HeaderPredict)
+		if place == "" {
+			if predict != "" {
+				t.Fatalf("predict header %q without a placement", predict)
+			}
+			continue
+		}
+		placed = true
+		terms := parsePredict(predict)
+		for id := range parsePlacement(place) {
+			term, ok := terms[id]
+			if !ok {
+				t.Fatalf("placement at node %d carries no predicted term (place %q, predict %q)", id, place, predict)
+			}
+			wantSum[id] += term
+			wantCount[id]++
+		}
+	}
+	if !placed {
+		t.Fatal("no placement decided in 6 requests")
+	}
+	for _, n := range nodes {
+		acc := n.Ledger().Node(n.ID)
+		if acc.Predictions != wantCount[n.ID] || acc.PredictedGain != wantSum[n.ID] {
+			t.Errorf("node %d ledger booked %d terms summing %g, wire carried %d summing %g",
+				n.ID, acc.Predictions, acc.PredictedGain, wantCount[n.ID], wantSum[n.ID])
+		}
+	}
+}
+
+// TestOriginObservability enables the origin's decision-side instruments
+// and checks that whole-chain-miss placements are audited with zero
+// violations, that the origin's own listener serves the metrics and
+// flight debug routes, and that object serving is unaffected.
+func TestOriginObservability(t *testing.T) {
+	var mu sync.Mutex
+	now := 0.0
+	clock := func() float64 { mu.Lock(); defer mu.Unlock(); return now }
+	setNow := func(v float64) { mu.Lock(); now = v; mu.Unlock() }
+
+	o := &Origin{Size: func(model.ObjectID) int { return 500 }}
+	o.EnableObservability(64, clock)
+	osrv := httptest.NewServer(o)
+	defer osrv.Close()
+	n := NewNode(0, osrv.URL, 1, 100000, 100, clock)
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		setNow(float64(10 * i))
+		if _, body := get(t, srv.URL, 7); len(body) != 500 {
+			t.Fatalf("object payload %d bytes through observable origin, want 500", len(body))
+		}
+	}
+
+	aud := o.Auditor()
+	if aud.Checks(audit.LocalBenefit) == 0 {
+		t.Error("origin decided placements without auditing Theorem 2 local benefit")
+	}
+	if v := aud.TotalViolations(); v != 0 {
+		t.Errorf("%d audit violations on clean traffic", v)
+	}
+	if len(o.DumpFlight().Events) == 0 {
+		t.Error("origin flight recorder empty after decided placements")
+	}
+
+	resp, err := http.Get(osrv.URL + "/cascade/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		`cascade_audit_checks_total{node="origin",invariant="local_benefit"}`,
+		`cascade_audit_violations_total{node="origin",invariant="dp_optimality"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("origin metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	fresp, err := http.Get(osrv.URL + "/cascade/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbody, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	var snap flightrec.Snapshot
+	if err := json.Unmarshal(fbody, &snap); err != nil {
+		t.Fatalf("origin flight dump is not a JSON snapshot: %v\n%s", err, fbody)
+	}
+	if snap.Capacity != 64 || len(snap.Events) == 0 {
+		t.Fatalf("origin flight dump capacity %d with %d events, want 64 with traffic", snap.Capacity, len(snap.Events))
+	}
 }
 
 // TestBreakerStateMetric walks the breaker through open and checks the

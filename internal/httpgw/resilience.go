@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"net/http"
 	"time"
+
+	"cascade/internal/flightrec"
 )
 
 // DefaultUpstreamTimeout bounds upstream fetches when Node.Client is nil.
@@ -145,6 +147,7 @@ func (n *Node) breakerAllowLocked(now float64) bool {
 		}
 		n.breaker = BreakerHalfOpen
 		n.probing = true
+		n.recordBreakerLocked(now)
 		return true
 	default: // half-open: one probe at a time
 		if n.probing {
@@ -155,12 +158,22 @@ func (n *Node) breakerAllowLocked(now float64) bool {
 	}
 }
 
+// recordBreakerLocked writes a flight event for a breaker state
+// transition that just happened. Caller holds n.mu.
+func (n *Node) recordBreakerLocked(now float64) {
+	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindBreaker, Hop: -1, N: int(n.breaker)})
+}
+
 // breakerSuccessLocked records a successful upstream exchange. Caller
 // holds n.mu.
 func (n *Node) breakerSuccessLocked() {
+	closing := n.breaker != BreakerClosed
 	n.breakerFails = 0
 	n.breaker = BreakerClosed
 	n.probing = false
+	if closing {
+		n.recordBreakerLocked(n.Clock())
+	}
 }
 
 // breakerFailureLocked records an exhausted upstream exchange (all retries
@@ -175,6 +188,7 @@ func (n *Node) breakerFailureLocked(now float64) {
 		n.breaker = BreakerOpen
 		n.breakerOpenedAt = now
 		n.breakerOpens++
+		n.recordBreakerLocked(now)
 		return
 	}
 	n.breakerFails++
@@ -182,6 +196,7 @@ func (n *Node) breakerFailureLocked(now float64) {
 		n.breaker = BreakerOpen
 		n.breakerOpenedAt = now
 		n.breakerOpens++
+		n.recordBreakerLocked(now)
 	}
 }
 

@@ -2,6 +2,7 @@ package httpgw
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sort"
 	"strings"
@@ -52,15 +53,118 @@ func traceDecision(node int, chosen []model.NodeID) string {
 	return traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDecide, Node: node, Action: reqtrace.ActDecision, Chosen: ids})
 }
 
+// defaultTraceBudget caps the spliced X-Cascade-Trace header. Each hop adds
+// roughly 100–200 bytes of events, and HTTP stacks commonly reject headers
+// in the 8–16 KiB range; 4 KiB leaves ample room for the other protocol
+// headers on chains dozens of nodes deep.
+const defaultTraceBudget = 4096
+
+// traceBudget resolves the node's trace header bound (field doc: 0 means
+// the default, negative disables the bound).
+func (n *Node) traceBudget() int {
+	if n.TraceBudget < 0 {
+		return 0 // spliceTrace treats 0 as unbounded
+	}
+	if n.TraceBudget == 0 {
+		return defaultTraceBudget
+	}
+	return n.TraceBudget
+}
+
 // spliceTrace wraps the upstream trace array with this node's up and down
 // events. A malformed or absent inner array degrades to just this node's
-// pair — a broken hop never poisons the whole trace.
-func spliceTrace(inner, upEvt, downEvt string) string {
+// pair — a broken hop never poisons the whole trace. A positive budget
+// bounds the result: over-budget traces drop middle events (the
+// origin-side hops) in favour of a truncation marker, so the header cannot
+// grow past transport limits on deep chains.
+func spliceTrace(inner, upEvt, downEvt string, budget int) string {
+	out := "[" + upEvt + "," + downEvt + "]"
 	inner = strings.TrimSpace(inner)
 	if strings.HasPrefix(inner, "[") && strings.HasSuffix(inner, "]") {
 		if content := strings.TrimSpace(inner[1 : len(inner)-1]); content != "" {
-			return "[" + upEvt + "," + content + "," + downEvt + "]"
+			out = "[" + upEvt + "," + content + "," + downEvt + "]"
 		}
 	}
-	return "[" + upEvt + "," + downEvt + "]"
+	if budget <= 0 || len(out) <= budget {
+		return out
+	}
+	var evs []json.RawMessage
+	if err := json.Unmarshal([]byte(out), &evs); err != nil || len(evs) <= 2 {
+		// Unparseable or already irreducible: this node's pair alone.
+		return "[" + upEvt + "," + downEvt + "]"
+	}
+	return boundTrace(evs, budget)
+}
+
+// traceMarker renders the stand-in event for dropped trace entries.
+// "dropped" is not a reqtrace.Event field, but encoding/json ignores
+// unknown keys, so clients decoding into []reqtrace.Event still see a
+// well-formed event with action "truncated".
+func traceMarker(dropped int) string {
+	return fmt.Sprintf(`{"phase":"splice","hop":-1,"node":-1,"action":"truncated","dropped":%d}`, dropped)
+}
+
+// boundTrace shrinks an over-budget trace to fit: the first and last
+// events (this node's own pair) always survive, then middle events are
+// kept from both ends inward — client-side up events and client-side down
+// events — so the origin-side hops, the deepest and least local context,
+// drop first. One marker with the total drop count replaces them; markers
+// inherited from deeper hops fold their counts in rather than nesting.
+func boundTrace(evs []json.RawMessage, budget int) string {
+	first, last := evs[0], evs[len(evs)-1]
+	mid := evs[1 : len(evs)-1]
+
+	// Size bookkeeping: brackets plus one comma per extra event, with
+	// fixed room reserved for the marker (generous for any count width).
+	const markerRoom = 72
+	size := len("[]") + len(first) + 1 + len(last) + 1 + markerRoom
+	keepL, keepR := 0, len(mid) // keep mid[:keepL] and mid[keepR:]
+	for l, r := 0, len(mid)-1; l <= r; {
+		if size+len(mid[l])+1 > budget {
+			break
+		}
+		size += len(mid[l]) + 1
+		keepL, l = l+1, l+1
+		if l > r {
+			break
+		}
+		if size+len(mid[r])+1 > budget {
+			break
+		}
+		size += len(mid[r]) + 1
+		keepR, r = r, r-1
+	}
+
+	dropped := 0
+	for _, raw := range mid[keepL:keepR] {
+		var m struct {
+			Action  string `json:"action"`
+			Dropped int    `json:"dropped"`
+		}
+		if json.Unmarshal(raw, &m) == nil && m.Action == "truncated" {
+			dropped += m.Dropped // the marker stood for these, not itself
+			continue
+		}
+		dropped++
+	}
+
+	var b strings.Builder
+	b.WriteByte('[')
+	b.Write(first)
+	for _, e := range mid[:keepL] {
+		b.WriteByte(',')
+		b.Write(e)
+	}
+	if keepL < keepR {
+		b.WriteByte(',')
+		b.WriteString(traceMarker(dropped))
+	}
+	for _, e := range mid[keepR:] {
+		b.WriteByte(',')
+		b.Write(e)
+	}
+	b.WriteByte(',')
+	b.Write(last)
+	b.WriteByte(']')
+	return b.String()
 }

@@ -1,0 +1,182 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cascade/internal/reqtrace"
+)
+
+// traceEntry is the dump-side view of a spliced trace event: a
+// reqtrace.Event plus the truncation marker's drop count.
+type traceEntry struct {
+	reqtrace.Event
+	Dropped int `json:"dropped"`
+}
+
+func parseTrace(t *testing.T, h string) []traceEntry {
+	t.Helper()
+	var evs []traceEntry
+	if err := json.Unmarshal([]byte(h), &evs); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v\n%s", err, h)
+	}
+	return evs
+}
+
+func TestSpliceTraceUnbounded(t *testing.T) {
+	up := `{"phase":"up","node":0,"action":"miss"}`
+	down := `{"phase":"down","node":0,"action":"update"}`
+	inner := `[{"phase":"up","node":1,"action":"miss"},{"phase":"down","node":1,"action":"place"}]`
+
+	got := spliceTrace(inner, up, down, 0)
+	want := "[" + up + `,{"phase":"up","node":1,"action":"miss"},{"phase":"down","node":1,"action":"place"},` + down + "]"
+	if got != want {
+		t.Fatalf("splice = %s\nwant %s", got, want)
+	}
+
+	// Malformed inner arrays degrade to this node's pair.
+	for _, bad := range []string{"", "not json", "{}", "[broken"} {
+		if got := spliceTrace(bad, up, down, 0); got != "["+up+","+down+"]" {
+			t.Fatalf("splice(%q) = %s, want bare pair", bad, got)
+		}
+	}
+}
+
+func TestSpliceTraceBounded(t *testing.T) {
+	up := `{"phase":"up","node":0,"action":"miss"}`
+	down := `{"phase":"down","node":0,"action":"update"}`
+	var mid []string
+	for i := 1; i <= 20; i++ {
+		mid = append(mid,
+			fmt.Sprintf(`{"phase":"up","node":%d,"action":"miss","f":0.123456789}`, i))
+	}
+	inner := "[" + strings.Join(mid, ",") + "]"
+	unbounded := spliceTrace(inner, up, down, 0)
+
+	budget := 512
+	if len(unbounded) <= budget {
+		t.Fatalf("test premise broken: unbounded trace only %d bytes", len(unbounded))
+	}
+	got := spliceTrace(inner, up, down, budget)
+	if len(got) > budget {
+		t.Fatalf("bounded trace is %d bytes, budget %d:\n%s", len(got), budget, got)
+	}
+
+	evs := parseTrace(t, got)
+	if len(evs) < 3 {
+		t.Fatalf("bounded trace lost this node's pair: %s", got)
+	}
+	// This node's own pair always survives at the edges.
+	if evs[0].Node != 0 || evs[0].Phase != "up" {
+		t.Fatalf("first event is not this node's up record: %+v", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.Node != 0 || last.Phase != "down" {
+		t.Fatalf("last event is not this node's down record: %+v", last)
+	}
+	// Exactly one marker accounts for every dropped middle event.
+	kept, dropped := 0, 0
+	for _, e := range evs[1 : len(evs)-1] {
+		if e.Action == "truncated" {
+			dropped += e.Dropped
+			continue
+		}
+		kept++
+	}
+	if kept+dropped != len(mid) {
+		t.Fatalf("kept %d + dropped %d != %d middle events:\n%s", kept, dropped, len(mid), got)
+	}
+	if dropped == 0 {
+		t.Fatalf("over-budget trace dropped nothing:\n%s", got)
+	}
+	// Middle events are kept from both ends inward: the surviving hops are
+	// the client-side ones (low node numbers near the front, the trailing
+	// keeps are the array's own tail).
+	if evs[1].Node != 1 {
+		t.Fatalf("client-nearest middle event dropped before deeper ones: %+v", evs[1])
+	}
+}
+
+// TestBoundTraceMarkerFolding re-bounds a trace that already contains a
+// truncation marker from a deeper hop: the counts must fold into one marker
+// rather than nest.
+func TestBoundTraceMarkerFolding(t *testing.T) {
+	up := `{"phase":"up","node":0,"action":"miss"}`
+	down := `{"phase":"down","node":0,"action":"update"}`
+	inner := `[{"phase":"up","node":1,"action":"miss"},` + traceMarker(5) + `,{"phase":"down","node":1,"action":"update"}]`
+
+	// A budget too small for any middle event forces everything into the
+	// marker: 2 real events plus the inherited 5.
+	got := spliceTrace(inner, up, down, len(up)+len(down)+80)
+	evs := parseTrace(t, got)
+	markers := 0
+	for _, e := range evs {
+		if e.Action == "truncated" {
+			markers++
+			if e.Dropped != 7 {
+				t.Fatalf("marker dropped = %d, want 7 (2 events + 5 inherited):\n%s", e.Dropped, got)
+			}
+		}
+	}
+	if markers != 1 {
+		t.Fatalf("%d markers, want 1:\n%s", markers, got)
+	}
+}
+
+// TestTraceHeaderBoundedDeepChain drives a traced request through a deep
+// gateway chain with a small per-node trace budget and checks the header a
+// client actually receives: within budget, well-formed, this node's pair at
+// the edges, and a marker accounting for the dropped origin-side hops.
+func TestTraceHeaderBoundedDeepChain(t *testing.T) {
+	const levels, budget = 8, 1024
+	base, nodes, setNow := chain(t, levels, 10000)
+	for _, n := range nodes {
+		n.TraceBudget = budget
+	}
+
+	setNow(0)
+	resp := getTraced(t, base, 99) // cold: the trace walks all 8 hops and back
+	h := resp.Header.Get(HeaderTrace)
+	if h == "" {
+		t.Fatal("no trace header on opted-in request")
+	}
+	if len(h) > budget {
+		t.Fatalf("trace header is %d bytes, budget %d:\n%s", len(h), budget, h)
+	}
+	evs := parseTrace(t, h)
+	if evs[0].Node != 0 || evs[0].Phase != reqtrace.PhaseUp {
+		t.Fatalf("first event not the edge node's up record: %+v", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.Node != 0 || last.Phase != reqtrace.PhaseDown {
+		t.Fatalf("last event not the edge node's down record: %+v", last)
+	}
+	dropped := 0
+	for _, e := range evs {
+		if e.Action == "truncated" {
+			dropped += e.Dropped
+		}
+	}
+	if dropped == 0 {
+		t.Fatalf("deep chain under a small budget dropped nothing (%d events):\n%s", len(evs), h)
+	}
+	// Unbounded, the same chain produces one up and one down event per hop
+	// plus the origin's serve marker and the decision; everything not in
+	// the header must be in the marker.
+	wantTotal := 2*levels + 2
+	if got := (len(evs) - 1) + dropped; got != wantTotal {
+		t.Fatalf("events %d + dropped %d ≠ %d total protocol events:\n%s",
+			len(evs)-1, dropped, wantTotal, h)
+	}
+
+	// An unbounded node on the same chain would have emitted the full
+	// trace; sanity-check the premise that bounding was actually needed.
+	for _, n := range nodes {
+		n.TraceBudget = -1
+	}
+	setNow(1)
+	resp = getTraced(t, base, 100)
+	if full := resp.Header.Get(HeaderTrace); len(full) <= budget {
+		t.Fatalf("test premise broken: unbounded trace only %d bytes", len(full))
+	}
+}

@@ -172,6 +172,10 @@ func (n *node) handleFetch(m *fetchMsg) {
 
 // handleDeliver implements the downstream pass at this node.
 func (n *node) handleDeliver(d *deliverMsg) {
+	// prev is the counter as it left the last caching point (plus any
+	// links folded in for routed-around hops) — the miss-penalty audit's
+	// reference value.
+	prev := d.mp
 	d.mp += d.upCost[d.hop]
 	// Chosen hops above this one that were routed around (dead or
 	// saturated while the response descended) can no longer take a copy:
@@ -186,6 +190,7 @@ func (n *node) handleDeliver(d *deliverMsg) {
 	}
 
 	res := n.st.DownStep(d.obj, d.size, place, d.mp, d.hop, d.now, nil)
+	n.st.Audit.CheckPenaltyStep(n.id, d.obj, d.hop, prev, d.mp, res.MP, res.Placed)
 	d.mp = res.MP
 	if res.Placed {
 		d.result.Placed = append(d.result.Placed, n.id)

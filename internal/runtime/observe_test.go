@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cascade/internal/audit"
+	"cascade/internal/fault"
+	"cascade/internal/flightrec"
+	"cascade/internal/model"
+	"cascade/internal/topology"
+)
+
+// TestClusterAuditedReplay drives a deterministic workload through an
+// audited cluster and checks the observability stack end to end: every
+// invariant is exercised with zero violations, the ledger accounts the
+// placements, the flight recorders capture protocol and crash events, and
+// the Prometheus export carries the audit and ledger series.
+func TestClusterAuditedReplay(t *testing.T) {
+	clk := &logicalClock{}
+	h := topology.GenerateTree(topology.TreeConfig{Depth: 3, Fanout: 2, BaseDelay: 1, Growth: 2})
+	c, err := NewCluster(Config{
+		Network:        h,
+		CacheBytes:     10000,
+		DCacheEntries:  100,
+		Clock:          clk.Now,
+		EnableAudit:    true,
+		FlightCapacity: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	leaf := h.ClientAttachPoints()[0]
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		clk.Set(float64(i))
+		if _, err := c.Get(ctx, leaf, model.NoNode, model.ObjectID(i%5), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a := c.Auditor()
+	if a == nil {
+		t.Fatal("EnableAudit did not install an auditor")
+	}
+	if got := a.TotalViolations(); got != 0 {
+		t.Fatalf("clean replay reported %d violations", got)
+	}
+	for _, iv := range []audit.Invariant{audit.LocalBenefit, audit.MissPenalty} {
+		if a.Checks(iv) == 0 {
+			t.Fatalf("invariant %s never checked", iv)
+		}
+	}
+
+	totals := c.Ledger().Totals()
+	if totals.Predictions == 0 || totals.Placements == 0 {
+		t.Fatalf("ledger recorded no placements: %+v", totals)
+	}
+	if totals.Hits == 0 || totals.RealizedSavings <= 0 {
+		t.Fatalf("ledger recorded no realized savings: %+v", totals)
+	}
+
+	// The leaf's flight ring must hold protocol events from the workload.
+	snap := c.DumpFlight(leaf)
+	if snap.Capacity != 128 || len(snap.Events) == 0 {
+		t.Fatalf("flight dump empty: capacity=%d events=%d", snap.Capacity, len(snap.Events))
+	}
+
+	// Crash/recover transitions land in the slot-owned recorder.
+	c.Fail(leaf)
+	c.Recover(leaf)
+	kinds := map[flightrec.Kind]bool{}
+	for _, e := range c.DumpFlight(leaf).Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds[flightrec.KindCrash] || !kinds[flightrec.KindRecover] {
+		t.Fatalf("crash/recover not recorded; kinds seen: %v", kinds)
+	}
+
+	var b strings.Builder
+	if err := c.Metrics().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cascade_audit_checks_total{invariant="local_benefit"}`,
+		`cascade_audit_violations_total{invariant="miss_penalty"} 0`,
+		`cascade_ledger_predicted_gain{node="0"}`,
+		`cascade_ledger_placements_total{node="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestClusterAuditConcurrent runs audited Gets, fault injection, node
+// crash/recovery cycles, Prometheus scrapes and flight dumps all at once.
+// Under -race this proves the audit/ledger/flight surface needs no caller
+// locking; the final assertion proves message loss and crashes degrade
+// requests without ever corrupting a protocol invariant.
+func TestClusterAuditConcurrent(t *testing.T) {
+	h := topology.GenerateTree(topology.TreeConfig{Depth: 3, Fanout: 2, BaseDelay: 1, Growth: 2})
+	c, err := NewCluster(Config{
+		Network:        h,
+		CacheBytes:     4096,
+		DCacheEntries:  64,
+		RequestTimeout: 200 * time.Millisecond,
+		Fault:          fault.New(11).WithDrop(0.05),
+		EnableAudit:    true,
+		FlightCapacity: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	leaves := h.ClientAttachPoints()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				leaf := leaves[(w+i)%len(leaves)]
+				_, _ = c.Get(ctx, leaf, model.NoNode, model.ObjectID(i%17), 64)
+			}
+		}(w)
+	}
+
+	route := h.Route(leaves[0], model.NoNode)
+	mid := route.Caches[1]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Fail(mid)
+			time.Sleep(time.Millisecond)
+			c.Recover(mid)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers: the Prometheus scrape (audit and ledger series render from
+	// live counters), ledger snapshots, and flight dumps of the node being
+	// crash-cycled.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := c.Metrics().WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			_ = c.Ledger().Snapshot()
+			_ = c.DumpFlight(mid)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if got := c.Auditor().TotalViolations(); got != 0 {
+		t.Fatalf("faulted run reported %d invariant violations", got)
+	}
+	if c.Auditor().Checks(audit.MissPenalty) == 0 {
+		t.Fatal("no miss-penalty checks ran")
+	}
+	if len(c.DumpFlight(mid).Events) == 0 {
+		t.Fatal("crash-cycled node has an empty flight ring")
+	}
+}

@@ -33,10 +33,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cascade/internal/audit"
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/fault"
+	"cascade/internal/flightrec"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/topology"
@@ -98,6 +100,16 @@ type Config struct {
 	// hook (message drop/delay, crash-on-nth, saturation). Keys are node
 	// IDs.
 	Fault *fault.Injector
+	// EnableAudit turns on the online invariant auditor and the
+	// predicted-vs-realized cost ledger: violations and ledger state are
+	// exported through the cluster's metrics registry
+	// (cascade_audit_*, cascade_ledger_* series).
+	EnableAudit bool
+	// FlightCapacity, when > 0, gives every node slot a protocol flight
+	// recorder retaining the last N events. Recorders belong to the slot,
+	// not the actor, so crash/recover cycles keep their history (and
+	// record the transitions themselves).
+	FlightCapacity int
 }
 
 // Stats are cluster-wide counters, readable at any time.
@@ -136,6 +148,13 @@ type Cluster struct {
 	// so counters survive a node's crash and recovery.
 	reg      *metrics.Registry
 	nodeInst []nodeInstruments
+
+	// auditor/ledger exist when Config.EnableAudit is set; flight holds
+	// one slot-owned recorder per node when Config.FlightCapacity > 0.
+	// All are nil-guarded throughout.
+	auditor *audit.Auditor
+	ledger  *audit.Ledger
+	flight  []*flightrec.Recorder
 
 	requests        *metrics.Counter
 	cacheHits       *metrics.Counter
@@ -189,7 +208,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
 	c.decScratch.New = func() any { return new(decideScratch) }
+	if cfg.FlightCapacity > 0 {
+		c.flight = make([]*flightrec.Recorder, len(c.slots))
+		for i := range c.flight {
+			c.flight[i] = flightrec.New(cfg.FlightCapacity)
+		}
+	}
 	c.initMetrics()
+	if cfg.EnableAudit {
+		c.auditor = audit.New(c.reg)
+		c.ledger = audit.NewLedger()
+		// Violations land in the violating node's flight recorder with
+		// full context (nil-safe when recording is off).
+		c.auditor.SetOnViolation(func(v audit.Violation) {
+			c.flightRecorder(v.Node).Record(flightrec.Event{
+				Time: v.Now, Node: v.Node, Kind: flightrec.KindAuditViolation,
+				Obj: v.Obj, Hop: v.Hop, A: v.Got, B: v.Want, N: int(v.Invariant),
+			})
+		})
+		for i := range c.slots {
+			c.ledger.RegisterNode(c.reg, model.NodeID(i), metrics.L("node", strconv.Itoa(i)))
+		}
+	}
 	for i := range c.slots {
 		n := c.newNode(model.NodeID(i))
 		c.slots[i].Store(n)
@@ -267,8 +307,35 @@ func (c *Cluster) newNode(id model.NodeID) *node {
 			Node:   id,
 			Store:  cache.NewCostAware(c.cfg.CacheBytes),
 			DCache: c.cfg.DCacheFactory(c.cfg.DCacheEntries),
+			Flight: c.flightRecorder(id),
+			Audit:  c.auditor,
+			Ledger: c.ledger,
 		},
 	}
+}
+
+// flightRecorder returns a slot's flight recorder, nil when recording is
+// off or the ID is out of range (a nil recorder is a valid disabled one).
+func (c *Cluster) flightRecorder(id model.NodeID) *flightrec.Recorder {
+	if c.flight == nil || int(id) < 0 || int(id) >= len(c.flight) {
+		return nil
+	}
+	return c.flight[id]
+}
+
+// Auditor returns the online invariant auditor, nil unless
+// Config.EnableAudit was set.
+func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
+
+// Ledger returns the predicted-vs-realized cost ledger, nil unless
+// Config.EnableAudit was set.
+func (c *Cluster) Ledger() *audit.Ledger { return c.ledger }
+
+// DumpFlight captures a node's flight-recorder contents — typically called
+// right after a crash to preserve the node's last protocol steps. The
+// snapshot is empty when recording is off.
+func (c *Cluster) DumpFlight(id model.NodeID) flightrec.Snapshot {
+	return c.flightRecorder(id).TakeSnapshot(id)
 }
 
 // Close rejects new requests, waits for every in-flight Get to return
@@ -316,6 +383,7 @@ func (c *Cluster) Fail(id model.NodeID) bool {
 		return false
 	}
 	c.failures.Add(1)
+	c.flightRecorder(id).Record(flightrec.Event{Time: c.cfg.Clock(), Node: id, Kind: flightrec.KindCrash, Hop: -1})
 	return true
 }
 
@@ -337,6 +405,7 @@ func (c *Cluster) Recover(id model.NodeID) bool {
 	c.wg.Add(1)
 	go n.run(&c.wg)
 	c.recoveries.Add(1)
+	c.flightRecorder(id).Record(flightrec.Event{Time: c.cfg.Clock(), Node: id, Kind: flightrec.KindRecover, Hop: -1})
 	return true
 }
 
@@ -589,10 +658,20 @@ func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.N
 			cands[e.Hop] = e
 		}
 	}
+	opts := engine.DecideOptions{ClampMonotone: true}
+	if c.auditor != nil || c.ledger != nil || c.flight != nil {
+		opts.Audit = c.auditor
+		opts.Ledger = c.ledger
+		opts.Obj = m.obj
+		opts.Now = m.now
+		if servedBy != model.NoNode {
+			opts.Flight = c.flightRecorder(servedBy)
+		}
+	}
 	// The decider's result aliases its scratch, and the chosen vector
 	// outlives this call (it travels down the actor chain), so copy it out
 	// before recycling the scratch.
-	chosen := append([]int(nil), s.dec.Decide(cands, engine.DecideOptions{ClampMonotone: true},
+	chosen := append([]int(nil), s.dec.Decide(cands, opts,
 		engine.ServePoint{Hop: servingHop, Node: servedBy}, nil)...)
 	c.decScratch.Put(s)
 

@@ -1,9 +1,11 @@
 package scheme
 
 import (
+	"cascade/internal/audit"
 	"cascade/internal/cache"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
+	"cascade/internal/flightrec"
 	"cascade/internal/freq"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
@@ -64,6 +66,15 @@ type Coordinated struct {
 	// Unsampled requests pay one nil/stride check, so the hot path stays
 	// allocation-free.
 	tracer *reqtrace.Sampler
+
+	// auditor/ledger, when set, verify protocol invariants and account
+	// predicted-vs-realized placement gains online. flightCap > 0 gives
+	// every node a protocol flight recorder of that capacity. All three
+	// are nil-guarded in the engine, so the default replay stays
+	// allocation-free.
+	auditor   *audit.Auditor
+	ledger    *audit.Ledger
+	flightCap int
 }
 
 // NewCoordinated returns an unconfigured coordinated scheme with monotone
@@ -98,6 +109,52 @@ func (s *Coordinated) SetDCacheFactory(f dcache.Factory) { s.dfac = f }
 // default). Call before processing requests.
 func (s *Coordinated) SetTracer(t *reqtrace.Sampler) { s.tracer = t }
 
+// SetAuditor attaches an online invariant auditor (nil disables, the
+// default). Callable before or after Configure.
+func (s *Coordinated) SetAuditor(a *audit.Auditor) {
+	s.auditor = a
+	for _, st := range s.nodes {
+		st.Audit = a
+	}
+}
+
+// SetLedger attaches a predicted-vs-realized cost ledger (nil disables,
+// the default). Callable before or after Configure.
+func (s *Coordinated) SetLedger(l *audit.Ledger) {
+	s.ledger = l
+	for _, st := range s.nodes {
+		st.Ledger = l
+	}
+}
+
+// SetFlightCapacity gives every node a protocol flight recorder retaining
+// the last n events (0 disables, the default). Call before Configure.
+func (s *Coordinated) SetFlightCapacity(n int) { s.flightCap = n }
+
+// FlightRecorder returns a node's flight recorder, or nil when recording
+// is disabled or the node unknown.
+func (s *Coordinated) FlightRecorder(n model.NodeID) *flightrec.Recorder {
+	if st := s.nodes[n]; st != nil {
+		return st.Flight
+	}
+	return nil
+}
+
+// FlightNodes returns the IDs of every configured node, for flight dumps.
+func (s *Coordinated) FlightNodes() []model.NodeID {
+	out := make([]model.NodeID, 0, len(s.nodes))
+	for n := range s.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Auditor returns the attached auditor (nil when auditing is off).
+func (s *Coordinated) Auditor() *audit.Auditor { return s.auditor }
+
+// Ledger returns the attached cost ledger (nil when accounting is off).
+func (s *Coordinated) Ledger() *audit.Ledger { return s.ledger }
+
 // Name implements Scheme.
 func (s *Coordinated) Name() string { return "COORD" }
 
@@ -111,9 +168,35 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 			DCache:  s.dfac(b.DCacheEntries),
 			WindowK: s.windowK,
 			Pool:    &s.pool,
+			Audit:   s.auditor,
+			Ledger:  s.ledger,
+		}
+		if s.flightCap > 0 {
+			st.Flight = flightrec.New(s.flightCap)
 		}
 		s.pool.Attach(st.DCache)
 		s.nodes[n] = st
+	}
+	if s.auditor != nil && s.flightCap > 0 {
+		// Replay is single-threaded, so the sink may read the node map
+		// directly: every invariant failure lands in the offending node's
+		// flight ring with full context.
+		s.auditor.SetOnViolation(func(v audit.Violation) {
+			st := s.nodes[v.Node]
+			if st == nil {
+				return
+			}
+			st.Flight.Record(flightrec.Event{
+				Time: v.Now,
+				Node: v.Node,
+				Kind: flightrec.KindAuditViolation,
+				Obj:  v.Obj,
+				Hop:  v.Hop,
+				A:    v.Got,
+				B:    v.Want,
+				N:    int(v.Invariant),
+			})
+		})
 	}
 }
 
@@ -151,9 +234,17 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			piggyback += descriptorWireBytes
 		}
 	}
-	chosen := s.dec.Decide(s.cand,
-		engine.DecideOptions{ClampMonotone: s.clampMonotone, Theorem2Prune: s.theorem2Prune},
-		engine.ServePoint{Hop: hit, Node: servNode}, tr)
+	opts := engine.DecideOptions{ClampMonotone: s.clampMonotone, Theorem2Prune: s.theorem2Prune}
+	if s.auditor != nil || s.ledger != nil || s.flightCap > 0 {
+		opts.Audit = s.auditor
+		opts.Ledger = s.ledger
+		opts.Obj = obj
+		opts.Now = now
+		if servNode != model.NoNode {
+			opts.Flight = s.nodes[servNode].Flight
+		}
+	}
+	chosen := s.dec.Decide(s.cand, opts, engine.ServePoint{Hop: hit, Node: servNode}, tr)
 	piggyback += int64(len(chosen)) * 4 // placement instructions on the response
 
 	// ---- Downstream pass ------------------------------------------------
@@ -163,6 +254,7 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	last := len(chosen) - 1
 	mp := 0.0 // the response message's miss-penalty counter
 	for i := hit - 1; i >= 0; i-- {
+		prev := mp
 		mp += path.UpCost[i]
 		st := s.nodes[path.Nodes[i]]
 		place := last >= 0 && chosen[last] == i
@@ -170,6 +262,9 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			last--
 		}
 		res := st.DownStep(obj, size, place, mp, i, now, tr)
+		if s.auditor != nil {
+			s.auditor.CheckPenaltyStep(st.Node, obj, i, prev, mp, res.MP, res.Placed)
+		}
 		mp = res.MP
 		if res.Placed {
 			placed = append(placed, i)
