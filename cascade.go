@@ -573,6 +573,9 @@ type (
 	HTTPCacheNode = httpgw.Node
 	// HTTPOrigin is the content source handler.
 	HTTPOrigin = httpgw.Origin
+	// UpstreamHealthConfig tunes a gateway node's active upstream prober
+	// (HTTPCacheNode.StartUpstreamHealthCheck).
+	UpstreamHealthConfig = httpgw.UpstreamHealthConfig
 )
 
 // Protocol header names used by the HTTP gateway.
@@ -662,6 +665,22 @@ type (
 // routed-around hops per phase.
 func ChaosStudy(cfg ChaosConfig) (ChaosResult, ResultTable, error) {
 	return experiment.ChaosStudy(cfg)
+}
+
+// Rolling-reconfiguration harness (control-plane upgrade replay).
+type (
+	// RollingConfig parameterizes a rolling-upgrade replay.
+	RollingConfig = experiment.RollingConfig
+	// RollingResult is the replay's phase-split accounting.
+	RollingResult = experiment.RollingResult
+)
+
+// RollingUpgradeStudy replays the workload through the live actor runtime
+// while every cache node is drained and re-admitted in batches — a rolling
+// upgrade under sustained load — with the active health checker running and
+// the auditor and cost ledger on throughout (cascadesim -exp rolling).
+func RollingUpgradeStudy(cfg RollingConfig) (RollingResult, ResultTable, error) {
+	return experiment.RollingUpgradeStudy(cfg)
 }
 
 // Figures lists every figure of the paper's evaluation section.

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchAveragesAndTracksMin(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkClusterThroughput-8   	  250000	      6000 ns/op	     512 B/op	      12 allocs/op",
+		"BenchmarkClusterThroughput-8   	  300000	      4000 ns/op	     512 B/op	      12 allocs/op",
+		"BenchmarkSimulatorThroughput-8 	  400000	      3000 ns/op	       0 B/op	       0 allocs/op",
+		"PASS",
+	}, "\n")
+	got, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := got["BenchmarkClusterThroughput"]
+	if !ok {
+		t.Fatalf("proc suffix not stripped: %v", got)
+	}
+	if c.Runs != 2 || c.NsPerOp != 5000 || c.MinNsPerOp != 4000 {
+		t.Fatalf("cluster metrics = %+v, want mean 5000 / min 4000 over 2 runs", c)
+	}
+	s := got["BenchmarkSimulatorThroughput"]
+	if s.Runs != 1 || s.NsPerOp != 3000 || s.MinNsPerOp != 3000 {
+		t.Fatalf("simulator metrics = %+v, want 3000 ns/op single run", s)
+	}
+}
+
+// TestGateNs: the regression gate judges the best of repeated runs —
+// scheduler noise only inflates ns/op — and falls back to the single
+// measurement (or a legacy baseline entry without a recorded minimum).
+func TestGateNs(t *testing.T) {
+	if got := (Metrics{Runs: 3, NsPerOp: 5000, MinNsPerOp: 4200}).GateNs(); got != 4200 {
+		t.Fatalf("GateNs = %v, want best run 4200", got)
+	}
+	if got := (Metrics{Runs: 1, NsPerOp: 5000, MinNsPerOp: 5000}).GateNs(); got != 5000 {
+		t.Fatalf("GateNs single run = %v, want 5000", got)
+	}
+	if got := (Metrics{Runs: 2, NsPerOp: 5000}).GateNs(); got != 5000 {
+		t.Fatalf("GateNs without recorded min = %v, want mean 5000", got)
+	}
+}

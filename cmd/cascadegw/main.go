@@ -53,6 +53,7 @@ func run() error {
 		retries     = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
 		brkThresh   = flag.Int("breaker-threshold", 0, "gateway: consecutive upstream failures that open the circuit breaker (0 = default, negative = disabled)")
 		brkCool     = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
+		upHealth    = flag.Float64("up-health-interval", 1, "gateway: seconds between active upstream health probes (≤ 0 = disabled)")
 		flightCap   = flag.Int("flight", 0, "protocol flight-recorder capacity in events (0 = default 256, negative = disabled); dump via GET /cascade/debug/flight")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		metricsAddr = flag.String("metrics", "", "gateway: serve Prometheus /metrics on this address (e.g. localhost:9090; empty = disabled)")
@@ -120,6 +121,17 @@ func run() error {
 		}
 		if *upTimeout != 0 {
 			node.Client = &http.Client{Timeout: *upTimeout}
+		}
+		if *upHealth > 0 {
+			// The active prober gates upstream selection ahead of the
+			// circuit breaker: a probed-Down upstream fails fast to the
+			// degraded path without waiting for request traffic to teach
+			// the breaker.
+			probeStop := make(chan struct{})
+			defer close(probeStop)
+			node.StartUpstreamHealthCheck(cascade.UpstreamHealthConfig{
+				Interval: time.Duration(*upHealth * float64(time.Second)),
+			}, probeStop)
 		}
 		if *state != "" {
 			if f, err := os.Open(*state); err == nil {

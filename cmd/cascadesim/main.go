@@ -58,7 +58,7 @@ func main() {
 
 func run() error {
 	var (
-		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, ledger, or comma-separated figure IDs (fig6a..fig10b)")
+		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, ledger, rolling, or comma-separated figure IDs (fig6a..fig10b)")
 		arch    = flag.String("arch", "both", "architecture for studies: enroute, hierarchy or both")
 		sizes   = flag.String("sizes", "0.001,0.003,0.01,0.03,0.1", "relative cache sizes")
 		schemes = flag.String("schemes", "LRU,MODULO(4),LNC-R,COORD", "schemes to compare")
@@ -85,6 +85,9 @@ func run() error {
 		chaosFrac = flag.Float64("chaos-frac", 0.2, "chaos study: fraction of nodes crashed mid-trace")
 		chaosFail = flag.Float64("chaos-fail", 0.25, "chaos study: trace fraction at which nodes crash")
 		chaosHeal = flag.Float64("chaos-heal", 0.6, "chaos study: trace fraction at which nodes recover")
+		rollBatch = flag.Float64("rolling-batch", 0.1, "rolling study: fraction of nodes upgraded per batch")
+		rollStart = flag.Float64("rolling-start", 0.25, "rolling study: trace fraction at which the upgrade begins")
+		rollEnd   = flag.Float64("rolling-end", 0.75, "rolling study: trace fraction by which every batch has cycled")
 		verbose   = flag.Bool("v", false, "print per-cell progress")
 		list      = flag.Bool("list", false, "list available experiments, figures and schemes, then exit")
 		jobs      = flag.Int("j", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
@@ -125,7 +128,7 @@ func run() error {
 		for _, f := range cascade.Figures() {
 			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
 		}
-		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos ledger")
+		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos ledger rolling")
 		fmt.Printf("schemes: %s\n", strings.Join(cascade.SchemeNames(), ", "))
 		return nil
 	}
@@ -212,7 +215,7 @@ func run() error {
 	wantTable1, wantRadius, wantDCache, wantOverhead, wantFreshness := false, false, false, false, false
 	wantTreeShape, wantZipf, wantCostModel, wantLocality, wantLevels := false, false, false, false, false
 	wantAdaptivity, wantCapacity, wantWindowK, wantPartial := false, false, false, false
-	wantAnalysis, wantChaos, wantLedger := false, false, false
+	wantAnalysis, wantChaos, wantLedger, wantRolling := false, false, false, false
 	var figIDs []string
 	for _, e := range splitList(*exps) {
 		switch e {
@@ -263,6 +266,10 @@ func run() error {
 			// operational diagnostic rather than a paper artifact, so not
 			// part of "all".
 			wantLedger = true
+		case "rolling":
+			// Rolling-upgrade replay through the live runtime's control
+			// plane; an operational diagnostic, not part of "all".
+			wantRolling = true
 		default:
 			if _, ok := cascade.FigureByID(e); !ok {
 				return fmt.Errorf("-exp: unknown experiment %q", e)
@@ -525,6 +532,38 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "chaos %s: crashed nodes %v, routed around %d hops, %d degraded serves, recovery gap %.1f%%\n",
 					a, res.Failed, res.Faulted.Stats.RoutedAround,
 					res.Faulted.Stats.OriginFallbacks, res.RecoveryGap()*100)
+				return t, nil
+			}))
+		}
+	}
+	if wantRolling {
+		for _, a := range archs {
+			a := a
+			addJob("rolling "+string(a), one("rolling_"+string(a), func() (cascade.ResultTable, error) {
+				fmt.Fprintf(os.Stderr, "running %s rolling upgrade (batches of %.0f%% over trace [%.0f%%, %.0f%%))...\n",
+					a, *rollBatch*100, *rollStart*100, *rollEnd*100)
+				res, t, err := cascade.RollingUpgradeStudy(cascade.RollingConfig{
+					Arch:          a,
+					Base:          cfg,
+					BatchFraction: *rollBatch,
+					StartAt:       *rollStart,
+					EndAt:         *rollEnd,
+				})
+				if err != nil {
+					return cascade.ResultTable{}, err
+				}
+				fmt.Fprintf(os.Stderr, "rolling %s: %d batches, epoch %d, routed around %d hops, dip %.2fpp, %d predictions / %d hits booked\n",
+					a, len(res.Batches), res.FinalEpoch, res.Stats.RoutedAround,
+					res.HitDip(), res.Predictions, res.Hits)
+				if res.AuditViolations > 0 {
+					return cascade.ResultTable{}, fmt.Errorf("rolling %s: %d audit violations", a, res.AuditViolations)
+				}
+				if dip := res.HitDip(); dip > 5 {
+					return cascade.ResultTable{}, fmt.Errorf("rolling %s: hit-rate dip %.2fpp exceeds 5pp", a, dip)
+				}
+				if res.Predictions == 0 {
+					return cascade.ResultTable{}, fmt.Errorf("rolling %s: cost ledger booked nothing", a)
+				}
 				return t, nil
 			}))
 		}

@@ -57,6 +57,12 @@ var rules = []rule{
 		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
 		reason:      "the auditor is an independent oracle (stdlib + model + metrics only)",
 	},
+	{
+		pkg:         "internal/controlplane",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics", "cascade/internal/topology"},
+		reason:      "the control plane sits below every incarnation (stdlib + model + metrics + topology only)",
+	},
 }
 
 func (r rule) violates(importPath string) bool {

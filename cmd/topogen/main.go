@@ -48,6 +48,9 @@ func run() error {
 		MANDelayMean:  *manDelay,
 	}
 	net := cascade.GenerateTiers(cfg, rand.New(rand.NewSource(*seed)))
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("generated a degenerate topology (try different parameters): %w", err)
+	}
 	d := net.Describe()
 
 	fmt.Println("Table 1: System Parameters for En-Route Architecture")

@@ -29,3 +29,21 @@ func TestRunTopogen(t *testing.T) {
 		t.Fatalf("dot output wrong:\n%s", data[:100])
 	}
 }
+
+// The smallest cascade the control plane can drain is two nodes (a node
+// needs a parent to spill to). topogen validates every generated topology;
+// this pins the minimal configuration at exactly that floor.
+func TestRunTopogenMinimalStillDrainable(t *testing.T) {
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer devnull.Close()
+	os.Stdout = devnull
+
+	flag.CommandLine = flag.NewFlagSet("topogen", flag.PanicOnError)
+	os.Args = []string{"topogen", "-seed", "1", "-wan", "1", "-mans", "1", "-per-man", "1",
+		"-wan-extra", "-1", "-man-extra", "-1"}
+	if err := run(); err != nil {
+		t.Fatalf("minimal two-node topology should validate: %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package controlplane manages the membership and health of a cascade's
+// cache nodes at runtime. The paper's coordinated placement (§2.2–2.4)
+// assumes a fixed set of caches; this package makes the set a living object
+// without touching the protocol: a membership Manager admits, drains and
+// removes nodes, an active HealthChecker (distinct from any passive
+// circuit breaker) transitions nodes healthy → suspect → down on probe
+// evidence, and an EpochGuard lets in-flight requests finish on the
+// routing view they started with while new requests pick up the changed
+// membership.
+//
+// The package is transport-agnostic: the actor cluster (internal/runtime)
+// and the HTTP gateway (internal/httpgw) both consult the same Manager
+// surface, so a drained node behaves identically whichever transport hosts
+// it — it stops offering placement candidacy, spills its descriptors to
+// its parent, and departs. cmd/importguard pins the dependency surface to
+// the standard library plus internal/model, internal/metrics and
+// internal/topology.
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cascade/internal/metrics"
+	"cascade/internal/model"
+)
+
+// MemberState is a node's membership position in the cascade.
+type MemberState uint8
+
+const (
+	// Active: the node participates fully — it is routable (subject to
+	// health) and offers placement candidacy.
+	Active MemberState = iota
+	// Draining: the node is leaving cooperatively. It finishes requests
+	// already routed through it but offers no candidacy and takes no new
+	// copies; new requests route around it.
+	Draining
+	// Removed: the node has departed. It holds no state and is not
+	// routable; Admit returns it to Active.
+	Removed
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case Draining:
+		return "draining"
+	case Removed:
+		return "removed"
+	default:
+		return "active"
+	}
+}
+
+// Health is a node's probe-driven health classification.
+type Health uint8
+
+const (
+	// Healthy: probes succeed; the node is routable.
+	Healthy Health = iota
+	// Suspect: at least one probe failed but the failure threshold has
+	// not been crossed. Still routable — the passive failure machinery
+	// (route-around, deadline) covers the window.
+	Suspect
+	// Down: consecutive probe failures crossed the threshold. Not
+	// routable until probes succeed again.
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	default:
+		return "healthy"
+	}
+}
+
+// EventKind classifies a membership or health transition.
+type EventKind uint8
+
+// Membership and health transition kinds, in the order they are counted by
+// the cascade_membership_changes_total metric's event label.
+const (
+	EventAdmit EventKind = iota
+	EventDrain
+	EventRemove
+	EventHealthChange
+	numEvents
+)
+
+var eventNames = [numEvents]string{"admit", "drain", "remove", "health"}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one membership or health transition, delivered to the Manager's
+// OnEvent hook (for flight recorders and logs).
+type Event struct {
+	Kind   EventKind
+	Node   model.NodeID
+	Member MemberState // state after the transition
+	Health Health      // health after the transition
+	Epoch  uint64      // routing epoch after the transition
+}
+
+// Manager tracks the membership and health of a fixed ID space of nodes
+// [0, n) and derives the routing predicate from both: a node is routable
+// when it is Active and not Down. Every transition bumps the routing epoch,
+// so transports can fence in-flight work with an EpochGuard.
+//
+// All methods are safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	member  []MemberState
+	health  []Health
+	epoch   uint64
+	onEvent func(Event)
+
+	// routable mirrors member/health as one atomic flag per node, so the
+	// per-hop routing predicate never touches the lock. Updated inside
+	// every transition while m.mu is held.
+	routable []atomic.Bool
+
+	changes [numEvents]*metrics.Counter
+}
+
+// NewManager returns a manager over node IDs [0, n), all Active and
+// Healthy.
+func NewManager(n int) *Manager {
+	m := &Manager{
+		member:   make([]MemberState, n),
+		health:   make([]Health, n),
+		routable: make([]atomic.Bool, n),
+	}
+	for i := range m.routable {
+		m.routable[i].Store(true)
+	}
+	return m
+}
+
+// SetOnEvent installs the transition hook (nil disables). Call before the
+// manager is shared; the hook runs outside the manager's lock.
+func (m *Manager) SetOnEvent(fn func(Event)) { m.onEvent = fn }
+
+// RegisterMetrics exports the manager's state through reg:
+// cascade_node_health{node} (0=healthy, 1=suspect, 2=down) and
+// cascade_membership_changes_total{event}.
+func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
+	for k := EventKind(0); k < numEvents; k++ {
+		m.changes[k] = reg.Counter("cascade_membership_changes_total",
+			"Membership and health transitions applied by the control plane.",
+			metrics.L("event", k.String()))
+	}
+	m.mu.Lock()
+	n := len(m.member)
+	m.mu.Unlock()
+	for i := 0; i < n; i++ {
+		id := model.NodeID(i)
+		reg.GaugeFunc("cascade_node_health",
+			"Probe-driven node health (0=healthy, 1=suspect, 2=down).",
+			func() float64 { return float64(m.HealthOf(id)) },
+			metrics.L("node", strconv.Itoa(i)))
+	}
+}
+
+// Len returns the size of the managed ID space.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.member)
+}
+
+// Epoch returns the current routing epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// StateOf returns a node's membership state (Removed for unknown IDs).
+func (m *Manager) StateOf(id model.NodeID) MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(m.member) {
+		return Removed
+	}
+	return m.member[id]
+}
+
+// HealthOf returns a node's health (Down for unknown IDs).
+func (m *Manager) HealthOf(id model.NodeID) Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(m.health) {
+		return Down
+	}
+	return m.health[id]
+}
+
+// Routable reports whether new requests may be routed through the node:
+// Active membership and not probed Down. Suspect stays routable — the
+// passive failure machinery covers the window until the checker decides.
+// The check is one atomic load — it runs per hop on every request.
+func (m *Manager) Routable(id model.NodeID) bool {
+	if int(id) < 0 || int(id) >= len(m.routable) {
+		return false
+	}
+	return m.routable[id].Load()
+}
+
+// emitLocked counts and snapshots a transition; the caller must hold m.mu
+// and fire the returned event (if any) after unlocking.
+func (m *Manager) emitLocked(k EventKind, id model.NodeID) (Event, bool) {
+	m.routable[id].Store(m.member[id] == Active && m.health[id] != Down)
+	m.epoch++
+	if c := m.changes[k]; c != nil {
+		c.Inc()
+	}
+	if m.onEvent == nil {
+		return Event{}, false
+	}
+	return Event{Kind: k, Node: id, Member: m.member[id], Health: m.health[id], Epoch: m.epoch}, true
+}
+
+// Admit (re)activates a node: Removed or Draining → Active. It reports
+// whether a transition happened (false when already Active or unknown).
+func (m *Manager) Admit(id model.NodeID) bool {
+	m.mu.Lock()
+	if int(id) < 0 || int(id) >= len(m.member) || m.member[id] == Active {
+		m.mu.Unlock()
+		return false
+	}
+	m.member[id] = Active
+	m.health[id] = Healthy
+	ev, fire := m.emitLocked(EventAdmit, id)
+	m.mu.Unlock()
+	if fire {
+		m.onEvent(ev)
+	}
+	return true
+}
+
+// StartDrain moves an Active node to Draining: it leaves the routing view
+// (the epoch bumps) but keeps serving requests already routed through it.
+// Reports whether a transition happened.
+func (m *Manager) StartDrain(id model.NodeID) bool {
+	m.mu.Lock()
+	if int(id) < 0 || int(id) >= len(m.member) || m.member[id] != Active {
+		m.mu.Unlock()
+		return false
+	}
+	m.member[id] = Draining
+	ev, fire := m.emitLocked(EventDrain, id)
+	m.mu.Unlock()
+	if fire {
+		m.onEvent(ev)
+	}
+	return true
+}
+
+// FinishDrain completes a drain: Draining → Removed. Reports whether a
+// transition happened.
+func (m *Manager) FinishDrain(id model.NodeID) bool {
+	m.mu.Lock()
+	if int(id) < 0 || int(id) >= len(m.member) || m.member[id] != Draining {
+		m.mu.Unlock()
+		return false
+	}
+	m.member[id] = Removed
+	ev, fire := m.emitLocked(EventRemove, id)
+	m.mu.Unlock()
+	if fire {
+		m.onEvent(ev)
+	}
+	return true
+}
+
+// SetHealth records a node's health classification (typically from a
+// HealthChecker, or an operator override). Reports whether the value
+// changed; only changes bump the epoch.
+func (m *Manager) SetHealth(id model.NodeID, h Health) bool {
+	m.mu.Lock()
+	if int(id) < 0 || int(id) >= len(m.health) || m.health[id] == h {
+		m.mu.Unlock()
+		return false
+	}
+	m.health[id] = h
+	ev, fire := m.emitLocked(EventHealthChange, id)
+	m.mu.Unlock()
+	if fire {
+		m.onEvent(ev)
+	}
+	return true
+}
+
+// Members lists the node IDs currently in the given membership state,
+// sorted ascending. The slice is non-nil even when empty, so callers can
+// range and serialize it without nil checks.
+func (m *Manager) Members(s MemberState) []model.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]model.NodeID, 0)
+	for i, st := range m.member {
+		if st == s {
+			out = append(out, model.NodeID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParseHealth resolves a health name ("healthy", "suspect", "down") — the
+// admin endpoints' wire form.
+func ParseHealth(s string) (Health, error) {
+	switch s {
+	case "healthy":
+		return Healthy, nil
+	case "suspect":
+		return Suspect, nil
+	case "down":
+		return Down, nil
+	}
+	return Healthy, fmt.Errorf("controlplane: unknown health state %q", s)
+}

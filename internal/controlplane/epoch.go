@@ -1,0 +1,109 @@
+package controlplane
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// epochRing is the number of per-epoch entry counters the guard cycles
+// through. Epochs e and e+epochRing share a counter, so the guard's
+// exactness requires that no single request stay in flight across
+// epochRing routing transitions — transitions are operator- or
+// checker-driven (a handful per reconfiguration) and every request
+// carries a deadline, so the bound holds by orders of magnitude. Sharing
+// in the other direction (a waiter seeing newer entries in an aliased
+// slot) only over-waits, never under-waits.
+const epochRing = 1024
+
+// EpochGuard fences in-flight requests across routing-view changes. A
+// request Enters the current epoch before resolving its route and Exits
+// when done; a reconfiguration Bumps the epoch (so new requests see the
+// new view) and WaitBefores the bumped value, blocking until every request
+// that entered under an older view has finished. The drained node can then
+// spill its state and depart knowing no request still holds a route
+// through it.
+//
+// The guard counts per-epoch entries rather than using a single WaitGroup
+// so a steady stream of new requests (which enter newer epochs) never
+// delays the reconfiguration — only the requests that actually started on
+// the old view are waited for. Enter and Exit are the per-request hot
+// path and are lock-free (one atomic load + one atomic add); the mutex
+// and condition variable serve only reconfiguration-time waiters.
+//
+// An Enter racing a Bump may land its count in the old epoch after a
+// waiter's scan passed it — that request has, by construction, not yet
+// resolved a route, so it observes the post-Bump view and the waiter's
+// guarantee ("no request still holds a route through the old view")
+// stands.
+type EpochGuard struct {
+	epoch  atomic.Uint64
+	counts [epochRing]atomic.Int64 // open entries per epoch, modulo the ring
+
+	mu      sync.Mutex // serializes waiters only
+	cond    *sync.Cond
+	waiters atomic.Int32 // lets Exit skip the wake-up path when nobody waits
+}
+
+// NewEpochGuard returns a guard at epoch 0.
+func NewEpochGuard() *EpochGuard {
+	g := &EpochGuard{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Enter registers an in-flight request under the current epoch and returns
+// that epoch for the matching Exit.
+func (g *EpochGuard) Enter() uint64 {
+	e := g.epoch.Load()
+	g.counts[e%epochRing].Add(1)
+	return e
+}
+
+// Exit unregisters a request previously Entered at epoch e.
+func (g *EpochGuard) Exit(e uint64) {
+	if g.counts[e%epochRing].Add(-1) == 0 && g.waiters.Load() > 0 {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// Bump advances the epoch — subsequent Enters land in the new one — and
+// returns the new value.
+func (g *EpochGuard) Bump() uint64 {
+	return g.epoch.Add(1)
+}
+
+// Epoch returns the current epoch.
+func (g *EpochGuard) Epoch() uint64 {
+	return g.epoch.Load()
+}
+
+// WaitBefore blocks until no request entered at an epoch < e remains in
+// flight. Requests entering at or after e are not waited for (modulo ring
+// aliasing, which can only extend the wait).
+func (g *EpochGuard) WaitBefore(e uint64) {
+	g.waiters.Add(1)
+	g.mu.Lock()
+	for g.openBefore(e) {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+	g.waiters.Add(-1)
+}
+
+// openBefore reports whether any slot belonging to an epoch < e still has
+// open entries. It scans every ring slot except e's own, so entries from
+// the ring's worth of epochs before e are all covered.
+func (g *EpochGuard) openBefore(e uint64) bool {
+	lo := uint64(0)
+	if e > epochRing-1 {
+		lo = e - (epochRing - 1)
+	}
+	for ep := lo; ep < e; ep++ {
+		if g.counts[ep%epochRing].Load() > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package controlplane
+
+import (
+	"sync"
+	"time"
+
+	"cascade/internal/model"
+)
+
+// CheckerConfig parameterizes an active health checker.
+type CheckerConfig struct {
+	// Probe reports whether the node answered its health probe. Required.
+	Probe func(id model.NodeID) bool
+	// FailureThreshold is how many consecutive probe failures mark a node
+	// Down (default 3). The first failure already marks it Suspect.
+	FailureThreshold int
+	// SuccessThreshold is how many consecutive probe successes return a
+	// Suspect or Down node to Healthy (default 2).
+	SuccessThreshold int
+	// Interval is the probe period for Run (default 1s). Tick ignores it.
+	Interval time.Duration
+}
+
+// Checker is the active health prober: a periodic probe per node with
+// consecutive failure/success thresholds driving the
+// healthy → suspect → down state machine in a Manager. It is the active
+// counterpart of the gateways' passive circuit breaker — the breaker
+// reacts to real traffic failing, the checker detects sickness before (or
+// without) traffic.
+//
+// Tests drive it deterministically with Tick; deployments start the
+// background loop with Run.
+type Checker struct {
+	cfg CheckerConfig
+	mgr *Manager
+
+	mu    sync.Mutex
+	fails []int
+	oks   []int
+}
+
+// NewChecker returns a checker feeding the manager. The checker probes
+// every node the manager knows; nodes not currently Active are skipped (a
+// drained node is not sick, it is gone).
+func NewChecker(mgr *Manager, cfg CheckerConfig) *Checker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.SuccessThreshold <= 0 {
+		cfg.SuccessThreshold = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	n := mgr.Len()
+	return &Checker{cfg: cfg, mgr: mgr, fails: make([]int, n), oks: make([]int, n)}
+}
+
+// Tick probes every Active node once and applies the threshold state
+// machine: any failure marks a Healthy node Suspect immediately,
+// FailureThreshold consecutive failures mark it Down, SuccessThreshold
+// consecutive successes return it to Healthy.
+func (c *Checker) Tick() {
+	n := c.mgr.Len()
+	for i := 0; i < n; i++ {
+		id := model.NodeID(i)
+		if c.mgr.StateOf(id) != Active {
+			c.mu.Lock()
+			c.fails[i], c.oks[i] = 0, 0
+			c.mu.Unlock()
+			continue
+		}
+		ok := c.cfg.Probe(id)
+		c.mu.Lock()
+		if ok {
+			c.oks[i]++
+			c.fails[i] = 0
+			oks := c.oks[i]
+			c.mu.Unlock()
+			if oks >= c.cfg.SuccessThreshold {
+				c.mgr.SetHealth(id, Healthy)
+			}
+			continue
+		}
+		c.fails[i]++
+		c.oks[i] = 0
+		fails := c.fails[i]
+		c.mu.Unlock()
+		if fails >= c.cfg.FailureThreshold {
+			c.mgr.SetHealth(id, Down)
+		} else if c.mgr.HealthOf(id) == Healthy {
+			c.mgr.SetHealth(id, Suspect)
+		}
+	}
+}
+
+// Run ticks every Interval until stop is closed. Call in a goroutine.
+func (c *Checker) Run(stop <-chan struct{}) {
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.Tick()
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"testing"
+
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/model"
+)
+
+func drainNode(id model.NodeID, bytes int64, dEntries int) *NodeState {
+	return &NodeState{
+		Node:   id,
+		Store:  cache.NewCostAware(bytes),
+		DCache: dcache.New(dEntries),
+	}
+}
+
+func stock(t *testing.T, st *NodeState, id model.ObjectID, size int64, mp float64, times ...float64) {
+	t.Helper()
+	d := cache.NewDescriptor(id, size)
+	for _, at := range times {
+		d.Window.Record(at)
+	}
+	d.SetMissPenalty(mp)
+	if _, ok := st.Store.Insert(d, times[len(times)-1]); !ok {
+		t.Fatalf("insert %d failed", id)
+	}
+}
+
+func TestDrainDescriptorsOrderAndEmpty(t *testing.T) {
+	st := drainNode(0, 1000, 8)
+	// Higher miss penalty and frequency → higher NCL → drained later.
+	stock(t, st, 1, 100, 5.0, 1, 2, 3)
+	stock(t, st, 2, 100, 50.0, 1, 2, 3)
+	stock(t, st, 3, 100, 0.5, 1, 2, 3)
+
+	snaps := st.DrainDescriptors(4)
+	if len(snaps) != 3 {
+		t.Fatalf("drained %d snapshots, want 3", len(snaps))
+	}
+	if st.Store.Len() != 0 || st.Store.Used() != 0 {
+		t.Fatalf("store not emptied: len=%d used=%d", st.Store.Len(), st.Store.Used())
+	}
+	want := []model.ObjectID{3, 1, 2} // ascending NCL
+	for i, s := range snaps {
+		if s.ID != want[i] {
+			t.Fatalf("snapshot order = %v at %d, want %v", s.ID, i, want[i])
+		}
+	}
+}
+
+func TestDrainDescriptorsTieBreaksByID(t *testing.T) {
+	st := drainNode(0, 1000, 8)
+	stock(t, st, 7, 100, 2.0, 1, 2)
+	stock(t, st, 4, 100, 2.0, 1, 2)
+	snaps := st.DrainDescriptors(3)
+	if len(snaps) != 2 || snaps[0].ID != 4 || snaps[1].ID != 7 {
+		t.Fatalf("tie-break order = %v, want [4 7]", snaps)
+	}
+}
+
+func TestAbsorbSkipsKnownObjects(t *testing.T) {
+	child := drainNode(1, 1000, 8)
+	stock(t, child, 1, 100, 1.0, 1, 2)
+	stock(t, child, 2, 100, 1.0, 1, 2)
+	stock(t, child, 3, 100, 1.0, 1, 2)
+
+	parent := drainNode(0, 1000, 8)
+	stock(t, parent, 1, 100, 9.0, 1, 2) // already in parent's store
+	dTwo := cache.NewDescriptor(2, 100)
+	dTwo.Window.Record(2)
+	parent.DCache.Put(dTwo, 2) // already in parent's d-cache
+
+	snaps := child.DrainDescriptors(3)
+	absorbed := parent.Absorb(snaps, 3)
+	if absorbed != 1 {
+		t.Fatalf("absorbed = %d, want 1 (only object 3 is new)", absorbed)
+	}
+	if !parent.DCache.Contains(3) {
+		t.Fatal("object 3 descriptor should land in the parent d-cache")
+	}
+	if got := parent.DCache.Get(2); got == nil || got != dTwo {
+		t.Fatal("existing parent descriptor must be preserved, not replaced")
+	}
+}
+
+func TestAbsorbRespectsDCacheCapacity(t *testing.T) {
+	child := drainNode(1, 1000, 8)
+	for i := 1; i <= 5; i++ {
+		stock(t, child, model.ObjectID(i), 100, float64(i), 1, 2)
+	}
+	parent := drainNode(0, 1000, 2)
+	absorbed := parent.Absorb(child.DrainDescriptors(3), 3)
+	if absorbed != 5 {
+		t.Fatalf("absorbed = %d, want 5 (evictions still count)", absorbed)
+	}
+	if parent.DCache.Len() != 2 {
+		t.Fatalf("parent d-cache len = %d, want capacity 2", parent.DCache.Len())
+	}
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"testing"
+
+	"cascade/internal/topology"
+)
+
+func tinyRollingConfig() RollingConfig {
+	cfg := tinyConfig()
+	cfg.Tree = topology.TreeConfig{Depth: 3, Fanout: 3, BaseDelay: 0.008, Growth: 5}
+	return RollingConfig{
+		Arch:      Hierarchy,
+		Base:      cfg,
+		CacheSize: 0.03,
+	}
+}
+
+// TestRollingUpgradeStudyAcceptance exercises the study's headline
+// guarantees: every node of the cascade cycles out and back in under load,
+// every request terminates, the auditor stays silent, the ledger keeps
+// booking, and the hit-rate dip during the rolling window stays bounded.
+func TestRollingUpgradeStudyAcceptance(t *testing.T) {
+	cfg := tinyRollingConfig()
+	res, table, err := RollingUpgradeStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness: the whole trace was processed.
+	if got, want := res.Overall.Requests, int64(cfg.Base.Trace.Requests); got != want {
+		t.Fatalf("requests %d, want %d", got, want)
+	}
+
+	// The schedule covered every cache node exactly once.
+	numNodes := cfg.Base.Network(cfg.Arch).NumCaches()
+	seen := make(map[int]bool, numNodes)
+	for _, b := range res.Batches {
+		for _, id := range b {
+			if seen[int(id)] {
+				t.Fatalf("node %d scheduled twice", id)
+			}
+			seen[int(id)] = true
+		}
+	}
+	if len(seen) != numNodes {
+		t.Fatalf("schedule covered %d of %d nodes", len(seen), numNodes)
+	}
+
+	// Every drain bumps the epoch twice and every admit once, so a
+	// completed schedule lands at ≥ 3 × nodes.
+	if res.FinalEpoch < uint64(3*numNodes) {
+		t.Fatalf("final epoch %d, want ≥ %d", res.FinalEpoch, 3*numNodes)
+	}
+
+	// Drains are not crashes: the failure counters must stay untouched
+	// while requests route around the departing batches.
+	if res.Stats.Failures != 0 || res.Stats.Recoveries != 0 {
+		t.Fatalf("cooperative drains counted as crashes: %+v", res.Stats)
+	}
+	if res.Stats.RoutedAround == 0 {
+		t.Fatal("no hops were routed around during the rolling window")
+	}
+	if res.Phases[RollingUpgrading].AvgSkippedHops == 0 {
+		t.Fatal("rolling phase skipped no hops")
+	}
+
+	// Correctness and accounting stayed live through every epoch flip.
+	if res.AuditViolations != 0 {
+		t.Fatalf("%d audit violations across the rolling upgrade", res.AuditViolations)
+	}
+	if res.Predictions == 0 || res.Hits == 0 {
+		t.Fatalf("ledger vacuous: %d predictions, %d hits", res.Predictions, res.Hits)
+	}
+
+	// The headline bound: the rolling window costs at most 5 percentage
+	// points of byte hit ratio against the healthy phase.
+	if dip := res.HitDip(); dip > 5 {
+		t.Fatalf("hit-rate dip %.2fpp exceeds 5pp (healthy %.3f, rolling %.3f)",
+			dip, res.Phases[RollingHealthy].ByteHitRatio,
+			res.Phases[RollingUpgrading].ByteHitRatio)
+	}
+
+	if len(table.Rows) != rollingPhases+1 || len(table.Columns) != 4 {
+		t.Fatalf("table shape: %d rows, %d columns", len(table.Rows), len(table.Columns))
+	}
+}
+
+// TestRollingUpgradeStudyDeterministic: the replay is serial and seeded, so
+// two runs agree exactly (the async health checker observes but never
+// perturbs the request path).
+func TestRollingUpgradeStudyDeterministic(t *testing.T) {
+	a, _, err := RollingUpgradeStudy(tinyRollingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RollingUpgradeStudy(tinyRollingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overall != b.Overall {
+		t.Fatalf("runs diverged:\n%+v\n%+v", a.Overall, b.Overall)
+	}
+	for p := range a.Phases {
+		if a.Phases[p] != b.Phases[p] {
+			t.Fatalf("phase %s diverged:\n%+v\n%+v", rollingPhaseNames[p], a.Phases[p], b.Phases[p])
+		}
+	}
+}
+
+// TestRollingUpgradeStudyWindowValidation rejects schedules that do not
+// fit the trace.
+func TestRollingUpgradeStudyWindowValidation(t *testing.T) {
+	cfg := tinyRollingConfig()
+	cfg.StartAt, cfg.EndAt = 0.9, 0.3
+	if _, _, err := RollingUpgradeStudy(cfg); err == nil {
+		t.Fatal("inverted rolling window accepted")
+	}
+	cfg = tinyRollingConfig()
+	cfg.Base.Trace.Requests = 20 // a 10-request window cannot stride 13 one-node batches
+	if _, _, err := RollingUpgradeStudy(cfg); err == nil {
+		t.Fatal("window too small for the batch schedule accepted")
+	}
+}

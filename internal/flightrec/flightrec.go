@@ -78,6 +78,14 @@ const (
 	// N = the violated invariant (audit.Invariant numeric value);
 	// A, B carry the invariant-specific got/want values.
 	KindAuditViolation
+	// KindMembership: a control-plane membership transition at this node.
+	// N = the new membership state (controlplane.MemberState numeric
+	// value); A = the routing epoch after the transition.
+	KindMembership
+	// KindHealth: an active health-checker (or operator) transition at
+	// this node. N = the new health state (controlplane.Health numeric
+	// value); A = the routing epoch after the transition.
+	KindHealth
 
 	numKinds
 )
@@ -98,6 +106,8 @@ var kindNames = [numKinds]string{
 	KindRecover:        "recover",
 	KindBreaker:        "breaker",
 	KindAuditViolation: "audit_violation",
+	KindMembership:     "membership",
+	KindHealth:         "health",
 }
 
 // String returns the schema name of the kind (docs/OBSERVABILITY.md).

@@ -1,0 +1,444 @@
+package httpgw
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cascade/internal/cache"
+	"cascade/internal/controlplane"
+	"cascade/internal/dcache"
+	"cascade/internal/engine"
+	"cascade/internal/flightrec"
+	"cascade/internal/model"
+	"cascade/internal/reqtrace"
+)
+
+// The gateway's control-plane surface. Each node manages its own membership
+// and advertised health — there is no central registry on this transport, so
+// the admin endpoints below are the wire form of runtime.Cluster's
+// Admit/Drain/SetHealth:
+//
+//	POST /cascade/admin/drain   cooperative departure: empty the cache,
+//	                            spill the descriptors to the upstream's
+//	                            d-cache, then serve pass-through only
+//	POST /cascade/admin/admit   rejoin (empty) after a drain
+//	POST /cascade/admin/absorb  receive a departing downstream's spill
+//	                            (gob-encoded []cache.DescriptorSnapshot)
+//	GET  /cascade/admin/health  membership + health as JSON
+//	POST /cascade/admin/health?state=…  operator health override
+//	GET  /cascade/health        probe endpoint: 200 while serving, 503
+//	                            while draining/removed or marked down
+//
+// A draining or removed node stays in the chain as a pure relay: it appends
+// a "-" (no-descriptor) path entry so the decision DP sees only its link
+// cost, and it skips the DownStep on the way back — byte-identical to the
+// actor cluster routing around a drained node and folding the link.
+
+// ErrUpstreamDown is returned by upstream fetches refused because the
+// active health checker has probed the upstream Down. It fails faster than
+// the circuit breaker (which needs consecutive request failures) — the
+// prober works even when no requests flow.
+var ErrUpstreamDown = errors.New("httpgw: upstream probed down")
+
+// UpstreamHealthConfig tunes the node's active upstream prober
+// (StartUpstreamHealthCheck). The thresholds mirror
+// controlplane.CheckerConfig: FailureThreshold consecutive probe failures
+// mark the upstream Down (the first failure alone makes it Suspect);
+// SuccessThreshold consecutive successes restore Healthy.
+type UpstreamHealthConfig struct {
+	Interval         time.Duration // probe period; default 1s
+	FailureThreshold int           // default 3
+	SuccessThreshold int           // default 2
+}
+
+func (c UpstreamHealthConfig) withDefaults() UpstreamHealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	return c
+}
+
+// recordTransitionLocked bumps the node's control-plane epoch, counts the
+// transition and records the flight event. Caller holds n.mu. Self events
+// carry B=0; upstream-probe health events carry B=1 (the recorder has one
+// Node field, and both kinds of event belong to this node's timeline).
+func (n *Node) recordTransitionLocked(k controlplane.EventKind, upstream bool, now float64) {
+	n.cpEpoch++
+	if c := n.changes[k]; c != nil {
+		c.Inc()
+	}
+	kind, v := flightrec.KindMembership, int(n.member)
+	if k == controlplane.EventHealthChange {
+		kind = flightrec.KindHealth
+		if upstream {
+			v = int(n.upHealth)
+		} else {
+			v = int(n.selfHealth)
+		}
+	}
+	b := 0.0
+	if upstream {
+		b = 1
+	}
+	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: kind, Hop: -1, A: float64(n.cpEpoch), B: b, N: v})
+}
+
+// Member returns the node's membership state.
+func (n *Node) Member() controlplane.MemberState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.member
+}
+
+// UpstreamHealth returns the prober's current classification of the
+// upstream (Healthy until the first probe says otherwise).
+func (n *Node) UpstreamHealth() controlplane.Health {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.upHealth
+}
+
+// serving reports whether the node participates in the protocol (Active
+// membership, not marked down by an operator). Caller holds n.mu.
+func (n *Node) servingLocked() bool {
+	return n.member == controlplane.Active && n.selfHealth != controlplane.Down
+}
+
+// serveAdmin routes the /cascade/admin/* endpoints.
+func (n *Node) serveAdmin(w http.ResponseWriter, r *http.Request, now float64) {
+	switch r.URL.Path {
+	case "/cascade/admin/drain":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.adminDrain(w, now)
+	case "/cascade/admin/admit":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.adminAdmit(w, now)
+	case "/cascade/admin/absorb":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.adminAbsorb(w, r, now)
+	case "/cascade/admin/health":
+		n.adminHealth(w, r, now)
+	default:
+		http.Error(w, "unknown admin endpoint", http.StatusNotFound)
+	}
+}
+
+// controlState is the JSON shape of the admin endpoints' replies.
+type controlState struct {
+	Node           int    `json:"node"`
+	Member         string `json:"membership"`
+	Health         string `json:"health"`
+	UpstreamHealth string `json:"upstream_health"`
+	Epoch          uint64 `json:"epoch"`
+	Drained        int    `json:"drained,omitempty"`
+	Absorbed       int    `json:"absorbed,omitempty"`
+}
+
+func (n *Node) stateLocked() controlState {
+	return controlState{
+		Node:           int(n.ID),
+		Member:         n.member.String(),
+		Health:         n.selfHealth.String(),
+		UpstreamHealth: n.upHealth.String(),
+		Epoch:          n.cpEpoch,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// adminDrain performs the cooperative departure: hand the cached
+// descriptors to the upstream's d-cache in NCL eviction order, forget the
+// payloads, and switch to pass-through service. Unlike the actor cluster
+// there is no epoch guard to wait on — each HTTP request holds n.mu for
+// every protocol step it takes, so the drain's own critical section is the
+// fence: requests that already passed it see a relay, requests before it
+// completed their steps.
+func (n *Node) adminDrain(w http.ResponseWriter, now float64) {
+	n.mu.Lock()
+	if n.member != controlplane.Active {
+		st := n.stateLocked()
+		n.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	n.member = controlplane.Draining
+	n.recordTransitionLocked(controlplane.EventDrain, false, now)
+	snaps := n.st.DrainDescriptors(now)
+	// The d-cache's history belongs to the departing identity too; the
+	// interface has no clear, so swap in a fresh instance.
+	n.st.DCache = dcache.New(n.st.DCache.Capacity())
+	n.body = make(map[model.ObjectID][]byte)
+	n.etag = make(map[model.ObjectID]string)
+	n.fetched = make(map[model.ObjectID]float64)
+	n.mu.Unlock()
+
+	absorbed := n.spill(snaps)
+
+	n.mu.Lock()
+	n.member = controlplane.Removed
+	n.recordTransitionLocked(controlplane.EventRemove, false, now)
+	st := n.stateLocked()
+	n.mu.Unlock()
+	st.Drained = len(snaps)
+	st.Absorbed = absorbed
+	writeJSON(w, http.StatusOK, st)
+}
+
+// spill posts the drained descriptors to the upstream's absorb endpoint and
+// returns how many it reports absorbing (0 when there is nothing to ship or
+// the upstream cannot take them — the spill is an optimization, not a
+// correctness requirement: a lost descriptor only loses history).
+func (n *Node) spill(snaps []cache.DescriptorSnapshot) int {
+	if len(snaps) == 0 || n.Upstream == "" {
+		return 0
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snaps); err != nil {
+		return 0
+	}
+	resp, err := n.client().Post(n.Upstream+"/cascade/admin/absorb", "application/x-gob", &buf)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var st controlState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0
+	}
+	return st.Absorbed
+}
+
+// adminAdmit returns a drained (or draining) node to Active service. The
+// node rejoins empty — its state left with the drain.
+func (n *Node) adminAdmit(w http.ResponseWriter, now float64) {
+	n.mu.Lock()
+	if n.member == controlplane.Active {
+		st := n.stateLocked()
+		n.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	n.member = controlplane.Active
+	n.selfHealth = controlplane.Healthy
+	n.recordTransitionLocked(controlplane.EventAdmit, false, now)
+	st := n.stateLocked()
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// adminAbsorb receives a departing downstream's spilled descriptors and
+// offers them to this node's d-cache (engine.NodeState.Absorb: objects the
+// node already knows are skipped, the d-cache's eviction policy takes the
+// rest).
+func (n *Node) adminAbsorb(w http.ResponseWriter, r *http.Request, now float64) {
+	var snaps []cache.DescriptorSnapshot
+	if err := gob.NewDecoder(r.Body).Decode(&snaps); err != nil {
+		http.Error(w, "httpgw: bad absorb payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	if n.member != controlplane.Active {
+		st := n.stateLocked()
+		n.mu.Unlock()
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	absorbed := n.st.Absorb(snaps, now)
+	st := n.stateLocked()
+	n.mu.Unlock()
+	st.Absorbed = absorbed
+	writeJSON(w, http.StatusOK, st)
+}
+
+// adminHealth reads (GET) or overrides (POST ?state=healthy|suspect|down)
+// the node's advertised health. A node marked down keeps serving protocol
+// traffic it receives — the override's effect is on the probe endpoint, so
+// the downstream's checker routes around it, exactly like a probed failure.
+func (n *Node) adminHealth(w http.ResponseWriter, r *http.Request, now float64) {
+	switch r.Method {
+	case http.MethodGet:
+		n.mu.Lock()
+		st := n.stateLocked()
+		n.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodPost:
+		h, err := controlplane.ParseHealth(r.URL.Query().Get("state"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.mu.Lock()
+		if n.selfHealth != h {
+			n.selfHealth = h
+			n.recordTransitionLocked(controlplane.EventHealthChange, false, now)
+		}
+		st := n.stateLocked()
+		n.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveHealth is the probe endpoint downstream checkers poll: 200 while the
+// node participates in the protocol, 503 while it is draining, removed or
+// operator-marked down.
+func (n *Node) serveHealth(w http.ResponseWriter) {
+	n.mu.Lock()
+	serving := n.servingLocked()
+	st := n.stateLocked()
+	n.mu.Unlock()
+	code := http.StatusOK
+	if !serving {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// passThrough relays a request for a draining/removed node: extend the path
+// header with a "-" (no-descriptor) entry so the DP sees only the link
+// cost, forward, and add the link to the penalty counter on the way back
+// without a DownStep — the wire image of the actor cluster folding a
+// routed-around hop.
+func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
+	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	entry := engine.Candidate{Node: n.ID, Tag: engine.TagNoDescriptor, Link: n.UpCost}
+	pathHeader := r.Header.Get(HeaderPath)
+	if pathHeader == "" {
+		pathHeader = formatEntry(entry)
+	} else {
+		pathHeader = pathHeader + "," + formatEntry(entry)
+	}
+	up.Header.Set(HeaderPath, pathHeader)
+	if traceWanted(r) {
+		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
+	}
+	if tag := r.Header.Get("If-None-Match"); tag != "" {
+		up.Header.Set("If-None-Match", tag)
+	}
+
+	resp, err := n.fetchUpstream(up)
+	if err != nil {
+		if n.serveDegraded(w, r) {
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck
+		return
+	}
+
+	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
+	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
+	if h := resp.Header.Get(HeaderPredict); h != "" {
+		w.Header().Set(HeaderPredict, h)
+	}
+	w.Header().Set(HeaderPenalty, fmtFloat(prev+n.UpCost))
+	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	if traceWanted(r) {
+		upEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor})
+		downEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: prev + n.UpCost})
+		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), upEvt, downEvt, n.traceBudget()))
+	}
+	io.Copy(w, resp.Body) //nolint:errcheck
+}
+
+// ProbeUpstream runs one synchronous health probe against the upstream's
+// /cascade/health endpoint and applies the threshold state machine. It
+// returns the resulting classification. Exported so tests (and operators'
+// tooling) can drive ticks without the background loop.
+func (n *Node) ProbeUpstream(cfg UpstreamHealthConfig) controlplane.Health {
+	cfg = cfg.withDefaults()
+	ok := false
+	if n.Upstream != "" {
+		if resp, err := n.client().Get(n.Upstream + "/cascade/health"); err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	now := n.Clock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	prev := n.upHealth
+	if ok {
+		n.upOks++
+		n.upFails = 0
+		if n.upOks >= cfg.SuccessThreshold {
+			n.upHealth = controlplane.Healthy
+		}
+	} else {
+		n.upFails++
+		n.upOks = 0
+		if n.upFails >= cfg.FailureThreshold {
+			n.upHealth = controlplane.Down
+		} else if n.upHealth == controlplane.Healthy {
+			n.upHealth = controlplane.Suspect
+		}
+	}
+	if n.upHealth != prev {
+		n.recordTransitionLocked(controlplane.EventHealthChange, true, now)
+	}
+	return n.upHealth
+}
+
+// StartUpstreamHealthCheck launches the active upstream prober: every
+// Interval it probes the upstream's /cascade/health and walks the
+// healthy → suspect → down machine. A Down upstream makes fetchUpstream
+// fail fast with ErrUpstreamDown (ahead of the circuit breaker, which needs
+// request traffic to learn anything), so requests degrade to the origin
+// immediately. The goroutine exits when stop closes.
+func (n *Node) StartUpstreamHealthCheck(cfg UpstreamHealthConfig, stop <-chan struct{}) {
+	cfg = cfg.withDefaults()
+	go func() {
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				n.ProbeUpstream(cfg)
+			}
+		}
+	}()
+}

@@ -1,0 +1,313 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cascade/internal/controlplane"
+	"cascade/internal/flightrec"
+	"cascade/internal/model"
+)
+
+func postJSON(t *testing.T, url string) (int, controlState) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st controlState
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json") {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// nodeURL finds the httptest URL serving a given node by walking the chain
+// downward from the client-facing base.
+func nodeURL(t *testing.T, base string, nodes []*Node, id model.NodeID) string {
+	t.Helper()
+	url := base
+	for _, n := range nodes {
+		if n.ID == id {
+			return url
+		}
+		url = n.Upstream
+	}
+	t.Fatalf("node %d not in chain", id)
+	return ""
+}
+
+// TestAdminDrainSpillsUpstream drains a warm edge node and checks the whole
+// hand-off: descriptors land in the upstream's d-cache, the drained node
+// serves as a pure relay with a "-" path entry, and admit restores it
+// empty.
+func TestAdminDrainSpillsUpstream(t *testing.T) {
+	base, nodes, setNow := chain(t, 2, 100000)
+
+	// Warm node 0: the second request places the copy at the edge.
+	setNow(0)
+	get(t, base, 42)
+	setNow(10)
+	get(t, base, 42)
+	if !nodes[0].Contains(42) {
+		t.Fatal("warm-up did not place a copy at node 0")
+	}
+
+	setNow(20)
+	code, st := postJSON(t, base+"/cascade/admin/drain")
+	if code != http.StatusOK {
+		t.Fatalf("drain status %d", code)
+	}
+	// Absorbed is 0 here: the upstream watched the warm-up requests pass
+	// through, so it already holds the object's descriptor and skips the
+	// duplicate — the contract is "the upstream knows the object", not
+	// "the bytes moved".
+	if st.Member != "removed" || st.Drained != 1 {
+		t.Fatalf("drain reply %+v, want removed with 1 drained", st)
+	}
+	if nodes[0].Contains(42) {
+		t.Fatal("drained node still holds the object")
+	}
+	if !nodes[1].st.DCache.Contains(42) {
+		t.Fatal("spilled descriptor did not reach the upstream d-cache")
+	}
+	if got := nodes[0].Member(); got != controlplane.Removed {
+		t.Fatalf("membership = %v, want removed", got)
+	}
+
+	// A second drain must refuse.
+	if code, _ := postJSON(t, base+"/cascade/admin/drain"); code != http.StatusConflict {
+		t.Fatalf("second drain status %d, want 409", code)
+	}
+
+	// Requests still flow end to end through the relay, and the drained
+	// node contributes only its link cost: the DP still sees both hops, so
+	// a placement goes to the remaining cache (node 1).
+	setNow(30)
+	resp, body := get(t, base, 42)
+	if resp.StatusCode != http.StatusOK || len(body) != 500 {
+		t.Fatalf("relay response status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	setNow(40)
+	get(t, base, 42)
+	if nodes[0].Contains(42) {
+		t.Fatal("removed node took a copy")
+	}
+	if !nodes[1].Contains(42) {
+		t.Fatal("placement did not fall to the surviving cache")
+	}
+	// Served from node 1's cache through the relay: penalty counter at the
+	// client is node 0's folded link cost.
+	setNow(50)
+	resp, _ = get(t, base, 42)
+	if resp.Header.Get(HeaderHit) != "1" {
+		t.Fatalf("served by %q, want node 1", resp.Header.Get(HeaderHit))
+	}
+	if got := resp.Header.Get(HeaderPenalty); got != "1" {
+		t.Fatalf("relay penalty %q, want 1 (link folded, no reset)", got)
+	}
+
+	// Admit restores an empty, active node.
+	code, st = postJSON(t, base+"/cascade/admin/admit")
+	if code != http.StatusOK || st.Member != "active" {
+		t.Fatalf("admit status %d, state %+v", code, st)
+	}
+	if nodes[0].Contains(42) || nodes[0].st.DCache.Len() != 0 {
+		t.Fatal("admitted node should start empty")
+	}
+	if code, _ := postJSON(t, base+"/cascade/admin/admit"); code != http.StatusConflict {
+		t.Fatal("second admit should refuse")
+	}
+
+	// The flight recorder kept the membership transitions: drain, remove,
+	// admit.
+	var members int
+	for _, ev := range nodes[0].flight.TakeSnapshot(nodes[0].ID).Events {
+		if ev.Kind == flightrec.KindMembership {
+			members++
+		}
+	}
+	if members != 3 {
+		t.Fatalf("got %d membership flight events, want 3", members)
+	}
+}
+
+// TestAdminHealthEndpoints covers the probe endpoint and the operator
+// override: a node marked down answers 503 on /cascade/health, and the
+// admin endpoint reports the state machine's position.
+func TestAdminHealthEndpoints(t *testing.T) {
+	base, _, _ := chain(t, 1, 100000)
+
+	resp, err := http.Get(base + "/cascade/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy probe status %d", resp.StatusCode)
+	}
+
+	code, st := postJSON(t, base+"/cascade/admin/health?state=down")
+	if code != http.StatusOK || st.Health != "down" {
+		t.Fatalf("override status %d, state %+v", code, st)
+	}
+	resp, err = http.Get(base + "/cascade/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("down probe status %d, want 503", resp.StatusCode)
+	}
+
+	if code, _ := postJSON(t, base+"/cascade/admin/health?state=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus health status %d, want 400", code)
+	}
+
+	// GET reflects the override.
+	resp, err = http.Get(base + "/cascade/admin/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got controlState
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Health != "down" || got.Member != "active" {
+		t.Fatalf("admin health GET = %+v", got)
+	}
+}
+
+// TestUpstreamProberGatesFetch walks the prober's state machine against a
+// chain whose middle node gets marked down, and checks that fetchUpstream
+// fails fast into degraded mode once the upstream is probed Down.
+func TestUpstreamProberGatesFetch(t *testing.T) {
+	origin := httptest.NewServer(&Origin{Size: func(model.ObjectID) int { return 100 }})
+	defer origin.Close()
+
+	mid := NewNode(1, origin.URL, 1, 100000, 100, func() float64 { return 0 })
+	midSrv := httptest.NewServer(mid)
+	defer midSrv.Close()
+
+	edge := NewNode(0, midSrv.URL, 1, 100000, 100, func() float64 { return 0 })
+	edge.OriginURL = origin.URL
+	edge.MaxRetries = -1
+	edgeSrv := httptest.NewServer(edge)
+	defer edgeSrv.Close()
+
+	cfg := UpstreamHealthConfig{FailureThreshold: 2, SuccessThreshold: 1}
+	if got := edge.ProbeUpstream(cfg); got != controlplane.Healthy {
+		t.Fatalf("healthy upstream probed %v", got)
+	}
+
+	// Mark the middle node down; the prober walks suspect → down.
+	if code, _ := postJSON(t, midSrv.URL+"/cascade/admin/health?state=down"); code != http.StatusOK {
+		t.Fatal("override failed")
+	}
+	if got := edge.ProbeUpstream(cfg); got != controlplane.Suspect {
+		t.Fatalf("after 1 failed probe: %v, want suspect", got)
+	}
+	if got := edge.ProbeUpstream(cfg); got != controlplane.Down {
+		t.Fatalf("after 2 failed probes: %v, want down", got)
+	}
+
+	// Down upstream: the fetch is refused before any request goes out, and
+	// the node serves degraded from the origin.
+	resp, body := get(t, edgeSrv.URL, 7)
+	if resp.StatusCode != http.StatusOK || len(body) != 100 {
+		t.Fatalf("degraded response status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get(HeaderDegraded) != "1" {
+		t.Fatal("response not marked degraded")
+	}
+
+	// Recovery: one successful probe restores Healthy and the protocol.
+	if code, _ := postJSON(t, midSrv.URL+"/cascade/admin/health?state=healthy"); code != http.StatusOK {
+		t.Fatal("recovery override failed")
+	}
+	if got := edge.ProbeUpstream(cfg); got != controlplane.Healthy {
+		t.Fatalf("after recovery probe: %v, want healthy", got)
+	}
+	resp, _ = get(t, edgeSrv.URL, 7)
+	if resp.Header.Get(HeaderDegraded) != "" {
+		t.Fatal("healthy upstream should serve through the protocol")
+	}
+}
+
+// TestAdminStatsAndMetricsShape pins the serialized control-plane surface:
+// the /cascade/stats JSON fields and the Prometheus series the satellite
+// work added.
+func TestAdminStatsAndMetricsShape(t *testing.T) {
+	base, nodes, _ := chain(t, 1, 100000)
+
+	resp, err := http.Get(base + "/cascade/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, k := range []string{"membership", "health", "upstream_health", "epoch"} {
+		if _, ok := stats[k]; !ok {
+			t.Fatalf("stats JSON missing %q: %v", k, stats)
+		}
+	}
+	if stats["membership"] != "active" || stats["health"] != "healthy" {
+		t.Fatalf("fresh node stats = %v", stats)
+	}
+
+	postJSON(t, base+"/cascade/admin/drain")
+	rec := httptest.NewRecorder()
+	nodes[0].MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cascade/metrics", nil))
+	out := rec.Body.String()
+	for _, want := range []string{
+		`cascade_membership_changes_total{event="drain",node="0"} 1`,
+		`cascade_membership_changes_total{event="remove",node="0"} 1`,
+		`cascade_gw_membership{node="0"} 2`,
+		`cascade_node_health{node="0"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPassThroughPreservesChainDecisions drains the middle node of a
+// three-deep chain and checks a full protocol exchange still works across
+// the relay, with the relay's link cost visible to the DP via its "-"
+// entry.
+func TestPassThroughPreservesChainDecisions(t *testing.T) {
+	base, nodes, setNow := chain(t, 3, 100000)
+
+	midURL := nodeURL(t, base, nodes, 1)
+	if code, _ := postJSON(t, midURL+"/cascade/admin/drain"); code != http.StatusOK {
+		t.Fatal("drain failed")
+	}
+
+	// Cold pass seeds descriptors at nodes 0 and 2 only.
+	setNow(0)
+	get(t, base, 9)
+	// Second pass: a placement lands (node 0 carries the largest penalty).
+	setNow(10)
+	get(t, base, 9)
+	if nodes[1].Contains(9) {
+		t.Fatal("draining node took a copy")
+	}
+	if !nodes[0].Contains(9) {
+		t.Fatal("edge node did not cache across the relay")
+	}
+	setNow(20)
+	resp, _ := get(t, base, 9)
+	if resp.Header.Get(HeaderHit) != "0" {
+		t.Fatalf("served by %q, want node 0", resp.Header.Get(HeaderHit))
+	}
+}

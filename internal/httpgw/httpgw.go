@@ -37,6 +37,7 @@ import (
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/controlplane"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
@@ -141,6 +142,16 @@ type Node struct {
 	auditor *audit.Auditor
 	ledger  *audit.Ledger
 	flight  *flightrec.Recorder
+
+	// Control plane (guarded by mu): this node's membership and advertised
+	// health, the prober's view of the upstream, and the transition epoch.
+	// See admin.go for the endpoints that drive them.
+	member         controlplane.MemberState
+	selfHealth     controlplane.Health
+	upHealth       controlplane.Health
+	upFails, upOks int
+	cpEpoch        uint64
+	changes        map[controlplane.EventKind]*metrics.Counter
 
 	rng             *rand.Rand // backoff jitter; lazily seeded from ID
 	breaker         BreakerState
@@ -390,9 +401,26 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.serveFlight(w)
 		return
 	}
+	if r.URL.Path == "/cascade/health" {
+		n.serveHealth(w)
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/cascade/admin/") {
+		n.serveAdmin(w, r, now)
+		return
+	}
 
 	// ---- Local hit? ----
 	n.mu.Lock()
+	// Draining or departed: pure relay, no protocol participation. The
+	// check shares the hit path's critical section so no request can read
+	// the store on one side of a drain and take protocol steps on the
+	// other.
+	if n.member != controlplane.Active {
+		n.mu.Unlock()
+		n.passThrough(w, r)
+		return
+	}
 	if n.st.Store.Contains(obj) {
 		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
 		if !stale {
@@ -489,7 +517,27 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// audit's reference value; crossing the link adds its cost.
 	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
 	mp := prev + n.UpCost
+
 	chosen := parsePlacement(resp.Header.Get(HeaderPlace))
+
+	now = n.Clock()
+	mpSeen := mp
+	n.mu.Lock()
+	if n.member != controlplane.Active {
+		// A drain landed while the fetch was in flight (the actor
+		// cluster's epoch guard has no analogue on this transport — the
+		// fetch runs outside the lock). A departed node takes no placement
+		// and books no ledger claim: finish as a relay, link cost folded.
+		n.mu.Unlock()
+		w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
+		if h := resp.Header.Get(HeaderPredict); h != "" {
+			w.Header().Set(HeaderPredict, h)
+		}
+		w.Header().Set(HeaderPenalty, fmtFloat(mp))
+		w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+		w.Write(body) //nolint:errcheck
+		return
+	}
 	if chosen[n.ID] {
 		// The decision site shipped this node's predicted Δcost term next
 		// to the placement instruction; book the claim here, where the
@@ -502,10 +550,6 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			n.ledger.RecordPrediction(n.ID, term)
 		}
 	}
-
-	now = n.Clock()
-	mpSeen := mp
-	n.mu.Lock()
 	res := n.st.DownStep(obj, int64(len(body)), chosen[n.ID], mp, -1, now, nil)
 	n.st.Audit.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
@@ -622,11 +666,13 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 	used, capacity, objects := n.st.Store.Used(), n.st.Store.Capacity(), n.st.Store.Len()
 	descs := n.st.DCache.Len()
 	retries, opens, degraded, state := n.retries, n.breakerOpens, n.degraded, n.breaker
+	member, health, upHealth, epoch := n.member, n.selfHealth, n.upHealth, n.cpEpoch
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
-		"{\"node\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
-		n.ID, hits, misses, inserts, revs, objects, used, capacity, descs,
+		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
+		n.ID, member.String(), health.String(), upHealth.String(), epoch,
+		hits, misses, inserts, revs, objects, used, capacity, descs,
 		retries, state.String(), opens, degraded)
 }
 

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"cascade/internal/controlplane"
 	"cascade/internal/metrics"
 )
 
@@ -40,6 +41,15 @@ func (n *Node) MetricsRegistry() *metrics.Registry {
 	r.CounterFunc("cascade_gw_degraded_total", "Responses served outside the protocol (origin-direct or stale-if-error).", lockedCount(func() int64 { return n.degraded }), nl)
 
 	r.GaugeFunc("cascade_gw_breaker_state", "Upstream circuit breaker position (0=closed, 1=open, 2=half-open).", lockedCount(func() int64 { return int64(n.breaker) }), nl, ul)
+	r.GaugeFunc("cascade_node_health", "This node's advertised health (0=healthy, 1=suspect, 2=down).", lockedCount(func() int64 { return int64(n.selfHealth) }), nl)
+	r.GaugeFunc("cascade_gw_membership", "This node's membership state (0=active, 1=draining, 2=removed).", lockedCount(func() int64 { return int64(n.member) }), nl)
+	r.GaugeFunc("cascade_gw_upstream_health", "The active prober's view of the upstream (0=healthy, 1=suspect, 2=down).", lockedCount(func() int64 { return int64(n.upHealth) }), nl, ul)
+	n.changes = make(map[controlplane.EventKind]*metrics.Counter)
+	for _, k := range []controlplane.EventKind{controlplane.EventAdmit, controlplane.EventDrain, controlplane.EventRemove, controlplane.EventHealthChange} {
+		n.changes[k] = r.Counter("cascade_membership_changes_total",
+			"Membership and health transitions applied by the control plane.",
+			metrics.L("event", k.String()), nl)
+	}
 	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Store.Used() }), nl)
 	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Store.Capacity() }), nl)
 	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.st.Store.Len()) }), nl)

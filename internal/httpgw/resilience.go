@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"cascade/internal/controlplane"
 	"cascade/internal/flightrec"
 )
 
@@ -207,6 +208,13 @@ func (n *Node) breakerFailureLocked(now float64) {
 // non-retryable status the caller must pass through.
 func (n *Node) fetchUpstream(req *http.Request) (*http.Response, error) {
 	n.mu.Lock()
+	// The active prober's verdict gates ahead of the breaker: the breaker
+	// needs consecutive request failures to learn anything, the prober
+	// already knows. A Down upstream fails fast into degraded mode.
+	if n.upHealth == controlplane.Down {
+		n.mu.Unlock()
+		return nil, ErrUpstreamDown
+	}
 	allowed := n.breakerAllowLocked(n.Clock())
 	n.mu.Unlock()
 	if !allowed {

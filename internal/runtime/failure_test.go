@@ -66,8 +66,8 @@ func TestClusterFailRoutesAround(t *testing.T) {
 	if n := c.node(mid); n.st.Store.Len() != 0 || n.st.DCache.Len() != 0 {
 		t.Fatal("recovered node kept state across the crash")
 	}
-	if got := c.Failed(); got != nil {
-		t.Fatalf("Failed() after recovery = %v", got)
+	if got := c.Failed(); got == nil || len(got) != 0 {
+		t.Fatalf("Failed() after recovery = %#v, want non-nil empty", got)
 	}
 	st := c.Stats()
 	if st.Failures != 1 || st.Recoveries != 1 || st.RoutedAround == 0 {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cascade/internal/cache"
 	"cascade/internal/engine"
 	"cascade/internal/model"
 )
@@ -45,6 +46,22 @@ type deliverMsg struct {
 
 	result Result
 	reply  chan Result
+}
+
+// drainMsg asks the actor to hand off its state for a cooperative
+// departure: it empties the main cache and replies with the descriptors in
+// NCL eviction order. The control plane sends it only after the epoch
+// guard has fenced out every request routed through this node.
+type drainMsg struct {
+	now   float64
+	reply chan []cache.DescriptorSnapshot
+}
+
+// absorbMsg delivers a departing child's spilled descriptors to this
+// node's d-cache.
+type absorbMsg struct {
+	now   float64
+	snaps []cache.DescriptorSnapshot
 }
 
 // node is one cache actor. All fields below quit are owned exclusively by
@@ -129,6 +146,10 @@ func (n *node) dispatch(msg any) {
 	case *deliverMsg:
 		n.inst().downPass.Record(n.cluster.cfg.Clock() - m.sentAt)
 		n.handleDeliver(m)
+	case *drainMsg:
+		m.reply <- n.st.DrainDescriptors(m.now)
+	case *absorbMsg:
+		n.st.Absorb(m.snaps, m.now)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/controlplane"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/fault"
@@ -156,6 +157,11 @@ type Cluster struct {
 	ledger  *audit.Ledger
 	flight  []*flightrec.Recorder
 
+	// cp tracks membership and health; guard fences in-flight Gets across
+	// routing-view changes so a drain never strands a request mid-cascade.
+	cp    *controlplane.Manager
+	guard *controlplane.EpochGuard
+
 	requests        *metrics.Counter
 	cacheHits       *metrics.Counter
 	messages        *metrics.Counter
@@ -207,6 +213,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.DCacheFactory = dcache.NewFactory
 	}
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
+	c.cp = controlplane.NewManager(len(c.slots))
+	c.guard = controlplane.NewEpochGuard()
+	c.cp.SetOnEvent(func(ev controlplane.Event) {
+		kind, n := flightrec.KindMembership, int(ev.Member)
+		if ev.Kind == controlplane.EventHealthChange {
+			kind, n = flightrec.KindHealth, int(ev.Health)
+		}
+		c.flightRecorder(ev.Node).Record(flightrec.Event{
+			Time: c.cfg.Clock(), Node: ev.Node, Kind: kind, Hop: -1,
+			A: float64(ev.Epoch), N: n,
+		})
+	})
 	c.decScratch.New = func() any { return new(decideScratch) }
 	if cfg.FlightCapacity > 0 {
 		c.flight = make([]*flightrec.Recorder, len(c.slots))
@@ -289,6 +307,7 @@ func (c *Cluster) initMetrics() {
 			return 0
 		}, nl)
 	}
+	c.cp.RegisterMetrics(c.reg)
 }
 
 // Metrics returns the cluster's metrics registry, ready to be served with
@@ -367,10 +386,182 @@ func (c *Cluster) node(id model.NodeID) *node {
 	return c.slots[id].Load()
 }
 
-// aliveNode reports whether a node is up (routing predicate).
+// DCacheContains reports whether a node's d-cache currently holds the
+// object's descriptor. For conformance and test inspection only: the
+// d-cache belongs to the node's actor, so callers must quiesce the cluster
+// (no concurrent Gets) before relying on the answer.
+func (c *Cluster) DCacheContains(id model.NodeID, obj model.ObjectID) bool {
+	n := c.node(id)
+	return n != nil && n.st.DCache.Contains(obj)
+}
+
+// aliveNode reports whether a node's actor is up.
 func (c *Cluster) aliveNode(id model.NodeID) bool {
 	n := c.node(id)
 	return n != nil && !n.down.Load()
+}
+
+// routable is the routing predicate for new requests: the actor is up AND
+// the control plane agrees (Active membership, not probed Down). In-flight
+// requests keep the view they entered with; the epoch guard decides when
+// that old view has fully drained.
+func (c *Cluster) routable(id model.NodeID) bool {
+	return c.aliveNode(id) && c.cp.Routable(id)
+}
+
+// ControlPlane exposes the cluster's membership/health manager (for health
+// checkers, admin surfaces and tests).
+func (c *Cluster) ControlPlane() *controlplane.Manager { return c.cp }
+
+// StartHealthChecker runs an active prober over the cluster in a background
+// goroutine until stop is closed. A nil cfg.Probe gets the default liveness
+// probe: the node's actor is up and its queues are not saturated. The
+// checker feeds the control plane, which in turn gates routing
+// (healthy → suspect → down), independently of the passive route-around
+// that Compact performs per request.
+func (c *Cluster) StartHealthChecker(cfg controlplane.CheckerConfig, stop <-chan struct{}) *controlplane.Checker {
+	if cfg.Probe == nil {
+		cfg.Probe = func(id model.NodeID) bool {
+			n := c.node(id)
+			if n == nil || n.down.Load() {
+				return false
+			}
+			if len(n.inbox) < c.cfg.InboxDepth {
+				return true
+			}
+			n.ovmu.Lock()
+			full := len(n.overflow) >= c.cfg.OverflowDepth
+			n.ovmu.Unlock()
+			return !full
+		}
+	}
+	ck := controlplane.NewChecker(c.cp, cfg)
+	go ck.Run(stop)
+	return ck
+}
+
+// SetHealth records a node's health classification — the write path of a
+// health checker or an operator override. A Down node leaves the routing
+// view for new requests; in-flight requests finish on their old view.
+func (c *Cluster) SetHealth(id model.NodeID, h controlplane.Health) bool {
+	return c.cp.SetHealth(id, h)
+}
+
+// Drain removes a node cooperatively. The sequence: the node leaves the
+// routing view (new Gets route around it, folding its link cost exactly as
+// they do for a crashed hop), the epoch guard waits until every request
+// that entered on the old view has finished, the actor extracts its
+// descriptors in NCL eviction order and detaches, and the spill lands in
+// the parent's d-cache — so the knowledge of what was worth caching
+// survives the departure even though the bytes do not. Reports whether the
+// node was drained; a node whose actor already crashed drains without a
+// spill. ctx bounds the hand-off (the per-request deadline applies too).
+func (c *Cluster) Drain(ctx context.Context, id model.NodeID) bool {
+	c.mu.Lock()
+	if c.closed || int(id) < 0 || int(id) >= len(c.slots) {
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+	if !c.cp.StartDrain(id) {
+		return false
+	}
+
+	// Fence: wait for every Get that may still hold a route through id.
+	e := c.guard.Bump()
+	c.guard.WaitBefore(e)
+
+	// Cooperative hand-off on the actor itself (it owns its stores), then
+	// detach. A crashed or saturated actor forfeits the spill — its state
+	// is unreachable, exactly as in a crash.
+	var snaps []cache.DescriptorSnapshot
+	if n := c.node(id); n != nil && !n.down.Load() {
+		reply := make(chan []cache.DescriptorSnapshot, 1)
+		if c.sendCtl(n, &drainMsg{now: c.cfg.Clock(), reply: reply}) {
+			timeout := c.cfg.RequestTimeout
+			if timeout <= 0 {
+				timeout = 10 * time.Second
+			}
+			t := time.NewTimer(timeout)
+			select {
+			case snaps = <-reply:
+			case <-ctx.Done():
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		n.stop()
+	}
+	c.cp.FinishDrain(id)
+	if nd, ok := c.cfg.Network.(interface {
+		SetNodeEnabled(model.NodeID, bool)
+	}); ok {
+		nd.SetNodeEnabled(id, false)
+	}
+
+	if len(snaps) > 0 {
+		if pr, ok := c.cfg.Network.(interface {
+			Parent(model.NodeID) model.NodeID
+		}); ok {
+			if pid := pr.Parent(id); pid != model.NoNode && int(pid) < len(c.slots) {
+				if pn := c.node(pid); pn != nil && !pn.down.Load() {
+					c.sendCtl(pn, &absorbMsg{now: c.cfg.Clock(), snaps: snaps})
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Admit returns a previously drained node to service with a fresh, empty
+// actor (a departed node keeps no state; it warms up again under traffic).
+// Reports whether the node was admitted — false when it is not currently
+// Removed (use Recover for crashed-but-Active nodes).
+func (c *Cluster) Admit(id model.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || int(id) < 0 || int(id) >= len(c.slots) {
+		return false
+	}
+	if c.cp.StateOf(id) != controlplane.Removed || !c.cp.Admit(id) {
+		return false
+	}
+	if old := c.slots[id].Load(); old == nil || old.down.Load() {
+		n := c.newNode(id)
+		c.slots[id].Store(n)
+		c.wg.Add(1)
+		go n.run(&c.wg)
+	}
+	if nd, ok := c.cfg.Network.(interface {
+		SetNodeEnabled(model.NodeID, bool)
+	}); ok {
+		nd.SetNodeEnabled(id, true)
+	}
+	return true
+}
+
+// sendCtl enqueues a control-plane message (drain hand-off, spill absorb)
+// on an actor's queues without touching the protocol-message counters or
+// the fault injector: reconfiguration is management traffic, not cascade
+// traffic.
+func (c *Cluster) sendCtl(n *node, msg any) bool {
+	select {
+	case n.inbox <- msg:
+		return true
+	default:
+	}
+	n.ovmu.Lock()
+	if n.down.Load() || len(n.overflow) >= c.cfg.OverflowDepth {
+		n.ovmu.Unlock()
+		return false
+	}
+	n.overflow = append(n.overflow, msg)
+	n.ovmu.Unlock()
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+	return true
 }
 
 // Fail crashes a node: its actor stops, queued messages are lost, and its
@@ -388,12 +579,15 @@ func (c *Cluster) Fail(id model.NodeID) bool {
 }
 
 // Recover restarts a failed node with empty stores. Reports whether a
-// restart happened (false if the node is alive, unknown, or the cluster is
-// closed).
+// restart happened (false if the node is alive, unknown, drained — use
+// Admit for that — or the cluster is closed).
 func (c *Cluster) Recover(id model.NodeID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || int(id) < 0 || int(id) >= len(c.slots) {
+		return false
+	}
+	if c.cp.StateOf(id) != controlplane.Active {
 		return false
 	}
 	old := c.slots[id].Load()
@@ -409,12 +603,16 @@ func (c *Cluster) Recover(id model.NodeID) bool {
 	return true
 }
 
-// Failed lists the currently-down nodes.
+// Failed lists the currently-failed nodes: actors that are down without
+// having been drained (a Removed node departed on purpose and is not a
+// failure). The slice is sorted ascending and non-nil even when empty, so
+// callers can range and serialize it without nil checks.
 func (c *Cluster) Failed() []model.NodeID {
-	var out []model.NodeID
+	out := make([]model.NodeID, 0)
 	for i := range c.slots {
-		if !c.aliveNode(model.NodeID(i)) {
-			out = append(out, model.NodeID(i))
+		id := model.NodeID(i)
+		if !c.aliveNode(id) && c.cp.StateOf(id) != controlplane.Removed {
+			out = append(out, id)
 		}
 	}
 	return out
@@ -434,6 +632,11 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 	c.inflight.Add(1)
 	c.mu.Unlock()
 	defer c.inflight.Done()
+	// Register under the current routing epoch: a reconfiguration bumps
+	// the epoch and waits for older entries, so this request finishes on
+	// the view it resolves below before any drained node detaches.
+	epoch := c.guard.Enter()
+	defer c.guard.Exit(epoch)
 
 	full := c.cfg.Network.Route(clientNode, serverNode)
 	if len(full.Caches) == 0 {
@@ -454,14 +657,14 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 		return Result{ServedBy: model.NoNode, Cost: total * scale, Hops: full.Hops(), Degraded: true}
 	}
 
-	// Route around nodes already known to be down; hops that fail
-	// mid-flight are skipped as they are discovered (sendFetchUp,
-	// sendDeliverDown).
-	route, cut := full.Compact(c.aliveNode)
+	// Route around nodes already known to be down, draining, or probed
+	// unhealthy; hops that fail mid-flight are skipped as they are
+	// discovered (sendFetchUp, sendDeliverDown).
+	route, cut := full.Compact(c.routable)
 	if cut.Skipped > 0 {
 		c.routedAround.Add(int64(cut.Skipped))
 		for _, id := range full.Caches {
-			if !c.aliveNode(id) {
+			if !c.routable(id) {
 				c.nodeInst[id].routedAround.Inc()
 			}
 		}

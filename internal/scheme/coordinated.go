@@ -33,6 +33,10 @@ import (
 type Coordinated struct {
 	nodes map[model.NodeID]*engine.NodeState
 
+	// draining marks nodes mid-departure (see controlplane.go): they stay
+	// on the path as relays but take no protocol steps.
+	draining map[model.NodeID]bool
+
 	// clampMonotone restores f_1 ≥ … ≥ f_n on the piggybacked frequency
 	// profile before optimizing (sliding-window noise can transiently
 	// violate the containment property the model guarantees).
@@ -161,6 +165,7 @@ func (s *Coordinated) Name() string { return "COORD" }
 // Configure implements Scheme.
 func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 	s.nodes = make(map[model.NodeID]*engine.NodeState, len(budgets))
+	s.draining = make(map[model.NodeID]bool)
 	for n, b := range budgets {
 		st := &engine.NodeState{
 			Node:    n,
@@ -211,6 +216,12 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	hit := path.OriginIndex()
 	s.cand = s.cand[:0]
 	for i := range path.Nodes {
+		if s.draining[path.Nodes[i]] {
+			// Mid-departure relay: no lookup, no candidacy — only the
+			// link cost reaches the DP.
+			s.cand = append(s.cand, relayCandidate(path.Nodes[i], i, path.UpCost[i]))
+			continue
+		}
 		st := s.nodes[path.Nodes[i]]
 		if st.Lookup(obj, now) {
 			hit = i
@@ -256,6 +267,11 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	for i := hit - 1; i >= 0; i-- {
 		prev := mp
 		mp += path.UpCost[i]
+		if s.draining[path.Nodes[i]] {
+			// Relay hop: the link folds into the counter, no DownStep (a
+			// relay never appears in chosen — it shipped no candidacy).
+			continue
+		}
 		st := s.nodes[path.Nodes[i]]
 		place := last >= 0 && chosen[last] == i
 		if place {

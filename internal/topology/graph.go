@@ -94,6 +94,18 @@ func (g *Graph) Connected() bool {
 // runs over the same graph yield identical distribution trees (required for
 // replayable simulations).
 func (g *Graph) ShortestPathTree(root model.NodeID) (parent []model.NodeID, dist []float64) {
+	return g.ShortestPathTreeExcluding(root, nil)
+}
+
+// ShortestPathTreeExcluding is ShortestPathTree with transit filtering:
+// nodes for which skip returns true may terminate a path (they still get a
+// parent and a distance when reachable) but are never traversed — no path
+// routes *through* them. The root is always expanded, skip or not. A nil
+// skip is equivalent to ShortestPathTree.
+//
+// The control plane uses this to rebuild routing trees around drained or
+// down nodes without removing them from the graph.
+func (g *Graph) ShortestPathTreeExcluding(root model.NodeID, skip func(model.NodeID) bool) (parent []model.NodeID, dist []float64) {
 	n := len(g.adj)
 	parent = make([]model.NodeID, n)
 	dist = make([]float64, n)
@@ -111,6 +123,9 @@ func (g *Graph) ShortestPathTree(root model.NodeID) (parent []model.NodeID, dist
 			continue
 		}
 		done[u] = true
+		if u != root && skip != nil && skip(u) {
+			continue // excluded nodes are endpoints, never transit
+		}
 		for _, e := range g.adj[u] {
 			nd := it.dist + e.Delay
 			if dist[e.To] < 0 || nd < dist[e.To] {

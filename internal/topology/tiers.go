@@ -109,9 +109,37 @@ type EnRoute struct {
 
 	manNodes []model.NodeID
 
-	mu     sync.RWMutex                    // guards the memoization maps
-	trees  map[model.NodeID][]model.NodeID // server node → parent array
-	routes map[[2]model.NodeID]Route
+	mu     sync.RWMutex // guards the memoization maps and the disabled set
+	trees  map[model.NodeID]treeEntry
+	routes map[[2]model.NodeID]routeEntry
+
+	// fullTrees memoizes exclusion-free shortest-path trees, the relay
+	// fallback for clients the excluding tree cannot reach (see Route). The
+	// graph is immutable, so these entries never invalidate.
+	fullTrees map[model.NodeID][]model.NodeID
+
+	// disabled nodes are excluded from transit when (re)computing routes;
+	// see SetNodeEnabled. enableVer counts re-enables so entries computed
+	// under exclusions can be lazily recomputed once nodes return.
+	disabled  map[model.NodeID]bool
+	enableVer uint64
+}
+
+// treeEntry memoizes one shortest-path tree (server node → parent array).
+// excl marks trees computed while some nodes were disabled; such entries go
+// stale (ver < enableVer) when any node is re-enabled, because a better
+// path through the returning node may now exist. Exclusion-free entries are
+// never invalidated by enables.
+type treeEntry struct {
+	parent []model.NodeID
+	excl   bool
+	ver    uint64
+}
+
+type routeEntry struct {
+	rt   Route
+	excl bool
+	ver  uint64
 }
 
 // GenerateTiers builds a random EnRoute topology. The generator follows the
@@ -164,11 +192,13 @@ func GenerateTiers(cfg TiersConfig, r *rand.Rand) *EnRoute {
 	}
 
 	return &EnRoute{
-		G:        g,
-		Kinds:    kinds,
-		manNodes: manNodes,
-		trees:    make(map[model.NodeID][]model.NodeID),
-		routes:   make(map[[2]model.NodeID]Route),
+		G:         g,
+		Kinds:     kinds,
+		manNodes:  manNodes,
+		trees:     make(map[model.NodeID]treeEntry),
+		routes:    make(map[[2]model.NodeID]routeEntry),
+		disabled:  make(map[model.NodeID]bool),
+		fullTrees: make(map[model.NodeID][]model.NodeID),
 	}
 }
 
@@ -235,20 +265,39 @@ func (e *EnRoute) ServerAttachPoints() []model.NodeID { return e.manNodes }
 func (e *EnRoute) Route(client, server model.NodeID) Route {
 	key := [2]model.NodeID{client, server}
 	e.mu.RLock()
-	rt, ok := e.routes[key]
+	re, ok := e.routes[key]
+	fresh := ok && (!re.excl || re.ver == e.enableVer)
 	e.mu.RUnlock()
-	if ok {
-		return rt
+	if fresh {
+		return re.rt
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if rt, ok := e.routes[key]; ok {
-		return rt
+	if re, ok := e.routes[key]; ok && (!re.excl || re.ver == e.enableVer) {
+		return re.rt
 	}
-	parent, ok := e.trees[server]
-	if !ok {
-		parent, _ = e.G.ShortestPathTree(server)
-		e.trees[server] = parent
+	excl := len(e.disabled) > 0
+	te, ok := e.trees[server]
+	if !ok || (te.excl && te.ver != e.enableVer) {
+		var parent []model.NodeID
+		if excl {
+			parent, _ = e.G.ShortestPathTreeExcluding(server, func(n model.NodeID) bool { return e.disabled[n] })
+		} else {
+			parent, _ = e.G.ShortestPathTree(server)
+		}
+		te = treeEntry{parent: parent, excl: excl, ver: e.enableVer}
+		e.trees[server] = te
+	}
+	parent := te.parent
+	if excl && !treeReaches(parent, client, server) {
+		// The disabled set cut the client off — a drained or down node is
+		// a cut vertex on every remaining path (a MAN gateway, say). The
+		// wire contract for such hops is relay, not removal: fall back to
+		// the exclusion-free tree, keeping the disabled node on the path.
+		// The protocol layer skips it per request (the runtime folds its
+		// link cost exactly as the replay ships a "no descriptor" entry),
+		// so traffic keeps flowing through a mid-upgrade cut vertex.
+		parent = e.fullTreeLocked(server)
 	}
 	var caches []model.NodeID
 	var upCost []float64
@@ -262,9 +311,139 @@ func (e *EnRoute) Route(client, server model.NodeID) Route {
 	}
 	caches = append(caches, server)
 	upCost = append(upCost, 0) // origin co-located with the server's node
-	rt = Route{Caches: caches, UpCost: upCost}
-	e.routes[key] = rt
+	rt := Route{Caches: caches, UpCost: upCost}
+	e.routes[key] = routeEntry{rt: rt, excl: excl, ver: e.enableVer}
 	return rt
+}
+
+// SetNodeEnabled removes a node from, or returns it to, the routing view.
+// A disabled node never transits a route: the memoized trees and routes
+// that traverse it are invalidated eagerly and precisely (entries that do
+// not touch the node keep their identical, already-computed slices), and
+// recomputation works on the graph with disabled nodes excluded from
+// transit. Re-enabling is lazy: only entries that were computed under
+// exclusions recompute, on their next use.
+//
+// Requests already holding a Route keep it — the epoch guard in the control
+// plane, not the topology, decides when the old view has fully drained.
+func (e *EnRoute) SetNodeEnabled(id model.NodeID, enabled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if enabled {
+		if !e.disabled[id] {
+			return
+		}
+		delete(e.disabled, id)
+		e.enableVer++
+		return
+	}
+	if e.disabled[id] {
+		return
+	}
+	e.disabled[id] = true
+	for root, te := range e.trees {
+		if treeTraverses(te.parent, root, id) {
+			delete(e.trees, root)
+		}
+	}
+	for key, re := range e.routes {
+		if routeTraverses(re.rt, id) {
+			delete(e.routes, key)
+		}
+	}
+}
+
+// NodeEnabled reports whether the node currently participates in routing.
+func (e *EnRoute) NodeEnabled(id model.NodeID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return !e.disabled[id]
+}
+
+// fullTreeLocked returns the exclusion-free shortest-path tree toward
+// server, memoized for the life of the (immutable) graph. Callers hold e.mu.
+func (e *EnRoute) fullTreeLocked(server model.NodeID) []model.NodeID {
+	if p, ok := e.fullTrees[server]; ok {
+		return p
+	}
+	p, _ := e.G.ShortestPathTree(server)
+	if e.fullTrees == nil { // hand-wired EnRoute literals in tests
+		e.fullTrees = make(map[model.NodeID][]model.NodeID)
+	}
+	e.fullTrees[server] = p
+	return p
+}
+
+// treeReaches reports whether the parent array connects from all the way to
+// root.
+func treeReaches(parent []model.NodeID, from, root model.NodeID) bool {
+	for u := from; u != root; u = parent[u] {
+		if parent[u] == model.NoNode {
+			return false
+		}
+	}
+	return true
+}
+
+// treeTraverses reports whether any path in the shortest-path tree can
+// route through id: id is the root, or some node's parent. A leaf node only
+// appears in routes that start at it, which routeTraverses catches.
+func treeTraverses(parent []model.NodeID, root, id model.NodeID) bool {
+	if root == id {
+		return true
+	}
+	for _, p := range parent {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+func routeTraverses(rt Route, id model.NodeID) bool {
+	for _, c := range rt.Caches {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Parent returns the node's minimum-delay enabled neighbor (lowest ID on
+// ties), or NoNode when every neighbor is disabled. A draining node spills
+// its descriptors to this parent before departing.
+func (e *EnRoute) Parent(id model.NodeID) model.NodeID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	best := model.NoNode
+	bestDelay := -1.0
+	for _, edge := range e.G.Neighbors(id) {
+		if e.disabled[edge.To] {
+			continue
+		}
+		if best == model.NoNode || edge.Delay < bestDelay ||
+			(edge.Delay == bestDelay && edge.To < best) {
+			best, bestDelay = edge.To, edge.Delay
+		}
+	}
+	return best
+}
+
+// Validate rejects topologies the control plane cannot operate: a cascade
+// needs at least two caches (a single node has no parent to spill to when
+// drained), a connected graph (a disconnected node can neither route nor
+// drain), and at least one client/server attach point.
+func (e *EnRoute) Validate() error {
+	if n := e.G.NumNodes(); n < 2 {
+		return fmt.Errorf("topology: degenerate cascade with %d node(s); need at least 2 so a draining node has a parent", n)
+	}
+	if !e.G.Connected() {
+		return fmt.Errorf("topology: graph is disconnected; every node must be reachable to route and drain")
+	}
+	if len(e.manNodes) == 0 {
+		return fmt.Errorf("topology: no MAN attach points for clients and servers")
+	}
+	return nil
 }
 
 // Description summarizes a generated en-route topology in the terms of
