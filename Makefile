@@ -12,9 +12,16 @@ GO ?= go
 BENCH_TIME ?= 1s
 BENCH_OUT  ?= bench_latest.txt
 
-.PHONY: check vet lint build test race observe conformance rolling bench bench-check
+# Latency SLO gate for `make loadtest`: measured p99 may drift up to this
+# multiple of the committed baseline before the build fails. Percentiles on
+# a shared machine are far noisier than ns/op microbenchmarks, hence the
+# generous factor.
+SLO_THRESHOLD ?= 4.0
+LOADTEST_OUT  ?= loadtest_latest.txt
 
-check: vet lint build race observe conformance rolling bench-check
+.PHONY: check vet lint build test race observe conformance rolling bench bench-check loadtest
+
+check: vet lint build race observe conformance rolling bench-check loadtest
 
 # Import guard: the protocol incarnations (scheme, sim, runtime, httpgw)
 # must reach the placement optimizer only through internal/engine, never by
@@ -65,3 +72,17 @@ bench:
 bench-check:
 	$(GO) test -bench='BenchmarkSimulatorThroughput|BenchmarkClusterThroughput' -benchmem -benchtime=$(BENCH_TIME) -count=4 -run=^$$ . | tee $(BENCH_OUT)
 	$(GO) run ./cmd/benchcheck -in $(BENCH_OUT)
+
+# End-to-end latency SLO gate: cascadeload drives an in-process 3-gateway
+# chain (sharded, binary framing) with a Zipf closed loop and emits
+# benchmark-format percentile lines; benchcheck compares p99 against the
+# committed baseline in BENCH_2.json. Only the p99 line gates — p999 of a
+# smoke-sized run is a handful of samples and would flap. Methodology:
+# docs/PERFORMANCE.md.
+loadtest:
+	$(GO) run ./cmd/cascadeload -requests 4000 -warmup 1000 -users 4 \
+		-objects 2000 -capacity 2MB -nodes 3 -shards 8 -seed 1 \
+		-bench-out $(LOADTEST_OUT)
+	$(GO) run ./cmd/benchcheck -in $(LOADTEST_OUT) \
+		-gate BenchmarkCascadeLoadP99 -threshold $(SLO_THRESHOLD) \
+		-allocs-ceiling "" -bytes-ceiling ""

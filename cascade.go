@@ -598,6 +598,11 @@ const (
 	// chosen node downstream, so each placing node can book its own cost
 	// ledger claim at apply time.
 	HTTPHeaderPredict = httpgw.HeaderPredict
+	// HTTPHeaderFrame carries the binary wire frame that replaces the
+	// textual Path/Place/Predict headers between binary-capable hops.
+	HTTPHeaderFrame = httpgw.HeaderFrame
+	// HTTPHeaderAccept advertises binary-frame support ("bf1") per hop.
+	HTTPHeaderAccept = httpgw.HeaderAccept
 )
 
 // DefaultUpstreamTimeout bounds gateway upstream fetches when no explicit

@@ -17,7 +17,9 @@
 // by more than one. Independently of the baseline, -allocs-ceiling pins
 // hard absolute allocation budgets: the replay hot path is contractually
 // zero allocs/op with observability disabled, and that property must not
-// erode one alloc at a time via baseline drift.
+// erode one alloc at a time via baseline drift. -bytes-ceiling does the
+// same for B/op — zero allocs/op still permits amortized growth of
+// pooled buffers, and bytes/op is the number that catches that drift.
 package main
 
 import (
@@ -78,12 +80,17 @@ func run() error {
 		jsonPath  = flag.String("json", "BENCH_2.json", "baseline JSON file")
 		update    = flag.Bool("update", false, "rewrite the baseline's benchmarks from the input instead of comparing")
 		threshold = flag.Float64("threshold", 1.25, "allowed current/baseline ns/op ratio before the check fails")
-		gate      = flag.String("gate", "BenchmarkSimulatorThroughput,BenchmarkClusterThroughput", "comma-separated benchmarks the check gates on")
+		gate      = flag.String("gate", "BenchmarkSimulatorThroughput,BenchmarkClusterThroughput,BenchmarkClusterThroughputParallel", "comma-separated benchmarks the check gates on")
 		ceilings  = flag.String("allocs-ceiling", "BenchmarkSimulatorThroughput=0", "comma-separated name=max hard caps on allocs/op, enforced regardless of the baseline")
+		bceilings = flag.String("bytes-ceiling", "BenchmarkSimulatorThroughput=64", "comma-separated name=max hard caps on B/op, enforced regardless of the baseline")
 	)
 	flag.Parse()
 
 	caps, err := parseCeilings(*ceilings)
+	if err != nil {
+		return err
+	}
+	bcaps, err := parseCeilings(*bceilings)
 	if err != nil {
 		return err
 	}
@@ -179,13 +186,28 @@ func run() error {
 		}
 		fmt.Printf("%s %s: %.0f allocs/op vs hard ceiling %d\n", status, c.name, m.AllocsPerOp, c.max)
 	}
+	for _, c := range bcaps {
+		m, ok := current[c.name]
+		if !ok {
+			fmt.Printf("FAIL %s: bytes ceiling %d set but benchmark missing from current run\n", c.name, c.max)
+			failures++
+			continue
+		}
+		status := "ok  "
+		if m.BytesPerOp > float64(c.max) {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %s: %.2f B/op vs hard ceiling %d\n", status, c.name, m.BytesPerOp, c.max)
+	}
 	if failures > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed", failures)
 	}
 	return nil
 }
 
-// ceiling is one -allocs-ceiling entry: a hard absolute allocs/op cap.
+// ceiling is one -allocs-ceiling or -bytes-ceiling entry: a hard absolute
+// per-op cap.
 type ceiling struct {
 	name string
 	max  int64

@@ -1,0 +1,461 @@
+// Command cascadeload drives a coordinated gateway chain with a Zipf
+// workload and reports latency percentiles, throughput and hit ratio in a
+// form the repository's regression gate understands.
+//
+// Two targets:
+//
+//   - live mode (-target): requests go to a running cascadegw front node,
+//     hit ratio comes from scraping its /cascade/stats before and after;
+//   - in-process mode (default): the tool assembles an origin plus a chain
+//     of -nodes gateways on loopback listeners, so the chain hit ratio is
+//     exact (one minus the fraction of requests that reached the origin)
+//     and `make loadtest` needs no running processes.
+//
+// Two arrival disciplines:
+//
+//   - closed loop (default): -users workers, each issuing its next request
+//     the moment the previous one completes — throughput is a result;
+//   - open loop (-rate): requests launch on a fixed schedule regardless of
+//     completions, the discipline that actually exposes queueing collapse.
+//
+// The -bench-out file contains go-test-bench formatted lines
+// (BenchmarkCascadeLoadP50/P99/P999/Throughput, all ns/op, lower is
+// better), which cmd/benchcheck gates against BENCH_2.json: a latency SLO
+// regression fails `make loadtest` exactly like a hot-path regression
+// fails `make bench-check`. See docs/PERFORMANCE.md for methodology.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cascade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cascadeload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	target   string
+	nodes    int
+	capacity string
+	objSize  int
+	dEntries int
+	shards   int
+	textOnly bool
+
+	objects  int
+	zipfS    float64
+	users    int
+	rate     float64
+	requests int
+	duration time.Duration
+	warmup   int
+	seed     int64
+
+	benchOut   string
+	cpuProfile string
+	memProfile string
+}
+
+func run() error {
+	var cfg config
+	flag.StringVar(&cfg.target, "target", "", "front gateway base URL (empty: build an in-process chain)")
+	flag.IntVar(&cfg.nodes, "nodes", 3, "in-process: gateway chain length")
+	flag.StringVar(&cfg.capacity, "capacity", "4MB", "in-process: cache capacity per gateway")
+	flag.IntVar(&cfg.objSize, "object-size", 4096, "in-process: origin payload bytes per object")
+	flag.IntVar(&cfg.dEntries, "dcache", 4096, "in-process: descriptor-cache entries per gateway")
+	flag.IntVar(&cfg.shards, "shards", 1, "in-process: shards per gateway")
+	flag.BoolVar(&cfg.textOnly, "text-headers", false, "in-process: disable binary wire framing")
+	flag.IntVar(&cfg.objects, "objects", 5000, "catalog size (object IDs 0..n-1)")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.2, "Zipf skew s (must be > 1)")
+	flag.IntVar(&cfg.users, "users", 8, "closed loop: concurrent users")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open loop: arrivals per second (0: closed loop)")
+	flag.IntVar(&cfg.requests, "requests", 5000, "measured requests to issue")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this wall time even if -requests remain")
+	flag.IntVar(&cfg.warmup, "warmup", 1000, "unmeasured warmup requests issued first")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.StringVar(&cfg.benchOut, "bench-out", "", "also write the benchmark-format result lines to this file")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the measured phase to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile taken after the run to this file")
+	flag.Parse()
+
+	if cfg.zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (got %g)", cfg.zipfS)
+	}
+	if cfg.objects < 1 || cfg.requests < 1 || cfg.users < 1 {
+		return fmt.Errorf("-objects, -requests and -users must be positive")
+	}
+
+	front := cfg.target
+	var originFetches *atomic.Int64
+	if front == "" {
+		url, counter, closeAll, err := buildChain(cfg)
+		if err != nil {
+			return err
+		}
+		defer closeAll()
+		front, originFetches = url, counter
+		fmt.Fprintf(os.Stderr, "cascadeload: in-process chain of %d gateways (capacity %s, %d shards, origin %d B objects)\n",
+			cfg.nodes, cfg.capacity, cfg.shards, cfg.objSize)
+	}
+	front = strings.TrimRight(front, "/")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Warmup: sequential, unmeasured, so the measured phase sees caches in
+	// their steady regime rather than cold-start compulsory misses.
+	warmRng := rand.New(rand.NewSource(cfg.seed))
+	warmZipf := rand.NewZipf(warmRng, cfg.zipfS, 1, uint64(cfg.objects-1))
+	for i := 0; i < cfg.warmup; i++ {
+		if err := doGet(client, front, int(warmZipf.Uint64())); err != nil {
+			return fmt.Errorf("warmup request %d: %w", i, err)
+		}
+	}
+
+	statsBefore, statsErr := scrapeStats(client, front)
+	var originBefore int64
+	if originFetches != nil {
+		originBefore = originFetches.Load()
+	}
+
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var res *result
+	var err error
+	start := time.Now()
+	if cfg.rate > 0 {
+		res, err = openLoop(cfg, client, front)
+	} else {
+		res, err = closedLoop(cfg, client, front)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if cfg.memProfile != "" {
+		f, ferr := os.Create(cfg.memProfile)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		f.Close()
+	}
+
+	// Hit ratio: exact chain-wide in in-process mode, front-node delta from
+	// /cascade/stats in live mode.
+	hitRatio, hitSource := -1.0, "unavailable"
+	if originFetches != nil {
+		missed := originFetches.Load() - originBefore
+		hitRatio = 1 - float64(missed)/float64(res.count)
+		hitSource = "chain (origin fetch count)"
+	} else if statsErr == nil {
+		if after, err := scrapeStats(client, front); err == nil {
+			dh := after.Hits - statsBefore.Hits
+			dm := after.Misses - statsBefore.Misses
+			if dh+dm > 0 {
+				hitRatio = float64(dh) / float64(dh+dm)
+				hitSource = "front node (/cascade/stats)"
+			}
+		}
+	}
+
+	return report(cfg, res, elapsed, hitRatio, hitSource)
+}
+
+// result holds the measured phase's raw latencies (nanoseconds).
+type result struct {
+	latencies []int64
+	count     int
+	errors    int
+	dropped   int // open loop: arrivals skipped because inflight was saturated
+}
+
+// closedLoop runs cfg.users workers, each issuing its next request as soon
+// as the previous completes. Each worker gets an independent Zipf stream.
+func closedLoop(cfg config, client *http.Client, front string) (*result, error) {
+	var (
+		issued   atomic.Int64
+		deadline time.Time
+	)
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+	}
+	perWorker := make([][]int64, cfg.users)
+	errCounts := make([]int, cfg.users)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.users; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w) + 7919))
+			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.objects-1))
+			for {
+				if issued.Add(1) > int64(cfg.requests) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				t0 := time.Now()
+				if err := doGet(client, front, int(zipf.Uint64())); err != nil {
+					errCounts[w]++
+					continue
+				}
+				perWorker[w] = append(perWorker[w], time.Since(t0).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := &result{}
+	for w := range perWorker {
+		res.latencies = append(res.latencies, perWorker[w]...)
+		res.errors += errCounts[w]
+	}
+	res.count = len(res.latencies)
+	if res.count == 0 {
+		return nil, fmt.Errorf("closed loop: no request succeeded (%d errors)", res.errors)
+	}
+	return res, nil
+}
+
+// openLoop launches arrivals on a fixed schedule regardless of completions.
+// Inflight is capped at a generous bound so a stalled server degrades into
+// counted drops instead of an unbounded goroutine pile-up; drops are
+// reported, never silently discarded.
+func openLoop(cfg config, client *http.Client, front string) (*result, error) {
+	const maxInflight = 4096
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.objects-1))
+
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		errors    int
+		dropped   int
+		inflight  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	deadline := time.Time{}
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for i := 0; i < cfg.requests; i++ {
+		<-ticker.C
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		obj := int(zipf.Uint64())
+		if inflight.Load() >= maxInflight {
+			dropped++
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func(obj int) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			err := doGet(client, front, obj)
+			d := time.Since(t0).Nanoseconds()
+			mu.Lock()
+			if err != nil {
+				errors++
+			} else {
+				latencies = append(latencies, d)
+			}
+			mu.Unlock()
+		}(obj)
+	}
+	wg.Wait()
+	if len(latencies) == 0 {
+		return nil, fmt.Errorf("open loop: no request succeeded (%d errors, %d dropped)", errors, dropped)
+	}
+	return &result{latencies: latencies, count: len(latencies), errors: errors, dropped: dropped}, nil
+}
+
+// doGet fetches one object and drains the body (keep-alive reuse).
+func doGet(client *http.Client, front string, obj int) error {
+	resp, err := client.Get(fmt.Sprintf("%s/objects/%d", front, obj))
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// buildChain assembles origin ← gateway_(n-1) ← … ← gateway_0 on loopback
+// listeners and returns the front URL, the origin fetch counter, and a
+// closer. Node IDs run front-to-back 0..n-1 matching protocol hop order.
+func buildChain(cfg config) (string, *atomic.Int64, func(), error) {
+	capBytes, err := parseBytes(cfg.capacity)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("-capacity: %w", err)
+	}
+	size := cfg.objSize
+	origin := cascade.NewHTTPOrigin(func(cascade.ObjectID) int { return size })
+	origin.DisableBinaryFraming = cfg.textOnly
+	var fetches atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/objects/") {
+			fetches.Add(1)
+		}
+		origin.ServeHTTP(w, r)
+	})
+	servers := []*httptest.Server{httptest.NewServer(counted)}
+	upstream := servers[0].URL
+	clock := cascade.WallClock()
+	for i := cfg.nodes - 1; i >= 0; i-- {
+		node := cascade.NewHTTPCacheNode(cascade.NodeID(i), upstream, 0.1, capBytes, cfg.dEntries, clock)
+		node.DisableBinaryFraming = cfg.textOnly
+		if cfg.shards > 1 {
+			node.SetShards(cfg.shards)
+		}
+		srv := httptest.NewServer(node)
+		servers = append(servers, srv)
+		upstream = srv.URL
+	}
+	closeAll := func() {
+		for i := len(servers) - 1; i >= 0; i-- {
+			servers[i].Close()
+		}
+	}
+	return upstream, &fetches, closeAll, nil
+}
+
+// nodeStats is the slice of the /cascade/stats payload the tool consumes.
+type nodeStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+func scrapeStats(client *http.Client, front string) (nodeStats, error) {
+	var st nodeStats
+	resp, err := client.Get(front + "/cascade/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// report prints the human summary to stderr and the machine-readable
+// benchmark lines to stdout (and -bench-out). The benchmark lines are what
+// `make loadtest` pipes into benchcheck, so their names and units are a
+// contract: ns/op, lower is better, gated like any other benchmark.
+func report(cfg config, res *result, elapsed time.Duration, hitRatio float64, hitSource string) error {
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	p := func(q float64) int64 {
+		idx := int(q*float64(len(res.latencies))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(res.latencies) {
+			idx = len(res.latencies) - 1
+		}
+		return res.latencies[idx]
+	}
+	p50, p99, p999 := p(0.50), p(0.99), p(0.999)
+	nsPerReq := float64(elapsed.Nanoseconds()) / float64(res.count)
+	rps := float64(res.count) / elapsed.Seconds()
+
+	mode := fmt.Sprintf("closed loop, %d users", cfg.users)
+	if cfg.rate > 0 {
+		mode = fmt.Sprintf("open loop, %.0f req/s offered", cfg.rate)
+	}
+	fmt.Fprintf(os.Stderr, "cascadeload: %s; %d requests in %v (%.0f req/s), %d errors",
+		mode, res.count, elapsed.Round(time.Millisecond), rps, res.errors)
+	if res.dropped > 0 {
+		fmt.Fprintf(os.Stderr, ", %d dropped at the inflight cap", res.dropped)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintf(os.Stderr, "cascadeload: latency p50 %v  p99 %v  p999 %v\n",
+		time.Duration(p50).Round(time.Microsecond),
+		time.Duration(p99).Round(time.Microsecond),
+		time.Duration(p999).Round(time.Microsecond))
+	if hitRatio >= 0 {
+		fmt.Fprintf(os.Stderr, "cascadeload: hit ratio %.3f [%s]\n", hitRatio, hitSource)
+	} else {
+		fmt.Fprintf(os.Stderr, "cascadeload: hit ratio %s\n", hitSource)
+	}
+
+	lines := fmt.Sprintf(
+		"BenchmarkCascadeLoadP50 %d %d ns/op\nBenchmarkCascadeLoadP99 %d %d ns/op\nBenchmarkCascadeLoadP999 %d %d ns/op\nBenchmarkCascadeLoadThroughput %d %.0f ns/op\n",
+		res.count, p50, res.count, p99, res.count, p999, res.count, nsPerReq)
+	fmt.Print(lines)
+	if cfg.benchOut != "" {
+		if err := os.WriteFile(cfg.benchOut, []byte(lines), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseBytes parses human-friendly sizes: plain bytes, or KB/MB/GB (binary
+// multiples), matching cascadegw's flag syntax.
+func parseBytes(s string) (int64, error) {
+	in := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(in, "GB"):
+		mult, in = 1<<30, strings.TrimSuffix(in, "GB")
+	case strings.HasSuffix(in, "MB"):
+		mult, in = 1<<20, strings.TrimSuffix(in, "MB")
+	case strings.HasSuffix(in, "KB"):
+		mult, in = 1<<10, strings.TrimSuffix(in, "KB")
+	case strings.HasSuffix(in, "B"):
+		in = strings.TrimSuffix(in, "B")
+	}
+	var n int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(in), "%d", &n); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return n * mult, nil
+}

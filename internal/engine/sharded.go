@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cascade/internal/audit"
+	"cascade/internal/cache"
+	"cascade/internal/dcache"
+	"cascade/internal/flightrec"
+	"cascade/internal/model"
+)
+
+// Sharded partitions one cache node's protocol state across P independent
+// shards by object-ID hash. Each shard owns its own main-cache heap, its own
+// d-cache stripe and its own miss-penalty bookkeeping, guarded by a private
+// mutex, so concurrent protocol steps on objects in different shards never
+// contend. Capacity is split exactly across shards (the byte remainder goes
+// to the lowest-numbered shards), and the NCL eviction order of §2.3 holds
+// per shard: an insert evicts the ascending-NCL prefix of its own shard's
+// heap, which the per-shard audit oracle keeps verifying online.
+//
+// With Shards == 1 a Sharded node is step-for-step identical to a bare
+// NodeState behind a mutex — that is the configuration the cross-incarnation
+// conformance suite pins, since a sharded heap partitions the victim
+// search space and therefore legitimately diverges from the unsharded
+// replay scheme at eviction time. Multi-shard nodes trade that byte-exact
+// equivalence for parallelism; every protocol invariant (Theorem 2 pruning,
+// per-shard NCL order, penalty-counter monotonicity, ledger parity) still
+// holds and stays audited.
+type Sharded struct {
+	node   model.NodeID
+	shift  uint
+	shards []shard
+}
+
+// shard is one lock-guarded partition. The counters are atomics so the
+// metrics export reads them without taking the shard lock.
+type shard struct {
+	mu sync.Mutex
+	st NodeState
+
+	inserts   atomic.Int64
+	evictions atomic.Int64
+	lockWaits atomic.Int64
+
+	// pad keeps neighbouring shards' hot mutexes off one cache line.
+	_ [32]byte //nolint:unused
+}
+
+// ShardedConfig assembles a Sharded node state.
+type ShardedConfig struct {
+	// Node identifies the cache in traces and diagnostics.
+	Node model.NodeID
+	// Shards is the partition count, rounded up to a power of two
+	// (<= 1 means a single shard).
+	Shards int
+	// CacheBytes is the node's total main-cache capacity, split exactly
+	// across shards.
+	CacheBytes int64
+	// DCacheEntries bounds the node's descriptor cache, split exactly
+	// across shards.
+	DCacheEntries int
+	// DCacheFactory builds each shard's d-cache stripe (heap LFU when nil).
+	DCacheFactory dcache.Factory
+	// WindowK is the sliding-window size for descriptors created here.
+	WindowK int
+	// Pooled attaches a per-shard descriptor pool recycling through the
+	// shard's d-cache stripe, so the steady-state hot path allocates no
+	// descriptors. Safe because every pool is touched only under its
+	// shard's lock.
+	Pooled bool
+	// Flight/Audit/Ledger are shared across shards (all three are
+	// internally synchronized); nil disables as in NodeState.
+	Flight *flightrec.Recorder
+	Audit  *audit.Auditor
+	Ledger *audit.Ledger
+}
+
+// NormalizeShards rounds a requested shard count up to the power of two
+// NewSharded will actually use.
+func NormalizeShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewSharded builds a sharded node state.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	p := NormalizeShards(cfg.Shards)
+	if cfg.DCacheFactory == nil {
+		cfg.DCacheFactory = dcache.NewFactory
+	}
+	shift := uint(64)
+	for 1<<(64-shift) < p {
+		shift--
+	}
+	s := &Sharded{node: cfg.Node, shift: shift, shards: make([]shard, p)}
+	for i := range s.shards {
+		ns := NodeState{
+			Node:    cfg.Node,
+			Store:   cache.NewCostAware(splitBytes(cfg.CacheBytes, p, i)),
+			DCache:  cfg.DCacheFactory(splitEntries(cfg.DCacheEntries, p, i)),
+			WindowK: cfg.WindowK,
+			Flight:  cfg.Flight,
+			Audit:   cfg.Audit,
+			Ledger:  cfg.Ledger,
+		}
+		if cfg.Pooled {
+			ns.Pool = &DescPool{}
+			ns.Pool.Attach(ns.DCache)
+		}
+		s.shards[i].st = ns
+	}
+	return s
+}
+
+// splitBytes gives shard i its exact slice of a byte budget: base bytes
+// everywhere, the remainder distributed one byte each to the lowest shards,
+// so the per-shard capacities always sum to the total.
+func splitBytes(total int64, p, i int) int64 {
+	base := total / int64(p)
+	if int64(i) < total%int64(p) {
+		base++
+	}
+	return base
+}
+
+func splitEntries(total, p, i int) int {
+	base := total / p
+	if i < total%p {
+		base++
+	}
+	return base
+}
+
+// ShardOf returns the shard index owning an object. The rule is a Fibonacci
+// hash of the object ID (multiply by 2^64/φ, keep the top log2(P) bits): it
+// is deterministic across processes and incarnations, spreads sequential
+// IDs uniformly, and costs one multiply on the hot path.
+func (s *Sharded) ShardOf(obj model.ObjectID) int {
+	return int((uint64(obj) * 0x9E3779B97F4A7C15) >> s.shift)
+}
+
+// lock acquires a shard's mutex, counting contended acquisitions.
+func (s *Sharded) lock(sh *shard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	sh.lockWaits.Add(1)
+	sh.mu.Lock()
+}
+
+// Node returns the node ID this state belongs to.
+func (s *Sharded) Node() model.NodeID { return s.node }
+
+// ShardCount returns the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// Lookup probes the owning shard during the upstream pass (see
+// NodeState.Lookup).
+func (s *Sharded) Lookup(obj model.ObjectID, now float64) bool {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	hit := sh.st.Lookup(obj, now)
+	sh.mu.Unlock()
+	return hit
+}
+
+// UpMiss performs the miss-side bookkeeping on the owning shard and returns
+// the hop's piggyback record (see NodeState.UpMiss).
+func (s *Sharded) UpMiss(obj model.ObjectID, size int64, hop int, link float64, now float64) Candidate {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	c := sh.st.UpMiss(obj, size, hop, link, now, nil)
+	sh.mu.Unlock()
+	return c
+}
+
+// DownOutcome reports one sharded downstream step's effect. Unlike
+// NodeState's DownResult it carries no descriptor pointers: those alias the
+// shard's heap scratch, which is only valid under the shard lock.
+type DownOutcome struct {
+	// MP is the outgoing miss-penalty counter (zero after a successful
+	// placement, the incoming value otherwise).
+	MP float64
+	// Placed reports a successful insertion.
+	Placed bool
+	// PlaceFailed reports an instructed placement whose insert failed.
+	PlaceFailed bool
+}
+
+// DownStep applies the response pass on the owning shard (see
+// NodeState.DownStep). Victim object IDs are appended to evicted while the
+// shard lock is held — the underlying descriptors alias the shard's scratch
+// buffer and must not escape — and the (possibly grown) slice is returned,
+// so a caller that reuses its buffer takes zero steady-state allocations.
+func (s *Sharded) DownStep(obj model.ObjectID, size int64, place bool, mp float64, hop int, now float64, evicted []model.ObjectID) (DownOutcome, []model.ObjectID) {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	res := sh.st.DownStep(obj, size, place, mp, hop, now, nil)
+	for _, v := range res.Evicted {
+		evicted = append(evicted, v.ID)
+	}
+	if res.Placed {
+		sh.inserts.Add(1)
+		sh.evictions.Add(int64(len(res.Evicted)))
+	}
+	sh.mu.Unlock()
+	return DownOutcome{MP: res.MP, Placed: res.Placed, PlaceFailed: res.PlaceFailed}, evicted
+}
+
+// Contains reports whether the node currently caches the object.
+func (s *Sharded) Contains(obj model.ObjectID) bool {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	ok := sh.st.Store.Contains(obj)
+	sh.mu.Unlock()
+	return ok
+}
+
+// DCacheContains reports whether the node's d-cache holds the object's
+// descriptor.
+func (s *Sharded) DCacheContains(obj model.ObjectID) bool {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	ok := sh.st.DCache.Contains(obj)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Touch refreshes a cached copy's access history (TTL revalidation path).
+func (s *Sharded) Touch(obj model.ObjectID, now float64) bool {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	ok := sh.st.Store.Touch(obj, now)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Demote removes a cached copy and keeps its descriptor in the shard's
+// d-cache stripe (an expired copy whose meta history is still valuable).
+// Reports whether the object was cached.
+func (s *Sharded) Demote(obj model.ObjectID, now float64) bool {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	d := sh.st.Store.Remove(obj)
+	if d != nil {
+		sh.st.DCache.Put(d, now)
+	}
+	sh.mu.Unlock()
+	return d != nil
+}
+
+// Locked runs fn on the shard owning obj while holding that shard's lock —
+// the escape hatch for callers needing a compound read-modify step the
+// dedicated methods do not cover (snapshot restore, tests). fn must not
+// retain descriptor pointers past the call.
+func (s *Sharded) Locked(obj model.ObjectID, fn func(st *NodeState)) {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	fn(&sh.st)
+	sh.mu.Unlock()
+}
+
+// lockAll acquires every shard lock in index order (the only multi-lock
+// path, so lock ordering is trivially consistent).
+func (s *Sharded) lockAll() {
+	for i := range s.shards {
+		s.lock(&s.shards[i])
+	}
+}
+
+func (s *Sharded) unlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// DrainDescriptors empties the whole node for a cooperative departure,
+// returning snapshots of every stored descriptor in global NCL eviction
+// order (ascending NCL at now, ties by object ID) — merging the shards
+// reproduces exactly the order an unsharded node would spill, so the parent
+// absorbs identically (see NodeState.DrainDescriptors). All shard locks are
+// held for the duration: the drain is atomic against concurrent steps.
+func (s *Sharded) DrainDescriptors(now float64) []cache.DescriptorSnapshot {
+	s.lockAll()
+	defer s.unlockAll()
+	var ds []*cache.Descriptor
+	for i := range s.shards {
+		s.shards[i].st.Store.ForEach(func(d *cache.Descriptor) { ds = append(ds, d) })
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		ni, nj := ds[i].NCL(now), ds[j].NCL(now)
+		if ni != nj {
+			return ni < nj
+		}
+		return ds[i].ID < ds[j].ID
+	})
+	snaps := make([]cache.DescriptorSnapshot, len(ds))
+	for i, d := range ds {
+		snaps[i] = d.Snapshot()
+		s.shards[s.ShardOf(d.ID)].st.Store.Remove(d.ID)
+	}
+	return snaps
+}
+
+// Absorb folds a departing child's spilled descriptors into the owning
+// shards' d-cache stripes, in spill order (see NodeState.Absorb).
+func (s *Sharded) Absorb(snaps []cache.DescriptorSnapshot, now float64) int {
+	absorbed := 0
+	for _, snap := range snaps {
+		sh := &s.shards[s.ShardOf(snap.ID)]
+		s.lock(sh)
+		if !sh.st.Store.Contains(snap.ID) && !sh.st.DCache.Contains(snap.ID) &&
+			sh.st.DCache.Put(cache.RestoreDescriptor(snap), now) {
+			absorbed++
+		}
+		sh.mu.Unlock()
+	}
+	return absorbed
+}
+
+// ResetDCaches discards every shard's d-cache stripe for a fresh instance of
+// the same capacity (a departing node keeps no meta state). The factory that
+// built the node builds the replacements.
+func (s *Sharded) ResetDCaches(factory dcache.Factory) {
+	if factory == nil {
+		factory = dcache.NewFactory
+	}
+	s.lockAll()
+	for i := range s.shards {
+		st := &s.shards[i].st
+		st.DCache = factory(st.DCache.Capacity())
+		if st.Pool != nil {
+			st.Pool.Attach(st.DCache)
+		}
+	}
+	s.unlockAll()
+}
+
+// Snapshot captures every shard's stored descriptors (for warm-start
+// persistence), shard by shard.
+func (s *Sharded) Snapshot() []cache.DescriptorSnapshot {
+	s.lockAll()
+	defer s.unlockAll()
+	var out []cache.DescriptorSnapshot
+	for i := range s.shards {
+		out = append(out, s.shards[i].st.Store.Snapshot()...)
+	}
+	return out
+}
+
+// RestoreInsert re-inserts one snapshot into its owning shard if that
+// shard's free space fits it without eviction. Reports success.
+func (s *Sharded) RestoreInsert(snap cache.DescriptorSnapshot, now float64) bool {
+	sh := &s.shards[s.ShardOf(snap.ID)]
+	s.lock(sh)
+	defer sh.mu.Unlock()
+	if sh.st.Store.Capacity()-sh.st.Store.Used() < snap.Size {
+		return false
+	}
+	_, ok := sh.st.Store.Insert(cache.RestoreDescriptor(snap), now)
+	return ok
+}
+
+// SetFlight replaces the flight recorder on every shard (observability
+// reconfiguration before serving).
+func (s *Sharded) SetFlight(r *flightrec.Recorder) {
+	s.lockAll()
+	for i := range s.shards {
+		s.shards[i].st.Flight = r
+	}
+	s.unlockAll()
+}
+
+// Audit returns the shared auditor (nil when auditing is off).
+func (s *Sharded) Audit() *audit.Auditor { return s.shards[0].st.Audit }
+
+// Used returns the bytes held across all shards.
+func (s *Sharded) Used() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lock(sh)
+		n += sh.st.Store.Used()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the summed capacity across all shards — exactly the
+// configured total, however the remainder was distributed.
+func (s *Sharded) Capacity() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].st.Store.Capacity()
+	}
+	return n
+}
+
+// StoreLen returns the object count across all shards.
+func (s *Sharded) StoreLen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lock(sh)
+		n += sh.st.Store.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DCacheLen returns the descriptor count across all shards' d-cache stripes.
+func (s *Sharded) DCacheLen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.lock(sh)
+		n += sh.st.DCache.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DCacheAt exposes one shard's d-cache stripe for inspection. Callers must
+// quiesce the node first (tests, post-drain assertions).
+func (s *Sharded) DCacheAt(i int) dcache.DCache { return s.shards[i].st.DCache }
+
+// ShardStats is one shard's operational accounting, readable lock-free
+// except for the occupancy fields.
+type ShardStats struct {
+	Inserts   int64 // placements applied by this shard
+	Evictions int64 // victims evicted by this shard
+	LockWaits int64 // contended lock acquisitions on this shard
+
+	Objects       int   // descriptors in the shard's main store
+	UsedBytes     int64 // bytes held by the shard
+	CapacityBytes int64 // the shard's capacity slice
+	Descriptors   int   // entries in the shard's d-cache stripe
+}
+
+// ShardInserts reads one shard's placement count lock-free (metrics path).
+func (s *Sharded) ShardInserts(i int) int64 { return s.shards[i].inserts.Load() }
+
+// ShardEvictions reads one shard's eviction count lock-free (metrics path).
+func (s *Sharded) ShardEvictions(i int) int64 { return s.shards[i].evictions.Load() }
+
+// ShardLockWaits reads one shard's contended-acquisition count lock-free
+// (metrics path).
+func (s *Sharded) ShardLockWaits(i int) int64 { return s.shards[i].lockWaits.Load() }
+
+// ShardStatsAt reads one shard's counters (atomics) and occupancy (under
+// the shard lock).
+func (s *Sharded) ShardStatsAt(i int) ShardStats {
+	sh := &s.shards[i]
+	out := ShardStats{
+		Inserts:   sh.inserts.Load(),
+		Evictions: sh.evictions.Load(),
+		LockWaits: sh.lockWaits.Load(),
+	}
+	s.lock(sh)
+	out.Objects = sh.st.Store.Len()
+	out.UsedBytes = sh.st.Store.Used()
+	out.CapacityBytes = sh.st.Store.Capacity()
+	out.Descriptors = sh.st.DCache.Len()
+	sh.mu.Unlock()
+	return out
+}

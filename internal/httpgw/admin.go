@@ -12,7 +12,6 @@ import (
 
 	"cascade/internal/cache"
 	"cascade/internal/controlplane"
-	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
 	"cascade/internal/model"
@@ -190,8 +189,8 @@ func (n *Node) adminDrain(w http.ResponseWriter, now float64) {
 	n.recordTransitionLocked(controlplane.EventDrain, false, now)
 	snaps := n.st.DrainDescriptors(now)
 	// The d-cache's history belongs to the departing identity too; the
-	// interface has no clear, so swap in a fresh instance.
-	n.st.DCache = dcache.New(n.st.DCache.Capacity())
+	// interface has no clear, so swap every stripe for a fresh instance.
+	n.st.ResetDCaches(nil)
 	n.body = make(map[model.ObjectID][]byte)
 	n.etag = make(map[model.ObjectID]string)
 	n.fetched = make(map[model.ObjectID]float64)
@@ -334,14 +333,14 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	entry := engine.Candidate{Node: n.ID, Tag: engine.TagNoDescriptor, Link: n.UpCost}
-	pathHeader := r.Header.Get(HeaderPath)
-	if pathHeader == "" {
-		pathHeader = formatEntry(entry)
-	} else {
-		pathHeader = pathHeader + "," + formatEntry(entry)
+	entries, perr := parseIncomingPath(r.Header)
+	if perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
 	}
-	up.Header.Set(HeaderPath, pathHeader)
+	entries = append(entries, engine.Candidate{Node: n.ID, Tag: engine.TagNoDescriptor, Link: n.UpCost})
+	n.advertise(up.Header)
+	writePath(up.Header, n.binaryCapable() && n.upBinary.Load(), entries)
 	if traceWanted(r) {
 		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
 	}
@@ -365,10 +364,13 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 	}
 
 	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
-	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
-	if h := resp.Header.Get(HeaderPredict); h != "" {
-		w.Header().Set(HeaderPredict, h)
+	place, predict, derr := parseDecision(resp.Header)
+	if derr != nil {
+		http.Error(w, derr.Error(), http.StatusBadGateway)
+		return
 	}
+	n.advertise(w.Header())
+	writeDecision(w.Header(), n.replyBinary(r), place, predict)
 	w.Header().Set(HeaderPenalty, fmtFloat(prev+n.UpCost))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if tag := resp.Header.Get("ETag"); tag != "" {

@@ -74,7 +74,7 @@ func TestAdminDrainSpillsUpstream(t *testing.T) {
 	if nodes[0].Contains(42) {
 		t.Fatal("drained node still holds the object")
 	}
-	if !nodes[1].st.DCache.Contains(42) {
+	if !nodes[1].st.DCacheContains(42) {
 		t.Fatal("spilled descriptor did not reach the upstream d-cache")
 	}
 	if got := nodes[0].Member(); got != controlplane.Removed {
@@ -118,7 +118,7 @@ func TestAdminDrainSpillsUpstream(t *testing.T) {
 	if code != http.StatusOK || st.Member != "active" {
 		t.Fatalf("admit status %d, state %+v", code, st)
 	}
-	if nodes[0].Contains(42) || nodes[0].st.DCache.Len() != 0 {
+	if nodes[0].Contains(42) || nodes[0].st.DCacheLen() != 0 {
 		t.Fatal("admitted node should start empty")
 	}
 	if code, _ := postJSON(t, base+"/cascade/admin/admit"); code != http.StatusConflict {

@@ -1,0 +1,316 @@
+package httpgw
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+
+	"cascade/internal/engine"
+	"cascade/internal/model"
+)
+
+// Binary wire framing.
+//
+// The textual headers spell every float through strconv on each hop — parse,
+// re-format, re-parse — which is the dominant per-hop cost once the cache
+// math itself is sharded. The binary frame carries the same two payloads —
+// the upstream path (one candidate per hop) and the downstream decision
+// (placement set plus predicted Δcost terms) — as fixed-width little-endian
+// integers and raw IEEE-754 bit patterns, base64-encoded on a single
+// X-Cascade-Frame header. Both encodings are bit-exact for every float
+// (the textual side uses strconv 'g'/-1, the shortest round-tripping form),
+// so a chain may mix them freely: the conformance suite proves serving and
+// placement decisions are identical whichever encoding each hop speaks.
+//
+// Negotiation is per-hop and fail-safe. A binary-capable hop advertises
+// "bf1" on X-Cascade-Accept in both directions: on its requests (telling
+// the upstream it may answer with a frame) and on its responses (telling
+// the downstream it may send frames next time). A node emits a binary
+// request frame only after it has seen the upstream's advert, so the first
+// exchange of any pair — and every exchange with a textual peer, which
+// ignores the unknown headers — runs on the textual fallback.
+//
+// Frame layout (all multi-byte values little-endian):
+//
+//	offset  size  value
+//	0       2     magic "CF"
+//	2       1     version (1)
+//	3       1     kind: 1 = path, 2 = decision
+//
+// kind 1 (path), repeated count times after a u16 count — 29 bytes each:
+//
+//	u32  node ID
+//	u8   tag: 0 = candidate, 1 = excluded (§2.4 no-descriptor; the
+//	     cannot-fit tag collapses here exactly as it does in text)
+//	f64  frequency estimate (bits; zero when excluded)
+//	f64  eviction cost loss (bits; zero when excluded)
+//	f64  cost of the link just crossed (bits)
+//
+// kind 2 (decision):
+//
+//	u16  placement count, then u32 node IDs (ascending)
+//	u16  prediction count, then (u32 node, f64 term) pairs (ascending)
+//
+// See docs/PERFORMANCE.md for a worked byte example.
+const (
+	// HeaderFrame carries one base64 (raw, unpadded) binary frame.
+	HeaderFrame = "X-Cascade-Frame"
+	// HeaderAccept advertises frame support ("bf1") hop-by-hop.
+	HeaderAccept = "X-Cascade-Accept"
+	// FrameV1 is the sole framing capability token so far.
+	FrameV1 = "bf1"
+)
+
+const (
+	frameMagic0, frameMagic1 = 'C', 'F'
+	frameVersion             = 1
+	framePath                = 1
+	frameDecision            = 2
+	frameHeaderLen           = 4
+	frameCandidateLen        = 4 + 1 + 8 + 8 + 8
+)
+
+// predictTerm pairs a chosen node with the DP's predicted Δcost term for
+// its placement — the structured form of one HeaderPredict entry.
+type predictTerm struct {
+	Node model.NodeID
+	Term float64
+}
+
+func putU16(b []byte, v int) []byte  { return binary.LittleEndian.AppendUint16(b, uint16(v)) }
+func putU32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+func putF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// encodePathFrame renders hop candidates (wire order: the client's first
+// cache first) as a base64 path frame. Hop indices are not encoded — the
+// receiver assigns them positionally, exactly as parsePath does.
+func encodePathFrame(entries []engine.Candidate) string {
+	b := make([]byte, 0, frameHeaderLen+2+len(entries)*frameCandidateLen)
+	b = append(b, frameMagic0, frameMagic1, frameVersion, framePath)
+	b = putU16(b, len(entries))
+	for _, e := range entries {
+		b = putU32(b, int32(e.Node))
+		if e.Tag == engine.TagCandidate {
+			b = append(b, 0)
+			b = putF64(b, e.Freq)
+			b = putF64(b, e.CostLoss)
+		} else {
+			b = append(b, 1)
+			b = putF64(b, 0)
+			b = putF64(b, 0)
+		}
+		b = putF64(b, e.Link)
+	}
+	return base64.RawStdEncoding.EncodeToString(b)
+}
+
+// encodeDecisionFrame renders a placement decision (chosen node IDs
+// ascending, predicted terms ascending by node) as a base64 decision frame.
+func encodeDecisionFrame(place []model.NodeID, predict []predictTerm) string {
+	b := make([]byte, 0, frameHeaderLen+4+4*len(place)+12*len(predict))
+	b = append(b, frameMagic0, frameMagic1, frameVersion, frameDecision)
+	b = putU16(b, len(place))
+	for _, id := range place {
+		b = putU32(b, int32(id))
+	}
+	b = putU16(b, len(predict))
+	for _, p := range predict {
+		b = putU32(b, int32(p.Node))
+		b = putF64(b, p.Term)
+	}
+	return base64.RawStdEncoding.EncodeToString(b)
+}
+
+// frameReader walks a decoded frame.
+type frameReader struct {
+	b   []byte
+	off int
+}
+
+func (r *frameReader) need(n int) error {
+	if len(r.b)-r.off < n {
+		return fmt.Errorf("httpgw: truncated frame (want %d bytes at %d of %d)", n, r.off, len(r.b))
+	}
+	return nil
+}
+
+func (r *frameReader) u16() int {
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return int(v)
+}
+
+func (r *frameReader) u32() int32 {
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return int32(v)
+}
+
+func (r *frameReader) f64() float64 {
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+// openFrame decodes the base64 envelope and checks magic and version,
+// returning a reader positioned after the kind byte plus the kind itself.
+func openFrame(h string) (*frameReader, byte, error) {
+	raw, err := base64.RawStdEncoding.DecodeString(h)
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpgw: bad frame base64: %w", err)
+	}
+	if len(raw) < frameHeaderLen || raw[0] != frameMagic0 || raw[1] != frameMagic1 {
+		return nil, 0, fmt.Errorf("httpgw: bad frame magic")
+	}
+	if raw[2] != frameVersion {
+		return nil, 0, fmt.Errorf("httpgw: unsupported frame version %d", raw[2])
+	}
+	return &frameReader{b: raw, off: frameHeaderLen}, raw[3], nil
+}
+
+// decodePathFrame parses a path frame into hop candidates, assigning hop
+// indices positionally.
+func decodePathFrame(h string) ([]engine.Candidate, error) {
+	r, kind, err := openFrame(h)
+	if err != nil {
+		return nil, err
+	}
+	if kind != framePath {
+		return nil, fmt.Errorf("httpgw: frame kind %d where path frame expected", kind)
+	}
+	if err := r.need(2); err != nil {
+		return nil, err
+	}
+	count := r.u16()
+	if err := r.need(count * frameCandidateLen); err != nil {
+		return nil, err
+	}
+	out := make([]engine.Candidate, 0, count)
+	for i := 0; i < count; i++ {
+		e := engine.Candidate{Hop: i, Node: model.NodeID(r.u32())}
+		tag := r.b[r.off]
+		r.off++
+		freq, loss := r.f64(), r.f64()
+		if tag == 0 {
+			e.Tag = engine.TagCandidate
+			e.Freq, e.CostLoss = freq, loss
+		} else {
+			e.Tag = engine.TagNoDescriptor
+		}
+		e.Link = r.f64()
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// decodeDecisionFrame parses a decision frame into the placement set and
+// the predicted terms.
+func decodeDecisionFrame(h string) ([]model.NodeID, []predictTerm, error) {
+	r, kind, err := openFrame(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != frameDecision {
+		return nil, nil, fmt.Errorf("httpgw: frame kind %d where decision frame expected", kind)
+	}
+	if err := r.need(2); err != nil {
+		return nil, nil, err
+	}
+	nplace := r.u16()
+	if err := r.need(nplace*4 + 2); err != nil {
+		return nil, nil, err
+	}
+	var place []model.NodeID
+	for i := 0; i < nplace; i++ {
+		place = append(place, model.NodeID(r.u32()))
+	}
+	npredict := r.u16()
+	if err := r.need(npredict * 12); err != nil {
+		return nil, nil, err
+	}
+	var predict []predictTerm
+	for i := 0; i < npredict; i++ {
+		predict = append(predict, predictTerm{Node: model.NodeID(r.u32()), Term: r.f64()})
+	}
+	return place, predict, nil
+}
+
+// wantsFrame reports whether the peer that sent these headers advertised
+// frame support — i.e. whether this side may answer (or, for a learned
+// upstream, ask) in binary.
+func wantsFrame(h http.Header) bool { return h.Get(HeaderAccept) == FrameV1 }
+
+// parseIncomingPath reads the request's hop candidates from whichever
+// encoding the downstream used: a path frame when present, the textual
+// X-Cascade-Path otherwise.
+func parseIncomingPath(h http.Header) ([]engine.Candidate, error) {
+	if f := h.Get(HeaderFrame); f != "" {
+		return decodePathFrame(f)
+	}
+	return parsePath(h.Get(HeaderPath))
+}
+
+// writePath emits hop candidates upstream in the negotiated encoding.
+func writePath(h http.Header, binaryFrame bool, entries []engine.Candidate) {
+	if binaryFrame {
+		h.Set(HeaderFrame, encodePathFrame(entries))
+		return
+	}
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = formatEntry(e)
+	}
+	h.Set(HeaderPath, joinComma(parts))
+}
+
+// parseDecision reads a response's placement decision from whichever
+// encoding the upstream used. The placement set comes back in wire order
+// (ascending — both encoders sort) and the predictions keep their
+// ascending-node order, so re-encoding either way is byte-identical.
+func parseDecision(h http.Header) ([]model.NodeID, []predictTerm, error) {
+	if f := h.Get(HeaderFrame); f != "" {
+		return decodeDecisionFrame(f)
+	}
+	place := parsePlacementList(h.Get(HeaderPlace))
+	predict := parsePredictTerms(h.Get(HeaderPredict))
+	return place, predict, nil
+}
+
+// writeDecision emits a placement decision downstream in the encoding that
+// side negotiated.
+func writeDecision(h http.Header, binaryFrame bool, place []model.NodeID, predict []predictTerm) {
+	if binaryFrame {
+		h.Set(HeaderFrame, encodeDecisionFrame(place, predict))
+		return
+	}
+	h.Set(HeaderPlace, formatPlacement(place))
+	if len(predict) > 0 {
+		h.Set(HeaderPredict, formatPredictTerms(predict))
+	}
+}
+
+// placed reports whether id is in the (short, ascending) placement set.
+func placed(place []model.NodeID, id model.NodeID) bool {
+	for _, p := range place {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// predictFor returns id's predicted Δcost term, if the decision shipped one.
+func predictFor(predict []predictTerm, id model.NodeID) (float64, bool) {
+	for _, p := range predict {
+		if p.Node == id {
+			return p.Term, true
+		}
+	}
+	return 0, false
+}

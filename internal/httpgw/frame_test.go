@@ -1,0 +1,240 @@
+package httpgw
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"cascade/internal/engine"
+	"cascade/internal/model"
+)
+
+// Floats chosen to break any codec that round-trips through decimal with
+// too little precision: non-terminating binary fractions, extremes of the
+// exponent range, a subnormal, and negative zero.
+var nastyFloats = []float64{
+	0, 0.1, 1.0 / 3.0, math.Pi, 1e-300, 4.9e-324, math.MaxFloat64, math.Copysign(0, -1), 123456.789e-12,
+}
+
+func TestPathFrameRoundTrip(t *testing.T) {
+	in := []engine.Candidate{
+		{Node: 0, Tag: engine.TagCandidate, Freq: 0.1, CostLoss: 1.0 / 3.0, Link: math.Pi},
+		{Node: 7, Tag: engine.TagNoDescriptor, Link: 4.9e-324},
+		{Node: 1<<31 - 1, Tag: engine.TagCandidate, Freq: math.MaxFloat64, CostLoss: 1e-300, Link: 0},
+	}
+	out, err := decodePathFrame(encodePathFrame(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	for i, e := range out {
+		if e.Hop != i {
+			t.Errorf("entry %d: hop %d not positional", i, e.Hop)
+		}
+		want := in[i]
+		want.Hop = i
+		if e != want {
+			t.Errorf("entry %d: got %+v want %+v", i, e, want)
+		}
+	}
+}
+
+// TestPathFrameMatchesTextualEncoding proves the two encodings are lossless
+// translations of each other: any candidate list encodes through text and
+// through the frame to the same decoded value, bit for bit.
+func TestPathFrameMatchesTextualEncoding(t *testing.T) {
+	var in []engine.Candidate
+	for i, f := range nastyFloats {
+		c := engine.Candidate{Node: model.NodeID(i), Link: f}
+		if i%2 == 0 {
+			c.Tag = engine.TagCandidate
+			c.Freq = nastyFloats[(i+1)%len(nastyFloats)]
+			c.CostLoss = nastyFloats[(i+2)%len(nastyFloats)]
+		} else {
+			c.Tag = engine.TagNoDescriptor
+		}
+		in = append(in, c)
+	}
+	parts := make([]string, len(in))
+	for i, e := range in {
+		parts[i] = formatEntry(e)
+	}
+	fromText, err := parsePath(joinComma(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFrame, err := decodePathFrame(encodePathFrame(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromText, fromFrame) {
+		t.Fatalf("textual and binary decodes diverge:\ntext:  %+v\nframe: %+v", fromText, fromFrame)
+	}
+}
+
+func TestDecisionFrameRoundTrip(t *testing.T) {
+	place := []model.NodeID{0, 2, 5}
+	predict := []predictTerm{{Node: 0, Term: 0.1}, {Node: 2, Term: math.Pi}, {Node: 5, Term: 4.9e-324}}
+	gotPlace, gotPredict, err := decodeDecisionFrame(encodeDecisionFrame(place, predict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPlace, place) || !reflect.DeepEqual(gotPredict, predict) {
+		t.Fatalf("round trip diverged: place %v predict %v", gotPlace, gotPredict)
+	}
+
+	// Empty decision: no placements, no predictions.
+	gotPlace, gotPredict, err = decodeDecisionFrame(encodeDecisionFrame(nil, nil))
+	if err != nil || gotPlace != nil || gotPredict != nil {
+		t.Fatalf("empty decision round trip: %v %v %v", gotPlace, gotPredict, err)
+	}
+}
+
+// TestDecisionTranslationByteIdentical re-encodes a decision parsed from one
+// encoding into the other and back; both textual images must be identical
+// byte strings (this is what lets relays re-encode instead of copying).
+func TestDecisionTranslationByteIdentical(t *testing.T) {
+	place := []model.NodeID{1, 3}
+	predict := []predictTerm{{Node: 1, Term: 1.0 / 3.0}, {Node: 3, Term: 123456.789e-12}}
+
+	textHeader := http.Header{}
+	writeDecision(textHeader, false, place, predict)
+	binHeader := http.Header{}
+	writeDecision(binHeader, true, place, predict)
+	if binHeader.Get(HeaderPlace) != "" || textHeader.Get(HeaderFrame) != "" {
+		t.Fatal("encodings leaked into each other's headers")
+	}
+
+	p1, t1, err := parseDecision(textHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, t2, err := parseDecision(binHeader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re1 := http.Header{}
+	writeDecision(re1, false, p1, t1)
+	re2 := http.Header{}
+	writeDecision(re2, false, p2, t2)
+	if re1.Get(HeaderPlace) != re2.Get(HeaderPlace) || re1.Get(HeaderPredict) != re2.Get(HeaderPredict) {
+		t.Fatalf("translation not byte-identical: %q/%q vs %q/%q",
+			re1.Get(HeaderPlace), re1.Get(HeaderPredict), re2.Get(HeaderPlace), re2.Get(HeaderPredict))
+	}
+}
+
+func TestFrameDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-base64!!!",
+		"QUJD",                                 // "ABC": too short
+		encodePathFrame(nil)[:2],               // truncated base64 of a valid frame
+		encodeDecisionFrame(nil, nil),          // wrong kind for a path decode
+		"Q0YCAQ",                               // magic ok, version 2
+		"Q0YBAQUA",                             // path frame claiming 5 entries, no payload
+	}
+	for _, c := range cases {
+		if _, err := decodePathFrame(c); err == nil {
+			t.Errorf("decodePathFrame(%q) accepted garbage", c)
+		}
+	}
+	if _, _, err := decodeDecisionFrame(encodePathFrame(nil)); err == nil {
+		t.Error("decodeDecisionFrame accepted a path frame")
+	}
+}
+
+// TestFramingNegotiation drives a two-node chain and watches the wire: the
+// first upstream exchange must be textual (nothing learned yet), every
+// later one binary; a node with DisableBinaryFraming stays textual forever
+// and never advertises.
+func TestFramingNegotiation(t *testing.T) {
+	o := &Origin{Size: func(model.ObjectID) int { return 64 }}
+	origin := httptest.NewServer(o)
+	defer origin.Close()
+
+	n1 := NewNode(1, origin.URL, 2, 1<<20, 64, func() float64 { return 0 })
+	// spy records, per upstream request n0 sends to n1, whether it carried a
+	// binary path frame.
+	var sawFrame []bool
+	spy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawFrame = append(sawFrame, r.Header.Get(HeaderFrame) != "")
+		n1.ServeHTTP(w, r)
+	}))
+	defer spy.Close()
+
+	n0 := NewNode(0, spy.URL, 1, 1<<20, 64, func() float64 { return 0 })
+	front := httptest.NewServer(n0)
+	defer front.Close()
+
+	get := func(obj int) *http.Response {
+		resp, err := http.Get(front.URL + "/objects/" + strconv.Itoa(obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	r0 := get(100)
+	get(101)
+	get(102)
+	if len(sawFrame) != 3 {
+		t.Fatalf("expected 3 upstream exchanges, saw %d", len(sawFrame))
+	}
+	if sawFrame[0] {
+		t.Error("first exchange was binary before any advert arrived")
+	}
+	if !sawFrame[1] || !sawFrame[2] {
+		t.Errorf("later exchanges stayed textual after the upstream advertised: %v", sawFrame)
+	}
+	// The client never advertised, so the client-facing response is textual
+	// with the advert attached.
+	if r0.Header.Get(HeaderFrame) != "" {
+		t.Error("client-facing response carried a binary frame without the client advertising")
+	}
+	if r0.Header.Get(HeaderAccept) != FrameV1 {
+		t.Error("capable node did not advertise on its response")
+	}
+
+	// A textual-only node never upgrades, whatever the upstream says.
+	sawFrame = nil
+	n0text := NewNode(0, spy.URL, 1, 1<<20, 64, func() float64 { return 0 })
+	n0text.DisableBinaryFraming = true
+	frontText := httptest.NewServer(n0text)
+	defer frontText.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(frontText.URL + "/objects/" + strconv.Itoa(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.Header.Get(HeaderAccept) != "" {
+			t.Error("textual-only node advertised frame support")
+		}
+	}
+	for i, b := range sawFrame {
+		if b {
+			t.Errorf("textual-only node sent a binary frame on exchange %d", i)
+		}
+	}
+
+	// A client that advertises gets a binary decision frame back.
+	req, _ := http.NewRequest(http.MethodGet, front.URL+"/objects/100", nil)
+	req.Header.Set(HeaderAccept, FrameV1)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(HeaderFrame) == "" {
+		t.Error("advertising client did not receive a binary decision frame")
+	}
+	if _, _, err := parseDecision(resp.Header); err != nil {
+		t.Errorf("binary decision frame unparseable: %v", err)
+	}
+}

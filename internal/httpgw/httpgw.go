@@ -12,6 +12,11 @@
 //	X-Cascade-Penalty: the response's accumulated miss-penalty counter,
 //	                   updated and reset at caching points on the way down.
 //
+// Binary-capable hops negotiate a compact alternative per hop: the same two
+// payloads travel as one length-prefixed binary frame on X-Cascade-Frame
+// (see frame.go), with the textual headers remaining the universal fallback
+// so mixed chains keep interoperating.
+//
 // The package demonstrates that the scheme deploys over a real transport
 // with self-describing messages — no out-of-band control channel — and is
 // exercised end-to-end over httptest servers in its tests. Object payloads
@@ -33,12 +38,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
 	"cascade/internal/controlplane"
-	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
 	"cascade/internal/metrics"
@@ -122,14 +127,28 @@ type Node struct {
 	// deep chains cannot grow the header past transport limits. 0 means
 	// the default (4096 bytes); negative removes the bound.
 	TraceBudget int
+	// DisableBinaryFraming pins this node to the textual protocol headers:
+	// it neither advertises nor emits X-Cascade-Frame (frames it receives
+	// are still understood). For mixed-chain tests and header-level
+	// debugging.
+	DisableBinaryFraming bool
 
-	// mu guards st and the payload maps below; concurrent requests
-	// serialize their protocol steps on it.
+	// mu guards the st rebuild (SetShards), the payload maps below and the
+	// counters; the sharded protocol state itself carries per-shard locks.
 	mu      sync.Mutex
-	st      engine.NodeState
+	st      *engine.Sharded
 	body    map[model.ObjectID][]byte
 	etag    map[model.ObjectID]string
 	fetched map[model.ObjectID]float64 // time each copy was (re)validated
+
+	capacity int64 // main-cache byte budget, kept for SetShards rebuilds
+	dEntries int   // d-cache entry budget, kept for SetShards rebuilds
+
+	// upBinary flips once the upstream's response advertises frame support;
+	// from then on upstream requests carry binary path frames.
+	upBinary atomic.Bool
+
+	shardSeries int // shard metric series registered so far (guarded by mu)
 
 	hits, misses, inserts, revalidations int64
 
@@ -179,14 +198,11 @@ func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, d
 		Upstream: upstream,
 		UpCost:   upCost,
 		Clock:    clock,
-		st: engine.NodeState{
-			Node:   id,
-			Store:  cache.NewCostAware(capacity),
-			DCache: dcache.New(dEntries),
-		},
-		body:    make(map[model.ObjectID][]byte),
-		etag:    make(map[model.ObjectID]string),
-		fetched: make(map[model.ObjectID]float64),
+		capacity: capacity,
+		dEntries: dEntries,
+		body:     make(map[model.ObjectID][]byte),
+		etag:     make(map[model.ObjectID]string),
+		fetched:  make(map[model.ObjectID]float64),
 	}
 	reg := n.MetricsRegistry()
 	nl := metrics.L("node", strconv.Itoa(int(id)))
@@ -194,12 +210,63 @@ func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, d
 	n.ledger = audit.NewLedger()
 	n.ledger.RegisterNode(reg, id, nl)
 	n.flight = flightrec.New(DefaultFlightCapacity)
-	n.st.Audit = n.auditor
-	n.st.Ledger = n.ledger
-	n.st.Flight = n.flight
+	n.st = engine.NewSharded(engine.ShardedConfig{
+		Node:          id,
+		Shards:        1,
+		CacheBytes:    capacity,
+		DCacheEntries: dEntries,
+		Flight:        n.flight,
+		Audit:         n.auditor,
+		Ledger:        n.ledger,
+	})
+	n.registerShardSeries()
 	n.installAuditSink()
 	return n
 }
+
+// SetShards rebuilds the node's protocol state partitioned across p shards
+// (rounded up to a power of two); the byte and descriptor budgets are split
+// exactly across the shards and protocol steps on different shards stop
+// contending. Call before serving: cached payloads and descriptors are
+// discarded.
+func (n *Node) SetShards(p int) {
+	n.mu.Lock()
+	n.st = engine.NewSharded(engine.ShardedConfig{
+		Node:          n.ID,
+		Shards:        p,
+		CacheBytes:    n.capacity,
+		DCacheEntries: n.dEntries,
+		Flight:        n.flight,
+		Audit:         n.auditor,
+		Ledger:        n.ledger,
+	})
+	n.body = make(map[model.ObjectID][]byte)
+	n.etag = make(map[model.ObjectID]string)
+	n.fetched = make(map[model.ObjectID]float64)
+	n.mu.Unlock()
+	n.registerShardSeries()
+}
+
+// binaryCapable reports whether this node speaks the binary framing.
+func (n *Node) binaryCapable() bool { return !n.DisableBinaryFraming }
+
+// advertise marks an outgoing protocol message (request or response) with
+// this node's frame support.
+func (n *Node) advertise(h http.Header) {
+	if n.binaryCapable() {
+		h.Set(HeaderAccept, FrameV1)
+	}
+}
+
+// replyBinary reports whether the response to r should carry binary frames:
+// the requester advertised support and this node speaks it.
+func (n *Node) replyBinary(r *http.Request) bool {
+	return n.binaryCapable() && wantsFrame(r.Header)
+}
+
+// SetBinaryUpstream pre-learns the upstream's frame support, skipping the
+// one textual exchange negotiation would otherwise take.
+func (n *Node) SetBinaryUpstream() { n.upBinary.Store(true) }
 
 // The X-Cascade-Path header carries one engine.Candidate per hop as
 // "node;freq;loss;linkcost", appended in wire order (the client's first
@@ -268,14 +335,14 @@ func Decide(entries []engine.Candidate) []model.NodeID {
 // origin: the §2.2 DP with the decision site's auditor and flight recorder
 // threaded through (Theorem 2 and optimality checks, the decision flight
 // event). It returns the chosen node IDs in ascending order plus the
-// formatted HeaderPredict value pairing each chosen node with its predicted
-// Δcost term — the decision site cannot reach the other processes' ledgers,
-// so the claims ship downstream and every placing node books its own. The
-// terms come out of the engine via a throwaway ledger, so their computation
-// stays in one place (post-clamp values, identical to what the simulator
-// and the cluster book at decision time).
+// predicted Δcost term per chosen node (ascending node order, ready for
+// either wire encoding) — the decision site cannot reach the other
+// processes' ledgers, so the claims ship downstream and every placing node
+// books its own. The terms come out of the engine via a throwaway ledger, so
+// their computation stays in one place (post-clamp values, identical to what
+// the simulator and the cluster book at decision time).
 func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
-	aud *audit.Auditor, flight *flightrec.Recorder, serv model.NodeID) ([]model.NodeID, string) {
+	aud *audit.Auditor, flight *flightrec.Recorder, serv model.NodeID) ([]model.NodeID, []predictTerm) {
 	scratch := audit.NewLedger()
 	opts := engine.DecideOptions{
 		ClampMonotone: true,
@@ -291,11 +358,16 @@ func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
 		ids[i] = entries[h].Node
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids, formatPredict(scratch.Snapshot())
+	accounts := scratch.Snapshot()
+	predict := make([]predictTerm, 0, len(accounts))
+	for _, acc := range accounts {
+		predict = append(predict, predictTerm{Node: acc.Node, Term: acc.PredictedGain})
+	}
+	return ids, predict
 }
 
 // decide runs decideObserved with this node as the decision site.
-func (n *Node) decide(entries []engine.Candidate, obj model.ObjectID, now float64) ([]model.NodeID, string) {
+func (n *Node) decide(entries []engine.Candidate, obj model.ObjectID, now float64) ([]model.NodeID, []predictTerm) {
 	return decideObserved(entries, obj, now, n.auditor, n.flight, n.ID)
 }
 
@@ -346,16 +418,67 @@ func formatPlacement(chosen []model.NodeID) string {
 
 func parsePlacement(h string) map[model.NodeID]bool {
 	out := map[model.NodeID]bool{}
+	for _, id := range parsePlacementList(h) {
+		out[id] = true
+	}
+	return out
+}
+
+// parsePlacementList decodes a HeaderPlace value preserving wire order
+// (ascending — formatPlacement emits sorted IDs), so re-encoding it in
+// either wire encoding is byte-identical.
+func parsePlacementList(h string) []model.NodeID {
+	var out []model.NodeID
 	for _, p := range strings.Split(h, ",") {
 		if p = strings.TrimSpace(p); p == "" {
 			continue
 		}
 		if id, err := strconv.Atoi(p); err == nil {
-			out[model.NodeID(id)] = true
+			out = append(out, model.NodeID(id))
 		}
 	}
 	return out
 }
+
+// formatPredictTerms encodes predicted Δcost terms as the HeaderPredict
+// value, identical to formatPredict over the originating ledger accounts.
+func formatPredictTerms(predict []predictTerm) string {
+	parts := make([]string, len(predict))
+	for i, p := range predict {
+		parts[i] = strconv.Itoa(int(p.Node)) + "=" + fmtFloat(p.Term)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parsePredictTerms decodes a HeaderPredict value preserving wire order
+// (ascending node — both encoders sort). Malformed entries are skipped, as
+// in parsePredict.
+func parsePredictTerms(h string) []predictTerm {
+	var out []predictTerm
+	for _, p := range strings.Split(h, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			continue
+		}
+		id, err := strconv.Atoi(p[:eq])
+		if err != nil {
+			continue
+		}
+		term, err := strconv.ParseFloat(p[eq+1:], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, predictTerm{Node: model.NodeID(id), Term: term})
+	}
+	return out
+}
+
+// joinComma joins pre-formatted wire entries (the textual encoders' shared
+// separator).
+func joinComma(parts []string) string { return strings.Join(parts, ",") }
 
 // objectID derives the object identity from a request path. Numeric
 // /objects/<id> paths map directly (the synthetic-workload convention);
@@ -421,7 +544,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.passThrough(w, r)
 		return
 	}
-	if n.st.Store.Contains(obj) {
+	if n.st.Contains(obj) {
 		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
 		if !stale {
 			n.hits++
@@ -431,17 +554,15 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			n.st.Lookup(obj, now)
 			body := n.body[obj]
 			tag := n.etag[obj]
-			entries, perr := parsePath(r.Header.Get(HeaderPath))
+			entries, perr := parseIncomingPath(r.Header)
 			n.mu.Unlock()
 			if perr != nil {
 				http.Error(w, perr.Error(), http.StatusBadRequest)
 				return
 			}
 			chosen, predict := n.decide(entries, obj, now)
-			w.Header().Set(HeaderPlace, formatPlacement(chosen))
-			if predict != "" {
-				w.Header().Set(HeaderPredict, predict)
-			}
+			n.advertise(w.Header())
+			writeDecision(w.Header(), n.replyBinary(r), chosen, predict)
 			w.Header().Set(HeaderPenalty, "0")
 			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
 			if traceWanted(r) {
@@ -471,21 +592,25 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// index is assigned positionally by each parse, so -1 here.
 	n.misses++
 	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindLookupMiss, Obj: obj, Hop: -1})
-	entry := n.st.UpMiss(obj, 0, -1, n.UpCost, now, nil)
+	entry := n.st.UpMiss(obj, 0, -1, n.UpCost, now)
 	n.mu.Unlock()
+
+	entries, perr := parseIncomingPath(r.Header)
+	if perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
+	}
 
 	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	pathHeader := r.Header.Get(HeaderPath)
-	if pathHeader == "" {
-		pathHeader = formatEntry(entry)
-	} else {
-		pathHeader = pathHeader + "," + formatEntry(entry)
-	}
-	up.Header.Set(HeaderPath, pathHeader)
+	// The upstream answers binary only after negotiation has learned it may
+	// ask for it (upBinary); the advert on the request lets the upstream
+	// answer in kind either way.
+	n.advertise(up.Header)
+	writePath(up.Header, n.binaryCapable() && n.upBinary.Load(), append(entries, entry))
 	if traceWanted(r) {
 		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
 	}
@@ -518,7 +643,11 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
 	mp := prev + n.UpCost
 
-	chosen := parsePlacement(resp.Header.Get(HeaderPlace))
+	place, predict, derr := parseDecision(resp.Header)
+	if derr != nil {
+		http.Error(w, derr.Error(), http.StatusBadGateway)
+		return
+	}
 
 	now = n.Clock()
 	mpSeen := mp
@@ -528,17 +657,19 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// cluster's epoch guard has no analogue on this transport — the
 		// fetch runs outside the lock). A departed node takes no placement
 		// and books no ledger claim: finish as a relay, link cost folded.
+		// The decision is re-encoded for whatever this side's client
+		// negotiated (byte-identical when the encodings match — both
+		// encoders are canonical).
 		n.mu.Unlock()
-		w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
-		if h := resp.Header.Get(HeaderPredict); h != "" {
-			w.Header().Set(HeaderPredict, h)
-		}
+		n.advertise(w.Header())
+		writeDecision(w.Header(), n.replyBinary(r), place, predict)
 		w.Header().Set(HeaderPenalty, fmtFloat(mp))
 		w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 		w.Write(body) //nolint:errcheck
 		return
 	}
-	if chosen[n.ID] {
+	chosenHere := placed(place, n.ID)
+	if chosenHere {
 		// The decision site shipped this node's predicted Δcost term next
 		// to the placement instruction; book the claim here, where the
 		// realized savings will accumulate, so the node's ledger is
@@ -546,12 +677,12 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// store that cannot make room shows up as a place failure against
 		// a recorded prediction, exactly the drift the ledger exists to
 		// expose.
-		if term, ok := parsePredict(resp.Header.Get(HeaderPredict))[n.ID]; ok {
+		if term, ok := predictFor(predict, n.ID); ok {
 			n.ledger.RecordPrediction(n.ID, term)
 		}
 	}
-	res := n.st.DownStep(obj, int64(len(body)), chosen[n.ID], mp, -1, now, nil)
-	n.st.Audit.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
+	res, evicted := n.st.DownStep(obj, int64(len(body)), chosenHere, mp, -1, now, nil)
+	n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
 		n.inserts++
 		n.body[obj] = append([]byte(nil), body...)
@@ -559,20 +690,18 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.fetched[obj] = now
 		// DownStep already demoted the victims' descriptors; drop their
 		// payload bookkeeping here.
-		for _, v := range res.Evicted {
-			delete(n.body, v.ID)
-			delete(n.etag, v.ID)
-			delete(n.fetched, v.ID)
+		for _, v := range evicted {
+			delete(n.body, v)
+			delete(n.etag, v)
+			delete(n.fetched, v)
 		}
 	}
 	n.mu.Unlock()
 	mp = res.MP
 
-	w.Header().Set(HeaderPlace, resp.Header.Get(HeaderPlace))
-	if h := resp.Header.Get(HeaderPredict); h != "" {
-		w.Header().Set(HeaderPredict, h)
-	}
-	w.Header().Set(HeaderPenalty, strconv.FormatFloat(mp, 'g', -1, 64))
+	n.advertise(w.Header())
+	writeDecision(w.Header(), n.replyBinary(r), place, predict)
+	w.Header().Set(HeaderPenalty, fmtFloat(mp))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if traceWanted(r) {
 		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
@@ -586,7 +715,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case res.Placed:
 			downEvt.Action = reqtrace.ActPlace
 			downEvt.Reset = true
-			downEvt.Evicted = len(res.Evicted)
+			downEvt.Evicted = len(evicted)
 		case res.PlaceFailed:
 			downEvt.Action = reqtrace.ActPlaceFailed
 		}
@@ -617,7 +746,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		n.mu.Lock()
 		n.degraded++
 		n.hits++
-		n.st.Store.Touch(obj, now)
+		n.st.Touch(obj, now)
 		n.mu.Unlock()
 		w.Header().Set(HeaderDegraded, "1")
 		w.Header().Set(HeaderPenalty, "0")
@@ -634,9 +763,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		// and let the regular miss path refetch and re-decide.
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		n.mu.Lock()
-		if d := n.st.Store.Remove(obj); d != nil {
-			n.st.DCache.Put(d, now)
-		}
+		n.st.Demote(obj, now)
 		delete(n.body, obj)
 		delete(n.etag, obj)
 		delete(n.fetched, obj)
@@ -647,7 +774,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	n.revalidations++
 	n.hits++
 	n.fetched[obj] = now
-	n.st.Store.Touch(obj, now)
+	n.st.Touch(obj, now)
 	n.mu.Unlock()
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
@@ -663,15 +790,16 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 func (n *Node) serveStats(w http.ResponseWriter) {
 	n.mu.Lock()
 	hits, misses, inserts, revs := n.hits, n.misses, n.inserts, n.revalidations
-	used, capacity, objects := n.st.Store.Used(), n.st.Store.Capacity(), n.st.Store.Len()
-	descs := n.st.DCache.Len()
+	used, capacity, objects := n.st.Used(), n.st.Capacity(), n.st.StoreLen()
+	descs := n.st.DCacheLen()
+	shards := n.st.ShardCount()
 	retries, opens, degraded, state := n.retries, n.breakerOpens, n.degraded, n.breaker
 	member, health, upHealth, epoch := n.member, n.selfHealth, n.upHealth, n.cpEpoch
 	n.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
-		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
-		n.ID, member.String(), health.String(), upHealth.String(), epoch,
+		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
+		n.ID, member.String(), health.String(), upHealth.String(), epoch, shards,
 		hits, misses, inserts, revs, objects, used, capacity, descs,
 		retries, state.String(), opens, degraded)
 }
@@ -680,7 +808,7 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 func (n *Node) Contains(obj model.ObjectID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.st.Store.Contains(obj)
+	return n.st.Contains(obj)
 }
 
 // Origin is the content source: it serves every object and runs the
@@ -698,6 +826,9 @@ type Origin struct {
 	Size func(model.ObjectID) int
 	// Dir, when non-empty, serves request paths as files beneath it.
 	Dir string
+	// DisableBinaryFraming pins the origin to the textual protocol headers
+	// (frames it receives are still understood).
+	DisableBinaryFraming bool
 
 	// Observability over the origin's placement decisions, wired by
 	// EnableObservability (all nil — disabled — by default). auditor and
@@ -769,7 +900,7 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	entries, err := parsePath(r.Header.Get(HeaderPath))
+	entries, err := parseIncomingPath(r.Header)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -779,10 +910,10 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		now = o.clock()
 	}
 	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
-	w.Header().Set(HeaderPlace, formatPlacement(chosen))
-	if predict != "" {
-		w.Header().Set(HeaderPredict, predict)
+	if !o.DisableBinaryFraming {
+		w.Header().Set(HeaderAccept, FrameV1)
 	}
+	writeDecision(w.Header(), !o.DisableBinaryFraming && wantsFrame(r.Header), chosen, predict)
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, "origin")
 	if traceWanted(r) {
@@ -837,7 +968,7 @@ type nodeSnapshot struct {
 func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.Lock()
 	snap := nodeSnapshot{
-		Descriptors: n.st.Store.Snapshot(),
+		Descriptors: n.st.Snapshot(),
 		Bodies:      make(map[model.ObjectID][]byte, len(n.body)),
 	}
 	for id, b := range n.body {
@@ -859,10 +990,10 @@ func (n *Node) LoadSnapshot(r io.Reader, now float64) (restored int, err error) 
 	defer n.mu.Unlock()
 	for _, ds := range snap.Descriptors {
 		body, ok := snap.Bodies[ds.ID]
-		if !ok || n.st.Store.Capacity()-n.st.Store.Used() < ds.Size {
+		if !ok {
 			continue
 		}
-		if _, ok := n.st.Store.Insert(cache.RestoreDescriptor(ds), now); ok {
+		if n.st.RestoreInsert(ds, now) {
 			n.body[ds.ID] = body
 			restored++
 		}

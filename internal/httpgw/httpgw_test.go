@@ -121,7 +121,7 @@ func TestHTTPPenaltyCounter(t *testing.T) {
 		t.Fatalf("penalty header = %q, want 0", got)
 	}
 	// Node 1's d-cache descriptor carries its distance to the origin.
-	d := nodes[1].st.DCache.Get(7)
+	d := nodes[1].st.DCacheAt(0).Get(7)
 	if d == nil || d.MissPenalty() != 2 {
 		t.Fatalf("node 1 descriptor penalty = %+v, want 2", d)
 	}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"cascade/internal/controlplane"
+	"cascade/internal/engine"
 	"cascade/internal/metrics"
 )
 
@@ -50,13 +51,52 @@ func (n *Node) MetricsRegistry() *metrics.Registry {
 			"Membership and health transitions applied by the control plane.",
 			metrics.L("event", k.String()), nl)
 	}
-	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Store.Used() }), nl)
-	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Store.Capacity() }), nl)
-	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.st.Store.Len()) }), nl)
-	r.GaugeFunc("cascade_gw_dcache_descriptors", "Descriptors held by the d-cache.", lockedCount(func() int64 { return int64(n.st.DCache.Len()) }), nl)
+	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Used() }), nl)
+	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Capacity() }), nl)
+	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.st.StoreLen()) }), nl)
+	r.GaugeFunc("cascade_gw_dcache_descriptors", "Descriptors held by the d-cache.", lockedCount(func() int64 { return int64(n.st.DCacheLen()) }), nl)
+	r.GaugeFunc("cascade_node_shards", "Shard count of the node's partitioned protocol state.", lockedCount(func() int64 { return int64(n.st.ShardCount()) }), nl)
 
 	n.reg = r
 	return r
+}
+
+// registerShardSeries registers the per-shard operational series for any
+// shard indices that appeared since the last call (series registration is
+// permanent, so a SetShards rebuild only adds the new indices; a shrink
+// leaves the stale indices reading zero). Counters are atomics on the shard,
+// read lock-free at scrape time.
+func (n *Node) registerShardSeries() {
+	n.mu.Lock()
+	reg, from, to := n.reg, n.shardSeries, n.st.ShardCount()
+	if to > n.shardSeries {
+		n.shardSeries = to
+	}
+	n.mu.Unlock()
+	shardState := func() *engine.Sharded {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.st
+	}
+	nl := metrics.L("node", strconv.Itoa(int(n.ID)))
+	for s := from; s < to; s++ {
+		s := s
+		sl := metrics.L("shard", strconv.Itoa(s))
+		read := func(f func(st *engine.Sharded) int64) func() float64 {
+			return func() float64 {
+				if st := shardState(); s < st.ShardCount() {
+					return float64(f(st))
+				}
+				return 0
+			}
+		}
+		reg.CounterFunc("cascade_node_shard_inserts_total", "Object copies this shard inserted.",
+			read(func(st *engine.Sharded) int64 { return st.ShardInserts(s) }), nl, sl)
+		reg.CounterFunc("cascade_node_shard_evictions_total", "Victims this shard evicted to make room.",
+			read(func(st *engine.Sharded) int64 { return st.ShardEvictions(s) }), nl, sl)
+		reg.CounterFunc("cascade_node_shard_lock_waits_total", "Contended acquisitions of this shard's lock.",
+			read(func(st *engine.Sharded) int64 { return st.ShardLockWaits(s) }), nl, sl)
+	}
 }
 
 // MetricsHandler serves the node's registry in the Prometheus text

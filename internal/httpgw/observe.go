@@ -20,7 +20,7 @@ func (n *Node) SetFlightCapacity(capacity int) {
 	} else {
 		n.flight = flightrec.New(capacity)
 	}
-	n.st.Flight = n.flight
+	n.st.SetFlight(n.flight)
 	n.mu.Unlock()
 	n.installAuditSink()
 }

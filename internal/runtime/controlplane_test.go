@@ -45,7 +45,7 @@ func TestClusterDrainSpillsToParent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.node(leaf).st.Store.Len() != 1 {
+	if c.node(leaf).st.StoreLen() != 1 {
 		t.Fatal("warm-up did not place a copy at the leaf")
 	}
 
@@ -69,7 +69,7 @@ func TestClusterDrainSpillsToParent(t *testing.T) {
 	// The spill is absorbed on the parent's actor; give its queue a beat.
 	deadline := time.After(2 * time.Second)
 	for {
-		if c.node(parent).st.DCache.Contains(1) {
+		if c.node(parent).st.DCacheContains(1) {
 			break
 		}
 		select {
@@ -99,7 +99,7 @@ func TestClusterDrainSpillsToParent(t *testing.T) {
 	if n == nil || n.down.Load() {
 		t.Fatal("admitted node's actor should be running")
 	}
-	if n.st.Store.Len() != 0 || n.st.DCache.Len() != 0 {
+	if n.st.StoreLen() != 0 || n.st.DCacheLen() != 0 {
 		t.Fatal("admitted node must start empty")
 	}
 	if !c.routable(leaf) {

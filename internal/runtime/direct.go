@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"cascade/internal/engine"
+	"cascade/internal/model"
+	"cascade/internal/topology"
+)
+
+// The direct data plane.
+//
+// The actor incarnation proves the protocol deploys as a message-passing
+// system, but a fault-free cluster pays its price on every request: two
+// channel hand-offs and a goroutine wake-up per hop, all to serialize on
+// state that engine.Sharded now guards with per-shard locks anyway. The
+// direct plane runs the exact same two passes — the §2.3 upstream pass
+// collecting piggybacked candidates, the serving point's §2.2 decision, the
+// downstream pass applying placements and the miss-penalty counter — as
+// plain function calls on the Get goroutine. Hops are visited in the same
+// order, fold the same link costs when routed around, and hit the same
+// engine entry points, so counters, audits and results are identical to the
+// queued plane; the per-hop message/pass-latency instruments record one
+// step per hop-delivery exactly as enqueue/dispatch would (with zero queue
+// latency, there being no queue).
+//
+// The queued plane remains the only one consulted by the fault injector —
+// message drops, delays and saturation are properties of queues — so
+// Config.Fault forces it, as does Config.QueuedDataPlane.
+
+// walkScratch recycles one direct request's buffers through
+// Cluster.walkScratch.
+type walkScratch struct {
+	msg    fetchMsg
+	upCost []float64
+	chosen []int
+	evict  []model.ObjectID
+}
+
+// directGet executes one request on the direct data plane. route is already
+// compacted to routable nodes; lead is the scaled cost of the links below
+// the first live hop.
+func (c *Cluster) directGet(route topology.Route, lead float64, obj model.ObjectID, size int64, scale float64) Result {
+	s := c.walkScratch.Get().(*walkScratch)
+	uc := s.upCost[:0]
+	for _, v := range route.UpCost {
+		uc = append(uc, v*scale)
+	}
+	s.upCost = uc
+
+	m := &s.msg
+	m.obj, m.size, m.now = obj, size, c.cfg.Clock()
+	m.route = route.Caches
+	m.upCost = uc
+	m.hop = 0
+	m.accCost = lead
+	m.pb = m.pb[:0]
+
+	r := c.directWalk(m, s)
+
+	// Drop references into the topology so pooled scratch does not pin it.
+	m.route, m.upCost, m.reply = nil, nil, nil
+	c.walkScratch.Put(s)
+	return r
+}
+
+// directWalk runs the upstream pass, the placement decision and the
+// downstream pass in place. It mirrors handleFetch / sendFetchUp on the way
+// up and handleDeliver / sendDeliverDown on the way down, including the
+// route-around cost folding for hops that died after the route was
+// compacted.
+func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
+	servingHop := len(m.route)
+	servedBy := model.NoNode
+	hit := false
+	for m.hop < len(m.route) {
+		id := m.route[m.hop]
+		n := c.node(id)
+		if n == nil || n.down.Load() {
+			// Crashed since the route was compacted: fold its uplink into
+			// the accumulated cost, exactly as sendFetchUp would.
+			c.routedAround.Add(1)
+			c.nodeInst[id].routedAround.Inc()
+			m.accCost += m.upCost[m.hop]
+			m.hop++
+			continue
+		}
+		c.messages.Add(1)
+		c.nodeInst[id].upPass.Record(0)
+		if n.st.Lookup(m.obj, m.now) {
+			servingHop, servedBy, hit = m.hop, id, true
+			break
+		}
+		if cand := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now); cand.Tag == engine.TagCandidate {
+			m.pb = append(m.pb, cand)
+		}
+		m.accCost += m.upCost[m.hop]
+		m.hop++
+	}
+
+	var result Result
+	if hit {
+		result = Result{ServedBy: servedBy, Cost: m.accCost, Hops: servingHop}
+	} else {
+		// Origin serves; by now accCost has folded every link including
+		// the topmost one.
+		hops := len(m.route) - 1
+		if m.upCost[len(m.route)-1] > 0 {
+			hops++ // hierarchy: root–server is a real link
+		}
+		result = Result{ServedBy: model.NoNode, Cost: m.accCost, Hops: hops}
+	}
+	if servingHop == 0 {
+		// Hit at the client's first cache: nothing travels downstream.
+		c.cacheHits.Add(1)
+		return result
+	}
+
+	chosen := c.decide(m, servingHop, servedBy, s.chosen[:0])
+	s.chosen = chosen
+
+	mp := 0.0
+	for h := servingHop - 1; h >= 0; h-- {
+		id := m.route[h]
+		n := c.node(id)
+		if n == nil || n.down.Load() {
+			// A dead cache takes no copy and learns no penalty, but its
+			// link cost still accumulates (sendDeliverDown semantics).
+			c.routedAround.Add(1)
+			c.nodeInst[id].routedAround.Inc()
+			mp += m.upCost[h]
+			continue
+		}
+		c.messages.Add(1)
+		c.nodeInst[id].downPass.Record(0)
+		prev := mp
+		mp += m.upCost[h]
+		for k := len(chosen) - 1; k >= 0 && chosen[k] > h; k-- {
+			chosen = chosen[:k]
+		}
+		place := false
+		if k := len(chosen) - 1; k >= 0 && chosen[k] == h {
+			place = true
+			chosen = chosen[:k]
+		}
+		out, ev := n.st.DownStep(m.obj, m.size, place, mp, h, m.now, s.evict[:0])
+		s.evict = ev
+		n.st.Audit().CheckPenaltyStep(id, m.obj, h, prev, mp, out.MP, out.Placed)
+		mp = out.MP
+		if out.Placed {
+			result.Placed = append(result.Placed, id)
+			inst := &c.nodeInst[id]
+			inst.inserts.Inc()
+			inst.evictions.Add(int64(len(ev)))
+		}
+	}
+
+	if result.ServedBy != model.NoNode {
+		c.cacheHits.Add(1)
+	}
+	c.inserts.Add(int64(len(result.Placed)))
+	return result
+}

@@ -63,7 +63,7 @@ func TestClusterFailRoutesAround(t *testing.T) {
 	if !c.Recover(mid) {
 		t.Fatal("Recover on a failed node returned false")
 	}
-	if n := c.node(mid); n.st.Store.Len() != 0 || n.st.DCache.Len() != 0 {
+	if n := c.node(mid); n.st.StoreLen() != 0 || n.st.DCacheLen() != 0 {
 		t.Fatal("recovered node kept state across the crash")
 	}
 	if got := c.Failed(); got == nil || len(got) != 0 {

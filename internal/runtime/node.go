@@ -77,10 +77,20 @@ type node struct {
 
 	ovmu     sync.Mutex
 	overflow []any // bounded spill past the inbox (Config.OverflowDepth)
+	// ovdepth mirrors len(overflow), maintained under ovmu but readable
+	// lock-free: backpressure checks, health probes and metrics scrapes
+	// observe queue depth without serializing against senders.
+	ovdepth atomic.Int64
 
-	// st holds the node's protocol state (main store + d-cache); every
-	// protocol step delegates to internal/engine.
-	st engine.NodeState
+	// st holds the node's protocol state (main store + d-cache stripes),
+	// sharded by object hash; every protocol step delegates to
+	// internal/engine. The shard locks make st safe for the direct data
+	// plane (request goroutines) and the actor loop to touch concurrently.
+	st *engine.Sharded
+
+	// evictBuf recycles the victim-ID buffer of this actor's DownSteps
+	// (owned by the actor goroutine; the direct plane uses pooled scratch).
+	evictBuf []model.ObjectID
 }
 
 // stop marks the node down and releases its actor. Idempotent; reports
@@ -122,12 +132,14 @@ func (n *node) drainOverflow() {
 		n.ovmu.Lock()
 		if len(n.overflow) == 0 {
 			n.overflow = nil
+			n.ovdepth.Store(0)
 			n.ovmu.Unlock()
 			return
 		}
 		msg := n.overflow[0]
 		n.overflow[0] = nil
 		n.overflow = n.overflow[1:]
+		n.ovdepth.Store(int64(len(n.overflow)))
 		n.ovmu.Unlock()
 		n.dispatch(msg)
 	}
@@ -168,7 +180,7 @@ func (n *node) handleFetch(m *fetchMsg) {
 	// Observed passing through: refresh the descriptor's history and
 	// piggyback this node's candidacy. A node without a usable record
 	// ships no entry (the §2.4 tag) and is excluded from the DP.
-	if c := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now, nil); c.Tag == engine.TagCandidate {
+	if c := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now); c.Tag == engine.TagCandidate {
 		m.pb = append(m.pb, c)
 	}
 
@@ -210,14 +222,15 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		d.chosen = d.chosen[:k]
 	}
 
-	res := n.st.DownStep(d.obj, d.size, place, d.mp, d.hop, d.now, nil)
-	n.st.Audit.CheckPenaltyStep(n.id, d.obj, d.hop, prev, d.mp, res.MP, res.Placed)
+	res, ev := n.st.DownStep(d.obj, d.size, place, d.mp, d.hop, d.now, n.evictBuf[:0])
+	n.evictBuf = ev
+	n.st.Audit().CheckPenaltyStep(n.id, d.obj, d.hop, prev, d.mp, res.MP, res.Placed)
 	d.mp = res.MP
 	if res.Placed {
 		d.result.Placed = append(d.result.Placed, n.id)
 		inst := n.inst()
 		inst.inserts.Inc()
-		inst.evictions.Add(int64(len(res.Evicted)))
+		inst.evictions.Add(int64(len(ev)))
 	}
 
 	if d.hop == 0 {

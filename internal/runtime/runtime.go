@@ -97,6 +97,20 @@ type Config struct {
 	// DCacheFactory selects the d-cache implementation (heap LFU by
 	// default).
 	DCacheFactory dcache.Factory
+	// Shards partitions each node's stores by object hash (rounded up to a
+	// power of two; default 1). With one shard a node behaves byte-for-byte
+	// like the unsharded engine; more shards let concurrent Gets on
+	// different objects proceed without contending on a node lock. See
+	// docs/PERFORMANCE.md.
+	Shards int
+	// QueuedDataPlane forces every protocol step through the per-node
+	// actor queues even when no fault injector is configured. By default a
+	// fault-free cluster executes both passes synchronously on the Get
+	// goroutine against the shard locks (the direct data plane), which is
+	// semantically identical and removes all scheduling overhead; the
+	// queued plane remains for fault injection (Config.Fault implies it)
+	// and for tests pinning queue semantics.
+	QueuedDataPlane bool
 	// Fault, when set, is consulted on every message send — the chaos
 	// hook (message drop/delay, crash-on-nth, saturation). Keys are node
 	// IDs.
@@ -143,6 +157,9 @@ type Cluster struct {
 	// the request — usually the serving actor — so the scratch is pooled
 	// rather than owned by any one node.
 	decScratch sync.Pool
+	// walkScratch recycles the direct data plane's per-request buffers
+	// (scaled link costs, piggyback vector, chosen set, victim IDs).
+	walkScratch sync.Pool
 
 	// reg exports every instrument below in the Prometheus text format
 	// (Metrics); nodeInst holds the per-node instruments, indexed by slot,
@@ -212,7 +229,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.DCacheFactory == nil {
 		cfg.DCacheFactory = dcache.NewFactory
 	}
+	cfg.Shards = engine.NormalizeShards(cfg.Shards)
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
+	c.walkScratch.New = func() any { return new(walkScratch) }
 	c.cp = controlplane.NewManager(len(c.slots))
 	c.guard = controlplane.NewEpochGuard()
 	c.cp.SetOnEvent(func(ev controlplane.Event) {
@@ -293,10 +312,7 @@ func (c *Cluster) initMetrics() {
 		}, nl)
 		c.reg.GaugeFunc("cascade_node_overflow_depth", "Messages spilled to this node's overflow queue.", func() float64 {
 			if n := c.node(model.NodeID(i)); n != nil {
-				n.ovmu.Lock()
-				d := len(n.overflow)
-				n.ovmu.Unlock()
-				return float64(d)
+				return float64(n.ovdepth.Load())
 			}
 			return 0
 		}, nl)
@@ -306,6 +322,28 @@ func (c *Cluster) initMetrics() {
 			}
 			return 0
 		}, nl)
+		for s := 0; s < c.cfg.Shards; s++ {
+			s := s
+			sl := metrics.L("shard", strconv.Itoa(s))
+			c.reg.CounterFunc("cascade_node_shard_inserts_total", "Object copies this shard inserted.", func() float64 {
+				if n := c.node(model.NodeID(i)); n != nil {
+					return float64(n.st.ShardInserts(s))
+				}
+				return 0
+			}, nl, sl)
+			c.reg.CounterFunc("cascade_node_shard_evictions_total", "Victims this shard evicted to make room.", func() float64 {
+				if n := c.node(model.NodeID(i)); n != nil {
+					return float64(n.st.ShardEvictions(s))
+				}
+				return 0
+			}, nl, sl)
+			c.reg.CounterFunc("cascade_node_shard_lock_waits_total", "Contended acquisitions of this shard's lock.", func() float64 {
+				if n := c.node(model.NodeID(i)); n != nil {
+					return float64(n.st.ShardLockWaits(s))
+				}
+				return 0
+			}, nl, sl)
+		}
 	}
 	c.cp.RegisterMetrics(c.reg)
 }
@@ -322,14 +360,17 @@ func (c *Cluster) newNode(id model.NodeID) *node {
 		inbox:   make(chan any, c.cfg.InboxDepth),
 		notify:  make(chan struct{}, 1),
 		quit:    make(chan struct{}),
-		st: engine.NodeState{
-			Node:   id,
-			Store:  cache.NewCostAware(c.cfg.CacheBytes),
-			DCache: c.cfg.DCacheFactory(c.cfg.DCacheEntries),
-			Flight: c.flightRecorder(id),
-			Audit:  c.auditor,
-			Ledger: c.ledger,
-		},
+		st: engine.NewSharded(engine.ShardedConfig{
+			Node:          id,
+			Shards:        c.cfg.Shards,
+			CacheBytes:    c.cfg.CacheBytes,
+			DCacheEntries: c.cfg.DCacheEntries,
+			DCacheFactory: c.cfg.DCacheFactory,
+			Pooled:        true,
+			Flight:        c.flightRecorder(id),
+			Audit:         c.auditor,
+			Ledger:        c.ledger,
+		}),
 	}
 }
 
@@ -392,7 +433,7 @@ func (c *Cluster) node(id model.NodeID) *node {
 // (no concurrent Gets) before relying on the answer.
 func (c *Cluster) DCacheContains(id model.NodeID, obj model.ObjectID) bool {
 	n := c.node(id)
-	return n != nil && n.st.DCache.Contains(obj)
+	return n != nil && n.st.DCacheContains(obj)
 }
 
 // aliveNode reports whether a node's actor is up.
@@ -429,10 +470,7 @@ func (c *Cluster) StartHealthChecker(cfg controlplane.CheckerConfig, stop <-chan
 			if len(n.inbox) < c.cfg.InboxDepth {
 				return true
 			}
-			n.ovmu.Lock()
-			full := len(n.overflow) >= c.cfg.OverflowDepth
-			n.ovmu.Unlock()
-			return !full
+			return n.ovdepth.Load() < int64(c.cfg.OverflowDepth)
 		}
 	}
 	ck := controlplane.NewChecker(c.cp, cfg)
@@ -505,7 +543,16 @@ func (c *Cluster) Drain(ctx context.Context, id model.NodeID) bool {
 		}); ok {
 			if pid := pr.Parent(id); pid != model.NoNode && int(pid) < len(c.slots) {
 				if pn := c.node(pid); pn != nil && !pn.down.Load() {
-					c.sendCtl(pn, &absorbMsg{now: c.cfg.Clock(), snaps: snaps})
+					if c.cfg.Fault == nil && !c.cfg.QueuedDataPlane {
+						// Direct data plane: Gets bypass the actor inbox, so
+						// an enqueued absorb would race the very next request
+						// — land the spill before Drain returns instead. The
+						// shard locks make the direct call safe against any
+						// concurrent traffic.
+						pn.st.Absorb(snaps, c.cfg.Clock())
+					} else {
+						c.sendCtl(pn, &absorbMsg{now: c.cfg.Clock(), snaps: snaps})
+					}
 				}
 			}
 		}
@@ -556,6 +603,7 @@ func (c *Cluster) sendCtl(n *node, msg any) bool {
 		return false
 	}
 	n.overflow = append(n.overflow, msg)
+	n.ovdepth.Store(int64(len(n.overflow)))
 	n.ovmu.Unlock()
 	select {
 	case n.notify <- struct{}{}:
@@ -674,6 +722,14 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 		return originDirect(), nil
 	}
 
+	if c.cfg.Fault == nil && !c.cfg.QueuedDataPlane {
+		// Direct data plane: both protocol passes execute synchronously on
+		// this goroutine against the shard locks — no queues, no actor
+		// hand-offs, no deadline (nothing can block). Semantics are
+		// step-for-step those of the queued plane below.
+		return c.directGet(route, cut.Lead*scale, obj, size, scale), nil
+	}
+
 	upCost := make([]float64, len(route.UpCost))
 	for i, v := range route.UpCost {
 		upCost[i] = v * scale
@@ -759,12 +815,20 @@ func (c *Cluster) enqueue(n *node, msg any) bool {
 		return true
 	default:
 	}
+	// Saturation fast path: a full overflow queue is visible without the
+	// lock, so senders hitting a saturated node route around it instead of
+	// convoying on ovmu (the locked re-check below stays authoritative for
+	// the exact bound).
+	if n.ovdepth.Load() >= int64(c.cfg.OverflowDepth) {
+		return false
+	}
 	n.ovmu.Lock()
 	if n.down.Load() || len(n.overflow) >= c.cfg.OverflowDepth {
 		n.ovmu.Unlock()
 		return false
 	}
 	n.overflow = append(n.overflow, msg)
+	n.ovdepth.Store(int64(len(n.overflow)))
 	n.ovmu.Unlock()
 	c.messages.Add(1)
 	c.overflows.Add(1)
@@ -828,26 +892,14 @@ type decideScratch struct {
 	dec   engine.Decider
 }
 
-// decideAndDeliver runs the serving node's placement decision
-// (engine.Decide, the §2.2 dynamic program) over the piggybacked
-// candidates and starts the downstream pass. servingHop is the path index
-// of the serving node (len(route) for the origin). It is a deterministic
-// function of the message, so any party may run it — the serving actor in
-// the common case, the last live sender when the top of the cascade is
-// unreachable.
-func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
-	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
-	if servingHop == 0 {
-		// Hit at the client's first cache: nothing travels downstream.
-		c.finish(m.reply, result)
-		return
-	}
-
-	// Rebuild the full candidate vector in wire order (client first):
-	// piggybacked records fill their hops; hops that shipped no record —
-	// no descriptor, cannot fit, or routed around mid-flight — get the
-	// §2.4 tag, whose link cost still feeds deeper candidates' miss
-	// penalties.
+// decide rebuilds the full candidate vector in wire order (client first)
+// and runs the serving point's placement decision (engine.Decide, the §2.2
+// dynamic program): piggybacked records fill their hops; hops that shipped
+// no record — no descriptor, cannot fit, or routed around mid-flight — get
+// the §2.4 tag, whose link cost still feeds deeper candidates' miss
+// penalties. The chosen hop set is appended to buf (so callers may recycle
+// a buffer) and never aliases the decider's scratch.
+func (c *Cluster) decide(m *fetchMsg, servingHop int, servedBy model.NodeID, buf []int) []int {
 	s := c.decScratch.Get().(*decideScratch)
 	if cap(s.cands) < servingHop {
 		s.cands = make([]engine.Candidate, servingHop)
@@ -871,12 +923,31 @@ func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.N
 			opts.Flight = c.flightRecorder(servedBy)
 		}
 	}
+	chosen := append(buf, s.dec.Decide(cands, opts,
+		engine.ServePoint{Hop: servingHop, Node: servedBy}, nil)...)
+	c.decScratch.Put(s)
+	return chosen
+}
+
+// decideAndDeliver runs the serving node's placement decision
+// (engine.Decide, the §2.2 dynamic program) over the piggybacked
+// candidates and starts the downstream pass. servingHop is the path index
+// of the serving node (len(route) for the origin). It is a deterministic
+// function of the message, so any party may run it — the serving actor in
+// the common case, the last live sender when the top of the cascade is
+// unreachable.
+func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
+	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
+	if servingHop == 0 {
+		// Hit at the client's first cache: nothing travels downstream.
+		c.finish(m.reply, result)
+		return
+	}
+
 	// The decider's result aliases its scratch, and the chosen vector
 	// outlives this call (it travels down the actor chain), so copy it out
 	// before recycling the scratch.
-	chosen := append([]int(nil), s.dec.Decide(cands, opts,
-		engine.ServePoint{Hop: servingHop, Node: servedBy}, nil)...)
-	c.decScratch.Put(s)
+	chosen := c.decide(m, servingHop, servedBy, nil)
 
 	d := &deliverMsg{
 		obj:    m.obj,
@@ -959,9 +1030,7 @@ func (c *Cluster) MetricsSnapshot() ClusterMetrics {
 		if n := c.slots[i].Load(); n != nil && !n.down.Load() {
 			nm.Up = true
 			nm.InboxDepth = len(n.inbox)
-			n.ovmu.Lock()
-			nm.OverflowDepth = len(n.overflow)
-			n.ovmu.Unlock()
+			nm.OverflowDepth = int(n.ovdepth.Load())
 		}
 		out.Nodes[i] = nm
 	}

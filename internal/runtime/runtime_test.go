@@ -327,7 +327,7 @@ func TestClusterDCacheFactoryOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, ok := c.node(0).st.DCache.(*dcache.LRUStacks); !ok {
+	if _, ok := c.node(0).st.DCacheAt(0).(*dcache.LRUStacks); !ok {
 		t.Fatal("d-cache factory not honored")
 	}
 }
