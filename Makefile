@@ -19,9 +19,9 @@ BENCH_OUT  ?= bench_latest.txt
 SLO_THRESHOLD ?= 4.0
 LOADTEST_OUT  ?= loadtest_latest.txt
 
-.PHONY: check vet lint build test race observe conformance rolling bench bench-check loadtest
+.PHONY: check vet lint build test race observe conformance dataplane rolling bench bench-check loadtest
 
-check: vet lint build race observe conformance rolling bench-check loadtest
+check: vet lint build race observe conformance dataplane rolling bench-check loadtest
 
 # Import guard: the protocol incarnations (scheme, sim, runtime, httpgw)
 # must reach the placement optimizer only through internal/engine, never by
@@ -35,6 +35,14 @@ lint:
 # detector (suite: internal/conformance).
 conformance:
 	$(GO) test -race -count=1 ./internal/conformance/
+
+# Data-plane conformance: full-body hashing across the gateway chain
+# (streamed bodies byte-identical to the origin's synthetic payloads),
+# Range-segmented large-object reassembly at zero audit violations, and
+# disk-spill round trips served without an origin fetch (suite:
+# internal/conformance, TestDataPlane*; spec: docs/DATAPLANE.md).
+dataplane:
+	$(GO) test -race -count=1 -run 'TestDataPlane' ./internal/conformance/
 
 # Rolling-reconfiguration smoke (not tier-1): upgrade the 100-node default
 # cascade one batch at a time under sustained load; the job fails on any

@@ -50,6 +50,12 @@ func run() error {
 		state    = flag.String("state", "", "gateway: warm-start snapshot file (loaded at boot, saved on shutdown)")
 		ttl      = flag.Float64("ttl", 0, "gateway: revalidate cached copies older than this many seconds (0 = never)")
 
+		segThreshold = flag.String("segment-threshold", "0", "origin: segment objects larger than this size (e.g. 1MB; 0 = never segment)")
+		segSize      = flag.String("segment-size", "0", "origin: Range-segment size for large objects (defaults to the threshold)")
+		spillDir     = flag.String("spill-dir", "", "gateway: spill evicted bodies to per-object files in this directory (empty = drop on evict)")
+		spillMax     = flag.String("spill-max", "0", "gateway: disk budget for the spill tier (e.g. 1GB; 0 = unbounded)")
+		spillTTL     = flag.Float64("spill-ttl", 0, "gateway: drop spilled bodies older than this many seconds (0 = keep until displaced)")
+
 		originURL   = flag.String("origin-url", "", "gateway: origin base URL for degraded-mode fallback when the upstream chain is unreachable")
 		upTimeout   = flag.Duration("up-timeout", 0, "gateway: upstream request timeout (0 = built-in default)")
 		retries     = flag.Int("retries", 0, "gateway: upstream retries after the initial attempt (0 = default, negative = none)")
@@ -103,6 +109,21 @@ func run() error {
 		}
 		o.EnableObservability(fc, cascade.WallClock())
 		o.DisableBinaryFraming = *textOnly
+		thr, err := parseBytes(*segThreshold)
+		if err != nil {
+			return fmt.Errorf("-segment-threshold: %w", err)
+		}
+		seg, err := parseBytes(*segSize)
+		if err != nil {
+			return fmt.Errorf("-segment-size: %w", err)
+		}
+		if seg == 0 {
+			seg = thr
+		}
+		o.SegmentThreshold, o.SegmentSize = thr, seg
+		if thr > 0 {
+			fmt.Fprintf(os.Stderr, "cascadegw: segmenting objects over %s\n", *segThreshold)
+		}
 		handler = o
 	} else {
 		if *upstream == "" {
@@ -118,6 +139,16 @@ func run() error {
 		node.DisableBinaryFraming = *textOnly
 		if *shards > 1 {
 			node.SetShards(*shards)
+		}
+		if *spillDir != "" {
+			maxBytes, err := parseBytes(*spillMax)
+			if err != nil {
+				return fmt.Errorf("-spill-max: %w", err)
+			}
+			if err := node.EnableSpill(*spillDir, maxBytes, *spillTTL); err != nil {
+				return fmt.Errorf("-spill-dir: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "cascadegw: spilling evicted bodies to %s\n", *spillDir)
 		}
 		node.OriginURL = strings.TrimRight(*originURL, "/")
 		node.MaxRetries = *retries

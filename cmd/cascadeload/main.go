@@ -96,11 +96,8 @@ func run() error {
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
 
-	if cfg.zipfS <= 1 {
-		return fmt.Errorf("-zipf must be > 1 (got %g)", cfg.zipfS)
-	}
-	if cfg.objects < 1 || cfg.requests < 1 || cfg.users < 1 {
-		return fmt.Errorf("-objects, -requests and -users must be positive")
+	if err := validate(&cfg); err != nil {
+		return err
 	}
 
 	front := cfg.target
@@ -121,8 +118,8 @@ func run() error {
 
 	// Warmup: sequential, unmeasured, so the measured phase sees caches in
 	// their steady regime rather than cold-start compulsory misses.
-	warmRng := rand.New(rand.NewSource(cfg.seed))
-	warmZipf := rand.NewZipf(warmRng, cfg.zipfS, 1, uint64(cfg.objects-1))
+	warmRng := rand.New(rand.NewSource(mixSeed(cfg.seed, streamWarmup)))
+	warmZipf := newZipf(warmRng, cfg.zipfS, cfg.objects)
 	for i := 0; i < cfg.warmup; i++ {
 		if err := doGet(client, front, int(warmZipf.Uint64())); err != nil {
 			return fmt.Errorf("warmup request %d: %w", i, err)
@@ -193,6 +190,65 @@ func run() error {
 	return report(cfg, res, elapsed, hitRatio, hitSource)
 }
 
+// validate rejects flag combinations outside the workload generator's
+// domain up front, with the offending value in the message. rand.NewZipf
+// silently returns nil for s <= 1 or imax < 1 (i.e. fewer than two
+// objects), which used to surface as a nil dereference deep in the warmup
+// loop instead of a usage error.
+func validate(cfg *config) error {
+	if cfg.zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (got %g)", cfg.zipfS)
+	}
+	if cfg.objects < 2 {
+		return fmt.Errorf("-objects must be at least 2 for a Zipf catalog (got %d)", cfg.objects)
+	}
+	if cfg.requests < 1 || cfg.users < 1 {
+		return fmt.Errorf("-requests and -users must be positive")
+	}
+	if cfg.warmup < 0 {
+		return fmt.Errorf("-warmup must not be negative (got %d)", cfg.warmup)
+	}
+	if cfg.rate < 0 {
+		return fmt.Errorf("-rate must not be negative (got %g)", cfg.rate)
+	}
+	return nil
+}
+
+// Stream indices for mixSeed: every RNG consumer gets its own stream, so no
+// two phases or workers ever share a generator state.
+const (
+	streamWarmup   = 0
+	streamOpenLoop = 1
+	streamWorker0  = 2 // closed-loop worker w uses streamWorker0 + w
+)
+
+// mixSeed derives the seed for one RNG stream from the user's -seed via a
+// splitmix64 finalizer. Additive offsets (the old seed+w+7919) made worker
+// k's stream identical to the warmup stream of seed+k+7919 — adjacent seeds
+// replayed each other's request sequences shifted by one worker. The
+// finalizer's avalanche makes every (seed, stream) pair an independent
+// sequence.
+func mixSeed(seed int64, stream uint64) int64 {
+	z := uint64(seed) ^ (stream * 0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// newZipf builds one workload stream. validate guarantees the parameters
+// are inside rand.NewZipf's domain; a nil return here is a programming
+// error surfaced immediately instead of a deferred nil dereference.
+func newZipf(rng *rand.Rand, s float64, objects int) *rand.Zipf {
+	z := rand.NewZipf(rng, s, 1, uint64(objects-1))
+	if z == nil {
+		panic(fmt.Sprintf("cascadeload: rand.NewZipf rejected s=%g objects=%d", s, objects))
+	}
+	return z
+}
+
 // result holds the measured phase's raw latencies (nanoseconds).
 type result struct {
 	latencies []int64
@@ -218,8 +274,8 @@ func closedLoop(cfg config, client *http.Client, front string) (*result, error) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.seed + int64(w) + 7919))
-			zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.objects-1))
+			rng := rand.New(rand.NewSource(mixSeed(cfg.seed, streamWorker0+uint64(w))))
+			zipf := newZipf(rng, cfg.zipfS, cfg.objects)
 			for {
 				if issued.Add(1) > int64(cfg.requests) {
 					return
@@ -259,8 +315,8 @@ func openLoop(cfg config, client *http.Client, front string) (*result, error) {
 	if interval <= 0 {
 		interval = time.Nanosecond
 	}
-	rng := rand.New(rand.NewSource(cfg.seed))
-	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.objects-1))
+	rng := rand.New(rand.NewSource(mixSeed(cfg.seed, streamOpenLoop)))
+	zipf := newZipf(rng, cfg.zipfS, cfg.objects)
 
 	var (
 		mu        sync.Mutex

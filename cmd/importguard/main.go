@@ -63,6 +63,12 @@ var rules = []rule{
 		allow:       []string{"cascade/internal/model", "cascade/internal/metrics", "cascade/internal/topology"},
 		reason:      "the control plane sits below every incarnation (stdlib + model + metrics + topology only)",
 	},
+	{
+		pkg:         "internal/store",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
+		reason:      "the body store sits below every incarnation (stdlib + model + metrics only)",
+	},
 }
 
 func (r rule) violates(importPath string) bool {

@@ -293,6 +293,69 @@ func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp flo
 	return DownResult{MP: mp}
 }
 
+// PromoteResult reports a spill-promotion attempt.
+type PromoteResult struct {
+	// Placed reports that the descriptor was re-admitted to the main
+	// store; the caller should move the object's bytes back to the memory
+	// tier.
+	Placed bool
+	// Avoided is the miss penalty the disk copy saved (the descriptor's
+	// counter at promotion time) — the hit's realized saving whether or
+	// not the re-admission succeeded, because the bytes are served either
+	// way.
+	Avoided float64
+	// Evicted lists insertion victims (already demoted to the d-cache);
+	// aliases the store's scratch buffer — valid until the next insert.
+	Evicted []*cache.Descriptor
+}
+
+// Promote re-admits a spilled object: its descriptor left the main store
+// with an NCL eviction but the data plane kept the bytes on disk, and a new
+// request just hit that disk copy. The descriptor is taken back from the
+// d-cache (or rebuilt), its access history refreshed, and the object is
+// inserted exactly like a DownStep placement — same eviction-order audit,
+// same victim demotion — so the §2.3 invariants hold for promoted copies
+// too. The hit itself is accounted to the ledger in both branches (serving
+// from disk avoids the upstream fetch regardless of whether the memory
+// re-admission sticks).
+func (st *NodeState) Promote(obj model.ObjectID, size int64, now float64) PromoteResult {
+	desc := st.DCache.Take(obj)
+	if desc == nil {
+		desc = st.newDescriptor(obj, size)
+	}
+	desc.Window.Record(now)
+	avoided := desc.MissPenalty()
+	if st.Ledger != nil {
+		st.Ledger.RecordHit(st.Node, avoided)
+	}
+	evicted, ok := st.Store.Insert(desc, now)
+	if !ok {
+		st.DCache.Put(desc, now)
+		if st.Flight != nil {
+			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPlaceFailed, Obj: obj, Hop: -1, A: avoided})
+		}
+		return PromoteResult{Avoided: avoided}
+	}
+	if st.Audit != nil && len(evicted) > 0 {
+		maxK := evicted[0].EvictionKey()
+		for _, v := range evicted[1:] {
+			if k := v.EvictionKey(); k > maxK {
+				maxK = k
+			}
+		}
+		if minK, retained := st.Store.MinKeyExcluding(obj); retained {
+			st.Audit.CheckEvictionOrder(st.Node, obj, maxK, minK, now)
+		}
+	}
+	if st.Flight != nil {
+		st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPromote, Obj: obj, Hop: -1, A: avoided, N: len(evicted)})
+	}
+	for _, v := range evicted {
+		st.DCache.Put(v, now)
+	}
+	return PromoteResult{Placed: true, Avoided: avoided, Evicted: evicted}
+}
+
 // newDescriptor builds (or recycles) a descriptor with this node's window
 // parameters.
 func (st *NodeState) newDescriptor(obj model.ObjectID, size int64) *cache.Descriptor {

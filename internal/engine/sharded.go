@@ -216,6 +216,25 @@ func (s *Sharded) DownStep(obj model.ObjectID, size int64, place bool, mp float6
 	return DownOutcome{MP: res.MP, Placed: res.Placed, PlaceFailed: res.PlaceFailed}, evicted
 }
 
+// Promote re-admits a spilled object after a disk-tier hit (see
+// NodeState.Promote). Reports whether the re-admission stuck, and appends
+// insertion victims' ids to evicted — the caller spills their bytes in
+// turn.
+func (s *Sharded) Promote(obj model.ObjectID, size int64, now float64, evicted []model.ObjectID) (bool, []model.ObjectID) {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	res := sh.st.Promote(obj, size, now)
+	for _, v := range res.Evicted {
+		evicted = append(evicted, v.ID)
+	}
+	if res.Placed {
+		sh.inserts.Add(1)
+		sh.evictions.Add(int64(len(res.Evicted)))
+	}
+	sh.mu.Unlock()
+	return res.Placed, evicted
+}
+
 // Contains reports whether the node currently caches the object.
 func (s *Sharded) Contains(obj model.ObjectID) bool {
 	sh := &s.shards[s.ShardOf(obj)]

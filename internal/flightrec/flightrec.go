@@ -82,6 +82,12 @@ const (
 	// N = the new membership state (controlplane.MemberState numeric
 	// value); A = the routing epoch after the transition.
 	KindMembership
+	// KindSpill: an NCL eviction's bytes moved to the disk tier instead
+	// of dropping (data plane; A is the spilled size in bytes).
+	KindSpill
+	// KindPromote: a disk-tier hit re-admitted the object to the memory
+	// tier (A is the avoided miss penalty, N the insertion victims).
+	KindPromote
 	// KindHealth: an active health-checker (or operator) transition at
 	// this node. N = the new health state (controlplane.Health numeric
 	// value); A = the routing epoch after the transition.
@@ -107,6 +113,8 @@ var kindNames = [numKinds]string{
 	KindBreaker:        "breaker",
 	KindAuditViolation: "audit_violation",
 	KindMembership:     "membership",
+	KindSpill:          "spill",
+	KindPromote:        "promote",
 	KindHealth:         "health",
 }
 

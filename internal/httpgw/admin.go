@@ -14,7 +14,6 @@ import (
 	"cascade/internal/controlplane"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
-	"cascade/internal/model"
 	"cascade/internal/reqtrace"
 )
 
@@ -191,9 +190,10 @@ func (n *Node) adminDrain(w http.ResponseWriter, now float64) {
 	// The d-cache's history belongs to the departing identity too; the
 	// interface has no clear, so swap every stripe for a fresh instance.
 	n.st.ResetDCaches(nil)
-	n.body = make(map[model.ObjectID][]byte)
-	n.etag = make(map[model.ObjectID]string)
-	n.fetched = make(map[model.ObjectID]float64)
+	// Park the payloads on the disk tier (or drop them without one): a
+	// re-admitted node can then serve spilled objects from disk instead of
+	// refetching them from the origin.
+	n.bodies.SpillAll()
 	n.mu.Unlock()
 
 	absorbed := n.spill(snaps)
@@ -347,6 +347,10 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 	if tag := r.Header.Get("If-None-Match"); tag != "" {
 		up.Header.Set("If-None-Match", tag)
 	}
+	if v := r.Header.Get(HeaderSegment); v != "" {
+		up.Header.Set(HeaderSegment, v)
+		up.Header.Set("Range", r.Header.Get("Range"))
+	}
 
 	resp, err := n.fetchUpstream(up)
 	if err != nil {
@@ -357,13 +361,18 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	isSeg := r.Header.Get(HeaderSegment) != ""
+	if resp.StatusCode != http.StatusOK && !(isSeg && resp.StatusCode == http.StatusPartialContent) {
 		w.WriteHeader(resp.StatusCode)
-		io.Copy(w, resp.Body) //nolint:errcheck
+		copyStream(w, resp.Body) //nolint:errcheck
 		return
 	}
 
-	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
+	prev, okPen := parsePenalty(resp.Header.Get(HeaderPenalty))
+	if !okPen {
+		n.badPenalty.Add(1)
+		prev = 0
+	}
 	place, predict, derr := parseDecision(resp.Header)
 	if derr != nil {
 		http.Error(w, derr.Error(), http.StatusBadGateway)
@@ -381,7 +390,19 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 		downEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: prev + n.UpCost})
 		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), upEvt, downEvt, n.traceBudget()))
 	}
-	io.Copy(w, resp.Body) //nolint:errcheck
+	if v := resp.Header.Get(HeaderSegmented); v != "" {
+		w.Header().Set(HeaderSegmented, v)
+	}
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	if resp.StatusCode == http.StatusPartialContent {
+		if cr := resp.Header.Get("Content-Range"); cr != "" {
+			w.Header().Set("Content-Range", cr)
+		}
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	copyStream(w, resp.Body) //nolint:errcheck
 }
 
 // ProbeUpstream runs one synchronous health probe against the upstream's

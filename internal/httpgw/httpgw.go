@@ -49,6 +49,7 @@ import (
 	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
+	"cascade/internal/store"
 )
 
 // Protocol header names.
@@ -68,6 +69,16 @@ const (
 	// protocol — fetched straight from the origin (or served stale) while
 	// the upstream chain is unreachable. No placement decision rode along.
 	HeaderDegraded = "X-Cascade-Degraded"
+	// HeaderSegment marks a Range request as one segment of a segmented
+	// large object: "idx;segsize". Nodes rewrite the object identity to
+	// store.SegmentID(base, idx) and run the full protocol on it, so each
+	// segment is a distinct placement decision (docs/DATAPLANE.md).
+	HeaderSegment = "X-Cascade-Segment"
+	// HeaderSegmented is the origin's bodiless marker response for an
+	// over-threshold object: "total;segsize". Mid-chain nodes relay it;
+	// the client-facing node fans out per-segment Range requests and
+	// reassembles.
+	HeaderSegmented = "X-Cascade-Segmented"
 )
 
 // etagOf derives a strong validator from a payload (FNV-1a over the
@@ -133,13 +144,14 @@ type Node struct {
 	// debugging.
 	DisableBinaryFraming bool
 
-	// mu guards the st rebuild (SetShards), the payload maps below and the
+	// mu guards the st rebuild (SetShards), the body store pointer and the
 	// counters; the sharded protocol state itself carries per-shard locks.
-	mu      sync.Mutex
-	st      *engine.Sharded
-	body    map[model.ObjectID][]byte
-	etag    map[model.ObjectID]string
-	fetched map[model.ObjectID]float64 // time each copy was (re)validated
+	mu sync.Mutex
+	st *engine.Sharded
+	// bodies is the node's data plane: the in-memory payload tier plus,
+	// after EnableSpill, the disk-backed spill tier (internal/store). The
+	// pointer is guarded by mu; the store itself is internally locked.
+	bodies *store.Tiered
 
 	capacity int64 // main-cache byte budget, kept for SetShards rebuilds
 	dEntries int   // d-cache entry budget, kept for SetShards rebuilds
@@ -151,6 +163,12 @@ type Node struct {
 	shardSeries int // shard metric series registered so far (guarded by mu)
 
 	hits, misses, inserts, revalidations int64
+	spillHits, promotions                int64
+
+	// Malformed protocol headers received, counted per header kind
+	// (cascade_gw_bad_header_total). Atomics: the parse sites run outside
+	// mu's critical sections.
+	badPenalty, badSegment atomic.Int64
 
 	reg *metrics.Registry // Prometheus export, built by NewNode (MetricsRegistry)
 
@@ -193,6 +211,7 @@ const DefaultFlightCapacity = 256
 // the cascade_audit_* and cascade_ledger_* series present from the first
 // scrape, and the hooks cost only nil checks and a fixed ring.
 func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, dEntries int, clock func() float64) *Node {
+	bodies, _ := store.NewTiered(store.Config{}) // memory-only never errors
 	n := &Node{
 		ID:       id,
 		Upstream: upstream,
@@ -200,9 +219,7 @@ func NewNode(id model.NodeID, upstream string, upCost float64, capacity int64, d
 		Clock:    clock,
 		capacity: capacity,
 		dEntries: dEntries,
-		body:     make(map[model.ObjectID][]byte),
-		etag:     make(map[model.ObjectID]string),
-		fetched:  make(map[model.ObjectID]float64),
+		bodies:   bodies,
 	}
 	reg := n.MetricsRegistry()
 	nl := metrics.L("node", strconv.Itoa(int(id)))
@@ -240,9 +257,9 @@ func (n *Node) SetShards(p int) {
 		Audit:         n.auditor,
 		Ledger:        n.ledger,
 	})
-	n.body = make(map[model.ObjectID][]byte)
-	n.etag = make(map[model.ObjectID]string)
-	n.fetched = make(map[model.ObjectID]float64)
+	// The memory tier goes with the descriptors; disk copies survive like
+	// a process restart would leave them.
+	n.bodies.Reset()
 	n.mu.Unlock()
 	n.registerShardSeries()
 }
@@ -533,6 +550,19 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A segment request (Range + X-Cascade-Segment) targets one slice of a
+	// large object; the slice is a first-class object to the protocol, so
+	// rewrite the identity and proceed exactly as for any other object.
+	seg, segErr := parseSegmentRequest(r.Header)
+	if segErr != nil {
+		n.badSegment.Add(1)
+		http.Error(w, segErr.Error(), http.StatusBadRequest)
+		return
+	}
+	if seg.on {
+		obj = store.SegmentID(obj, seg.idx)
+	}
+
 	// ---- Local hit? ----
 	n.mu.Lock()
 	// Draining or departed: pure relay, no protocol participation. The
@@ -545,15 +575,15 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if n.st.Contains(obj) {
-		stale := n.TTL > 0 && now-n.fetched[obj] > n.TTL
-		if !stale {
+		body, meta, okBody := n.bodies.GetMemory(obj)
+		stale := n.TTL > 0 && now-meta.Fetched > n.TTL
+		switch {
+		case okBody && !stale:
 			n.hits++
 			// Lookup (rather than a bare Touch) routes the hit through the
 			// engine's hooks: ledger realized savings plus the lookup_hit
 			// flight event.
 			n.st.Lookup(obj, now)
-			body := n.body[obj]
-			tag := n.etag[obj]
 			entries, perr := parseIncomingPath(r.Header)
 			n.mu.Unlock()
 			if perr != nil {
@@ -569,21 +599,61 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				hitEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActHit})
 				w.Header().Set(HeaderTrace, "["+hitEvt+","+traceDecision(int(n.ID), chosen)+"]")
 			}
-			if tag != "" {
-				w.Header().Set("ETag", tag)
+			if meta.ETag != "" {
+				w.Header().Set("ETag", meta.ETag)
 			}
-			w.Write(body) //nolint:errcheck
+			writeBody(w, seg, body)
+			return
+		case okBody:
+			// Expired: revalidate upstream with the stored validator. A 304
+			// refreshes the copy; a 200 replaces it below.
+			n.mu.Unlock()
+			if n.revalidate(w, r, obj, seg, meta.ETag, body, now) {
+				return
+			}
+			n.mu.Lock()
+		default:
+			// Descriptor without payload (a snapshot restored more
+			// descriptors than bodies): demote and refetch as a miss.
+			n.st.Demote(obj, now)
+		}
+	}
+
+	// ---- Disk-tier hit? The descriptor left the main store with an NCL
+	// eviction but the data plane spilled the bytes: serve them without an
+	// upstream fetch and promote the copy behind a fresh insertion. ----
+	if dbody, dmeta, src := n.bodies.Get(obj); src == store.SrcDisk {
+		if stale := n.TTL > 0 && now-dmeta.Fetched > n.TTL; stale {
+			// The spilled copy outlived its freshness budget; drop it and
+			// take the regular miss path.
+			n.bodies.Delete(obj)
+		} else {
+			if placedBack, victims := n.st.Promote(obj, int64(len(dbody)), now, nil); placedBack {
+				n.bodies.Promote(obj, dbody, dmeta)
+				n.promotions++
+				for _, v := range victims {
+					n.spillVictim(v, now)
+				}
+			}
+			n.hits++
+			n.spillHits++
+			entries, perr := parseIncomingPath(r.Header)
+			n.mu.Unlock()
+			if perr != nil {
+				http.Error(w, perr.Error(), http.StatusBadRequest)
+				return
+			}
+			chosen, predict := n.decide(entries, obj, now)
+			n.advertise(w.Header())
+			writeDecision(w.Header(), n.replyBinary(r), chosen, predict)
+			w.Header().Set(HeaderPenalty, "0")
+			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+			if dmeta.ETag != "" {
+				w.Header().Set("ETag", dmeta.ETag)
+			}
+			writeBody(w, seg, dbody)
 			return
 		}
-		// Expired: revalidate upstream with the stored validator. A 304
-		// refreshes the copy; a 200 replaces it below.
-		tag := n.etag[obj]
-		body := n.body[obj]
-		n.mu.Unlock()
-		if n.revalidate(w, r, obj, tag, body, now) {
-			return
-		}
-		n.mu.Lock()
 	}
 
 	// ---- Miss: extend the piggyback header and forward upstream. ----
@@ -611,6 +681,13 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// answer in kind either way.
 	n.advertise(up.Header)
 	writePath(up.Header, n.binaryCapable() && n.upBinary.Load(), append(entries, entry))
+	if seg.on {
+		// Segment identity travels as the original Range plus the segment
+		// header, so every hop (and the origin) derives the same
+		// store.SegmentID.
+		up.Header.Set(HeaderSegment, r.Header.Get(HeaderSegment))
+		up.Header.Set("Range", r.Header.Get("Range"))
+	}
 	if traceWanted(r) {
 		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
 	}
@@ -626,21 +703,39 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		w.WriteHeader(resp.StatusCode)
-		io.Copy(w, resp.Body) //nolint:errcheck
+	if marker := resp.Header.Get(HeaderSegmented); marker != "" && !seg.on && resp.StatusCode == http.StatusOK {
+		// The upstream declared the object segmented (bodiless marker, no
+		// placement anywhere — the base identity carries no protocol
+		// state). A mid-chain hop relays the marker toward the client; the
+		// client-facing hop (empty incoming path) fans out the per-segment
+		// Range requests through its own protocol stack and reassembles.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		if len(entries) > 0 {
+			w.Header().Set(HeaderSegmented, marker)
+			w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+			w.Header().Set("Content-Length", "0")
+			return
+		}
+		n.serveSegmented(w, r, marker)
 		return
 	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
+	if resp.StatusCode != http.StatusOK && !(seg.on && resp.StatusCode == http.StatusPartialContent) {
+		w.WriteHeader(resp.StatusCode)
+		copyStream(w, resp.Body) //nolint:errcheck
 		return
 	}
 
 	// ---- Response pass: maintain penalty counter, cache if chosen. ----
 	// prev is the counter as it left the upstream node — the miss-penalty
 	// audit's reference value; crossing the link adds its cost.
-	prev, _ := strconv.ParseFloat(resp.Header.Get(HeaderPenalty), 64)
+	prev, okPen := parsePenalty(resp.Header.Get(HeaderPenalty))
+	if !okPen {
+		// Malformed counter: count it and fall back to zero explicitly —
+		// the same fail-safe posture as frame decoding falling back to
+		// textual headers.
+		n.badPenalty.Add(1)
+		prev = 0
+	}
 	mp := prev + n.UpCost
 
 	place, predict, derr := parseDecision(resp.Header)
@@ -651,6 +746,22 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	now = n.Clock()
 	mpSeen := mp
+	if !placed(place, n.ID) {
+		// The decision did not choose this node: the bytes only pass
+		// through, so stream them client-ward through a pooled buffer
+		// instead of buffering the whole object.
+		n.relayStream(w, r, resp, seg, place, predict, obj, entry, prev, mp, mpSeen, now)
+		return
+	}
+
+	// Chosen as a caching point: the node must hold the bytes anyway, so
+	// buffer the payload and keep the DownStep and the body-store insert in
+	// one critical section.
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
 	n.mu.Lock()
 	if n.member != controlplane.Active {
 		// A drain landed while the fetch was in flight (the actor
@@ -665,35 +776,28 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeDecision(w.Header(), n.replyBinary(r), place, predict)
 		w.Header().Set(HeaderPenalty, fmtFloat(mp))
 		w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
-		w.Write(body) //nolint:errcheck
+		writeBody(w, seg, body)
 		return
 	}
-	chosenHere := placed(place, n.ID)
-	if chosenHere {
-		// The decision site shipped this node's predicted Δcost term next
-		// to the placement instruction; book the claim here, where the
-		// realized savings will accumulate, so the node's ledger is
-		// self-contained. Booked per instruction, before the apply — a
-		// store that cannot make room shows up as a place failure against
-		// a recorded prediction, exactly the drift the ledger exists to
-		// expose.
-		if term, ok := predictFor(predict, n.ID); ok {
-			n.ledger.RecordPrediction(n.ID, term)
-		}
+	// The decision site shipped this node's predicted Δcost term next
+	// to the placement instruction; book the claim here, where the
+	// realized savings will accumulate, so the node's ledger is
+	// self-contained. Booked per instruction, before the apply — a
+	// store that cannot make room shows up as a place failure against
+	// a recorded prediction, exactly the drift the ledger exists to
+	// expose.
+	if term, ok := predictFor(predict, n.ID); ok {
+		n.ledger.RecordPrediction(n.ID, term)
 	}
-	res, evicted := n.st.DownStep(obj, int64(len(body)), chosenHere, mp, -1, now, nil)
+	res, evicted := n.st.DownStep(obj, int64(len(body)), true, mp, -1, now, nil)
 	n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
 		n.inserts++
-		n.body[obj] = append([]byte(nil), body...)
-		n.etag[obj] = resp.Header.Get("ETag")
-		n.fetched[obj] = now
-		// DownStep already demoted the victims' descriptors; drop their
-		// payload bookkeeping here.
+		n.bodies.Put(obj, body, store.Meta{ETag: resp.Header.Get("ETag"), Fetched: now})
+		// DownStep already demoted the victims' descriptors; their
+		// payloads spill to the disk tier (or drop without one).
 		for _, v := range evicted {
-			delete(n.body, v)
-			delete(n.etag, v)
-			delete(n.fetched, v)
+			n.spillVictim(v, now)
 		}
 	}
 	n.mu.Unlock()
@@ -703,6 +807,9 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	writeDecision(w.Header(), n.replyBinary(r), place, predict)
 	w.Header().Set(HeaderPenalty, fmtFloat(mp))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		w.Header().Set("ETag", tag)
+	}
 	if traceWanted(r) {
 		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
 		if entry.Tag == engine.TagCandidate {
@@ -721,7 +828,59 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt), n.traceBudget()))
 	}
-	w.Write(body) //nolint:errcheck
+	writeBody(w, seg, body)
+}
+
+// relayStream finishes a miss whose decision did not choose this node: the
+// non-place DownStep maintains the d-cache and penalty counter, the
+// response headers are re-encoded for this side's client, and the body is
+// streamed straight through a pooled buffer — a relay hop never holds a
+// full object. size for the d-cache descriptor comes from Content-Length
+// (every protocol hop sets it explicitly).
+func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Response, seg segInfo,
+	place []model.NodeID, predict []predictTerm, obj model.ObjectID, entry engine.Candidate,
+	prev, mp, mpSeen float64, now float64) {
+	size := resp.ContentLength
+	if size < 0 {
+		size = 0
+	}
+	outMP := mp
+	n.mu.Lock()
+	active := n.member == controlplane.Active
+	if active {
+		res, _ := n.st.DownStep(obj, size, false, mp, -1, now, nil)
+		n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
+		outMP = res.MP
+	}
+	n.mu.Unlock()
+
+	n.advertise(w.Header())
+	writeDecision(w.Header(), n.replyBinary(r), place, predict)
+	w.Header().Set(HeaderPenalty, fmtFloat(outMP))
+	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	if active && traceWanted(r) {
+		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
+		if entry.Tag == engine.TagCandidate {
+			upEvt.Action = reqtrace.ActPiggyback
+			upEvt.Freq = entry.Freq
+			upEvt.CostLoss = entry.CostLoss
+		}
+		downEvt := reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: mpSeen}
+		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt), n.traceBudget()))
+	}
+	if seg.on && resp.StatusCode == http.StatusPartialContent {
+		if cr := resp.Header.Get("Content-Range"); cr != "" {
+			w.Header().Set("Content-Range", cr)
+		}
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	copyStream(w, resp.Body) //nolint:errcheck
 }
 
 // revalidate issues a conditional GET upstream for an expired copy. It
@@ -729,7 +888,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // error); a false return means the caller should fall through to the
 // regular miss path (the upstream returned fresh content or the copy is
 // simply gone).
-func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.ObjectID, tag string, body []byte, now float64) bool {
+func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.ObjectID, seg segInfo, tag string, body []byte, now float64) bool {
 	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -737,6 +896,10 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	}
 	if tag != "" {
 		up.Header.Set("If-None-Match", tag)
+	}
+	if seg.on {
+		up.Header.Set(HeaderSegment, r.Header.Get(HeaderSegment))
+		up.Header.Set("Range", r.Header.Get("Range"))
 	}
 	resp, err := n.fetchUpstream(up)
 	if err != nil {
@@ -754,7 +917,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		if tag != "" {
 			w.Header().Set("ETag", tag)
 		}
-		w.Write(body) //nolint:errcheck
+		writeBody(w, seg, body)
 		return true
 	}
 	defer resp.Body.Close()
@@ -764,16 +927,17 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		n.mu.Lock()
 		n.st.Demote(obj, now)
-		delete(n.body, obj)
-		delete(n.etag, obj)
-		delete(n.fetched, obj)
+		n.bodies.Delete(obj)
 		n.mu.Unlock()
 		return false
 	}
 	n.mu.Lock()
 	n.revalidations++
 	n.hits++
-	n.fetched[obj] = now
+	if b, m, ok := n.bodies.GetMemory(obj); ok {
+		m.Fetched = now
+		n.bodies.Put(obj, b, m)
+	}
 	n.st.Touch(obj, now)
 	n.mu.Unlock()
 	w.Header().Set(HeaderPenalty, "0")
@@ -781,7 +945,7 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	if tag != "" {
 		w.Header().Set("ETag", tag)
 	}
-	w.Write(body) //nolint:errcheck
+	writeBody(w, seg, body)
 	return true
 }
 
@@ -795,13 +959,17 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 	shards := n.st.ShardCount()
 	retries, opens, degraded, state := n.retries, n.breakerOpens, n.degraded, n.breaker
 	member, health, upHealth, epoch := n.member, n.selfHealth, n.upHealth, n.cpEpoch
+	spillHits, promotions := n.spillHits, n.promotions
+	bs := n.bodies.Stats()
 	n.mu.Unlock()
+	badHeaders := n.badPenalty.Load() + n.badSegment.Load()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
-		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d}\n",
+		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d,\"spill_objects\":%d,\"spill_used_bytes\":%d,\"spill_bytes_total\":%d,\"spill_hits\":%d,\"promotions\":%d,\"bad_headers\":%d}\n",
 		n.ID, member.String(), health.String(), upHealth.String(), epoch, shards,
 		hits, misses, inserts, revs, objects, used, capacity, descs,
-		retries, state.String(), opens, degraded)
+		retries, state.String(), opens, degraded,
+		bs.DiskObjects, bs.DiskBytes, bs.SpillBytesTotal, spillHits, promotions, badHeaders)
 }
 
 // Contains reports whether the node currently caches the object.
@@ -829,6 +997,13 @@ type Origin struct {
 	// DisableBinaryFraming pins the origin to the textual protocol headers
 	// (frames it receives are still understood).
 	DisableBinaryFraming bool
+	// SegmentThreshold and SegmentSize, both positive, switch objects
+	// larger than the threshold to segmented delivery: a plain GET is
+	// answered with the bodiless X-Cascade-Segmented marker, and the
+	// client-facing gateway refetches the object as SegmentSize-byte Range
+	// segments, each placed independently (docs/DATAPLANE.md).
+	SegmentThreshold int64
+	SegmentSize      int64
 
 	// Observability over the origin's placement decisions, wired by
 	// EnableObservability (all nil — disabled — by default). auditor and
@@ -895,10 +1070,19 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	obj, err := objectID(r)
+	baseObj, err := objectID(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
+	}
+	seg, segErr := parseSegmentRequest(r.Header)
+	if segErr != nil {
+		http.Error(w, segErr.Error(), http.StatusBadRequest)
+		return
+	}
+	obj := baseObj
+	if seg.on {
+		obj = store.SegmentID(baseObj, seg.idx)
 	}
 	entries, err := parseIncomingPath(r.Header)
 	if err != nil {
@@ -909,6 +1093,100 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if o.clock != nil {
 		now = o.clock()
 	}
+
+	// Resolve the payload source: Dir mode reads the whole file (it is the
+	// backing store), synthetic mode only needs the size up front — the
+	// generator can emit any byte range directly.
+	var full []byte
+	var size int64
+	if o.Dir != "" {
+		// path.Clean plus the Join keeps the lookup inside Dir
+		// (".." cannot escape a cleaned rooted path).
+		clean := path.Clean("/" + r.URL.Path)
+		full, err = os.ReadFile(filepath.Join(o.Dir, filepath.FromSlash(clean)))
+		if err != nil {
+			http.Error(w, "object not found", http.StatusNotFound)
+			return
+		}
+		size = int64(len(full))
+	} else {
+		size = 1024
+		if o.Size != nil {
+			size = int64(o.Size(baseObj))
+		}
+	}
+
+	segmented := o.SegmentThreshold > 0 && o.SegmentSize > 0 && size > o.SegmentThreshold
+	if !seg.on && segmented && r.Header.Get("Range") == "" {
+		// Over-threshold object on a plain GET: answer the bodiless
+		// segmented marker. No decision headers — the base identity takes
+		// no placement; every segment decides for itself.
+		w.Header().Set(HeaderSegmented, formatSegmentedMarker(size, o.SegmentSize))
+		w.Header().Set(HeaderHit, "origin")
+		w.Header().Set("Content-Length", "0")
+		return
+	}
+
+	slice := func(lo, hi int64) []byte { // [lo, hi] inclusive
+		if o.Dir != "" {
+			return full[lo : hi+1]
+		}
+		return store.SyntheticRange(baseObj, int(size), int(lo), int(hi+1))
+	}
+
+	if seg.on {
+		// One segment of a large object: validate that the Range agrees
+		// with the declared segment geometry, decide placement on the
+		// segment's own identity, serve the slice as a 206.
+		lo, hi, ok := parseByteRange(r.Header.Get("Range"))
+		if !ok || lo != seg.lo() || lo >= size {
+			http.Error(w, "httpgw: segment range mismatch", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		if hi >= size {
+			hi = size - 1
+		}
+		chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
+		if !o.DisableBinaryFraming {
+			w.Header().Set(HeaderAccept, FrameV1)
+		}
+		writeDecision(w.Header(), !o.DisableBinaryFraming && wantsFrame(r.Header), chosen, predict)
+		w.Header().Set(HeaderPenalty, "0")
+		w.Header().Set(HeaderHit, "origin")
+		body := slice(lo, hi)
+		tag := etagOf(body)
+		w.Header().Set("ETag", tag)
+		if r.Header.Get("If-None-Match") == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", lo, hi, size))
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(body) //nolint:errcheck
+		return
+	}
+
+	if rng := r.Header.Get("Range"); rng != "" {
+		// A bare Range request (no segment header) sits outside the
+		// coordinated protocol: serve the slice without decision headers
+		// so no cache treats it as a placeable object.
+		lo, hi, ok := parseByteRange(rng)
+		if !ok || lo >= size {
+			http.Error(w, "httpgw: unsatisfiable range", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		if hi >= size {
+			hi = size - 1
+		}
+		body := slice(lo, hi)
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", lo, hi, size))
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusPartialContent)
+		w.Write(body) //nolint:errcheck
+		return
+	}
+
 	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
 	if !o.DisableBinaryFraming {
 		w.Header().Set(HeaderAccept, FrameV1)
@@ -921,40 +1199,20 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderTrace, "["+serveEvt+","+traceDecision(-1, chosen)+"]")
 	}
 
-	serve := func(body []byte) {
-		tag := etagOf(body)
-		w.Header().Set("ETag", tag)
-		if r.Header.Get("If-None-Match") == tag {
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
-		w.Write(body) //nolint:errcheck
-	}
-
+	var body []byte
 	if o.Dir != "" {
-		// path.Clean plus the Join keeps the lookup inside Dir
-		// (".." cannot escape a cleaned rooted path).
-		clean := path.Clean("/" + r.URL.Path)
-		body, err := os.ReadFile(filepath.Join(o.Dir, filepath.FromSlash(clean)))
-		if err != nil {
-			http.Error(w, "object not found", http.StatusNotFound)
-			return
-		}
-		serve(body)
+		body = full
+	} else {
+		body = store.SyntheticBody(baseObj, int(size))
+	}
+	tag := etagOf(body)
+	w.Header().Set("ETag", tag)
+	if r.Header.Get("If-None-Match") == tag {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-
-	size := 1024
-	if o.Size != nil {
-		size = o.Size(obj)
-	}
-	body := make([]byte, size)
-	seed := uint64(obj)*2654435761 + 12345
-	for i := range body {
-		seed = seed*6364136223846793005 + 1442695040888963407
-		body[i] = byte(seed >> 56)
-	}
-	serve(body)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body) //nolint:errcheck
 }
 
 // nodeSnapshot is the gob-serialized persistent state of a gateway node.
@@ -969,11 +1227,11 @@ func (n *Node) SaveSnapshot(w io.Writer) error {
 	n.mu.Lock()
 	snap := nodeSnapshot{
 		Descriptors: n.st.Snapshot(),
-		Bodies:      make(map[model.ObjectID][]byte, len(n.body)),
+		Bodies:      make(map[model.ObjectID][]byte),
 	}
-	for id, b := range n.body {
+	n.bodies.ForEachMemory(func(id model.ObjectID, b []byte, _ store.Meta) {
 		snap.Bodies[id] = append([]byte(nil), b...)
-	}
+	})
 	n.mu.Unlock()
 	return gob.NewEncoder(w).Encode(snap)
 }
@@ -994,7 +1252,9 @@ func (n *Node) LoadSnapshot(r io.Reader, now float64) (restored int, err error) 
 			continue
 		}
 		if n.st.RestoreInsert(ds, now) {
-			n.body[ds.ID] = body
+			// The snapshot predates the validator split; rederive the ETag
+			// from the bytes (etagOf is deterministic).
+			n.bodies.Put(ds.ID, body, store.Meta{ETag: etagOf(body), Fetched: now})
 			restored++
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"cascade/internal/controlplane"
 	"cascade/internal/engine"
 	"cascade/internal/metrics"
+	"cascade/internal/store"
 )
 
 // MetricsRegistry returns the node's Prometheus registry (built once;
@@ -51,6 +52,32 @@ func (n *Node) MetricsRegistry() *metrics.Registry {
 			"Membership and health transitions applied by the control plane.",
 			metrics.L("event", k.String()), nl)
 	}
+	// Data-plane series. Body-store stats are read through the node's mutex
+	// only to fetch the store pointer (EnableSpill may replace it); the
+	// store snapshots its own accounting.
+	bodyStats := func(f func(s store.Stats) float64) func() float64 {
+		return func() float64 {
+			n.mu.Lock()
+			b := n.bodies
+			n.mu.Unlock()
+			return f(b.Stats())
+		}
+	}
+	r.CounterFunc("cascade_node_spill_bytes_total", "Bytes of NCL-evicted payloads spilled to the disk tier.",
+		bodyStats(func(s store.Stats) float64 { return float64(s.SpillBytesTotal) }), nl)
+	r.CounterFunc("cascade_gw_spill_hits_total", "Requests served from the disk spill tier without an upstream fetch.",
+		lockedCount(func() int64 { return n.spillHits }), nl)
+	r.CounterFunc("cascade_gw_promotions_total", "Spilled objects promoted back to the memory tier.",
+		lockedCount(func() int64 { return n.promotions }), nl)
+	r.CounterFunc("cascade_gw_disk_corrupt_total", "Disk-tier reads discarded on CRC or format mismatch.",
+		bodyStats(func(s store.Stats) float64 { return float64(s.CorruptReads) }), nl)
+	r.GaugeFunc("cascade_gw_spill_used_bytes", "Bytes currently held by the disk spill tier.",
+		bodyStats(func(s store.Stats) float64 { return float64(s.DiskBytes) }), nl)
+	r.CounterFunc("cascade_gw_bad_header_total", "Malformed protocol headers received, by header kind.",
+		func() float64 { return float64(n.badPenalty.Load()) }, metrics.L("header", "penalty"), nl)
+	r.CounterFunc("cascade_gw_bad_header_total", "Malformed protocol headers received, by header kind.",
+		func() float64 { return float64(n.badSegment.Load()) }, metrics.L("header", "segment"), nl)
+
 	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Used() }), nl)
 	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Capacity() }), nl)
 	r.GaugeFunc("cascade_gw_cache_objects", "Objects held by the cache.", lockedCount(func() int64 { return int64(n.st.StoreLen()) }), nl)

@@ -89,6 +89,11 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			servingHop, servedBy, hit = m.hop, id, true
 			break
 		}
+		if served, ev := n.diskServe(m.obj, m.size, m.now, s.evict); served {
+			s.evict = ev
+			servingHop, servedBy, hit = m.hop, id, true
+			break
+		}
 		if cand := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now); cand.Tag == engine.TagCandidate {
 			m.pb = append(m.pb, cand)
 		}
@@ -150,6 +155,7 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			inst := &c.nodeInst[id]
 			inst.inserts.Inc()
 			inst.evictions.Add(int64(len(ev)))
+			n.placeBody(m.obj, m.size, m.now, ev)
 		}
 	}
 

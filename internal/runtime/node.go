@@ -7,6 +7,7 @@ import (
 	"cascade/internal/cache"
 	"cascade/internal/engine"
 	"cascade/internal/model"
+	"cascade/internal/store"
 )
 
 // fetchMsg is the upstream request message of §2.3. As it passes each
@@ -88,6 +89,13 @@ type node struct {
 	// plane (request goroutines) and the actor loop to touch concurrently.
 	st *engine.Sharded
 
+	// bodies is the node's data plane (Config.SpillDir): payloads of
+	// placed objects, with NCL evictions spilled to a per-node disk tier
+	// instead of dropped. nil when spill is off — every hook checks, so
+	// the default configuration pays nothing. The tier is internally
+	// locked, safe for the direct plane and the actor concurrently.
+	bodies *store.Tiered
+
 	// evictBuf recycles the victim-ID buffer of this actor's DownSteps
 	// (owned by the actor goroutine; the direct plane uses pooled scratch).
 	evictBuf []model.ObjectID
@@ -159,7 +167,13 @@ func (n *node) dispatch(msg any) {
 		n.inst().downPass.Record(n.cluster.cfg.Clock() - m.sentAt)
 		n.handleDeliver(m)
 	case *drainMsg:
-		m.reply <- n.st.DrainDescriptors(m.now)
+		snaps := n.st.DrainDescriptors(m.now)
+		if n.bodies != nil {
+			// Departing payloads park on disk: a later Admit of this slot
+			// adopts the files and can promote instead of refetching.
+			n.bodies.SpillAll()
+		}
+		m.reply <- snaps
 	case *absorbMsg:
 		n.st.Absorb(m.snaps, m.now)
 	}
@@ -168,11 +182,76 @@ func (n *node) dispatch(msg any) {
 // inst returns this node's slot-owned instruments.
 func (n *node) inst() *nodeInstruments { return &n.cluster.nodeInst[n.id] }
 
+// diskServe tries to serve a lookup miss from the node's disk spill tier.
+// A SrcDisk hit is served at this hop without touching the rest of the
+// cascade; when the store re-admits the descriptor the payload is promoted
+// back to memory and the insertion's NCL victims spill in turn (a failed
+// re-admission still serves the bytes — the copy simply stays on disk).
+// evict is a reusable victim-ID buffer, returned possibly grown.
+func (n *node) diskServe(obj model.ObjectID, size int64, now float64, evict []model.ObjectID) (bool, []model.ObjectID) {
+	if n.bodies == nil {
+		return false, evict
+	}
+	body, meta, src := n.bodies.Get(obj)
+	if src != store.SrcDisk {
+		return false, evict
+	}
+	c := n.cluster
+	placed, ev := n.st.Promote(obj, size, now, evict[:0])
+	if placed {
+		n.bodies.Promote(obj, body, meta)
+		c.promotions.Add(1)
+		inst := n.inst()
+		inst.inserts.Inc()
+		inst.evictions.Add(int64(len(ev)))
+		for _, v := range ev {
+			if n.bodies.Spill(v) {
+				c.spills.Add(1)
+			}
+		}
+		// A concurrent placement may have evicted the object between the
+		// store insert and the tier move above (the shard lock does not
+		// cover the body store); its Spill found no memory body then, so
+		// re-spill here to keep bytes and descriptors aligned.
+		if !n.st.Contains(obj) && n.bodies.Spill(obj) {
+			c.spills.Add(1)
+		}
+	}
+	c.spillHits.Add(1)
+	return true, ev
+}
+
+// placeBody records a downstream placement in the data plane: the payload
+// (synthesized — the runtime carries no real bytes) enters the memory tier
+// and each NCL victim's bytes spill to the disk tier.
+func (n *node) placeBody(obj model.ObjectID, size int64, now float64, ev []model.ObjectID) {
+	if n.bodies == nil {
+		return
+	}
+	n.bodies.Put(obj, store.SyntheticBody(obj, int(size)), store.Meta{Fetched: now})
+	for _, v := range ev {
+		if n.bodies.Spill(v) {
+			n.cluster.spills.Add(1)
+		}
+	}
+	// Close the race with a concurrent eviction of obj itself: its Spill
+	// ran before the Put above and found nothing, so the check below is
+	// the one that moves the body out of the memory tier.
+	if !n.st.Contains(obj) && n.bodies.Spill(obj) {
+		n.cluster.spills.Add(1)
+	}
+}
+
 // handleFetch implements the upstream pass at this node.
 func (n *node) handleFetch(m *fetchMsg) {
 	if n.st.Lookup(m.obj, m.now) {
 		// Serving node A_0: record the hit and decide placement for
 		// the caches below.
+		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop)
+		return
+	}
+	if served, ev := n.diskServe(m.obj, m.size, m.now, n.evictBuf); served {
+		n.evictBuf = ev
 		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop)
 		return
 	}
@@ -231,6 +310,7 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		inst := n.inst()
 		inst.inserts.Inc()
 		inst.evictions.Add(int64(len(ev)))
+		n.placeBody(d.obj, d.size, d.now, ev)
 	}
 
 	if d.hop == 0 {

@@ -28,6 +28,8 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,7 @@ import (
 	"cascade/internal/flightrec"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
+	"cascade/internal/store"
 	"cascade/internal/topology"
 )
 
@@ -125,6 +128,19 @@ type Config struct {
 	// not the actor, so crash/recover cycles keep their history (and
 	// record the transitions themselves).
 	FlightCapacity int
+	// SpillDir, when non-empty, gives every node a disk-backed spill tier
+	// under <SpillDir>/node-<id>: NCL evictions park their payload in
+	// per-object CRC-checked files instead of dropping it, and a later
+	// request for a spilled object is served from disk (and promoted back
+	// behind a fresh insertion) without traversing the rest of the
+	// cascade. A recovered or re-admitted node adopts whatever complete
+	// files its directory holds, exactly like a process restart.
+	SpillDir string
+	// SpillBytes bounds each node's disk tier (0 = unbounded).
+	SpillBytes int64
+	// SpillTTL expires disk copies after this many Clock seconds
+	// (0 = never).
+	SpillTTL float64
 }
 
 // Stats are cluster-wide counters, readable at any time.
@@ -140,6 +156,10 @@ type Stats struct {
 	Failures        int64 // node crashes (Fail or injected)
 	Recoveries      int64 // node restarts
 	OriginFallbacks int64 // degraded Gets served origin-direct
+
+	Spills     int64 // evicted payloads parked in a node's disk spill tier
+	SpillHits  int64 // requests served from a disk spill tier
+	Promotions int64 // spilled objects promoted back into a node's cache
 }
 
 // Cluster is a running set of cache-node actors implementing coordinated
@@ -189,6 +209,9 @@ type Cluster struct {
 	failures        *metrics.Counter
 	recoveries      *metrics.Counter
 	originFallbacks *metrics.Counter
+	spills          *metrics.Counter
+	spillHits       *metrics.Counter
+	promotions      *metrics.Counter
 }
 
 // nodeInstruments are one node's operational counters. They belong to the
@@ -228,6 +251,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.DCacheFactory == nil {
 		cfg.DCacheFactory = dcache.NewFactory
+	}
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("runtime: spill dir: %w", err)
+		}
 	}
 	cfg.Shards = engine.NormalizeShards(cfg.Shards)
 	c := &Cluster{cfg: cfg, slots: make([]atomic.Pointer[node], cfg.Network.NumCaches())}
@@ -291,6 +319,9 @@ func (c *Cluster) initMetrics() {
 	c.failures = c.reg.Counter("cascade_cluster_failures_total", "Node crashes (Fail or injected).")
 	c.recoveries = c.reg.Counter("cascade_cluster_recoveries_total", "Node restarts.")
 	c.originFallbacks = c.reg.Counter("cascade_cluster_origin_fallbacks_total", "Degraded Gets served origin-direct.")
+	c.spills = c.reg.Counter("cascade_cluster_spills_total", "Evicted payloads parked in a node's disk spill tier.")
+	c.spillHits = c.reg.Counter("cascade_cluster_spill_hits_total", "Requests served from a node's disk spill tier.")
+	c.promotions = c.reg.Counter("cascade_cluster_promotions_total", "Spilled objects promoted back into a node's cache.")
 
 	c.nodeInst = make([]nodeInstruments, len(c.slots))
 	for i := range c.nodeInst {
@@ -322,6 +353,22 @@ func (c *Cluster) initMetrics() {
 			}
 			return 0
 		}, nl)
+		if c.cfg.SpillDir != "" {
+			bodyStats := func(f func(s store.Stats) float64) func() float64 {
+				return func() float64 {
+					if n := c.node(model.NodeID(i)); n != nil && n.bodies != nil {
+						return f(n.bodies.Stats())
+					}
+					return 0
+				}
+			}
+			c.reg.CounterFunc("cascade_node_spill_bytes_total", "Bytes of NCL-evicted payloads spilled to this node's disk tier.",
+				bodyStats(func(s store.Stats) float64 { return float64(s.SpillBytesTotal) }), nl)
+			c.reg.CounterFunc("cascade_node_spill_hits_total", "Requests this node served from its disk spill tier.",
+				bodyStats(func(s store.Stats) float64 { return float64(s.DiskHits) }), nl)
+			c.reg.GaugeFunc("cascade_node_spill_used_bytes", "Bytes currently held by this node's disk spill tier.",
+				bodyStats(func(s store.Stats) float64 { return float64(s.DiskBytes) }), nl)
+		}
 		for s := 0; s < c.cfg.Shards; s++ {
 			s := s
 			sl := metrics.L("shard", strconv.Itoa(s))
@@ -352,9 +399,26 @@ func (c *Cluster) initMetrics() {
 // WritePrometheus (see docs/OBSERVABILITY.md for the series).
 func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 
-// newNode builds a fresh (empty) actor for a slot.
+// newNode builds a fresh (empty) actor for a slot. With spill configured
+// the actor gets a tiered body store over its per-node directory; a
+// replacement actor (Recover, Admit) adopts whatever complete spill files
+// the previous incarnation left, exactly like a process restart. A tier
+// that fails to open leaves the node without one — the data plane then
+// drops evicted bytes rather than blocking the recovery.
 func (c *Cluster) newNode(id model.NodeID) *node {
+	var bodies *store.Tiered
+	if c.cfg.SpillDir != "" {
+		if b, err := store.NewTiered(store.Config{
+			Dir:       filepath.Join(c.cfg.SpillDir, "node-"+strconv.Itoa(int(id))),
+			DiskBytes: c.cfg.SpillBytes,
+			DiskTTL:   c.cfg.SpillTTL,
+			Clock:     c.cfg.Clock,
+		}); err == nil {
+			bodies = b
+		}
+	}
 	return &node{
+		bodies: bodies,
 		id:      id,
 		cluster: c,
 		inbox:   make(chan any, c.cfg.InboxDepth),
@@ -977,6 +1041,9 @@ func (c *Cluster) Stats() Stats {
 		Failures:        c.failures.Value(),
 		Recoveries:      c.recoveries.Value(),
 		OriginFallbacks: c.originFallbacks.Value(),
+		Spills:          c.spills.Value(),
+		SpillHits:       c.spillHits.Value(),
+		Promotions:      c.promotions.Value(),
 	}
 }
 

@@ -1,0 +1,376 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"cascade/internal/model"
+)
+
+// Disk-tier file format ("CBS1" — Cascade Body Store v1), little-endian:
+//
+//	offset  size  field
+//	0       4     magic "CBS1"
+//	4       4     CRC32-IEEE over every byte after this field
+//	8       8     body length (u64)
+//	16      8     fetched timestamp (f64 bits)
+//	24      2     etag length (u16)
+//	26      n     etag bytes
+//	26+n    m     body bytes
+//
+// Files are named o<uint64(id)>.body. Writes go to a unique temp name in
+// the same directory, are fsynced, then renamed over the final name, and
+// the directory is fsynced — a crash at any point leaves either the old
+// complete file, the new complete file, or an orphan *.tmp* that the next
+// startup scan removes. No reader can ever observe a torn object.
+
+const (
+	diskMagic      = "CBS1"
+	diskHeaderSize = 4 + 4 + 8 + 8 + 2
+)
+
+var errCorrupt = errors.New("store: corrupt disk object")
+
+// tmpSeq disambiguates temp files across every diskTier instance in the
+// process: two instances over the same directory (a crashed node and its
+// replacement) must never collide on a temp name.
+var tmpSeq atomic.Uint64
+
+// diskEntry is the in-memory index record for one on-disk object.
+type diskEntry struct {
+	size      int64   // body bytes (not file bytes)
+	spilledAt float64 // clock time the copy landed on disk
+}
+
+// diskTier owns the spill directory. It is not self-locking: Tiered calls
+// it under its own mutex.
+type diskTier struct {
+	dir      string
+	maxBytes int64
+	ttl      float64
+	clock    func() float64
+
+	entries map[model.ObjectID]diskEntry
+	bytes   int64 // sum of entry sizes
+	// order is spill order for FIFO capacity eviction; stale ids (already
+	// removed or re-spilled) are skipped when popped.
+	order []model.ObjectID
+
+	corrupt   int64
+	expired   int64
+	evictedN  int   // capacity evictions since the last takeEvicted
+	lastSweep float64
+}
+
+func newDiskTier(dir string, maxBytes int64, ttl float64, clock func() float64) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &diskTier{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		clock:    clock,
+		entries:  make(map[model.ObjectID]diskEntry),
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// scan adopts complete object files left by a previous instance and removes
+// torn temp files. Adopted copies are stamped with the current clock (their
+// original spill time did not survive the process).
+func (d *diskTier) scan() error {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	now := d.clock()
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, ".tmp") {
+			os.Remove(filepath.Join(d.dir, name))
+			continue
+		}
+		id, ok := parseObjectFile(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return err
+		}
+		size := info.Size() - diskHeaderSize
+		if size < 0 {
+			// Too short to be a complete record; treat as corrupt.
+			os.Remove(filepath.Join(d.dir, name))
+			d.corrupt++
+			continue
+		}
+		// The header also carries the etag, so size over-counts body bytes
+		// by the etag length; read the real length from the header.
+		if bodyLen, ok := d.readBodyLen(name); ok {
+			size = bodyLen
+		} else {
+			os.Remove(filepath.Join(d.dir, name))
+			d.corrupt++
+			continue
+		}
+		d.entries[id] = diskEntry{size: size, spilledAt: now}
+		d.bytes += size
+		d.order = append(d.order, id)
+	}
+	return nil
+}
+
+// readBodyLen reads just the fixed header to recover the body length during
+// the startup scan (full CRC verification is deferred to first read).
+func (d *diskTier) readBodyLen(name string) (int64, bool) {
+	f, err := os.Open(filepath.Join(d.dir, name))
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [diskHeaderSize]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return 0, false
+	}
+	if string(hdr[0:4]) != diskMagic {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(hdr[8:16])), true
+}
+
+func objectFileName(id model.ObjectID) string {
+	return "o" + strconv.FormatUint(uint64(id), 10) + ".body"
+}
+
+func parseObjectFile(name string) (model.ObjectID, bool) {
+	if !strings.HasPrefix(name, "o") || !strings.HasSuffix(name, ".body") {
+		return 0, false
+	}
+	u, err := strconv.ParseUint(name[1:len(name)-len(".body")], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return model.ObjectID(u), true
+}
+
+func (d *diskTier) path(id model.ObjectID) string {
+	return filepath.Join(d.dir, objectFileName(id))
+}
+
+// put writes an object atomically: unique temp file → fsync → rename →
+// directory fsync. On success it indexes the entry and enforces capacity.
+func (d *diskTier) put(id model.ObjectID, body []byte, meta Meta) error {
+	if len(meta.ETag) > 0xFFFF {
+		return fmt.Errorf("store: etag too long (%d bytes)", len(meta.ETag))
+	}
+	buf := make([]byte, diskHeaderSize+len(meta.ETag)+len(body))
+	copy(buf[0:4], diskMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(body)))
+	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(meta.Fetched))
+	binary.LittleEndian.PutUint16(buf[24:26], uint16(len(meta.ETag)))
+	copy(buf[26:], meta.ETag)
+	copy(buf[26+len(meta.ETag):], body)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+
+	final := d.path(id)
+	tmp := final + ".tmp" + strconv.FormatUint(tmpSeq.Add(1), 10)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d.syncDir()
+
+	if old, ok := d.entries[id]; ok {
+		d.bytes -= old.size
+	}
+	now := d.clock()
+	d.entries[id] = diskEntry{size: int64(len(body)), spilledAt: now}
+	d.bytes += int64(len(body))
+	d.order = append(d.order, id)
+	d.maybeSweep(now)
+	d.enforceCapacity(id)
+	return nil
+}
+
+// syncDir makes the rename durable. Failure is ignored: the rename already
+// happened, so at worst durability (not atomicity) is weakened, and some
+// filesystems reject directory fsync entirely.
+func (d *diskTier) syncDir() {
+	if df, err := os.Open(d.dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+}
+
+// get reads an object back, verifying magic and CRC. A file that fails
+// verification is removed and counted; the caller observes a plain miss.
+func (d *diskTier) get(id model.ObjectID) ([]byte, Meta, bool) {
+	e, ok := d.entries[id]
+	if !ok {
+		return nil, Meta{}, false
+	}
+	now := d.clock()
+	if d.ttl > 0 && now-e.spilledAt > d.ttl {
+		d.dropEntry(id)
+		d.expired++
+		return nil, Meta{}, false
+	}
+	body, meta, err := d.readFile(id)
+	if err != nil {
+		d.dropEntry(id)
+		d.corrupt++
+		return nil, Meta{}, false
+	}
+	return body, meta, true
+}
+
+func (d *diskTier) readFile(id model.ObjectID) ([]byte, Meta, error) {
+	buf, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if len(buf) < diskHeaderSize || string(buf[0:4]) != diskMagic {
+		return nil, Meta{}, errCorrupt
+	}
+	if crc32.ChecksumIEEE(buf[8:]) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, Meta{}, errCorrupt
+	}
+	bodyLen := binary.LittleEndian.Uint64(buf[8:16])
+	fetched := math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24]))
+	etagLen := int(binary.LittleEndian.Uint16(buf[24:26]))
+	if uint64(len(buf)) != uint64(diskHeaderSize)+uint64(etagLen)+bodyLen {
+		return nil, Meta{}, errCorrupt
+	}
+	etag := string(buf[diskHeaderSize : diskHeaderSize+etagLen])
+	body := buf[diskHeaderSize+etagLen:]
+	return body, Meta{ETag: etag, Fetched: fetched}, nil
+}
+
+func (d *diskTier) contains(id model.ObjectID) bool {
+	e, ok := d.entries[id]
+	if !ok {
+		return false
+	}
+	if d.ttl > 0 && d.clock()-e.spilledAt > d.ttl {
+		d.dropEntry(id)
+		d.expired++
+		return false
+	}
+	return true
+}
+
+// remove deletes an object (promotion or explicit invalidation).
+func (d *diskTier) remove(id model.ObjectID) {
+	d.dropEntry(id)
+}
+
+func (d *diskTier) dropEntry(id model.ObjectID) {
+	e, ok := d.entries[id]
+	if !ok {
+		return
+	}
+	delete(d.entries, id)
+	d.bytes -= e.size
+	os.Remove(d.path(id))
+}
+
+// enforceCapacity evicts oldest-spilled objects until the tier fits,
+// never evicting the object just written (keep points at it).
+func (d *diskTier) enforceCapacity(keep model.ObjectID) {
+	if d.maxBytes <= 0 {
+		return
+	}
+	i := 0
+	for d.bytes > d.maxBytes && i < len(d.order) {
+		id := d.order[i]
+		i++
+		if id == keep {
+			continue
+		}
+		if _, ok := d.entries[id]; !ok {
+			continue // stale order entry
+		}
+		d.dropEntry(id)
+		d.evictedN++
+	}
+	d.order = append(d.order[:0], d.order[i:]...)
+}
+
+// takeEvicted returns and clears the capacity-eviction count accumulated
+// by the last put (Tiered folds these into SpillDrops).
+func (d *diskTier) takeEvicted() int {
+	n := d.evictedN
+	d.evictedN = 0
+	return n
+}
+
+// maybeSweep runs the TTL sweep opportunistically, at most every ttl/4
+// seconds (and at least every second for tiny TTLs).
+func (d *diskTier) maybeSweep(now float64) {
+	if d.ttl <= 0 {
+		return
+	}
+	interval := d.ttl / 4
+	if interval < 1 {
+		interval = 1
+	}
+	if now-d.lastSweep < interval {
+		return
+	}
+	d.sweep(now)
+}
+
+// sweep removes every expired disk copy; returns how many were dropped.
+func (d *diskTier) sweep(now float64) int {
+	d.lastSweep = now
+	if d.ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for id, e := range d.entries {
+		if now-e.spilledAt > d.ttl {
+			d.dropEntry(id)
+			d.expired++
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,322 @@
+// Package store is the data plane of the coordinated cache: it owns object
+// *bytes*, strictly separated from the descriptor plane (internal/engine,
+// internal/cache) that owns placement metadata. A Tiered store pairs an
+// in-memory first tier — mirroring the node's main descriptor store — with
+// an optional disk-backed second tier that absorbs NCL evictions as *spill*
+// instead of drops: the descriptor leaves the main store (§2.3 eviction
+// order untouched), but the payload survives on disk and is promoted back
+// to memory on the next hit, saving the upstream fetch.
+//
+// The package also carries the deterministic synthetic payload generator
+// shared by the origin and the conformance suite (SyntheticBody,
+// SyntheticRange) and the segment identity math for Range-segmented large
+// objects (SegmentID, SegmentCount) — every incarnation must derive the
+// same bytes and the same segment identities or body-hash conformance
+// cannot hold.
+//
+// Dependency discipline (enforced by cmd/importguard): standard library
+// plus internal/model and internal/metrics only. The data plane sits below
+// every incarnation and must not reach back into the protocol.
+package store
+
+import (
+	"sync"
+	"time"
+
+	"cascade/internal/model"
+)
+
+// Meta is the payload metadata a tier keeps next to the bytes: the HTTP
+// validator and the time the copy was (re)validated, both of which must
+// survive a spill so a promoted copy revalidates exactly like one that
+// never left memory.
+type Meta struct {
+	ETag    string
+	Fetched float64
+}
+
+// Source reports which tier satisfied a Get.
+type Source uint8
+
+const (
+	// SrcNone: no tier holds the object (or the disk copy failed its CRC
+	// check and was discarded).
+	SrcNone Source = iota
+	// SrcMemory: served from the in-memory first tier.
+	SrcMemory
+	// SrcDisk: served from the disk-backed second tier; the caller should
+	// promote the object after re-admitting its descriptor.
+	SrcDisk
+)
+
+// BodyStore is the contract between the protocol transports and the data
+// plane: opaque bytes keyed by object identity, with explicit tier
+// movement. Tiered is the only implementation; the interface pins the
+// surface the transports may depend on.
+type BodyStore interface {
+	Put(id model.ObjectID, body []byte, meta Meta)
+	Get(id model.ObjectID) ([]byte, Meta, Source)
+	Spill(id model.ObjectID) bool
+	Promote(id model.ObjectID, body []byte, meta Meta)
+	Delete(id model.ObjectID)
+	Stats() Stats
+}
+
+// Stats is a consistent snapshot of a Tiered store's accounting.
+type Stats struct {
+	MemObjects int   // objects in the memory tier
+	MemBytes   int64 // bytes held by the memory tier
+	DiskObjects int  // objects in the disk tier
+	DiskBytes  int64 // bytes held by the disk tier
+
+	SpillObjectsTotal int64 // evictions whose bytes landed on disk
+	SpillBytesTotal   int64 // bytes spilled to disk, cumulative
+	SpillDrops        int64 // evictions dropped (no disk tier, write failure, or disk-capacity eviction)
+	Promotions        int64 // disk copies promoted back to memory
+	DiskHits          int64 // Gets served by the disk tier
+	CorruptReads      int64 // disk files discarded on CRC/format mismatch
+	Expired           int64 // disk files discarded by the TTL sweep
+}
+
+// Config assembles a Tiered store.
+type Config struct {
+	// Dir, when non-empty, enables the disk tier: one CRC-checked file per
+	// object beneath this directory (created if needed). Empty means
+	// spills are dropped, which is the pre-data-plane behaviour.
+	Dir string
+	// DiskBytes bounds the disk tier (0 = unbounded); exceeding it evicts
+	// the oldest spilled objects.
+	DiskBytes int64
+	// DiskTTL, when positive, expires disk copies older than this many
+	// seconds under Clock.
+	DiskTTL float64
+	// Clock supplies seconds for spill timestamps and the TTL sweep
+	// (wall-clock seconds since construction when nil).
+	Clock func() float64
+}
+
+// memEntry is one memory-tier object. The byte slice is immutable once
+// stored: readers may retain it without copying.
+type memEntry struct {
+	body []byte
+	meta Meta
+}
+
+// Tiered is the two-tier body store. All methods are safe for concurrent
+// use; file I/O for the disk tier happens under the store's mutex, which is
+// acceptable because spill and promote sit off the memory-hit fast path.
+type Tiered struct {
+	mu   sync.Mutex
+	mem  map[model.ObjectID]memEntry
+	memBytes int64
+	disk *diskTier // nil when Config.Dir is empty
+
+	spillObjects int64
+	spillBytes   int64
+	spillDrops   int64
+	promotions   int64
+	diskHits     int64
+}
+
+// NewTiered builds a Tiered store. The only failure mode is an unusable
+// disk directory.
+func NewTiered(cfg Config) (*Tiered, error) {
+	t := &Tiered{mem: make(map[model.ObjectID]memEntry)}
+	if cfg.Dir != "" {
+		clock := cfg.Clock
+		if clock == nil {
+			start := time.Now()
+			clock = func() float64 { return time.Since(start).Seconds() }
+		}
+		d, err := newDiskTier(cfg.Dir, cfg.DiskBytes, cfg.DiskTTL, clock)
+		if err != nil {
+			return nil, err
+		}
+		t.disk = d
+	}
+	return t, nil
+}
+
+// Put stores an object's bytes in the memory tier (a fresh placement). The
+// caller must not mutate body afterwards.
+func (t *Tiered) Put(id model.ObjectID, body []byte, meta Meta) {
+	t.mu.Lock()
+	if old, ok := t.mem[id]; ok {
+		t.memBytes -= int64(len(old.body))
+	}
+	t.mem[id] = memEntry{body: body, meta: meta}
+	t.memBytes += int64(len(body))
+	t.mu.Unlock()
+}
+
+// Get returns an object's bytes from the first tier that holds them. A disk
+// read is CRC-verified; a corrupt or expired file is discarded and counted,
+// and the Get reports SrcNone — exactly a miss, never silent garbage. Disk
+// hits do NOT auto-promote: promotion must follow a successful descriptor
+// re-admission, which only the caller can perform.
+func (t *Tiered) Get(id model.ObjectID) ([]byte, Meta, Source) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.mem[id]; ok {
+		return e.body, e.meta, SrcMemory
+	}
+	if t.disk != nil {
+		if body, meta, ok := t.disk.get(id); ok {
+			t.diskHits++
+			return body, meta, SrcDisk
+		}
+	}
+	return nil, Meta{}, SrcNone
+}
+
+// GetMemory probes only the memory tier (the protocol hit path: the
+// descriptor store said the object is cached, so its bytes must be here).
+func (t *Tiered) GetMemory(id model.ObjectID) ([]byte, Meta, bool) {
+	t.mu.Lock()
+	e, ok := t.mem[id]
+	t.mu.Unlock()
+	return e.body, e.meta, ok
+}
+
+// Contains reports which tier, if any, holds the object (without the cost
+// of a CRC-verified read).
+func (t *Tiered) Contains(id model.ObjectID) Source {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.mem[id]; ok {
+		return SrcMemory
+	}
+	if t.disk != nil && t.disk.contains(id) {
+		return SrcDisk
+	}
+	return SrcNone
+}
+
+// Spill moves an object's bytes from memory to the disk tier — the data
+// plane's image of an NCL eviction. Without a disk tier (or on write
+// failure) the bytes are dropped and counted. Reports whether the bytes
+// survived on disk.
+func (t *Tiered) Spill(id model.ObjectID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spillLocked(id)
+}
+
+func (t *Tiered) spillLocked(id model.ObjectID) bool {
+	e, ok := t.mem[id]
+	if !ok {
+		return false
+	}
+	delete(t.mem, id)
+	t.memBytes -= int64(len(e.body))
+	if t.disk == nil {
+		t.spillDrops++
+		return false
+	}
+	if err := t.disk.put(id, e.body, e.meta); err != nil {
+		t.spillDrops++
+		return false
+	}
+	t.spillObjects++
+	t.spillBytes += int64(len(e.body))
+	t.spillDrops += int64(t.disk.takeEvicted())
+	return true
+}
+
+// SpillAll spills every memory-tier object (a draining node parks its bytes
+// on disk; the descriptors migrate separately through the control plane).
+func (t *Tiered) SpillAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]model.ObjectID, 0, len(t.mem))
+	for id := range t.mem {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		t.spillLocked(id)
+	}
+}
+
+// Promote moves an object back to the memory tier after the caller
+// re-admitted its descriptor into the main store. body/meta are what the
+// preceding Get(SrcDisk) returned.
+func (t *Tiered) Promote(id model.ObjectID, body []byte, meta Meta) {
+	t.mu.Lock()
+	if old, ok := t.mem[id]; ok {
+		t.memBytes -= int64(len(old.body))
+	}
+	t.mem[id] = memEntry{body: body, meta: meta}
+	t.memBytes += int64(len(body))
+	if t.disk != nil {
+		t.disk.remove(id)
+	}
+	t.promotions++
+	t.mu.Unlock()
+}
+
+// Delete drops an object from every tier.
+func (t *Tiered) Delete(id model.ObjectID) {
+	t.mu.Lock()
+	if e, ok := t.mem[id]; ok {
+		t.memBytes -= int64(len(e.body))
+		delete(t.mem, id)
+	}
+	if t.disk != nil {
+		t.disk.remove(id)
+	}
+	t.mu.Unlock()
+}
+
+// Reset drops the memory tier (a crash or a shard rebuild loses RAM; disk
+// files survive exactly as a real process restart would leave them).
+func (t *Tiered) Reset() {
+	t.mu.Lock()
+	t.mem = make(map[model.ObjectID]memEntry)
+	t.memBytes = 0
+	t.mu.Unlock()
+}
+
+// Sweep removes expired disk copies at time now (also runs opportunistically
+// during spills).
+func (t *Tiered) Sweep(now float64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.disk == nil {
+		return 0
+	}
+	return t.disk.sweep(now)
+}
+
+// ForEachMemory visits every memory-tier object (snapshot persistence).
+// The callback must not call back into the store.
+func (t *Tiered) ForEachMemory(fn func(id model.ObjectID, body []byte, meta Meta)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, e := range t.mem {
+		fn(id, e.body, e.meta)
+	}
+}
+
+// Stats returns a consistent accounting snapshot.
+func (t *Tiered) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		MemObjects:        len(t.mem),
+		MemBytes:          t.memBytes,
+		SpillObjectsTotal: t.spillObjects,
+		SpillBytesTotal:   t.spillBytes,
+		SpillDrops:        t.spillDrops,
+		Promotions:        t.promotions,
+		DiskHits:          t.diskHits,
+	}
+	if t.disk != nil {
+		s.DiskObjects = len(t.disk.entries)
+		s.DiskBytes = t.disk.bytes
+		s.CorruptReads = t.disk.corrupt
+		s.Expired = t.disk.expired
+	}
+	return s
+}
+
+var _ BodyStore = (*Tiered)(nil)
