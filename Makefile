@@ -19,9 +19,9 @@ BENCH_OUT  ?= bench_latest.txt
 SLO_THRESHOLD ?= 4.0
 LOADTEST_OUT  ?= loadtest_latest.txt
 
-.PHONY: check vet lint build test race observe conformance dataplane rolling bench bench-check loadtest
+.PHONY: check vet lint build test race observe conformance dataplane rolling coherency bench bench-check loadtest
 
-check: vet lint build race observe conformance dataplane rolling bench-check loadtest
+check: vet lint build race observe conformance dataplane rolling coherency bench-check loadtest
 
 # Import guard: the protocol incarnations (scheme, sim, runtime, httpgw)
 # must reach the placement optimizer only through internal/engine, never by
@@ -51,6 +51,20 @@ dataplane:
 rolling:
 	$(GO) run ./cmd/cascadesim -exp rolling -arch enroute \
 		-objects 2000 -requests 30000 -clients 200 -servers 40
+
+# Coherency gate: the generation substrate's unit suite, the gateway's
+# invalidation/header/spill/snapshot paths and the cluster's concurrent
+# write hammer under the race detector, then a CAS-strict load run — any
+# response served below a completed write's generation fails the build.
+# (The cross-incarnation coherency conformance replay is covered by the
+# `conformance` target, which runs the whole suite.)
+coherency:
+	$(GO) test -race -count=1 ./internal/coherency/
+	$(GO) test -race -count=1 -run 'Coherency|Invalidat|Stale|Snapshot' \
+		./internal/httpgw/ ./internal/runtime/
+	$(GO) run ./cmd/cascadeload -requests 3000 -warmup 500 -users 4 \
+		-objects 1000 -capacity 2MB -nodes 3 -shards 8 -seed 1 \
+		-write-ratio 0.05
 
 # Observability smoke: boot a real origin → gateway chain, scrape the
 # Prometheus endpoints, round-trip the X-Cascade-Trace debug header

@@ -71,11 +71,6 @@ func TestAPICoherency(t *testing.T) {
 	gen := cascade.NewGenerator(cascade.TraceConfig{
 		Objects: 300, Servers: 10, Clients: 30, Requests: 15000, Duration: 7200, Seed: 3,
 	})
-	tracker := cascade.NewCoherencyTracker(cascade.CoherencyConfig{
-		Policy:               cascade.CoherencyPSI,
-		ObjectUpdateInterval: 600, // aggressive updates to force staleness
-		Seed:                 3,
-	}, gen.Catalog())
 	net := cascade.GenerateTree(cascade.DefaultTreeConfig())
 	sim, err := cascade.NewSimulator(cascade.SimConfig{
 		Scheme:            cascade.NewCoordinated(),
@@ -83,7 +78,11 @@ func TestAPICoherency(t *testing.T) {
 		Catalog:           gen.Catalog(),
 		RelativeCacheSize: 0.05,
 		Seed:              3,
-		Coherency:         tracker,
+		Coherency: &cascade.CoherencyConfig{
+			Mode:                 cascade.CoherencyPSI,
+			ObjectUpdateInterval: 600, // aggressive updates to force staleness
+			Seed:                 3,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +93,31 @@ func TestAPICoherency(t *testing.T) {
 	}
 	if sum.StaleHitRatio > 0.5 {
 		t.Fatalf("PSI left staleness unreasonably high: %v", sum.StaleHitRatio)
+	}
+
+	// CAS-strict through the same facade: staleness is zero by construction.
+	simCAS, err := cascade.NewSimulator(cascade.SimConfig{
+		Scheme:            cascade.NewCoordinated(),
+		Network:           net,
+		Catalog:           gen.Catalog(),
+		RelativeCacheSize: 0.05,
+		Seed:              3,
+		Coherency: &cascade.CoherencyConfig{
+			Mode:                 cascade.CoherencyCAS,
+			ObjectUpdateInterval: 600,
+			Seed:                 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Reset()
+	sumCAS, _ := simCAS.Run(gen, gen.Len()/2)
+	if sumCAS.StaleHitRatio != 0 {
+		t.Fatalf("CAS-strict served stale hits: %v", sumCAS.StaleHitRatio)
+	}
+	if mode, err := cascade.ParseCoherencyMode("cas"); err != nil || mode != cascade.CoherencyCAS {
+		t.Fatalf("ParseCoherencyMode(cas) = %v, %v", mode, err)
 	}
 }
 

@@ -392,39 +392,57 @@ func TreeLatencyPrediction(preds []AnalysisPrediction, levelDelays []float64) (f
 	return analysis.TreeLatency(preds, levelDelays)
 }
 
-// Cache coherency substrate (the §2 freshness assumption, made testable).
+// Cache coherency substrate (the §2 freshness assumption, made a protocol
+// concern): per-object generations owned by an origin-side authority,
+// per-node generation floors raised by piggybacked or pushed invalidations,
+// and read-side validation in strict mode.
 type (
-	// CoherencyPolicy selects the consistency mechanism (CoherencyNone,
-	// CoherencyTTL, CoherencyPSI).
-	CoherencyPolicy = coherency.Policy
-	// CoherencyConfig parameterizes a coherency tracker.
+	// CoherencyMode selects the consistency mechanism (CoherencyNone,
+	// CoherencyTTL, CoherencyPSI, CoherencyCAS).
+	CoherencyMode = coherency.Mode
+	// CoherencyConfig parameterizes the synthetic object-update process of
+	// a coherency-enabled simulation run (SimConfig.Coherency).
 	CoherencyConfig = coherency.Config
-	// CoherencyTracker maintains object versions, invalidation logs and
-	// per-node copy freshness for a simulation run.
-	CoherencyTracker = coherency.Tracker
+	// CoherencyAuthority is the origin-side generation authority: one
+	// monotonic generation per object plus the invalidation log whose
+	// tail origin responses piggyback.
+	CoherencyAuthority = coherency.Authority
+	// CoherencyInvalidation is one invalidation-log entry (sequence,
+	// object, new generation).
+	CoherencyInvalidation = coherency.Invalidation
+	// CoherencyView is one node's freshness state: per-object generation
+	// floors plus the PSI log cursor.
+	CoherencyView = coherency.NodeView
 )
 
-// Coherency policies.
+// Coherency modes.
 const (
 	// CoherencyNone is the paper's assumption: copies are always fresh.
-	CoherencyNone = coherency.None
+	CoherencyNone = coherency.ModeNone
 	// CoherencyTTL refetches copies older than a freshness lifetime.
-	CoherencyTTL = coherency.TTL
+	CoherencyTTL = coherency.ModeTTL
 	// CoherencyPSI piggybacks server invalidations on origin responses.
-	CoherencyPSI = coherency.PSI
+	CoherencyPSI = coherency.ModePSI
+	// CoherencyCAS is strict never-serve-stale: each request carries the
+	// origin's current generation as a read floor and stale copies
+	// self-heal to misses.
+	CoherencyCAS = coherency.ModeCAS
 )
 
-// NewCoherencyTracker builds a tracker over a catalog's objects; pass it in
-// SimConfig.Coherency to add consistency accounting to a run.
-func NewCoherencyTracker(cfg CoherencyConfig, cat *Catalog) *CoherencyTracker {
-	return coherency.NewTracker(cfg, cat.Objects)
-}
+// NewCoherencyAuthority builds an origin-side generation authority. The
+// simulator builds its own for coherency runs (Simulator.Authority); use
+// this when driving a Cluster or gateway chain directly.
+func NewCoherencyAuthority() *CoherencyAuthority { return coherency.NewAuthority() }
 
-// FreshnessStudy quantifies the paper's freshness assumption: stale-hit and
-// revalidation ratios of coordinated caching under object updates, per
-// consistency policy.
-func FreshnessStudy(arch Architecture, cfg ExperimentConfig, intervals []float64, size float64) (ResultTable, error) {
-	return experiment.FreshnessStudy(arch, cfg, intervals, size)
+// ParseCoherencyMode parses "none", "ttl", "psi" or "cas".
+func ParseCoherencyMode(s string) (CoherencyMode, error) { return coherency.ParseMode(s) }
+
+// FreshnessFrontier quantifies the paper's freshness assumption and the
+// frontier of consistency mechanisms above it: stale-hit and refetch ratios
+// of coordinated caching under object updates, per coherency mode
+// (None / TTL / PSI piggyback / CAS strict).
+func FreshnessFrontier(arch Architecture, cfg ExperimentConfig, intervals []float64, size float64) (ResultTable, error) {
+	return experiment.FreshnessFrontier(arch, cfg, intervals, size)
 }
 
 // Live protocol runtime (the deployable counterpart of the simulator).
@@ -601,8 +619,15 @@ const (
 	// HTTPHeaderFrame carries the binary wire frame that replaces the
 	// textual Path/Place/Predict headers between binary-capable hops.
 	HTTPHeaderFrame = httpgw.HeaderFrame
-	// HTTPHeaderAccept advertises binary-frame support ("bf1") per hop.
+	// HTTPHeaderAccept advertises binary-frame support ("bf1"/"bf2") per
+	// hop.
 	HTTPHeaderAccept = httpgw.HeaderAccept
+	// HTTPHeaderGen carries a coherency generation: a CAS read floor on
+	// requests, the served copy's generation on responses.
+	HTTPHeaderGen = httpgw.HeaderGen
+	// HTTPHeaderInval piggybacks the origin's invalidation-log tail
+	// downstream as "head|seq:obj:gen,...".
+	HTTPHeaderInval = httpgw.HeaderInval
 )
 
 // DefaultUpstreamTimeout bounds gateway upstream fetches when no explicit

@@ -49,6 +49,7 @@ func run() error {
 		nodeID   = flag.Int("id", 0, "gateway: node ID used in protocol headers")
 		state    = flag.String("state", "", "gateway: warm-start snapshot file (loaded at boot, saved on shutdown)")
 		ttl      = flag.Float64("ttl", 0, "gateway: revalidate cached copies older than this many seconds (0 = never)")
+		cohMode  = flag.String("coherency", "", "coherency mode (ttl, psi, cas); origin: attach the generation authority, gateway: generation-guarded serving (empty = off)")
 
 		segThreshold = flag.String("segment-threshold", "0", "origin: segment objects larger than this size (e.g. 1MB; 0 = never segment)")
 		segSize      = flag.String("segment-size", "0", "origin: Range-segment size for large objects (defaults to the threshold)")
@@ -124,6 +125,18 @@ func run() error {
 		if thr > 0 {
 			fmt.Fprintf(os.Stderr, "cascadegw: segmenting objects over %s\n", *segThreshold)
 		}
+		if *cohMode != "" {
+			mode, err := cascade.ParseCoherencyMode(*cohMode)
+			if err != nil {
+				return fmt.Errorf("-coherency: %w", err)
+			}
+			if mode != cascade.CoherencyNone {
+				// The origin is the cascade's sole generation authority:
+				// POST /cascade/admin/invalidate bumps generations here.
+				o.Authority = cascade.NewCoherencyAuthority()
+				fmt.Fprintf(os.Stderr, "cascadegw: origin generation authority enabled (%s)\n", mode)
+			}
+		}
 		handler = o
 	} else {
 		if *upstream == "" {
@@ -139,6 +152,18 @@ func run() error {
 		node.DisableBinaryFraming = *textOnly
 		if *shards > 1 {
 			node.SetShards(*shards)
+		}
+		if *cohMode != "" {
+			mode, err := cascade.ParseCoherencyMode(*cohMode)
+			if err != nil {
+				return fmt.Errorf("-coherency: %w", err)
+			}
+			// Before EnableSpill: the spill tier's generation-floor oracle
+			// is wired from the coherency view at spill setup.
+			node.EnableCoherency(mode)
+			if mode != cascade.CoherencyNone {
+				fmt.Fprintf(os.Stderr, "cascadegw: %s coherency enabled\n", mode)
+			}
 		}
 		if *spillDir != "" {
 			maxBytes, err := parseBytes(*spillMax)

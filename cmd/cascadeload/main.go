@@ -36,6 +36,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,14 +61,15 @@ type config struct {
 	shards   int
 	textOnly bool
 
-	objects  int
-	zipfS    float64
-	users    int
-	rate     float64
-	requests int
-	duration time.Duration
-	warmup   int
-	seed     int64
+	objects    int
+	zipfS      float64
+	writeRatio float64
+	users      int
+	rate       float64
+	requests   int
+	duration   time.Duration
+	warmup     int
+	seed       int64
 
 	benchOut   string
 	cpuProfile string
@@ -85,6 +87,7 @@ func run() error {
 	flag.BoolVar(&cfg.textOnly, "text-headers", false, "in-process: disable binary wire framing")
 	flag.IntVar(&cfg.objects, "objects", 5000, "catalog size (object IDs 0..n-1)")
 	flag.Float64Var(&cfg.zipfS, "zipf", 1.2, "Zipf skew s (must be > 1)")
+	flag.Float64Var(&cfg.writeRatio, "write-ratio", 0, "fraction of measured requests issued as origin writes (invalidations); enables CAS-strict coherency on the in-process chain")
 	flag.IntVar(&cfg.users, "users", 8, "closed loop: concurrent users")
 	flag.Float64Var(&cfg.rate, "rate", 0, "open loop: arrivals per second (0: closed loop)")
 	flag.IntVar(&cfg.requests, "requests", 5000, "measured requests to issue")
@@ -109,19 +112,24 @@ func run() error {
 		}
 		defer closeAll()
 		front, originFetches = url, counter
-		fmt.Fprintf(os.Stderr, "cascadeload: in-process chain of %d gateways (capacity %s, %d shards, origin %d B objects)\n",
-			cfg.nodes, cfg.capacity, cfg.shards, cfg.objSize)
+		coh := ""
+		if cfg.writeRatio > 0 {
+			coh = ", CAS-strict coherency"
+		}
+		fmt.Fprintf(os.Stderr, "cascadeload: in-process chain of %d gateways (capacity %s, %d shards, origin %d B objects%s)\n",
+			cfg.nodes, cfg.capacity, cfg.shards, cfg.objSize, coh)
 	}
 	front = strings.TrimRight(front, "/")
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	floors := newGenFloors(cfg.objects)
 
 	// Warmup: sequential, unmeasured, so the measured phase sees caches in
 	// their steady regime rather than cold-start compulsory misses.
 	warmRng := rand.New(rand.NewSource(mixSeed(cfg.seed, streamWarmup)))
 	warmZipf := newZipf(warmRng, cfg.zipfS, cfg.objects)
 	for i := 0; i < cfg.warmup; i++ {
-		if err := doGet(client, front, int(warmZipf.Uint64())); err != nil {
+		if _, err := doGet(client, front, int(warmZipf.Uint64()), floors); err != nil {
 			return fmt.Errorf("warmup request %d: %w", i, err)
 		}
 	}
@@ -148,9 +156,9 @@ func run() error {
 	var err error
 	start := time.Now()
 	if cfg.rate > 0 {
-		res, err = openLoop(cfg, client, front)
+		res, err = openLoop(cfg, client, front, floors)
 	} else {
-		res, err = closedLoop(cfg, client, front)
+		res, err = closedLoop(cfg, client, front, floors)
 	}
 	if err != nil {
 		return err
@@ -187,7 +195,16 @@ func run() error {
 		}
 	}
 
-	return report(cfg, res, elapsed, hitRatio, hitSource)
+	if err := report(cfg, res, elapsed, hitRatio, hitSource); err != nil {
+		return err
+	}
+	// Under a mixed read/write workload the chain runs CAS-strict: a served
+	// generation older than a write the generator had already completed is
+	// a coherency SLO violation, and the run fails like a latency breach.
+	if res.stale > 0 {
+		return fmt.Errorf("%d responses served below a completed write's generation (CAS-strict SLO violation)", res.stale)
+	}
+	return nil
 }
 
 // validate rejects flag combinations outside the workload generator's
@@ -210,6 +227,9 @@ func validate(cfg *config) error {
 	}
 	if cfg.rate < 0 {
 		return fmt.Errorf("-rate must not be negative (got %g)", cfg.rate)
+	}
+	if cfg.writeRatio < 0 || cfg.writeRatio >= 1 {
+		return fmt.Errorf("-write-ratio must be in [0, 1) (got %g)", cfg.writeRatio)
 	}
 	return nil
 }
@@ -254,12 +274,38 @@ type result struct {
 	latencies []int64
 	count     int
 	errors    int
+	writes    int // invalidations issued (counted inside count)
+	stale     int // reads served below a completed write's generation
 	dropped   int // open loop: arrivals skipped because inflight was saturated
 }
 
+// genFloors tracks, per object, the highest generation any completed write
+// has been acknowledged at — the generator's own read-your-writes floor. A
+// read that later serves below it caught the cascade lying about coherency.
+type genFloors struct {
+	gens []atomic.Uint64
+}
+
+func newGenFloors(objects int) *genFloors {
+	return &genFloors{gens: make([]atomic.Uint64, objects)}
+}
+
+func (f *genFloors) load(obj int) uint64 { return f.gens[obj].Load() }
+
+func (f *genFloors) raise(obj int, gen uint64) {
+	for {
+		cur := f.gens[obj].Load()
+		if gen <= cur || f.gens[obj].CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
 // closedLoop runs cfg.users workers, each issuing its next request as soon
-// as the previous completes. Each worker gets an independent Zipf stream.
-func closedLoop(cfg config, client *http.Client, front string) (*result, error) {
+// as the previous completes. Each worker gets an independent Zipf stream;
+// with -write-ratio set, that fraction of its requests become origin
+// writes (invalidations) instead of reads.
+func closedLoop(cfg config, client *http.Client, front string, floors *genFloors) (*result, error) {
 	var (
 		issued   atomic.Int64
 		deadline time.Time
@@ -269,6 +315,8 @@ func closedLoop(cfg config, client *http.Client, front string) (*result, error) 
 	}
 	perWorker := make([][]int64, cfg.users)
 	errCounts := make([]int, cfg.users)
+	writeCounts := make([]int, cfg.users)
+	staleCounts := make([]int, cfg.users)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.users; w++ {
 		wg.Add(1)
@@ -283,10 +331,24 @@ func closedLoop(cfg config, client *http.Client, front string) (*result, error) 
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
+				obj := int(zipf.Uint64())
+				write := cfg.writeRatio > 0 && rng.Float64() < cfg.writeRatio
 				t0 := time.Now()
-				if err := doGet(client, front, int(zipf.Uint64())); err != nil {
-					errCounts[w]++
-					continue
+				if write {
+					if err := doWrite(client, front, obj, floors); err != nil {
+						errCounts[w]++
+						continue
+					}
+					writeCounts[w]++
+				} else {
+					stale, err := doGet(client, front, obj, floors)
+					if err != nil {
+						errCounts[w]++
+						continue
+					}
+					if stale {
+						staleCounts[w]++
+					}
 				}
 				perWorker[w] = append(perWorker[w], time.Since(t0).Nanoseconds())
 			}
@@ -297,6 +359,8 @@ func closedLoop(cfg config, client *http.Client, front string) (*result, error) 
 	for w := range perWorker {
 		res.latencies = append(res.latencies, perWorker[w]...)
 		res.errors += errCounts[w]
+		res.writes += writeCounts[w]
+		res.stale += staleCounts[w]
 	}
 	res.count = len(res.latencies)
 	if res.count == 0 {
@@ -309,7 +373,7 @@ func closedLoop(cfg config, client *http.Client, front string) (*result, error) 
 // Inflight is capped at a generous bound so a stalled server degrades into
 // counted drops instead of an unbounded goroutine pile-up; drops are
 // reported, never silently discarded.
-func openLoop(cfg config, client *http.Client, front string) (*result, error) {
+func openLoop(cfg config, client *http.Client, front string, floors *genFloors) (*result, error) {
 	const maxInflight = 4096
 	interval := time.Duration(float64(time.Second) / cfg.rate)
 	if interval <= 0 {
@@ -322,6 +386,8 @@ func openLoop(cfg config, client *http.Client, front string) (*result, error) {
 		mu        sync.Mutex
 		latencies []int64
 		errors    int
+		writes    int
+		stale     int
 		dropped   int
 		inflight  atomic.Int64
 		wg        sync.WaitGroup
@@ -338,45 +404,100 @@ func openLoop(cfg config, client *http.Client, front string) (*result, error) {
 			break
 		}
 		obj := int(zipf.Uint64())
+		write := cfg.writeRatio > 0 && rng.Float64() < cfg.writeRatio
 		if inflight.Load() >= maxInflight {
 			dropped++
 			continue
 		}
 		inflight.Add(1)
 		wg.Add(1)
-		go func(obj int) {
+		go func(obj int, write bool) {
 			defer wg.Done()
 			defer inflight.Add(-1)
 			t0 := time.Now()
-			err := doGet(client, front, obj)
+			var err error
+			wasStale := false
+			if write {
+				err = doWrite(client, front, obj, floors)
+			} else {
+				wasStale, err = doGet(client, front, obj, floors)
+			}
 			d := time.Since(t0).Nanoseconds()
 			mu.Lock()
-			if err != nil {
+			switch {
+			case err != nil:
 				errors++
-			} else {
+			default:
 				latencies = append(latencies, d)
+				if write {
+					writes++
+				}
+				if wasStale {
+					stale++
+				}
 			}
 			mu.Unlock()
-		}(obj)
+		}(obj, write)
 	}
 	wg.Wait()
 	if len(latencies) == 0 {
 		return nil, fmt.Errorf("open loop: no request succeeded (%d errors, %d dropped)", errors, dropped)
 	}
-	return &result{latencies: latencies, count: len(latencies), errors: errors, dropped: dropped}, nil
+	return &result{latencies: latencies, count: len(latencies), errors: errors,
+		writes: writes, stale: stale, dropped: dropped}, nil
 }
 
-// doGet fetches one object and drains the body (keep-alive reuse).
-func doGet(client *http.Client, front string, obj int) error {
-	resp, err := client.Get(fmt.Sprintf("%s/objects/%d", front, obj))
+// doGet fetches one object and drains the body (keep-alive reuse). The
+// request carries the generator's own floor for the object as a CAS read
+// floor; the response's generation is checked against the floor as it stood
+// when the request was issued, so a write completing mid-flight can never
+// count as a false positive.
+func doGet(client *http.Client, front string, obj int, floors *genFloors) (stale bool, err error) {
+	floor := floors.load(obj)
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/objects/%d", front, obj), nil)
 	if err != nil {
-		return err
+		return false, err
+	}
+	if floor > 0 {
+		req.Header.Set(cascade.HTTPHeaderGen, strconv.FormatUint(floor, 10))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+		return false, fmt.Errorf("status %d", resp.StatusCode)
 	}
+	var gen uint64
+	if h := resp.Header.Get(cascade.HTTPHeaderGen); h != "" {
+		if gen, err = strconv.ParseUint(h, 10, 64); err != nil {
+			return false, fmt.Errorf("bad %s header %q", cascade.HTTPHeaderGen, h)
+		}
+	}
+	return gen < floor, nil
+}
+
+// doWrite bumps one object's generation through the chain's admin write
+// path and raises the generator's floor to the acknowledged generation.
+func doWrite(client *http.Client, front string, obj int, floors *genFloors) error {
+	resp, err := client.Post(fmt.Sprintf("%s/cascade/admin/invalidate?obj=%d", front, obj), "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("invalidate status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Gen uint64 `json:"gen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	floors.raise(obj, rep.Gen)
 	return nil
 }
 
@@ -391,6 +512,11 @@ func buildChain(cfg config) (string, *atomic.Int64, func(), error) {
 	size := cfg.objSize
 	origin := cascade.NewHTTPOrigin(func(cascade.ObjectID) int { return size })
 	origin.DisableBinaryFraming = cfg.textOnly
+	if cfg.writeRatio > 0 {
+		// Writes need a generation authority at the origin; the chain runs
+		// CAS-strict so a served stale response is a hard failure.
+		origin.Authority = cascade.NewCoherencyAuthority()
+	}
 	var fetches atomic.Int64
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/objects/") {
@@ -404,6 +530,9 @@ func buildChain(cfg config) (string, *atomic.Int64, func(), error) {
 	for i := cfg.nodes - 1; i >= 0; i-- {
 		node := cascade.NewHTTPCacheNode(cascade.NodeID(i), upstream, 0.1, capBytes, cfg.dEntries, clock)
 		node.DisableBinaryFraming = cfg.textOnly
+		if cfg.writeRatio > 0 {
+			node.EnableCoherency(cascade.CoherencyCAS)
+		}
 		if cfg.shards > 1 {
 			node.SetShards(cfg.shards)
 		}
@@ -469,6 +598,10 @@ func report(cfg config, res *result, elapsed time.Duration, hitRatio float64, hi
 		fmt.Fprintf(os.Stderr, ", %d dropped at the inflight cap", res.dropped)
 	}
 	fmt.Fprintln(os.Stderr)
+	if cfg.writeRatio > 0 {
+		fmt.Fprintf(os.Stderr, "cascadeload: %d writes issued, %d stale responses (CAS-strict SLO: 0 allowed)\n",
+			res.writes, res.stale)
+	}
 	fmt.Fprintf(os.Stderr, "cascadeload: latency p50 %v  p99 %v  p999 %v\n",
 		time.Duration(p50).Round(time.Microsecond),
 		time.Duration(p99).Round(time.Microsecond),

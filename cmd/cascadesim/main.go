@@ -58,7 +58,7 @@ func main() {
 
 func run() error {
 	var (
-		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, ledger, rolling, or comma-separated figure IDs (fig6a..fig10b)")
+		exps    = flag.String("exp", "all", "experiments: all, figs, table1, radius, dcache, overhead, freshness-frontier, treeshape, zipf, costmodel, locality, levels, adaptivity, capacity, windowk, partial, analysis, chaos, ledger, rolling, or comma-separated figure IDs (fig6a..fig10b)")
 		arch    = flag.String("arch", "both", "architecture for studies: enroute, hierarchy or both")
 		sizes   = flag.String("sizes", "0.001,0.003,0.01,0.03,0.1", "relative cache sizes")
 		schemes = flag.String("schemes", "LRU,MODULO(4),LNC-R,COORD", "schemes to compare")
@@ -128,7 +128,7 @@ func run() error {
 		for _, f := range cascade.Figures() {
 			fmt.Printf("  %-8s %s\n", f.ID, f.Title)
 		}
-		fmt.Println("studies: table1 radius dcache overhead freshness costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos ledger rolling")
+		fmt.Println("studies: table1 radius dcache overhead freshness-frontier costmodel treeshape zipf locality levels adaptivity capacity windowk partial analysis chaos ledger rolling")
 		fmt.Printf("schemes: %s\n", strings.Join(cascade.SchemeNames(), ", "))
 		return nil
 	}
@@ -235,7 +235,7 @@ func run() error {
 			wantDCache = true
 		case "overhead":
 			wantOverhead = true
-		case "freshness":
+		case "freshness", "freshness-frontier":
 			wantFreshness = true
 		case "treeshape":
 			wantTreeShape = true
@@ -437,8 +437,8 @@ func run() error {
 			}))
 		}
 		if wantFreshness {
-			addJob("freshness "+string(a), one("freshness_"+string(a), func() (cascade.ResultTable, error) {
-				return cascade.FreshnessStudy(a, cfg, nil, 0.01)
+			addJob("freshness-frontier "+string(a), one("freshness_frontier_"+string(a), func() (cascade.ResultTable, error) {
+				return cascade.FreshnessFrontier(a, cfg, nil, 0.01)
 			}))
 		}
 		if wantCostModel {

@@ -69,6 +69,12 @@ var rules = []rule{
 		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
 		reason:      "the body store sits below every incarnation (stdlib + model + metrics only)",
 	},
+	{
+		pkg:         "internal/coherency",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
+		reason:      "the coherency substrate sits below every incarnation (stdlib + model + metrics only)",
+	},
 }
 
 func (r rule) violates(importPath string) bool {

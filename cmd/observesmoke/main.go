@@ -74,14 +74,16 @@ func run() error {
 	if *keepLogs {
 		logs = os.Stderr
 	}
-	origin, err := start(bin, logs, "-origin", "-listen", originAddr, "-object-size", "2048")
+	origin, err := start(bin, logs, "-origin", "-listen", originAddr, "-object-size", "2048",
+		"-coherency", "cas")
 	if err != nil {
 		return err
 	}
 	defer stop(origin)
 	gw, err := start(bin, logs,
 		"-listen", gwAddr, "-upstream", "http://"+originAddr,
-		"-id", "0", "-capacity", "1MB", "-metrics", metricsAddr)
+		"-id", "0", "-capacity", "1MB", "-metrics", metricsAddr,
+		"-coherency", "cas")
 	if err != nil {
 		return err
 	}
@@ -102,6 +104,28 @@ func run() error {
 		}
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
 		resp.Body.Close()
+	}
+	// One write through the chain: the origin bumps the generation, the
+	// gateway applies the invalidation on the unwind — the coherency series
+	// and the invalidate flight events below must reflect it.
+	wresp, err := http.Post("http://"+gwAddr+"/cascade/admin/invalidate?obj=7", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("POST invalidate: %w", err)
+	}
+	io.Copy(io.Discard, wresp.Body) //nolint:errcheck
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST invalidate: status %d", wresp.StatusCode)
+	}
+	// Refetch at the new generation.
+	rresp, err := http.Get("http://" + gwAddr + "/objects/7")
+	if err != nil {
+		return fmt.Errorf("GET objects/7 after write: %w", err)
+	}
+	io.Copy(io.Discard, rresp.Body) //nolint:errcheck
+	rresp.Body.Close()
+	if g := rresp.Header.Get("X-Cascade-Gen"); g != "1" {
+		return fmt.Errorf("post-write read served generation %q, want 1", g)
 	}
 
 	// The dedicated -metrics listener and the public /cascade/metrics
@@ -125,6 +149,10 @@ func run() error {
 			`cascade_ledger_placements_total{node="0"}`,
 			`cascade_ledger_place_failures_total{node="0"}`,
 			`cascade_ledger_hits_total{node="0"}`,
+			`cascade_coherency_stale_hits_total{node="0"}`,
+			`cascade_coherency_invalidations_total{node="0"}`,
+			`cascade_coherency_revalidations_total{node="0"}`,
+			`cascade_coherency_cas_conflicts_total{node="0"}`,
 		}
 		// Every monitored invariant exports a check and a violation counter.
 		for _, iv := range audit.Invariants() {
@@ -178,6 +206,27 @@ func run() error {
 	}
 	fmt.Println("observesmoke: cost ledger books predictions and realized savings")
 
+	// The write just driven must be visible in the coherency series and in
+	// the malformed-header counters (present, at zero, on a clean run).
+	if v, err := seriesValue(gwBody, `cascade_coherency_invalidations_total{node="0"}`); err != nil {
+		return err
+	} else if v < 1 {
+		return fmt.Errorf(`cascade_coherency_invalidations_total{node="0"} = %g, want >= 1 after the admin write`, v)
+	}
+	for _, kind := range []string{"gen", "inval"} {
+		found := false
+		for _, line := range strings.Split(gwBody, "\n") {
+			if strings.HasPrefix(line, "cascade_gw_bad_header_total") && strings.Contains(line, `header="`+kind+`"`) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf(`cascade_gw_bad_header_total{header=%q} missing from gateway scrape`, kind)
+		}
+	}
+	fmt.Println("observesmoke: coherency series count the propagated invalidation")
+
 	// The origin decides every whole-chain miss, so it audits its own
 	// decisions: its main listener serves cascade_audit_* under
 	// node="origin", with Theorem 2's local-benefit invariant actually
@@ -225,7 +274,17 @@ func run() error {
 	if snap.Capacity <= 0 || len(snap.Events) == 0 {
 		return fmt.Errorf("/cascade/debug/flight dump is empty (capacity %d, %d events)", snap.Capacity, len(snap.Events))
 	}
-	fmt.Printf("observesmoke: flight recorder retains %d events (capacity %d)\n", len(snap.Events), snap.Capacity)
+	sawInvalidate := false
+	for _, e := range snap.Events {
+		if e.Kind == flightrec.KindInvalidate {
+			sawInvalidate = true
+			break
+		}
+	}
+	if !sawInvalidate {
+		return fmt.Errorf("flight recorder holds no invalidate event after the admin write\n%s", flightBody)
+	}
+	fmt.Printf("observesmoke: flight recorder retains %d events (capacity %d, invalidation recorded)\n", len(snap.Events), snap.Capacity)
 
 	// The trace header must round-trip a JSON event log showing the
 	// upward pass and the placement decision.

@@ -29,6 +29,14 @@ type Descriptor struct {
 	ID   model.ObjectID
 	Size int64
 
+	// Gen is the generation of the cached copy this descriptor describes
+	// (coherency): the origin generation of the object at the time the
+	// body was fetched. Zero means "never validated" — the pre-coherency
+	// state every copy starts in. Maintained by the engine; d-cache
+	// descriptors keep the generation of the last copy held so the node
+	// can stamp it on piggyback candidates.
+	Gen uint64
+
 	// Window records recent reference times and produces the frequency
 	// estimate f(O).
 	Window freq.Window

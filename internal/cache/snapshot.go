@@ -8,6 +8,8 @@ type DescriptorSnapshot struct {
 	ID          model.ObjectID
 	Size        int64
 	MissPenalty float64
+	// Gen is the coherency generation of the copy (see Descriptor.Gen).
+	Gen uint64
 	// AccessTimes are the recorded reference times, oldest first.
 	AccessTimes []float64
 	// WindowK is the sliding-window size the descriptor was using.
@@ -20,6 +22,7 @@ func (d *Descriptor) Snapshot() DescriptorSnapshot {
 		ID:          d.ID,
 		Size:        d.Size,
 		MissPenalty: d.missPenalty,
+		Gen:         d.Gen,
 		AccessTimes: d.Window.Times(),
 		WindowK:     d.Window.K(),
 	}
@@ -34,6 +37,7 @@ func RestoreDescriptor(s DescriptorSnapshot) *Descriptor {
 		d.Window.Record(t)
 	}
 	d.missPenalty = s.MissPenalty
+	d.Gen = s.Gen
 	return d
 }
 

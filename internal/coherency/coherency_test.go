@@ -1,157 +1,251 @@
 package coherency
 
 import (
+	"strings"
 	"testing"
 
+	"cascade/internal/metrics"
 	"cascade/internal/model"
 )
 
-func catalog(n int, servers int) []model.Object {
+func catalog(n int) []model.Object {
 	out := make([]model.Object, n)
 	for i := range out {
-		out[i] = model.Object{ID: model.ObjectID(i), Size: 1000, Server: model.ServerID(i % servers)}
+		out[i] = model.Object{ID: model.ObjectID(i), Size: 1000, Server: model.ServerID(i % 4)}
 	}
 	return out
 }
 
-func TestPolicyString(t *testing.T) {
-	for p, want := range map[Policy]string{None: "None", TTL: "TTL", PSI: "PSI"} {
-		if p.String() != want {
-			t.Fatalf("%d.String() = %q", p, p.String())
+func TestModeStringAndParse(t *testing.T) {
+	for m, want := range map[Mode]string{ModeNone: "None", ModeTTL: "TTL", ModePSI: "PSI", ModeCAS: "CAS"} {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+		got, err := ParseMode(want)
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", want, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if ModeNone.Validates() || ModeTTL.Validates() || !ModePSI.Validates() || !ModeCAS.Validates() {
+		t.Fatal("Validates() wrong for some mode")
+	}
+}
+
+func TestAuthorityBumpAndTail(t *testing.T) {
+	a := NewAuthority()
+	if a.Gen(7) != 0 || a.Head() != 0 {
+		t.Fatal("fresh authority not at generation zero")
+	}
+	gen, seq := a.Bump(7)
+	if gen != 1 || seq != 1 {
+		t.Fatalf("first bump = gen %d seq %d", gen, seq)
+	}
+	gen, seq = a.Bump(7)
+	if gen != 2 || seq != 2 {
+		t.Fatalf("second bump = gen %d seq %d", gen, seq)
+	}
+	a.Bump(9)
+	if a.Gen(7) != 2 || a.Gen(9) != 1 || a.Head() != 3 {
+		t.Fatalf("gens 7=%d 9=%d head=%d", a.Gen(7), a.Gen(9), a.Head())
+	}
+	tail := a.Tail(nil)
+	if len(tail) != 3 {
+		t.Fatalf("tail length %d", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq <= tail[i-1].Seq {
+			t.Fatalf("tail not ascending: %+v", tail)
+		}
+	}
+	if last := tail[len(tail)-1]; last.Obj != 9 || last.Gen != 1 || last.Seq != 3 {
+		t.Fatalf("latest tail entry %+v", last)
+	}
+}
+
+func TestAuthorityTailBounded(t *testing.T) {
+	a := NewAuthority()
+	for i := 0; i < 3*logCap; i++ {
+		a.Bump(model.ObjectID(i % 10))
+	}
+	tail := a.Tail(nil)
+	if len(tail) != TailK {
+		t.Fatalf("tail length %d, want %d", len(tail), TailK)
+	}
+	if tail[len(tail)-1].Seq != a.Head() {
+		t.Fatalf("tail does not end at head: %d vs %d", tail[len(tail)-1].Seq, a.Head())
+	}
+}
+
+func TestNodeViewFloorsAndCursor(t *testing.T) {
+	v := NewNodeView(ModePSI, 0)
+	if v.Floor(1) != 0 {
+		t.Fatal("fresh view has nonzero floor")
+	}
+	if !v.Raise(1, 3) || v.Raise(1, 2) || v.Raise(1, 3) {
+		t.Fatal("Raise monotonicity broken")
+	}
+	if v.Floor(1) != 3 {
+		t.Fatalf("floor = %d", v.Floor(1))
+	}
+	if !v.ShouldApply(1) {
+		t.Fatal("fresh cursor rejects seq 1")
+	}
+	v.AdvanceCursor(5)
+	if v.ShouldApply(5) || !v.ShouldApply(6) || v.Cursor() != 5 {
+		t.Fatal("cursor semantics broken")
+	}
+	v.AdvanceCursor(2)
+	if v.Cursor() != 5 {
+		t.Fatal("cursor moved backward")
+	}
+	f := v.Floors()
+	if len(f) != 1 || f[1] != 3 {
+		t.Fatalf("floors snapshot %v", f)
+	}
+}
+
+func TestNodeViewTTL(t *testing.T) {
+	v := NewNodeView(ModeTTL, 100)
+	// Unknown copies are adopted as fresh-from-now.
+	if v.Expired(4, 50) {
+		t.Fatal("adopted copy expired immediately")
+	}
+	if v.Expired(4, 140) {
+		t.Fatal("copy expired within lifetime")
+	}
+	if !v.Expired(4, 151) {
+		t.Fatal("copy did not expire past lifetime")
+	}
+	// Expiry forgot the copy; a refetch restarts the clock.
+	v.RecordFetch(4, 200)
+	if v.Expired(4, 290) {
+		t.Fatal("refetched copy expired early")
+	}
+	v.Forget(4)
+	if v.Expired(4, 1e6) {
+		t.Fatal("forgotten copy adopted as expired")
+	}
+	// Non-TTL modes never expire and never track.
+	p := NewNodeView(ModeCAS, 1)
+	p.RecordFetch(4, 0)
+	if p.Expired(4, 1e9) {
+		t.Fatal("CAS mode expired a copy")
+	}
+}
+
+func TestNodeViewLifetimeDefault(t *testing.T) {
+	v := NewNodeView(ModeTTL, 0)
+	if v.lifetime != 3600 {
+		t.Fatalf("default lifetime = %v", v.lifetime)
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.StaleHit()
+	m.Invalidation()
+	m.Revalidation()
+	m.CASConflict()
+
+	reg := metrics.NewRegistry()
+	mm := NewMetrics(reg, metrics.L("node", "0"))
+	mm.StaleHit()
+	mm.Invalidation()
+	mm.Invalidation()
+	mm.Revalidation()
+	mm.CASConflict()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cascade_coherency_stale_hits_total{node="0"} 1`,
+		`cascade_coherency_invalidations_total{node="0"} 2`,
+		`cascade_coherency_revalidations_total{node="0"} 1`,
+		`cascade_coherency_cas_conflicts_total{node="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
 		}
 	}
 }
 
-func TestNoUpdatesWhenDisabled(t *testing.T) {
-	tr := NewTracker(Config{Policy: None}, catalog(10, 2))
-	tr.Advance(1e9)
-	if tr.Updates != 0 {
-		t.Fatalf("updates generated with interval 0: %d", tr.Updates)
-	}
-}
-
-func TestUpdateProcessRate(t *testing.T) {
+func TestProcessRateAndDeterminism(t *testing.T) {
 	// 100 objects, one update per object per 1000s → 0.1 updates/s;
 	// advancing 10000s should yield ≈1000 updates.
-	tr := NewTracker(Config{Policy: None, ObjectUpdateInterval: 1000, Seed: 1}, catalog(100, 4))
-	tr.Advance(10000)
-	if tr.Updates < 700 || tr.Updates > 1300 {
-		t.Fatalf("updates = %d, want ≈1000", tr.Updates)
+	a := NewAuthority()
+	p := NewProcess(Config{ObjectUpdateInterval: 1000, Seed: 1}, catalog(100), a)
+	p.Advance(10000)
+	if p.Updates < 700 || p.Updates > 1300 {
+		t.Fatalf("updates = %d, want ≈1000", p.Updates)
 	}
 	var bumped int
 	for i := 0; i < 100; i++ {
-		if tr.Version(model.ObjectID(i)) > 0 {
+		if a.Gen(model.ObjectID(i)) > 0 {
 			bumped++
 		}
 	}
 	if bumped < 50 {
 		t.Fatalf("only %d objects ever updated", bumped)
 	}
-}
 
-func TestAdvanceMonotoneAndDeterministic(t *testing.T) {
-	a := NewTracker(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50, 5))
-	b := NewTracker(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50, 5))
-	a.Advance(500)
-	a.Advance(1000)
-	b.Advance(1000)
-	if a.Updates != b.Updates {
-		t.Fatalf("split advance diverged: %d vs %d", a.Updates, b.Updates)
+	// Split advances replay identically to one big advance.
+	a2, a3 := NewAuthority(), NewAuthority()
+	p2 := NewProcess(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50), a2)
+	p3 := NewProcess(Config{ObjectUpdateInterval: 100, Seed: 7}, catalog(50), a3)
+	p2.Advance(500)
+	p2.Advance(1000)
+	p3.Advance(1000)
+	if p2.Updates != p3.Updates {
+		t.Fatalf("split advance diverged: %d vs %d", p2.Updates, p3.Updates)
 	}
 	for i := 0; i < 50; i++ {
-		if a.Version(model.ObjectID(i)) != b.Version(model.ObjectID(i)) {
-			t.Fatalf("version of object %d diverged", i)
+		if a2.Gen(model.ObjectID(i)) != a3.Gen(model.ObjectID(i)) {
+			t.Fatalf("generation of object %d diverged", i)
 		}
 	}
-}
 
-func TestOnHitFreshAndStale(t *testing.T) {
-	objs := catalog(2, 1)
-	tr := NewTracker(Config{Policy: None, ObjectUpdateInterval: 0}, objs)
-	tr.RecordFetch(5, 0, 10)
-	if h := tr.OnHit(5, 0, 20); h.Stale || h.Refetch {
-		t.Fatalf("fresh copy classified %+v", h)
-	}
-	// Manually bump the version (simulating an update).
-	tr.version[0]++
-	if h := tr.OnHit(5, 0, 30); !h.Stale || h.Refetch {
-		t.Fatalf("stale copy classified %+v", h)
+	// Interval 0 disables the process.
+	q := NewProcess(Config{}, catalog(10), NewAuthority())
+	if q.Advance(1e9) != 0 || q.Updates != 0 {
+		t.Fatalf("updates generated with interval 0: %d", q.Updates)
 	}
 }
 
-func TestOnHitAdoptsUnknownCopies(t *testing.T) {
-	tr := NewTracker(Config{Policy: TTL, Lifetime: 100}, catalog(1, 1))
-	if h := tr.OnHit(3, 0, 50); h.Stale || h.Refetch {
-		t.Fatalf("adopted copy classified %+v", h)
+func TestTailCursorRule(t *testing.T) {
+	// The conformance equality argument in miniature: two views applying
+	// the same tails under the Seq>cursor rule end with identical floors.
+	a := NewAuthority()
+	v1, v2 := NewNodeView(ModePSI, 0), NewNodeView(ModePSI, 0)
+	apply := func(v *NodeView) {
+		tail := a.Tail(nil)
+		for _, inv := range tail {
+			if v.ShouldApply(inv.Seq) {
+				v.Raise(inv.Obj, inv.Gen)
+			}
+		}
+		v.AdvanceCursor(a.Head())
 	}
-	// Now it is tracked: after the lifetime it must refetch.
-	if h := tr.OnHit(3, 0, 200); !h.Refetch {
-		t.Fatalf("expired copy classified %+v", h)
+	a.Bump(1)
+	a.Bump(2)
+	apply(v1)
+	a.Bump(1)
+	apply(v1)
+	apply(v2) // v2 sees everything at once
+	f1, f2 := v1.Floors(), v2.Floors()
+	if len(f1) != len(f2) {
+		t.Fatalf("floors diverge: %v vs %v", f1, f2)
 	}
-	// The refetch refreshed it.
-	if h := tr.OnHit(3, 0, 250); h.Refetch {
-		t.Fatalf("refreshed copy classified %+v", h)
+	for k, g := range f1 {
+		if f2[k] != g {
+			t.Fatalf("floor of %d diverges: %d vs %d", k, g, f2[k])
+		}
 	}
-}
-
-func TestTTLServesStaleWithinLifetime(t *testing.T) {
-	tr := NewTracker(Config{Policy: TTL, Lifetime: 1000}, catalog(1, 1))
-	tr.RecordFetch(1, 0, 0)
-	tr.version[0]++
-	h := tr.OnHit(1, 0, 500)
-	if !h.Stale || h.Refetch {
-		t.Fatalf("TTL within lifetime: %+v", h)
-	}
-	h = tr.OnHit(1, 0, 1500)
-	if !h.Refetch {
-		t.Fatalf("TTL past lifetime: %+v", h)
-	}
-}
-
-func TestPSISyncInvalidatesStaleCopies(t *testing.T) {
-	objs := catalog(4, 2) // objects 0,2 on server 0; 1,3 on server 1
-	tr := NewTracker(Config{Policy: PSI}, objs)
-	tr.RecordFetch(7, 0, 0)
-	tr.RecordFetch(7, 2, 0)
-	tr.RecordFetch(7, 1, 0)
-
-	// Update object 0 (server 0) and object 1 (server 1) "manually".
-	tr.version[0]++
-	tr.logs[0] = append(tr.logs[0], update{time: 5, obj: 0})
-	tr.version[1]++
-	tr.logs[1] = append(tr.logs[1], update{time: 6, obj: 1})
-
-	inv := tr.SyncWithServer(7, 0, 10)
-	if len(inv) != 1 || inv[0] != 0 {
-		t.Fatalf("sync with server 0 invalidated %v, want [0]", inv)
-	}
-	// Object 1 (other server) untouched; object 2 (same server, not
-	// updated) untouched.
-	if h := tr.OnHit(7, 2, 11); h.Stale {
-		t.Fatal("unmodified copy invalidated")
-	}
-	if h := tr.OnHit(7, 1, 11); !h.Stale {
-		t.Fatal("stale copy of other server lost its staleness")
-	}
-	// Re-sync finds nothing new.
-	if inv := tr.SyncWithServer(7, 0, 12); len(inv) != 0 {
-		t.Fatalf("second sync invalidated %v", inv)
-	}
-}
-
-func TestPSIDisabledForOtherPolicies(t *testing.T) {
-	tr := NewTracker(Config{Policy: TTL}, catalog(2, 1))
-	tr.RecordFetch(1, 0, 0)
-	tr.version[0]++
-	tr.logs[0] = append(tr.logs[0], update{time: 1, obj: 0})
-	if inv := tr.SyncWithServer(1, 0, 5); inv != nil {
-		t.Fatalf("TTL policy ran PSI sync: %v", inv)
-	}
-}
-
-func TestLifetimeDefault(t *testing.T) {
-	tr := NewTracker(Config{Policy: TTL}, catalog(1, 1))
-	if tr.cfg.Lifetime != 3600 {
-		t.Fatalf("default lifetime = %v", tr.cfg.Lifetime)
+	if v1.Cursor() != v2.Cursor() {
+		t.Fatalf("cursors diverge: %d vs %d", v1.Cursor(), v2.Cursor())
 	}
 }

@@ -1,0 +1,366 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cascade/internal/audit"
+	"cascade/internal/coherency"
+	"cascade/internal/flightrec"
+	"cascade/internal/httpgw"
+	"cascade/internal/model"
+	"cascade/internal/runtime"
+	"cascade/internal/scheme"
+	"cascade/internal/sim"
+	"cascade/internal/trace"
+)
+
+// coherencyChain builds a gateway cascade like gatewayChain but with the
+// engine-native coherency substrate attached: the origin owns a generation
+// authority, every node runs a CAS-strict view. EnableCoherency is called
+// before the httptest server starts accepting, honouring the set-before-
+// serving contract. binary pre-learns frame negotiation on every hop so the
+// chain speaks v2 frames from the first request; otherwise framing is
+// disabled and everything travels as textual headers.
+func coherencyChain(t *testing.T, upCost []float64, capacity int64, dEntries, objSize int, clock func() float64, binary bool) (string, []*httpgw.Node, *httpgw.Origin) {
+	t.Helper()
+	o := &httpgw.Origin{
+		Size:      func(model.ObjectID) int { return objSize },
+		Authority: coherency.NewAuthority(),
+	}
+	o.EnableObservability(64, clock)
+	if !binary {
+		o.DisableBinaryFraming = true
+	}
+	origin := httptest.NewServer(o)
+	t.Cleanup(origin.Close)
+	upstream := origin.URL
+	nodes := make([]*httpgw.Node, len(upCost))
+	for i := len(upCost) - 1; i >= 0; i-- {
+		n := httpgw.NewNode(model.NodeID(i), upstream, upCost[i], capacity, dEntries, clock)
+		n.EnableCoherency(coherency.ModeCAS)
+		if binary {
+			n.SetBinaryUpstream()
+		} else {
+			n.DisableBinaryFraming = true
+		}
+		srv := httptest.NewServer(n)
+		t.Cleanup(srv.Close)
+		upstream = srv.URL
+		nodes[i] = n
+	}
+	return upstream, nodes, o
+}
+
+// gatewayReadCoh is gatewayGet plus the generation of the served copy (the
+// response's X-Cascade-Gen; absent means generation zero, never written).
+func gatewayReadCoh(t *testing.T, client *http.Client, base string, obj model.ObjectID) (model.NodeID, []model.NodeID, uint64) {
+	t.Helper()
+	resp, err := client.Get(base + "/objects/" + strconv.Itoa(int(obj)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("object %d: status %d", obj, resp.StatusCode)
+	}
+	served := model.NoNode
+	if h := resp.Header.Get(httpgw.HeaderHit); h != "origin" {
+		id, err := strconv.Atoi(h)
+		if err != nil {
+			t.Fatalf("object %d: bad %s header %q", obj, httpgw.HeaderHit, h)
+		}
+		served = model.NodeID(id)
+	}
+	var placed []model.NodeID
+	for _, p := range strings.Split(resp.Header.Get(httpgw.HeaderPlace), ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		id, err := strconv.Atoi(p)
+		if err != nil {
+			t.Fatalf("object %d: bad %s header %q", obj, httpgw.HeaderPlace, resp.Header.Get(httpgw.HeaderPlace))
+		}
+		placed = append(placed, model.NodeID(id))
+	}
+	var gen uint64
+	if h := resp.Header.Get(httpgw.HeaderGen); h != "" {
+		if gen, err = strconv.ParseUint(h, 10, 64); err != nil {
+			t.Fatalf("object %d: bad %s header %q", obj, httpgw.HeaderGen, h)
+		}
+	}
+	return served, sortNodes(placed), gen
+}
+
+// gatewayWrite drives the origin-driven write path through the bottom of
+// the chain: POST /cascade/admin/invalidate chains up to the origin (the
+// sole generation authority) and every hop raises its floor and drops its
+// stale copy on the unwind. Returns the object's new generation.
+func gatewayWrite(t *testing.T, client *http.Client, base string, obj model.ObjectID) uint64 {
+	t.Helper()
+	resp, err := client.Post(fmt.Sprintf("%s/cascade/admin/invalidate?obj=%d", base, obj), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("invalidate obj %d: status %d: %s", obj, resp.StatusCode, body)
+	}
+	var rep struct {
+		Obj int64  `json:"obj"`
+		Gen uint64 `json:"gen"`
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Obj != int64(obj) {
+		t.Fatalf("invalidate reply for obj %d, wanted %d", rep.Obj, obj)
+	}
+	return rep.Gen
+}
+
+// TestCoherencyConformance replays one mixed read/write trace through all
+// three incarnations — the replay simulator scheme, the actor cluster and
+// two gateway chains (all-textual and all-binary framing) — in lockstep
+// under CAS-strict coherency, on both cascade topologies. Each incarnation
+// carries its own generation authority; because the write sequence is
+// identical, the authorities march through identical (gen, seq) histories
+// and every incarnation must agree, per request, on the serving node, the
+// placement set and the generation of the served copy — and, per write, on
+// the generation assigned. CAS-strict means never-serve-stale: every served
+// generation must equal the authority's current generation at read time.
+// After the run the per-node generation floors must be identical maps
+// everywhere, every auditor must be silent, and every incarnation's flight
+// recorder must have captured invalidation traffic.
+func TestCoherencyConformance(t *testing.T) {
+	cases := []struct {
+		name       string
+		upCost     []float64
+		originLink bool
+		rel        float64
+	}{
+		{name: "hierarchy", upCost: []float64{1, 2, 4, 8}, originLink: true, rel: 0.02},
+		{name: "enroute", upCost: []float64{1, 3, 0}, originLink: false, rel: 0.01},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const objSize = 1000 // uniform: all cost scalings collapse to 1
+			gen := trace.NewGenerator(trace.Config{
+				Objects:  250,
+				Servers:  8,
+				Clients:  25,
+				Requests: 2500,
+				Duration: 7200,
+				MinSize:  objSize,
+				MaxSize:  objSize,
+				Seed:     47,
+			})
+			cat := gen.Catalog()
+			net := newChainNet(tc.upCost, tc.originLink)
+			route := net.Route(0, model.NoNode)
+			capacity := int64(tc.rel * float64(cat.TotalBytes))
+			dEntries := int(3 * float64(capacity) / cat.AvgSize())
+			const flightCap = 256
+
+			// Incarnation 1: the replay simulator with an attached authority.
+			rec := &recorder{inner: scheme.NewCoordinated()}
+			rec.inner.SetAuditor(audit.New(nil))
+			rec.inner.SetLedger(audit.NewLedger())
+			rec.inner.SetFlightCapacity(flightCap)
+			rec.inner.SetCoherency(coherency.NewAuthority(), coherency.ModeCAS, 0)
+			simr, err := sim.New(sim.Config{
+				Scheme: rec, Network: net, Catalog: cat,
+				RelativeCacheSize: tc.rel, Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incarnation 2: the actor cluster under the same mode.
+			clk := &logicalClock{}
+			cluster, err := runtime.NewCluster(runtime.Config{
+				Network:        net,
+				CacheBytes:     capacity,
+				DCacheEntries:  dEntries,
+				AvgObjectSize:  cat.AvgSize(),
+				Clock:          clk.Now,
+				EnableAudit:    true,
+				FlightCapacity: flightCap,
+				CoherencyMode:  coherency.ModeCAS,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+
+			// Incarnation 3a/3b: gateway chains, textual and binary wire.
+			textBase, textNodes, textOrigin := coherencyChain(t, tc.upCost, capacity, dEntries, objSize, clk.Now, false)
+			binBase, binNodes, binOrigin := coherencyChain(t, tc.upCost, capacity, dEntries, objSize, clk.Now, true)
+			client := &http.Client{}
+
+			ctx := context.Background()
+			hits, writes, genServes := 0, 0, 0
+			var recent []model.ObjectID
+			for i := 0; ; i++ {
+				req, ok := gen.Next()
+				if !ok {
+					break
+				}
+				clk.Set(req.Time)
+
+				// Every 5th request is preceded by a write: the origin bumps
+				// the generation of a recently-read (so likely cached) object
+				// and pushes the invalidation down every incarnation's tree.
+				if i%5 == 4 && len(recent) >= 3 {
+					wobj := recent[len(recent)-3]
+					simGen := rec.inner.Invalidate(wobj, req.Time)
+					clGen := cluster.Invalidate(wobj)
+					gwTextGen := gatewayWrite(t, client, textBase, wobj)
+					gwBinGen := gatewayWrite(t, client, binBase, wobj)
+					if clGen != simGen || gwTextGen != simGen || gwBinGen != simGen {
+						t.Fatalf("write %d (obj %d): gen sim=%d cluster=%d text=%d binary=%d",
+							i, wobj, simGen, clGen, gwTextGen, gwBinGen)
+					}
+					writes++
+				}
+				recent = append(recent, req.Object)
+				if len(recent) > 8 {
+					recent = recent[1:]
+				}
+
+				simr.Process(req)
+				simOut := rec.last
+				simServed := model.NoNode
+				if simOut.HitIndex < len(route.Caches) {
+					simServed = route.Caches[simOut.HitIndex]
+					hits++
+				}
+				simPlaced := make([]model.NodeID, 0, len(simOut.Placed))
+				for _, idx := range simOut.Placed {
+					simPlaced = append(simPlaced, route.Caches[idx])
+				}
+				sortNodes(simPlaced)
+
+				clRes, err := cluster.Get(ctx, 0, model.NoNode, req.Object, req.Size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clPlaced := sortNodes(append([]model.NodeID(nil), clRes.Placed...))
+
+				txServed, txPlaced, txGen := gatewayReadCoh(t, client, textBase, req.Object)
+				biServed, biPlaced, biGen := gatewayReadCoh(t, client, binBase, req.Object)
+
+				if clRes.ServedBy != simServed || txServed != simServed || biServed != simServed {
+					t.Fatalf("request %d (obj %d): served by sim=%d cluster=%d text=%d binary=%d",
+						i, req.Object, simServed, clRes.ServedBy, txServed, biServed)
+				}
+				if !nodesEqual(clPlaced, simPlaced) || !nodesEqual(txPlaced, simPlaced) || !nodesEqual(biPlaced, simPlaced) {
+					t.Fatalf("request %d (obj %d): placed sim=%v cluster=%v text=%v binary=%v",
+						i, req.Object, simPlaced, clPlaced, txPlaced, biPlaced)
+				}
+				if clRes.ServedGen != simOut.ServedGen || txGen != simOut.ServedGen || biGen != simOut.ServedGen {
+					t.Fatalf("request %d (obj %d): served gen sim=%d cluster=%d text=%d binary=%d",
+						i, req.Object, simOut.ServedGen, clRes.ServedGen, txGen, biGen)
+				}
+				// CAS-strict: the served copy is never older than the
+				// authority's current generation — zero stale serves.
+				if cur := rec.inner.Authority().Gen(req.Object); simOut.ServedGen != cur {
+					t.Fatalf("request %d (obj %d): CAS served gen %d, authority at %d",
+						i, req.Object, simOut.ServedGen, cur)
+				}
+				if simOut.ServedGen > 0 {
+					genServes++
+				}
+			}
+			if hits == 0 || writes == 0 || genServes == 0 {
+				t.Fatalf("degenerate workload: %d hits, %d writes, %d post-write serves", hits, writes, genServes)
+			}
+
+			// The generation floors — the invalidated set each node has
+			// internalized — must be identical maps across incarnations.
+			for i := range tc.upCost {
+				id := model.NodeID(i)
+				simFloors := rec.inner.CoherencyView(id).Floors()
+				if len(simFloors) == 0 {
+					t.Fatalf("node %d: simulator learned no floors despite %d writes", i, writes)
+				}
+				for name, floors := range map[string]map[model.ObjectID]uint64{
+					"cluster": cluster.CoherencyView(id).Floors(),
+					"text":    textNodes[i].CoherencyView().Floors(),
+					"binary":  binNodes[i].CoherencyView().Floors(),
+				} {
+					if len(floors) != len(simFloors) {
+						t.Fatalf("node %d: %s holds %d floors, sim %d", i, name, len(floors), len(simFloors))
+					}
+					for obj, g := range simFloors {
+						if floors[obj] != g {
+							t.Fatalf("node %d: %s floor for obj %d = %d, sim %d", i, name, obj, floors[obj], g)
+						}
+					}
+				}
+			}
+
+			// Silence everywhere: a coherency-churned run is still a
+			// conforming run.
+			auditors := map[string]*audit.Auditor{
+				"sim":           rec.inner.Auditor(),
+				"cluster":       cluster.Auditor(),
+				"text-origin":   textOrigin.Auditor(),
+				"binary-origin": binOrigin.Auditor(),
+			}
+			for i := range textNodes {
+				auditors[fmt.Sprintf("text%d", i)] = textNodes[i].Auditor()
+				auditors[fmt.Sprintf("binary%d", i)] = binNodes[i].Auditor()
+			}
+			checks := int64(0)
+			for name, a := range auditors {
+				if v := a.TotalViolations(); v != 0 {
+					t.Errorf("%s: %d invariant violations on a conforming run", name, v)
+				}
+				for _, iv := range audit.Invariants() {
+					checks += a.Checks(iv)
+				}
+			}
+			if checks == 0 {
+				t.Fatal("auditors attached but no checks ran")
+			}
+
+			// Every incarnation's flight recorder must have captured the
+			// invalidation traffic as first-class protocol events.
+			sawInval := func(events []flightrec.Event) bool {
+				for _, e := range events {
+					if e.Kind == flightrec.KindInvalidate {
+						return true
+					}
+				}
+				return false
+			}
+			if !sawInval(rec.inner.FlightRecorder(0).Events()) {
+				t.Error("simulator flight recorder has no invalidate events")
+			}
+			if !sawInval(cluster.DumpFlight(0).Events) {
+				t.Error("cluster flight recorder has no invalidate events")
+			}
+			if !sawInval(textNodes[0].DumpFlight().Events) {
+				t.Error("text gateway flight recorder has no invalidate events")
+			}
+			if !sawInval(binNodes[0].DumpFlight().Events) {
+				t.Error("binary gateway flight recorder has no invalidate events")
+			}
+			t.Logf("%s: %d requests + %d writes agreed across four replicas (%d cache hits, %d reads at gen>0, %d invariant checks, 0 violations)",
+				tc.name, gen.Len(), writes, hits, genServes, checks)
+		})
+	}
+}

@@ -35,6 +35,7 @@ package engine
 import (
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/dcache"
 	"cascade/internal/flightrec"
 	"cascade/internal/freq"
@@ -87,6 +88,11 @@ type Candidate struct {
 	// side; miss penalties are reconstructed by summing Link over the
 	// hops between a candidate and the serving node.
 	Link float64
+	// Gen is the coherency generation of the last copy this node held
+	// (from its d-cache descriptor; zero when unknown). Carried on the
+	// wire beside Freq/CostLoss so coherency state rides the same
+	// piggyback channel as the paper's meta information.
+	Gen uint64
 }
 
 // NodeState owns one cache node's protocol state: the main object store and
@@ -115,30 +121,19 @@ type NodeState struct {
 	// Ledger optionally accounts realized savings (hits at placed
 	// copies) and apply-time placement outcomes (nil disables).
 	Ledger *audit.Ledger
+	// Coh optionally holds the node's coherency view — generation
+	// floors, PSI log cursor and TTL bookkeeping (nil disables all
+	// freshness logic; the hot path pays one nil check per step).
+	Coh *coherency.NodeView
 }
 
 // Lookup probes the node during the upstream pass. A hit refreshes the
 // copy's access history and makes this node the serving node; the caller
-// stops the pass.
+// stops the pass. Freshness (TTL expiry, generation floors) is enforced
+// when the node has a coherency view — see LookupFresh for the full
+// result.
 func (st *NodeState) Lookup(obj model.ObjectID, now float64) bool {
-	d := st.Store.Get(obj)
-	if d == nil {
-		if st.Flight != nil {
-			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindLookupMiss, Obj: obj, Hop: -1})
-		}
-		return false
-	}
-	// The hit avoids the copy's current miss penalty — read it before
-	// Touch refreshes the access history.
-	avoided := d.MissPenalty()
-	st.Store.Touch(obj, now)
-	if st.Ledger != nil {
-		st.Ledger.RecordHit(st.Node, avoided)
-	}
-	if st.Flight != nil {
-		st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindLookupHit, Obj: obj, Hop: -1, A: avoided})
-	}
-	return true
+	return st.LookupFresh(obj, now, 0).Hit
 }
 
 // UpMiss performs the miss-side bookkeeping of the upstream pass at this
@@ -158,6 +153,7 @@ func (st *NodeState) UpMiss(obj model.ObjectID, size int64, hop int, link float6
 		if size <= 0 {
 			size = d.Size
 		}
+		c.Gen = d.Gen
 		if loss, ok := st.Store.CostLoss(size, now); !ok {
 			c.Tag = TagCannotFit
 		} else {
@@ -212,13 +208,32 @@ type DownResult struct {
 
 // DownStep applies the response pass at this node. mp is the miss-penalty
 // counter including the link the response just crossed (the caller
-// accumulates link costs). If place is set the node caches the object:
-// the descriptor is promoted from the d-cache (or rebuilt), its miss
-// penalty set, and victims' descriptors demoted; the counter resets to
-// zero on success. Otherwise the node records the passing counter in the
+// accumulates link costs); gen is the coherency generation of the body
+// flowing down (the serving copy's generation — zero when coherency is
+// off). If place is set the node caches the object: the descriptor is
+// promoted from the d-cache (or rebuilt), its miss penalty set and its
+// generation stamped, and victims' descriptors demoted; the counter
+// resets to zero on success. A placement whose generation is below the
+// node's floor is rejected (CAS conflict — the body was invalidated while
+// in flight). Otherwise the node records the passing counter in the
 // object's d-cache descriptor, creating one if needed.
-func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp float64, hop int, now float64, tr *reqtrace.Trace) DownResult {
+func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp float64, gen uint64, hop int, now float64, tr *reqtrace.Trace) DownResult {
 	if place {
+		if st.Coh != nil && st.Coh.Mode().Validates() && gen < st.Coh.Floor(obj) {
+			// The copy was invalidated while the response was in flight;
+			// caching it would resurrect stale bytes.
+			st.Coh.Metrics().CASConflict()
+			if st.Ledger != nil {
+				st.Ledger.RecordPlacement(st.Node, false)
+			}
+			if st.Flight != nil {
+				st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindPlaceFailed, Obj: obj, Hop: hop, A: mp})
+			}
+			if tr != nil {
+				tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActPlaceFailed, MissPenalty: mp})
+			}
+			return DownResult{MP: mp, PlaceFailed: true}
+		}
 		desc := st.DCache.Take(obj)
 		if desc == nil {
 			// Possible only when the d-cache dropped the descriptor
@@ -227,6 +242,7 @@ func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp flo
 			desc.Window.Record(now)
 		}
 		desc.SetMissPenalty(mp)
+		desc.Gen = gen
 		evicted, ok := st.Store.Insert(desc, now)
 		if !ok {
 			st.DCache.Put(desc, now)
@@ -268,6 +284,12 @@ func (st *NodeState) DownStep(obj model.ObjectID, size int64, place bool, mp flo
 		}
 		for _, v := range evicted {
 			st.DCache.Put(v, now)
+			if st.Coh != nil {
+				st.Coh.Forget(v.ID)
+			}
+		}
+		if st.Coh != nil {
+			st.Coh.RecordFetch(obj, now)
 		}
 		if tr != nil {
 			tr.Add(reqtrace.Event{Phase: reqtrace.PhaseDown, Hop: hop, Node: int(st.Node), Action: reqtrace.ActPlace, MissPenalty: mp, Reset: true, Evicted: len(evicted)})
@@ -299,6 +321,10 @@ type PromoteResult struct {
 	// store; the caller should move the object's bytes back to the memory
 	// tier.
 	Placed bool
+	// Stale reports that the disk copy's generation was below the node's
+	// floor: the bytes must not be served or re-admitted (the caller
+	// treats the disk hit as a miss).
+	Stale bool
 	// Avoided is the miss penalty the disk copy saved (the descriptor's
 	// counter at promotion time) — the hit's realized saving whether or
 	// not the re-admission succeeded, because the bytes are served either
@@ -317,12 +343,22 @@ type PromoteResult struct {
 // same victim demotion — so the §2.3 invariants hold for promoted copies
 // too. The hit itself is accounted to the ledger in both branches (serving
 // from disk avoids the upstream fetch regardless of whether the memory
-// re-admission sticks).
-func (st *NodeState) Promote(obj model.ObjectID, size int64, now float64) PromoteResult {
+// re-admission sticks). gen is the disk copy's persisted generation
+// (CBS1); a copy below the node's floor is rejected outright so a spill
+// can never resurrect stale bytes.
+func (st *NodeState) Promote(obj model.ObjectID, size int64, gen uint64, now float64) PromoteResult {
+	if st.Coh != nil && st.Coh.Mode().Validates() && gen < st.Coh.Floor(obj) {
+		st.Coh.Metrics().StaleHit()
+		if st.Flight != nil {
+			st.Flight.Record(flightrec.Event{Time: now, Node: st.Node, Kind: flightrec.KindStaleHit, Obj: obj, Hop: -1, A: float64(gen), B: float64(st.Coh.Floor(obj)), N: 1})
+		}
+		return PromoteResult{Stale: true}
+	}
 	desc := st.DCache.Take(obj)
 	if desc == nil {
 		desc = st.newDescriptor(obj, size)
 	}
+	desc.Gen = gen
 	desc.Window.Record(now)
 	avoided := desc.MissPenalty()
 	if st.Ledger != nil {
@@ -352,6 +388,12 @@ func (st *NodeState) Promote(obj model.ObjectID, size int64, now float64) Promot
 	}
 	for _, v := range evicted {
 		st.DCache.Put(v, now)
+		if st.Coh != nil {
+			st.Coh.Forget(v.ID)
+		}
+	}
+	if st.Coh != nil {
+		st.Coh.RecordFetch(obj, now)
 	}
 	return PromoteResult{Placed: true, Avoided: avoided, Evicted: evicted}
 }

@@ -7,6 +7,7 @@ import (
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/dcache"
 	"cascade/internal/flightrec"
 	"cascade/internal/model"
@@ -76,6 +77,10 @@ type ShardedConfig struct {
 	Flight *flightrec.Recorder
 	Audit  *audit.Auditor
 	Ledger *audit.Ledger
+	// Coherency is the node's coherency view, shared across shards (the
+	// view is internally synchronized; floors and the PSI cursor are
+	// node-level state, not per-shard). Nil disables freshness logic.
+	Coherency *coherency.NodeView
 }
 
 // NormalizeShards rounds a requested shard count up to the power of two
@@ -111,6 +116,7 @@ func NewSharded(cfg ShardedConfig) *Sharded {
 			Flight:  cfg.Flight,
 			Audit:   cfg.Audit,
 			Ledger:  cfg.Ledger,
+			Coh:     cfg.Coherency,
 		}
 		if cfg.Pooled {
 			ns.Pool = &DescPool{}
@@ -173,6 +179,50 @@ func (s *Sharded) Lookup(obj model.ObjectID, now float64) bool {
 	return hit
 }
 
+// LookupFresh probes the owning shard with freshness enforcement (see
+// NodeState.LookupFresh).
+func (s *Sharded) LookupFresh(obj model.ObjectID, now float64, floor uint64) LookupResult {
+	sh := &s.shards[s.ShardOf(obj)]
+	s.lock(sh)
+	res := sh.st.LookupFresh(obj, now, floor)
+	sh.mu.Unlock()
+	return res
+}
+
+// ApplyInvalidations applies a piggybacked (or pushed) invalidation tail,
+// routing each entry's copy-drop to the owning shard, then advances the
+// shared cursor to head (see NodeState.ApplyInvalidations).
+func (s *Sharded) ApplyInvalidations(tail []coherency.Invalidation, head uint64, now float64) int {
+	view := s.shards[0].st.Coh
+	if view == nil || !view.Mode().Validates() {
+		return 0
+	}
+	applied := 0
+	for _, inv := range tail {
+		sh := &s.shards[s.ShardOf(inv.Obj)]
+		s.lock(sh)
+		if sh.st.applyInvalidation(inv, now) {
+			applied++
+		}
+		sh.mu.Unlock()
+	}
+	view.AdvanceCursor(head)
+	return applied
+}
+
+// Coherency returns the node's shared coherency view (nil when off).
+func (s *Sharded) Coherency() *coherency.NodeView { return s.shards[0].st.Coh }
+
+// SetCoherency attaches (or detaches) the node's coherency view on every
+// shard — configuration before serving, like SetFlight.
+func (s *Sharded) SetCoherency(view *coherency.NodeView) {
+	s.lockAll()
+	for i := range s.shards {
+		s.shards[i].st.Coh = view
+	}
+	s.unlockAll()
+}
+
 // UpMiss performs the miss-side bookkeeping on the owning shard and returns
 // the hop's piggyback record (see NodeState.UpMiss).
 func (s *Sharded) UpMiss(obj model.ObjectID, size int64, hop int, link float64, now float64) Candidate {
@@ -201,10 +251,10 @@ type DownOutcome struct {
 // shard lock is held — the underlying descriptors alias the shard's scratch
 // buffer and must not escape — and the (possibly grown) slice is returned,
 // so a caller that reuses its buffer takes zero steady-state allocations.
-func (s *Sharded) DownStep(obj model.ObjectID, size int64, place bool, mp float64, hop int, now float64, evicted []model.ObjectID) (DownOutcome, []model.ObjectID) {
+func (s *Sharded) DownStep(obj model.ObjectID, size int64, place bool, mp float64, gen uint64, hop int, now float64, evicted []model.ObjectID) (DownOutcome, []model.ObjectID) {
 	sh := &s.shards[s.ShardOf(obj)]
 	s.lock(sh)
-	res := sh.st.DownStep(obj, size, place, mp, hop, now, nil)
+	res := sh.st.DownStep(obj, size, place, mp, gen, hop, now, nil)
 	for _, v := range res.Evicted {
 		evicted = append(evicted, v.ID)
 	}
@@ -219,11 +269,12 @@ func (s *Sharded) DownStep(obj model.ObjectID, size int64, place bool, mp float6
 // Promote re-admits a spilled object after a disk-tier hit (see
 // NodeState.Promote). Reports whether the re-admission stuck, and appends
 // insertion victims' ids to evicted — the caller spills their bytes in
-// turn.
-func (s *Sharded) Promote(obj model.ObjectID, size int64, now float64, evicted []model.ObjectID) (bool, []model.ObjectID) {
+// turn. A Stale result means the disk copy failed the generation floor
+// and must be treated as a miss.
+func (s *Sharded) Promote(obj model.ObjectID, size int64, gen uint64, now float64, evicted []model.ObjectID) (PromoteOutcome, []model.ObjectID) {
 	sh := &s.shards[s.ShardOf(obj)]
 	s.lock(sh)
-	res := sh.st.Promote(obj, size, now)
+	res := sh.st.Promote(obj, size, gen, now)
 	for _, v := range res.Evicted {
 		evicted = append(evicted, v.ID)
 	}
@@ -232,7 +283,17 @@ func (s *Sharded) Promote(obj model.ObjectID, size int64, now float64, evicted [
 		sh.evictions.Add(int64(len(res.Evicted)))
 	}
 	sh.mu.Unlock()
-	return res.Placed, evicted
+	return PromoteOutcome{Placed: res.Placed, Stale: res.Stale}, evicted
+}
+
+// PromoteOutcome reports one sharded promotion's effect without exposing
+// shard-scratch descriptor pointers.
+type PromoteOutcome struct {
+	// Placed reports the memory-tier re-admission stuck.
+	Placed bool
+	// Stale reports the disk copy failed the generation floor; the bytes
+	// must not be served.
+	Stale bool
 }
 
 // Contains reports whether the node currently caches the object.

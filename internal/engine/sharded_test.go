@@ -76,7 +76,7 @@ func fill(s *Sharded, objs []model.ObjectID, size int64, now float64) int {
 		ts := now + float64(i)*0.01
 		s.UpMiss(obj, size, 0, 1, ts)         // creates the descriptor
 		s.UpMiss(obj, size, 0, 1, ts+0.001)   // second touch: usable frequency
-		out, _ := s.DownStep(obj, size, true, 1, 0, ts+0.002, nil)
+		out, _ := s.DownStep(obj, size, true, 1, 0, 0, ts+0.002, nil)
 		if out.Placed {
 			placedCount++
 		}
@@ -146,7 +146,7 @@ func TestShardedDrainMatchesUnsharded(t *testing.T) {
 			for k := 0; k <= i%5; k++ {
 				s.UpMiss(obj, 2048, 0, 1, 1+float64(i)+float64(k)*0.1)
 			}
-			s.DownStep(obj, 2048, true, 1, 0, 2+float64(i), nil)
+			s.DownStep(obj, 2048, true, 1, 0, 0, 2+float64(i), nil)
 		}
 		return s
 	}

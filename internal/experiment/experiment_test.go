@@ -222,28 +222,36 @@ func TestTableFormatAndCSV(t *testing.T) {
 	}
 }
 
-func TestFreshnessStudy(t *testing.T) {
-	tab, err := FreshnessStudy(EnRoute, tinyConfig(), []float64{3600}, 0.02)
+func TestFreshnessFrontier(t *testing.T) {
+	tab, err := FreshnessFrontier(EnRoute, tinyConfig(), []float64{3600}, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 1 || len(tab.Rows[0].Values) != 7 {
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Values) != 10 {
 		t.Fatalf("table shape wrong: %+v", tab)
 	}
 	v := tab.Rows[0].Values
 	noneLat, noneStale := v[0], v[1]
 	ttlStale, ttlRefetch := v[3], v[4]
 	psiStale := v[6]
+	casStale, casRefetch := v[8], v[9]
 	if noneStale <= 0 {
-		t.Fatal("aggressive updates produced no stale hits under policy None")
+		t.Fatal("aggressive updates produced no stale hits under mode None")
 	}
-	// TTL and PSI must both reduce staleness below the do-nothing policy.
+	// TTL and PSI must both reduce staleness below the do-nothing mode.
 	if ttlStale >= noneStale || psiStale >= noneStale {
-		t.Fatalf("policies did not reduce staleness: none=%v ttl=%v psi=%v",
+		t.Fatalf("modes did not reduce staleness: none=%v ttl=%v psi=%v",
 			noneStale, ttlStale, psiStale)
 	}
 	if ttlRefetch <= 0 {
 		t.Fatal("TTL never revalidated despite updates")
+	}
+	// The CAS contract: zero staleness, bought with validation refetches.
+	if casStale != 0 {
+		t.Fatalf("CAS-strict mode served stale hits: %v", casStale)
+	}
+	if casRefetch <= 0 {
+		t.Fatal("CAS never invalidated a copy despite aggressive updates")
 	}
 	if noneLat <= 0 {
 		t.Fatal("latency missing")
@@ -253,7 +261,7 @@ func TestFreshnessStudy(t *testing.T) {
 func TestFreshnessAssumptionHoldsAtWebRates(t *testing.T) {
 	// The §2 assumption: at realistic (weekly) update rates, staleness is
 	// negligible even with no consistency protocol at all.
-	tab, err := FreshnessStudy(EnRoute, tinyConfig(), []float64{7 * 86400}, 0.02)
+	tab, err := FreshnessFrontier(EnRoute, tinyConfig(), []float64{7 * 86400}, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}

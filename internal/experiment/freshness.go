@@ -8,17 +8,28 @@ import (
 	"cascade/internal/sim"
 )
 
-// FreshnessStudy quantifies the paper's §2 freshness assumption
-// ("objects stored in the caches are up-to-date"): it replays the workload
-// through the coordinated scheme under object-update processes of varying
-// intensity and reports, per consistency policy, the average latency and
-// the fraction of requests that were served a stale copy or forced to
-// revalidate. At web-like update rates (accesses ≫ updates, [13]) the
-// stale-hit ratio should be small, supporting the assumption.
+// FreshnessFrontier quantifies the paper's §2 freshness assumption
+// ("objects stored in the caches are up-to-date") and maps the frontier of
+// consistency mechanisms the engine-native substrate offers: it replays the
+// workload through the coordinated scheme under object-update processes of
+// varying intensity and reports, per mode, the average latency, the fraction
+// of requests served a stale copy and the fraction forced to refetch.
+//
+//   - None: the paper's assumption — nothing is validated; staleness is the
+//     price, measured omnisciently against the live authority.
+//   - TTL: copies older than a lifetime are demoted and refetched. The stale
+//     window shrinks to the lifetime; refetches buy it.
+//   - PSI: origin responses piggyback the invalidation-log tail, so floors
+//     rise on every origin contact and copies invalidated since are dropped
+//     (Krishnamurthy & Wills' piggyback server invalidation, the mechanism
+//     the paper cites).
+//   - CAS: strict never-serve-stale — every request carries the origin's
+//     current generation as a read floor, so a stale copy self-heals to a
+//     miss. Staleness is zero by construction; the column pins it.
 //
 // intervals lists mean seconds between updates of one object (larger =
 // more static); size is the relative cache size to study.
-func FreshnessStudy(arch Arch, cfg Config, intervals []float64, size float64) (Table, error) {
+func FreshnessFrontier(arch Arch, cfg Config, intervals []float64, size float64) (Table, error) {
 	cfg.setDefaults()
 	if len(intervals) == 0 {
 		// One update per object per week / day / 2 hours.
@@ -30,7 +41,7 @@ func FreshnessStudy(arch Arch, cfg Config, intervals []float64, size float64) (T
 	w := cfg.workload()
 	net := cfg.Network(arch)
 	t := Table{
-		Title: fmt.Sprintf("Freshness study (%s, cache size %.2f%%): coordinated caching under object updates",
+		Title: fmt.Sprintf("Freshness frontier (%s, cache size %.2f%%): coordinated caching under object updates",
 			arch, size*100),
 		XLabel: "update interval",
 		YLabel: "latency (s) / fraction of requests",
@@ -38,20 +49,13 @@ func FreshnessStudy(arch Arch, cfg Config, intervals []float64, size float64) (T
 			"None lat", "None stale",
 			"TTL lat", "TTL stale", "TTL refetch",
 			"PSI lat", "PSI stale",
+			"CAS lat", "CAS stale", "CAS refetch",
 		},
 	}
+	modes := []coherency.Mode{coherency.ModeNone, coherency.ModeTTL, coherency.ModePSI, coherency.ModeCAS}
 	for _, interval := range intervals {
 		row := Row{Label: fmt.Sprintf("%gh", interval/3600)}
-		for _, pol := range []coherency.Policy{coherency.None, coherency.TTL, coherency.PSI} {
-			tracker := coherency.NewTracker(coherency.Config{
-				Policy:               pol,
-				ObjectUpdateInterval: interval,
-				// A sensible TTL tracks the expected update rate:
-				// a quarter of the mean update interval bounds the
-				// stale window while keeping revalidations rare.
-				Lifetime: interval / 4,
-				Seed:     cfg.AttachSeed,
-			}, w.Catalog().Objects)
+		for _, mode := range modes {
 			simr, err := sim.New(sim.Config{
 				Scheme:            scheme.NewCoordinated(),
 				Network:           net,
@@ -59,7 +63,15 @@ func FreshnessStudy(arch Arch, cfg Config, intervals []float64, size float64) (T
 				RelativeCacheSize: size,
 				DCacheFactor:      cfg.DCacheFactor,
 				Seed:              cfg.AttachSeed + 7,
-				Coherency:         tracker,
+				Coherency: &coherency.Config{
+					Mode:                 mode,
+					ObjectUpdateInterval: interval,
+					// A sensible TTL tracks the expected update rate:
+					// a quarter of the mean update interval bounds the
+					// stale window while keeping revalidations rare.
+					Lifetime: interval / 4,
+					Seed:     cfg.AttachSeed,
+				},
 			})
 			if err != nil {
 				return Table{}, err
@@ -69,13 +81,15 @@ func FreshnessStudy(arch Arch, cfg Config, intervals []float64, size float64) (T
 				return Table{}, err
 			}
 			s, _ := simr.Run(src, w.Len()/2)
-			switch pol {
-			case coherency.None:
+			switch mode {
+			case coherency.ModeNone:
 				row.Values = append(row.Values, s.AvgLatency, s.StaleHitRatio)
-			case coherency.TTL:
+			case coherency.ModeTTL:
 				row.Values = append(row.Values, s.AvgLatency, s.StaleHitRatio, s.RefetchRatio)
-			case coherency.PSI:
+			case coherency.ModePSI:
 				row.Values = append(row.Values, s.AvgLatency, s.StaleHitRatio)
+			case coherency.ModeCAS:
+				row.Values = append(row.Values, s.AvgLatency, s.StaleHitRatio, s.RefetchRatio)
 			}
 		}
 		t.Rows = append(t.Rows, row)

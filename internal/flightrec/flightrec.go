@@ -92,6 +92,18 @@ const (
 	// this node. N = the new health state (controlplane.Health numeric
 	// value); A = the routing epoch after the transition.
 	KindHealth
+	// KindInvalidate: an invalidation-log entry applied at this node
+	// (coherency). A = the new generation floor, B = the log sequence
+	// number, N = 1 when a cached copy was dropped by the application.
+	KindInvalidate
+	// KindStaleHit: the read path found a copy older than the node's
+	// generation floor (coherency). A = the copy's generation, B = the
+	// floor it failed; N = 1 when the copy self-healed to a miss, 0 when
+	// it was knowingly served (stale-if-error degraded serving).
+	KindStaleHit
+	// KindRevalidate: a TTL expiry (or conditional revalidation) turned a
+	// would-be hit into a refresh (coherency). A = the copy's generation.
+	KindRevalidate
 
 	numKinds
 )
@@ -116,6 +128,9 @@ var kindNames = [numKinds]string{
 	KindSpill:          "spill",
 	KindPromote:        "promote",
 	KindHealth:         "health",
+	KindInvalidate:     "invalidate",
+	KindStaleHit:       "stale_hit",
+	KindRevalidate:     "revalidate",
 }
 
 // String returns the schema name of the kind (docs/OBSERVABILITY.md).

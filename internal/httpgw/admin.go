@@ -135,6 +135,12 @@ func (n *Node) serveAdmin(w http.ResponseWriter, r *http.Request, now float64) {
 			return
 		}
 		n.adminAbsorb(w, r, now)
+	case "/cascade/admin/invalidate":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.adminInvalidate(w, r, now)
 	case "/cascade/admin/health":
 		n.adminHealth(w, r, now)
 	default:
@@ -340,7 +346,7 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 	}
 	entries = append(entries, engine.Candidate{Node: n.ID, Tag: engine.TagNoDescriptor, Link: n.UpCost})
 	n.advertise(up.Header)
-	writePath(up.Header, n.binaryCapable() && n.upBinary.Load(), entries)
+	writePath(up.Header, n.upstreamVersion(), entries)
 	if traceWanted(r) {
 		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
 	}
@@ -373,13 +379,22 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 		n.badPenalty.Add(1)
 		prev = 0
 	}
-	place, predict, derr := parseDecision(resp.Header)
+	dec, derr := parseDecision(resp.Header)
 	if derr != nil {
 		http.Error(w, derr.Error(), http.StatusBadGateway)
 		return
 	}
+	if dec.badGen {
+		n.badGen.Add(1)
+	}
+	if dec.badInval {
+		n.badInval.Add(1)
+	}
+	// A draining/removed node relays the coherency payload without applying
+	// it — it holds no copies and takes no placements, so there is no floor
+	// to raise; the live hops below apply the tail themselves.
 	n.advertise(w.Header())
-	writeDecision(w.Header(), n.replyBinary(r), place, predict)
+	writeDecision(w.Header(), n.replyVersion(r), dec)
 	w.Header().Set(HeaderPenalty, fmtFloat(prev+n.UpCost))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if tag := resp.Header.Get("ETag"); tag != "" {

@@ -1,0 +1,256 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cascade/internal/coherency"
+	"cascade/internal/flightrec"
+	"cascade/internal/metrics"
+	"cascade/internal/model"
+)
+
+// Coherency on the HTTP transport. The engine owns the mechanism — per-object
+// generation floors in the shared coherency.NodeView, generation-guarded
+// placement in DownStep/Promote, generation-validated spill files — and this
+// file gives it wire form:
+//
+//	X-Cascade-Gen:   on a request, the client's read floor (ModeCAS: the
+//	                 origin generation the response must meet or beat); on
+//	                 a response, the served copy's generation.
+//	X-Cascade-Inval: the origin's invalidation-log head and recent tail,
+//	                 "head|seq:obj:gen,…", piggybacked on origin responses
+//	                 PSI-style and applied at every hop before its DownStep.
+//
+// Both payloads also travel inside the v2 binary frame (frame.go); the
+// textual headers remain the universal fallback so mixed chains stay
+// coherent. Malformed values never fail a request: a garbled floor
+// zero-defaults (weakening freshness, not availability) and a garbled tail
+// is ignored, each counted in cascade_gw_bad_header_total.
+const (
+	HeaderGen   = "X-Cascade-Gen"
+	HeaderInval = "X-Cascade-Inval"
+)
+
+// EnableCoherency attaches engine-native freshness to the node: one
+// generation-floor view shared across every shard, the cascade_coherency_*
+// metric series, and generation validation on every serving path (memory
+// tier, disk spill tier, snapshot restore). Call before serving, and before
+// EnableSpill so the disk tier picks up the generation-floor oracle. The
+// gateway's own TTL/If-None-Match machinery keeps handling time-based
+// freshness; the view's floors handle write-driven invalidation (ModePSI
+// piggybacked, ModeCAS strict never-serve-stale).
+func (n *Node) EnableCoherency(mode coherency.Mode) {
+	if mode == coherency.ModeNone {
+		return
+	}
+	v := coherency.NewNodeView(mode, 0)
+	v.SetMetrics(coherency.NewMetrics(n.MetricsRegistry(), metrics.L("node", strconv.Itoa(int(n.ID)))))
+	n.view = v
+	n.mu.Lock()
+	n.st.SetCoherency(v)
+	n.mu.Unlock()
+}
+
+// CoherencyView returns the node's generation-floor view (nil until
+// EnableCoherency).
+func (n *Node) CoherencyView() *coherency.NodeView { return n.view }
+
+// readFloor is the effective generation floor for one read: the
+// request-carried CAS floor or the node's own floor for the object,
+// whichever is higher. Zero when coherency is off or non-validating, so
+// every `gen < readFloor` guard collapses to false.
+func (n *Node) readFloor(obj model.ObjectID, reqFloor uint64) uint64 {
+	v := n.view
+	if v == nil || !v.Mode().Validates() {
+		return 0
+	}
+	if f := v.Floor(obj); f > reqFloor {
+		return f
+	}
+	return reqFloor
+}
+
+// recordStaleHit labels a generation-floor freshness decision: n=1 means a
+// stale copy was dropped and self-healed to a miss, n=0 means stale bytes
+// were knowingly served (stale-if-error while the upstream is unreachable).
+func (n *Node) recordStaleHit(obj model.ObjectID, gen, floor uint64, served bool, now float64) {
+	if v := n.view; v != nil {
+		v.Metrics().StaleHit()
+	}
+	dropped := 1
+	if served {
+		dropped = 0
+	}
+	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindStaleHit, Obj: obj, Hop: -1, A: float64(gen), B: float64(floor), N: dropped})
+}
+
+// applyInval lands a response-piggybacked (or admin-pushed) invalidation
+// batch at this node before any placement step, so a placement at the
+// pre-write generation is caught by the freshly raised floor. head is the
+// origin's log head for PSI cursor advance (0 for out-of-band pushes).
+func (n *Node) applyInval(tail []coherency.Invalidation, head uint64, now float64) int {
+	if len(tail) == 0 && head == 0 {
+		return 0
+	}
+	n.mu.Lock()
+	applied := n.st.ApplyInvalidations(tail, head, now)
+	n.mu.Unlock()
+	return applied
+}
+
+// parseGen decodes an X-Cascade-Gen value. Absent is legitimately zero (a
+// hop or client outside coherency); malformed reports !ok so the caller
+// counts it and proceeds at floor zero.
+func parseGen(v string) (uint64, bool) {
+	if v == "" {
+		return 0, true
+	}
+	g, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// formatInval renders the origin's invalidation-log head and tail as the
+// textual X-Cascade-Inval value: "head|seq:obj:gen,seq:obj:gen,…".
+func formatInval(head uint64, tail []coherency.Invalidation) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(head, 10))
+	b.WriteByte('|')
+	for i, inv := range tail {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(inv.Seq, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(int64(inv.Obj), 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(inv.Gen, 10))
+	}
+	return b.String()
+}
+
+// parseInval decodes an X-Cascade-Inval value; !ok on any malformation (the
+// caller counts it and drops the whole batch — applying half a tail would
+// advance no cursor anyway).
+func parseInval(v string) (head uint64, tail []coherency.Invalidation, ok bool) {
+	bar := strings.IndexByte(v, '|')
+	if bar < 0 {
+		return 0, nil, false
+	}
+	head, err := strconv.ParseUint(v[:bar], 10, 64)
+	if err != nil {
+		return 0, nil, false
+	}
+	rest := v[bar+1:]
+	if rest == "" {
+		return head, nil, true
+	}
+	for _, part := range strings.Split(rest, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return 0, nil, false
+		}
+		seq, e1 := strconv.ParseUint(fields[0], 10, 64)
+		obj, e2 := strconv.ParseInt(fields[1], 10, 64)
+		gen, e3 := strconv.ParseUint(fields[2], 10, 64)
+		if e1 != nil || e2 != nil || e3 != nil || obj < 0 {
+			return 0, nil, false
+		}
+		tail = append(tail, coherency.Invalidation{Seq: seq, Obj: model.ObjectID(obj), Gen: gen})
+	}
+	return head, tail, true
+}
+
+// invalidateReply is the JSON body of POST /cascade/admin/invalidate: the
+// origin's new generation and log sequence for the object.
+type invalidateReply struct {
+	Obj int64  `json:"obj"`
+	Gen uint64 `json:"gen"`
+	Seq uint64 `json:"seq"`
+}
+
+// adminInvalidate is a cache node's side of the origin-driven bulk
+// invalidation push: the write request chains upstream to the origin (the
+// sole generation authority), and the acknowledgment unwinds back down the
+// distribution tree with every hop raising its floor and dropping its stale
+// copy before the caller sees the new generation — so a client that issued
+// the write and immediately re-reads through the same chain cannot be
+// served the old bytes.
+func (n *Node) adminInvalidate(w http.ResponseWriter, r *http.Request, now float64) {
+	obj, err := strconv.ParseInt(r.URL.Query().Get("obj"), 10, 64)
+	if err != nil || obj < 0 {
+		http.Error(w, "httpgw: bad obj parameter", http.StatusBadRequest)
+		return
+	}
+	if n.Upstream == "" {
+		http.Error(w, "httpgw: no upstream generation authority", http.StatusBadGateway)
+		return
+	}
+	resp, err := n.client().Post(n.Upstream+"/cascade/admin/invalidate?obj="+strconv.FormatInt(obj, 10), "application/json", nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.WriteHeader(resp.StatusCode)
+		copyStream(w, resp.Body) //nolint:errcheck
+		return
+	}
+	var rep invalidateReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		http.Error(w, "httpgw: bad invalidate reply: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	inv := [1]coherency.Invalidation{{Seq: rep.Seq, Obj: model.ObjectID(rep.Obj), Gen: rep.Gen}}
+	n.mu.Lock()
+	// head 0: an out-of-band push must not mark intermediate log entries
+	// as seen by the PSI cursor.
+	if n.st.ApplyInvalidations(inv[:], 0, now) > 0 {
+		// The floor moved: any held payload predates it. The engine
+		// demoted the descriptor; drop the bytes from both tiers too.
+		n.bodies.Delete(model.ObjectID(rep.Obj))
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// serveInvalidate is the origin's side: bump the object's generation in the
+// authority's log and acknowledge with the new (gen, seq) so the chain can
+// apply it on the unwind. The bump also lands in the log tail piggybacked
+// on subsequent responses, reaching branches of the tree the write request
+// never traversed.
+func (o *Origin) serveInvalidate(w http.ResponseWriter, r *http.Request) {
+	if o.Authority == nil {
+		http.Error(w, "httpgw: origin has no coherency authority", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	obj, err := strconv.ParseInt(r.URL.Query().Get("obj"), 10, 64)
+	if err != nil || obj < 0 {
+		http.Error(w, "httpgw: bad obj parameter", http.StatusBadRequest)
+		return
+	}
+	gen, seq := o.Authority.Bump(model.ObjectID(obj))
+	writeJSON(w, http.StatusOK, invalidateReply{Obj: obj, Gen: gen, Seq: seq})
+}
+
+// originDecision assembles the coherency payload of an origin decision
+// response: the object's current generation plus the log's recent tail.
+func (o *Origin) originDecision(obj model.ObjectID, place []model.NodeID, predict []predictTerm) decision {
+	d := decision{place: place, predict: predict}
+	if o.Authority != nil {
+		d.gen = o.Authority.Gen(obj)
+		d.invHead = o.Authority.Head()
+		d.inval = o.Authority.Tail(nil)
+	}
+	return d
+}

@@ -28,9 +28,17 @@ import (
 // dir instead of dropping it, and a later request for a spilled object is
 // served from disk (and promoted back to memory) without an upstream
 // fetch. maxBytes bounds the tier (0 = unbounded); ttl expires disk copies
-// after that many Clock seconds (0 = never). Call before serving.
+// after that many Clock seconds (0 = never). Call before serving, after
+// EnableCoherency: with a validating view attached the tier gets the
+// node's generation floor as its MinGen oracle, so spill files written
+// before an invalidation are rejected at read and at startup adoption — a
+// crashed node's disk can never resurrect a stale body.
 func (n *Node) EnableSpill(dir string, maxBytes int64, ttl float64) error {
-	t, err := store.NewTiered(store.Config{Dir: dir, DiskBytes: maxBytes, DiskTTL: ttl, Clock: n.Clock})
+	cfg := store.Config{Dir: dir, DiskBytes: maxBytes, DiskTTL: ttl, Clock: n.Clock}
+	if v := n.view; v != nil && v.Mode().Validates() {
+		cfg.MinGen = v.Floor
+	}
+	t, err := store.NewTiered(cfg)
 	if err != nil {
 		return err
 	}

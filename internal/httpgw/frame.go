@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 
+	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
 )
@@ -24,22 +26,25 @@ import (
 // so a chain may mix them freely: the conformance suite proves serving and
 // placement decisions are identical whichever encoding each hop speaks.
 //
-// Negotiation is per-hop and fail-safe. A binary-capable hop advertises
-// "bf1" on X-Cascade-Accept in both directions: on its requests (telling
-// the upstream it may answer with a frame) and on its responses (telling
-// the downstream it may send frames next time). A node emits a binary
-// request frame only after it has seen the upstream's advert, so the first
-// exchange of any pair — and every exchange with a textual peer, which
-// ignores the unknown headers — runs on the textual fallback.
+// Negotiation is per-hop and fail-safe. A binary-capable hop advertises its
+// best version ("bf2"; "bf1" names the pre-coherency layout) on
+// X-Cascade-Accept in both directions: on its requests (telling the
+// upstream it may answer with a frame) and on its responses (telling the
+// downstream it may send frames next time). A node emits a binary request
+// frame only after it has seen the upstream's advert, and speaks the
+// highest version both sides understand, so the first exchange of any
+// pair — and every exchange with a textual peer, which ignores the unknown
+// headers — runs on the textual fallback.
 //
 // Frame layout (all multi-byte values little-endian):
 //
 //	offset  size  value
 //	0       2     magic "CF"
-//	2       1     version (1)
+//	2       1     version (1 or 2)
 //	3       1     kind: 1 = path, 2 = decision
 //
-// kind 1 (path), repeated count times after a u16 count — 29 bytes each:
+// kind 1 (path), repeated count times after a u16 count — 29 bytes each in
+// version 1, 37 in version 2:
 //
 //	u32  node ID
 //	u8   tag: 0 = candidate, 1 = excluded (§2.4 no-descriptor; the
@@ -47,29 +52,45 @@ import (
 //	f64  frequency estimate (bits; zero when excluded)
 //	f64  eviction cost loss (bits; zero when excluded)
 //	f64  cost of the link just crossed (bits)
+//	u64  coherency generation of the node's last copy (version 2 only)
 //
 // kind 2 (decision):
 //
 //	u16  placement count, then u32 node IDs (ascending)
 //	u16  prediction count, then (u32 node, f64 term) pairs (ascending)
 //
-// See docs/PERFORMANCE.md for a worked byte example.
+// version 2 appends the coherency payload:
+//
+//	u64  served generation
+//	u64  invalidation-log head
+//	u16  invalidation count, then (u64 seq, u64 obj, u64 gen) entries
+//
+// A version-1 frame carries no coherency fields; the textual X-Cascade-Gen
+// and X-Cascade-Inval headers ride beside it so a mixed chain stays
+// coherent. See docs/PERFORMANCE.md for a worked byte example and
+// docs/PROTOCOL.md for the header table.
 const (
 	// HeaderFrame carries one base64 (raw, unpadded) binary frame.
 	HeaderFrame = "X-Cascade-Frame"
-	// HeaderAccept advertises frame support ("bf1") hop-by-hop.
+	// HeaderAccept advertises frame support ("bf1"/"bf2") hop-by-hop.
 	HeaderAccept = "X-Cascade-Accept"
-	// FrameV1 is the sole framing capability token so far.
+	// FrameV1 is the pre-coherency framing capability token.
 	FrameV1 = "bf1"
+	// FrameV2 adds the coherency payloads: per-candidate generations on
+	// path frames, served generation plus invalidation tail on decisions.
+	FrameV2 = "bf2"
 )
 
 const (
 	frameMagic0, frameMagic1 = 'C', 'F'
-	frameVersion             = 1
+	frameVersion1            = 1
+	frameVersion2            = 2
 	framePath                = 1
 	frameDecision            = 2
 	frameHeaderLen           = 4
-	frameCandidateLen        = 4 + 1 + 8 + 8 + 8
+	frameCandidateLenV1      = 4 + 1 + 8 + 8 + 8
+	frameCandidateLenV2      = frameCandidateLenV1 + 8
+	frameInvalLen            = 8 + 8 + 8
 )
 
 // predictTerm pairs a chosen node with the DP's predicted Δcost term for
@@ -79,20 +100,46 @@ type predictTerm struct {
 	Term float64
 }
 
-func putU16(b []byte, v int) []byte  { return binary.LittleEndian.AppendUint16(b, uint16(v)) }
+// decision is one parsed placement decision: the §2.2 DP's output plus —
+// since frame version 2 — the coherency payloads that ride beside it.
+type decision struct {
+	place   []model.NodeID
+	predict []predictTerm
+	// gen is the served copy's coherency generation (X-Cascade-Gen /
+	// frame v2); zero when the serving side runs no coherency.
+	gen uint64
+	// invHead and inval are the origin's invalidation-log head and recent
+	// tail (X-Cascade-Inval / frame v2), applied at every hop before its
+	// DownStep so a same-response placement at the pre-write generation
+	// is caught by the freshly raised floor.
+	invHead uint64
+	inval   []coherency.Invalidation
+	// badGen / badInval report malformed textual coherency headers:
+	// zero-defaulted (gen) or dropped (inval) explicitly, counted by the
+	// caller in cascade_gw_bad_header_total.
+	badGen, badInval bool
+}
+
+func putU16(b []byte, v int) []byte { return binary.LittleEndian.AppendUint16(b, uint16(v)) }
 func putU32(b []byte, v int32) []byte {
 	return binary.LittleEndian.AppendUint32(b, uint32(v))
 }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
 func putF64(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
 // encodePathFrame renders hop candidates (wire order: the client's first
-// cache first) as a base64 path frame. Hop indices are not encoded — the
-// receiver assigns them positionally, exactly as parsePath does.
-func encodePathFrame(entries []engine.Candidate) string {
-	b := make([]byte, 0, frameHeaderLen+2+len(entries)*frameCandidateLen)
-	b = append(b, frameMagic0, frameMagic1, frameVersion, framePath)
+// cache first) as a base64 path frame of the given version. Hop indices are
+// not encoded — the receiver assigns them positionally, exactly as
+// parsePath does.
+func encodePathFrame(entries []engine.Candidate, version int) string {
+	candLen := frameCandidateLenV1
+	if version >= frameVersion2 {
+		candLen = frameCandidateLenV2
+	}
+	b := make([]byte, 0, frameHeaderLen+2+len(entries)*candLen)
+	b = append(b, frameMagic0, frameMagic1, byte(version), framePath)
 	b = putU16(b, len(entries))
 	for _, e := range entries {
 		b = putU32(b, int32(e.Node))
@@ -106,23 +153,37 @@ func encodePathFrame(entries []engine.Candidate) string {
 			b = putF64(b, 0)
 		}
 		b = putF64(b, e.Link)
+		if version >= frameVersion2 {
+			b = putU64(b, e.Gen)
+		}
 	}
 	return base64.RawStdEncoding.EncodeToString(b)
 }
 
 // encodeDecisionFrame renders a placement decision (chosen node IDs
-// ascending, predicted terms ascending by node) as a base64 decision frame.
-func encodeDecisionFrame(place []model.NodeID, predict []predictTerm) string {
-	b := make([]byte, 0, frameHeaderLen+4+4*len(place)+12*len(predict))
-	b = append(b, frameMagic0, frameMagic1, frameVersion, frameDecision)
-	b = putU16(b, len(place))
-	for _, id := range place {
+// ascending, predicted terms ascending by node) as a base64 decision frame;
+// version 2 appends the coherency payload.
+func encodeDecisionFrame(d decision, version int) string {
+	b := make([]byte, 0, frameHeaderLen+4+4*len(d.place)+12*len(d.predict)+18+frameInvalLen*len(d.inval))
+	b = append(b, frameMagic0, frameMagic1, byte(version), frameDecision)
+	b = putU16(b, len(d.place))
+	for _, id := range d.place {
 		b = putU32(b, int32(id))
 	}
-	b = putU16(b, len(predict))
-	for _, p := range predict {
+	b = putU16(b, len(d.predict))
+	for _, p := range d.predict {
 		b = putU32(b, int32(p.Node))
 		b = putF64(b, p.Term)
+	}
+	if version >= frameVersion2 {
+		b = putU64(b, d.gen)
+		b = putU64(b, d.invHead)
+		b = putU16(b, len(d.inval))
+		for _, inv := range d.inval {
+			b = putU64(b, inv.Seq)
+			b = putU64(b, uint64(inv.Obj))
+			b = putU64(b, inv.Gen)
+		}
 	}
 	return base64.RawStdEncoding.EncodeToString(b)
 }
@@ -152,6 +213,12 @@ func (r *frameReader) u32() int32 {
 	return int32(v)
 }
 
+func (r *frameReader) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
 func (r *frameReader) f64() float64 {
 	v := binary.LittleEndian.Uint64(r.b[r.off:])
 	r.off += 8
@@ -159,25 +226,26 @@ func (r *frameReader) f64() float64 {
 }
 
 // openFrame decodes the base64 envelope and checks magic and version,
-// returning a reader positioned after the kind byte plus the kind itself.
-func openFrame(h string) (*frameReader, byte, error) {
+// returning a reader positioned after the kind byte plus the version and
+// kind.
+func openFrame(h string) (*frameReader, int, byte, error) {
 	raw, err := base64.RawStdEncoding.DecodeString(h)
 	if err != nil {
-		return nil, 0, fmt.Errorf("httpgw: bad frame base64: %w", err)
+		return nil, 0, 0, fmt.Errorf("httpgw: bad frame base64: %w", err)
 	}
 	if len(raw) < frameHeaderLen || raw[0] != frameMagic0 || raw[1] != frameMagic1 {
-		return nil, 0, fmt.Errorf("httpgw: bad frame magic")
+		return nil, 0, 0, fmt.Errorf("httpgw: bad frame magic")
 	}
-	if raw[2] != frameVersion {
-		return nil, 0, fmt.Errorf("httpgw: unsupported frame version %d", raw[2])
+	if raw[2] != frameVersion1 && raw[2] != frameVersion2 {
+		return nil, 0, 0, fmt.Errorf("httpgw: unsupported frame version %d", raw[2])
 	}
-	return &frameReader{b: raw, off: frameHeaderLen}, raw[3], nil
+	return &frameReader{b: raw, off: frameHeaderLen}, int(raw[2]), raw[3], nil
 }
 
 // decodePathFrame parses a path frame into hop candidates, assigning hop
 // indices positionally.
 func decodePathFrame(h string) ([]engine.Candidate, error) {
-	r, kind, err := openFrame(h)
+	r, version, kind, err := openFrame(h)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +256,11 @@ func decodePathFrame(h string) ([]engine.Candidate, error) {
 		return nil, err
 	}
 	count := r.u16()
-	if err := r.need(count * frameCandidateLen); err != nil {
+	candLen := frameCandidateLenV1
+	if version >= frameVersion2 {
+		candLen = frameCandidateLenV2
+	}
+	if err := r.need(count * candLen); err != nil {
 		return nil, err
 	}
 	out := make([]engine.Candidate, 0, count)
@@ -204,47 +276,71 @@ func decodePathFrame(h string) ([]engine.Candidate, error) {
 			e.Tag = engine.TagNoDescriptor
 		}
 		e.Link = r.f64()
+		if version >= frameVersion2 {
+			e.Gen = r.u64()
+		}
 		out = append(out, e)
 	}
 	return out, nil
 }
 
-// decodeDecisionFrame parses a decision frame into the placement set and
-// the predicted terms.
-func decodeDecisionFrame(h string) ([]model.NodeID, []predictTerm, error) {
-	r, kind, err := openFrame(h)
+// decodeDecisionFrame parses a decision frame. hasCoh reports whether the
+// frame itself carried the coherency payload (version 2) — a version-1
+// frame leaves it to the textual headers beside it.
+func decodeDecisionFrame(h string) (d decision, hasCoh bool, err error) {
+	r, version, kind, err := openFrame(h)
 	if err != nil {
-		return nil, nil, err
+		return decision{}, false, err
 	}
 	if kind != frameDecision {
-		return nil, nil, fmt.Errorf("httpgw: frame kind %d where decision frame expected", kind)
+		return decision{}, false, fmt.Errorf("httpgw: frame kind %d where decision frame expected", kind)
 	}
 	if err := r.need(2); err != nil {
-		return nil, nil, err
+		return decision{}, false, err
 	}
 	nplace := r.u16()
 	if err := r.need(nplace*4 + 2); err != nil {
-		return nil, nil, err
+		return decision{}, false, err
 	}
-	var place []model.NodeID
 	for i := 0; i < nplace; i++ {
-		place = append(place, model.NodeID(r.u32()))
+		d.place = append(d.place, model.NodeID(r.u32()))
 	}
 	npredict := r.u16()
 	if err := r.need(npredict * 12); err != nil {
-		return nil, nil, err
+		return decision{}, false, err
 	}
-	var predict []predictTerm
 	for i := 0; i < npredict; i++ {
-		predict = append(predict, predictTerm{Node: model.NodeID(r.u32()), Term: r.f64()})
+		d.predict = append(d.predict, predictTerm{Node: model.NodeID(r.u32()), Term: r.f64()})
 	}
-	return place, predict, nil
+	if version < frameVersion2 {
+		return d, false, nil
+	}
+	if err := r.need(8 + 8 + 2); err != nil {
+		return decision{}, false, err
+	}
+	d.gen = r.u64()
+	d.invHead = r.u64()
+	ninv := r.u16()
+	if err := r.need(ninv * frameInvalLen); err != nil {
+		return decision{}, false, err
+	}
+	for i := 0; i < ninv; i++ {
+		d.inval = append(d.inval, coherency.Invalidation{Seq: r.u64(), Obj: model.ObjectID(r.u64()), Gen: r.u64()})
+	}
+	return d, true, nil
 }
 
-// wantsFrame reports whether the peer that sent these headers advertised
-// frame support — i.e. whether this side may answer (or, for a learned
-// upstream, ask) in binary.
-func wantsFrame(h http.Header) bool { return h.Get(HeaderAccept) == FrameV1 }
+// peerFrameVersion reports the highest frame version the peer that sent
+// these headers advertised (0: textual only).
+func peerFrameVersion(h http.Header) int {
+	switch h.Get(HeaderAccept) {
+	case FrameV2:
+		return frameVersion2
+	case FrameV1:
+		return frameVersion1
+	}
+	return 0
+}
 
 // parseIncomingPath reads the request's hop candidates from whichever
 // encoding the downstream used: a path frame when present, the textual
@@ -256,10 +352,11 @@ func parseIncomingPath(h http.Header) ([]engine.Candidate, error) {
 	return parsePath(h.Get(HeaderPath))
 }
 
-// writePath emits hop candidates upstream in the negotiated encoding.
-func writePath(h http.Header, binaryFrame bool, entries []engine.Candidate) {
-	if binaryFrame {
-		h.Set(HeaderFrame, encodePathFrame(entries))
+// writePath emits hop candidates upstream in the negotiated encoding
+// (version 0: textual headers).
+func writePath(h http.Header, version int, entries []engine.Candidate) {
+	if version > 0 {
+		h.Set(HeaderFrame, encodePathFrame(entries, version))
 		return
 	}
 	parts := make([]string, len(entries))
@@ -272,26 +369,59 @@ func writePath(h http.Header, binaryFrame bool, entries []engine.Candidate) {
 // parseDecision reads a response's placement decision from whichever
 // encoding the upstream used. The placement set comes back in wire order
 // (ascending — both encoders sort) and the predictions keep their
-// ascending-node order, so re-encoding either way is byte-identical.
-func parseDecision(h http.Header) ([]model.NodeID, []predictTerm, error) {
+// ascending-node order, so re-encoding either way is byte-identical. The
+// coherency payload comes from the v2 frame when one carried it, from the
+// textual X-Cascade-Gen / X-Cascade-Inval headers otherwise.
+func parseDecision(h http.Header) (decision, error) {
+	var d decision
+	hasCoh := false
 	if f := h.Get(HeaderFrame); f != "" {
-		return decodeDecisionFrame(f)
+		var err error
+		if d, hasCoh, err = decodeDecisionFrame(f); err != nil {
+			return decision{}, err
+		}
+	} else {
+		d.place = parsePlacementList(h.Get(HeaderPlace))
+		d.predict = parsePredictTerms(h.Get(HeaderPredict))
 	}
-	place := parsePlacementList(h.Get(HeaderPlace))
-	predict := parsePredictTerms(h.Get(HeaderPredict))
-	return place, predict, nil
+	if !hasCoh {
+		var ok bool
+		if d.gen, ok = parseGen(h.Get(HeaderGen)); !ok {
+			d.badGen = true
+		}
+		if v := h.Get(HeaderInval); v != "" {
+			if head, tail, ok := parseInval(v); ok {
+				d.invHead, d.inval = head, tail
+			} else {
+				d.badInval = true
+			}
+		}
+	}
+	return d, nil
 }
 
 // writeDecision emits a placement decision downstream in the encoding that
-// side negotiated.
-func writeDecision(h http.Header, binaryFrame bool, place []model.NodeID, predict []predictTerm) {
-	if binaryFrame {
-		h.Set(HeaderFrame, encodeDecisionFrame(place, predict))
+// side negotiated. Version 1 frames cannot carry the coherency payload, so
+// it rides on the textual headers beside them — a mixed chain stays
+// coherent whichever encoding each hop speaks.
+func writeDecision(h http.Header, version int, d decision) {
+	switch {
+	case version >= frameVersion2:
+		h.Set(HeaderFrame, encodeDecisionFrame(d, frameVersion2))
 		return
+	case version == frameVersion1:
+		h.Set(HeaderFrame, encodeDecisionFrame(d, frameVersion1))
+	default:
+		h.Set(HeaderPlace, formatPlacement(d.place))
+		if len(d.predict) > 0 {
+			h.Set(HeaderPredict, formatPredictTerms(d.predict))
+		}
 	}
-	h.Set(HeaderPlace, formatPlacement(place))
-	if len(predict) > 0 {
-		h.Set(HeaderPredict, formatPredictTerms(predict))
+	if d.gen != 0 {
+		h.Set(HeaderGen, strconv.FormatUint(d.gen, 10))
+	}
+	if len(d.inval) > 0 || d.invHead != 0 {
+		h.Set(HeaderInval, formatInval(d.invHead, d.inval))
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
 )
@@ -21,32 +22,39 @@ var nastyFloats = []float64{
 
 func TestPathFrameRoundTrip(t *testing.T) {
 	in := []engine.Candidate{
-		{Node: 0, Tag: engine.TagCandidate, Freq: 0.1, CostLoss: 1.0 / 3.0, Link: math.Pi},
+		{Node: 0, Tag: engine.TagCandidate, Freq: 0.1, CostLoss: 1.0 / 3.0, Link: math.Pi, Gen: 7},
 		{Node: 7, Tag: engine.TagNoDescriptor, Link: 4.9e-324},
-		{Node: 1<<31 - 1, Tag: engine.TagCandidate, Freq: math.MaxFloat64, CostLoss: 1e-300, Link: 0},
+		{Node: 1<<31 - 1, Tag: engine.TagCandidate, Freq: math.MaxFloat64, CostLoss: 1e-300, Link: 0, Gen: math.MaxUint64},
 	}
-	out, err := decodePathFrame(encodePathFrame(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out) != len(in) {
-		t.Fatalf("got %d entries, want %d", len(out), len(in))
-	}
-	for i, e := range out {
-		if e.Hop != i {
-			t.Errorf("entry %d: hop %d not positional", i, e.Hop)
+	for _, version := range []int{frameVersion1, frameVersion2} {
+		out, err := decodePathFrame(encodePathFrame(in, version))
+		if err != nil {
+			t.Fatal(err)
 		}
-		want := in[i]
-		want.Hop = i
-		if e != want {
-			t.Errorf("entry %d: got %+v want %+v", i, e, want)
+		if len(out) != len(in) {
+			t.Fatalf("v%d: got %d entries, want %d", version, len(out), len(in))
+		}
+		for i, e := range out {
+			if e.Hop != i {
+				t.Errorf("v%d entry %d: hop %d not positional", version, i, e.Hop)
+			}
+			want := in[i]
+			want.Hop = i
+			if version < frameVersion2 {
+				// A v1 frame has no generation lane; the field zero-defaults.
+				want.Gen = 0
+			}
+			if e != want {
+				t.Errorf("v%d entry %d: got %+v want %+v", version, i, e, want)
+			}
 		}
 	}
 }
 
-// TestPathFrameMatchesTextualEncoding proves the two encodings are lossless
+// TestPathFrameMatchesTextualEncoding proves the encodings are lossless
 // translations of each other: any candidate list encodes through text and
-// through the frame to the same decoded value, bit for bit.
+// through the v2 frame to the same decoded value, bit for bit — generations
+// included.
 func TestPathFrameMatchesTextualEncoding(t *testing.T) {
 	var in []engine.Candidate
 	for i, f := range nastyFloats {
@@ -55,6 +63,7 @@ func TestPathFrameMatchesTextualEncoding(t *testing.T) {
 			c.Tag = engine.TagCandidate
 			c.Freq = nastyFloats[(i+1)%len(nastyFloats)]
 			c.CostLoss = nastyFloats[(i+2)%len(nastyFloats)]
+			c.Gen = uint64(i) * 3
 		} else {
 			c.Tag = engine.TagNoDescriptor
 		}
@@ -68,7 +77,7 @@ func TestPathFrameMatchesTextualEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromFrame, err := decodePathFrame(encodePathFrame(in))
+	fromFrame, err := decodePathFrame(encodePathFrame(in, frameVersion2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,54 +86,144 @@ func TestPathFrameMatchesTextualEncoding(t *testing.T) {
 	}
 }
 
-func TestDecisionFrameRoundTrip(t *testing.T) {
-	place := []model.NodeID{0, 2, 5}
-	predict := []predictTerm{{Node: 0, Term: 0.1}, {Node: 2, Term: math.Pi}, {Node: 5, Term: 4.9e-324}}
-	gotPlace, gotPredict, err := decodeDecisionFrame(encodeDecisionFrame(place, predict))
+// TestPathEntryLegacyTextual pins backward compatibility of the textual
+// path entry: a generation-free four-field entry still parses (gen zero),
+// and a zero-generation candidate still formats as four fields — the
+// pre-coherency wire image byte for byte.
+func TestPathEntryLegacyTextual(t *testing.T) {
+	legacy := "3;0.5;1.25;2"
+	out, err := parsePath(legacy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(gotPlace, place) || !reflect.DeepEqual(gotPredict, predict) {
-		t.Fatalf("round trip diverged: place %v predict %v", gotPlace, gotPredict)
+	if len(out) != 1 || out[0].Gen != 0 || out[0].Tag != engine.TagCandidate {
+		t.Fatalf("legacy entry parsed to %+v", out)
+	}
+	if got := formatEntry(out[0]); got != legacy {
+		t.Fatalf("zero-gen candidate reformats to %q, want %q", got, legacy)
+	}
+	if _, err := parsePath("3;0.5;1.25;2;not-a-gen"); err == nil {
+		t.Fatal("malformed generation field accepted")
+	}
+}
+
+func TestDecisionFrameRoundTrip(t *testing.T) {
+	in := decision{
+		place:   []model.NodeID{0, 2, 5},
+		predict: []predictTerm{{Node: 0, Term: 0.1}, {Node: 2, Term: math.Pi}, {Node: 5, Term: 4.9e-324}},
+		gen:     41,
+		invHead: 9,
+		inval: []coherency.Invalidation{
+			{Seq: 8, Obj: 17, Gen: 3},
+			{Seq: 9, Obj: 1 << 40, Gen: math.MaxUint64},
+		},
+	}
+	got, hasCoh, err := decodeDecisionFrame(encodeDecisionFrame(in, frameVersion2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCoh {
+		t.Fatal("v2 frame did not report a coherency payload")
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("v2 round trip diverged:\ngot  %+v\nwant %+v", got, in)
 	}
 
-	// Empty decision: no placements, no predictions.
-	gotPlace, gotPredict, err = decodeDecisionFrame(encodeDecisionFrame(nil, nil))
-	if err != nil || gotPlace != nil || gotPredict != nil {
-		t.Fatalf("empty decision round trip: %v %v %v", gotPlace, gotPredict, err)
+	// A v1 frame drops the coherency payload and says so.
+	got, hasCoh, err = decodeDecisionFrame(encodeDecisionFrame(in, frameVersion1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCoh {
+		t.Fatal("v1 frame claimed a coherency payload")
+	}
+	want := decision{place: in.place, predict: in.predict}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Empty decision: no placements, no predictions, no invalidations.
+	got, hasCoh, err = decodeDecisionFrame(encodeDecisionFrame(decision{}, frameVersion2))
+	if err != nil || !hasCoh || got.place != nil || got.predict != nil || got.inval != nil {
+		t.Fatalf("empty decision round trip: %+v hasCoh=%v err=%v", got, hasCoh, err)
 	}
 }
 
 // TestDecisionTranslationByteIdentical re-encodes a decision parsed from one
-// encoding into the other and back; both textual images must be identical
-// byte strings (this is what lets relays re-encode instead of copying).
+// encoding into the others; all textual images must be identical byte
+// strings (this is what lets relays re-encode instead of copying).
 func TestDecisionTranslationByteIdentical(t *testing.T) {
-	place := []model.NodeID{1, 3}
-	predict := []predictTerm{{Node: 1, Term: 1.0 / 3.0}, {Node: 3, Term: 123456.789e-12}}
+	in := decision{
+		place:   []model.NodeID{1, 3},
+		predict: []predictTerm{{Node: 1, Term: 1.0 / 3.0}, {Node: 3, Term: 123456.789e-12}},
+		gen:     12,
+		invHead: 4,
+		inval:   []coherency.Invalidation{{Seq: 4, Obj: 99, Gen: 12}},
+	}
 
 	textHeader := http.Header{}
-	writeDecision(textHeader, false, place, predict)
-	binHeader := http.Header{}
-	writeDecision(binHeader, true, place, predict)
-	if binHeader.Get(HeaderPlace) != "" || textHeader.Get(HeaderFrame) != "" {
+	writeDecision(textHeader, 0, in)
+	v1Header := http.Header{}
+	writeDecision(v1Header, frameVersion1, in)
+	v2Header := http.Header{}
+	writeDecision(v2Header, frameVersion2, in)
+	if v2Header.Get(HeaderPlace) != "" || textHeader.Get(HeaderFrame) != "" {
 		t.Fatal("encodings leaked into each other's headers")
 	}
+	// The v1 frame cannot carry coherency: the textual gen/inval headers must
+	// ride beside it; the v2 frame carries everything and emits neither.
+	if v1Header.Get(HeaderGen) == "" || v1Header.Get(HeaderInval) == "" {
+		t.Fatal("v1 frame not accompanied by textual coherency headers")
+	}
+	if v2Header.Get(HeaderGen) != "" || v2Header.Get(HeaderInval) != "" {
+		t.Fatal("v2 frame duplicated coherency into textual headers")
+	}
 
-	p1, t1, err := parseDecision(textHeader)
+	for name, h := range map[string]http.Header{"text": textHeader, "v1": v1Header, "v2": v2Header} {
+		d, err := parseDecision(h)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(d, in) {
+			t.Fatalf("%s decode diverged:\ngot  %+v\nwant %+v", name, d, in)
+		}
+		re := http.Header{}
+		writeDecision(re, 0, d)
+		for _, k := range []string{HeaderPlace, HeaderPredict, HeaderGen, HeaderInval} {
+			if re.Get(k) != textHeader.Get(k) {
+				t.Fatalf("%s re-encode of %s not byte-identical: %q vs %q", name, k, re.Get(k), textHeader.Get(k))
+			}
+		}
+	}
+}
+
+// TestInvalHeaderMalformed pins the explicit bad-header policy: a garbled
+// X-Cascade-Gen zero-defaults and a garbled X-Cascade-Inval drops the whole
+// batch, each flagged for the gateway's counters; the placement decision
+// itself still parses.
+func TestInvalHeaderMalformed(t *testing.T) {
+	h := http.Header{}
+	h.Set(HeaderPlace, "1")
+	h.Set(HeaderGen, "banana")
+	h.Set(HeaderInval, "7|1:2:3,garbled")
+	d, err := parseDecision(h)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, t2, err := parseDecision(binHeader)
-	if err != nil {
-		t.Fatal(err)
+	if !d.badGen || !d.badInval {
+		t.Fatalf("malformed headers not flagged: %+v", d)
 	}
-	re1 := http.Header{}
-	writeDecision(re1, false, p1, t1)
-	re2 := http.Header{}
-	writeDecision(re2, false, p2, t2)
-	if re1.Get(HeaderPlace) != re2.Get(HeaderPlace) || re1.Get(HeaderPredict) != re2.Get(HeaderPredict) {
-		t.Fatalf("translation not byte-identical: %q/%q vs %q/%q",
-			re1.Get(HeaderPlace), re1.Get(HeaderPredict), re2.Get(HeaderPlace), re2.Get(HeaderPredict))
+	if d.gen != 0 || d.inval != nil || d.invHead != 0 {
+		t.Fatalf("malformed payloads not dropped: %+v", d)
+	}
+	if len(d.place) != 1 || d.place[0] != 1 {
+		t.Fatalf("placement lost: %+v", d)
+	}
+	if _, _, ok := parseInval("7|1:2:-3"); ok {
+		t.Fatal("negative object ID accepted")
+	}
+	if head, tail, ok := parseInval("5|"); !ok || head != 5 || tail != nil {
+		t.Fatal("empty tail with head rejected")
 	}
 }
 
@@ -132,26 +231,31 @@ func TestFrameDecodeRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"",
 		"not-base64!!!",
-		"QUJD",                                 // "ABC": too short
-		encodePathFrame(nil)[:2],               // truncated base64 of a valid frame
-		encodeDecisionFrame(nil, nil),          // wrong kind for a path decode
-		"Q0YCAQ",                               // magic ok, version 2
-		"Q0YBAQUA",                             // path frame claiming 5 entries, no payload
+		"QUJD",                                  // "ABC": too short
+		encodePathFrame(nil, frameVersion1)[:2], // truncated base64 of a valid frame
+		encodeDecisionFrame(decision{}, frameVersion1), // wrong kind for a path decode
+		"Q0YDAQ",      // magic ok, version 3 unknown
+		"Q0YBAQUA",    // path frame claiming 5 entries, no payload
+		"Q0YCAgAAAAA", // v2 decision frame truncated before the coherency payload
 	}
 	for _, c := range cases {
 		if _, err := decodePathFrame(c); err == nil {
 			t.Errorf("decodePathFrame(%q) accepted garbage", c)
 		}
 	}
-	if _, _, err := decodeDecisionFrame(encodePathFrame(nil)); err == nil {
+	if _, _, err := decodeDecisionFrame(encodePathFrame(nil, frameVersion1)); err == nil {
 		t.Error("decodeDecisionFrame accepted a path frame")
+	}
+	if _, _, err := decodeDecisionFrame("Q0YCAgAAAAA"); err == nil {
+		t.Error("decodeDecisionFrame accepted a v2 frame with the coherency payload cut off")
 	}
 }
 
 // TestFramingNegotiation drives a two-node chain and watches the wire: the
 // first upstream exchange must be textual (nothing learned yet), every
 // later one binary; a node with DisableBinaryFraming stays textual forever
-// and never advertises.
+// and never advertises; an advertising client gets back a frame of the
+// version it asked for.
 func TestFramingNegotiation(t *testing.T) {
 	o := &Origin{Size: func(model.ObjectID) int { return 64 }}
 	origin := httptest.NewServer(o)
@@ -197,8 +301,8 @@ func TestFramingNegotiation(t *testing.T) {
 	if r0.Header.Get(HeaderFrame) != "" {
 		t.Error("client-facing response carried a binary frame without the client advertising")
 	}
-	if r0.Header.Get(HeaderAccept) != FrameV1 {
-		t.Error("capable node did not advertise on its response")
+	if r0.Header.Get(HeaderAccept) != FrameV2 {
+		t.Error("capable node did not advertise its best version on its response")
 	}
 
 	// A textual-only node never upgrades, whatever the upstream says.
@@ -223,18 +327,26 @@ func TestFramingNegotiation(t *testing.T) {
 		}
 	}
 
-	// A client that advertises gets a binary decision frame back.
-	req, _ := http.NewRequest(http.MethodGet, front.URL+"/objects/100", nil)
-	req.Header.Set(HeaderAccept, FrameV1)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.Header.Get(HeaderFrame) == "" {
-		t.Error("advertising client did not receive a binary decision frame")
-	}
-	if _, _, err := parseDecision(resp.Header); err != nil {
-		t.Errorf("binary decision frame unparseable: %v", err)
+	// A client that advertises gets a binary decision frame back, at the
+	// version it advertised — a v1-only peer is never sent a v2 frame.
+	for _, tok := range []string{FrameV1, FrameV2} {
+		req, _ := http.NewRequest(http.MethodGet, front.URL+"/objects/100", nil)
+		req.Header.Set(HeaderAccept, tok)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		f := resp.Header.Get(HeaderFrame)
+		if f == "" {
+			t.Fatalf("advertising client (%s) did not receive a binary decision frame", tok)
+		}
+		_, hasCoh, err := decodeDecisionFrame(f)
+		if err != nil {
+			t.Fatalf("binary decision frame unparseable: %v", err)
+		}
+		if wantCoh := tok == FrameV2; hasCoh != wantCoh {
+			t.Errorf("advert %s got frame with hasCoh=%v", tok, hasCoh)
+		}
 	}
 }

@@ -43,6 +43,7 @@ import (
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/controlplane"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
@@ -156,9 +157,16 @@ type Node struct {
 	capacity int64 // main-cache byte budget, kept for SetShards rebuilds
 	dEntries int   // d-cache entry budget, kept for SetShards rebuilds
 
-	// upBinary flips once the upstream's response advertises frame support;
-	// from then on upstream requests carry binary path frames.
-	upBinary atomic.Bool
+	// upVersion rises to the highest frame version the upstream's
+	// responses have advertised (sticky); from then on upstream requests
+	// carry binary path frames of that version.
+	upVersion atomic.Int32
+
+	// view is the node's coherency generation-floor view, shared with the
+	// sharded engine state and the spill tier's MinGen oracle. Wired by
+	// EnableCoherency before serving (nil — off — by default); the request
+	// path and the store callback read it without holding mu.
+	view *coherency.NodeView
 
 	shardSeries int // shard metric series registered so far (guarded by mu)
 
@@ -168,7 +176,7 @@ type Node struct {
 	// Malformed protocol headers received, counted per header kind
 	// (cascade_gw_bad_header_total). Atomics: the parse sites run outside
 	// mu's critical sections.
-	badPenalty, badSegment atomic.Int64
+	badPenalty, badSegment, badGen, badInval atomic.Int64
 
 	reg *metrics.Registry // Prometheus export, built by NewNode (MetricsRegistry)
 
@@ -256,6 +264,7 @@ func (n *Node) SetShards(p int) {
 		Flight:        n.flight,
 		Audit:         n.auditor,
 		Ledger:        n.ledger,
+		Coherency:     n.view,
 	})
 	// The memory tier goes with the descriptors; disk copies survive like
 	// a process restart would leave them.
@@ -268,30 +277,46 @@ func (n *Node) SetShards(p int) {
 func (n *Node) binaryCapable() bool { return !n.DisableBinaryFraming }
 
 // advertise marks an outgoing protocol message (request or response) with
-// this node's frame support.
+// this node's best frame version.
 func (n *Node) advertise(h http.Header) {
 	if n.binaryCapable() {
-		h.Set(HeaderAccept, FrameV1)
+		h.Set(HeaderAccept, FrameV2)
 	}
 }
 
-// replyBinary reports whether the response to r should carry binary frames:
-// the requester advertised support and this node speaks it.
-func (n *Node) replyBinary(r *http.Request) bool {
-	return n.binaryCapable() && wantsFrame(r.Header)
+// replyVersion is the frame version the response to r should speak: the
+// highest the requester advertised, capped by this node's capability
+// (0: textual).
+func (n *Node) replyVersion(r *http.Request) int {
+	if !n.binaryCapable() {
+		return 0
+	}
+	return peerFrameVersion(r.Header)
+}
+
+// upstreamVersion is the frame version upstream requests speak: whatever
+// the upstream's responses have advertised so far (0 until the first
+// advert — the first exchange of any pair runs textual).
+func (n *Node) upstreamVersion() int {
+	if !n.binaryCapable() {
+		return 0
+	}
+	return int(n.upVersion.Load())
 }
 
 // SetBinaryUpstream pre-learns the upstream's frame support, skipping the
 // one textual exchange negotiation would otherwise take.
-func (n *Node) SetBinaryUpstream() { n.upBinary.Store(true) }
+func (n *Node) SetBinaryUpstream() { n.upVersion.Store(frameVersion2) }
 
 // The X-Cascade-Path header carries one engine.Candidate per hop as
-// "node;freq;loss;linkcost", appended in wire order (the client's first
-// cache first). An excluded hop — the §2.4 "no descriptor" tag, which on
-// this transport also covers engine.TagCannotFit — encodes freq/loss as
-// "-"; parsePath maps both back to engine.TagNoDescriptor, a lossless
-// collapse for the decision (both tags are excluded identically and only
-// contribute their link cost).
+// "node;freq;loss;linkcost" — plus an optional fifth field, the coherency
+// generation of the node's last copy, emitted only when non-zero so
+// pre-coherency wire images stay byte-identical — appended in wire order
+// (the client's first cache first). An excluded hop — the §2.4 "no
+// descriptor" tag, which on this transport also covers engine.TagCannotFit
+// — encodes freq/loss as "-"; parsePath maps both back to
+// engine.TagNoDescriptor, a lossless collapse for the decision (both tags
+// are excluded identically and only contribute their link cost).
 
 // fmtFloat renders a float64 so it survives format→parse→format exactly
 // ('g' with precision -1 is the shortest representation that round-trips).
@@ -304,7 +329,7 @@ func parsePath(h string) ([]engine.Candidate, error) {
 	var out []engine.Candidate
 	for i, part := range strings.Split(h, ",") {
 		fields := strings.Split(strings.TrimSpace(part), ";")
-		if len(fields) != 4 {
+		if len(fields) != 4 && len(fields) != 5 {
 			return nil, fmt.Errorf("httpgw: bad path entry %q", part)
 		}
 		// The header has no hop numbering; position assigns it.
@@ -326,16 +351,30 @@ func parsePath(h string) ([]engine.Candidate, error) {
 		if e.Link, err = strconv.ParseFloat(fields[3], 64); err != nil {
 			return nil, fmt.Errorf("httpgw: bad link cost %q", fields[3])
 		}
+		if len(fields) == 5 {
+			// A malformed generation rejects the whole path entry — unlike
+			// the zero-defaulted request floor, a garbled piggyback entry
+			// signals a corrupted header, not a coherency-unaware peer.
+			if e.Gen, err = strconv.ParseUint(fields[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("httpgw: bad generation %q", fields[4])
+			}
+		}
 		out = append(out, e)
 	}
 	return out, nil
 }
 
 func formatEntry(e engine.Candidate) string {
+	var s string
 	if e.Tag != engine.TagCandidate {
-		return strconv.Itoa(int(e.Node)) + ";-;-;" + fmtFloat(e.Link)
+		s = strconv.Itoa(int(e.Node)) + ";-;-;" + fmtFloat(e.Link)
+	} else {
+		s = strconv.Itoa(int(e.Node)) + ";" + fmtFloat(e.Freq) + ";" + fmtFloat(e.CostLoss) + ";" + fmtFloat(e.Link)
 	}
-	return strconv.Itoa(int(e.Node)) + ";" + fmtFloat(e.Freq) + ";" + fmtFloat(e.CostLoss) + ";" + fmtFloat(e.Link)
+	if e.Gen != 0 {
+		s += ";" + strconv.FormatUint(e.Gen, 10)
+	}
+	return s
 }
 
 // Decide runs the placement decision (engine.Decide, the §2.2 DP) over
@@ -563,6 +602,14 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		obj = store.SegmentID(obj, seg.idx)
 	}
 
+	// The request's read floor (ModeCAS: the generation the response must
+	// meet or beat). Malformed: counted, then zero-defaulted explicitly —
+	// a garbled floor weakens freshness, never availability.
+	floor, okGen := parseGen(r.Header.Get(HeaderGen))
+	if !okGen {
+		n.badGen.Add(1)
+	}
+
 	// ---- Local hit? ----
 	n.mu.Lock()
 	// Draining or departed: pure relay, no protocol participation. The
@@ -577,7 +624,17 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if n.st.Contains(obj) {
 		body, meta, okBody := n.bodies.GetMemory(obj)
 		stale := n.TTL > 0 && now-meta.Fetched > n.TTL
+		readFloor := n.readFloor(obj, floor)
 		switch {
+		case okBody && meta.Gen < readFloor:
+			// The generation floor moved past this copy (an applied
+			// invalidation, or the request's CAS floor): the bytes are
+			// history, not merely old, so no revalidation can resurrect
+			// them. Self-heal to a miss — demote the descriptor, drop the
+			// payload — and refetch at the current generation.
+			n.st.Demote(obj, now)
+			n.bodies.Delete(obj)
+			n.recordStaleHit(obj, meta.Gen, readFloor, false, now)
 		case okBody && !stale:
 			n.hits++
 			// Lookup (rather than a bare Touch) routes the hit through the
@@ -592,7 +649,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			chosen, predict := n.decide(entries, obj, now)
 			n.advertise(w.Header())
-			writeDecision(w.Header(), n.replyBinary(r), chosen, predict)
+			writeDecision(w.Header(), n.replyVersion(r), decision{place: chosen, predict: predict, gen: meta.Gen})
 			w.Header().Set(HeaderPenalty, "0")
 			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
 			if traceWanted(r) {
@@ -608,7 +665,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// Expired: revalidate upstream with the stored validator. A 304
 			// refreshes the copy; a 200 replaces it below.
 			n.mu.Unlock()
-			if n.revalidate(w, r, obj, seg, meta.ETag, body, now) {
+			if n.revalidate(w, r, obj, seg, meta.ETag, body, meta.Gen, now) {
 				return
 			}
 			n.mu.Lock()
@@ -623,36 +680,53 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// eviction but the data plane spilled the bytes: serve them without an
 	// upstream fetch and promote the copy behind a fresh insertion. ----
 	if dbody, dmeta, src := n.bodies.Get(obj); src == store.SrcDisk {
-		if stale := n.TTL > 0 && now-dmeta.Fetched > n.TTL; stale {
+		serveDisk := true
+		if fl := n.readFloor(obj, floor); dmeta.Gen < fl {
+			// The store's MinGen oracle already screens spill files against
+			// the node floor; the request's CAS floor can sit above it, so
+			// it is enforced here. Either way the copy is history.
+			n.bodies.Delete(obj)
+			n.recordStaleHit(obj, dmeta.Gen, fl, false, now)
+			serveDisk = false
+		} else if stale := n.TTL > 0 && now-dmeta.Fetched > n.TTL; stale {
 			// The spilled copy outlived its freshness budget; drop it and
 			// take the regular miss path.
 			n.bodies.Delete(obj)
-		} else {
-			if placedBack, victims := n.st.Promote(obj, int64(len(dbody)), now, nil); placedBack {
-				n.bodies.Promote(obj, dbody, dmeta)
-				n.promotions++
-				for _, v := range victims {
-					n.spillVictim(v, now)
+			serveDisk = false
+		}
+		if serveDisk {
+			out, victims := n.st.Promote(obj, int64(len(dbody)), dmeta.Gen, now, nil)
+			if out.Stale {
+				// The engine's backstop: the node floor moved between the
+				// disk read and the promote. Not servable.
+				n.bodies.Delete(obj)
+			} else {
+				if out.Placed {
+					n.bodies.Promote(obj, dbody, dmeta)
+					n.promotions++
+					for _, v := range victims {
+						n.spillVictim(v, now)
+					}
 				}
-			}
-			n.hits++
-			n.spillHits++
-			entries, perr := parseIncomingPath(r.Header)
-			n.mu.Unlock()
-			if perr != nil {
-				http.Error(w, perr.Error(), http.StatusBadRequest)
+				n.hits++
+				n.spillHits++
+				entries, perr := parseIncomingPath(r.Header)
+				n.mu.Unlock()
+				if perr != nil {
+					http.Error(w, perr.Error(), http.StatusBadRequest)
+					return
+				}
+				chosen, predict := n.decide(entries, obj, now)
+				n.advertise(w.Header())
+				writeDecision(w.Header(), n.replyVersion(r), decision{place: chosen, predict: predict, gen: dmeta.Gen})
+				w.Header().Set(HeaderPenalty, "0")
+				w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+				if dmeta.ETag != "" {
+					w.Header().Set("ETag", dmeta.ETag)
+				}
+				writeBody(w, seg, dbody)
 				return
 			}
-			chosen, predict := n.decide(entries, obj, now)
-			n.advertise(w.Header())
-			writeDecision(w.Header(), n.replyBinary(r), chosen, predict)
-			w.Header().Set(HeaderPenalty, "0")
-			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
-			if dmeta.ETag != "" {
-				w.Header().Set("ETag", dmeta.ETag)
-			}
-			writeBody(w, seg, dbody)
-			return
 		}
 	}
 
@@ -677,10 +751,16 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The upstream answers binary only after negotiation has learned it may
-	// ask for it (upBinary); the advert on the request lets the upstream
+	// ask for it (upVersion); the advert on the request lets the upstream
 	// answer in kind either way.
 	n.advertise(up.Header)
-	writePath(up.Header, n.binaryCapable() && n.upBinary.Load(), append(entries, entry))
+	writePath(up.Header, n.upstreamVersion(), append(entries, entry))
+	if fl := n.readFloor(obj, floor); fl > 0 {
+		// Forward the read floor, raised to this node's own: an upstream
+		// hit may not serve below what any hop on the path knows to be
+		// invalidated.
+		up.Header.Set(HeaderGen, strconv.FormatUint(fl, 10))
+	}
 	if seg.on {
 		// Segment identity travels as the original Range plus the segment
 		// header, so every hop (and the origin) derives the same
@@ -738,19 +818,30 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	mp := prev + n.UpCost
 
-	place, predict, derr := parseDecision(resp.Header)
+	dec, derr := parseDecision(resp.Header)
 	if derr != nil {
 		http.Error(w, derr.Error(), http.StatusBadGateway)
 		return
 	}
+	if dec.badGen {
+		n.badGen.Add(1)
+	}
+	if dec.badInval {
+		n.badInval.Add(1)
+	}
 
 	now = n.Clock()
+	// The origin's piggybacked invalidation tail lands before this node's
+	// DownStep, so a placement instruction issued at the pre-write
+	// generation is caught by the freshly raised floor — and it lands
+	// whether or not this node was chosen.
+	n.applyInval(dec.inval, dec.invHead, now)
 	mpSeen := mp
-	if !placed(place, n.ID) {
+	if !placed(dec.place, n.ID) {
 		// The decision did not choose this node: the bytes only pass
 		// through, so stream them client-ward through a pooled buffer
 		// instead of buffering the whole object.
-		n.relayStream(w, r, resp, seg, place, predict, obj, entry, prev, mp, mpSeen, now)
+		n.relayStream(w, r, resp, seg, dec, obj, entry, prev, mp, mpSeen, now)
 		return
 	}
 
@@ -773,7 +864,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// encoders are canonical).
 		n.mu.Unlock()
 		n.advertise(w.Header())
-		writeDecision(w.Header(), n.replyBinary(r), place, predict)
+		writeDecision(w.Header(), n.replyVersion(r), dec)
 		w.Header().Set(HeaderPenalty, fmtFloat(mp))
 		w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 		writeBody(w, seg, body)
@@ -786,14 +877,14 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// store that cannot make room shows up as a place failure against
 	// a recorded prediction, exactly the drift the ledger exists to
 	// expose.
-	if term, ok := predictFor(predict, n.ID); ok {
+	if term, ok := predictFor(dec.predict, n.ID); ok {
 		n.ledger.RecordPrediction(n.ID, term)
 	}
-	res, evicted := n.st.DownStep(obj, int64(len(body)), true, mp, -1, now, nil)
+	res, evicted := n.st.DownStep(obj, int64(len(body)), true, mp, dec.gen, -1, now, nil)
 	n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
 		n.inserts++
-		n.bodies.Put(obj, body, store.Meta{ETag: resp.Header.Get("ETag"), Fetched: now})
+		n.bodies.Put(obj, body, store.Meta{ETag: resp.Header.Get("ETag"), Fetched: now, Gen: dec.gen})
 		// DownStep already demoted the victims' descriptors; their
 		// payloads spill to the disk tier (or drop without one).
 		for _, v := range evicted {
@@ -804,7 +895,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mp = res.MP
 
 	n.advertise(w.Header())
-	writeDecision(w.Header(), n.replyBinary(r), place, predict)
+	writeDecision(w.Header(), n.replyVersion(r), dec)
 	w.Header().Set(HeaderPenalty, fmtFloat(mp))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if tag := resp.Header.Get("ETag"); tag != "" {
@@ -838,7 +929,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // full object. size for the d-cache descriptor comes from Content-Length
 // (every protocol hop sets it explicitly).
 func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Response, seg segInfo,
-	place []model.NodeID, predict []predictTerm, obj model.ObjectID, entry engine.Candidate,
+	dec decision, obj model.ObjectID, entry engine.Candidate,
 	prev, mp, mpSeen float64, now float64) {
 	size := resp.ContentLength
 	if size < 0 {
@@ -848,14 +939,14 @@ func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Re
 	n.mu.Lock()
 	active := n.member == controlplane.Active
 	if active {
-		res, _ := n.st.DownStep(obj, size, false, mp, -1, now, nil)
+		res, _ := n.st.DownStep(obj, size, false, mp, dec.gen, -1, now, nil)
 		n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 		outMP = res.MP
 	}
 	n.mu.Unlock()
 
 	n.advertise(w.Header())
-	writeDecision(w.Header(), n.replyBinary(r), place, predict)
+	writeDecision(w.Header(), n.replyVersion(r), dec)
 	w.Header().Set(HeaderPenalty, fmtFloat(outMP))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if tag := resp.Header.Get("ETag"); tag != "" {
@@ -888,7 +979,7 @@ func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Re
 // error); a false return means the caller should fall through to the
 // regular miss path (the upstream returned fresh content or the copy is
 // simply gone).
-func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.ObjectID, seg segInfo, tag string, body []byte, now float64) bool {
+func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.ObjectID, seg segInfo, tag string, body []byte, gen uint64, now float64) bool {
 	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
@@ -905,15 +996,21 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	if err != nil {
 		// Stale-if-error: an unreachable upstream is no reason to fail a
 		// request we can answer from the expired copy. Serve it marked
-		// degraded; freshness resumes once the upstream heals.
+		// degraded — and as an explicit freshness decision: the stale-hit
+		// record carries N:0 (served by policy, not dropped) so degraded
+		// serving is auditable, not silent.
 		n.mu.Lock()
 		n.degraded++
 		n.hits++
 		n.st.Touch(obj, now)
 		n.mu.Unlock()
+		n.recordStaleHit(obj, gen, 0, true, now)
 		w.Header().Set(HeaderDegraded, "1")
 		w.Header().Set(HeaderPenalty, "0")
 		w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+		if gen != 0 {
+			w.Header().Set(HeaderGen, strconv.FormatUint(gen, 10))
+		}
 		if tag != "" {
 			w.Header().Set("ETag", tag)
 		}
@@ -940,8 +1037,15 @@ func (n *Node) revalidate(w http.ResponseWriter, r *http.Request, obj model.Obje
 	}
 	n.st.Touch(obj, now)
 	n.mu.Unlock()
+	if v := n.view; v != nil {
+		v.Metrics().Revalidation()
+	}
+	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindRevalidate, Obj: obj, Hop: -1, A: float64(gen), N: 1})
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+	if gen != 0 {
+		w.Header().Set(HeaderGen, strconv.FormatUint(gen, 10))
+	}
 	if tag != "" {
 		w.Header().Set("ETag", tag)
 	}
@@ -962,7 +1066,7 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 	spillHits, promotions := n.spillHits, n.promotions
 	bs := n.bodies.Stats()
 	n.mu.Unlock()
-	badHeaders := n.badPenalty.Load() + n.badSegment.Load()
+	badHeaders := n.badPenalty.Load() + n.badSegment.Load() + n.badGen.Load() + n.badInval.Load()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
 		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d,\"spill_objects\":%d,\"spill_used_bytes\":%d,\"spill_bytes_total\":%d,\"spill_hits\":%d,\"promotions\":%d,\"bad_headers\":%d}\n",
@@ -1004,6 +1108,15 @@ type Origin struct {
 	// segments, each placed independently (docs/DATAPLANE.md).
 	SegmentThreshold int64
 	SegmentSize      int64
+
+	// Authority, when set, makes the origin the cascade's generation
+	// authority: POST /cascade/admin/invalidate bumps an object's
+	// generation, every decision response carries the object's current
+	// generation plus the log's recent tail (PSI piggybacking), and the
+	// chain below validates served copies against the floors it learns
+	// here. Nil keeps the origin generation-oblivious (ModeNone wire image —
+	// responses carry no coherency payload).
+	Authority *coherency.Authority
 
 	// Observability over the origin's placement decisions, wired by
 	// EnableObservability (all nil — disabled — by default). auditor and
@@ -1069,6 +1182,10 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			json.NewEncoder(w).Encode(o.DumpFlight()) //nolint:errcheck
 			return
 		}
+	}
+	if r.URL.Path == "/cascade/admin/invalidate" {
+		o.serveInvalidate(w, r)
+		return
 	}
 	baseObj, err := objectID(r)
 	if err != nil {
@@ -1147,10 +1264,12 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			hi = size - 1
 		}
 		chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
+		version := 0
 		if !o.DisableBinaryFraming {
-			w.Header().Set(HeaderAccept, FrameV1)
+			w.Header().Set(HeaderAccept, FrameV2)
+			version = peerFrameVersion(r.Header)
 		}
-		writeDecision(w.Header(), !o.DisableBinaryFraming && wantsFrame(r.Header), chosen, predict)
+		writeDecision(w.Header(), version, o.originDecision(obj, chosen, predict))
 		w.Header().Set(HeaderPenalty, "0")
 		w.Header().Set(HeaderHit, "origin")
 		body := slice(lo, hi)
@@ -1188,10 +1307,12 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
+	version := 0
 	if !o.DisableBinaryFraming {
-		w.Header().Set(HeaderAccept, FrameV1)
+		w.Header().Set(HeaderAccept, FrameV2)
+		version = peerFrameVersion(r.Header)
 	}
-	writeDecision(w.Header(), !o.DisableBinaryFraming && wantsFrame(r.Header), chosen, predict)
+	writeDecision(w.Header(), version, o.originDecision(obj, chosen, predict))
 	w.Header().Set(HeaderPenalty, "0")
 	w.Header().Set(HeaderHit, "origin")
 	if traceWanted(r) {
@@ -1253,8 +1374,10 @@ func (n *Node) LoadSnapshot(r io.Reader, now float64) (restored int, err error) 
 		}
 		if n.st.RestoreInsert(ds, now) {
 			// The snapshot predates the validator split; rederive the ETag
-			// from the bytes (etagOf is deterministic).
-			n.bodies.Put(ds.ID, body, store.Meta{ETag: etagOf(body), Fetched: now})
+			// from the bytes (etagOf is deterministic). The generation rides
+			// in the descriptor snapshot, so a restored copy still validates
+			// against floors raised while the node was down.
+			n.bodies.Put(ds.ID, body, store.Meta{ETag: etagOf(body), Fetched: now, Gen: ds.Gen})
 			restored++
 		}
 	}

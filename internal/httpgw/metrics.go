@@ -77,6 +77,10 @@ func (n *Node) MetricsRegistry() *metrics.Registry {
 		func() float64 { return float64(n.badPenalty.Load()) }, metrics.L("header", "penalty"), nl)
 	r.CounterFunc("cascade_gw_bad_header_total", "Malformed protocol headers received, by header kind.",
 		func() float64 { return float64(n.badSegment.Load()) }, metrics.L("header", "segment"), nl)
+	r.CounterFunc("cascade_gw_bad_header_total", "Malformed protocol headers received, by header kind.",
+		func() float64 { return float64(n.badGen.Load()) }, metrics.L("header", "gen"), nl)
+	r.CounterFunc("cascade_gw_bad_header_total", "Malformed protocol headers received, by header kind.",
+		func() float64 { return float64(n.badInval.Load()) }, metrics.L("header", "inval"), nl)
 
 	r.GaugeFunc("cascade_gw_cache_used_bytes", "Bytes held by the object cache.", lockedCount(func() int64 { return n.st.Used() }), nl)
 	r.GaugeFunc("cascade_gw_cache_capacity_bytes", "Object cache capacity.", lockedCount(func() int64 { return n.st.Capacity() }), nl)

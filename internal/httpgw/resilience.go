@@ -230,11 +230,13 @@ func (n *Node) fetchUpstream(req *http.Request) (*http.Response, error) {
 			n.breakerSuccessLocked()
 			n.mu.Unlock()
 			// Per-hop framing negotiation: a response advertising frame
-			// support licenses binary request frames from now on. Sticky —
-			// the advert's absence on one response (a relay, an error path)
-			// does not forget a capability already proven.
-			if wantsFrame(resp.Header) {
-				n.upBinary.Store(true)
+			// support licenses binary request frames at that version from
+			// now on. Sticky and upgrade-only — the advert's absence on one
+			// response (a relay, an error path) does not forget a capability
+			// already proven, and a v2 peer never gets downgraded by a stale
+			// v1 advert cached somewhere in the chain.
+			if v := int32(peerFrameVersion(resp.Header)); v > n.upVersion.Load() {
+				n.upVersion.Store(v)
 			}
 			return resp, nil
 		}

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
 	"cascade/internal/topology"
@@ -33,6 +34,7 @@ type walkScratch struct {
 	upCost []float64
 	chosen []int
 	evict  []model.ObjectID
+	inv    []coherency.Invalidation
 }
 
 // directGet executes one request on the direct data plane. route is already
@@ -52,6 +54,7 @@ func (c *Cluster) directGet(route topology.Route, lead float64, obj model.Object
 	m.upCost = uc
 	m.hop = 0
 	m.accCost = lead
+	m.floor = c.casFloor(obj)
 	m.pb = m.pb[:0]
 
 	r := c.directWalk(m, s)
@@ -71,6 +74,7 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 	servingHop := len(m.route)
 	servedBy := model.NoNode
 	hit := false
+	var gen uint64
 	for m.hop < len(m.route) {
 		id := m.route[m.hop]
 		n := c.node(id)
@@ -85,13 +89,14 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		}
 		c.messages.Add(1)
 		c.nodeInst[id].upPass.Record(0)
-		if n.st.Lookup(m.obj, m.now) {
-			servingHop, servedBy, hit = m.hop, id, true
+		if res := n.st.LookupFresh(m.obj, m.now, m.floor); res.Hit {
+			servingHop, servedBy, hit, gen = m.hop, id, true, res.Gen
 			break
 		}
-		if served, ev := n.diskServe(m.obj, m.size, m.now, s.evict); served {
-			s.evict = ev
-			servingHop, servedBy, hit = m.hop, id, true
+		served, dgen, ev := n.diskServe(m.obj, m.size, m.now, m.floor, s.evict)
+		s.evict = ev
+		if served {
+			servingHop, servedBy, hit, gen = m.hop, id, true, dgen
 			break
 		}
 		if cand := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now); cand.Tag == engine.TagCandidate {
@@ -102,8 +107,10 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 	}
 
 	var result Result
+	var invTail []coherency.Invalidation
+	var invHead uint64
 	if hit {
-		result = Result{ServedBy: servedBy, Cost: m.accCost, Hops: servingHop}
+		result = Result{ServedBy: servedBy, Cost: m.accCost, Hops: servingHop, ServedGen: gen}
 	} else {
 		// Origin serves; by now accCost has folded every link including
 		// the topmost one.
@@ -111,7 +118,15 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		if m.upCost[len(m.route)-1] > 0 {
 			hops++ // hierarchy: root–server is a real link
 		}
-		result = Result{ServedBy: model.NoNode, Cost: m.accCost, Hops: hops}
+		gen = c.originGen(m.obj)
+		result = Result{ServedBy: model.NoNode, Cost: m.accCost, Hops: hops, ServedGen: gen}
+		if c.auth != nil && c.cfg.CoherencyMode.Validates() {
+			// PSI: the origin's response carries its recent invalidation
+			// tail down the path.
+			s.inv = c.auth.Tail(s.inv[:0])
+			invTail = s.inv
+			invHead = c.auth.Head()
+		}
 	}
 	if servingHop == 0 {
 		// Hit at the client's first cache: nothing travels downstream.
@@ -136,6 +151,9 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		}
 		c.messages.Add(1)
 		c.nodeInst[id].downPass.Record(0)
+		if invTail != nil {
+			n.st.ApplyInvalidations(invTail, invHead, m.now)
+		}
 		prev := mp
 		mp += m.upCost[h]
 		for k := len(chosen) - 1; k >= 0 && chosen[k] > h; k-- {
@@ -146,7 +164,7 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			place = true
 			chosen = chosen[:k]
 		}
-		out, ev := n.st.DownStep(m.obj, m.size, place, mp, h, m.now, s.evict[:0])
+		out, ev := n.st.DownStep(m.obj, m.size, place, mp, gen, h, m.now, s.evict[:0])
 		s.evict = ev
 		n.st.Audit().CheckPenaltyStep(id, m.obj, h, prev, mp, out.MP, out.Placed)
 		mp = out.MP
@@ -155,7 +173,7 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			inst := &c.nodeInst[id]
 			inst.inserts.Inc()
 			inst.evictions.Add(int64(len(ev)))
-			n.placeBody(m.obj, m.size, m.now, ev)
+			n.placeBody(m.obj, m.size, gen, m.now, ev)
 		}
 	}
 

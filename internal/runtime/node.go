@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/engine"
+	"cascade/internal/flightrec"
 	"cascade/internal/model"
 	"cascade/internal/store"
 )
@@ -25,6 +27,7 @@ type fetchMsg struct {
 
 	accCost float64 // cost accumulated so far (links below this node)
 	sentAt  float64 // Config.Clock() at the last enqueue (pass-latency metric)
+	floor   uint64  // ModeCAS read floor: origin generation at Get start
 	pb      []engine.Candidate
 
 	reply chan Result
@@ -44,6 +47,13 @@ type deliverMsg struct {
 	chosen []int   // hop indices instructed to cache, ascending (tail = next)
 	mp     float64 // accumulated miss-penalty counter
 	sentAt float64 // Config.Clock() at the last enqueue (pass-latency metric)
+	gen    uint64  // served copy's coherency generation, stamped on placements
+
+	// invTail/invHead piggyback the authority's recent invalidation log on
+	// origin-served responses (PSI); every live hop applies the tail before
+	// its DownStep.
+	invTail []coherency.Invalidation
+	invHead uint64
 
 	result Result
 	reply  chan Result
@@ -187,18 +197,41 @@ func (n *node) inst() *nodeInstruments { return &n.cluster.nodeInst[n.id] }
 // cascade; when the store re-admits the descriptor the payload is promoted
 // back to memory and the insertion's NCL victims spill in turn (a failed
 // re-admission still serves the bytes — the copy simply stays on disk).
-// evict is a reusable victim-ID buffer, returned possibly grown.
-func (n *node) diskServe(obj model.ObjectID, size int64, now float64, evict []model.ObjectID) (bool, []model.ObjectID) {
+// floor is the request's ModeCAS read floor: a disk copy below it (or below
+// the node's own generation floor — the tier and engine both check) is
+// dropped and the pass continues upstream, never serving stale bytes.
+// evict is a reusable victim-ID buffer, returned possibly grown. The served
+// copy's generation is returned alongside.
+func (n *node) diskServe(obj model.ObjectID, size int64, now float64, floor uint64, evict []model.ObjectID) (bool, uint64, []model.ObjectID) {
 	if n.bodies == nil {
-		return false, evict
+		return false, 0, evict
 	}
 	body, meta, src := n.bodies.Get(obj)
 	if src != store.SrcDisk {
-		return false, evict
+		return false, 0, evict
 	}
 	c := n.cluster
-	placed, ev := n.st.Promote(obj, size, now, evict[:0])
-	if placed {
+	if meta.Gen < floor {
+		// The copy predates the write this request must observe (CAS):
+		// self-heal to a miss.
+		if view := n.st.Coherency(); view != nil {
+			view.Metrics().StaleHit()
+		}
+		c.flightRecorder(n.id).Record(flightrec.Event{
+			Time: now, Node: n.id, Kind: flightrec.KindStaleHit,
+			Obj: obj, Hop: -1, A: float64(meta.Gen), B: float64(floor), N: 1,
+		})
+		n.bodies.Delete(obj)
+		return false, 0, evict
+	}
+	out, ev := n.st.Promote(obj, size, meta.Gen, now, evict[:0])
+	if out.Stale {
+		// The node's floor moved past the spill while it sat on disk; the
+		// engine counted the stale hit — drop the bytes and miss.
+		n.bodies.Delete(obj)
+		return false, 0, ev
+	}
+	if out.Placed {
 		n.bodies.Promote(obj, body, meta)
 		c.promotions.Add(1)
 		inst := n.inst()
@@ -218,17 +251,18 @@ func (n *node) diskServe(obj model.ObjectID, size int64, now float64, evict []mo
 		}
 	}
 	c.spillHits.Add(1)
-	return true, ev
+	return true, meta.Gen, ev
 }
 
 // placeBody records a downstream placement in the data plane: the payload
 // (synthesized — the runtime carries no real bytes) enters the memory tier
-// and each NCL victim's bytes spill to the disk tier.
-func (n *node) placeBody(obj model.ObjectID, size int64, now float64, ev []model.ObjectID) {
+// at the served generation and each NCL victim's bytes spill to the disk
+// tier.
+func (n *node) placeBody(obj model.ObjectID, size int64, gen uint64, now float64, ev []model.ObjectID) {
 	if n.bodies == nil {
 		return
 	}
-	n.bodies.Put(obj, store.SyntheticBody(obj, int(size)), store.Meta{Fetched: now})
+	n.bodies.Put(obj, store.SyntheticBody(obj, int(size)), store.Meta{Fetched: now, Gen: gen})
 	for _, v := range ev {
 		if n.bodies.Spill(v) {
 			n.cluster.spills.Add(1)
@@ -244,15 +278,17 @@ func (n *node) placeBody(obj model.ObjectID, size int64, now float64, ev []model
 
 // handleFetch implements the upstream pass at this node.
 func (n *node) handleFetch(m *fetchMsg) {
-	if n.st.Lookup(m.obj, m.now) {
+	if res := n.st.LookupFresh(m.obj, m.now, m.floor); res.Hit {
 		// Serving node A_0: record the hit and decide placement for
-		// the caches below.
-		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop)
+		// the caches below. A Stale or Expired copy self-healed to a miss
+		// inside LookupFresh and the pass continues upstream below.
+		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop, res.Gen)
 		return
 	}
-	if served, ev := n.diskServe(m.obj, m.size, m.now, n.evictBuf); served {
-		n.evictBuf = ev
-		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop)
+	served, gen, ev := n.diskServe(m.obj, m.size, m.now, m.floor, n.evictBuf)
+	n.evictBuf = ev
+	if served {
+		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop, gen)
 		return
 	}
 
@@ -273,7 +309,8 @@ func (n *node) handleFetch(m *fetchMsg) {
 		if m.upCost[m.hop] > 0 {
 			originHops++ // hierarchy: root–server is a real link
 		}
-		n.cluster.decideAndDeliver(m, len(m.route), model.NoNode, originCost, originHops)
+		n.cluster.decideAndDeliver(m, len(m.route), model.NoNode, originCost, originHops,
+			n.cluster.originGen(m.obj))
 		return
 	}
 
@@ -284,6 +321,12 @@ func (n *node) handleFetch(m *fetchMsg) {
 
 // handleDeliver implements the downstream pass at this node.
 func (n *node) handleDeliver(d *deliverMsg) {
+	// An origin response's piggybacked invalidation tail lands before the
+	// placement step, so a placement at the pre-write generation is caught
+	// by the freshly raised floor.
+	if d.invTail != nil {
+		n.st.ApplyInvalidations(d.invTail, d.invHead, d.now)
+	}
 	// prev is the counter as it left the last caching point (plus any
 	// links folded in for routed-around hops) — the miss-penalty audit's
 	// reference value.
@@ -301,7 +344,7 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		d.chosen = d.chosen[:k]
 	}
 
-	res, ev := n.st.DownStep(d.obj, d.size, place, d.mp, d.hop, d.now, n.evictBuf[:0])
+	res, ev := n.st.DownStep(d.obj, d.size, place, d.mp, d.gen, d.hop, d.now, n.evictBuf[:0])
 	n.evictBuf = ev
 	n.st.Audit().CheckPenaltyStep(n.id, d.obj, d.hop, prev, d.mp, res.MP, res.Placed)
 	d.mp = res.MP
@@ -310,7 +353,7 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		inst := n.inst()
 		inst.inserts.Inc()
 		inst.evictions.Add(int64(len(ev)))
-		n.placeBody(d.obj, d.size, d.now, ev)
+		n.placeBody(d.obj, d.size, d.gen, d.now, ev)
 	}
 
 	if d.hop == 0 {

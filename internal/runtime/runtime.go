@@ -37,6 +37,7 @@ import (
 
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/controlplane"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
@@ -67,6 +68,11 @@ type Result struct {
 	// caches down, or the request deadline expired — and was satisfied as
 	// an origin-direct fetch at full path cost.
 	Degraded bool
+	// ServedGen is the coherency generation of the served copy (the
+	// origin's current generation for origin-served requests; zero when
+	// coherency is off). Under ModeCAS it is never below the origin's
+	// generation at the instant the Get started.
+	ServedGen uint64
 }
 
 // Config assembles a Cluster.
@@ -141,6 +147,20 @@ type Config struct {
 	// SpillTTL expires disk copies after this many Clock seconds
 	// (0 = never).
 	SpillTTL float64
+	// CoherencyMode turns on engine-native coherency across the cluster
+	// (default ModeNone = off): per-object generations are stamped on
+	// every placement, validated on every lookup (ModePSI/ModeCAS), and
+	// origin responses piggyback the authority's recent invalidation tail.
+	// See docs/PROTOCOL.md "Coherency".
+	CoherencyMode coherency.Mode
+	// CoherencyLifetime is the ModeTTL copy lifetime in Clock seconds.
+	CoherencyLifetime float64
+	// Authority is the origin's write authority — the generation source
+	// shared with whoever performs writes (an HTTP gateway's origin, a
+	// test driver). When nil and CoherencyMode is not ModeNone the
+	// cluster creates its own (writes then go through
+	// Cluster.Invalidate).
+	Authority *coherency.Authority
 }
 
 // Stats are cluster-wide counters, readable at any time.
@@ -198,6 +218,16 @@ type Cluster struct {
 	// routing-view changes so a drain never strands a request mid-cascade.
 	cp    *controlplane.Manager
 	guard *controlplane.EpochGuard
+
+	// auth is the origin's write authority and cohViews the per-slot
+	// generation floors (both nil when CoherencyMode is ModeNone). Views
+	// belong to the slot, not the actor, so crash/recover cycles keep the
+	// node's coherency knowledge — a restarted real node would sync the
+	// origin's invalidation log before serving, and the slot-owned view
+	// is what lets a recovered actor reject stale spill files it adopts.
+	auth       *coherency.Authority
+	cohViews   []*coherency.NodeView
+	cohMetrics *coherency.Metrics
 
 	requests        *metrics.Counter
 	cacheHits       *metrics.Counter
@@ -279,6 +309,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			c.flight[i] = flightrec.New(cfg.FlightCapacity)
 		}
 	}
+	if cfg.CoherencyMode != coherency.ModeNone {
+		c.auth = cfg.Authority
+		if c.auth == nil {
+			c.auth = coherency.NewAuthority()
+		}
+		c.cohViews = make([]*coherency.NodeView, len(c.slots))
+		for i := range c.cohViews {
+			c.cohViews[i] = coherency.NewNodeView(cfg.CoherencyMode, cfg.CoherencyLifetime)
+		}
+	}
 	c.initMetrics()
 	if cfg.EnableAudit {
 		c.auditor = audit.New(c.reg)
@@ -322,6 +362,12 @@ func (c *Cluster) initMetrics() {
 	c.spills = c.reg.Counter("cascade_cluster_spills_total", "Evicted payloads parked in a node's disk spill tier.")
 	c.spillHits = c.reg.Counter("cascade_cluster_spill_hits_total", "Requests served from a node's disk spill tier.")
 	c.promotions = c.reg.Counter("cascade_cluster_promotions_total", "Spilled objects promoted back into a node's cache.")
+	if c.cohViews != nil {
+		c.cohMetrics = coherency.NewMetrics(c.reg)
+		for _, v := range c.cohViews {
+			v.SetMetrics(c.cohMetrics)
+		}
+	}
 
 	c.nodeInst = make([]nodeInstruments, len(c.slots))
 	for i := range c.nodeInst {
@@ -406,14 +452,22 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // that fails to open leaves the node without one — the data plane then
 // drops evicted bytes rather than blocking the recovery.
 func (c *Cluster) newNode(id model.NodeID) *node {
+	view := c.cohView(id)
 	var bodies *store.Tiered
 	if c.cfg.SpillDir != "" {
-		if b, err := store.NewTiered(store.Config{
+		scfg := store.Config{
 			Dir:       filepath.Join(c.cfg.SpillDir, "node-"+strconv.Itoa(int(id))),
 			DiskBytes: c.cfg.SpillBytes,
 			DiskTTL:   c.cfg.SpillTTL,
 			Clock:     c.cfg.Clock,
-		}); err == nil {
+		}
+		if view != nil && view.Mode().Validates() {
+			// The disk tier validates persisted generations against the
+			// slot's floor: a spill file an invalidation already covered is
+			// rejected at adoption and on read.
+			scfg.MinGen = view.Floor
+		}
+		if b, err := store.NewTiered(scfg); err == nil {
 			bodies = b
 		}
 	}
@@ -434,8 +488,69 @@ func (c *Cluster) newNode(id model.NodeID) *node {
 			Flight:        c.flightRecorder(id),
 			Audit:         c.auditor,
 			Ledger:        c.ledger,
+			Coherency:     view,
 		}),
 	}
+}
+
+// cohView returns a slot's coherency view, nil when coherency is off or the
+// ID is out of range.
+func (c *Cluster) cohView(id model.NodeID) *coherency.NodeView {
+	if c.cohViews == nil || int(id) < 0 || int(id) >= len(c.cohViews) {
+		return nil
+	}
+	return c.cohViews[id]
+}
+
+// CoherencyView exposes a node's generation floors (conformance and tests);
+// nil when coherency is off.
+func (c *Cluster) CoherencyView(id model.NodeID) *coherency.NodeView { return c.cohView(id) }
+
+// Authority returns the origin's write authority, nil when coherency is
+// off.
+func (c *Cluster) Authority() *coherency.Authority { return c.auth }
+
+// originGen reads the origin's current generation for an object (zero when
+// coherency is off).
+func (c *Cluster) originGen(obj model.ObjectID) uint64 {
+	if c.auth == nil {
+		return 0
+	}
+	return c.auth.Gen(obj)
+}
+
+// casFloor is the read-your-writes floor a Get must enforce: under ModeCAS
+// the origin's generation at request start, zero otherwise.
+func (c *Cluster) casFloor(obj model.ObjectID) uint64 {
+	if c.auth != nil && c.cfg.CoherencyMode == coherency.ModeCAS {
+		return c.auth.Gen(obj)
+	}
+	return 0
+}
+
+// Invalidate is the origin-driven write path: it bumps the object's
+// generation at the authority and — in validating modes — pushes the entry
+// to every routable node synchronously, so copies anywhere in the cascade
+// (memory or spilled to disk) can never be served at the old generation
+// again. Head stays untouched at the nodes (the push is out-of-band; the
+// piggybacked tail still advances their cursors), and the new generation is
+// returned. Zero when coherency is off.
+func (c *Cluster) Invalidate(obj model.ObjectID) uint64 {
+	if c.auth == nil {
+		return 0
+	}
+	gen, seq := c.auth.Bump(obj)
+	if c.cfg.CoherencyMode.Validates() {
+		now := c.cfg.Clock()
+		inv := [1]coherency.Invalidation{{Seq: seq, Obj: obj, Gen: gen}}
+		for i := range c.slots {
+			id := model.NodeID(i)
+			if n := c.node(id); n != nil && !n.down.Load() && c.cp.Routable(id) {
+				n.st.ApplyInvalidations(inv[:], 0, now)
+			}
+		}
+	}
+	return gen
 }
 
 // flightRecorder returns a slot's flight recorder, nil when recording is
@@ -766,7 +881,8 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 			total += v
 		}
 		c.originFallbacks.Add(1)
-		return Result{ServedBy: model.NoNode, Cost: total * scale, Hops: full.Hops(), Degraded: true}
+		return Result{ServedBy: model.NoNode, Cost: total * scale, Hops: full.Hops(), Degraded: true,
+			ServedGen: c.originGen(obj)}
 	}
 
 	// Route around nodes already known to be down, draining, or probed
@@ -808,6 +924,7 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 		upCost:  upCost,
 		hop:     0,
 		accCost: cut.Lead * scale,
+		floor:   c.casFloor(obj),
 		reply:   reply,
 	}
 	c.sendFetchUp(f)
@@ -926,7 +1043,7 @@ func (c *Cluster) sendFetchUp(m *fetchMsg) {
 	if m.upCost[len(m.route)-1] > 0 {
 		hops++ // hierarchy: root–server is a real link
 	}
-	c.decideAndDeliver(m, len(m.route), model.NoNode, m.accCost, hops)
+	c.decideAndDeliver(m, len(m.route), model.NoNode, m.accCost, hops, c.originGen(m.obj))
 }
 
 // sendDeliverDown delivers a response message to the cache at d.hop,
@@ -999,9 +1116,11 @@ func (c *Cluster) decide(m *fetchMsg, servingHop int, servedBy model.NodeID, buf
 // of the serving node (len(route) for the origin). It is a deterministic
 // function of the message, so any party may run it — the serving actor in
 // the common case, the last live sender when the top of the cascade is
-// unreachable.
-func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int) {
-	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops}
+// unreachable. gen is the served copy's coherency generation; origin-served
+// responses additionally piggyback the authority's invalidation tail
+// (PSI-style), applied at every live hop on the way down.
+func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int, gen uint64) {
+	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops, ServedGen: gen}
 	if servingHop == 0 {
 		// Hit at the client's first cache: nothing travels downstream.
 		c.finish(m.reply, result)
@@ -1022,8 +1141,13 @@ func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.N
 		hop:    servingHop - 1,
 		chosen: chosen,
 		mp:     0,
+		gen:    gen,
 		result: result,
 		reply:  m.reply,
+	}
+	if servedBy == model.NoNode && c.auth != nil && c.cfg.CoherencyMode.Validates() {
+		d.invTail = c.auth.Tail(nil)
+		d.invHead = c.auth.Head()
 	}
 	c.sendDeliverDown(d)
 }

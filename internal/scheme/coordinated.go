@@ -3,6 +3,7 @@ package scheme
 import (
 	"cascade/internal/audit"
 	"cascade/internal/cache"
+	"cascade/internal/coherency"
 	"cascade/internal/dcache"
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
@@ -79,6 +80,16 @@ type Coordinated struct {
 	auditor   *audit.Auditor
 	ledger    *audit.Ledger
 	flightCap int
+
+	// coherency state (nil auth = coherency off, the default): the
+	// origin-side generation authority, the enforced mode, and one
+	// NodeView per node attached to its engine state. invBuf is the
+	// reusable PSI-tail scratch; invOne carries explicit pushes.
+	auth        *coherency.Authority
+	cohMode     coherency.Mode
+	cohLifetime float64
+	invBuf      []coherency.Invalidation
+	invOne      [1]coherency.Invalidation
 }
 
 // NewCoordinated returns an unconfigured coordinated scheme with monotone
@@ -135,6 +146,58 @@ func (s *Coordinated) SetLedger(l *audit.Ledger) {
 // the last n events (0 disables, the default). Call before Configure.
 func (s *Coordinated) SetFlightCapacity(n int) { s.flightCap = n }
 
+// SetCoherency attaches the origin-side generation authority and selects
+// the mode every node enforces (lifetime is the TTL freshness lifetime in
+// seconds; ignored by other modes). Callable before or after Configure; a
+// nil authority turns coherency off.
+func (s *Coordinated) SetCoherency(auth *coherency.Authority, mode coherency.Mode, lifetime float64) {
+	s.auth = auth
+	s.cohMode = mode
+	s.cohLifetime = lifetime
+	for _, st := range s.nodes {
+		if auth == nil {
+			st.Coh = nil
+		} else {
+			st.Coh = coherency.NewNodeView(mode, lifetime)
+		}
+	}
+}
+
+// Authority returns the attached generation authority (nil when coherency
+// is off).
+func (s *Coordinated) Authority() *coherency.Authority { return s.auth }
+
+// CoherencyView returns a node's coherency view, or nil.
+func (s *Coordinated) CoherencyView(n model.NodeID) *coherency.NodeView {
+	if st := s.nodes[n]; st != nil {
+		return st.Coh
+	}
+	return nil
+}
+
+// Invalidate records a write of obj at time now: the authority bumps its
+// generation and — in validating modes — the invalidation is pushed to
+// every node synchronously (the explicit /cascade/admin/invalidate path;
+// the cursor does not advance, so piggybacked tails still deliver any
+// entries a node missed). Returns the new generation (0 when coherency is
+// off).
+func (s *Coordinated) Invalidate(obj model.ObjectID, now float64) uint64 {
+	if s.auth == nil {
+		return 0
+	}
+	gen, seq := s.auth.Bump(obj)
+	if s.cohMode.Validates() {
+		s.invOne[0] = coherency.Invalidation{Seq: seq, Obj: obj, Gen: gen}
+		for n, st := range s.nodes {
+			if s.draining[n] {
+				continue
+			}
+			st.ApplyInvalidations(s.invOne[:], 0, now)
+		}
+	}
+	return gen
+}
+
 // FlightRecorder returns a node's flight recorder, or nil when recording
 // is disabled or the node unknown.
 func (s *Coordinated) FlightRecorder(n model.NodeID) *flightrec.Recorder {
@@ -179,6 +242,9 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 		if s.flightCap > 0 {
 			st.Flight = flightrec.New(s.flightCap)
 		}
+		if s.auth != nil {
+			st.Coh = coherency.NewNodeView(s.cohMode, s.cohLifetime)
+		}
 		s.pool.Attach(st.DCache)
 		s.nodes[n] = st
 	}
@@ -212,8 +278,16 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 	// ---- Upstream pass -------------------------------------------------
 	// Probe each cache on the way up; collect every miss hop's candidate
 	// record (including §2.4 tags — their link costs still feed deeper
-	// candidates' miss penalties) in wire order, client first.
+	// candidates' miss penalties) in wire order, client first. In CAS
+	// mode the request carries the object's current generation as a read
+	// floor, so a stale copy self-heals to a miss instead of serving.
+	var floor uint64
+	if s.auth != nil && s.cohMode == coherency.ModeCAS {
+		floor = s.auth.Gen(obj)
+	}
 	hit := path.OriginIndex()
+	var servedGen uint64
+	refetch := false
 	s.cand = s.cand[:0]
 	for i := range path.Nodes {
 		if s.draining[path.Nodes[i]] {
@@ -223,15 +297,26 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			continue
 		}
 		st := s.nodes[path.Nodes[i]]
-		if st.Lookup(obj, now) {
+		res := st.LookupFresh(obj, now, floor)
+		if res.Hit {
 			hit = i
+			servedGen = res.Gen
 			break
+		}
+		if res.Expired || res.Stale {
+			// Both freshness demotions force the request upstream: TTL
+			// expiry and a generation-floor violation (CAS read floor or an
+			// invalidation learned earlier) are each a revalidation charge.
+			refetch = true
 		}
 		s.cand = append(s.cand, st.UpMiss(obj, size, i, path.UpCost[i], now, tr))
 	}
 	servNode := model.NoNode
 	if hit < path.OriginIndex() {
 		servNode = path.Nodes[hit]
+	} else if s.auth != nil {
+		// The origin always serves the current generation.
+		servedGen = s.auth.Gen(obj)
 	}
 	engine.TraceServe(tr, hit, servNode)
 
@@ -260,7 +345,18 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 
 	// ---- Downstream pass ------------------------------------------------
 	// chosen holds ascending hop indices and the response walks hops
-	// descending — a tail cursor replaces a chosen-set map.
+	// descending — a tail cursor replaces a chosen-set map. Origin-served
+	// responses piggyback the invalidation-log tail PSI-style; each node
+	// applies it before its own DownStep, so a placement decided against
+	// a just-invalidated copy is rejected deterministically.
+	var invTail []coherency.Invalidation
+	var invHead uint64
+	if s.auth != nil && s.cohMode.Validates() && hit == path.OriginIndex() {
+		s.invBuf = s.auth.Tail(s.invBuf[:0])
+		invTail = s.invBuf
+		invHead = s.auth.Head()
+		piggyback += int64(len(invTail)) * invalidationWireBytes
+	}
 	placed := s.placed[:0]
 	last := len(chosen) - 1
 	mp := 0.0 // the response message's miss-penalty counter
@@ -273,11 +369,14 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			continue
 		}
 		st := s.nodes[path.Nodes[i]]
+		if invTail != nil {
+			st.ApplyInvalidations(invTail, invHead, now)
+		}
 		place := last >= 0 && chosen[last] == i
 		if place {
 			last--
 		}
-		res := st.DownStep(obj, size, place, mp, i, now, tr)
+		res := st.DownStep(obj, size, place, mp, servedGen, i, now, tr)
 		if s.auditor != nil {
 			s.auditor.CheckPenaltyStep(st.Node, obj, i, prev, mp, res.MP, res.Placed)
 		}
@@ -291,7 +390,7 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 		tr.HitIndex = hit
 		tr.Placed = append([]int(nil), placed...)
 	}
-	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback}
+	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback, ServedGen: servedGen, Refetch: refetch}
 }
 
 // Cache exposes a node's main store for tests.

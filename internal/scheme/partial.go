@@ -164,7 +164,7 @@ func (s *Partial) Process(now float64, obj model.ObjectID, size int64, path Path
 		if place {
 			last--
 		}
-		res := st.DownStep(obj, size, place, mp, i, now, nil)
+		res := st.DownStep(obj, size, place, mp, 0, i, now, nil)
 		mp = res.MP
 		if res.Placed {
 			placed = append(placed, i)

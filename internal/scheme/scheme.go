@@ -63,6 +63,14 @@ type Outcome struct {
 	// to the request and response messages (coordinated caching only);
 	// it quantifies the protocol's communication overhead.
 	PiggybackBytes int64
+	// ServedGen is the coherency generation of the served copy — the
+	// origin's current generation for an origin hit, the cached copy's
+	// stamped generation for a cache hit. Zero when coherency is off.
+	ServedGen uint64
+	// Refetch reports that a TTL-expired copy was demoted on the
+	// upstream pass, turning a would-be hit into a revalidating miss
+	// that travelled the rest of the path.
+	Refetch bool
 }
 
 // NodeBudget sizes one cache node: its main-cache byte capacity and — for
@@ -101,9 +109,15 @@ type Scheme interface {
 // piggybacked on a message — "typically a few tens of bytes" (§2.4).
 const descriptorWireBytes = 40
 
-// Evicter is implemented by schemes that support externally driven
-// invalidation (the coherency substrate evicts copies a piggybacked server
-// invalidation has declared stale).
+// invalidationWireBytes is the serialized size of one invalidation-log
+// entry (sequence, object ID, generation — three u64s) piggybacked on an
+// origin response.
+const invalidationWireBytes = 24
+
+// Evicter is implemented by schemes that support externally driven copy
+// removal (tests and operational tooling drop a copy without a request;
+// engine-native coherency uses generation floors instead — see
+// Coordinated.Invalidate).
 type Evicter interface {
 	// Evict drops the object's copy at the node, reporting whether a
 	// copy was present.

@@ -61,10 +61,12 @@ type Config struct {
 	// attachment points.
 	Seed int64
 
-	// Coherency optionally tracks object updates and copy freshness
-	// (paper §2 assumes fresh copies; this substrate makes the
-	// assumption measurable). Nil disables consistency accounting.
-	Coherency *coherency.Tracker
+	// Coherency optionally drives a synthetic object-update process and
+	// enforces the selected consistency mode through the engine-native
+	// substrate (paper §2 assumes fresh copies; this makes the
+	// assumption measurable). Requires a coherency-capable scheme (the
+	// coordinated scheme). Nil keeps the fresh-copy assumption.
+	Coherency *coherency.Config
 
 	// CostModel selects the measure the schemes optimize (§2's generic
 	// cost): latency (default, the paper's choice), bandwidth or hops.
@@ -107,6 +109,19 @@ type Simulator struct {
 	// least the client's own cache).
 	routeCache []topology.Route
 	numNodes   int
+
+	// coherency state (nil when Config.Coherency is nil): the origin-side
+	// generation authority and the Poisson update process driving it.
+	auth *coherency.Authority
+	proc *coherency.Process
+}
+
+// CoherencyScheme is the capability a scheme must provide for a coherency
+// run: accept the shared generation authority and the enforced mode.
+// Coordinated implements it; the baselines do not (the paper's baselines
+// have no piggyback channel to carry invalidations).
+type CoherencyScheme interface {
+	SetCoherency(auth *coherency.Authority, mode coherency.Mode, lifetime float64)
 }
 
 // New validates the configuration, sizes and resets the scheme's caches,
@@ -163,6 +178,16 @@ func New(cfg Config) (*Simulator, error) {
 		}
 	}
 	cfg.Scheme.Configure(budgets)
+
+	if cfg.Coherency != nil {
+		cs, ok := cfg.Scheme.(CoherencyScheme)
+		if !ok {
+			return nil, fmt.Errorf("sim: scheme %s does not support coherency", cfg.Scheme.Name())
+		}
+		s.auth = coherency.NewAuthority()
+		cs.SetCoherency(s.auth, cfg.Coherency.Mode, cfg.Coherency.Lifetime)
+		s.proc = coherency.NewProcess(*cfg.Coherency, cfg.Catalog.Objects, s.auth)
+	}
 
 	// Random but seed-deterministic attachment, as in §3.2 ("randomly
 	// allocated to the MAN nodes" / "randomly allocated to the leaf
@@ -239,9 +264,8 @@ func (s *Simulator) Process(req model.Request) metrics.Sample {
 	s.cfg.CostModel.linkCosts(route, req.Size, s.avgSize, costs)
 	path := scheme.Path{Nodes: route.Caches, UpCost: costs}
 
-	coh := s.cfg.Coherency
-	if coh != nil {
-		coh.Advance(req.Time)
+	if s.proc != nil {
+		s.proc.Advance(req.Time)
 	}
 
 	out := s.cfg.Scheme.Process(req.Time, req.Object, req.Size, path)
@@ -276,8 +300,15 @@ func (s *Simulator) Process(req model.Request) metrics.Sample {
 		sample.Hops = route.Hops()
 	}
 
-	if coh != nil {
-		s.applyCoherency(req, route, path, out, &sample)
+	if s.auth != nil {
+		// Omniscient freshness measurement: a cache hit is stale when the
+		// served copy's generation lags the authority's current one — the
+		// protocol may not even be able to know (ModeNone carries nothing
+		// on the wire), but the simulator can.
+		sample.StaleHit = sample.CacheHit && out.ServedGen < s.auth.Gen(req.Object)
+		// A TTL expiry turned a would-be hit into a revalidating miss;
+		// the latency already reflects the full refetch path organically.
+		sample.Refetch = out.Refetch
 	}
 	if s.nodeStats != nil {
 		if sample.CacheHit {
@@ -294,46 +325,18 @@ func (s *Simulator) Process(req model.Request) metrics.Sample {
 	return sample
 }
 
-// applyCoherency folds the consistency substrate into one request: freshness
-// classification of hits, fetched-version bookkeeping for placements, and
-// piggyback server invalidation on origin-served responses.
-func (s *Simulator) applyCoherency(req model.Request, route topology.Route, path scheme.Path, out scheme.Outcome, sample *metrics.Sample) {
-	coh := s.cfg.Coherency
-	if sample.CacheHit {
-		h := coh.OnHit(path.Nodes[out.HitIndex], req.Object, req.Time)
-		sample.StaleHit = h.Stale
-		if h.Refetch {
-			// TTL expiry: the request revalidates from the origin,
-			// paying the full path delay.
-			sample.Refetch = true
-			lat := 0.0
-			scale := 1.0
-			if s.avgSize > 0 {
-				scale = float64(req.Size) / s.avgSize
-			}
-			for _, c := range route.UpCost {
-				lat += c * scale
-			}
-			sample.Latency = lat
-			sample.Hops = route.Hops()
-		}
+// Authority returns the generation authority of a coherency run (nil when
+// coherency is off) — experiments and tests read current generations, and
+// write-driving tests bump it through the scheme's Invalidate.
+func (s *Simulator) Authority() *coherency.Authority { return s.auth }
+
+// Updates returns how many synthetic object updates the coherency process
+// has generated so far (0 when coherency is off).
+func (s *Simulator) Updates() int64 {
+	if s.proc == nil {
+		return 0
 	}
-	for _, idx := range out.Placed {
-		coh.RecordFetch(path.Nodes[idx], req.Object, req.Time)
-	}
-	if out.HitIndex == path.OriginIndex() {
-		// The response came from the origin: every cache it passes
-		// syncs with that server (PSI), dropping copies the
-		// piggybacked invalidations cover.
-		ev, _ := s.cfg.Scheme.(scheme.Evicter)
-		for _, n := range path.Nodes {
-			for _, obj := range coh.SyncWithServer(n, req.Server, req.Time) {
-				if ev != nil {
-					ev.Evict(n, obj)
-				}
-			}
-		}
-	}
+	return s.proc.Updates
 }
 
 // RunTimeline replays the entire stream and buckets statistics into

@@ -342,58 +342,94 @@ func TestTrackNodes(t *testing.T) {
 }
 
 func TestCoherencyIntegration(t *testing.T) {
+	// PSI: piggybacked invalidations bound staleness but cannot eliminate
+	// it — aggressive updates must still produce some stale serves.
 	g := workload()
-	tracker := coherency.NewTracker(coherency.Config{
-		Policy:               coherency.PSI,
-		ObjectUpdateInterval: 30, // aggressive: ~full-universe churn
-		Seed:                 4,
-	}, g.Catalog().Objects)
 	simr, err := New(Config{
 		Scheme:            scheme.NewCoordinated(),
 		Network:           enroute(),
 		Catalog:           g.Catalog(),
 		RelativeCacheSize: 0.05,
 		Seed:              3,
-		Coherency:         tracker,
+		Coherency: &coherency.Config{
+			Mode:                 coherency.ModePSI,
+			ObjectUpdateInterval: 30, // aggressive: ~full-universe churn
+			Seed:                 4,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Reset()
 	sum, _ := simr.Run(g, g.Len()/2)
-	if tracker.Updates == 0 {
+	if simr.Updates() == 0 {
 		t.Fatal("no updates generated")
 	}
 	if sum.StaleHitRatio <= 0 {
 		t.Fatal("aggressive updates produced no stale hits")
 	}
-	// TTL policy exercises the refetch path.
+
+	// TTL exercises the refetch path: expired copies demote to a miss.
 	g2 := workload()
-	ttl := coherency.NewTracker(coherency.Config{
-		Policy:               coherency.TTL,
-		ObjectUpdateInterval: 30,
-		Lifetime:             100,
-		Seed:                 4,
-	}, g2.Catalog().Objects)
 	simr2, err := New(Config{
-		Scheme:            scheme.NewLRU(),
+		Scheme:            scheme.NewCoordinated(),
 		Network:           enroute(),
 		Catalog:           g2.Catalog(),
 		RelativeCacheSize: 0.05,
 		Seed:              3,
-		Coherency:         ttl,
+		Coherency: &coherency.Config{
+			Mode:                 coherency.ModeTTL,
+			ObjectUpdateInterval: 30,
+			Lifetime:             100,
+			Seed:                 4,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	g2.Reset()
 	sumTTL, _ := simr2.Run(g2, g2.Len()/2)
 	if sumTTL.RefetchRatio <= 0 {
 		t.Fatal("TTL never refetched")
 	}
-	// Refetches pay full-path latency: TTL latency ≥ None's would need a
-	// matched run; just require sane bounds here.
 	if sumTTL.StaleHitRatio < 0 || sumTTL.StaleHitRatio > 1 {
 		t.Fatalf("stale ratio %v", sumTTL.StaleHitRatio)
+	}
+
+	// CAS: read floors make stale serves structurally impossible.
+	g3 := workload()
+	simr3, err := New(Config{
+		Scheme:            scheme.NewCoordinated(),
+		Network:           enroute(),
+		Catalog:           g3.Catalog(),
+		RelativeCacheSize: 0.05,
+		Seed:              3,
+		Coherency: &coherency.Config{
+			Mode:                 coherency.ModeCAS,
+			ObjectUpdateInterval: 30,
+			Seed:                 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3.Reset()
+	sumCAS, _ := simr3.Run(g3, g3.Len()/2)
+	if sumCAS.StaleHitRatio != 0 {
+		t.Fatalf("CAS served stale: ratio %v", sumCAS.StaleHitRatio)
+	}
+
+	// Baselines cannot carry coherency: configuring one must error.
+	g4 := workload()
+	if _, err := New(Config{
+		Scheme:            scheme.NewLRU(),
+		Network:           enroute(),
+		Catalog:           g4.Catalog(),
+		RelativeCacheSize: 0.05,
+		Seed:              3,
+		Coherency:         &coherency.Config{Mode: coherency.ModeTTL},
+	}); err == nil {
+		t.Fatal("LRU accepted a coherency config")
 	}
 }
 

@@ -16,16 +16,22 @@ import (
 	"cascade/internal/model"
 )
 
-// Disk-tier file format ("CBS1" — Cascade Body Store v1), little-endian:
+// Disk-tier file format ("CBS1" — Cascade Body Store v1, generation
+// revision), little-endian:
 //
 //	offset  size  field
 //	0       4     magic "CBS1"
 //	4       4     CRC32-IEEE over every byte after this field
 //	8       8     body length (u64)
 //	16      8     fetched timestamp (f64 bits)
-//	24      2     etag length (u16)
-//	26      n     etag bytes
-//	26+n    m     body bytes
+//	24      8     coherency generation (u64)
+//	32      2     etag length (u16)
+//	34      n     etag bytes
+//	34+n    m     body bytes
+//
+// Files written before the generation field fail the record-length check
+// and are discarded as corrupt — a pre-coherency spill can never be
+// adopted with an unknown generation.
 //
 // Files are named o<uint64(id)>.body. Writes go to a unique temp name in
 // the same directory, are fsynced, then renamed over the final name, and
@@ -35,7 +41,7 @@ import (
 
 const (
 	diskMagic      = "CBS1"
-	diskHeaderSize = 4 + 4 + 8 + 8 + 2
+	diskHeaderSize = 4 + 4 + 8 + 8 + 8 + 2
 )
 
 var errCorrupt = errors.New("store: corrupt disk object")
@@ -58,6 +64,9 @@ type diskTier struct {
 	maxBytes int64
 	ttl      float64
 	clock    func() float64
+	// minGen is the node's generation-floor oracle (Config.MinGen); nil
+	// disables generation validation.
+	minGen func(model.ObjectID) uint64
 
 	entries map[model.ObjectID]diskEntry
 	bytes   int64 // sum of entry sizes
@@ -67,11 +76,12 @@ type diskTier struct {
 
 	corrupt   int64
 	expired   int64
+	staleGen  int64 // files discarded because their generation fell below the floor
 	evictedN  int   // capacity evictions since the last takeEvicted
 	lastSweep float64
 }
 
-func newDiskTier(dir string, maxBytes int64, ttl float64, clock func() float64) (*diskTier, error) {
+func newDiskTier(dir string, maxBytes int64, ttl float64, clock func() float64, minGen func(model.ObjectID) uint64) (*diskTier, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -80,6 +90,7 @@ func newDiskTier(dir string, maxBytes int64, ttl float64, clock func() float64) 
 		maxBytes: maxBytes,
 		ttl:      ttl,
 		clock:    clock,
+		minGen:   minGen,
 		entries:  make(map[model.ObjectID]diskEntry),
 	}
 	if err := d.scan(); err != nil {
@@ -126,11 +137,18 @@ func (d *diskTier) scan() error {
 		}
 		// The header also carries the etag, so size over-counts body bytes
 		// by the etag length; read the real length from the header.
-		if bodyLen, ok := d.readBodyLen(name); ok {
-			size = bodyLen
-		} else {
+		bodyLen, gen, ok := d.readHeader(name)
+		if !ok {
 			os.Remove(filepath.Join(d.dir, name))
 			d.corrupt++
+			continue
+		}
+		size = bodyLen
+		if d.minGen != nil && gen < d.minGen(id) {
+			// An invalidation already covered this copy; adopting it would
+			// resurrect a stale body.
+			os.Remove(filepath.Join(d.dir, name))
+			d.staleGen++
 			continue
 		}
 		d.entries[id] = diskEntry{size: size, spilledAt: now}
@@ -140,22 +158,23 @@ func (d *diskTier) scan() error {
 	return nil
 }
 
-// readBodyLen reads just the fixed header to recover the body length during
-// the startup scan (full CRC verification is deferred to first read).
-func (d *diskTier) readBodyLen(name string) (int64, bool) {
+// readHeader reads just the fixed header to recover the body length and
+// generation during the startup scan (full CRC verification is deferred to
+// first read).
+func (d *diskTier) readHeader(name string) (bodyLen int64, gen uint64, ok bool) {
 	f, err := os.Open(filepath.Join(d.dir, name))
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	defer f.Close()
 	var hdr [diskHeaderSize]byte
 	if _, err := f.Read(hdr[:]); err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	if string(hdr[0:4]) != diskMagic {
-		return 0, false
+		return 0, 0, false
 	}
-	return int64(binary.LittleEndian.Uint64(hdr[8:16])), true
+	return int64(binary.LittleEndian.Uint64(hdr[8:16])), binary.LittleEndian.Uint64(hdr[24:32]), true
 }
 
 func objectFileName(id model.ObjectID) string {
@@ -187,9 +206,10 @@ func (d *diskTier) put(id model.ObjectID, body []byte, meta Meta) error {
 	copy(buf[0:4], diskMagic)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(body)))
 	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(meta.Fetched))
-	binary.LittleEndian.PutUint16(buf[24:26], uint16(len(meta.ETag)))
-	copy(buf[26:], meta.ETag)
-	copy(buf[26+len(meta.ETag):], body)
+	binary.LittleEndian.PutUint64(buf[24:32], meta.Gen)
+	binary.LittleEndian.PutUint16(buf[32:34], uint16(len(meta.ETag)))
+	copy(buf[34:], meta.ETag)
+	copy(buf[34+len(meta.ETag):], body)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
 
 	final := d.path(id)
@@ -259,6 +279,13 @@ func (d *diskTier) get(id model.ObjectID) ([]byte, Meta, bool) {
 		d.corrupt++
 		return nil, Meta{}, false
 	}
+	if d.minGen != nil && meta.Gen < d.minGen(id) {
+		// The floor moved past this copy while it sat on disk (an
+		// invalidation arrived after the spill): self-heal to a miss.
+		d.dropEntry(id)
+		d.staleGen++
+		return nil, Meta{}, false
+	}
 	return body, meta, true
 }
 
@@ -275,13 +302,14 @@ func (d *diskTier) readFile(id model.ObjectID) ([]byte, Meta, error) {
 	}
 	bodyLen := binary.LittleEndian.Uint64(buf[8:16])
 	fetched := math.Float64frombits(binary.LittleEndian.Uint64(buf[16:24]))
-	etagLen := int(binary.LittleEndian.Uint16(buf[24:26]))
+	gen := binary.LittleEndian.Uint64(buf[24:32])
+	etagLen := int(binary.LittleEndian.Uint16(buf[32:34]))
 	if uint64(len(buf)) != uint64(diskHeaderSize)+uint64(etagLen)+bodyLen {
 		return nil, Meta{}, errCorrupt
 	}
 	etag := string(buf[diskHeaderSize : diskHeaderSize+etagLen])
 	body := buf[diskHeaderSize+etagLen:]
-	return body, Meta{ETag: etag, Fetched: fetched}, nil
+	return body, Meta{ETag: etag, Fetched: fetched, Gen: gen}, nil
 }
 
 func (d *diskTier) contains(id model.ObjectID) bool {

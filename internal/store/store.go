@@ -27,12 +27,17 @@ import (
 )
 
 // Meta is the payload metadata a tier keeps next to the bytes: the HTTP
-// validator and the time the copy was (re)validated, both of which must
-// survive a spill so a promoted copy revalidates exactly like one that
-// never left memory.
+// validator, the time the copy was (re)validated, and the coherency
+// generation the body was fetched at. All of it must survive a spill so a
+// promoted copy revalidates — and generation-checks — exactly like one
+// that never left memory.
 type Meta struct {
 	ETag    string
 	Fetched float64
+	// Gen is the coherency generation of the body (zero when coherency
+	// is off). Persisted in the disk tier's CBS1 records and validated
+	// against Config.MinGen so a spill can never resurrect stale bytes.
+	Gen uint64
 }
 
 // Source reports which tier satisfied a Get.
@@ -76,6 +81,7 @@ type Stats struct {
 	DiskHits          int64 // Gets served by the disk tier
 	CorruptReads      int64 // disk files discarded on CRC/format mismatch
 	Expired           int64 // disk files discarded by the TTL sweep
+	StaleGenDrops     int64 // disk files discarded because their generation fell below the floor
 }
 
 // Config assembles a Tiered store.
@@ -93,6 +99,13 @@ type Config struct {
 	// Clock supplies seconds for spill timestamps and the TTL sweep
 	// (wall-clock seconds since construction when nil).
 	Clock func() float64
+	// MinGen, when set, is the node's generation-floor oracle: disk
+	// copies whose persisted generation is below MinGen(id) are
+	// discarded at startup adoption and on read, so a spill can never
+	// resurrect a body that an invalidation already covered. Nil
+	// disables the check. The oracle must be safe for concurrent use and
+	// must not call back into the store.
+	MinGen func(model.ObjectID) uint64
 }
 
 // memEntry is one memory-tier object. The byte slice is immutable once
@@ -128,7 +141,7 @@ func NewTiered(cfg Config) (*Tiered, error) {
 			start := time.Now()
 			clock = func() float64 { return time.Since(start).Seconds() }
 		}
-		d, err := newDiskTier(cfg.Dir, cfg.DiskBytes, cfg.DiskTTL, clock)
+		d, err := newDiskTier(cfg.Dir, cfg.DiskBytes, cfg.DiskTTL, clock, cfg.MinGen)
 		if err != nil {
 			return nil, err
 		}
@@ -315,6 +328,7 @@ func (t *Tiered) Stats() Stats {
 		s.DiskBytes = t.disk.bytes
 		s.CorruptReads = t.disk.corrupt
 		s.Expired = t.disk.expired
+		s.StaleGenDrops = t.disk.staleGen
 	}
 	return s
 }

@@ -150,6 +150,69 @@ func TestTornWriteCrashRecovery(t *testing.T) {
 	}
 }
 
+// A spilled copy whose persisted generation fell below the node's floor must
+// not be adopted by a restart scan — a spill can never resurrect a body an
+// invalidation already covered.
+func TestStaleGenerationRejectedOnAdoption(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestTiered(t, Config{Dir: dir})
+	ts.Put(11, SyntheticBody(11, 256), Meta{ETag: `"old"`, Gen: 3})
+	ts.Put(12, SyntheticBody(12, 256), Meta{ETag: `"cur"`, Gen: 7})
+	if !ts.Spill(11) || !ts.Spill(12) {
+		t.Fatal("spill failed")
+	}
+
+	// "Restart" with a floor that invalidates generation 3 but not 7.
+	floor := func(id model.ObjectID) uint64 {
+		if id == 11 {
+			return 5
+		}
+		return 0
+	}
+	ts2 := newTestTiered(t, Config{Dir: dir, MinGen: floor})
+	if _, _, src := ts2.Get(11); src != SrcNone {
+		t.Fatalf("stale-generation file adopted, src=%d", src)
+	}
+	if _, err := os.Stat(filepath.Join(dir, objectFileName(11))); !os.IsNotExist(err) {
+		t.Fatal("stale-generation file left on disk after scan")
+	}
+	body, meta, src := ts2.Get(12)
+	if src != SrcDisk || !bytes.Equal(body, SyntheticBody(12, 256)) || meta.Gen != 7 {
+		t.Fatalf("fresh file not adopted intact: src=%d meta=%+v", src, meta)
+	}
+	s := ts2.Stats()
+	if s.StaleGenDrops != 1 || s.DiskObjects != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// The floor can also move past a copy while it sits on disk (an invalidation
+// lands after the spill): the next read must self-heal to a miss.
+func TestStaleGenerationRejectedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	var floor uint64
+	ts := newTestTiered(t, Config{Dir: dir, MinGen: func(model.ObjectID) uint64 { return floor }})
+	ts.Put(21, SyntheticBody(21, 128), Meta{Gen: 2})
+	if !ts.Spill(21) {
+		t.Fatal("spill failed")
+	}
+	if _, _, src := ts.Get(21); src != SrcDisk {
+		t.Fatalf("pre-invalidation read src=%d", src)
+	}
+
+	floor = 4 // invalidation arrives while the copy is spilled
+	if _, _, src := ts.Get(21); src != SrcNone {
+		t.Fatalf("stale disk copy served, src=%d", src)
+	}
+	s := ts.Stats()
+	if s.StaleGenDrops != 1 || s.DiskObjects != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if _, err := os.Stat(filepath.Join(dir, objectFileName(21))); !os.IsNotExist(err) {
+		t.Fatal("stale file left on disk after read rejection")
+	}
+}
+
 func TestDiskTTLExpiry(t *testing.T) {
 	now := 0.0
 	ts := newTestTiered(t, Config{Dir: t.TempDir(), DiskTTL: 10, Clock: func() float64 { return now }})

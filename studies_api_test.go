@@ -39,8 +39,8 @@ func TestAPIStudiesSmoke(t *testing.T) {
 		{"overhead", func() (cascade.ResultTable, error) {
 			return cascade.OverheadStudy(cascade.ArchEnRoute, cfg)
 		}},
-		{"freshness", func() (cascade.ResultTable, error) {
-			return cascade.FreshnessStudy(cascade.ArchEnRoute, cfg, []float64{600}, 0.03)
+		{"freshness-frontier", func() (cascade.ResultTable, error) {
+			return cascade.FreshnessFrontier(cascade.ArchEnRoute, cfg, []float64{600}, 0.03)
 		}},
 		{"treeshape", func() (cascade.ResultTable, error) {
 			return cascade.TreeShapeStudy(cfg, []float64{3, 6}, 0.03)
