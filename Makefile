@@ -19,15 +19,18 @@ BENCH_OUT  ?= bench_latest.txt
 SLO_THRESHOLD ?= 4.0
 LOADTEST_OUT  ?= loadtest_latest.txt
 
-.PHONY: check vet lint build test race observe conformance dataplane rolling coherency bench bench-check loadtest
+.PHONY: check vet lint build test race observe conformance dataplane rolling coherency bench bench-check loadtest slo
 
-check: vet lint build race observe conformance dataplane rolling coherency bench-check loadtest
+check: vet lint build race observe conformance dataplane rolling coherency bench-check loadtest slo
 
 # Import guard: the protocol incarnations (scheme, sim, runtime, httpgw)
 # must reach the placement optimizer only through internal/engine, never by
-# importing internal/core directly (driver: cmd/importguard).
+# importing internal/core directly (driver: cmd/importguard). Metric lint:
+# registered series names and docs/OBSERVABILITY.md must agree in both
+# directions (driver: cmd/metriclint).
 lint:
 	$(GO) run ./cmd/importguard
+	$(GO) run ./cmd/metriclint
 
 # Cross-incarnation conformance: the same trace replayed through the
 # simulator scheme, the actor cluster and a live HTTP gateway chain must
@@ -108,3 +111,12 @@ loadtest:
 	$(GO) run ./cmd/benchcheck -in $(LOADTEST_OUT) \
 		-gate BenchmarkCascadeLoadP99 -threshold $(SLO_THRESHOLD) \
 		-allocs-ceiling "" -bytes-ceiling ""
+
+# Live SLO gate: cascademon (the federating monitor console) watches an
+# in-process origin → 3-gateway chain under closed-loop load and must pass
+# at the declared SLOs — and fail when the hit-ratio floor is raised above
+# what any cascade can reach (negative test). Runs the exact shipping
+# monitor loop (cmd/cascademon run()); docs/OBSERVABILITY.md declares the
+# SLOs and burn-rate discipline.
+slo:
+	$(GO) test -race -count=1 -run 'TestSLOGate' ./cmd/cascademon/

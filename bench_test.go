@@ -367,6 +367,43 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterThroughputSpans is BenchmarkClusterThroughput with span
+// tracing on at a production-style 1% tail-sampling rate. Compare against
+// the plain variant: the acceptance bar for the tracing subsystem is a
+// regression under 5%.
+func BenchmarkClusterThroughputSpans(b *testing.B) {
+	setup()
+	cluster, err := cascade.NewCluster(cascade.ClusterConfig{
+		Network:       benchTree,
+		CacheBytes:    1 << 22,
+		DCacheEntries: 2000,
+		AvgObjectSize: benchGen.Catalog().AvgSize(),
+		SpanCapacity:  512,
+		SpanSample:    0.01,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	leaves := benchTree.ClientAttachPoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(99))
+		for pb.Next() {
+			leaf := leaves[r.Intn(len(leaves))]
+			obj := cascade.ObjectID(r.Intn(2000))
+			if _, err := cluster.Get(context.Background(), leaf, cascade.NoNode, obj, 4096); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st := cluster.Stats()
+	if st.Requests > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit_ratio")
+	}
+}
+
 // BenchmarkClusterThroughputParallel measures the sharded direct data
 // plane: requests execute synchronously on the caller's goroutine against
 // 8-way sharded node state, so concurrent clients on different objects

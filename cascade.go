@@ -62,6 +62,7 @@ import (
 	"cascade/internal/runtime"
 	"cascade/internal/scheme"
 	"cascade/internal/sim"
+	"cascade/internal/span"
 	"cascade/internal/topology"
 	"cascade/internal/trace"
 )
@@ -566,6 +567,38 @@ func LedgerStudy(arch Architecture, cfg ExperimentConfig, size float64) (ResultT
 // (cascadesim -flight-dump).
 func DumpFlightRecorders(arch Architecture, cfg ExperimentConfig, size float64, capacity int) ([]FlightSnapshot, AuditReport, error) {
 	return experiment.FlightDump(arch, cfg, size, capacity)
+}
+
+// Cascade-wide span tracing: per-request protocol-phase spans under one
+// 128-bit trace ID, propagated hop to hop and tail-sampled into per-node
+// rings (docs/OBSERVABILITY.md).
+type (
+	// Span is one protocol-phase record of a traced request at one node.
+	Span = span.Span
+	// SpanPhase classifies a span (lookup, up, decide, down, body, …).
+	SpanPhase = span.Phase
+	// SpanPolicy declares a tracer's tail-sampling policy: the keep rate
+	// for unremarkable traces and the forced-keep slow threshold.
+	SpanPolicy = span.Policy
+	// SpanTracer mints trace IDs, accumulates per-request spans and
+	// applies the tail-sampling verdict; attach via Coordinated.SetSpans,
+	// ClusterConfig.SpanCapacity or HTTPCacheNode.EnableSpans.
+	SpanTracer = span.Tracer
+	// SpanSnapshot is the dump encoding of one node's span ring.
+	SpanSnapshot = span.Snapshot
+	// SpanTraceID identifies one request's cascade-wide trace.
+	SpanTraceID = span.TraceID
+)
+
+// NewSpanTracer returns a span tracer with the given tail-sampling policy.
+func NewSpanTracer(p SpanPolicy) *SpanTracer { return span.NewTracer(p) }
+
+// DumpSpanRings replays the workload through coordinated caching with
+// cascade-wide span tracing attached — tail sampling at rate, a per-node
+// ring of the given capacity — and returns every node's span snapshot
+// (cascadesim -span-dump).
+func DumpSpanRings(arch Architecture, cfg ExperimentConfig, size float64, capacity int, rate float64) ([]SpanSnapshot, error) {
+	return experiment.SpanDump(arch, cfg, size, capacity, rate)
 }
 
 // Fault injection (deterministic chaos hooks shared by the runtime and the

@@ -64,6 +64,9 @@ func run() error {
 		brkCool     = flag.Float64("breaker-cooldown", 0, "gateway: seconds the breaker stays open before probing (0 = default)")
 		upHealth    = flag.Float64("up-health-interval", 1, "gateway: seconds between active upstream health probes (≤ 0 = disabled)")
 		flightCap   = flag.Int("flight", 0, "protocol flight-recorder capacity in events (0 = default 256, negative = disabled); dump via GET /cascade/debug/flight")
+		spanRate    = flag.Float64("spans", -1, "gateway: enable cascade-wide span tracing, keeping this fraction of unremarkable traces (error/stale/slow always kept; negative = disabled); dump via GET /cascade/debug/spans")
+		spanCap     = flag.Int("span-capacity", 512, "gateway: span-ring capacity in spans (with -spans)")
+		spanSlow    = flag.Duration("span-slow", 0, "gateway: force-keep traces slower than this end-to-end (with -spans; 0 = no slow threshold)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		metricsAddr = flag.String("metrics", "", "gateway: serve Prometheus /metrics on this address (e.g. localhost:9090; empty = disabled)")
 	)
@@ -181,6 +184,13 @@ func run() error {
 		node.BreakerCooldown = *brkCool
 		if *flightCap != 0 {
 			node.SetFlightCapacity(*flightCap)
+		}
+		if *spanRate >= 0 {
+			node.EnableSpans(cascade.SpanPolicy{
+				Rate: *spanRate,
+				Slow: spanSlow.Seconds(),
+			}, *spanCap)
+			fmt.Fprintf(os.Stderr, "cascadegw: span tracing on (sample rate %g, ring %d)\n", *spanRate, *spanCap)
 		}
 		if *upTimeout != 0 {
 			node.Client = &http.Client{Timeout: *upTimeout}

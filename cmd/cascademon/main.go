@@ -1,0 +1,316 @@
+// Command cascademon is the cascade's live SLO console: it runs the
+// metrics federator (internal/obs/federate) on an interval against a
+// gateway chain, derives the cascade-level SLIs no single node can see,
+// evaluates multi-window burn rates against declared SLOs, and renders a
+// refreshing plain-text dashboard.
+//
+// Declared SLOs (each optional):
+//
+//	-slo-p99 250ms   p99 end-to-end latency bound at the edge
+//	-slo-hit 0.5     end-to-end hit-ratio floor (fraction of client
+//	                 requests the cascade absorbs without an origin fetch)
+//	-slo-stale-max 0 stale serves allowed (0 declares the zero-CAS-stale SLO)
+//
+// Burn rates follow the multi-window discipline: for each -windows entry
+// the monitor computes the SLI over just that trailing window (deltas of
+// cumulative counters and histogram buckets, not lifetime averages) and
+// reports how fast that window consumes the error budget; a burn above
+// 1.0 in every window at once means the cascade is currently violating,
+// not just remembering an old incident.
+//
+// Exit status: with -for (or -once) the monitor runs bounded and exits 0
+// when every declared SLO held over the whole run, 2 on breach — the CI
+// gate `make slo` is exactly this. Unbounded runs exit only on error (1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"cascade/internal/metrics"
+	"cascade/internal/obs/federate"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cascademon:", err)
+		os.Exit(1)
+	}
+	code, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cascademon:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+type config struct {
+	edge     string
+	interval time.Duration
+	total    time.Duration // 0 = run until killed
+	once     bool
+	noClear  bool
+	windows  []time.Duration
+
+	sloP99      time.Duration // 0 = not declared
+	sloHit      float64       // <0 = not declared
+	sloStaleMax float64       // <0 = not declared
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("cascademon", flag.ContinueOnError)
+	cfg := config{}
+	var windows string
+	fs.StringVar(&cfg.edge, "edge", "", "base URL of the chain's client-facing node (required)")
+	fs.DurationVar(&cfg.interval, "interval", 2*time.Second, "scrape period")
+	fs.DurationVar(&cfg.total, "for", 0, "run this long then exit with the SLO verdict (0 = forever)")
+	fs.BoolVar(&cfg.once, "once", false, "single scrape: print the dashboard, exit with the verdict")
+	fs.BoolVar(&cfg.noClear, "no-clear", false, "append dashboards instead of redrawing in place")
+	fs.StringVar(&windows, "windows", "30s,5m", "comma-separated burn-rate windows")
+	fs.DurationVar(&cfg.sloP99, "slo-p99", 0, "SLO: edge p99 latency bound (0 = not declared)")
+	fs.Float64Var(&cfg.sloHit, "slo-hit", -1, "SLO: end-to-end hit-ratio floor (negative = not declared)")
+	fs.Float64Var(&cfg.sloStaleMax, "slo-stale-max", -1, "SLO: stale serves allowed, 0 = zero-stale (negative = not declared)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.edge == "" {
+		return cfg, fmt.Errorf("-edge is required")
+	}
+	for _, w := range strings.Split(windows, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(w))
+		if err != nil {
+			return cfg, fmt.Errorf("-windows: %w", err)
+		}
+		cfg.windows = append(cfg.windows, d)
+	}
+	return cfg, nil
+}
+
+// snapshot is one scrape: cumulative SLIs plus the edge's cumulative
+// latency distribution, timestamped so windows can be cut later. Hop
+// metadata (membership, health) is kept for the dashboard; the raw sample
+// sets are dropped to bound memory on long runs.
+type snapshot struct {
+	at   time.Time
+	hops []federate.Hop
+	slis federate.SLIs
+	lat  metrics.Histogram
+}
+
+// deepestMisses is the traffic that escaped the whole cascade.
+func deepestMisses(s federate.SLIs) float64 {
+	if len(s.PerHop) == 0 {
+		return 0
+	}
+	return s.PerHop[len(s.PerHop)-1].Misses
+}
+
+// burn is one SLO × window evaluation. A rate above 1 means the window
+// consumes error budget faster than the SLO allows; math.Inf marks a
+// zero-budget SLO (any bad event burns infinitely fast).
+type burn struct {
+	window time.Duration
+	rate   float64
+	ok     bool
+}
+
+// windowDelta cuts the trailing window out of the history: the snapshot
+// pair (oldest within the window, newest). With one snapshot the whole
+// history is the window.
+func windowDelta(hist []snapshot, w time.Duration) (from, to snapshot) {
+	to = hist[len(hist)-1]
+	from = hist[0]
+	cutoff := to.at.Add(-w)
+	for _, s := range hist {
+		if s.at.After(cutoff) {
+			break
+		}
+		from = s
+	}
+	return from, to
+}
+
+// evalBurns computes every declared SLO's burn rate over every window.
+func evalBurns(cfg config, hist []snapshot) map[string][]burn {
+	out := make(map[string][]burn)
+	for _, w := range cfg.windows {
+		from, to := windowDelta(hist, w)
+		dReq := to.slis.EdgeRequests - from.slis.EdgeRequests
+
+		if cfg.sloP99 > 0 {
+			d := to.lat.Delta(&from.lat)
+			frac := 1 - d.FractionAtOrBelow(cfg.sloP99.Seconds())
+			out["p99_latency"] = append(out["p99_latency"], burn{w, frac / 0.01, frac/0.01 <= 1})
+		}
+		if cfg.sloHit >= 0 {
+			rate, ok := 0.0, true
+			if dReq > 0 {
+				missFrac := (deepestMisses(to.slis) - deepestMisses(from.slis)) / dReq
+				budget := 1 - cfg.sloHit
+				if budget <= 0 {
+					if missFrac > 0 {
+						rate, ok = math.Inf(1), false
+					}
+				} else {
+					rate = missFrac / budget
+					ok = rate <= 1
+				}
+			}
+			out["hit_ratio"] = append(out["hit_ratio"], burn{w, rate, ok})
+		}
+		if cfg.sloStaleMax >= 0 {
+			dStale := to.slis.StaleServes - from.slis.StaleServes
+			rate, ok := 0.0, true
+			if dStale > cfg.sloStaleMax {
+				rate, ok = math.Inf(1), false
+			}
+			out["stale_serves"] = append(out["stale_serves"], burn{w, rate, ok})
+		}
+	}
+	return out
+}
+
+// verdict evaluates the declared SLOs over the whole run (first snapshot
+// to last) — the bounded-run exit criterion. It returns the failed SLO
+// names.
+func verdict(cfg config, hist []snapshot) []string {
+	var failed []string
+	first, last := hist[0], hist[len(hist)-1]
+	if cfg.sloP99 > 0 {
+		d := last.lat.Delta(&first.lat)
+		if d.Count() > 0 && 1-d.FractionAtOrBelow(cfg.sloP99.Seconds()) > 0.01 {
+			failed = append(failed, "p99_latency")
+		}
+	}
+	if cfg.sloHit >= 0 {
+		dReq := last.slis.EdgeRequests - first.slis.EdgeRequests
+		if dReq > 0 {
+			hit := 1 - (deepestMisses(last.slis)-deepestMisses(first.slis))/dReq
+			if hit < cfg.sloHit {
+				failed = append(failed, "hit_ratio")
+			}
+		}
+	}
+	if cfg.sloStaleMax >= 0 {
+		if last.slis.StaleServes-first.slis.StaleServes > cfg.sloStaleMax {
+			failed = append(failed, "stale_serves")
+		}
+	}
+	return failed
+}
+
+// capture scrapes one snapshot of the chain.
+func capture(f *federate.Federator, edge string) (snapshot, error) {
+	view, err := f.Scrape(edge)
+	if err != nil {
+		return snapshot{}, err
+	}
+	hops := make([]federate.Hop, len(view.Hops))
+	for i, h := range view.Hops {
+		h.Samples = nil
+		hops[i] = h
+	}
+	return snapshot{
+		at:   time.Now(),
+		hops: hops,
+		slis: view.SLIs(),
+		lat:  view.Histogram("cascade_gw_request_seconds", []int{0}),
+	}, nil
+}
+
+// run is the monitor loop; factored from main so the SLO gate test drives
+// the exact shipping code path. Returns the process exit code.
+func run(cfg config, out io.Writer) (int, error) {
+	f := &federate.Federator{}
+	var hist []snapshot
+
+	deadline := time.Time{}
+	if cfg.total > 0 {
+		deadline = time.Now().Add(cfg.total)
+	}
+	for {
+		snap, err := capture(f, cfg.edge)
+		if err != nil {
+			return 1, err
+		}
+		hist = append(hist, snap)
+		if limit := 4096; len(hist) > limit { // bound memory on long runs;
+			// the first snapshot survives so the whole-run verdict keeps
+			// its baseline.
+			hist = append(hist[:1], hist[len(hist)-limit+1:]...)
+		}
+		burns := evalBurns(cfg, hist)
+		render(cfg, out, hist, burns)
+
+		if cfg.once || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+			failed := verdict(cfg, hist)
+			if len(failed) > 0 {
+				fmt.Fprintf(out, "SLO BREACH: %s\n", strings.Join(failed, ", "))
+				return 2, nil
+			}
+			if cfg.once || cfg.total > 0 {
+				fmt.Fprintln(out, "SLO OK")
+				return 0, nil
+			}
+		}
+		time.Sleep(cfg.interval)
+	}
+}
+
+// render draws the dashboard: chain table, cascade SLIs, burn rates.
+func render(cfg config, out io.Writer, hist []snapshot, burns map[string][]burn) {
+	if !cfg.noClear {
+		fmt.Fprint(out, "\033[H\033[2J")
+	}
+	snap := hist[len(hist)-1]
+	s := snap.slis
+	fmt.Fprintf(out, "cascademon · %s · %d hops · scrape #%d\n\n",
+		snap.at.Format("15:04:05"), len(s.PerHop), len(hist))
+
+	fmt.Fprintf(out, "%-6s %-10s %-9s %12s %12s %8s %8s\n",
+		"node", "member", "health", "hits", "misses", "local%", "share%")
+	for i, h := range s.PerHop {
+		member, health := "-", "-"
+		if i < len(snap.hops) {
+			member, health = snap.hops[i].Membership, snap.hops[i].Health
+		}
+		fmt.Fprintf(out, "%-6d %-10s %-9s %12.0f %12.0f %7.1f%% %7.1f%%\n",
+			h.Node, member, health, h.Hits, h.Misses, 100*h.HitRatio, 100*h.Share)
+	}
+
+	fmt.Fprintf(out, "\ncascade: %.0f edge requests · e2e hit %.1f%% · stale %.0f · cas conflicts %.0f · degraded %.0f\n",
+		s.EdgeRequests, 100*s.EndToEndHit, s.StaleServes, s.CASConflicts, s.Degraded)
+	fmt.Fprintf(out, "latency (edge): p50 %s · p95 %s · p99 %s\n",
+		fmtSec(s.LatencyP50), fmtSec(s.LatencyP95), fmtSec(s.LatencyP99))
+	fmt.Fprintf(out, "ledger: predicted %.2f · realized %.2f · drift %+.1f%%\n",
+		s.LedgerPredicted, s.LedgerRealized, 100*s.LedgerDrift)
+
+	if len(burns) > 0 {
+		fmt.Fprintln(out, "\nSLO burn rates:")
+		for _, name := range []string{"p99_latency", "hit_ratio", "stale_serves"} {
+			bs, declared := burns[name]
+			if !declared {
+				continue
+			}
+			fmt.Fprintf(out, "  %-13s", name)
+			for _, b := range bs {
+				state := "ok"
+				if !b.ok {
+					state = "BURN"
+				}
+				fmt.Fprintf(out, "  [%v %5.2f %s]", b.window, b.rate, state)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+func fmtSec(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -15,6 +15,7 @@
 //	cascadesim -exp figs -baseline golden/  # regression drift detection
 //	cascadesim -exp fig6a -replicate 5      # mean ± stdev over seeds
 //	cascadesim -trace-requests 5            # dump 5 hop-by-hop protocol traces as JSON
+//	cascadesim -span-dump 256 -span-sample 0.1  # dump per-node protocol-phase span rings as JSON
 //
 // The workload is synthetic (see DESIGN.md for the substitution rationale)
 // unless -trace FILE replays a recorded trace in the cascade text format.
@@ -75,6 +76,8 @@ func run() error {
 		traceFile = flag.String("trace", "", "replay a recorded trace file instead of the synthetic workload")
 		traceReqs = flag.Int("trace-requests", 0, "dump N sampled per-request protocol traces as JSON (COORD scheme, first -arch and -sizes values) and exit")
 		flightCap = flag.Int("flight-dump", 0, "replay with per-node flight recorders of capacity N, dump every node's ring as JSON (COORD scheme, first -arch and -sizes values) and exit")
+		spanCap    = flag.Int("span-dump", 0, "replay with cascade-wide span tracing and per-node span rings of capacity N, dump every node's ring as JSON (COORD scheme, first -arch and -sizes values) and exit")
+		spanSample = flag.Float64("span-sample", 1, "span-dump: tail-sampling rate in [0,1] for unremarkable traces (error/stale/slow traces are always kept)")
 		csvDir    = flag.String("csv", "", "directory for CSV export (created if missing)")
 		svgDir    = flag.String("svg", "", "directory for SVG figure export (created if missing)")
 		htmlOut   = flag.String("html", "", "write a self-contained HTML report of every emitted table")
@@ -191,6 +194,26 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "flight dump: %d nodes, %d retained events, %d audit violations (%s, COORD, cache size %.3g)\n",
 			len(snaps), events, report.Total(), a, size)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snaps)
+	}
+
+	if *spanCap > 0 {
+		// Span-dump mode: replay the workload once with cascade-wide span
+		// tracing (the replay loop is the edge minting trace IDs), then emit
+		// each node's ring of retained protocol-phase spans as JSON.
+		a, size := archs[0], sizeList[0]
+		snaps, err := cascade.DumpSpanRings(a, cfg, size, *spanCap, *spanSample)
+		if err != nil {
+			return err
+		}
+		spans := 0
+		for _, s := range snaps {
+			spans += len(s.Spans)
+		}
+		fmt.Fprintf(os.Stderr, "span dump: %d nodes, %d retained spans at sample rate %g (%s, COORD, cache size %.3g)\n",
+			len(snaps), spans, *spanSample, a, size)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(snaps)

@@ -75,6 +75,18 @@ var rules = []rule{
 		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
 		reason:      "the coherency substrate sits below every incarnation (stdlib + model + metrics only)",
 	},
+	{
+		pkg:         "internal/span",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics"},
+		reason:      "span tracing sits below every incarnation (stdlib + model + metrics only)",
+	},
+	{
+		pkg:         "internal/obs/federate",
+		allowPrefix: "cascade/",
+		allow:       []string{"cascade/internal/model", "cascade/internal/metrics", "cascade/internal/controlplane"},
+		reason:      "the federator observes from outside (stdlib + model + metrics + controlplane only)",
+	},
 }
 
 func (r rule) violates(importPath string) bool {

@@ -1,0 +1,219 @@
+// Command metriclint keeps docs/OBSERVABILITY.md and the code's metric
+// registrations in lockstep, in both directions: every series the code
+// registers must be documented, and every series the docs name must exist
+// in the code. Observability docs rot silently — a renamed counter keeps
+// compiling, dashboards keep rendering, and only the operator chasing an
+// incident discovers the documented series is gone. This linter turns that
+// drift into a build failure (`make lint`).
+//
+// Registrations are found by parsing every non-test Go file and collecting
+// calls to Counter/CounterFunc/Gauge/GaugeFunc/Summary whose first
+// argument is a "cascade_…" string literal. Documented names are the
+// backticked cascade_ tokens in the docs; `{a,b,c}` alternation groups
+// expand, label selectors (`{invariant=...}`) strip, wildcard families
+// (`cascade_audit_*`) are ignored, and the `_bucket`/`_sum`/`_count`
+// series a summary derives resolve to their base name.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var registerMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Summary": true,
+}
+
+// registered maps series name → one "file:line" registration site.
+func scanRegistrations(root string) (map[string]string, error) {
+	out := make(map[string]string)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Tests register demo series under throwaway names; only shipped
+		// registrations are part of the documented surface.
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(name, "cascade_") {
+				return true
+			}
+			if _, seen := out[name]; !seen {
+				pos := fset.Position(lit.Pos())
+				rel, _ := filepath.Rel(root, pos.Filename)
+				out[name] = fmt.Sprintf("%s:%d", rel, pos.Line)
+			}
+			return true
+		})
+		return nil
+	})
+	return out, err
+}
+
+var (
+	backtickRe = regexp.MustCompile("`([^`]+)`")
+	nameRe     = regexp.MustCompile(`cascade_[a-z0-9_{},]*[a-z0-9*]`)
+	altGroupRe = regexp.MustCompile(`\{([a-z0-9_]+(?:,[a-z0-9_]+)+)\}`)
+)
+
+// scanDocs maps documented series name → the doc line it appears on.
+func scanDocs(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, span := range backtickRe.FindAllStringSubmatch(line, -1) {
+			for _, tok := range nameRe.FindAllString(span[1], -1) {
+				for _, name := range expand(tok) {
+					if _, seen := out[name]; !seen {
+						out[name] = i + 1
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// expand resolves one doc token to concrete series names: `{a,b}` groups
+// multiply out, a `{label=...}` selector (anything left with braces after
+// group expansion) strips, and wildcard families drop entirely.
+func expand(tok string) []string {
+	if strings.Contains(tok, "*") {
+		return nil
+	}
+	names := []string{tok}
+	for {
+		expanded := false
+		var next []string
+		for _, n := range names {
+			m := altGroupRe.FindStringSubmatchIndex(n)
+			if m == nil {
+				next = append(next, n)
+				continue
+			}
+			expanded = true
+			for _, alt := range strings.Split(n[m[2]:m[3]], ",") {
+				next = append(next, n[:m[0]]+alt+n[m[1]:])
+			}
+		}
+		names = next
+		if !expanded {
+			break
+		}
+	}
+	var out []string
+	for _, n := range names {
+		if i := strings.IndexByte(n, '{'); i >= 0 {
+			n = n[:i]
+		}
+		if n != "" && !strings.HasSuffix(n, "_") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// baseOf strips the suffix of a summary-derived series so documenting
+// `x_seconds_bucket` counts as documenting the registered `x_seconds`.
+func baseOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if b := strings.TrimSuffix(name, suffix); b != name {
+			return b
+		}
+	}
+	return name
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	registered, err := scanRegistrations(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	documented, err := scanDocs(docPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+
+	var fail []string
+	for name, site := range registered {
+		if _, ok := documented[name]; ok {
+			continue
+		}
+		// A summary's derived series documented explicitly also covers it.
+		covered := false
+		for doc := range documented {
+			if baseOf(doc) == name {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			fail = append(fail, fmt.Sprintf("%s: series %q is registered but not documented in docs/OBSERVABILITY.md", site, name))
+		}
+	}
+	for name, line := range documented {
+		if _, ok := registered[name]; ok {
+			continue
+		}
+		if _, ok := registered[baseOf(name)]; ok {
+			continue
+		}
+		fail = append(fail, fmt.Sprintf("docs/OBSERVABILITY.md:%d: series %q is documented but registered nowhere", line, name))
+	}
+	if len(fail) > 0 {
+		sort.Strings(fail)
+		for _, f := range fail {
+			fmt.Fprintln(os.Stderr, "metriclint:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d registered series ↔ %d documented names, in sync\n",
+		len(registered), len(documented))
+}

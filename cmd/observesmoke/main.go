@@ -29,6 +29,7 @@ import (
 	"cascade/internal/audit"
 	"cascade/internal/flightrec"
 	"cascade/internal/reqtrace"
+	"cascade/internal/span"
 )
 
 func main() {
@@ -83,7 +84,7 @@ func run() error {
 	gw, err := start(bin, logs,
 		"-listen", gwAddr, "-upstream", "http://"+originAddr,
 		"-id", "0", "-capacity", "1MB", "-metrics", metricsAddr,
-		"-coherency", "cas")
+		"-coherency", "cas", "-spans", "1", "-span-capacity", "128")
 	if err != nil {
 		return err
 	}
@@ -144,6 +145,10 @@ func run() error {
 			`cascade_gw_breaker_state{node="0",upstream="`,
 			`cascade_gw_cache_used_bytes{node="0"}`,
 			`cascade_gw_dcache_descriptors{node="0"}`,
+			`cascade_gw_trace_truncations_total{node="0"}`,
+			`cascade_gw_request_seconds{node="0",quantile="0.99"}`,
+			`cascade_gw_request_seconds_bucket{node="0",le="+Inf"}`,
+			`cascade_gw_request_seconds_count{node="0"}`,
 			`cascade_ledger_predicted_gain{node="0"}`,
 			`cascade_ledger_realized_savings{node="0"}`,
 			`cascade_ledger_placements_total{node="0"}`,
@@ -285,6 +290,45 @@ func run() error {
 		return fmt.Errorf("flight recorder holds no invalidate event after the admin write\n%s", flightBody)
 	}
 	fmt.Printf("observesmoke: flight recorder retains %d events (capacity %d, invalidation recorded)\n", len(snap.Events), snap.Capacity)
+
+	// The span-ring debug endpoint must dump protocol-phase spans for the
+	// traffic just driven: one shared trace ID per request, a request root,
+	// and every phase span parented inside its trace.
+	spansBody, err := fetch("http://" + gwAddr + "/cascade/debug/spans")
+	if err != nil {
+		return err
+	}
+	var spanSnap span.Snapshot
+	if err := json.Unmarshal([]byte(spansBody), &spanSnap); err != nil {
+		return fmt.Errorf("/cascade/debug/spans is not a JSON snapshot: %w\n%s", err, spansBody)
+	}
+	if spanSnap.Capacity != 128 || len(spanSnap.Spans) == 0 {
+		return fmt.Errorf("/cascade/debug/spans dump is empty (capacity %d, %d spans)", spanSnap.Capacity, len(spanSnap.Spans))
+	}
+	spanPhases := map[string]bool{}
+	ids := map[span.TraceID]map[span.SpanID]bool{}
+	for _, s := range spanSnap.Spans {
+		if s.Trace.IsZero() || s.ID == 0 {
+			return fmt.Errorf("span with zero trace or span ID: %+v", s)
+		}
+		spanPhases[s.Phase.String()] = true
+		if ids[s.Trace] == nil {
+			ids[s.Trace] = map[span.SpanID]bool{}
+		}
+		ids[s.Trace][s.ID] = true
+	}
+	for _, want := range []string{"request", "lookup"} {
+		if !spanPhases[want] {
+			return fmt.Errorf("span dump lacks %q spans (got %v)\n%s", want, spanPhases, spansBody)
+		}
+	}
+	for _, s := range spanSnap.Spans {
+		if s.Parent != 0 && !ids[s.Trace][s.Parent] {
+			return fmt.Errorf("span %s parent %s not in its own trace %s", s.ID, s.Parent, s.Trace)
+		}
+	}
+	fmt.Printf("observesmoke: span ring retains %d spans across %d traces (%d phases, parents intact)\n",
+		len(spanSnap.Spans), len(ids), len(spanPhases))
 
 	// The trace header must round-trip a JSON event log showing the
 	// upward pass and the placement decision.

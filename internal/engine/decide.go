@@ -6,6 +6,7 @@ import (
 	"cascade/internal/flightrec"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
+	"cascade/internal/span"
 )
 
 // DecideOptions selects the optional transformations applied to the
@@ -32,9 +33,15 @@ type DecideOptions struct {
 	// Nil disables.
 	Flight *flightrec.Recorder
 	// Obj and Now give the audit/ledger/flight hooks request context;
-	// unused when all three are nil.
+	// unused when all three are nil (Now also timestamps the decide span).
 	Obj model.ObjectID
 	Now float64
+
+	// Span optionally records a PhaseDecide span covering the DP, parented
+	// on SpanParent. Every incarnation routes its decide through here, so
+	// the decide phase lands in the span tree uniformly. Nil disables.
+	Span       *span.Trace
+	SpanParent span.SpanID
 }
 
 // ServePoint identifies where the decision runs: the serving hop and node
@@ -74,6 +81,8 @@ type Decider struct {
 // wire order (piggyback, no-descriptor tag, or exclusion), then the
 // ActDecision event with an independently owned copy of the chosen hops.
 func (d *Decider) Decide(cands []Candidate, opts DecideOptions, at ServePoint, tr *reqtrace.Trace) []int {
+	dsp := opts.Span.Start(span.PhaseDecide, at.Node, at.Hop, opts.SpanParent, opts.Now)
+	defer opts.Span.End(dsp, opts.Now)
 	d.prob = d.prob[:0]
 	d.hops = d.hops[:0]
 	d.nodes = d.nodes[:0]

@@ -8,6 +8,7 @@ import (
 	"cascade/internal/flightrec"
 	"cascade/internal/scheme"
 	"cascade/internal/sim"
+	"cascade/internal/span"
 )
 
 // AuditReport summarizes an online-audited run: per-invariant check and
@@ -38,9 +39,10 @@ func reportOf(a *audit.Auditor) AuditReport {
 
 // observedReplay runs the coordinated scheme over the configured workload at
 // one relative cache size with the full observability stack attached: an
-// online invariant auditor, a predicted-vs-realized cost ledger and (when
-// flightCap > 0) a per-node protocol flight recorder.
-func observedReplay(arch Arch, cfg Config, size float64, flightCap int) (*scheme.Coordinated, error) {
+// online invariant auditor, a predicted-vs-realized cost ledger, (when
+// flightCap > 0) a per-node protocol flight recorder, and whatever else the
+// attach hook wires before the replay (span tracing; nil for none).
+func observedReplay(arch Arch, cfg Config, size float64, flightCap int, attach func(*scheme.Coordinated)) (*scheme.Coordinated, error) {
 	cfg.setDefaults()
 	w := cfg.workload()
 	net := cfg.Network(arch)
@@ -50,6 +52,9 @@ func observedReplay(arch Arch, cfg Config, size float64, flightCap int) (*scheme
 	sch.SetLedger(audit.NewLedger())
 	if flightCap > 0 {
 		sch.SetFlightCapacity(flightCap)
+	}
+	if attach != nil {
+		attach(sch)
 	}
 
 	simr, err := sim.New(sim.Config{
@@ -82,7 +87,7 @@ func LedgerStudy(arch Arch, cfg Config, size float64) (Table, AuditReport, error
 	if size <= 0 {
 		size = 0.01
 	}
-	sch, err := observedReplay(arch, cfg, size, 0)
+	sch, err := observedReplay(arch, cfg, size, 0, nil)
 	if err != nil {
 		return Table{}, AuditReport{}, err
 	}
@@ -122,7 +127,7 @@ func FlightDump(arch Arch, cfg Config, size float64, capacity int) ([]flightrec.
 	if size <= 0 {
 		size = 0.01
 	}
-	sch, err := observedReplay(arch, cfg, size, capacity)
+	sch, err := observedReplay(arch, cfg, size, capacity, nil)
 	if err != nil {
 		return nil, AuditReport{}, err
 	}
@@ -134,4 +139,34 @@ func FlightDump(arch Arch, cfg Config, size float64, capacity int) ([]flightrec.
 		out = append(out, sch.FlightRecorder(n).TakeSnapshot(n))
 	}
 	return out, reportOf(sch.Auditor()), nil
+}
+
+// SpanDump replays the configured workload through the coordinated scheme
+// with cascade-wide span tracing attached — tail sampling at the given rate,
+// a per-node ring of the given capacity — and returns every node's span
+// snapshot, sorted by node ID. The replay loop is this incarnation's edge,
+// so every request's trace roots there and the protocol-phase spans
+// (lookup/up/decide/down per hop) nest under it exactly as the distributed
+// incarnations emit them. Exposed as `cascadesim -span-dump`.
+func SpanDump(arch Arch, cfg Config, size float64, capacity int, rate float64) ([]span.Snapshot, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("experiment: span capacity must be positive, got %d", capacity)
+	}
+	if size <= 0 {
+		size = 0.01
+	}
+	sch, err := observedReplay(arch, cfg, size, 0, func(sch *scheme.Coordinated) {
+		sch.SetSpans(span.NewTracer(span.Policy{Rate: rate}), capacity)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := sch.SpanNodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := make([]span.Snapshot, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, sch.SpanRing(n).TakeSnapshot(n))
+	}
+	return out, nil
 }

@@ -151,6 +151,7 @@ func (n *Node) serveAdmin(w http.ResponseWriter, r *http.Request, now float64) {
 // controlState is the JSON shape of the admin endpoints' replies.
 type controlState struct {
 	Node           int    `json:"node"`
+	Upstream       string `json:"upstream"`
 	Member         string `json:"membership"`
 	Health         string `json:"health"`
 	UpstreamHealth string `json:"upstream_health"`
@@ -162,6 +163,7 @@ type controlState struct {
 func (n *Node) stateLocked() controlState {
 	return controlState{
 		Node:           int(n.ID),
+		Upstream:       n.Upstream,
 		Member:         n.member.String(),
 		Health:         n.selfHealth.String(),
 		UpstreamHealth: n.upHealth.String(),
@@ -346,7 +348,12 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 	}
 	entries = append(entries, engine.Candidate{Node: n.ID, Tag: engine.TagNoDescriptor, Link: n.UpCost})
 	n.advertise(up.Header)
-	writePath(up.Header, n.upstreamVersion(), entries)
+	// A relay hop records no spans of its own: the incoming trace context
+	// (if any) passes through unchanged, so the upstream still parents on
+	// the last tracing hop below — the wire image of a routed-around
+	// cluster hop.
+	_, relayCtx, _ := incomingSpanInfo(r.Header)
+	writePath(up.Header, n.upstreamVersion(), entries, relayCtx)
 	if traceWanted(r) {
 		up.Header.Set(HeaderTrace, r.Header.Get(HeaderTrace))
 	}
@@ -393,17 +400,19 @@ func (n *Node) passThrough(w http.ResponseWriter, r *http.Request) {
 	// A draining/removed node relays the coherency payload without applying
 	// it — it holds no copies and takes no placements, so there is no floor
 	// to raise; the live hops below apply the tail themselves.
+	if traceWanted(r) {
+		upEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor})
+		downEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: prev + n.UpCost})
+		dec.trace = n.splice(dec.trace, upEvt, downEvt)
+	} else {
+		dec.trace = ""
+	}
 	n.advertise(w.Header())
 	writeDecision(w.Header(), n.replyVersion(r), dec)
 	w.Header().Set(HeaderPenalty, fmtFloat(prev+n.UpCost))
 	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
 	if tag := resp.Header.Get("ETag"); tag != "" {
 		w.Header().Set("ETag", tag)
-	}
-	if traceWanted(r) {
-		upEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor})
-		downEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: prev + n.UpCost})
-		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), upEvt, downEvt, n.traceBudget()))
 	}
 	if v := resp.Header.Get(HeaderSegmented); v != "" {
 		w.Header().Set(HeaderSegmented, v)

@@ -11,6 +11,7 @@ import (
 	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
+	"cascade/internal/span"
 )
 
 // Binary wire framing.
@@ -69,28 +70,43 @@ import (
 // and X-Cascade-Inval headers ride beside it so a mixed chain stays
 // coherent. See docs/PERFORMANCE.md for a worked byte example and
 // docs/PROTOCOL.md for the header table.
+//
+// Version 3 adds the observability payloads. A v3 path frame carries the
+// span trace context — 128-bit trace ID plus the parent span ID, 24 bytes
+// right after the candidate count — so the upstream hop parents its spans
+// without the textual X-Cascade-TraceCtx header (which remains the
+// fallback beside v1/v2 frames and textual exchanges). A v3 decision frame
+// appends the X-Cascade-Trace debug splice as a length-prefixed blob, so a
+// binary hop relays and extends the chain's trace exactly as a textual hop
+// does; writeDecision re-materializes the textual header whenever the next
+// hop negotiated less than v3, keeping mixed chains loss-free.
 const (
 	// HeaderFrame carries one base64 (raw, unpadded) binary frame.
 	HeaderFrame = "X-Cascade-Frame"
-	// HeaderAccept advertises frame support ("bf1"/"bf2") hop-by-hop.
+	// HeaderAccept advertises frame support ("bf1"/"bf2"/"bf3") hop-by-hop.
 	HeaderAccept = "X-Cascade-Accept"
 	// FrameV1 is the pre-coherency framing capability token.
 	FrameV1 = "bf1"
 	// FrameV2 adds the coherency payloads: per-candidate generations on
 	// path frames, served generation plus invalidation tail on decisions.
 	FrameV2 = "bf2"
+	// FrameV3 adds the observability payloads: span trace context on path
+	// frames, the debug-trace splice blob on decisions.
+	FrameV3 = "bf3"
 )
 
 const (
 	frameMagic0, frameMagic1 = 'C', 'F'
 	frameVersion1            = 1
 	frameVersion2            = 2
+	frameVersion3            = 3
 	framePath                = 1
 	frameDecision            = 2
 	frameHeaderLen           = 4
 	frameCandidateLenV1      = 4 + 1 + 8 + 8 + 8
 	frameCandidateLenV2      = frameCandidateLenV1 + 8
 	frameInvalLen            = 8 + 8 + 8
+	frameCtxLen              = 8 + 8 + 8 // trace hi, trace lo, parent span
 )
 
 // predictTerm pairs a chosen node with the DP's predicted Δcost term for
@@ -118,6 +134,11 @@ type decision struct {
 	// zero-defaulted (gen) or dropped (inval) explicitly, counted by the
 	// caller in cascade_gw_bad_header_total.
 	badGen, badInval bool
+	// trace is the chain's X-Cascade-Trace debug splice as it left the
+	// upstream — read from the v3 frame blob when one carried it, from the
+	// textual header otherwise — and, on the write side, the splice this
+	// node emits downstream (empty: none).
+	trace string
 }
 
 func putU16(b []byte, v int) []byte { return binary.LittleEndian.AppendUint16(b, uint16(v)) }
@@ -132,15 +153,22 @@ func putF64(b []byte, v float64) []byte {
 // encodePathFrame renders hop candidates (wire order: the client's first
 // cache first) as a base64 path frame of the given version. Hop indices are
 // not encoded — the receiver assigns them positionally, exactly as
-// parsePath does.
-func encodePathFrame(entries []engine.Candidate, version int) string {
+// parsePath does. Version 3 carries the span trace context (zero when the
+// requester runs no tracing) right after the count, at a fixed offset so
+// the receiver can read it without decoding the candidates.
+func encodePathFrame(entries []engine.Candidate, version int, ctx span.Ctx) string {
 	candLen := frameCandidateLenV1
 	if version >= frameVersion2 {
 		candLen = frameCandidateLenV2
 	}
-	b := make([]byte, 0, frameHeaderLen+2+len(entries)*candLen)
+	b := make([]byte, 0, frameHeaderLen+2+frameCtxLen+len(entries)*candLen)
 	b = append(b, frameMagic0, frameMagic1, byte(version), framePath)
 	b = putU16(b, len(entries))
+	if version >= frameVersion3 {
+		b = putU64(b, ctx.Trace.Hi)
+		b = putU64(b, ctx.Trace.Lo)
+		b = putU64(b, uint64(ctx.Parent))
+	}
 	for _, e := range entries {
 		b = putU32(b, int32(e.Node))
 		if e.Tag == engine.TagCandidate {
@@ -162,9 +190,10 @@ func encodePathFrame(entries []engine.Candidate, version int) string {
 
 // encodeDecisionFrame renders a placement decision (chosen node IDs
 // ascending, predicted terms ascending by node) as a base64 decision frame;
-// version 2 appends the coherency payload.
+// version 2 appends the coherency payload, version 3 the debug-trace
+// splice blob.
 func encodeDecisionFrame(d decision, version int) string {
-	b := make([]byte, 0, frameHeaderLen+4+4*len(d.place)+12*len(d.predict)+18+frameInvalLen*len(d.inval))
+	b := make([]byte, 0, frameHeaderLen+4+4*len(d.place)+12*len(d.predict)+18+frameInvalLen*len(d.inval)+4+len(d.trace))
 	b = append(b, frameMagic0, frameMagic1, byte(version), frameDecision)
 	b = putU16(b, len(d.place))
 	for _, id := range d.place {
@@ -184,6 +213,10 @@ func encodeDecisionFrame(d decision, version int) string {
 			b = putU64(b, uint64(inv.Obj))
 			b = putU64(b, inv.Gen)
 		}
+	}
+	if version >= frameVersion3 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(d.trace)))
+		b = append(b, d.trace...)
 	}
 	return base64.RawStdEncoding.EncodeToString(b)
 }
@@ -236,7 +269,7 @@ func openFrame(h string) (*frameReader, int, byte, error) {
 	if len(raw) < frameHeaderLen || raw[0] != frameMagic0 || raw[1] != frameMagic1 {
 		return nil, 0, 0, fmt.Errorf("httpgw: bad frame magic")
 	}
-	if raw[2] != frameVersion1 && raw[2] != frameVersion2 {
+	if raw[2] < frameVersion1 || raw[2] > frameVersion3 {
 		return nil, 0, 0, fmt.Errorf("httpgw: unsupported frame version %d", raw[2])
 	}
 	return &frameReader{b: raw, off: frameHeaderLen}, int(raw[2]), raw[3], nil
@@ -256,6 +289,14 @@ func decodePathFrame(h string) ([]engine.Candidate, error) {
 		return nil, err
 	}
 	count := r.u16()
+	if version >= frameVersion3 {
+		// The trace context is read separately (pathFrameInfo) by the span
+		// layer; the candidate parse skips over it.
+		if err := r.need(frameCtxLen); err != nil {
+			return nil, err
+		}
+		r.off += frameCtxLen
+	}
 	candLen := frameCandidateLenV1
 	if version >= frameVersion2 {
 		candLen = frameCandidateLenV2
@@ -327,6 +368,18 @@ func decodeDecisionFrame(h string) (d decision, hasCoh bool, err error) {
 	for i := 0; i < ninv; i++ {
 		d.inval = append(d.inval, coherency.Invalidation{Seq: r.u64(), Obj: model.ObjectID(r.u64()), Gen: r.u64()})
 	}
+	if version >= frameVersion3 {
+		if err := r.need(4); err != nil {
+			return decision{}, false, err
+		}
+		tlen := int(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+		if err := r.need(tlen); err != nil {
+			return decision{}, false, err
+		}
+		d.trace = string(r.b[r.off : r.off+tlen])
+		r.off += tlen
+	}
 	return d, true, nil
 }
 
@@ -334,12 +387,37 @@ func decodeDecisionFrame(h string) (d decision, hasCoh bool, err error) {
 // these headers advertised (0: textual only).
 func peerFrameVersion(h http.Header) int {
 	switch h.Get(HeaderAccept) {
+	case FrameV3:
+		return frameVersion3
 	case FrameV2:
 		return frameVersion2
 	case FrameV1:
 		return frameVersion1
 	}
 	return 0
+}
+
+// pathFrameInfo reads a path frame's hop count plus — version 3 — the span
+// trace context, without decoding the candidate payload (the context sits at
+// a fixed offset for exactly this read). ok reports a usable context.
+func pathFrameInfo(f string) (count int, ctx span.Ctx, ok bool) {
+	raw, err := base64.RawStdEncoding.DecodeString(f)
+	if err != nil || len(raw) < frameHeaderLen+2 || raw[3] != framePath {
+		return 0, span.Ctx{}, false
+	}
+	count = int(binary.LittleEndian.Uint16(raw[frameHeaderLen:]))
+	if raw[2] < frameVersion3 || len(raw) < frameHeaderLen+2+frameCtxLen {
+		return count, span.Ctx{}, false
+	}
+	off := frameHeaderLen + 2
+	ctx = span.Ctx{
+		Trace: span.TraceID{
+			Hi: binary.LittleEndian.Uint64(raw[off:]),
+			Lo: binary.LittleEndian.Uint64(raw[off+8:]),
+		},
+		Parent: span.SpanID(binary.LittleEndian.Uint64(raw[off+16:])),
+	}
+	return count, ctx, ctx.Valid()
 }
 
 // parseIncomingPath reads the request's hop candidates from whichever
@@ -353,10 +431,20 @@ func parseIncomingPath(h http.Header) ([]engine.Candidate, error) {
 }
 
 // writePath emits hop candidates upstream in the negotiated encoding
-// (version 0: textual headers).
-func writePath(h http.Header, version int, entries []engine.Candidate) {
+// (version 0: textual headers). ctx is the requester's span trace context
+// (zero: no tracing): a v3 frame carries it inline; every lesser encoding
+// puts it on the X-Cascade-TraceCtx header, so tracing survives mixed
+// chains.
+func writePath(h http.Header, version int, entries []engine.Candidate, ctx span.Ctx) {
+	if version >= frameVersion3 {
+		h.Set(HeaderFrame, encodePathFrame(entries, version, ctx))
+		return
+	}
+	if ctx.Valid() {
+		h.Set(HeaderTraceCtx, ctx.String())
+	}
 	if version > 0 {
-		h.Set(HeaderFrame, encodePathFrame(entries, version))
+		h.Set(HeaderFrame, encodePathFrame(entries, version, span.Ctx{}))
 		return
 	}
 	parts := make([]string, len(entries))
@@ -397,16 +485,29 @@ func parseDecision(h http.Header) (decision, error) {
 			}
 		}
 	}
+	if d.trace == "" {
+		// Pre-v3 frames and textual exchanges carry the debug splice on the
+		// header beside them.
+		d.trace = h.Get(HeaderTrace)
+	}
 	return d, nil
 }
 
 // writeDecision emits a placement decision downstream in the encoding that
 // side negotiated. Version 1 frames cannot carry the coherency payload, so
 // it rides on the textual headers beside them — a mixed chain stays
-// coherent whichever encoding each hop speaks.
+// coherent whichever encoding each hop speaks. The debug-trace splice rides
+// inside v3 frames and on the textual X-Cascade-Trace header for every
+// lesser encoding, so a binary hop no longer strands the splice chain.
 func writeDecision(h http.Header, version int, d decision) {
+	if d.trace != "" && version < frameVersion3 {
+		h.Set(HeaderTrace, d.trace)
+	}
 	switch {
-	case version >= frameVersion2:
+	case version >= frameVersion3:
+		h.Set(HeaderFrame, encodeDecisionFrame(d, frameVersion3))
+		return
+	case version == frameVersion2:
 		h.Set(HeaderFrame, encodeDecisionFrame(d, frameVersion2))
 		return
 	case version == frameVersion1:

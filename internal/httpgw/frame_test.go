@@ -11,6 +11,7 @@ import (
 	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
+	"cascade/internal/span"
 )
 
 // Floats chosen to break any codec that round-trips through decimal with
@@ -26,8 +27,8 @@ func TestPathFrameRoundTrip(t *testing.T) {
 		{Node: 7, Tag: engine.TagNoDescriptor, Link: 4.9e-324},
 		{Node: 1<<31 - 1, Tag: engine.TagCandidate, Freq: math.MaxFloat64, CostLoss: 1e-300, Link: 0, Gen: math.MaxUint64},
 	}
-	for _, version := range []int{frameVersion1, frameVersion2} {
-		out, err := decodePathFrame(encodePathFrame(in, version))
+	for _, version := range []int{frameVersion1, frameVersion2, frameVersion3} {
+		out, err := decodePathFrame(encodePathFrame(in, version, span.Ctx{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestPathFrameMatchesTextualEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromFrame, err := decodePathFrame(encodePathFrame(in, frameVersion2))
+	fromFrame, err := decodePathFrame(encodePathFrame(in, frameVersion2, span.Ctx{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,18 +233,19 @@ func TestFrameDecodeRejectsGarbage(t *testing.T) {
 		"",
 		"not-base64!!!",
 		"QUJD",                                  // "ABC": too short
-		encodePathFrame(nil, frameVersion1)[:2], // truncated base64 of a valid frame
-		encodeDecisionFrame(decision{}, frameVersion1), // wrong kind for a path decode
-		"Q0YDAQ",      // magic ok, version 3 unknown
+		encodePathFrame(nil, frameVersion1, span.Ctx{})[:2], // truncated base64 of a valid frame
+		encodeDecisionFrame(decision{}, frameVersion1),     // wrong kind for a path decode
+		"Q0YEAQ",      // magic ok, version 4 unknown
 		"Q0YBAQUA",    // path frame claiming 5 entries, no payload
 		"Q0YCAgAAAAA", // v2 decision frame truncated before the coherency payload
+		"Q0YDAQAA",    // v3 path frame truncated before the trace context
 	}
 	for _, c := range cases {
 		if _, err := decodePathFrame(c); err == nil {
 			t.Errorf("decodePathFrame(%q) accepted garbage", c)
 		}
 	}
-	if _, _, err := decodeDecisionFrame(encodePathFrame(nil, frameVersion1)); err == nil {
+	if _, _, err := decodeDecisionFrame(encodePathFrame(nil, frameVersion1, span.Ctx{})); err == nil {
 		t.Error("decodeDecisionFrame accepted a path frame")
 	}
 	if _, _, err := decodeDecisionFrame("Q0YCAgAAAAA"); err == nil {
@@ -301,7 +303,7 @@ func TestFramingNegotiation(t *testing.T) {
 	if r0.Header.Get(HeaderFrame) != "" {
 		t.Error("client-facing response carried a binary frame without the client advertising")
 	}
-	if r0.Header.Get(HeaderAccept) != FrameV2 {
+	if r0.Header.Get(HeaderAccept) != FrameV3 {
 		t.Error("capable node did not advertise its best version on its response")
 	}
 
@@ -329,7 +331,7 @@ func TestFramingNegotiation(t *testing.T) {
 
 	// A client that advertises gets a binary decision frame back, at the
 	// version it advertised — a v1-only peer is never sent a v2 frame.
-	for _, tok := range []string{FrameV1, FrameV2} {
+	for _, tok := range []string{FrameV1, FrameV2, FrameV3} {
 		req, _ := http.NewRequest(http.MethodGet, front.URL+"/objects/100", nil)
 		req.Header.Set(HeaderAccept, tok)
 		resp, err := http.DefaultClient.Do(req)
@@ -345,7 +347,7 @@ func TestFramingNegotiation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("binary decision frame unparseable: %v", err)
 		}
-		if wantCoh := tok == FrameV2; hasCoh != wantCoh {
+		if wantCoh := tok != FrameV1; hasCoh != wantCoh {
 			t.Errorf("advert %s got frame with hasCoh=%v", tok, hasCoh)
 		}
 	}

@@ -50,6 +50,7 @@ import (
 	"cascade/internal/metrics"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
+	"cascade/internal/span"
 	"cascade/internal/store"
 )
 
@@ -178,7 +179,23 @@ type Node struct {
 	// mu's critical sections.
 	badPenalty, badSegment, badGen, badInval atomic.Int64
 
+	// traceTrunc counts debug-trace splices this node truncated to fit the
+	// trace budget (cascade_gw_trace_truncations_total).
+	traceTrunc atomic.Int64
+
+	// Span tracing, wired by EnableSpans before serving (nil — off — by
+	// default); the request path reads both without holding mu, like the
+	// flight recorder.
+	tracer *span.Tracer
+	spans  *span.Ring
+
 	reg *metrics.Registry // Prometheus export, built by NewNode (MetricsRegistry)
+
+	// reqHist books wall-clock latency for every data-path request
+	// (cascade_gw_request_seconds); federation merges its buckets into the
+	// cascade-wide p99. Set once by MetricsRegistry, nil only on hand-rolled
+	// Nodes that never built a registry.
+	reqHist *metrics.AtomicHistogram
 
 	// Observability, built by NewNode: the online invariant auditor, the
 	// predicted-vs-realized cost ledger and the protocol flight recorder.
@@ -280,7 +297,7 @@ func (n *Node) binaryCapable() bool { return !n.DisableBinaryFraming }
 // this node's best frame version.
 func (n *Node) advertise(h http.Header) {
 	if n.binaryCapable() {
-		h.Set(HeaderAccept, FrameV2)
+		h.Set(HeaderAccept, FrameV3)
 	}
 }
 
@@ -306,7 +323,7 @@ func (n *Node) upstreamVersion() int {
 
 // SetBinaryUpstream pre-learns the upstream's frame support, skipping the
 // one textual exchange negotiation would otherwise take.
-func (n *Node) SetBinaryUpstream() { n.upVersion.Store(frameVersion2) }
+func (n *Node) SetBinaryUpstream() { n.upVersion.Store(frameVersion3) }
 
 // The X-Cascade-Path header carries one engine.Candidate per hop as
 // "node;freq;loss;linkcost" — plus an optional fifth field, the coherency
@@ -383,7 +400,7 @@ func formatEntry(e engine.Candidate) string {
 // ascending order. This is the bare, unobserved variant kept for tests;
 // the serving paths use decideObserved.
 func Decide(entries []engine.Candidate) []model.NodeID {
-	ids, _ := decideObserved(entries, 0, 0, nil, nil, model.NoNode)
+	ids, _ := decideObserved(entries, 0, 0, nil, nil, model.NoNode, nil, 0)
 	return ids
 }
 
@@ -398,7 +415,8 @@ func Decide(entries []engine.Candidate) []model.NodeID {
 // their computation stays in one place (post-clamp values, identical to what
 // the simulator and the cluster book at decision time).
 func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
-	aud *audit.Auditor, flight *flightrec.Recorder, serv model.NodeID) ([]model.NodeID, []predictTerm) {
+	aud *audit.Auditor, flight *flightrec.Recorder, serv model.NodeID,
+	tsp *span.Trace, parent span.SpanID) ([]model.NodeID, []predictTerm) {
 	scratch := audit.NewLedger()
 	opts := engine.DecideOptions{
 		ClampMonotone: true,
@@ -407,6 +425,8 @@ func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
 		Flight:        flight,
 		Obj:           obj,
 		Now:           now,
+		Span:          tsp,
+		SpanParent:    parent,
 	}
 	hops := engine.Decide(entries, opts, engine.ServePoint{Hop: len(entries), Node: serv}, nil)
 	ids := make([]model.NodeID, len(hops))
@@ -422,9 +442,11 @@ func decideObserved(entries []engine.Candidate, obj model.ObjectID, now float64,
 	return ids, predict
 }
 
-// decide runs decideObserved with this node as the decision site.
-func (n *Node) decide(entries []engine.Candidate, obj model.ObjectID, now float64) ([]model.NodeID, []predictTerm) {
-	return decideObserved(entries, obj, now, n.auditor, n.flight, n.ID)
+// decide runs decideObserved with this node as the decision site; tsp and
+// parent (nil-safe) land the decide span in the request's trace.
+func (n *Node) decide(entries []engine.Candidate, obj model.ObjectID, now float64,
+	tsp *span.Trace, parent span.SpanID) ([]model.NodeID, []predictTerm) {
+	return decideObserved(entries, obj, now, n.auditor, n.flight, n.ID, tsp, parent)
 }
 
 // formatPredict encodes ledger accounts as the HeaderPredict value:
@@ -580,6 +602,10 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.serveFlight(w)
 		return
 	}
+	if r.URL.Path == "/cascade/debug/spans" {
+		n.serveSpans(w)
+		return
+	}
 	if r.URL.Path == "/cascade/health" {
 		n.serveHealth(w)
 		return
@@ -587,6 +613,11 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/cascade/admin/") {
 		n.serveAdmin(w, r, now)
 		return
+	}
+
+	if h := n.reqHist; h != nil {
+		start := n.Clock()
+		defer func() { h.Record(n.Clock() - start) }()
 	}
 
 	// A segment request (Range + X-Cascade-Segment) targets one slice of a
@@ -610,17 +641,27 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		n.badGen.Add(1)
 	}
 
+	// Span tracing: the edge node mints the trace, inner hops join the
+	// context the downstream forwarded. Collect runs on every exit —
+	// tail-sampling decides there whether the local spans reach the ring.
+	tsp, parent, hop := n.beginSpan(r, now)
+	if tsp != nil {
+		defer func() { n.tracer.Collect(tsp, n.Clock(), n.ringOf) }()
+	}
+
 	// ---- Local hit? ----
 	n.mu.Lock()
 	// Draining or departed: pure relay, no protocol participation. The
 	// check shares the hit path's critical section so no request can read
 	// the store on one side of a drain and take protocol steps on the
-	// other.
+	// other. A relay hop records no spans — like a routed-around cluster
+	// hop — so it forwards the incoming context unchanged (passThrough).
 	if n.member != controlplane.Active {
 		n.mu.Unlock()
 		n.passThrough(w, r)
 		return
 	}
+	lk := tsp.Start(span.PhaseLookup, n.ID, hop, parent, now)
 	if n.st.Contains(obj) {
 		body, meta, okBody := n.bodies.GetMemory(obj)
 		stale := n.TTL > 0 && now-meta.Fetched > n.TTL
@@ -635,6 +676,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			n.st.Demote(obj, now)
 			n.bodies.Delete(obj)
 			n.recordStaleHit(obj, meta.Gen, readFloor, false, now)
+			tsp.Force(span.FlagStale)
 		case okBody && !stale:
 			n.hits++
 			// Lookup (rather than a bare Touch) routes the hit through the
@@ -643,19 +685,22 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			n.st.Lookup(obj, now)
 			entries, perr := parseIncomingPath(r.Header)
 			n.mu.Unlock()
+			tsp.End(lk, n.Clock())
 			if perr != nil {
+				tsp.Force(span.FlagError)
 				http.Error(w, perr.Error(), http.StatusBadRequest)
 				return
 			}
-			chosen, predict := n.decide(entries, obj, now)
+			chosen, predict := n.decide(entries, obj, now, tsp, parent)
 			n.advertise(w.Header())
-			writeDecision(w.Header(), n.replyVersion(r), decision{place: chosen, predict: predict, gen: meta.Gen})
-			w.Header().Set(HeaderPenalty, "0")
-			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
+			d := decision{place: chosen, predict: predict, gen: meta.Gen}
 			if traceWanted(r) {
 				hitEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActHit})
-				w.Header().Set(HeaderTrace, "["+hitEvt+","+traceDecision(int(n.ID), chosen)+"]")
+				d.trace = "[" + hitEvt + "," + traceDecision(int(n.ID), chosen) + "]"
 			}
+			writeDecision(w.Header(), n.replyVersion(r), d)
+			w.Header().Set(HeaderPenalty, "0")
+			w.Header().Set(HeaderHit, strconv.Itoa(int(n.ID)))
 			if meta.ETag != "" {
 				w.Header().Set("ETag", meta.ETag)
 			}
@@ -687,6 +732,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			// it is enforced here. Either way the copy is history.
 			n.bodies.Delete(obj)
 			n.recordStaleHit(obj, dmeta.Gen, fl, false, now)
+			tsp.Force(span.FlagStale)
 			serveDisk = false
 		} else if stale := n.TTL > 0 && now-dmeta.Fetched > n.TTL; stale {
 			// The spilled copy outlived its freshness budget; drop it and
@@ -712,11 +758,16 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				n.spillHits++
 				entries, perr := parseIncomingPath(r.Header)
 				n.mu.Unlock()
+				tnow := n.Clock()
+				tsp.End(lk, tnow)
+				psp := tsp.Start(span.PhasePromote, n.ID, hop, parent, tnow)
+				tsp.End(psp, tnow)
 				if perr != nil {
+					tsp.Force(span.FlagError)
 					http.Error(w, perr.Error(), http.StatusBadRequest)
 					return
 				}
-				chosen, predict := n.decide(entries, obj, now)
+				chosen, predict := n.decide(entries, obj, now, tsp, parent)
 				n.advertise(w.Header())
 				writeDecision(w.Header(), n.replyVersion(r), decision{place: chosen, predict: predict, gen: dmeta.Gen})
 				w.Header().Set(HeaderPenalty, "0")
@@ -738,15 +789,23 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n.flight.Record(flightrec.Event{Time: now, Node: n.ID, Kind: flightrec.KindLookupMiss, Obj: obj, Hop: -1})
 	entry := n.st.UpMiss(obj, 0, -1, n.UpCost, now)
 	n.mu.Unlock()
+	tsp.End(lk, n.Clock())
 
 	entries, perr := parseIncomingPath(r.Header)
 	if perr != nil {
+		tsp.Force(span.FlagError)
 		http.Error(w, perr.Error(), http.StatusBadRequest)
 		return
 	}
 
+	// The up span covers the whole upstream exchange; the context forwarded
+	// on the wire parents the next hop's spans on it, so the cross-node tree
+	// links exactly as the in-process incarnations do.
+	upsp := tsp.Start(span.PhaseUp, n.ID, hop, parent, n.Clock())
+
 	up, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.Upstream+r.URL.Path, nil)
 	if err != nil {
+		tsp.Force(span.FlagError)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -754,7 +813,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// ask for it (upVersion); the advert on the request lets the upstream
 	// answer in kind either way.
 	n.advertise(up.Header)
-	writePath(up.Header, n.upstreamVersion(), append(entries, entry))
+	writePath(up.Header, n.upstreamVersion(), append(entries, entry), tsp.Ctx(upsp))
 	if fl := n.readFloor(obj, floor); fl > 0 {
 		// Forward the read floor, raised to this node's own: an upstream
 		// hit may not serve below what any hop on the path knows to be
@@ -776,6 +835,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Upstream chain unreachable: fall back to the origin when one
 		// is configured, else fail conventionally.
+		tsp.Force(span.FlagError)
+		tsp.End(upsp, n.Clock())
 		if n.serveDegraded(w, r) {
 			return
 		}
@@ -790,6 +851,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// client-facing hop (empty incoming path) fans out the per-segment
 		// Range requests through its own protocol stack and reassembles.
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		tsp.End(upsp, n.Clock())
 		if len(entries) > 0 {
 			w.Header().Set(HeaderSegmented, marker)
 			w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
@@ -800,6 +862,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if resp.StatusCode != http.StatusOK && !(seg.on && resp.StatusCode == http.StatusPartialContent) {
+		tsp.Force(span.FlagError)
+		tsp.End(upsp, n.Clock())
 		w.WriteHeader(resp.StatusCode)
 		copyStream(w, resp.Body) //nolint:errcheck
 		return
@@ -820,6 +884,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	dec, derr := parseDecision(resp.Header)
 	if derr != nil {
+		tsp.Force(span.FlagError)
+		tsp.End(upsp, n.Clock())
 		http.Error(w, derr.Error(), http.StatusBadGateway)
 		return
 	}
@@ -829,19 +895,30 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if dec.badInval {
 		n.badInval.Add(1)
 	}
+	if !traceWanted(r) {
+		// The client did not opt into the debug splice: whatever the
+		// upstream carried stops here rather than leaking downstream.
+		dec.trace = ""
+	}
 
 	now = n.Clock()
 	// The origin's piggybacked invalidation tail lands before this node's
 	// DownStep, so a placement instruction issued at the pre-write
 	// generation is caught by the freshly raised floor — and it lands
 	// whether or not this node was chosen.
-	n.applyInval(dec.inval, dec.invHead, now)
+	if len(dec.inval) > 0 || dec.invHead != 0 {
+		csp := tsp.Start(span.PhaseCoherency, n.ID, hop, upsp, now)
+		n.applyInval(dec.inval, dec.invHead, now)
+		tsp.End(csp, n.Clock())
+	} else {
+		n.applyInval(dec.inval, dec.invHead, now)
+	}
 	mpSeen := mp
 	if !placed(dec.place, n.ID) {
 		// The decision did not choose this node: the bytes only pass
 		// through, so stream them client-ward through a pooled buffer
 		// instead of buffering the whole object.
-		n.relayStream(w, r, resp, seg, dec, obj, entry, prev, mp, mpSeen, now)
+		n.relayStream(w, r, resp, seg, dec, obj, entry, prev, mp, mpSeen, now, tsp, upsp, hop)
 		return
 	}
 
@@ -850,6 +927,8 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// one critical section.
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		tsp.Force(span.FlagError)
+		tsp.End(upsp, n.Clock())
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -863,6 +942,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// negotiated (byte-identical when the encodings match — both
 		// encoders are canonical).
 		n.mu.Unlock()
+		tsp.End(upsp, n.Clock())
 		n.advertise(w.Header())
 		writeDecision(w.Header(), n.replyVersion(r), dec)
 		w.Header().Set(HeaderPenalty, fmtFloat(mp))
@@ -870,6 +950,7 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, seg, body)
 		return
 	}
+	dn := tsp.Start(span.PhaseDown, n.ID, hop, upsp, now)
 	// The decision site shipped this node's predicted Δcost term next
 	// to the placement instruction; book the claim here, where the
 	// realized savings will accumulate, so the node's ledger is
@@ -884,23 +965,21 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 	if res.Placed {
 		n.inserts++
+		bsp := tsp.Start(span.PhaseBody, n.ID, hop, dn, now)
 		n.bodies.Put(obj, body, store.Meta{ETag: resp.Header.Get("ETag"), Fetched: now, Gen: dec.gen})
 		// DownStep already demoted the victims' descriptors; their
 		// payloads spill to the disk tier (or drop without one).
 		for _, v := range evicted {
 			n.spillVictim(v, now)
 		}
+		tsp.End(bsp, now)
 	}
 	n.mu.Unlock()
 	mp = res.MP
+	tnow := n.Clock()
+	tsp.End(dn, tnow)
+	tsp.End(upsp, tnow)
 
-	n.advertise(w.Header())
-	writeDecision(w.Header(), n.replyVersion(r), dec)
-	w.Header().Set(HeaderPenalty, fmtFloat(mp))
-	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
-	if tag := resp.Header.Get("ETag"); tag != "" {
-		w.Header().Set("ETag", tag)
-	}
 	if traceWanted(r) {
 		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
 		if entry.Tag == engine.TagCandidate {
@@ -917,7 +996,14 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case res.PlaceFailed:
 			downEvt.Action = reqtrace.ActPlaceFailed
 		}
-		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt), n.traceBudget()))
+		dec.trace = n.splice(dec.trace, traceEvent(upEvt), traceEvent(downEvt))
+	}
+	n.advertise(w.Header())
+	writeDecision(w.Header(), n.replyVersion(r), dec)
+	w.Header().Set(HeaderPenalty, fmtFloat(mp))
+	w.Header().Set(HeaderHit, resp.Header.Get(HeaderHit))
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		w.Header().Set("ETag", tag)
 	}
 	writeBody(w, seg, body)
 }
@@ -930,21 +1016,41 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // (every protocol hop sets it explicitly).
 func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Response, seg segInfo,
 	dec decision, obj model.ObjectID, entry engine.Candidate,
-	prev, mp, mpSeen float64, now float64) {
+	prev, mp, mpSeen float64, now float64, tsp *span.Trace, upsp span.SpanID, hop int) {
 	size := resp.ContentLength
 	if size < 0 {
 		size = 0
 	}
 	outMP := mp
+	var dn span.SpanID
 	n.mu.Lock()
 	active := n.member == controlplane.Active
 	if active {
+		dn = tsp.Start(span.PhaseDown, n.ID, hop, upsp, now)
 		res, _ := n.st.DownStep(obj, size, false, mp, dec.gen, -1, now, nil)
 		n.auditor.CheckPenaltyStep(n.ID, obj, -1, prev, mp, res.MP, res.Placed)
 		outMP = res.MP
 	}
 	n.mu.Unlock()
+	tnow := n.Clock()
+	tsp.End(dn, tnow)
+	tsp.End(upsp, tnow)
 
+	if active && traceWanted(r) {
+		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
+		if entry.Tag == engine.TagCandidate {
+			upEvt.Action = reqtrace.ActPiggyback
+			upEvt.Freq = entry.Freq
+			upEvt.CostLoss = entry.CostLoss
+		}
+		downEvt := reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: mpSeen}
+		dec.trace = n.splice(dec.trace, traceEvent(upEvt), traceEvent(downEvt))
+	} else if !active {
+		// A mid-flight drain relays without adding events (it took no
+		// protocol steps), matching the header behaviour before the splice
+		// rode inside frames.
+		dec.trace = ""
+	}
 	n.advertise(w.Header())
 	writeDecision(w.Header(), n.replyVersion(r), dec)
 	w.Header().Set(HeaderPenalty, fmtFloat(outMP))
@@ -954,16 +1060,6 @@ func (n *Node) relayStream(w http.ResponseWriter, r *http.Request, resp *http.Re
 	}
 	if resp.ContentLength >= 0 {
 		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
-	}
-	if active && traceWanted(r) {
-		upEvt := reqtrace.Event{Phase: reqtrace.PhaseUp, Node: int(n.ID), Action: reqtrace.ActNoDescriptor}
-		if entry.Tag == engine.TagCandidate {
-			upEvt.Action = reqtrace.ActPiggyback
-			upEvt.Freq = entry.Freq
-			upEvt.CostLoss = entry.CostLoss
-		}
-		downEvt := reqtrace.Event{Phase: reqtrace.PhaseDown, Node: int(n.ID), Action: reqtrace.ActUpdate, MissPenalty: mpSeen}
-		w.Header().Set(HeaderTrace, spliceTrace(resp.Header.Get(HeaderTrace), traceEvent(upEvt), traceEvent(downEvt), n.traceBudget()))
 	}
 	if seg.on && resp.StatusCode == http.StatusPartialContent {
 		if cr := resp.Header.Get("Content-Range"); cr != "" {
@@ -1069,8 +1165,8 @@ func (n *Node) serveStats(w http.ResponseWriter) {
 	badHeaders := n.badPenalty.Load() + n.badSegment.Load() + n.badGen.Load() + n.badInval.Load()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w,
-		"{\"node\":%d,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d,\"spill_objects\":%d,\"spill_used_bytes\":%d,\"spill_bytes_total\":%d,\"spill_hits\":%d,\"promotions\":%d,\"bad_headers\":%d}\n",
-		n.ID, member.String(), health.String(), upHealth.String(), epoch, shards,
+		"{\"node\":%d,\"upstream\":%q,\"membership\":%q,\"health\":%q,\"upstream_health\":%q,\"epoch\":%d,\"shards\":%d,\"hits\":%d,\"misses\":%d,\"inserts\":%d,\"revalidations\":%d,\"objects\":%d,\"used_bytes\":%d,\"capacity_bytes\":%d,\"dcache_descriptors\":%d,\"retries\":%d,\"breaker_state\":%q,\"breaker_opens\":%d,\"degraded\":%d,\"spill_objects\":%d,\"spill_used_bytes\":%d,\"spill_bytes_total\":%d,\"spill_hits\":%d,\"promotions\":%d,\"bad_headers\":%d}\n",
+		n.ID, n.Upstream, member.String(), health.String(), upHealth.String(), epoch, shards,
 		hits, misses, inserts, revs, objects, used, capacity, descs,
 		retries, state.String(), opens, degraded,
 		bs.DiskObjects, bs.DiskBytes, bs.SpillBytesTotal, spillHits, promotions, badHeaders)
@@ -1263,10 +1359,10 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if hi >= size {
 			hi = size - 1
 		}
-		chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
+		chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode, nil, 0)
 		version := 0
 		if !o.DisableBinaryFraming {
-			w.Header().Set(HeaderAccept, FrameV2)
+			w.Header().Set(HeaderAccept, FrameV3)
 			version = peerFrameVersion(r.Header)
 		}
 		writeDecision(w.Header(), version, o.originDecision(obj, chosen, predict))
@@ -1306,19 +1402,20 @@ func (o *Origin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode)
+	chosen, predict := decideObserved(entries, obj, now, o.auditor, o.flight, model.NoNode, nil, 0)
 	version := 0
 	if !o.DisableBinaryFraming {
-		w.Header().Set(HeaderAccept, FrameV2)
+		w.Header().Set(HeaderAccept, FrameV3)
 		version = peerFrameVersion(r.Header)
 	}
-	writeDecision(w.Header(), version, o.originDecision(obj, chosen, predict))
-	w.Header().Set(HeaderPenalty, "0")
-	w.Header().Set(HeaderHit, "origin")
+	d := o.originDecision(obj, chosen, predict)
 	if traceWanted(r) {
 		serveEvt := traceEvent(reqtrace.Event{Phase: reqtrace.PhaseUp, Node: -1, Action: reqtrace.ActServeOrigin})
-		w.Header().Set(HeaderTrace, "["+serveEvt+","+traceDecision(-1, chosen)+"]")
+		d.trace = "[" + serveEvt + "," + traceDecision(-1, chosen) + "]"
 	}
+	writeDecision(w.Header(), version, d)
+	w.Header().Set(HeaderPenalty, "0")
+	w.Header().Set(HeaderHit, "origin")
 
 	var body []byte
 	if o.Dir != "" {

@@ -1,0 +1,94 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"cascade/internal/model"
+	"cascade/internal/span"
+)
+
+// HeaderTraceCtx carries the span trace context hop-to-hop as
+// "<32 hex trace id>-<16 hex parent span>". It is the textual fallback for
+// the v3 path frame's inline context: a tracing hop always understands
+// either form, and a non-tracing hop relays the header untouched, so a
+// trace survives mixed and partially upgraded chains. See
+// docs/OBSERVABILITY.md for the span schema.
+const HeaderTraceCtx = "X-Cascade-TraceCtx"
+
+// EnableSpans equips the node with protocol span tracing: each request
+// contributes phase spans (lookup, up, decide, down, body, coherency,
+// promote) to a trace begun at the chain's edge, and completed traces that
+// survive the tail-sampling policy land in a fixed-capacity ring served at
+// /cascade/debug/spans. Call before the node serves requests — the request
+// path reads both pointers without holding the node lock, exactly like the
+// flight recorder. capacity <= 0 picks DefaultFlightCapacity.
+//
+// Gateway spans are stamped with the node's Clock, so Start/End measure
+// real elapsed time (unlike the simulator and cluster incarnations, whose
+// spans are point-in-time markers on the protocol clock).
+func (n *Node) EnableSpans(policy span.Policy, capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	n.mu.Lock()
+	n.tracer = span.NewTracer(policy)
+	n.spans = span.NewRing(capacity)
+	n.mu.Unlock()
+}
+
+// SpanRing returns the node's span ring (nil until EnableSpans).
+func (n *Node) SpanRing() *span.Ring { return n.spans }
+
+// DumpSpans captures the node's span-ring contents.
+func (n *Node) DumpSpans() span.Snapshot { return n.spans.TakeSnapshot(n.ID) }
+
+// serveSpans answers /cascade/debug/spans: the node's retained spans as
+// JSON, the flight recorder's sibling endpoint for distributed traces.
+func (n *Node) serveSpans(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.DumpSpans()) //nolint:errcheck
+}
+
+// ringOf deposits every span this node records into its own ring — a
+// gateway node only ever records spans it created, so the trace's other
+// hops live in their owners' rings and a dump of the whole chain
+// reassembles the tree by trace ID.
+func (n *Node) ringOf(model.NodeID) *span.Ring { return n.spans }
+
+// incomingSpanInfo reads the request's hop index (the number of path
+// entries accumulated below this node) and, when the downstream hop traces,
+// the span context to join: inline from a v3 path frame, from the
+// X-Cascade-TraceCtx header otherwise.
+func incomingSpanInfo(h http.Header) (hop int, ctx span.Ctx, ok bool) {
+	if f := h.Get(HeaderFrame); f != "" {
+		hop, ctx, ok = pathFrameInfo(f)
+		if !ok {
+			ctx, ok = span.ParseCtx(h.Get(HeaderTraceCtx))
+		}
+		return hop, ctx, ok
+	}
+	if p := strings.TrimSpace(h.Get(HeaderPath)); p != "" {
+		hop = strings.Count(p, ",") + 1
+	}
+	ctx, ok = span.ParseCtx(h.Get(HeaderTraceCtx))
+	return hop, ctx, ok
+}
+
+// beginSpan opens this node's view of the request's trace: joining the
+// downstream hop's context when one arrived, minting a fresh trace (with
+// its root request span) when this node is the chain's edge. It returns a
+// nil trace when tracing is off. parent is the span the node's own phase
+// spans hang from; hop is this node's positional index on the path.
+func (n *Node) beginSpan(r *http.Request, now float64) (tsp *span.Trace, parent span.SpanID, hop int) {
+	if n.tracer == nil {
+		return nil, 0, 0
+	}
+	hop, ctx, ok := incomingSpanInfo(r.Header)
+	if ok {
+		return n.tracer.Join(ctx), ctx.Parent, hop
+	}
+	tsp = n.tracer.Begin(n.ID, -1, now)
+	return tsp, tsp.Root(), hop
+}

@@ -76,9 +76,10 @@ func (n *Node) traceBudget() int {
 // pair — a broken hop never poisons the whole trace. A positive budget
 // bounds the result: over-budget traces drop middle events (the
 // origin-side hops) in favour of a truncation marker, so the header cannot
-// grow past transport limits on deep chains.
-func spliceTrace(inner, upEvt, downEvt string, budget int) string {
-	out := "[" + upEvt + "," + downEvt + "]"
+// grow past transport limits on deep chains. truncated reports whether
+// inherited events were dropped to fit the budget.
+func spliceTrace(inner, upEvt, downEvt string, budget int) (out string, truncated bool) {
+	out = "[" + upEvt + "," + downEvt + "]"
 	inner = strings.TrimSpace(inner)
 	if strings.HasPrefix(inner, "[") && strings.HasSuffix(inner, "]") {
 		if content := strings.TrimSpace(inner[1 : len(inner)-1]); content != "" {
@@ -86,14 +87,25 @@ func spliceTrace(inner, upEvt, downEvt string, budget int) string {
 		}
 	}
 	if budget <= 0 || len(out) <= budget {
-		return out
+		return out, false
 	}
 	var evs []json.RawMessage
 	if err := json.Unmarshal([]byte(out), &evs); err != nil || len(evs) <= 2 {
 		// Unparseable or already irreducible: this node's pair alone.
-		return "[" + upEvt + "," + downEvt + "]"
+		return "[" + upEvt + "," + downEvt + "]", true
 	}
-	return boundTrace(evs, budget)
+	return boundTrace(evs, budget), true
+}
+
+// splice runs spliceTrace under the node's trace budget, counting
+// truncations in cascade_gw_trace_truncations_total so operators can see
+// when deep chains outgrow the header bound.
+func (n *Node) splice(inner, upEvt, downEvt string) string {
+	out, truncated := spliceTrace(inner, upEvt, downEvt, n.traceBudget())
+	if truncated {
+		n.traceTrunc.Add(1)
+	}
+	return out
 }
 
 // traceMarker renders the stand-in event for dropped trace entries.

@@ -30,7 +30,10 @@ func TestSpliceTraceUnbounded(t *testing.T) {
 	down := `{"phase":"down","node":0,"action":"update"}`
 	inner := `[{"phase":"up","node":1,"action":"miss"},{"phase":"down","node":1,"action":"place"}]`
 
-	got := spliceTrace(inner, up, down, 0)
+	got, truncated := spliceTrace(inner, up, down, 0)
+	if truncated {
+		t.Fatal("unbounded splice reported truncation")
+	}
 	want := "[" + up + `,{"phase":"up","node":1,"action":"miss"},{"phase":"down","node":1,"action":"place"},` + down + "]"
 	if got != want {
 		t.Fatalf("splice = %s\nwant %s", got, want)
@@ -38,7 +41,7 @@ func TestSpliceTraceUnbounded(t *testing.T) {
 
 	// Malformed inner arrays degrade to this node's pair.
 	for _, bad := range []string{"", "not json", "{}", "[broken"} {
-		if got := spliceTrace(bad, up, down, 0); got != "["+up+","+down+"]" {
+		if got, _ := spliceTrace(bad, up, down, 0); got != "["+up+","+down+"]" {
 			t.Fatalf("splice(%q) = %s, want bare pair", bad, got)
 		}
 	}
@@ -53,13 +56,16 @@ func TestSpliceTraceBounded(t *testing.T) {
 			fmt.Sprintf(`{"phase":"up","node":%d,"action":"miss","f":0.123456789}`, i))
 	}
 	inner := "[" + strings.Join(mid, ",") + "]"
-	unbounded := spliceTrace(inner, up, down, 0)
+	unbounded, _ := spliceTrace(inner, up, down, 0)
 
 	budget := 512
 	if len(unbounded) <= budget {
 		t.Fatalf("test premise broken: unbounded trace only %d bytes", len(unbounded))
 	}
-	got := spliceTrace(inner, up, down, budget)
+	got, truncated := spliceTrace(inner, up, down, budget)
+	if !truncated {
+		t.Fatal("over-budget splice did not report truncation")
+	}
 	if len(got) > budget {
 		t.Fatalf("bounded trace is %d bytes, budget %d:\n%s", len(got), budget, got)
 	}
@@ -108,7 +114,7 @@ func TestBoundTraceMarkerFolding(t *testing.T) {
 
 	// A budget too small for any middle event forces everything into the
 	// marker: 2 real events plus the inherited 5.
-	got := spliceTrace(inner, up, down, len(up)+len(down)+80)
+	got, _ := spliceTrace(inner, up, down, len(up)+len(down)+80)
 	evs := parseTrace(t, got)
 	markers := 0
 	for _, e := range evs {

@@ -178,7 +178,13 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...L
 }
 
 // Summary registers an atomic histogram exported as a Prometheus summary
-// (quantiles 0.5/0.95/0.99 plus _sum and _count).
+// (quantiles 0.5/0.95/0.99) plus cumulative histogram buckets
+// (_bucket{le="..."}), _sum, and _count. The quantile lines keep existing
+// dashboards working; the bucket lines are what federation consumes —
+// quantiles cannot be merged across nodes, bucket counts can. Only change
+// points (non-empty buckets) are emitted, plus the mandatory le="+Inf";
+// absent bounds carry the previous cumulative value, which Histogram.AddLe
+// reconstructs exactly because every node shares one bucket ladder.
 func (r *Registry) Summary(name, help string, labels ...Label) *AtomicHistogram {
 	h := &AtomicHistogram{}
 	ls := renderLabels(labels)
@@ -191,8 +197,26 @@ func (r *Registry) Summary(name, help string, labels ...Label) *AtomicHistogram 
 			}
 			writeSample(w, n, ql, formatFloat(snap.Quantile(q)))
 		}
+		bucket := func(le string, cum int64) {
+			bl := `le="` + le + `"`
+			if l != "" {
+				bl = l + "," + bl
+			}
+			writeSample(w, n+"_bucket", bl, strconv.FormatInt(cum, 10))
+		}
+		cum := snap.Zero()
+		if cum > 0 {
+			// Exact zeros sort below every bucket: expose them at the
+			// histogram floor so federation preserves the split.
+			bucket(formatFloat(histMin), cum)
+		}
+		snap.ForEachBucket(func(idx int, count int64) {
+			cum += count
+			bucket(formatFloat(BucketUpperBound(idx)), cum)
+		})
+		bucket("+Inf", snap.Count())
 		writeSample(w, n+"_sum", l, formatFloat(h.Sum()))
-		writeSample(w, n+"_count", l, strconv.FormatInt(h.Count(), 10))
+		writeSample(w, n+"_count", l, strconv.FormatInt(snap.Count(), 10))
 	}); !fresh {
 		return r.summaryAt(name, i)
 	}

@@ -1,0 +1,83 @@
+package metrics
+
+import "testing"
+
+func TestTimelineWindowing(t *testing.T) {
+	tl := NewTimeline(10)
+
+	// First sample at t=12.5 opens the window aligned to its boundary, not
+	// to the sample time.
+	tl.Add(12.5, Sample{Latency: 1})
+	tl.Add(19.9, Sample{Latency: 1})
+	tl.Add(20.0, Sample{Latency: 3}) // exactly on the boundary: next window
+	tl.Add(25.0, Sample{Latency: 3})
+
+	ws := tl.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(ws), ws)
+	}
+	if ws[0].Start != 10 || ws[1].Start != 20 {
+		t.Fatalf("window starts %v/%v, want 10/20", ws[0].Start, ws[1].Start)
+	}
+	if ws[0].Summary.Requests != 2 || ws[1].Summary.Requests != 2 {
+		t.Fatalf("window requests %d/%d, want 2/2", ws[0].Summary.Requests, ws[1].Summary.Requests)
+	}
+	if ws[0].Summary.AvgLatency != 1 || ws[1].Summary.AvgLatency != 3 {
+		t.Fatalf("window latencies %v/%v, want 1/3", ws[0].Summary.AvgLatency, ws[1].Summary.AvgLatency)
+	}
+}
+
+func TestTimelineGapsProduceEmptyWindows(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Add(0, Sample{})
+	tl.Add(35, Sample{}) // three boundaries crossed: 10, 20, 30
+
+	ws := tl.Windows()
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows, want 4 (two idle): %+v", len(ws), ws)
+	}
+	for i, want := range []float64{0, 10, 20, 30} {
+		if ws[i].Start != want {
+			t.Fatalf("window %d starts at %v, want %v", i, ws[i].Start, want)
+		}
+	}
+	if ws[1].Summary.Requests != 0 || ws[2].Summary.Requests != 0 {
+		t.Fatal("idle windows should report zero requests")
+	}
+}
+
+func TestTimelineWindowsIdempotent(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Add(5, Sample{})
+	if n := len(tl.Windows()); n != 1 {
+		t.Fatalf("first Windows call: %d windows, want 1", n)
+	}
+	// Calling again must not duplicate the flushed open window.
+	if n := len(tl.Windows()); n != 1 {
+		t.Fatalf("second Windows call: %d windows, want 1", n)
+	}
+}
+
+func TestTimelineDefaultsAndEmpty(t *testing.T) {
+	if tl := NewTimeline(0); tl.window != 600 {
+		t.Fatalf("zero window defaulted to %v, want 600", tl.window)
+	}
+	if tl := NewTimeline(-5); tl.window != 600 {
+		t.Fatalf("negative window defaulted to %v, want 600", tl.window)
+	}
+	if ws := NewTimeline(10).Windows(); ws != nil {
+		t.Fatalf("empty timeline returned windows: %+v", ws)
+	}
+}
+
+func TestTimelineNonAlignedStart(t *testing.T) {
+	// A window length that does not divide the first timestamp still aligns
+	// windows on multiples of the length.
+	tl := NewTimeline(7)
+	tl.Add(16, Sample{}) // floor(16/7)*7 = 14
+	tl.Add(21, Sample{}) // next window starts at 21
+	ws := tl.Windows()
+	if len(ws) != 2 || ws[0].Start != 14 || ws[1].Start != 21 {
+		t.Fatalf("windows %+v, want starts 14 and 21", ws)
+	}
+}

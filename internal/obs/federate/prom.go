@@ -1,0 +1,122 @@
+package federate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The scrape side of federation: a minimal parser for the Prometheus text
+// exposition format (version 0.0.4), covering exactly what the repo's own
+// metrics.Registry emits — `name value` and `name{k="v",...} value` sample
+// lines with HELP/TYPE comments. It is deliberately not a general OpenMetrics
+// parser; the federator only ever scrapes cascade nodes.
+
+// Sample is one parsed time series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for key ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParsePrometheus reads an exposition document into its samples. Comment
+// and blank lines are skipped; a malformed sample line is an error (the
+// registry never produces one, so damage means a truncated scrape).
+func ParsePrometheus(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		s.Name = line[:brace]
+		end, labels, err := parseLabels(line[brace+1:])
+		if err != nil {
+			return s, fmt.Errorf("federate: %s: %w", line, err)
+		}
+		s.Labels = labels
+		rest = line[brace+1+end:]
+	} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		s.Name, rest = line[:sp], line[sp:]
+	} else {
+		return s, fmt.Errorf("federate: sample line without value: %s", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("federate: %s: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` returning the offset just past the
+// closing brace. Values use the text-format escapes (\\, \", \n).
+func parseLabels(in string) (end int, labels map[string]string, err error) {
+	labels = make(map[string]string)
+	i := 0
+	for {
+		if i >= len(in) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 || i+eq+1 >= len(in) || in[i+eq+1] != '"' {
+			return 0, nil, fmt.Errorf("malformed label pair")
+		}
+		key := in[i : i+eq]
+		j := i + eq + 2 // first byte of the value
+		var b strings.Builder
+		for {
+			if j >= len(in) {
+				return 0, nil, fmt.Errorf("unterminated label value")
+			}
+			c := in[j]
+			if c == '"' {
+				j++
+				break
+			}
+			if c == '\\' && j+1 < len(in) {
+				switch in[j+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(in[j+1])
+				}
+				j += 2
+				continue
+			}
+			b.WriteByte(c)
+			j++
+		}
+		labels[key] = b.String()
+		if j < len(in) && in[j] == ',' {
+			j++
+		}
+		i = j
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"cascade/internal/coherency"
 	"cascade/internal/engine"
 	"cascade/internal/model"
+	"cascade/internal/span"
 	"cascade/internal/topology"
 )
 
@@ -35,6 +36,7 @@ type walkScratch struct {
 	chosen []int
 	evict  []model.ObjectID
 	inv    []coherency.Invalidation
+	spans  []span.SpanID
 }
 
 // directGet executes one request on the direct data plane. route is already
@@ -56,11 +58,22 @@ func (c *Cluster) directGet(route topology.Route, lead float64, obj model.Object
 	m.accCost = lead
 	m.floor = c.casFloor(obj)
 	m.pb = m.pb[:0]
+	if m.tsp = c.spanTracer.Begin(route.Caches[0], -1, m.now); m.tsp != nil {
+		m.spanParent = m.tsp.Root()
+		if cap(s.spans) < len(route.Caches) {
+			s.spans = make([]span.SpanID, len(route.Caches))
+		}
+		m.upSpans = s.spans[:len(route.Caches)]
+		for i := range m.upSpans {
+			m.upSpans[i] = 0
+		}
+	}
 
 	r := c.directWalk(m, s)
+	c.spanTracer.Collect(m.tsp, m.now, c.spanRingFor)
 
 	// Drop references into the topology so pooled scratch does not pin it.
-	m.route, m.upCost, m.reply = nil, nil, nil
+	m.route, m.upCost, m.reply, m.tsp, m.upSpans = nil, nil, nil, nil, nil
 	c.walkScratch.Put(s)
 	return r
 }
@@ -89,15 +102,28 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		}
 		c.messages.Add(1)
 		c.nodeInst[id].upPass.Record(0)
-		if res := n.st.LookupFresh(m.obj, m.now, m.floor); res.Hit {
+		lk := m.tsp.Start(span.PhaseLookup, id, m.hop, m.spanParent, m.now)
+		res := n.st.LookupFresh(m.obj, m.now, m.floor)
+		m.tsp.End(lk, m.now)
+		if res.Hit {
 			servingHop, servedBy, hit, gen = m.hop, id, true, res.Gen
 			break
+		}
+		if res.Stale {
+			m.tsp.Force(span.FlagStale)
 		}
 		served, dgen, ev := n.diskServe(m.obj, m.size, m.now, m.floor, s.evict)
 		s.evict = ev
 		if served {
+			psp := m.tsp.Start(span.PhasePromote, id, m.hop, m.spanParent, m.now)
+			m.tsp.End(psp, m.now)
 			servingHop, servedBy, hit, gen = m.hop, id, true, dgen
 			break
+		}
+		up := m.tsp.Start(span.PhaseUp, id, m.hop, m.spanParent, m.now)
+		if m.tsp != nil {
+			m.upSpans[m.hop] = up
+			m.spanParent = up
 		}
 		if cand := n.st.UpMiss(m.obj, m.size, m.hop, m.upCost[m.hop], m.now); cand.Tag == engine.TagCandidate {
 			m.pb = append(m.pb, cand)
@@ -129,7 +155,13 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		}
 	}
 	if servingHop == 0 {
-		// Hit at the client's first cache: nothing travels downstream.
+		// Hit at the client's first cache: nothing travels downstream, so
+		// the DP is skipped — but the decide phase still lands in the span
+		// tree (trivially empty, as the other incarnations' engine call
+		// records it), so traces conform across transports. Nil-safe no-op
+		// when tracing is off.
+		dsp := m.tsp.Start(span.PhaseDecide, servedBy, 0, m.spanParent, m.now)
+		m.tsp.End(dsp, m.now)
 		c.cacheHits.Add(1)
 		return result
 	}
@@ -151,8 +183,14 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 		}
 		c.messages.Add(1)
 		c.nodeInst[id].downPass.Record(0)
+		var up span.SpanID
+		if m.tsp != nil {
+			up = m.upSpans[h]
+		}
 		if invTail != nil {
+			coh := m.tsp.Start(span.PhaseCoherency, id, h, up, m.now)
 			n.st.ApplyInvalidations(invTail, invHead, m.now)
+			m.tsp.End(coh, m.now)
 		}
 		prev := mp
 		mp += m.upCost[h]
@@ -164,6 +202,7 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			place = true
 			chosen = chosen[:k]
 		}
+		dn := m.tsp.Start(span.PhaseDown, id, h, up, m.now)
 		out, ev := n.st.DownStep(m.obj, m.size, place, mp, gen, h, m.now, s.evict[:0])
 		s.evict = ev
 		n.st.Audit().CheckPenaltyStep(id, m.obj, h, prev, mp, out.MP, out.Placed)
@@ -173,8 +212,12 @@ func (c *Cluster) directWalk(m *fetchMsg, s *walkScratch) Result {
 			inst := &c.nodeInst[id]
 			inst.inserts.Inc()
 			inst.evictions.Add(int64(len(ev)))
+			bsp := m.tsp.Start(span.PhaseBody, id, h, dn, m.now)
 			n.placeBody(m.obj, m.size, gen, m.now, ev)
+			m.tsp.End(bsp, m.now)
 		}
+		m.tsp.End(dn, m.now)
+		m.tsp.End(up, m.now)
 	}
 
 	if result.ServedBy != model.NoNode {

@@ -9,6 +9,7 @@ import (
 	"cascade/internal/engine"
 	"cascade/internal/flightrec"
 	"cascade/internal/model"
+	"cascade/internal/span"
 	"cascade/internal/store"
 )
 
@@ -29,6 +30,16 @@ type fetchMsg struct {
 	sentAt  float64 // Config.Clock() at the last enqueue (pass-latency metric)
 	floor   uint64  // ModeCAS read floor: origin generation at Get start
 	pb      []engine.Candidate
+
+	// tsp is the request's span trace (nil when span tracing is off).
+	// spanParent tracks the span the next hop's phases parent on — the
+	// root first, then each miss hop's up span; upSpans remembers the up
+	// span opened at each hop so the downstream pass can close it.
+	// Message handling is sequential per request, so the accumulator
+	// moves between actors safely.
+	tsp        *span.Trace
+	spanParent span.SpanID
+	upSpans    []span.SpanID
 
 	reply chan Result
 }
@@ -54,6 +65,11 @@ type deliverMsg struct {
 	// its DownStep.
 	invTail []coherency.Invalidation
 	invHead uint64
+
+	// tsp/upSpans carry the request's span trace through the downstream
+	// pass (see fetchMsg).
+	tsp     *span.Trace
+	upSpans []span.SpanID
 
 	result Result
 	reply  chan Result
@@ -278,20 +294,33 @@ func (n *node) placeBody(obj model.ObjectID, size int64, gen uint64, now float64
 
 // handleFetch implements the upstream pass at this node.
 func (n *node) handleFetch(m *fetchMsg) {
-	if res := n.st.LookupFresh(m.obj, m.now, m.floor); res.Hit {
+	lk := m.tsp.Start(span.PhaseLookup, n.id, m.hop, m.spanParent, m.now)
+	res := n.st.LookupFresh(m.obj, m.now, m.floor)
+	m.tsp.End(lk, m.now)
+	if res.Hit {
 		// Serving node A_0: record the hit and decide placement for
 		// the caches below. A Stale or Expired copy self-healed to a miss
 		// inside LookupFresh and the pass continues upstream below.
 		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop, res.Gen)
 		return
 	}
+	if res.Stale {
+		m.tsp.Force(span.FlagStale)
+	}
 	served, gen, ev := n.diskServe(m.obj, m.size, m.now, m.floor, n.evictBuf)
 	n.evictBuf = ev
 	if served {
+		psp := m.tsp.Start(span.PhasePromote, n.id, m.hop, m.spanParent, m.now)
+		m.tsp.End(psp, m.now)
 		n.cluster.decideAndDeliver(m, m.hop, n.id, m.accCost, m.hop, gen)
 		return
 	}
 
+	up := m.tsp.Start(span.PhaseUp, n.id, m.hop, m.spanParent, m.now)
+	if m.tsp != nil {
+		m.upSpans[m.hop] = up
+		m.spanParent = up
+	}
 	// Observed passing through: refresh the descriptor's history and
 	// piggyback this node's candidacy. A node without a usable record
 	// ships no entry (the §2.4 tag) and is excluded from the DP.
@@ -321,11 +350,17 @@ func (n *node) handleFetch(m *fetchMsg) {
 
 // handleDeliver implements the downstream pass at this node.
 func (n *node) handleDeliver(d *deliverMsg) {
+	var up span.SpanID
+	if d.tsp != nil {
+		up = d.upSpans[d.hop]
+	}
 	// An origin response's piggybacked invalidation tail lands before the
 	// placement step, so a placement at the pre-write generation is caught
 	// by the freshly raised floor.
 	if d.invTail != nil {
+		coh := d.tsp.Start(span.PhaseCoherency, n.id, d.hop, up, d.now)
 		n.st.ApplyInvalidations(d.invTail, d.invHead, d.now)
+		d.tsp.End(coh, d.now)
 	}
 	// prev is the counter as it left the last caching point (plus any
 	// links folded in for routed-around hops) — the miss-penalty audit's
@@ -344,6 +379,7 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		d.chosen = d.chosen[:k]
 	}
 
+	dn := d.tsp.Start(span.PhaseDown, n.id, d.hop, up, d.now)
 	res, ev := n.st.DownStep(d.obj, d.size, place, d.mp, d.gen, d.hop, d.now, n.evictBuf[:0])
 	n.evictBuf = ev
 	n.st.Audit().CheckPenaltyStep(n.id, d.obj, d.hop, prev, d.mp, res.MP, res.Placed)
@@ -353,11 +389,15 @@ func (n *node) handleDeliver(d *deliverMsg) {
 		inst := n.inst()
 		inst.inserts.Inc()
 		inst.evictions.Add(int64(len(ev)))
+		bsp := d.tsp.Start(span.PhaseBody, n.id, d.hop, dn, d.now)
 		n.placeBody(d.obj, d.size, d.gen, d.now, ev)
+		d.tsp.End(bsp, d.now)
 	}
+	d.tsp.End(dn, d.now)
+	d.tsp.End(up, d.now)
 
 	if d.hop == 0 {
-		n.cluster.finish(d.reply, d.result)
+		n.cluster.finish(d.reply, d.result, d.tsp, d.now)
 		return
 	}
 	d.hop--

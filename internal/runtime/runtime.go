@@ -45,6 +45,7 @@ import (
 	"cascade/internal/flightrec"
 	"cascade/internal/metrics"
 	"cascade/internal/model"
+	"cascade/internal/span"
 	"cascade/internal/store"
 	"cascade/internal/topology"
 )
@@ -161,6 +162,18 @@ type Config struct {
 	// cluster creates its own (writes then go through
 	// Cluster.Invalidate).
 	Authority *coherency.Authority
+	// SpanCapacity, when > 0, turns on cascade-wide span tracing: every
+	// node slot gets a span ring retaining the last N sampled spans
+	// (DumpSpans). Spans are stamped with the request's protocol clock,
+	// so cluster spans are point-in-time markers of phase order rather
+	// than durations (the HTTP gateway incarnation measures real time).
+	SpanCapacity int
+	// SpanSample is the tail-sampling rate in [0,1]: the fraction of
+	// non-forced traces kept (error/stale traces are always kept).
+	SpanSample float64
+	// SpanSlow is the forced-keep latency threshold in seconds (0
+	// disables the slow check).
+	SpanSlow float64
 }
 
 // Stats are cluster-wide counters, readable at any time.
@@ -228,6 +241,14 @@ type Cluster struct {
 	auth       *coherency.Authority
 	cohViews   []*coherency.NodeView
 	cohMetrics *coherency.Metrics
+
+	// spanTracer/spanRings exist when Config.SpanCapacity > 0 (nil
+	// otherwise — the hot paths pay only nil checks). Rings belong to the
+	// slot, like flight recorders, so crash/recover cycles keep history.
+	// spanRingFor is the deposit closure, allocated once.
+	spanTracer  *span.Tracer
+	spanRings   []*span.Ring
+	spanRingFor func(model.NodeID) *span.Ring
 
 	requests        *metrics.Counter
 	cacheHits       *metrics.Counter
@@ -308,6 +329,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		for i := range c.flight {
 			c.flight[i] = flightrec.New(cfg.FlightCapacity)
 		}
+	}
+	if cfg.SpanCapacity > 0 {
+		c.spanTracer = span.NewTracer(span.Policy{Rate: cfg.SpanSample, Slow: cfg.SpanSlow})
+		c.spanRings = make([]*span.Ring, len(c.slots))
+		for i := range c.spanRings {
+			c.spanRings[i] = span.NewRing(cfg.SpanCapacity)
+		}
+	}
+	c.spanRingFor = func(id model.NodeID) *span.Ring {
+		if id >= 0 && int(id) < len(c.spanRings) {
+			return c.spanRings[id]
+		}
+		return nil
 	}
 	if cfg.CoherencyMode != coherency.ModeNone {
 		c.auth = cfg.Authority
@@ -569,6 +603,16 @@ func (c *Cluster) Auditor() *audit.Auditor { return c.auditor }
 // Ledger returns the predicted-vs-realized cost ledger, nil unless
 // Config.EnableAudit was set.
 func (c *Cluster) Ledger() *audit.Ledger { return c.ledger }
+
+// SpanRing returns a node's span ring (nil when span tracing is off or
+// the ID out of range).
+func (c *Cluster) SpanRing(id model.NodeID) *span.Ring { return c.spanRingFor(id) }
+
+// DumpSpans captures a node's span ring for inspection. Safe when span
+// tracing is off (returns an empty snapshot).
+func (c *Cluster) DumpSpans(id model.NodeID) span.Snapshot {
+	return c.spanRingFor(id).TakeSnapshot(id)
+}
 
 // DumpFlight captures a node's flight-recorder contents — typically called
 // right after a crash to preserve the node's last protocol steps. The
@@ -927,6 +971,10 @@ func (c *Cluster) Get(ctx context.Context, clientNode, serverNode model.NodeID, 
 		floor:   c.casFloor(obj),
 		reply:   reply,
 	}
+	if f.tsp = c.spanTracer.Begin(route.Caches[0], -1, f.now); f.tsp != nil {
+		f.spanParent = f.tsp.Root()
+		f.upSpans = make([]span.SpanID, len(route.Caches))
+	}
 	c.sendFetchUp(f)
 
 	var deadline <-chan time.Time
@@ -1062,7 +1110,7 @@ func (c *Cluster) sendDeliverDown(d *deliverMsg) {
 		d.mp += d.upCost[d.hop]
 		d.hop--
 	}
-	c.finish(d.reply, d.result)
+	c.finish(d.reply, d.result, d.tsp, d.now)
 }
 
 // decideScratch bundles the buffers one placement decision needs — the
@@ -1104,6 +1152,11 @@ func (c *Cluster) decide(m *fetchMsg, servingHop int, servedBy model.NodeID, buf
 			opts.Flight = c.flightRecorder(servedBy)
 		}
 	}
+	if m.tsp != nil {
+		opts.Span = m.tsp
+		opts.SpanParent = m.spanParent
+		opts.Now = m.now
+	}
 	chosen := append(buf, s.dec.Decide(cands, opts,
 		engine.ServePoint{Hop: servingHop, Node: servedBy}, nil)...)
 	c.decScratch.Put(s)
@@ -1122,8 +1175,14 @@ func (c *Cluster) decide(m *fetchMsg, servingHop int, servedBy model.NodeID, buf
 func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.NodeID, cost float64, hops int, gen uint64) {
 	result := Result{ServedBy: servedBy, Cost: cost, Hops: hops, ServedGen: gen}
 	if servingHop == 0 {
-		// Hit at the client's first cache: nothing travels downstream.
-		c.finish(m.reply, result)
+		// Hit at the client's first cache: nothing travels downstream, so
+		// the DP is skipped — but the decide phase still lands in the span
+		// tree (trivially empty, as the other incarnations' engine call
+		// records it), so traces conform across transports. Nil-safe no-op
+		// when tracing is off.
+		dsp := m.tsp.Start(span.PhaseDecide, servedBy, 0, m.spanParent, m.now)
+		m.tsp.End(dsp, m.now)
+		c.finish(m.reply, result, m.tsp, m.now)
 		return
 	}
 
@@ -1133,17 +1192,19 @@ func (c *Cluster) decideAndDeliver(m *fetchMsg, servingHop int, servedBy model.N
 	chosen := c.decide(m, servingHop, servedBy, nil)
 
 	d := &deliverMsg{
-		obj:    m.obj,
-		size:   m.size,
-		now:    m.now,
-		route:  m.route,
-		upCost: m.upCost,
-		hop:    servingHop - 1,
-		chosen: chosen,
-		mp:     0,
-		gen:    gen,
-		result: result,
-		reply:  m.reply,
+		obj:     m.obj,
+		size:    m.size,
+		now:     m.now,
+		route:   m.route,
+		upCost:  m.upCost,
+		hop:     servingHop - 1,
+		chosen:  chosen,
+		mp:      0,
+		gen:     gen,
+		tsp:     m.tsp,
+		upSpans: m.upSpans,
+		result:  result,
+		reply:   m.reply,
 	}
 	if servedBy == model.NoNode && c.auth != nil && c.cfg.CoherencyMode.Validates() {
 		d.invTail = c.auth.Tail(nil)
@@ -1231,10 +1292,14 @@ func (c *Cluster) MetricsSnapshot() ClusterMetrics {
 // finish delivers a request's reply. The channel is buffered, so a Get
 // that already degraded (deadline) or abandoned (context) never blocks the
 // cascade; its late reply is simply parked for the garbage collector.
-func (c *Cluster) finish(reply chan Result, r Result) {
+func (c *Cluster) finish(reply chan Result, r Result, tsp *span.Trace, now float64) {
 	if r.ServedBy != model.NoNode {
 		c.cacheHits.Add(1)
 	}
 	c.inserts.Add(int64(len(r.Placed)))
+	if r.Degraded {
+		tsp.Force(span.FlagError)
+	}
+	c.spanTracer.Collect(tsp, now, c.spanRingFor)
 	reply <- r
 }

@@ -10,6 +10,7 @@ import (
 	"cascade/internal/freq"
 	"cascade/internal/model"
 	"cascade/internal/reqtrace"
+	"cascade/internal/span"
 )
 
 // Coordinated is the paper's proposed scheme (§2.3): object placement and
@@ -71,6 +72,16 @@ type Coordinated struct {
 	// Unsampled requests pay one nil/stride check, so the hot path stays
 	// allocation-free.
 	tracer *reqtrace.Sampler
+
+	// spanTracer, when set, emits cascade-wide phase spans into per-node
+	// rings (tail-sampled; nil disables and the hot path pays only nil
+	// checks). upSpan is the per-request upstream-span scratch, ringFor
+	// the deposit closure allocated once.
+	spanTracer *span.Tracer
+	spanCap    int
+	spanRings  map[model.NodeID]*span.Ring
+	upSpan     []span.SpanID
+	ringFor    func(model.NodeID) *span.Ring
 
 	// auditor/ledger, when set, verify protocol invariants and account
 	// predicted-vs-realized placement gains online. flightCap > 0 gives
@@ -145,6 +156,37 @@ func (s *Coordinated) SetLedger(l *audit.Ledger) {
 // SetFlightCapacity gives every node a protocol flight recorder retaining
 // the last n events (0 disables, the default). Call before Configure.
 func (s *Coordinated) SetFlightCapacity(n int) { s.flightCap = n }
+
+// SetSpans attaches a cascade-wide span tracer, giving every node a span
+// ring retaining the last capacity sampled spans (nil tracer disables, the
+// default). Callable before or after Configure.
+func (s *Coordinated) SetSpans(tr *span.Tracer, capacity int) {
+	s.spanTracer = tr
+	s.spanCap = capacity
+	if s.ringFor == nil {
+		s.ringFor = func(n model.NodeID) *span.Ring { return s.spanRings[n] }
+	}
+	if tr != nil && s.nodes != nil {
+		s.spanRings = make(map[model.NodeID]*span.Ring, len(s.nodes))
+		for n := range s.nodes {
+			s.spanRings[n] = span.NewRing(capacity)
+		}
+	}
+}
+
+// SpanNodes returns the IDs of every node holding a span ring (empty when
+// span tracing is off).
+func (s *Coordinated) SpanNodes() []model.NodeID {
+	out := make([]model.NodeID, 0, len(s.spanRings))
+	for n := range s.spanRings {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SpanRing returns a node's span ring, or nil when span tracing is off or
+// the node unknown.
+func (s *Coordinated) SpanRing(n model.NodeID) *span.Ring { return s.spanRings[n] }
 
 // SetCoherency attaches the origin-side generation authority and selects
 // the mode every node enforces (lifetime is the TTL freshness lifetime in
@@ -248,6 +290,12 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 		s.pool.Attach(st.DCache)
 		s.nodes[n] = st
 	}
+	if s.spanTracer != nil {
+		s.spanRings = make(map[model.NodeID]*span.Ring, len(s.nodes))
+		for n := range s.nodes {
+			s.spanRings[n] = span.NewRing(s.spanCap)
+		}
+	}
 	if s.auditor != nil && s.flightCap > 0 {
 		// Replay is single-threaded, so the sink may read the node map
 		// directly: every invariant failure lands in the offending node's
@@ -275,6 +323,27 @@ func (s *Coordinated) Configure(budgets map[model.NodeID]NodeBudget) {
 func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path Path) Outcome {
 	tr := s.tracer.Begin(now, obj, size)
 
+	// Cascade-wide span trace: the replay loop is this incarnation's edge,
+	// so the root request span opens here. parent tracks the span the next
+	// hop's phases hang off — the root at first, then each miss hop's up
+	// span, so the tree nests the chain walk exactly as the distributed
+	// gateway incarnation does.
+	edgeNode := model.NoNode
+	if len(path.Nodes) > 0 {
+		edgeNode = path.Nodes[0]
+	}
+	tsp := s.spanTracer.Begin(edgeNode, -1, now)
+	parent := tsp.Root()
+	if tsp != nil {
+		if cap(s.upSpan) < len(path.Nodes) {
+			s.upSpan = make([]span.SpanID, len(path.Nodes))
+		}
+		s.upSpan = s.upSpan[:len(path.Nodes)]
+		for i := range s.upSpan {
+			s.upSpan[i] = 0
+		}
+	}
+
 	// ---- Upstream pass -------------------------------------------------
 	// Probe each cache on the way up; collect every miss hop's candidate
 	// record (including §2.4 tags — their link costs still feed deeper
@@ -297,7 +366,9 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			continue
 		}
 		st := s.nodes[path.Nodes[i]]
+		lk := tsp.Start(span.PhaseLookup, path.Nodes[i], i, parent, now)
 		res := st.LookupFresh(obj, now, floor)
+		tsp.End(lk, now)
 		if res.Hit {
 			hit = i
 			servedGen = res.Gen
@@ -308,6 +379,14 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			// expiry and a generation-floor violation (CAS read floor or an
 			// invalidation learned earlier) are each a revalidation charge.
 			refetch = true
+			if res.Stale {
+				tsp.Force(span.FlagStale)
+			}
+		}
+		up := tsp.Start(span.PhaseUp, path.Nodes[i], i, parent, now)
+		if tsp != nil {
+			s.upSpan[i] = up
+			parent = up
 		}
 		s.cand = append(s.cand, st.UpMiss(obj, size, i, path.UpCost[i], now, tr))
 	}
@@ -340,6 +419,11 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			opts.Flight = s.nodes[servNode].Flight
 		}
 	}
+	if tsp != nil {
+		opts.Span = tsp
+		opts.SpanParent = parent
+		opts.Now = now
+	}
 	chosen := s.dec.Decide(s.cand, opts, engine.ServePoint{Hop: hit, Node: servNode}, tr)
 	piggyback += int64(len(chosen)) * 4 // placement instructions on the response
 
@@ -369,14 +453,23 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 			continue
 		}
 		st := s.nodes[path.Nodes[i]]
+		var up span.SpanID
+		if tsp != nil {
+			up = s.upSpan[i]
+		}
 		if invTail != nil {
+			coh := tsp.Start(span.PhaseCoherency, path.Nodes[i], i, up, now)
 			st.ApplyInvalidations(invTail, invHead, now)
+			tsp.End(coh, now)
 		}
 		place := last >= 0 && chosen[last] == i
 		if place {
 			last--
 		}
+		dn := tsp.Start(span.PhaseDown, path.Nodes[i], i, up, now)
 		res := st.DownStep(obj, size, place, mp, servedGen, i, now, tr)
+		tsp.End(dn, now)
+		tsp.End(up, now)
 		if s.auditor != nil {
 			s.auditor.CheckPenaltyStep(st.Node, obj, i, prev, mp, res.MP, res.Placed)
 		}
@@ -390,6 +483,7 @@ func (s *Coordinated) Process(now float64, obj model.ObjectID, size int64, path 
 		tr.HitIndex = hit
 		tr.Placed = append([]int(nil), placed...)
 	}
+	s.spanTracer.Collect(tsp, now, s.ringFor)
 	return Outcome{HitIndex: hit, Placed: placed, PiggybackBytes: piggyback, ServedGen: servedGen, Refetch: refetch}
 }
 

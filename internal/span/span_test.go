@@ -1,0 +1,268 @@
+package span
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"cascade/internal/model"
+)
+
+func TestCtxRoundTrip(t *testing.T) {
+	c := Ctx{Trace: TraceID{Hi: 0xdeadbeef01020304, Lo: 0x05060708090a0b0c}, Parent: 0x1122334455667788}
+	got, ok := ParseCtx(c.String())
+	if !ok || got != c {
+		t.Fatalf("round trip: got %+v ok=%v want %+v", got, ok, c)
+	}
+	for _, bad := range []string{
+		"", "abc",
+		c.String()[:48],       // short
+		c.String() + "0",      // long
+		"zz" + c.String()[2:], // non-hex
+		// valid shape but zero trace ID
+		Ctx{Parent: 1}.String(),
+	} {
+		if _, ok := ParseCtx(bad); ok {
+			t.Fatalf("ParseCtx(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestSampledDeterministicAndBounded(t *testing.T) {
+	id := TraceID{Hi: 1, Lo: 2}
+	if Sampled(id, 0) {
+		t.Fatal("rate 0 sampled a trace")
+	}
+	if !Sampled(id, 1) {
+		t.Fatal("rate 1 dropped a trace")
+	}
+	if Sampled(id, 0.5) != Sampled(id, 0.5) {
+		t.Fatal("verdict not deterministic")
+	}
+	// The hash should keep roughly rate·n of n distinct IDs, minted the
+	// way Begin mints them.
+	tr := NewTracer(Policy{})
+	kept := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tc := tr.Begin(0, -1, 0)
+		if Sampled(tc.ID(), 0.1) {
+			kept++
+		}
+		collect(tr, tc, 0, nil)
+	}
+	if frac := float64(kept) / n; math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("rate 0.1 kept %.3f of traces", frac)
+	}
+}
+
+// collect drains a trace into one ring regardless of node.
+func collect(tr *Tracer, t *Trace, now float64, r *Ring) {
+	tr.Collect(t, now, func(model.NodeID) *Ring { return r })
+}
+
+func TestTracerTreeShape(t *testing.T) {
+	tr := NewTracer(Policy{Rate: 1})
+	r := NewRing(64)
+	tc := tr.Begin(7, -1, 1.0)
+	if tc.ID().IsZero() || tc.Root() == 0 {
+		t.Fatal("Begin did not open a root span")
+	}
+	lk := tc.Start(PhaseLookup, 0, 0, tc.Root(), 1.0)
+	tc.End(lk, 1.5)
+	up := tc.Start(PhaseUp, 0, 0, tc.Root(), 1.5)
+	dec := tc.Start(PhaseDecide, 1, 1, up, 2.0)
+	tc.End(dec, 2.5)
+	tc.End(up, 3.0)
+	collect(tr, tc, 3.5, r)
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byPhase := map[Phase]Span{}
+	for _, s := range spans {
+		byPhase[s.Phase] = s
+		if s.End < s.Start {
+			t.Fatalf("span %v left open", s.Phase)
+		}
+	}
+	root := byPhase[PhaseRequest]
+	if root.Parent != 0 || root.End != 3.5 {
+		t.Fatalf("root span wrong: %+v", root)
+	}
+	if byPhase[PhaseLookup].Parent != root.ID || byPhase[PhaseUp].Parent != root.ID {
+		t.Fatal("lookup/up not parented on root")
+	}
+	if byPhase[PhaseDecide].Parent != byPhase[PhaseUp].ID {
+		t.Fatal("decide not parented on up")
+	}
+}
+
+func TestTailSamplingForcedKeep(t *testing.T) {
+	tr := NewTracer(Policy{Rate: 0})
+	r := NewRing(64)
+
+	tc := tr.Begin(0, -1, 0)
+	collect(tr, tc, 1, r)
+	if r.Len() != 0 {
+		t.Fatal("rate-0 trace kept without a flag")
+	}
+
+	tc = tr.Begin(0, -1, 0)
+	tc.Force(FlagStale)
+	collect(tr, tc, 1, r)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Flags&FlagStale == 0 {
+		t.Fatalf("forced trace not kept with flag: %+v", spans)
+	}
+}
+
+func TestSlowThresholdForcesKeep(t *testing.T) {
+	tr := NewTracer(Policy{Rate: 0, Slow: 0.5})
+	r := NewRing(4)
+	tc := tr.Begin(0, -1, 10.0)
+	collect(tr, tc, 10.1, r) // fast: dropped
+	if r.Len() != 0 {
+		t.Fatal("fast trace kept at rate 0")
+	}
+	tc = tr.Begin(0, -1, 10.0)
+	collect(tr, tc, 11.0, r) // 1s > 0.5s: kept, flagged slow
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Flags&FlagSlow == 0 {
+		t.Fatalf("slow trace not force-kept: %+v", spans)
+	}
+}
+
+func TestJoinParentsOnCtx(t *testing.T) {
+	tr := NewTracer(Policy{Rate: 1})
+	r := NewRing(8)
+	ctx := Ctx{Trace: TraceID{Hi: 3, Lo: 4}, Parent: 99}
+	tc := tr.Join(ctx)
+	if tc.Root() != 0 {
+		t.Fatal("joined trace should have no root span")
+	}
+	lk := tc.Start(PhaseLookup, 2, 1, ctx.Parent, 5.0)
+	tc.End(lk, 5.1)
+	collect(tr, tc, 5.2, r)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Trace != ctx.Trace || spans[0].Parent != 99 {
+		t.Fatalf("joined span wrong: %+v", spans)
+	}
+	if tr.Join(Ctx{}) != nil {
+		t.Fatal("Join accepted an invalid ctx")
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Span{ID: SpanID(i + 1)})
+	}
+	if r.Len() != 3 || r.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", r.Len(), r.Dropped())
+	}
+	spans := r.Spans()
+	if spans[0].ID != 3 || spans[2].ID != 5 {
+		t.Fatalf("ring order wrong: %+v", spans)
+	}
+	snap := r.TakeSnapshot(9)
+	if snap.Node != 9 || snap.Capacity != 3 || snap.Dropped != 2 || len(snap.Spans) != 3 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := Span{
+		Trace:  TraceID{Hi: 0xabc, Lo: 0xdef},
+		ID:     42,
+		Parent: 7,
+		Phase:  PhaseDown,
+		Flags:  FlagError,
+		Node:   3,
+		Hop:    2,
+		Start:  1.25,
+		End:    2.5,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Span
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	var snap Snapshot
+	blob, err := json.Marshal(Snapshot{Node: 1, Capacity: 8, Spans: []Span{in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0] != in {
+		t.Fatalf("snapshot round trip: %+v", snap)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	var r *Ring
+	tc := tr.Begin(0, 0, 0)
+	if tc != nil || tr.Join(Ctx{Trace: TraceID{Hi: 1}}) != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	if tc.Start(PhaseLookup, 0, 0, 0, 0) != 0 || tc.Root() != 0 || !tc.ID().IsZero() {
+		t.Fatal("nil trace not inert")
+	}
+	tc.End(1, 0)
+	tc.Force(FlagError)
+	if tc.Forced() {
+		t.Fatal("nil trace reports forced")
+	}
+	tr.Collect(tc, 0, func(model.NodeID) *Ring { return r })
+	r.Add(Span{})
+	if r.Len() != 0 || r.Spans() != nil || r.Dropped() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+	r.Reset()
+	if s := r.TakeSnapshot(2); s.Node != 2 || s.Spans != nil {
+		t.Fatalf("nil ring snapshot: %+v", s)
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.Begin(0, -1, 0)
+		id := tc.Start(PhaseLookup, 0, 0, 0, 0)
+		tc.End(id, 0)
+		tr.Collect(tc, 0, nil)
+	}
+}
+
+func BenchmarkTraceSampled(b *testing.B) {
+	tr := NewTracer(Policy{Rate: 0.01})
+	r := NewRing(256)
+	rings := func(model.NodeID) *Ring { return r }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc := tr.Begin(0, -1, 0)
+		parent := tc.Root()
+		for h := 0; h < 3; h++ {
+			lk := tc.Start(PhaseLookup, model.NodeID(h), h, parent, 0)
+			tc.End(lk, 0)
+			up := tc.Start(PhaseUp, model.NodeID(h), h, parent, 0)
+			parent = up
+		}
+		tr.Collect(tc, 0, rings)
+	}
+}
